@@ -1,0 +1,55 @@
+//! §6 complexity claim: Algorithm 1 is `O(N_L² · N_d · N_a)`.
+//!
+//! Three sweeps hold two parameters fixed and scale the third:
+//! graph size `N_L`, maximum degree `N_d`, and authorizations per
+//! location `N_a`. The *shape* to check: superlinear (≈quadratic) growth
+//! in `N_L`, roughly linear growth in `N_d` and `N_a`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_core::inaccessible::find_inaccessible;
+use ltam_sim::scaling_instance;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sweep_locations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/N_L");
+    for &n in &[16usize, 32, 64, 128, 256] {
+        let (world, auths) = scaling_instance(n, 4, 2, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(find_inaccessible(&world.graph, &auths)))
+        });
+    }
+    group.finish();
+}
+
+fn sweep_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/N_d");
+    for &d in &[2usize, 4, 8, 16] {
+        let (world, auths) = scaling_instance(96, d, 2, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(find_inaccessible(&world.graph, &auths)))
+        });
+    }
+    group.finish();
+}
+
+fn sweep_auths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/N_a");
+    for &a in &[1usize, 2, 4, 8] {
+        let (world, auths) = scaling_instance(96, 4, a, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(a), &a, |b, _| {
+            b.iter(|| black_box(find_inaccessible(&world.graph, &auths)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = sweep_locations, sweep_degree, sweep_auths
+}
+criterion_main!(benches);

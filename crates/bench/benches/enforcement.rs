@@ -1,0 +1,104 @@
+//! Figure 3 architecture throughput: request → enter → exit cycles through
+//! the LTAM engine vs the card-reader baseline, at varying authorization
+//! database sizes.
+//!
+//! The shape to check: both are fast; LTAM pays a small constant for
+//! movement monitoring (pending grants, ledger, violation scan), which is
+//! the price of catching what the baseline cannot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::subject::SubjectId;
+use ltam_engine::baseline::{CardReaderEngine, Enforcement};
+use ltam_engine::engine::AccessControlEngine;
+use ltam_sim::grid_building;
+use ltam_time::{Interval, Time};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn open_auth(s: SubjectId, l: ltam_graph::LocationId) -> Authorization {
+    Authorization::new(Interval::ALL, Interval::ALL, s, l, EntryLimit::Unbounded)
+        .expect("open windows are valid")
+}
+
+fn request_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforcement/cycle");
+    for &subjects in &[1usize, 16, 64] {
+        let world = grid_building(8, 8);
+        let target = world.graph.global_entries()[0];
+
+        let mut ltam = AccessControlEngine::new(world.model.clone());
+        let mut reader = CardReaderEngine::new(world.model.clone());
+        for k in 0..subjects as u32 {
+            ltam.profiles_mut().add_user(format!("u{k}"), "sim");
+            for l in world.graph.locations() {
+                ltam.add_authorization(open_auth(SubjectId(k), l));
+                reader.add_authorization(open_auth(SubjectId(k), l));
+            }
+        }
+
+        let mut t = 0u64;
+        group.bench_with_input(BenchmarkId::new("ltam", subjects), &subjects, |b, &n| {
+            b.iter(|| {
+                let s = SubjectId((t % n as u64) as u32);
+                let now = Time(t);
+                let d = ltam.request_enter(now, s, target);
+                if d.is_granted() {
+                    ltam.observe_enter(now, s, target);
+                    ltam.observe_exit(now, s, target);
+                }
+                ltam.tick(now);
+                t += 1;
+                black_box(d)
+            })
+        });
+        let mut t2 = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("card_reader", subjects),
+            &subjects,
+            |b, &n| {
+                b.iter(|| {
+                    let s = SubjectId((t2 % n as u64) as u32);
+                    let now = Time(t2);
+                    let d = reader.request_enter(now, s, target);
+                    if d.is_granted() {
+                        reader.observe_enter(now, s, target);
+                        reader.observe_exit(now, s, target);
+                    }
+                    reader.tick(now);
+                    t2 += 1;
+                    black_box(d)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn decision_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforcement/decision");
+    for &db_size in &[10usize, 100, 1000] {
+        let world = grid_building(8, 8);
+        let locs: Vec<_> = world.graph.locations().collect();
+        let mut engine = AccessControlEngine::new(world.model.clone());
+        engine.profiles_mut().add_user("u0", "sim");
+        for k in 0..db_size {
+            engine.add_authorization(open_auth(SubjectId(0), locs[k % locs.len()]));
+        }
+        let target = locs[0];
+        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
+            b.iter(|| black_box(engine.request_enter(Time(5), SubjectId(0), target)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = request_cycle, decision_only
+}
+criterion_main!(benches);

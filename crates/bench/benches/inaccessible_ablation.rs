@@ -1,0 +1,43 @@
+//! Ablation: Algorithm 1's fixpoint vs the naive §6 baseline
+//! (route enumeration + per-route authorization chain).
+//!
+//! The shape to check: the fixpoint stays near-linear in graph size while
+//! the naive enumeration blows up combinatorially — the crossover arrives
+//! within the first few sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_core::inaccessible::{find_inaccessible, find_inaccessible_naive};
+use ltam_sim::scaling_instance;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fixpoint_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inaccessible");
+    for &n in &[4usize, 6, 8, 10, 12] {
+        let (world, auths) = scaling_instance(n, 3, 2, 7);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| black_box(find_inaccessible(&world.graph, &auths)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_routes", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(find_inaccessible_naive(
+                    &world.graph,
+                    &auths,
+                    world.graph.len(),
+                    100_000,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = fixpoint_vs_naive
+}
+criterion_main!(benches);

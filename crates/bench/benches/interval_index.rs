@@ -1,0 +1,89 @@
+//! Ablation: the authorization database's interval-tree index vs a linear
+//! scan, for the stabbing queries behind Definition 7 and administrator
+//! time-slice queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_time::{Interval, IntervalTree, Time};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn make_intervals(n: usize) -> Vec<Interval> {
+    // Deterministic xorshift; windows of width ≤ 100 over a horizon of 10·n.
+    let mut x = 0x9E37_79B9_u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|_| {
+            let a = next() % (10 * n as u64);
+            Interval::lit(a, a + next() % 100)
+        })
+        .collect()
+}
+
+fn stabbing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_index/stab");
+    for &n in &[100usize, 1_000, 10_000] {
+        let intervals = make_intervals(n);
+        let mut tree = IntervalTree::new();
+        for (k, &iv) in intervals.iter().enumerate() {
+            tree.insert(iv, k);
+        }
+        let probe = Time(5 * n as u64);
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| black_box(tree.stab(probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let hits: Vec<usize> = intervals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, iv)| iv.contains(probe))
+                    .map(|(k, _)| k)
+                    .collect();
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_index/overlap");
+    for &n in &[1_000usize, 10_000] {
+        let intervals = make_intervals(n);
+        let mut tree = IntervalTree::new();
+        for (k, &iv) in intervals.iter().enumerate() {
+            tree.insert(iv, k);
+        }
+        let query = Interval::lit(4 * n as u64, 4 * n as u64 + 50);
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
+            b.iter(|| black_box(tree.overlapping(query)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let hits: Vec<usize> = intervals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, iv)| iv.overlaps(query))
+                    .map(|(k, _)| k)
+                    .collect();
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = stabbing, overlap
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Query-engine throughput: parsing and end-to-end evaluation of each
+//! query form over a populated engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::subject::SubjectId;
+use ltam_engine::engine::AccessControlEngine;
+use ltam_engine::query;
+use ltam_sim::{grid_building, rng, run_population, Behavior, Walker};
+use ltam_time::Interval;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn populated_engine() -> AccessControlEngine {
+    let world = grid_building(6, 6);
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    let subjects: Vec<SubjectId> = (0..8u32).map(SubjectId).collect();
+    for (i, &s) in subjects.iter().enumerate() {
+        engine.profiles_mut().add_user(format!("user{i}"), "sim");
+        for l in world.graph.locations() {
+            engine.add_authorization(
+                Authorization::new(Interval::ALL, Interval::ALL, s, l, EntryLimit::Unbounded)
+                    .expect("valid"),
+            );
+        }
+    }
+    let mut walkers: Vec<Walker> = subjects
+        .iter()
+        .map(|&s| Walker::new(s, Behavior::Compliant { max_stay: 3 }))
+        .collect();
+    let mut r = rng(42);
+    run_population(&mut walkers, &world.graph, &mut engine, 200, &mut r);
+    engine
+}
+
+fn parse_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/parse");
+    for (name, q) in [
+        ("accessible", "ACCESSIBLE FOR user0"),
+        ("can_enter", "CAN user0 ENTER R3_3 AT 100"),
+        ("contacts", "CONTACTS OF user0 DURING [0, 200]"),
+        ("violations", "VIOLATIONS FOR user0 DURING [0, inf]"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(query::parse(q))));
+    }
+    group.finish();
+}
+
+fn evaluate(c: &mut Criterion) {
+    let engine = populated_engine();
+    let mut group = c.benchmark_group("query/eval");
+    for (name, q) in [
+        ("accessible", "ACCESSIBLE FOR user0"),
+        ("can_enter", "CAN user0 ENTER R3_3 AT 100"),
+        ("who_in", "WHO IN R0_0 DURING [0, 200]"),
+        ("where_is", "WHERE user0 AT 100"),
+        ("contacts", "CONTACTS OF user0 DURING [0, 200]"),
+        ("violations", "VIOLATIONS"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.query(q).expect("query evaluates")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = parse_only, evaluate
+}
+criterion_main!(benches);

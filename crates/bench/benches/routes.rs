@@ -1,0 +1,109 @@
+//! Route search over the NTU campus (Figure 2) and generated buildings:
+//! BFS shortest routes, bounded all-routes enumeration (the §4
+//! `all_route_from` operator), and route authorization (§6 chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_core::duration::authorize_route;
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::subject::SubjectId;
+use ltam_graph::examples::ntu_campus;
+use ltam_graph::{route, EffectiveGraph};
+use ltam_sim::grid_building;
+use ltam_time::Interval;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn shortest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routes/shortest");
+    let ntu = ntu_campus();
+    let g = EffectiveGraph::build(&ntu.model);
+    group.bench_function("ntu_eee_dean_to_cais", |b| {
+        b.iter(|| black_box(route::shortest_route(&g, ntu.eee_dean, ntu.cais)))
+    });
+    for &side in &[8usize, 16, 32] {
+        let world = grid_building(side, side);
+        let src = world.graph.global_entries()[0];
+        let dst = world.graph.locations().last().expect("non-empty grid");
+        group.bench_with_input(BenchmarkId::new("grid_corner", side), &side, |b, _| {
+            b.iter(|| black_box(route::shortest_route(&world.graph, src, dst)))
+        });
+    }
+    group.finish();
+}
+
+fn enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routes/all_routes");
+    let ntu = ntu_campus();
+    let g = EffectiveGraph::build(&ntu.model);
+    group.bench_function("ntu_go_to_cais", |b| {
+        b.iter(|| black_box(route::all_routes(&g, ntu.sce_go, ntu.cais, 64, 4096)))
+    });
+    let world = grid_building(4, 4);
+    let src = world.graph.global_entries()[0];
+    let dst = world.graph.locations().last().expect("non-empty grid");
+    group.bench_function("grid4x4_corner_bounded", |b| {
+        b.iter(|| black_box(route::all_routes(&world.graph, src, dst, 10, 1000)))
+    });
+    group.finish();
+}
+
+fn authorization_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routes/authorize");
+    let world = grid_building(16, 16);
+    let src = world.graph.global_entries()[0];
+    let dst = world.graph.locations().last().expect("non-empty grid");
+    let path = route::shortest_route(&world.graph, src, dst).expect("grid is connected");
+    let auths: std::collections::BTreeMap<_, Vec<Authorization>> = world
+        .graph
+        .locations()
+        .map(|l| {
+            (
+                l,
+                vec![Authorization::new(
+                    Interval::ALL,
+                    Interval::ALL,
+                    SubjectId(0),
+                    l,
+                    EntryLimit::Unbounded,
+                )
+                .expect("valid")],
+            )
+        })
+        .collect();
+    group.bench_function("grid16x16_diagonal", |b| {
+        b.iter(|| {
+            black_box(authorize_route(path.locations(), Interval::ALL, |l| {
+                auths.get(&l).map(Vec::as_slice).unwrap_or(&[])
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn planner(c: &mut Criterion) {
+    use ltam_core::planner::{earliest_visit, earliest_visit_all};
+    use ltam_sim::scaling_instance;
+    use ltam_time::Time;
+    let mut group = c.benchmark_group("routes/planner");
+    for &n in &[32usize, 128, 512] {
+        let (world, auths) = scaling_instance(n, 4, 2, 11);
+        let target = world.graph.locations().last().expect("non-empty graph");
+        group.bench_with_input(BenchmarkId::new("earliest_visit", n), &n, |b, _| {
+            b.iter(|| black_box(earliest_visit(&world.graph, &auths, target, Time(0))))
+        });
+        group.bench_with_input(BenchmarkId::new("earliest_visit_all", n), &n, |b, _| {
+            b.iter(|| black_box(earliest_visit_all(&world.graph, &auths, Time(0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = shortest, enumeration, authorization_chain, planner
+}
+criterion_main!(benches);

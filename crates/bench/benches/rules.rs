@@ -1,0 +1,103 @@
+//! §4 rule-derivation throughput: evaluating `Supervisor_Of` and
+//! `all_route_from` rules over growing authorization databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::rules::{LocationOp, OpTuple, Rule, StaticProfiles, SubjectOp};
+use ltam_core::subject::SubjectId;
+use ltam_core::{AuthorizationDb, RuleEngine};
+use ltam_graph::examples::ntu_campus;
+use ltam_graph::EffectiveGraph;
+use ltam_time::{Interval, Time};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn derivation_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rules/apply_all");
+    let ntu = ntu_campus();
+    let graph = EffectiveGraph::build(&ntu.model);
+    for &n_rules in &[1usize, 10, 100] {
+        // n_rules subjects, each with a base authorization on CAIS and a
+        // supervisor; one Supervisor_Of rule per base.
+        let mut db = AuthorizationDb::new();
+        let mut profiles = StaticProfiles::default();
+        let mut engine = RuleEngine::new();
+        for k in 0..n_rules as u32 {
+            let subject = SubjectId(k);
+            let supervisor = SubjectId(k + n_rules as u32);
+            profiles.supervisors.insert(subject, supervisor);
+            let base = db.insert(
+                Authorization::new(
+                    Interval::lit(5, 20),
+                    Interval::lit(15, 50),
+                    subject,
+                    ntu.cais,
+                    EntryLimit::Finite(2),
+                )
+                .expect("valid"),
+            );
+            engine.add_rule(Rule {
+                valid_from: Time(7),
+                base,
+                ops: OpTuple {
+                    subject_op: SubjectOp::SupervisorOf,
+                    ..OpTuple::default()
+                },
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("supervisor", n_rules), &n_rules, |b, _| {
+            b.iter(|| {
+                let mut fresh = AuthorizationDb::import(db.export());
+                black_box(engine.apply_all(&mut fresh, &profiles, &graph))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn route_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rules/all_route_from");
+    let ntu = ntu_campus();
+    let graph = EffectiveGraph::build(&ntu.model);
+    let mut db = AuthorizationDb::new();
+    let base = db.insert(
+        Authorization::new(
+            Interval::lit(5, 20),
+            Interval::lit(15, 50),
+            SubjectId(0),
+            ntu.cais,
+            EntryLimit::Finite(2),
+        )
+        .expect("valid"),
+    );
+    let profiles = StaticProfiles::default();
+    let engine = RuleEngine::new();
+    let rule = Rule {
+        valid_from: Time(7),
+        base,
+        ops: OpTuple {
+            location_op: LocationOp::AllRouteFrom { source: ntu.sce_go },
+            ..OpTuple::default()
+        },
+    };
+    group.bench_function("ntu_sce_go_to_cais", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .derive(&rule, &db, &profiles, &graph)
+                    .expect("derives"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = derivation_pass, route_expansion
+}
+criterion_main!(benches);

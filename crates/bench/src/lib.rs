@@ -1,0 +1,58 @@
+//! Shared fixtures for the LTAM benchmarks and the paper-reproduction
+//! harness (`repro` binary).
+//!
+//! Every table and figure of the paper maps to a subcommand of `repro`
+//! (see `EXPERIMENTS.md` at the workspace root); the Criterion benches
+//! cover the §6 complexity claim and the ablations called out in
+//! `DESIGN.md`.
+
+use ltam_core::inaccessible::AuthsByLocation;
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::subject::SubjectId;
+use ltam_graph::examples::{fig4_cycle, Fig4};
+use ltam_time::Interval;
+
+/// Alice, the paper's running subject.
+pub const ALICE: SubjectId = SubjectId(0);
+
+/// Table 1's authorization set on the Figure 4 graph.
+pub fn table1_auths(f: &Fig4) -> AuthsByLocation {
+    let auth = |l, entry: (u64, u64), exit: (u64, u64)| {
+        Authorization::new(
+            Interval::lit(entry.0, entry.1),
+            Interval::lit(exit.0, exit.1),
+            ALICE,
+            l,
+            EntryLimit::Finite(1),
+        )
+        .expect("Table 1 rows satisfy Definition 4")
+    };
+    let mut m = AuthsByLocation::new();
+    m.insert(f.a, vec![auth(f.a, (2, 35), (20, 50))]);
+    m.insert(f.b, vec![auth(f.b, (40, 60), (55, 80))]);
+    m.insert(f.c, vec![auth(f.c, (38, 45), (70, 90))]);
+    m.insert(f.d, vec![auth(f.d, (5, 25), (10, 30))]);
+    m
+}
+
+/// The Figure 4 instance, ready to run.
+pub fn fig4_instance() -> (Fig4, AuthsByLocation) {
+    let f = fig4_cycle();
+    let auths = table1_auths(&f);
+    (f, auths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltam_core::inaccessible::find_inaccessible;
+    use ltam_graph::EffectiveGraph;
+
+    #[test]
+    fn fixture_reproduces_table2_result() {
+        let (f, auths) = fig4_instance();
+        let g = EffectiveGraph::build(&f.model);
+        let report = find_inaccessible(&g, &auths);
+        assert_eq!(report.inaccessible, vec![f.c]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Conflict detection and resolution between authorizations.
+//!
+//! §4 observes that rules "may introduce conflicts of authorizations":
+//! a derived authorization granting Alice entry to CAIS during `[5, 10]`
+//! contradicts (or fragments) another granting `[10, 11]`. The paper leaves
+//! resolution as future work, suggesting "combining the two authorizations,
+//! or discarding one of them" — both implemented here.
+//!
+//! A *conflict* is two authorizations for the same `(subject, location)`
+//! whose entry windows overlap or are adjacent: the pair denotes one
+//! logical grant split across rows, with possibly contradictory exit
+//! windows and entry counts.
+
+use crate::db::{AuthId, AuthorizationDb, Provenance};
+use crate::model::{Authorization, EntryLimit};
+use crate::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::Interval;
+use serde::{Deserialize, Serialize};
+
+/// How the two entry windows relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictKind {
+    /// Entry windows share chronons; carries the shared window.
+    OverlappingEntry(Interval),
+    /// Entry windows are disjoint but consecutive (`[5,10]` / `[11,12]`).
+    AdjacentEntry,
+}
+
+/// A detected conflict between two authorizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conflict {
+    /// Lower-id member of the pair.
+    pub first: AuthId,
+    /// Higher-id member of the pair.
+    pub second: AuthId,
+    /// The shared subject.
+    pub subject: SubjectId,
+    /// The shared location.
+    pub location: LocationId,
+    /// Overlap or adjacency.
+    pub kind: ConflictKind,
+}
+
+/// Strategy for [`resolve_conflicts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolutionStrategy {
+    /// Combine each conflicting pair into one authorization: entry/exit
+    /// windows take the union hull, entry counts add (the paper's
+    /// "combining the two authorizations").
+    Merge,
+    /// Keep the lower-id (older) authorization, discard the newer.
+    PreferFirst,
+    /// Keep explicitly created authorizations over derived ones; ties fall
+    /// back to lower id.
+    PreferExplicit,
+}
+
+/// Outcome of a resolution pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolutionReport {
+    /// `(kept_or_merged, removed)` pairs, in resolution order.
+    pub resolved: Vec<(AuthId, AuthId)>,
+    /// Authorizations inserted by merging.
+    pub merged_into: Vec<AuthId>,
+}
+
+/// Find all conflicts in the database.
+pub fn detect_conflicts(db: &AuthorizationDb) -> Vec<Conflict> {
+    let mut rows: Vec<(AuthId, Authorization)> = db.iter().map(|(id, a, _)| (id, *a)).collect();
+    rows.sort_by_key(|&(id, a)| (a.subject(), a.location(), a.entry_window().start(), id));
+    let mut out = Vec::new();
+    for i in 0..rows.len() {
+        let (id_a, a) = rows[i];
+        for &(id_b, b) in rows.iter().skip(i + 1) {
+            if a.subject() != b.subject() || a.location() != b.location() {
+                break; // sorted: no more rows for this (s, l)
+            }
+            let (ea, eb) = (a.entry_window(), b.entry_window());
+            let kind = if let Some(shared) = ea.intersect(eb) {
+                Some(ConflictKind::OverlappingEntry(shared))
+            } else if ea.adjacent(eb) {
+                Some(ConflictKind::AdjacentEntry)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                out.push(Conflict {
+                    first: id_a.min(id_b),
+                    second: id_a.max(id_b),
+                    subject: a.subject(),
+                    location: a.location(),
+                    kind,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|c| (c.first, c.second));
+    out
+}
+
+fn merge_pair(a: &Authorization, b: &Authorization) -> Authorization {
+    let entry = a
+        .entry_window()
+        .merge(b.entry_window())
+        .expect("conflicting entry windows are mergeable");
+    // Union hull of the exit windows; Definition 4's constraints are
+    // preserved: min(tos) ≥ min(tis) and max(toe) ≥ max(tie).
+    let exit_start = a.exit_window().start().min(b.exit_window().start());
+    let exit_end = a.exit_window().end().max(b.exit_window().end());
+    let exit = Interval::new(exit_start, exit_end).expect("hull is non-empty");
+    let limit = match (a.limit(), b.limit()) {
+        (EntryLimit::Finite(x), EntryLimit::Finite(y)) => EntryLimit::Finite(x.saturating_add(y)),
+        _ => EntryLimit::Unbounded,
+    };
+    Authorization::new(entry, exit, a.subject(), a.location(), limit)
+        .expect("merged authorization satisfies Definition 4")
+}
+
+/// Resolve conflicts until none remain, using `strategy`.
+///
+/// Merging can cascade (a merged window may now touch a third
+/// authorization), so the pass loops to quiescence.
+pub fn resolve_conflicts(
+    db: &mut AuthorizationDb,
+    strategy: ResolutionStrategy,
+) -> ResolutionReport {
+    let mut report = ResolutionReport::default();
+    loop {
+        let conflicts = detect_conflicts(db);
+        let Some(c) = conflicts.first().copied() else {
+            return report;
+        };
+        match strategy {
+            ResolutionStrategy::Merge => {
+                let a = *db.get(c.first).expect("conflict ids are live");
+                let b = *db.get(c.second).expect("conflict ids are live");
+                let merged = merge_pair(&a, &b);
+                db.revoke(c.first);
+                db.revoke(c.second);
+                let id = db.insert(merged);
+                report.resolved.push((id, c.first));
+                report.resolved.push((id, c.second));
+                report.merged_into.push(id);
+            }
+            ResolutionStrategy::PreferFirst => {
+                db.revoke(c.second);
+                report.resolved.push((c.first, c.second));
+            }
+            ResolutionStrategy::PreferExplicit => {
+                let exp_first = matches!(db.provenance(c.first), Some(Provenance::Explicit));
+                let exp_second = matches!(db.provenance(c.second), Some(Provenance::Explicit));
+                let (keep, drop) = match (exp_first, exp_second) {
+                    (true, false) => (c.first, c.second),
+                    (false, true) => (c.second, c.first),
+                    _ => (c.first, c.second),
+                };
+                db.revoke(drop);
+                report.resolved.push((keep, drop));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::RuleId;
+
+    const ALICE: SubjectId = SubjectId(0);
+    const CAIS: LocationId = LocationId(10);
+
+    fn auth(entry: (u64, u64), exit: (u64, u64), n: u32) -> Authorization {
+        Authorization::new(
+            Interval::lit(entry.0, entry.1),
+            Interval::lit(exit.0, exit.1),
+            ALICE,
+            CAIS,
+            EntryLimit::Finite(n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_adjacent_windows_conflict() {
+        // "[5,10]" vs "[10,11]" — these overlap at 10.
+        let mut db = AuthorizationDb::new();
+        let a = db.insert(auth((5, 10), (5, 20), 1));
+        let b = db.insert(auth((10, 11), (10, 21), 1));
+        let cs = detect_conflicts(&db);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].first, a);
+        assert_eq!(cs[0].second, b);
+        assert_eq!(
+            cs[0].kind,
+            ConflictKind::OverlappingEntry(Interval::point(10u64))
+        );
+    }
+
+    #[test]
+    fn adjacency_is_detected() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth((5, 10), (5, 20), 1));
+        db.insert(auth((11, 15), (11, 25), 1));
+        let cs = detect_conflicts(&db);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].kind, ConflictKind::AdjacentEntry);
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_conflict() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth((5, 10), (5, 20), 1));
+        db.insert(auth((20, 25), (20, 35), 1));
+        assert!(detect_conflicts(&db).is_empty());
+    }
+
+    #[test]
+    fn different_subject_or_location_do_not_conflict() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth((5, 10), (5, 20), 1));
+        db.insert(
+            Authorization::new(
+                Interval::lit(5, 10),
+                Interval::lit(5, 20),
+                SubjectId(1),
+                CAIS,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        db.insert(
+            Authorization::new(
+                Interval::lit(5, 10),
+                Interval::lit(5, 20),
+                ALICE,
+                LocationId(11),
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        assert!(detect_conflicts(&db).is_empty());
+    }
+
+    #[test]
+    fn merge_combines_windows_and_counts() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth((5, 10), (8, 20), 1));
+        db.insert(auth((10, 11), (10, 31), 2));
+        let report = resolve_conflicts(&mut db, ResolutionStrategy::Merge);
+        assert_eq!(report.merged_into.len(), 1);
+        assert_eq!(db.len(), 1);
+        let merged = db.get(report.merged_into[0]).unwrap();
+        assert_eq!(merged.entry_window(), Interval::lit(5, 11));
+        assert_eq!(merged.exit_window(), Interval::lit(8, 31));
+        assert_eq!(merged.limit(), EntryLimit::Finite(3));
+        assert!(detect_conflicts(&db).is_empty());
+    }
+
+    #[test]
+    fn merge_cascades_through_chains() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth((0, 5), (0, 10), 1));
+        db.insert(auth((5, 9), (5, 15), 1));
+        db.insert(auth((10, 20), (10, 30), 1));
+        let report = resolve_conflicts(&mut db, ResolutionStrategy::Merge);
+        assert_eq!(db.len(), 1);
+        assert!(report.merged_into.len() >= 2);
+        let (_, a, _) = db.iter().next().unwrap();
+        assert_eq!(a.entry_window(), Interval::lit(0, 20));
+        assert_eq!(a.limit(), EntryLimit::Finite(3));
+    }
+
+    #[test]
+    fn prefer_first_discards_newer() {
+        let mut db = AuthorizationDb::new();
+        let a = db.insert(auth((5, 10), (5, 20), 1));
+        let b = db.insert(auth((7, 12), (7, 22), 1));
+        let report = resolve_conflicts(&mut db, ResolutionStrategy::PreferFirst);
+        assert_eq!(report.resolved, vec![(a, b)]);
+        assert_eq!(db.len(), 1);
+        assert!(db.get(a).is_some());
+    }
+
+    #[test]
+    fn prefer_explicit_keeps_admin_rows() {
+        let mut db = AuthorizationDb::new();
+        let derived = db.insert_with_provenance(
+            auth((5, 10), (5, 20), 1),
+            Provenance::Derived {
+                rule: RuleId(0),
+                base: AuthId(99),
+            },
+        );
+        let explicit = db.insert(auth((7, 12), (7, 22), 1));
+        let report = resolve_conflicts(&mut db, ResolutionStrategy::PreferExplicit);
+        assert_eq!(report.resolved, vec![(explicit, derived)]);
+        assert!(db.get(explicit).is_some());
+        assert!(db.get(derived).is_none());
+    }
+
+    #[test]
+    fn unbounded_limit_dominates_merge() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth((5, 10), (8, 20), 1));
+        db.insert(
+            Authorization::new(
+                Interval::lit(9, 12),
+                Interval::lit(9, 22),
+                ALICE,
+                CAIS,
+                EntryLimit::Unbounded,
+            )
+            .unwrap(),
+        );
+        let report = resolve_conflicts(&mut db, ResolutionStrategy::Merge);
+        let merged = db.get(report.merged_into[0]).unwrap();
+        assert_eq!(merged.limit(), EntryLimit::Unbounded);
+    }
+}

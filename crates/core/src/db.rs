@@ -1,0 +1,409 @@
+//! The authorization database (Figure 3's first component).
+//!
+//! Stores every [`Authorization`] with provenance (explicitly created by an
+//! administrator, or derived by a rule), indexed three ways:
+//!
+//! * by `(subject, location)` — the hot path of Definition 7's access check,
+//! * by subject — feeds Algorithm 1's per-location authorization lookup,
+//! * by entry window in an [`IntervalTree`] — time-sliced administrator
+//!   queries ("who could enter anything at time t?").
+
+use crate::model::Authorization;
+use crate::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::{EntryId, Interval, IntervalTree, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of an authorization stored in an [`AuthorizationDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AuthId(pub u64);
+
+impl fmt::Display for AuthId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Identifier of an authorization rule (assigned by the rule engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// How an authorization entered the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Created directly by a security officer (§3.2).
+    Explicit,
+    /// Derived by an authorization rule from a base authorization (§4).
+    Derived {
+        /// The rule that produced it.
+        rule: RuleId,
+        /// The base authorization it was derived from.
+        base: AuthId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct AuthRecord {
+    auth: Authorization,
+    provenance: Provenance,
+    tree_entry: EntryId,
+}
+
+/// The authorization database.
+#[derive(Debug, Clone, Default)]
+pub struct AuthorizationDb {
+    records: BTreeMap<AuthId, AuthRecord>,
+    next: u64,
+    by_subject_location: HashMap<(SubjectId, LocationId), Vec<AuthId>>,
+    by_subject: HashMap<SubjectId, Vec<AuthId>>,
+    entry_index: IntervalTree<AuthId>,
+}
+
+impl AuthorizationDb {
+    /// An empty database.
+    pub fn new() -> AuthorizationDb {
+        AuthorizationDb::default()
+    }
+
+    /// Number of stored authorizations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no authorizations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Insert an explicitly created authorization.
+    pub fn insert(&mut self, auth: Authorization) -> AuthId {
+        self.insert_with_provenance(auth, Provenance::Explicit)
+    }
+
+    /// Insert with explicit provenance (used by the rule engine).
+    pub fn insert_with_provenance(
+        &mut self,
+        auth: Authorization,
+        provenance: Provenance,
+    ) -> AuthId {
+        let id = AuthId(self.next);
+        self.next += 1;
+        let tree_entry = self.entry_index.insert(auth.entry_window(), id);
+        self.records.insert(
+            id,
+            AuthRecord {
+                auth,
+                provenance,
+                tree_entry,
+            },
+        );
+        self.by_subject_location
+            .entry((auth.subject(), auth.location()))
+            .or_default()
+            .push(id);
+        self.by_subject.entry(auth.subject()).or_default().push(id);
+        id
+    }
+
+    /// Remove an authorization; returns it if it existed.
+    pub fn revoke(&mut self, id: AuthId) -> Option<Authorization> {
+        let record = self.records.remove(&id)?;
+        let auth = record.auth;
+        self.entry_index
+            .remove(auth.entry_window(), record.tree_entry);
+        if let Some(v) = self
+            .by_subject_location
+            .get_mut(&(auth.subject(), auth.location()))
+        {
+            v.retain(|&x| x != id);
+        }
+        if let Some(v) = self.by_subject.get_mut(&auth.subject()) {
+            v.retain(|&x| x != id);
+        }
+        Some(auth)
+    }
+
+    /// Look up an authorization.
+    pub fn get(&self, id: AuthId) -> Option<&Authorization> {
+        self.records.get(&id).map(|r| &r.auth)
+    }
+
+    /// Provenance of an authorization.
+    pub fn provenance(&self, id: AuthId) -> Option<Provenance> {
+        self.records.get(&id).map(|r| r.provenance)
+    }
+
+    /// Authorizations for a `(subject, location)` pair — Definition 7's
+    /// candidate set.
+    pub fn for_subject_location(
+        &self,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> impl Iterator<Item = (AuthId, &Authorization)> + '_ {
+        self.by_subject_location
+            .get(&(subject, location))
+            .into_iter()
+            .flatten()
+            .map(move |&id| (id, &self.records[&id].auth))
+    }
+
+    /// All authorizations of one subject.
+    pub fn for_subject(
+        &self,
+        subject: SubjectId,
+    ) -> impl Iterator<Item = (AuthId, &Authorization)> + '_ {
+        self.by_subject
+            .get(&subject)
+            .into_iter()
+            .flatten()
+            .map(move |&id| (id, &self.records[&id].auth))
+    }
+
+    /// The subject's authorizations grouped per location — the shape
+    /// Algorithm 1 consumes ("for each location-temporal authorization a
+    /// of l").
+    pub fn per_location_for_subject(
+        &self,
+        subject: SubjectId,
+    ) -> BTreeMap<LocationId, Vec<Authorization>> {
+        let mut out: BTreeMap<LocationId, Vec<Authorization>> = BTreeMap::new();
+        for (_, a) in self.for_subject(subject) {
+            out.entry(a.location()).or_default().push(*a);
+        }
+        out
+    }
+
+    /// Authorizations whose entry window contains `t` (stabbing query).
+    pub fn enterable_at(&self, t: Time) -> Vec<(AuthId, &Authorization)> {
+        self.entry_index
+            .stab(t)
+            .into_iter()
+            .map(|(_, &id)| (id, &self.records[&id].auth))
+            .collect()
+    }
+
+    /// Authorizations whose entry window overlaps `window`.
+    pub fn enterable_during(&self, window: Interval) -> Vec<(AuthId, &Authorization)> {
+        self.entry_index
+            .overlapping(window)
+            .into_iter()
+            .map(|(_, &id)| (id, &self.records[&id].auth))
+            .collect()
+    }
+
+    /// All authorizations derived from `base` by any rule.
+    pub fn derived_from(&self, base: AuthId) -> Vec<AuthId> {
+        self.records
+            .iter()
+            .filter(
+                |(_, r)| matches!(r.provenance, Provenance::Derived { base: b, .. } if b == base),
+            )
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All authorizations produced by `rule`.
+    pub fn derived_by_rule(&self, rule: RuleId) -> Vec<AuthId> {
+        self.records
+            .iter()
+            .filter(
+                |(_, r)| matches!(r.provenance, Provenance::Derived { rule: q, .. } if q == rule),
+            )
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Iterate all `(id, authorization, provenance)` rows in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AuthId, &Authorization, Provenance)> + '_ {
+        self.records
+            .iter()
+            .map(|(&id, r)| (id, &r.auth, r.provenance))
+    }
+
+    /// Export all rows for persistence (id order).
+    pub fn export(&self) -> Vec<(Authorization, Provenance)> {
+        self.records
+            .values()
+            .map(|r| (r.auth, r.provenance))
+            .collect()
+    }
+
+    /// Rebuild a database from exported rows (ids are reassigned densely;
+    /// derived provenance referring to dropped bases is preserved as-is).
+    pub fn import(rows: impl IntoIterator<Item = (Authorization, Provenance)>) -> AuthorizationDb {
+        let mut db = AuthorizationDb::new();
+        for (auth, provenance) in rows {
+            db.insert_with_provenance(auth, provenance);
+        }
+        db
+    }
+
+    /// Export all rows *with their ids* (id order) — for snapshots where
+    /// external state (usage counters, rule provenance) references the ids.
+    pub fn export_rows(&self) -> Vec<(AuthId, Authorization, Provenance)> {
+        self.records
+            .iter()
+            .map(|(&id, r)| (id, r.auth, r.provenance))
+            .collect()
+    }
+
+    /// Rebuild a database preserving the original ids; the id counter
+    /// resumes past the largest restored id.
+    pub fn import_rows(
+        rows: impl IntoIterator<Item = (AuthId, Authorization, Provenance)>,
+    ) -> AuthorizationDb {
+        let mut db = AuthorizationDb::new();
+        for (id, auth, provenance) in rows {
+            let tree_entry = db.entry_index.insert(auth.entry_window(), id);
+            db.records.insert(
+                id,
+                AuthRecord {
+                    auth,
+                    provenance,
+                    tree_entry,
+                },
+            );
+            db.by_subject_location
+                .entry((auth.subject(), auth.location()))
+                .or_default()
+                .push(id);
+            db.by_subject.entry(auth.subject()).or_default().push(id);
+            db.next = db.next.max(id.0 + 1);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EntryLimit;
+
+    const ALICE: SubjectId = SubjectId(0);
+    const BOB: SubjectId = SubjectId(1);
+    const CAIS: LocationId = LocationId(10);
+    const CHIPES: LocationId = LocationId(11);
+
+    fn auth(s: SubjectId, l: LocationId, a: u64, b: u64, n: u32) -> Authorization {
+        Authorization::new(
+            Interval::lit(a, b),
+            Interval::lit(a, b + 60),
+            s,
+            l,
+            EntryLimit::Finite(n),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_revoke_round_trip() {
+        let mut db = AuthorizationDb::new();
+        let a = auth(ALICE, CAIS, 10, 20, 2);
+        let id = db.insert(a);
+        assert_eq!(db.get(id), Some(&a));
+        assert_eq!(db.provenance(id), Some(Provenance::Explicit));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.revoke(id), Some(a));
+        assert!(db.is_empty());
+        assert_eq!(db.revoke(id), None);
+        assert_eq!(db.get(id), None);
+    }
+
+    #[test]
+    fn subject_location_index() {
+        let mut db = AuthorizationDb::new();
+        let id1 = db.insert(auth(ALICE, CAIS, 10, 20, 2));
+        let _id2 = db.insert(auth(BOB, CHIPES, 5, 35, 1));
+        let id3 = db.insert(auth(ALICE, CAIS, 50, 60, 1));
+        let ids: Vec<AuthId> = db
+            .for_subject_location(ALICE, CAIS)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(ids, vec![id1, id3]);
+        assert_eq!(db.for_subject_location(BOB, CAIS).count(), 0);
+        assert_eq!(db.for_subject(ALICE).count(), 2);
+    }
+
+    #[test]
+    fn per_location_grouping_for_algorithm1() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth(ALICE, CAIS, 10, 20, 2));
+        db.insert(auth(ALICE, CAIS, 30, 40, 1));
+        db.insert(auth(ALICE, CHIPES, 5, 35, 1));
+        let grouped = db.per_location_for_subject(ALICE);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[&CAIS].len(), 2);
+        assert_eq!(grouped[&CHIPES].len(), 1);
+    }
+
+    #[test]
+    fn time_indexed_queries() {
+        let mut db = AuthorizationDb::new();
+        let id1 = db.insert(auth(ALICE, CAIS, 10, 20, 2));
+        let id2 = db.insert(auth(BOB, CHIPES, 5, 35, 1));
+        let at15: Vec<AuthId> = db
+            .enterable_at(Time(15))
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert!(at15.contains(&id1) && at15.contains(&id2));
+        let at30: Vec<AuthId> = db
+            .enterable_at(Time(30))
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(at30, vec![id2]);
+        let span: Vec<AuthId> = db
+            .enterable_during(Interval::lit(21, 40))
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(span, vec![id2]);
+        db.revoke(id2);
+        assert!(db.enterable_at(Time(30)).is_empty());
+    }
+
+    #[test]
+    fn provenance_queries() {
+        let mut db = AuthorizationDb::new();
+        let base = db.insert(auth(ALICE, CAIS, 10, 20, 2));
+        let d1 = db.insert_with_provenance(
+            auth(BOB, CAIS, 10, 20, 2),
+            Provenance::Derived {
+                rule: RuleId(1),
+                base,
+            },
+        );
+        let d2 = db.insert_with_provenance(
+            auth(BOB, CHIPES, 10, 20, 2),
+            Provenance::Derived {
+                rule: RuleId(2),
+                base,
+            },
+        );
+        let mut derived = db.derived_from(base);
+        derived.sort_unstable();
+        assert_eq!(derived, vec![d1, d2]);
+        assert_eq!(db.derived_by_rule(RuleId(1)), vec![d1]);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut db = AuthorizationDb::new();
+        db.insert(auth(ALICE, CAIS, 10, 20, 2));
+        db.insert(auth(BOB, CHIPES, 5, 35, 1));
+        let rows = db.export();
+        let back = AuthorizationDb::import(rows);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.for_subject(ALICE).count(), 1);
+        assert_eq!(back.enterable_at(Time(30)).len(), 1);
+    }
+}

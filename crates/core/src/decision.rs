@@ -1,0 +1,332 @@
+//! Access requests and the authorization decision — Definitions 6 and 7.
+
+use crate::db::{AuthId, AuthorizationDb};
+use crate::ledger::UsageLedger;
+use crate::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An *access request* `(t, s, l)` — Definition 6: at time `t`, subject `s`
+/// requests access to location `l`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessRequest {
+    /// The time instant at which the request is made.
+    pub time: Time,
+    /// The requesting subject.
+    pub subject: SubjectId,
+    /// The primitive location requested.
+    pub location: LocationId,
+}
+
+impl fmt::Display for AccessRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.time, self.subject, self.location)
+    }
+}
+
+/// Why a request was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// No authorization exists for this `(subject, location)` pair — the §5
+    /// scenario's "there is no authorization specifies Bob's access to CAIS".
+    NoAuthorization,
+    /// Authorizations exist, but none admits entry at the request time.
+    OutsideEntryWindow,
+    /// An entry window admits the time, but every such authorization has
+    /// exhausted its entry count — "Bob has only one entry to CHIPES".
+    EntriesExhausted,
+    /// A prohibition blocks the subject from the location at this time,
+    /// overriding any grant.
+    Prohibited,
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenyReason::NoAuthorization => write!(f, "no authorization"),
+            DenyReason::OutsideEntryWindow => write!(f, "outside entry duration"),
+            DenyReason::EntriesExhausted => write!(f, "entry count exhausted"),
+            DenyReason::Prohibited => write!(f, "prohibited"),
+        }
+    }
+}
+
+/// Outcome of checking an access request against the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Definition 7 satisfied; `auth` is the authorization that granted it.
+    Granted {
+        /// The granting authorization (lowest id among admissible ones,
+        /// for determinism).
+        auth: AuthId,
+    },
+    /// No authorization satisfied Definition 7.
+    Denied {
+        /// The most specific failure among the candidates.
+        reason: DenyReason,
+    },
+}
+
+impl Decision {
+    /// True for grants.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, Decision::Granted { .. })
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Granted { auth } => write!(f, "granted by {auth}"),
+            Decision::Denied { reason } => write!(f, "denied: {reason}"),
+        }
+    }
+}
+
+/// Definition 7: an access request `(t, s, l)` is authorized iff some
+/// authorization for `(s, l)` has `tis ≤ t ≤ tie` and fewer than `n`
+/// recorded entries.
+///
+/// Deny reasons are ranked: if any window admits `t` but budgets are spent,
+/// the denial is [`DenyReason::EntriesExhausted`]; if windows exist but none
+/// admits `t`, [`DenyReason::OutsideEntryWindow`]; otherwise
+/// [`DenyReason::NoAuthorization`].
+pub fn check_access(
+    db: &AuthorizationDb,
+    ledger: &UsageLedger,
+    request: &AccessRequest,
+) -> Decision {
+    let mut saw_candidate = false;
+    let mut saw_window = false;
+    for (id, auth) in db.for_subject_location(request.subject, request.location) {
+        saw_candidate = true;
+        if auth.admits_entry_at(request.time) {
+            saw_window = true;
+            if ledger.admits(id, auth) {
+                return Decision::Granted { auth: id };
+            }
+        }
+    }
+    let reason = if saw_window {
+        DenyReason::EntriesExhausted
+    } else if saw_candidate {
+        DenyReason::OutsideEntryWindow
+    } else {
+        DenyReason::NoAuthorization
+    };
+    Decision::Denied { reason }
+}
+
+/// Definition 7 extended with denial-takes-precedence prohibitions: a
+/// blocked `(subject, location, time)` denies regardless of grants.
+pub fn check_access_restricted(
+    db: &AuthorizationDb,
+    prohibitions: &crate::prohibition::ProhibitionDb,
+    ledger: &UsageLedger,
+    request: &AccessRequest,
+) -> Decision {
+    if prohibitions.blocks(request.subject, request.location, request.time) {
+        return Decision::Denied {
+            reason: DenyReason::Prohibited,
+        };
+    }
+    check_access(db, ledger, request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Authorization, EntryLimit};
+    use ltam_time::Interval;
+
+    const ALICE: SubjectId = SubjectId(0);
+    const BOB: SubjectId = SubjectId(1);
+    const CAIS: LocationId = LocationId(10);
+    const CHIPES: LocationId = LocationId(11);
+
+    /// The §5 example database:
+    /// A1: ([10,20],[10,50],(Alice,CAIS),2)
+    /// A2: ([5,35],[20,100],(Bob,CHIPES),1)
+    fn section5_db() -> (AuthorizationDb, AuthId, AuthId) {
+        let mut db = AuthorizationDb::new();
+        let a1 = db.insert(
+            Authorization::new(
+                Interval::lit(10, 20),
+                Interval::lit(10, 50),
+                ALICE,
+                CAIS,
+                EntryLimit::Finite(2),
+            )
+            .unwrap(),
+        );
+        let a2 = db.insert(
+            Authorization::new(
+                Interval::lit(5, 35),
+                Interval::lit(20, 100),
+                BOB,
+                CHIPES,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        (db, a1, a2)
+    }
+
+    #[test]
+    fn section5_walkthrough() {
+        let (db, a1, a2) = section5_db();
+        let mut ledger = UsageLedger::new();
+
+        // t=10: (10, Alice, CAIS) granted according to A1.
+        let d = check_access(
+            &db,
+            &ledger,
+            &AccessRequest {
+                time: Time(10),
+                subject: ALICE,
+                location: CAIS,
+            },
+        );
+        assert_eq!(d, Decision::Granted { auth: a1 });
+
+        // t=15: (15, Bob, CAIS) not authorized — no authorization for Bob on
+        // CAIS.
+        let d = check_access(
+            &db,
+            &ledger,
+            &AccessRequest {
+                time: Time(15),
+                subject: BOB,
+                location: CAIS,
+            },
+        );
+        assert_eq!(
+            d,
+            Decision::Denied {
+                reason: DenyReason::NoAuthorization
+            }
+        );
+
+        // t=16: (15, Bob, CHIPES) authorized based on A2.
+        let d = check_access(
+            &db,
+            &ledger,
+            &AccessRequest {
+                time: Time(16),
+                subject: BOB,
+                location: CHIPES,
+            },
+        );
+        assert_eq!(d, Decision::Granted { auth: a2 });
+        ledger.record_entry(a2); // Bob enters; t=20 Bob leaves CHIPES.
+
+        // t=30: (30, Bob, CHIPES) not authorized — only one entry allowed.
+        let d = check_access(
+            &db,
+            &ledger,
+            &AccessRequest {
+                time: Time(30),
+                subject: BOB,
+                location: CHIPES,
+            },
+        );
+        assert_eq!(
+            d,
+            Decision::Denied {
+                reason: DenyReason::EntriesExhausted
+            }
+        );
+    }
+
+    #[test]
+    fn outside_window_denial() {
+        let (db, _, _) = section5_db();
+        let ledger = UsageLedger::new();
+        let d = check_access(
+            &db,
+            &ledger,
+            &AccessRequest {
+                time: Time(40),
+                subject: ALICE,
+                location: CAIS,
+            },
+        );
+        assert_eq!(
+            d,
+            Decision::Denied {
+                reason: DenyReason::OutsideEntryWindow
+            }
+        );
+    }
+
+    #[test]
+    fn grant_prefers_lowest_id_with_budget() {
+        let mut db = AuthorizationDb::new();
+        let first = db.insert(
+            Authorization::new(
+                Interval::lit(0, 100),
+                Interval::lit(0, 100),
+                ALICE,
+                CAIS,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        let second = db.insert(
+            Authorization::new(
+                Interval::lit(0, 100),
+                Interval::lit(0, 100),
+                ALICE,
+                CAIS,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        let mut ledger = UsageLedger::new();
+        let req = AccessRequest {
+            time: Time(5),
+            subject: ALICE,
+            location: CAIS,
+        };
+        assert_eq!(
+            check_access(&db, &ledger, &req),
+            Decision::Granted { auth: first }
+        );
+        ledger.record_entry(first);
+        // First is exhausted; the second takes over.
+        assert_eq!(
+            check_access(&db, &ledger, &req),
+            Decision::Granted { auth: second }
+        );
+        ledger.record_entry(second);
+        assert_eq!(
+            check_access(&db, &ledger, &req),
+            Decision::Denied {
+                reason: DenyReason::EntriesExhausted
+            }
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let req = AccessRequest {
+            time: Time(10),
+            subject: ALICE,
+            location: CAIS,
+        };
+        assert_eq!(req.to_string(), "(10, S0, L10)");
+        assert_eq!(
+            Decision::Granted { auth: AuthId(1) }.to_string(),
+            "granted by A1"
+        );
+        assert_eq!(
+            Decision::Denied {
+                reason: DenyReason::NoAuthorization
+            }
+            .to_string(),
+            "denied: no authorization"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Grant and departure durations, and authorized routes (§6).
+//!
+//! Given an access request duration `[tp, tq]` and an authorization
+//! `([tis,tie],[tos,toe],(s,l),n)`:
+//!
+//! * the **grant duration** is `[max(tp, tis), min(tq, tie)]` — when the
+//!   subject can actually enter `l` inside the request window;
+//! * the **departure duration** is `[max(tp, tos), toe]` — when the subject
+//!   can leave `l` after entering in that window (note: *not* clipped by
+//!   `tq`; the subject may stay past the request window).
+//!
+//! A route `⟨l₁,…,l_k⟩` is authorized when each hop's grant/departure chain
+//! is non-null: `l₁` within `[tp,tq]`, each subsequent `lᵢ` within the
+//! departure duration of `lᵢ₋₁`, with `l_k` needing only a grant.
+//! With several authorizations per location the durations generalize to
+//! interval *sets*, exactly as Algorithm 1's `T^g`/`T^d`.
+
+use crate::model::Authorization;
+use ltam_graph::LocationId;
+use ltam_time::{Interval, IntervalSet};
+use serde::{Deserialize, Serialize};
+
+/// `[max(tp, tis), min(tq, tie)]`, or `None` if empty.
+pub fn grant_duration(auth: &Authorization, window: Interval) -> Option<Interval> {
+    auth.entry_window().intersect(window)
+}
+
+/// `[max(tp, tos), toe]`, or `None` if empty.
+pub fn departure_duration(auth: &Authorization, window: Interval) -> Option<Interval> {
+    auth.exit_window().clamp_start(window.start())
+}
+
+/// Set-valued grant duration across several authorizations and windows.
+pub fn grant_set(auths: &[Authorization], windows: &IntervalSet) -> IntervalSet {
+    let mut out = IntervalSet::empty();
+    for w in windows.iter() {
+        for a in auths {
+            if let Some(g) = grant_duration(a, w) {
+                out.insert(g);
+            }
+        }
+    }
+    out
+}
+
+/// Set-valued departure duration across several authorizations and windows.
+///
+/// Mirrors Algorithm 1 line 24: the departure is accumulated only for
+/// authorizations whose grant in the window is non-null (an authorization
+/// one cannot enter under contributes no exit).
+pub fn departure_set(auths: &[Authorization], windows: &IntervalSet) -> IntervalSet {
+    let mut out = IntervalSet::empty();
+    for w in windows.iter() {
+        for a in auths {
+            if grant_duration(a, w).is_some() {
+                if let Some(d) = departure_duration(a, w) {
+                    out.insert(d);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of a route authorization check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteAuthorization {
+    /// Grant duration of the route: when the subject can enter `l₁`.
+    pub grant: IntervalSet,
+    /// Departure duration of the route: when the subject can leave `l_k`.
+    pub departure: IntervalSet,
+    /// Per-hop grant durations, for diagnostics.
+    pub hop_grants: Vec<IntervalSet>,
+}
+
+/// Why a route is not authorized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteDenial {
+    /// The grant duration of hop `index` is null.
+    NoGrant {
+        /// Position in the route (0-based).
+        index: usize,
+        /// The location at that position.
+        location: LocationId,
+    },
+    /// The departure duration of non-final hop `index` is null: the subject
+    /// could enter but never leave in time to continue.
+    NoDeparture {
+        /// Position in the route (0-based).
+        index: usize,
+        /// The location at that position.
+        location: LocationId,
+    },
+}
+
+/// Check the §6 route-authorization chain for a subject's authorizations.
+///
+/// `auths_of` supplies the subject's authorizations per location (empty
+/// slice for locations the subject holds none on). `window` is the access
+/// request duration `[tp, tq]`.
+pub fn authorize_route<'a>(
+    route: &[LocationId],
+    window: Interval,
+    mut auths_of: impl FnMut(LocationId) -> &'a [Authorization],
+) -> Result<RouteAuthorization, RouteDenial> {
+    assert!(!route.is_empty(), "routes are non-empty");
+    let mut hop_grants = Vec::with_capacity(route.len());
+    let mut windows = IntervalSet::of(window);
+    let mut route_grant = IntervalSet::empty();
+    let last = route.len() - 1;
+    let mut departure = IntervalSet::empty();
+    for (i, &loc) in route.iter().enumerate() {
+        let auths = auths_of(loc);
+        let grant = grant_set(auths, &windows);
+        if grant.is_empty() {
+            return Err(RouteDenial::NoGrant {
+                index: i,
+                location: loc,
+            });
+        }
+        if i == 0 {
+            route_grant = grant.clone();
+        }
+        hop_grants.push(grant);
+        departure = departure_set(auths, &windows);
+        if i < last && departure.is_empty() {
+            return Err(RouteDenial::NoDeparture {
+                index: i,
+                location: loc,
+            });
+        }
+        windows = departure.clone();
+    }
+    Ok(RouteAuthorization {
+        grant: route_grant,
+        departure,
+        hop_grants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EntryLimit;
+    use crate::subject::SubjectId;
+    use std::collections::BTreeMap;
+
+    const S: SubjectId = SubjectId(0);
+
+    fn auth(l: u32, entry: (u64, u64), exit: (u64, u64)) -> Authorization {
+        Authorization::new(
+            Interval::lit(entry.0, entry.1),
+            Interval::lit(exit.0, exit.1),
+            S,
+            LocationId(l),
+            EntryLimit::Finite(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grant_and_departure_match_table2_update_b() {
+        // B's authorization ([40,60],[55,80]) under window [20,50]:
+        // grant [max(20,40),min(50,60)] = [40,50];
+        // departure [max(20,55),80] = [55,80].
+        let b = auth(1, (40, 60), (55, 80));
+        let w = Interval::lit(20, 50);
+        assert_eq!(grant_duration(&b, w), Some(Interval::lit(40, 50)));
+        assert_eq!(departure_duration(&b, w), Some(Interval::lit(55, 80)));
+    }
+
+    #[test]
+    fn grant_and_departure_match_table2_update_d() {
+        // D's authorization ([5,25],[10,30]) under window [20,50]:
+        // grant [20,25]; departure [20,30].
+        let d = auth(3, (5, 25), (10, 30));
+        let w = Interval::lit(20, 50);
+        assert_eq!(grant_duration(&d, w), Some(Interval::lit(20, 25)));
+        assert_eq!(departure_duration(&d, w), Some(Interval::lit(20, 30)));
+    }
+
+    #[test]
+    fn departure_not_clipped_by_window_end() {
+        let a = auth(0, (0, 10), (5, 100));
+        let w = Interval::lit(0, 10);
+        assert_eq!(departure_duration(&a, w), Some(Interval::lit(5, 100)));
+    }
+
+    #[test]
+    fn null_durations() {
+        let a = auth(0, (40, 60), (55, 80));
+        assert_eq!(grant_duration(&a, Interval::lit(0, 30)), None);
+        assert_eq!(departure_duration(&a, Interval::lit(90, 99)), None);
+    }
+
+    #[test]
+    fn grant_set_unions_across_auths() {
+        let auths = vec![auth(0, (0, 10), (0, 10)), auth(0, (20, 30), (20, 30))];
+        let g = grant_set(&auths, &IntervalSet::of(Interval::lit(5, 25)));
+        let expect: IntervalSet = [Interval::lit(5, 10), Interval::lit(20, 25)]
+            .into_iter()
+            .collect();
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn departure_set_requires_enterable_auth() {
+        // Window [50,60] cannot enter this auth (entry [0,10]); its exit
+        // window [5,100] must not leak into the departure set.
+        let auths = vec![auth(0, (0, 10), (5, 100))];
+        let d = departure_set(&auths, &IntervalSet::of(Interval::lit(50, 60)));
+        assert!(d.is_empty());
+    }
+
+    fn route_ctx() -> BTreeMap<LocationId, Vec<Authorization>> {
+        // Fig. 4 / Table 1: A=(L0), B=(L1), C=(L2), D=(L3).
+        let mut m = BTreeMap::new();
+        m.insert(LocationId(0), vec![auth(0, (2, 35), (20, 50))]);
+        m.insert(LocationId(1), vec![auth(1, (40, 60), (55, 80))]);
+        m.insert(LocationId(2), vec![auth(2, (38, 45), (70, 90))]);
+        m.insert(LocationId(3), vec![auth(3, (5, 25), (10, 30))]);
+        m
+    }
+
+    fn auths_of<'a>(
+        m: &'a BTreeMap<LocationId, Vec<Authorization>>,
+    ) -> impl FnMut(LocationId) -> &'a [Authorization] + 'a {
+        move |l| m.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    #[test]
+    fn route_a_b_is_authorized() {
+        let m = route_ctx();
+        let r =
+            authorize_route(&[LocationId(0), LocationId(1)], Interval::ALL, auths_of(&m)).unwrap();
+        assert_eq!(r.grant, IntervalSet::of(Interval::lit(2, 35)));
+        // Enter A in [2,35], leave in [20,50]; enter B in [40,50], leave B
+        // in [55,80].
+        assert_eq!(r.departure, IntervalSet::of(Interval::lit(55, 80)));
+        assert_eq!(r.hop_grants[1], IntervalSet::of(Interval::lit(40, 50)));
+    }
+
+    #[test]
+    fn route_a_b_c_has_no_grant_at_c() {
+        // From B's departure [55,80], C's entry [38,45] yields null.
+        let m = route_ctx();
+        let err = authorize_route(
+            &[LocationId(0), LocationId(1), LocationId(2)],
+            Interval::ALL,
+            auths_of(&m),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RouteDenial::NoGrant {
+                index: 2,
+                location: LocationId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn route_a_d_c_has_no_grant_at_c() {
+        // From D's departure [20,30], C's entry [38,45] yields null:
+        // C is inaccessible (Table 2's conclusion).
+        let m = route_ctx();
+        let err = authorize_route(
+            &[LocationId(0), LocationId(3), LocationId(2)],
+            Interval::ALL,
+            auths_of(&m),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RouteDenial::NoGrant {
+                index: 2,
+                location: LocationId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn grant_implies_departure_under_definition4() {
+        // Definition 4's constraints (tos ≥ tis, toe ≥ tie) guarantee that an
+        // enterable authorization is leavable: toe ≥ tie ≥ any admissible
+        // entry time, so RouteDenial::NoDeparture cannot fire for validated
+        // authorizations. Exercise the boundary case tie == toe == tq.
+        let mut m = BTreeMap::new();
+        m.insert(LocationId(0), vec![auth(0, (10, 95), (95, 95))]);
+        m.insert(LocationId(1), vec![auth(1, (0, 100), (0, 100))]);
+        let r = authorize_route(
+            &[LocationId(0), LocationId(1)],
+            Interval::lit(95, 99),
+            auths_of(&m),
+        )
+        .unwrap();
+        assert_eq!(r.grant, IntervalSet::of(Interval::point(95u64)));
+        assert_eq!(r.departure, IntervalSet::of(Interval::lit(95, 100)));
+    }
+
+    #[test]
+    fn unknown_location_has_no_grant() {
+        let m = route_ctx();
+        let err = authorize_route(&[LocationId(99)], Interval::ALL, auths_of(&m)).unwrap_err();
+        assert_eq!(
+            err,
+            RouteDenial::NoGrant {
+                index: 0,
+                location: LocationId(99)
+            }
+        );
+    }
+}

@@ -1,0 +1,601 @@
+//! Finding inaccessible locations — §6, Definitions 8–9, Algorithm 1.
+//!
+//! Algorithm 1 associates with each location `l` an *overall grant time*
+//! `T^g` and an *overall departure time* `T^d` (interval sets). Entry
+//! locations are seeded from their own authorizations; every other location
+//! receives windows propagated from its neighbors' departure times, until a
+//! fixpoint. Locations whose `T^g` is still null are inaccessible.
+//!
+//! The fixpoint is order-independent; to regenerate Table 2 *row-for-row*
+//! the worklist processes each round's flagged locations with non-entry
+//! locations first (id order within each class), which reproduces the
+//! paper's `Update B, Update D, Update C, Update A` sequence. An optional
+//! [`Trace`] captures the per-step snapshots the table prints.
+//!
+//! [`find_inaccessible_naive`] is the §6 definition applied directly:
+//! enumerate candidate routes from every entry and check the
+//! grant/departure chain of each. It is exponential and considers only
+//! simple (cycle-free) routes, whereas the fixpoint propagates windows
+//! along arbitrary walks (Table 2's final `Update A` *is* the walk
+//! `A → D → A`); it therefore under-approximates accessibility in rare
+//! window configurations, and serves as (a) the ablation baseline and
+//! (b) a one-directional differential-testing oracle.
+
+use crate::duration::{departure_set, grant_set};
+use crate::model::Authorization;
+use ltam_graph::{route, EffectiveGraph, LocationId, LocationModel};
+use ltam_time::{Interval, IntervalSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-location authorizations of one subject, as Algorithm 1 consumes them
+/// (see [`crate::db::AuthorizationDb::per_location_for_subject`]).
+pub type AuthsByLocation = BTreeMap<LocationId, Vec<Authorization>>;
+
+/// Snapshot of one location's algorithm state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocationState {
+    /// The location.
+    pub location: LocationId,
+    /// The boolean re-examination flag.
+    pub flag: bool,
+    /// Overall grant time `T^g`.
+    pub grant: IntervalSet,
+    /// Overall departure time `T^d`.
+    pub departure: IntervalSet,
+}
+
+/// One row of the Table 2 trace: a labelled full-state snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// `Initiation` or `Update <location>`.
+    pub label: String,
+    /// State of every location after this step, in id order.
+    pub states: Vec<LocationState>,
+}
+
+/// The full execution trace (Table 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Rows in execution order.
+    pub rows: Vec<TraceRow>,
+}
+
+/// Result of the inaccessible-location analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InaccessibleReport {
+    /// Locations with null overall grant time, in id order (Definition 9's
+    /// answer set).
+    pub inaccessible: Vec<LocationId>,
+    /// Final `T^g` per location.
+    pub grant_times: BTreeMap<LocationId, IntervalSet>,
+    /// Final `T^d` per location.
+    pub departure_times: BTreeMap<LocationId, IntervalSet>,
+    /// Number of worklist rounds until fixpoint.
+    pub rounds: usize,
+    /// Number of per-location updates performed.
+    pub updates: usize,
+}
+
+impl InaccessibleReport {
+    /// True if `l` ended with a null grant time.
+    pub fn is_inaccessible(&self, l: LocationId) -> bool {
+        self.inaccessible.binary_search(&l).is_ok()
+    }
+}
+
+struct State {
+    grant: BTreeMap<LocationId, IntervalSet>,
+    departure: BTreeMap<LocationId, IntervalSet>,
+    flag: BTreeMap<LocationId, bool>,
+}
+
+impl State {
+    fn snapshot(&self, label: &str) -> TraceRow {
+        TraceRow {
+            label: label.to_string(),
+            states: self
+                .grant
+                .keys()
+                .map(|&l| LocationState {
+                    location: l,
+                    flag: self.flag[&l],
+                    grant: self.grant[&l].clone(),
+                    departure: self.departure[&l].clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Algorithm 1 without trace capture.
+pub fn find_inaccessible(graph: &EffectiveGraph, auths: &AuthsByLocation) -> InaccessibleReport {
+    run(graph, auths, None)
+}
+
+/// Algorithm 1 with a full Table 2 trace.
+pub fn find_inaccessible_traced(
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+) -> (InaccessibleReport, Trace) {
+    let mut trace = Trace::default();
+    let report = run(graph, auths, Some(&mut trace));
+    (report, trace)
+}
+
+fn run(
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+    mut trace: Option<&mut Trace>,
+) -> InaccessibleReport {
+    const EMPTY: &[Authorization] = &[];
+    let auths_of =
+        |l: LocationId| -> &[Authorization] { auths.get(&l).map(Vec::as_slice).unwrap_or(EMPTY) };
+
+    // Line 1: initialise T^g, T^d to null and flags to false.
+    let mut st = State {
+        grant: graph
+            .locations()
+            .map(|l| (l, IntervalSet::empty()))
+            .collect(),
+        departure: graph
+            .locations()
+            .map(|l| (l, IntervalSet::empty()))
+            .collect(),
+        flag: graph.locations().map(|l| (l, false)).collect(),
+    };
+    if let Some(t) = trace.as_deref_mut() {
+        t.rows.push(st.snapshot("Initiation"));
+    }
+
+    let mut updates = 0usize;
+    // Lines 2–13: seed entry locations from their own authorizations under
+    // the full access request duration [0, ∞).
+    let entries: Vec<LocationId> = graph.global_entries().to_vec();
+    for &le in &entries {
+        for a in auths_of(le) {
+            st.grant
+                .get_mut(&le)
+                .expect("entry in graph")
+                .insert(a.entry_window());
+            st.departure
+                .get_mut(&le)
+                .expect("entry in graph")
+                .insert(a.exit_window());
+        }
+        if !st.departure[&le].is_empty() {
+            for &nb in graph.neighbors(le) {
+                *st.flag.get_mut(&nb).expect("neighbor in graph") = true;
+            }
+        }
+        updates += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.rows.push(st.snapshot(&format!("Update {le}")));
+        }
+    }
+
+    // Lines 14–34: propagate to a fixpoint. Rounds snapshot the flagged
+    // set; within a round, non-entry locations go first (Table 2 order).
+    let is_entry = |l: LocationId| entries.contains(&l);
+    let mut rounds = 0usize;
+    loop {
+        let mut round: Vec<LocationId> = st
+            .flag
+            .iter()
+            .filter(|&(_, &f)| f)
+            .map(|(&l, _)| l)
+            .collect();
+        if round.is_empty() {
+            break;
+        }
+        rounds += 1;
+        round.sort_by_key(|&l| (is_entry(l), l));
+        for l in round {
+            *st.flag.get_mut(&l).expect("flagged location in graph") = false;
+            let old_departure = st.departure[&l].clone();
+            // Line 18: T := union of the departure times of all neighbors.
+            let mut windows = IntervalSet::empty();
+            for &nb in graph.neighbors(l) {
+                windows.union_in_place(&st.departure[&nb]);
+            }
+            // Lines 19–27: accumulate grant and departure durations.
+            let local = auths_of(l);
+            let new_grant = grant_set(local, &windows);
+            let new_departure = departure_set(local, &windows);
+            st.grant
+                .get_mut(&l)
+                .expect("location in graph")
+                .union_in_place(&new_grant);
+            st.departure
+                .get_mut(&l)
+                .expect("location in graph")
+                .union_in_place(&new_departure);
+            // Lines 28–32: re-flag neighbors if T^d changed.
+            if st.departure[&l] != old_departure {
+                for &nb in graph.neighbors(l) {
+                    *st.flag.get_mut(&nb).expect("neighbor in graph") = true;
+                }
+            }
+            updates += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.rows.push(st.snapshot(&format!("Update {l}")));
+            }
+        }
+    }
+
+    // Line 35: the locations with null T^g.
+    let inaccessible: Vec<LocationId> = st
+        .grant
+        .iter()
+        .filter(|(_, g)| g.is_empty())
+        .map(|(&l, _)| l)
+        .collect();
+    InaccessibleReport {
+        inaccessible,
+        grant_times: st.grant,
+        departure_times: st.departure,
+        rounds,
+        updates,
+    }
+}
+
+/// The naive §6 baseline: a location is accessible iff some bounded simple
+/// route from some entry location is authorized under `[0, ∞)`.
+///
+/// `max_len`/`max_routes` bound the enumeration per (entry, target) pair;
+/// pass `graph.len()` and a generous route budget for exact simple-route
+/// semantics on small graphs.
+pub fn find_inaccessible_naive(
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+    max_len: usize,
+    max_routes: usize,
+) -> Vec<LocationId> {
+    const EMPTY: &[Authorization] = &[];
+    let mut inaccessible = Vec::new();
+    for target in graph.locations() {
+        let mut reachable = false;
+        'entries: for &e in graph.global_entries() {
+            for r in route::all_routes(graph, e, target, max_len, max_routes) {
+                let ok = crate::duration::authorize_route(r.locations(), Interval::ALL, |l| {
+                    auths.get(&l).map(Vec::as_slice).unwrap_or(EMPTY)
+                });
+                if ok.is_ok() {
+                    reachable = true;
+                    break 'entries;
+                }
+            }
+        }
+        if !reachable {
+            inaccessible.push(target);
+        }
+    }
+    inaccessible
+}
+
+/// Per-composite local analysis (Lemma 1).
+///
+/// For every composite location, runs Algorithm 1 on the composite's
+/// restricted graph with its own entry primitives as entries. Lemma 1:
+/// any location inaccessible *locally* is inaccessible from every entry of
+/// the containing multilevel graph, so these sets soundly under-approximate
+/// the global result and can prune work.
+pub fn locally_inaccessible(
+    model: &LocationModel,
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+) -> BTreeMap<LocationId, Vec<LocationId>> {
+    let mut out = BTreeMap::new();
+    for c in model.ids() {
+        if model.kind(c) != ltam_graph::LocationKind::Composite || c == model.root() {
+            continue;
+        }
+        let local = graph.restrict_to(model, c);
+        let report = find_inaccessible(&local, auths);
+        out.insert(c, report.inaccessible);
+    }
+    out
+}
+
+/// Result of the multilevel analysis: inaccessible primitives plus the
+/// composites that are entirely inaccessible (Definition 8 covers composite
+/// locations too).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultilevelReport {
+    /// Inaccessible primitive locations.
+    pub primitives: Vec<LocationId>,
+    /// Composites all of whose primitives are inaccessible.
+    pub composites: Vec<LocationId>,
+}
+
+/// Run the exact flat analysis, then roll results up the hierarchy.
+pub fn find_inaccessible_multilevel(
+    model: &LocationModel,
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+) -> MultilevelReport {
+    let report = find_inaccessible(graph, auths);
+    let mut composites = Vec::new();
+    for c in model.ids() {
+        if model.kind(c) != ltam_graph::LocationKind::Composite || c == model.root() {
+            continue;
+        }
+        let members = model.primitives_under(c);
+        if !members.is_empty() && members.iter().all(|&p| report.is_inaccessible(p)) {
+            composites.push(c);
+        }
+    }
+    MultilevelReport {
+        primitives: report.inaccessible,
+        composites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EntryLimit;
+    use crate::subject::SubjectId;
+    use ltam_graph::examples::fig4_cycle;
+
+    const ALICE: SubjectId = SubjectId(0);
+
+    fn auth(l: LocationId, entry: (u64, u64), exit: (u64, u64)) -> Authorization {
+        Authorization::new(
+            Interval::lit(entry.0, entry.1),
+            Interval::lit(exit.0, exit.1),
+            ALICE,
+            l,
+            EntryLimit::Finite(1),
+        )
+        .unwrap()
+    }
+
+    /// Table 1's authorization set on the Fig. 4 graph.
+    fn table1(f: &ltam_graph::examples::Fig4) -> AuthsByLocation {
+        let mut m = AuthsByLocation::new();
+        m.insert(f.a, vec![auth(f.a, (2, 35), (20, 50))]);
+        m.insert(f.b, vec![auth(f.b, (40, 60), (55, 80))]);
+        m.insert(f.c, vec![auth(f.c, (38, 45), (70, 90))]);
+        m.insert(f.d, vec![auth(f.d, (5, 25), (10, 30))]);
+        m
+    }
+
+    #[test]
+    fn table2_final_state_and_result() {
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let auths = table1(&f);
+        let report = find_inaccessible(&g, &auths);
+        // Result: C is the only inaccessible location.
+        assert_eq!(report.inaccessible, vec![f.c]);
+        // Final durations match Table 2's last row.
+        assert_eq!(
+            report.grant_times[&f.a],
+            IntervalSet::of(Interval::lit(2, 35))
+        );
+        assert_eq!(
+            report.departure_times[&f.a],
+            IntervalSet::of(Interval::lit(20, 50))
+        );
+        assert_eq!(
+            report.grant_times[&f.b],
+            IntervalSet::of(Interval::lit(40, 50))
+        );
+        assert_eq!(
+            report.departure_times[&f.b],
+            IntervalSet::of(Interval::lit(55, 80))
+        );
+        assert!(report.grant_times[&f.c].is_empty());
+        assert!(report.departure_times[&f.c].is_empty());
+        assert_eq!(
+            report.grant_times[&f.d],
+            IntervalSet::of(Interval::lit(20, 25))
+        );
+        assert_eq!(
+            report.departure_times[&f.d],
+            IntervalSet::of(Interval::lit(20, 30))
+        );
+    }
+
+    #[test]
+    fn table2_trace_row_sequence() {
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let (_, trace) = find_inaccessible_traced(&g, &table1(&f));
+        let labels: Vec<&str> = trace.rows.iter().map(|r| r.label.as_str()).collect();
+        // Initiation, Update A (entry seeding), Update B, Update D,
+        // Update C, Update A — exactly Table 2.
+        assert_eq!(
+            labels,
+            vec![
+                "Initiation",
+                &format!("Update {}", f.a),
+                &format!("Update {}", f.b),
+                &format!("Update {}", f.d),
+                &format!("Update {}", f.c),
+                &format!("Update {}", f.a),
+            ]
+        );
+        // Row "Update A" (seed): T^g_A=[2,35], T^d_A=[20,50], B/D flagged.
+        let seed = &trace.rows[1];
+        let state = |row: &TraceRow, l: LocationId| -> LocationState {
+            row.states.iter().find(|s| s.location == l).unwrap().clone()
+        };
+        assert_eq!(
+            state(seed, f.a).grant,
+            IntervalSet::of(Interval::lit(2, 35))
+        );
+        assert!(state(seed, f.b).flag);
+        assert!(state(seed, f.d).flag);
+        assert!(!state(seed, f.c).flag);
+        // Row "Update B": T^g_B=[40,50], T^d_B=[55,80]; A, C flagged.
+        let rb = &trace.rows[2];
+        assert_eq!(state(rb, f.b).grant, IntervalSet::of(Interval::lit(40, 50)));
+        assert_eq!(
+            state(rb, f.b).departure,
+            IntervalSet::of(Interval::lit(55, 80))
+        );
+        assert!(state(rb, f.a).flag);
+        assert!(state(rb, f.c).flag);
+        // Row "Update D": T^g_D=[20,25], T^d_D=[20,30].
+        let rd = &trace.rows[3];
+        assert_eq!(state(rd, f.d).grant, IntervalSet::of(Interval::lit(20, 25)));
+        assert_eq!(
+            state(rd, f.d).departure,
+            IntervalSet::of(Interval::lit(20, 30))
+        );
+        // Row "Update C": both null, flag cleared.
+        let rc = &trace.rows[4];
+        assert!(state(rc, f.c).grant.is_empty());
+        assert!(state(rc, f.c).departure.is_empty());
+        assert!(!state(rc, f.c).flag);
+        assert!(state(rc, f.a).flag);
+        // Final row "Update A": unchanged unions, all flags false.
+        let ra = &trace.rows[5];
+        assert_eq!(state(ra, f.a).grant, IntervalSet::of(Interval::lit(2, 35)));
+        assert_eq!(
+            state(ra, f.a).departure,
+            IntervalSet::of(Interval::lit(20, 50))
+        );
+        assert!(ra.states.iter().all(|s| !s.flag));
+    }
+
+    #[test]
+    fn unconstrained_windows_reduce_to_reachability() {
+        // With all-open windows everywhere, inaccessible == unreachable.
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let mut auths = AuthsByLocation::new();
+        for l in [f.a, f.b, f.c, f.d] {
+            auths.insert(
+                l,
+                vec![Authorization::new(
+                    Interval::ALL,
+                    Interval::ALL,
+                    ALICE,
+                    l,
+                    EntryLimit::Unbounded,
+                )
+                .unwrap()],
+            );
+        }
+        let report = find_inaccessible(&g, &auths);
+        assert!(report.inaccessible.is_empty());
+    }
+
+    #[test]
+    fn missing_authorizations_make_everything_downstream_inaccessible() {
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let mut auths = table1(&f);
+        auths.remove(&f.a); // entry has no authorization at all
+        let report = find_inaccessible(&g, &auths);
+        assert_eq!(report.inaccessible, vec![f.a, f.b, f.c, f.d]);
+    }
+
+    #[test]
+    fn naive_agrees_on_table1() {
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let auths = table1(&f);
+        let naive = find_inaccessible_naive(&g, &auths, g.len(), 10_000);
+        assert_eq!(naive, vec![f.c]);
+    }
+
+    #[test]
+    fn naive_is_conservative_wrt_fixpoint() {
+        // Every location the fixpoint marks inaccessible must also be
+        // unreachable by any simple route (fixpoint ⊇ simple routes).
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let auths = table1(&f);
+        let fix = find_inaccessible(&g, &auths);
+        let naive = find_inaccessible_naive(&g, &auths, g.len(), 10_000);
+        for l in &fix.inaccessible {
+            assert!(naive.contains(l));
+        }
+    }
+
+    #[test]
+    fn lemma1_local_results_are_globally_inaccessible() {
+        // Campus with a building whose interior is locked down.
+        let mut m = LocationModel::new("W");
+        let b = m.add_composite(m.root(), "B").unwrap();
+        let lobby = m.add_primitive(b, "lobby").unwrap();
+        let vault = m.add_primitive(b, "vault").unwrap();
+        m.add_edge(lobby, vault).unwrap();
+        m.set_entry(lobby).unwrap();
+        m.set_entry(b).unwrap();
+        let gate = m.add_primitive(m.root(), "gate").unwrap();
+        m.add_edge(b, gate).unwrap();
+        m.set_entry(gate).unwrap();
+        m.validate().unwrap();
+        let g = EffectiveGraph::build(&m);
+
+        let mut auths = AuthsByLocation::new();
+        for l in [gate, lobby] {
+            auths.insert(
+                l,
+                vec![Authorization::new(
+                    Interval::ALL,
+                    Interval::ALL,
+                    ALICE,
+                    l,
+                    EntryLimit::Unbounded,
+                )
+                .unwrap()],
+            );
+        }
+        // No authorization on the vault at all.
+        let local = locally_inaccessible(&m, &g, &auths);
+        assert_eq!(local[&b], vec![vault]);
+        let global = find_inaccessible(&g, &auths);
+        for locs in local.values() {
+            for l in locs {
+                assert!(global.is_inaccessible(*l), "Lemma 1 violated for {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_rolls_up_composites() {
+        let mut m = LocationModel::new("W");
+        let b = m.add_composite(m.root(), "B").unwrap();
+        let lobby = m.add_primitive(b, "lobby").unwrap();
+        let vault = m.add_primitive(b, "vault").unwrap();
+        m.add_edge(lobby, vault).unwrap();
+        m.set_entry(lobby).unwrap();
+        m.set_entry(b).unwrap();
+        let gate = m.add_primitive(m.root(), "gate").unwrap();
+        m.add_edge(b, gate).unwrap();
+        m.set_entry(gate).unwrap();
+        let g = EffectiveGraph::build(&m);
+        // Only the gate is authorized: the whole building B is inaccessible.
+        let mut auths = AuthsByLocation::new();
+        auths.insert(
+            gate,
+            vec![Authorization::new(
+                Interval::ALL,
+                Interval::ALL,
+                ALICE,
+                gate,
+                EntryLimit::Unbounded,
+            )
+            .unwrap()],
+        );
+        let report = find_inaccessible_multilevel(&m, &g, &auths);
+        assert_eq!(report.primitives, vec![lobby, vault]);
+        assert_eq!(report.composites, vec![b]);
+    }
+
+    #[test]
+    fn report_counters_are_populated() {
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let report = find_inaccessible(&g, &table1(&f));
+        assert!(report.rounds >= 2);
+        // 1 entry seed + at least B, D, C, A updates.
+        assert!(report.updates >= 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Entry-count accounting for Definition 7.
+//!
+//! An access request is authorized only if the subject "has entered `l`
+//! during `[tis, tie]` for less than `n` times". The ledger counts entries
+//! per authorization; the enforcement engine records one entry whenever a
+//! grant is actually used to enter a location.
+
+use crate::db::AuthId;
+use crate::model::Authorization;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-authorization entry counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UsageLedger {
+    counts: HashMap<AuthId, u32>,
+}
+
+impl UsageLedger {
+    /// A ledger with no recorded entries.
+    pub fn new() -> UsageLedger {
+        UsageLedger::default()
+    }
+
+    /// Entries recorded against `id`.
+    pub fn used(&self, id: AuthId) -> u32 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Record one entry against `id`; returns the new count.
+    pub fn record_entry(&mut self, id: AuthId) -> u32 {
+        let c = self.counts.entry(id).or_insert(0);
+        *c = c.saturating_add(1);
+        *c
+    }
+
+    /// True if `auth`'s limit still admits another entry under this ledger.
+    pub fn admits(&self, id: AuthId, auth: &Authorization) -> bool {
+        auth.limit().admits(self.used(id))
+    }
+
+    /// Remaining entries for `auth`, `None` if unbounded.
+    pub fn remaining(&self, id: AuthId, auth: &Authorization) -> Option<u32> {
+        match auth.limit() {
+            crate::model::EntryLimit::Finite(n) => Some(n.saturating_sub(self.used(id))),
+            crate::model::EntryLimit::Unbounded => None,
+        }
+    }
+
+    /// Forget counters for a revoked authorization.
+    pub fn clear(&mut self, id: AuthId) {
+        self.counts.remove(&id);
+    }
+
+    /// Total entries recorded across all authorizations.
+    pub fn total_entries(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EntryLimit;
+    use crate::subject::SubjectId;
+    use ltam_graph::LocationId;
+    use ltam_time::Interval;
+
+    fn one_shot() -> Authorization {
+        Authorization::new(
+            Interval::lit(5, 35),
+            Interval::lit(20, 100),
+            SubjectId(1),
+            LocationId(2),
+            EntryLimit::Finite(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counting_and_admission() {
+        // §5 scenario: Bob has one entry to CHIPES; after using it, a second
+        // request is not authorized.
+        let mut ledger = UsageLedger::new();
+        let id = AuthId(0);
+        let auth = one_shot();
+        assert!(ledger.admits(id, &auth));
+        assert_eq!(ledger.remaining(id, &auth), Some(1));
+        assert_eq!(ledger.record_entry(id), 1);
+        assert!(!ledger.admits(id, &auth));
+        assert_eq!(ledger.remaining(id, &auth), Some(0));
+        assert_eq!(ledger.used(id), 1);
+    }
+
+    #[test]
+    fn unbounded_never_exhausts() {
+        let auth = Authorization::new(
+            Interval::lit(0, 10),
+            Interval::lit(0, 10),
+            SubjectId(1),
+            LocationId(2),
+            EntryLimit::Unbounded,
+        )
+        .unwrap();
+        let mut ledger = UsageLedger::new();
+        for _ in 0..100 {
+            ledger.record_entry(AuthId(3));
+        }
+        assert!(ledger.admits(AuthId(3), &auth));
+        assert_eq!(ledger.remaining(AuthId(3), &auth), None);
+        assert_eq!(ledger.total_entries(), 100);
+    }
+
+    #[test]
+    fn clear_resets_counter() {
+        let mut ledger = UsageLedger::new();
+        ledger.record_entry(AuthId(9));
+        ledger.clear(AuthId(9));
+        assert_eq!(ledger.used(AuthId(9)), 0);
+    }
+}

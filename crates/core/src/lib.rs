@@ -1,0 +1,92 @@
+//! # ltam-core — the Location-Temporal Authorization Model
+//!
+//! Implementation of LTAM (Yu & Lim, *LTAM: A Location-Temporal
+//! Authorization Model*, Secure Data Management / VLDB 2004 Workshop):
+//! an access-control model in which the protected objects are *physical
+//! locations* arranged in a multilevel location graph, and authorizations
+//! constrain *when* a subject may enter and leave each location and *how
+//! many times*.
+//!
+//! The crate provides, module by module:
+//!
+//! * [`subject`] — subject identifiers and name interning,
+//! * [`model`] — location authorizations (Definition 3) and
+//!   location-temporal authorizations (Definition 4),
+//! * [`db`] — the authorization database with subject/location and
+//!   interval indexes, plus rule provenance,
+//! * [`ledger`] — entry-count accounting,
+//! * [`decision`] — access requests and the Definition 7 decision,
+//! * [`duration`] — grant/departure durations and authorized routes (§6),
+//! * [`inaccessible`] — Algorithm 1 (FindInaccessible) with Table 2 trace
+//!   capture, the naive baseline, and the multilevel (Lemma 1) analysis,
+//! * [`rules`] — authorization rules (§4, Definition 5) and the derivation
+//!   engine,
+//! * [`conflict`] — conflict detection and resolution (the paper's declared
+//!   future work),
+//! * [`tam`] — a minimal TAM-style temporal-only baseline (§2).
+//!
+//! Location structure comes from [`ltam_graph`], the time substrate from
+//! [`ltam_time`]. Enforcement (movement monitoring, violations, queries)
+//! lives in the `ltam-engine` crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ltam_core::db::AuthorizationDb;
+//! use ltam_core::decision::{check_access, AccessRequest, Decision};
+//! use ltam_core::ledger::UsageLedger;
+//! use ltam_core::model::{Authorization, EntryLimit};
+//! use ltam_core::subject::SubjectId;
+//! use ltam_graph::LocationId;
+//! use ltam_time::{Interval, Time};
+//!
+//! let alice = SubjectId(0);
+//! let cais = LocationId(7);
+//! let mut db = AuthorizationDb::new();
+//! // Alice may enter CAIS once during [5, 40] and must leave in [20, 100].
+//! db.insert(Authorization::new(
+//!     Interval::lit(5, 40),
+//!     Interval::lit(20, 100),
+//!     alice,
+//!     cais,
+//!     EntryLimit::Finite(1),
+//! )?);
+//! let ledger = UsageLedger::new();
+//! let request = AccessRequest { time: Time(10), subject: alice, location: cais };
+//! assert!(check_access(&db, &ledger, &request).is_granted());
+//! # Ok::<(), ltam_core::model::AuthError>(())
+//! ```
+
+pub mod conflict;
+pub mod db;
+pub mod decision;
+pub mod duration;
+pub mod inaccessible;
+pub mod ledger;
+pub mod model;
+pub mod planner;
+pub mod prohibition;
+pub mod recurring;
+pub mod rules;
+pub mod subject;
+pub mod tam;
+
+pub use conflict::{detect_conflicts, resolve_conflicts, Conflict, ResolutionStrategy};
+pub use db::{AuthId, AuthorizationDb, Provenance, RuleId};
+pub use decision::{check_access, check_access_restricted, AccessRequest, Decision, DenyReason};
+pub use duration::{
+    authorize_route, departure_duration, grant_duration, RouteAuthorization, RouteDenial,
+};
+pub use inaccessible::{
+    find_inaccessible, find_inaccessible_multilevel, find_inaccessible_naive,
+    find_inaccessible_traced, AuthsByLocation, InaccessibleReport, Trace,
+};
+pub use ledger::UsageLedger;
+pub use model::{AuthError, Authorization, EntryLimit, LocationAuthorization};
+pub use planner::{earliest_visit, earliest_visit_all, Itinerary, ItineraryStep};
+pub use prohibition::{restrict_authorizations, Prohibition, ProhibitionDb};
+pub use recurring::{expand_recurring, RecurringAuthorization, RecurringError};
+pub use rules::{
+    CountExpr, LocationOp, OpTuple, ProfileProvider, Rule, RuleEngine, StaticProfiles, SubjectOp,
+};
+pub use subject::{SubjectId, SubjectRegistry};

@@ -1,0 +1,333 @@
+//! Temporal route planning: *when can the subject actually get there?*
+//!
+//! §6 closes with the observation that the authorization database supports
+//! "an interesting range of queries"; the natural operational one is the
+//! earliest authorized visit. [`earliest_visit`] answers it with a
+//! label-correcting Dijkstra over `(location, authorization)` states:
+//!
+//! * entering location `l` at time `t` under authorization `a` requires
+//!   `t ∈ [tis_a, tie_a]`;
+//! * continuing to a neighbor `m` under authorization `b` is possible at
+//!   the earliest instant `d = max(t, tos_a, tis_b)` provided
+//!   `d ≤ min(toe_a, tie_b)` (leave `l` inside `a`'s exit window, arrive
+//!   inside `b`'s entry window);
+//! * per `(location, authorization)` the *earliest* entry time dominates:
+//!   entering earlier can only widen the reachable departure window.
+//!
+//! The planner and Algorithm 1 are independent algorithms over the same
+//! semantics, and they agree exactly: a location has an itinerary from
+//! `t₀ = 0` iff Algorithm 1 reports it accessible. The property tests
+//! exploit that as a differential oracle.
+
+use crate::inaccessible::AuthsByLocation;
+use crate::model::Authorization;
+use ltam_graph::{EffectiveGraph, LocationId};
+use ltam_time::Time;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One hop of a planned itinerary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItineraryStep {
+    /// The location entered.
+    pub location: LocationId,
+    /// When the subject enters it.
+    pub enter_at: Time,
+}
+
+/// A feasible timed walk from an entry location to the target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Itinerary {
+    /// Entry time into the final location (the query's answer).
+    pub arrival: Time,
+    /// The walk, entry location first.
+    pub steps: Vec<ItineraryStep>,
+}
+
+impl Itinerary {
+    /// The planned route as bare locations.
+    pub fn route(&self) -> Vec<LocationId> {
+        self.steps.iter().map(|s| s.location).collect()
+    }
+}
+
+/// State key: which authorization admitted the subject into the location.
+type StateKey = (LocationId, usize);
+
+/// Find the earliest time ≥ `from` at which `target` can be entered via an
+/// authorized walk starting outside the infrastructure (i.e. through the
+/// graph's global entry locations). Returns the witness itinerary.
+pub fn earliest_visit(
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+    target: LocationId,
+    from: Time,
+) -> Option<Itinerary> {
+    const EMPTY: &[Authorization] = &[];
+    let auths_of =
+        |l: LocationId| -> &[Authorization] { auths.get(&l).map(Vec::as_slice).unwrap_or(EMPTY) };
+
+    let mut best: HashMap<StateKey, Time> = HashMap::new();
+    let mut parent: HashMap<StateKey, StateKey> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Time, LocationId, usize)>> = BinaryHeap::new();
+
+    for &le in graph.global_entries() {
+        for (k, a) in auths_of(le).iter().enumerate() {
+            let t = from.max(a.entry_window().start());
+            if a.entry_window().end().admits(t) {
+                let key = (le, k);
+                if best.get(&key).is_none_or(|&prev| t < prev) {
+                    best.insert(key, t);
+                    heap.push(Reverse((t, le, k)));
+                }
+            }
+        }
+    }
+
+    let mut target_state: Option<StateKey> = None;
+    while let Some(Reverse((t, l, k))) = heap.pop() {
+        if best.get(&(l, k)) != Some(&t) {
+            continue; // stale heap entry
+        }
+        if l == target {
+            target_state = Some((l, k));
+            break; // earliest-first: first pop of the target is optimal
+        }
+        let a = auths_of(l)[k];
+        for &m in graph.neighbors(l) {
+            for (j, b) in auths_of(m).iter().enumerate() {
+                // Leave l inside a's exit window, arrive inside b's entry
+                // window, never before the current time.
+                let d = t.max(a.exit_window().start()).max(b.entry_window().start());
+                if !a.exit_window().end().admits(d) || !b.entry_window().end().admits(d) {
+                    continue;
+                }
+                let key = (m, j);
+                if best.get(&key).is_none_or(|&prev| d < prev) {
+                    best.insert(key, d);
+                    parent.insert(key, (l, k));
+                    heap.push(Reverse((d, m, j)));
+                }
+            }
+        }
+    }
+
+    let end = target_state?;
+    // Backtrack the witness walk.
+    let mut steps = Vec::new();
+    let mut cur = end;
+    loop {
+        steps.push(ItineraryStep {
+            location: cur.0,
+            enter_at: best[&cur],
+        });
+        match parent.get(&cur) {
+            Some(&p) => cur = p,
+            None => break,
+        }
+    }
+    steps.reverse();
+    Some(Itinerary {
+        arrival: best[&end],
+        steps,
+    })
+}
+
+/// Earliest visit times for *every* location (single multi-target run).
+pub fn earliest_visit_all(
+    graph: &EffectiveGraph,
+    auths: &AuthsByLocation,
+    from: Time,
+) -> HashMap<LocationId, Time> {
+    const EMPTY: &[Authorization] = &[];
+    let auths_of =
+        |l: LocationId| -> &[Authorization] { auths.get(&l).map(Vec::as_slice).unwrap_or(EMPTY) };
+
+    let mut best: HashMap<StateKey, Time> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Time, LocationId, usize)>> = BinaryHeap::new();
+    for &le in graph.global_entries() {
+        for (k, a) in auths_of(le).iter().enumerate() {
+            let t = from.max(a.entry_window().start());
+            if a.entry_window().end().admits(t) {
+                best.insert((le, k), t);
+                heap.push(Reverse((t, le, k)));
+            }
+        }
+    }
+    let mut arrival: HashMap<LocationId, Time> = HashMap::new();
+    while let Some(Reverse((t, l, k))) = heap.pop() {
+        if best.get(&(l, k)) != Some(&t) {
+            continue;
+        }
+        arrival.entry(l).or_insert(t);
+        let a = auths_of(l)[k];
+        for &m in graph.neighbors(l) {
+            for (j, b) in auths_of(m).iter().enumerate() {
+                let d = t.max(a.exit_window().start()).max(b.entry_window().start());
+                if !a.exit_window().end().admits(d) || !b.entry_window().end().admits(d) {
+                    continue;
+                }
+                let key = (m, j);
+                if best.get(&key).is_none_or(|&prev| d < prev) {
+                    best.insert(key, d);
+                    heap.push(Reverse((d, m, j)));
+                }
+            }
+        }
+    }
+    arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inaccessible::find_inaccessible;
+    use crate::model::EntryLimit;
+    use crate::subject::SubjectId;
+    use ltam_graph::examples::fig4_cycle;
+    use ltam_time::Interval;
+
+    const ALICE: SubjectId = SubjectId(0);
+
+    fn auth(l: LocationId, e: (u64, u64), x: (u64, u64)) -> Authorization {
+        Authorization::new(
+            Interval::lit(e.0, e.1),
+            Interval::lit(x.0, x.1),
+            ALICE,
+            l,
+            EntryLimit::Finite(1),
+        )
+        .unwrap()
+    }
+
+    fn table1() -> (ltam_graph::examples::Fig4, AuthsByLocation) {
+        let f = fig4_cycle();
+        let mut m = AuthsByLocation::new();
+        m.insert(f.a, vec![auth(f.a, (2, 35), (20, 50))]);
+        m.insert(f.b, vec![auth(f.b, (40, 60), (55, 80))]);
+        m.insert(f.c, vec![auth(f.c, (38, 45), (70, 90))]);
+        m.insert(f.d, vec![auth(f.d, (5, 25), (10, 30))]);
+        (f, m)
+    }
+
+    #[test]
+    fn fig4_earliest_times_match_hand_computation() {
+        let (f, auths) = table1();
+        let g = EffectiveGraph::build(&f.model);
+        // A: enter at max(0, 2) = 2.
+        let a = earliest_visit(&g, &auths, f.a, Time(0)).unwrap();
+        assert_eq!(a.arrival, Time(2));
+        assert_eq!(a.route(), vec![f.a]);
+        // B: leave A no earlier than tos=20, B's window opens at 40 -> 40.
+        let b = earliest_visit(&g, &auths, f.b, Time(0)).unwrap();
+        assert_eq!(b.arrival, Time(40));
+        assert_eq!(b.route(), vec![f.a, f.b]);
+        // D: leave A at max(2,20,5)=20, inside D's entry [5,25] -> 20.
+        let d = earliest_visit(&g, &auths, f.d, Time(0)).unwrap();
+        assert_eq!(d.arrival, Time(20));
+        assert_eq!(d.route(), vec![f.a, f.d]);
+        // C is inaccessible (Table 2): no itinerary.
+        assert!(earliest_visit(&g, &auths, f.c, Time(0)).is_none());
+    }
+
+    #[test]
+    fn later_start_time_shifts_feasibility() {
+        let (f, auths) = table1();
+        let g = EffectiveGraph::build(&f.model);
+        // Starting after A's entry window closes: nothing reachable.
+        assert!(earliest_visit(&g, &auths, f.a, Time(36)).is_none());
+        assert!(earliest_visit(&g, &auths, f.b, Time(36)).is_none());
+        // Starting at 30 still admits A (window to 35), then B at 40.
+        let b = earliest_visit(&g, &auths, f.b, Time(30)).unwrap();
+        assert_eq!(b.arrival, Time(40));
+    }
+
+    #[test]
+    fn chooses_later_authorization_when_it_reaches_farther() {
+        // Single-label earliest-arrival would fail here: the early
+        // authorization on the middle room cannot reach the far room, the
+        // late one can.
+        let mut model = ltam_graph::LocationModel::new("G");
+        let e = model.add_primitive(model.root(), "e").unwrap();
+        let mid = model.add_primitive(model.root(), "mid").unwrap();
+        let far = model.add_primitive(model.root(), "far").unwrap();
+        model.add_edge(e, mid).unwrap();
+        model.add_edge(mid, far).unwrap();
+        model.set_entry(e).unwrap();
+        let g = EffectiveGraph::build(&model);
+        let mut auths = AuthsByLocation::new();
+        auths.insert(e, vec![auth(e, (0, 100), (0, 100))]);
+        auths.insert(
+            mid,
+            vec![
+                auth(mid, (0, 5), (0, 5)),      // early, dead end
+                auth(mid, (50, 60), (50, 100)), // late, reaches far
+            ],
+        );
+        auths.insert(far, vec![auth(far, (90, 95), (90, 120))]);
+        let it = earliest_visit(&g, &auths, far, Time(0)).unwrap();
+        assert_eq!(it.arrival, Time(90));
+        assert_eq!(it.route(), vec![e, mid, far]);
+        // And mid itself is still reported at its true earliest (t=0).
+        assert_eq!(
+            earliest_visit(&g, &auths, mid, Time(0)).unwrap().arrival,
+            Time(0)
+        );
+    }
+
+    #[test]
+    fn planner_agrees_with_algorithm1_on_fig4() {
+        let (f, auths) = table1();
+        let g = EffectiveGraph::build(&f.model);
+        let report = find_inaccessible(&g, &auths);
+        for l in g.locations() {
+            let reachable = earliest_visit(&g, &auths, l, Time(0)).is_some();
+            assert_eq!(
+                reachable,
+                !report.is_inaccessible(l),
+                "planner and Algorithm 1 disagree at {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn itinerary_times_are_monotone_and_feasible() {
+        let (f, auths) = table1();
+        let g = EffectiveGraph::build(&f.model);
+        let it = earliest_visit(&g, &auths, f.b, Time(0)).unwrap();
+        let mut prev = Time::ZERO;
+        for step in &it.steps {
+            assert!(step.enter_at >= prev);
+            prev = step.enter_at;
+            let ok = auths[&step.location]
+                .iter()
+                .any(|a| a.admits_entry_at(step.enter_at));
+            assert!(
+                ok,
+                "entry at {} not admitted at {}",
+                step.location, step.enter_at
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_visit_all_matches_individual_queries() {
+        let (f, auths) = table1();
+        let g = EffectiveGraph::build(&f.model);
+        let all = earliest_visit_all(&g, &auths, Time(0));
+        for l in g.locations() {
+            let single = earliest_visit(&g, &auths, l, Time(0)).map(|i| i.arrival);
+            assert_eq!(all.get(&l).copied(), single, "mismatch at {l}");
+        }
+        assert!(!all.contains_key(&f.c));
+    }
+
+    #[test]
+    fn empty_auths_mean_no_itinerary() {
+        let f = fig4_cycle();
+        let g = EffectiveGraph::build(&f.model);
+        let auths = AuthsByLocation::new();
+        assert!(earliest_visit(&g, &auths, f.a, Time(0)).is_none());
+    }
+}

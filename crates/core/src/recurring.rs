@@ -1,0 +1,149 @@
+//! Recurring authorizations from periodic time expressions.
+//!
+//! Security policy is usually periodic — "staff may enter the lab on
+//! weekdays, 9 to 17" — while Definition 4 authorizations are one-shot
+//! windows. [`expand_recurring`] bridges the two: a [`Periodic`] expression
+//! expands into one concrete authorization per occurrence within a planning
+//! horizon, each with an exit window stretched by a configurable slack.
+//! (TAM, which LTAM's temporal model follows, handles recurrence the same
+//! way: periodic expressions denote sets of plain intervals.)
+
+use crate::model::{AuthError, Authorization, EntryLimit};
+use crate::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::{Bound, Interval, Periodic};
+use serde::{Deserialize, Serialize};
+
+/// A recurring grant: the policy form before expansion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecurringAuthorization {
+    /// The subject.
+    pub subject: SubjectId,
+    /// The location.
+    pub location: LocationId,
+    /// When entries are allowed, periodically.
+    pub pattern: Periodic,
+    /// Extra chronons allowed for leaving after each window closes.
+    pub exit_slack: u64,
+    /// Entry limit per occurrence.
+    pub limit: EntryLimit,
+}
+
+/// Errors from expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecurringError {
+    /// The horizon must be bounded (an unbounded horizon would expand to
+    /// infinitely many authorizations).
+    UnboundedHorizon,
+    /// An occurrence failed Definition 4 validation (cannot happen for
+    /// well-formed slack values; surfaced defensively).
+    Invalid(AuthError),
+}
+
+impl std::fmt::Display for RecurringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecurringError::UnboundedHorizon => {
+                write!(f, "recurring expansion requires a bounded horizon")
+            }
+            RecurringError::Invalid(e) => write!(f, "invalid occurrence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecurringError {}
+
+/// Expand every occurrence of the pattern within `horizon` into a concrete
+/// [`Authorization`]: entry window = the occurrence, exit window = the
+/// occurrence stretched by `exit_slack` at the end.
+pub fn expand_recurring(
+    recurring: &RecurringAuthorization,
+    horizon: Interval,
+) -> Result<Vec<Authorization>, RecurringError> {
+    let occurrences = recurring
+        .pattern
+        .expand(horizon)
+        .ok_or(RecurringError::UnboundedHorizon)?;
+    let mut out = Vec::with_capacity(occurrences.len());
+    for window in occurrences.iter() {
+        let exit_end = match window.end() {
+            Bound::At(e) => Bound::At(e.saturating_add(recurring.exit_slack)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let exit = Interval::new(window.start(), exit_end).expect("stretched window is non-empty");
+        out.push(
+            Authorization::new(
+                window,
+                exit,
+                recurring.subject,
+                recurring.location,
+                recurring.limit,
+            )
+            .map_err(RecurringError::Invalid)?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltam_time::Time;
+
+    const ALICE: SubjectId = SubjectId(0);
+    const LAB: LocationId = LocationId(3);
+
+    fn business_hours() -> RecurringAuthorization {
+        RecurringAuthorization {
+            subject: ALICE,
+            location: LAB,
+            pattern: Periodic::new(Time(0), 24, [(9, 8)]).unwrap(),
+            exit_slack: 2,
+            limit: EntryLimit::Finite(1),
+        }
+    }
+
+    #[test]
+    fn expands_one_authorization_per_day() {
+        let auths = expand_recurring(&business_hours(), Interval::lit(0, 72)).unwrap();
+        assert_eq!(auths.len(), 3);
+        assert_eq!(auths[0].entry_window(), Interval::lit(9, 16));
+        assert_eq!(auths[0].exit_window(), Interval::lit(9, 18)); // +2 slack
+        assert_eq!(auths[1].entry_window(), Interval::lit(33, 40));
+        assert_eq!(auths[2].entry_window(), Interval::lit(57, 64));
+        assert!(auths.iter().all(|a| a.limit() == EntryLimit::Finite(1)));
+    }
+
+    #[test]
+    fn horizon_clips_partial_occurrences() {
+        let auths = expand_recurring(&business_hours(), Interval::lit(10, 35)).unwrap();
+        assert_eq!(auths.len(), 2);
+        assert_eq!(auths[0].entry_window(), Interval::lit(10, 16));
+        assert_eq!(auths[1].entry_window(), Interval::lit(33, 35));
+    }
+
+    #[test]
+    fn unbounded_horizon_is_rejected() {
+        assert_eq!(
+            expand_recurring(&business_hours(), Interval::from_start(0u64)).unwrap_err(),
+            RecurringError::UnboundedHorizon
+        );
+    }
+
+    #[test]
+    fn occurrences_satisfy_definition4() {
+        let auths = expand_recurring(&business_hours(), Interval::lit(0, 240)).unwrap();
+        for a in &auths {
+            assert!(a.exit_window().start() >= a.entry_window().start());
+            assert!(a.exit_window().end() >= a.entry_window().end());
+        }
+    }
+
+    #[test]
+    fn zero_slack_means_exit_equals_entry_window() {
+        let mut r = business_hours();
+        r.exit_slack = 0;
+        let auths = expand_recurring(&r, Interval::lit(0, 24)).unwrap();
+        assert_eq!(auths[0].entry_window(), auths[0].exit_window());
+    }
+}

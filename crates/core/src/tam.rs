@@ -1,0 +1,172 @@
+//! A minimal TAM-style temporal authorization baseline.
+//!
+//! §2 positions LTAM against Bertino, Bettini and Samarati's *temporal
+//! authorization model* (TAM): "each authorization for a user to access an
+//! object is augmented with a temporal interval of validity". TAM has no
+//! notion of location graphs, routes, entry counts, or exit windows.
+//!
+//! This module implements the TAM core — signed (positive/negative)
+//! temporal authorizations over opaque objects with denial-takes-precedence
+//! evaluation — as the comparison baseline: benchmarks and examples use it
+//! to quantify what LTAM's location-temporal semantics add (tailgating and
+//! overstay detection, route-dependent accessibility).
+
+use crate::subject::SubjectId;
+use ltam_time::{Interval, Time};
+use serde::{Deserialize, Serialize};
+
+/// Authorization polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// Grants access during the window.
+    Positive,
+    /// Denies access during the window, overriding grants.
+    Negative,
+}
+
+/// A TAM authorization: `(subject, object, window, sign)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TamAuthorization {
+    /// The subject.
+    pub subject: SubjectId,
+    /// The protected object (opaque name; TAM has no object structure).
+    pub object: String,
+    /// Validity interval.
+    pub window: Interval,
+    /// Grant or deny.
+    pub sign: Sign,
+}
+
+/// A flat store of TAM authorizations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TamDb {
+    auths: Vec<TamAuthorization>,
+}
+
+impl TamDb {
+    /// An empty store.
+    pub fn new() -> TamDb {
+        TamDb::default()
+    }
+
+    /// Add an authorization.
+    pub fn insert(&mut self, auth: TamAuthorization) {
+        self.auths.push(auth);
+    }
+
+    /// Number of stored authorizations.
+    pub fn len(&self) -> usize {
+        self.auths.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.auths.is_empty()
+    }
+
+    /// TAM access check at time `t`: some positive authorization covers `t`
+    /// and no negative authorization does (denials take precedence).
+    pub fn check(&self, subject: SubjectId, object: &str, t: Time) -> bool {
+        let mut granted = false;
+        for a in &self.auths {
+            if a.subject != subject || a.object != object || !a.window.contains(t) {
+                continue;
+            }
+            match a.sign {
+                Sign::Negative => return false,
+                Sign::Positive => granted = true,
+            }
+        }
+        granted
+    }
+
+    /// The chronons during which access is granted within `domain`
+    /// (positive windows minus negative windows).
+    pub fn granted_set(
+        &self,
+        subject: SubjectId,
+        object: &str,
+        domain: Interval,
+    ) -> ltam_time::IntervalSet {
+        let mut pos = ltam_time::IntervalSet::empty();
+        let mut neg = ltam_time::IntervalSet::empty();
+        for a in &self.auths {
+            if a.subject != subject || a.object != object {
+                continue;
+            }
+            if let Some(w) = a.window.intersect(domain) {
+                match a.sign {
+                    Sign::Positive => pos.insert(w),
+                    Sign::Negative => neg.insert(w),
+                }
+            }
+        }
+        pos.subtract(&neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALICE: SubjectId = SubjectId(0);
+
+    fn tam(a: u64, b: u64, sign: Sign) -> TamAuthorization {
+        TamAuthorization {
+            subject: ALICE,
+            object: "file".into(),
+            window: Interval::lit(a, b),
+            sign,
+        }
+    }
+
+    #[test]
+    fn positive_window_grants() {
+        let mut db = TamDb::new();
+        db.insert(tam(10, 20, Sign::Positive));
+        assert!(db.check(ALICE, "file", Time(10)));
+        assert!(db.check(ALICE, "file", Time(20)));
+        assert!(!db.check(ALICE, "file", Time(21)));
+        assert!(!db.check(ALICE, "other", Time(15)));
+        assert!(!db.check(SubjectId(1), "file", Time(15)));
+    }
+
+    #[test]
+    fn denial_takes_precedence() {
+        let mut db = TamDb::new();
+        db.insert(tam(0, 100, Sign::Positive));
+        db.insert(tam(40, 60, Sign::Negative));
+        assert!(db.check(ALICE, "file", Time(39)));
+        assert!(!db.check(ALICE, "file", Time(40)));
+        assert!(!db.check(ALICE, "file", Time(60)));
+        assert!(db.check(ALICE, "file", Time(61)));
+    }
+
+    #[test]
+    fn granted_set_subtracts_denials() {
+        let mut db = TamDb::new();
+        db.insert(tam(0, 100, Sign::Positive));
+        db.insert(tam(40, 60, Sign::Negative));
+        let got = db.granted_set(ALICE, "file", Interval::lit(0, 100));
+        let expect: ltam_time::IntervalSet = [Interval::lit(0, 39), Interval::lit(61, 100)]
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn granted_set_agrees_with_check() {
+        let mut db = TamDb::new();
+        db.insert(tam(5, 30, Sign::Positive));
+        db.insert(tam(50, 80, Sign::Positive));
+        db.insert(tam(25, 55, Sign::Negative));
+        let set = db.granted_set(ALICE, "file", Interval::lit(0, 100));
+        for t in 0..=100u64 {
+            assert_eq!(
+                set.contains(Time(t)),
+                db.check(ALICE, "file", Time(t)),
+                "disagreement at t={t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Property-based tests for the LTAM core: Algorithm 1 against oracles,
+//! route-authorization invariants, conflict-resolution laws.
+
+use ltam_core::conflict::{detect_conflicts, resolve_conflicts, ResolutionStrategy};
+use ltam_core::db::AuthorizationDb;
+use ltam_core::duration::authorize_route;
+use ltam_core::inaccessible::{find_inaccessible, find_inaccessible_naive, AuthsByLocation};
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::subject::SubjectId;
+use ltam_graph::{route, EffectiveGraph, LocationId, LocationModel};
+use ltam_time::{Interval, IntervalSet, Time};
+use proptest::prelude::*;
+
+const ALICE: SubjectId = SubjectId(0);
+
+/// A connected random location graph: spanning tree plus extra chords.
+fn arb_graph() -> impl Strategy<Value = (LocationModel, EffectiveGraph)> {
+    (
+        2usize..10,
+        prop::collection::vec(any::<u32>(), 0..12),
+        any::<u64>(),
+    )
+        .prop_map(|(n, chords, seed)| {
+            let mut m = LocationModel::new("G");
+            let ids: Vec<LocationId> = (0..n)
+                .map(|i| m.add_primitive(m.root(), format!("n{i}")).unwrap())
+                .collect();
+            // Spanning tree: attach each node to a pseudo-random predecessor.
+            let mut s = seed | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for i in 1..n {
+                let p = (next() as usize) % i;
+                m.add_edge(ids[i], ids[p]).unwrap();
+            }
+            for c in chords {
+                let a = (c as usize) % n;
+                let b = (c as usize / n) % n;
+                if a != b {
+                    m.add_edge(ids[a], ids[b]).unwrap();
+                }
+            }
+            m.set_entry(ids[0]).unwrap();
+            m.validate().unwrap();
+            let g = EffectiveGraph::build(&m);
+            (m, g)
+        })
+}
+
+/// Random Definition-4-valid authorization for a location.
+fn arb_auth(l: LocationId) -> impl Strategy<Value = Authorization> {
+    (0u64..60, 0u64..40, 0u64..30, 0u64..40, 1u32..4).prop_map(
+        move |(tis, elen, dstart, dlen, n)| {
+            let tie = tis + elen;
+            let tos = tis + dstart.min(elen); // tos >= tis
+            let toe = tie + dlen; // toe >= tie
+            Authorization::new(
+                Interval::lit(tis, tie),
+                Interval::lit(tos.min(toe), toe),
+                ALICE,
+                l,
+                EntryLimit::Finite(n),
+            )
+            .unwrap()
+        },
+    )
+}
+
+fn arb_instance() -> impl Strategy<Value = (LocationModel, EffectiveGraph, AuthsByLocation)> {
+    arb_graph().prop_flat_map(|(m, g)| {
+        let locs: Vec<LocationId> = g.locations().collect();
+        let per_loc: Vec<BoxedStrategy<Vec<Authorization>>> = locs
+            .iter()
+            .map(|&l| prop::collection::vec(arb_auth(l), 0..3).boxed())
+            .collect();
+        per_loc.prop_map(move |auth_vecs| {
+            let mut auths = AuthsByLocation::new();
+            for (l, v) in locs.iter().zip(auth_vecs) {
+                if !v.is_empty() {
+                    auths.insert(*l, v);
+                }
+            }
+            (m.clone(), g.clone(), auths)
+        })
+    })
+}
+
+/// Graph reachability from the entries (ignoring time windows).
+fn unreachable(g: &EffectiveGraph) -> Vec<LocationId> {
+    let mut seen: Vec<LocationId> = g.global_entries().to_vec();
+    let mut stack = seen.clone();
+    while let Some(l) = stack.pop() {
+        for &nb in g.neighbors(l) {
+            if !seen.contains(&nb) {
+                seen.push(nb);
+                stack.push(nb);
+            }
+        }
+    }
+    g.locations().filter(|l| !seen.contains(l)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unconstrained_windows_reduce_to_graph_reachability((_, g) in arb_graph()) {
+        let mut auths = AuthsByLocation::new();
+        for l in g.locations() {
+            auths.insert(
+                l,
+                vec![Authorization::new(
+                    Interval::ALL,
+                    Interval::ALL,
+                    ALICE,
+                    l,
+                    EntryLimit::Unbounded,
+                )
+                .unwrap()],
+            );
+        }
+        let report = find_inaccessible(&g, &auths);
+        prop_assert_eq!(report.inaccessible, unreachable(&g));
+    }
+
+    #[test]
+    fn fixpoint_accessibility_dominates_simple_routes(
+        (_, g, auths) in arb_instance()
+    ) {
+        // Anything reachable by an authorized simple route must be reachable
+        // per Algorithm 1 (the fixpoint also admits walks, so it can only
+        // find more).
+        let fix = find_inaccessible(&g, &auths);
+        let naive = find_inaccessible_naive(&g, &auths, g.len(), 20_000);
+        for l in &fix.inaccessible {
+            prop_assert!(
+                naive.contains(l),
+                "{} accessible via simple route but fixpoint says inaccessible", l
+            );
+        }
+    }
+
+    #[test]
+    fn adding_authorizations_is_monotone((_, g, auths) in arb_instance(), extra in any::<u64>()) {
+        let before = find_inaccessible(&g, &auths);
+        let mut more = auths.clone();
+        let locs: Vec<LocationId> = g.locations().collect();
+        let target = locs[(extra as usize) % locs.len()];
+        more.entry(target).or_default().push(
+            Authorization::new(
+                Interval::ALL,
+                Interval::ALL,
+                ALICE,
+                target,
+                EntryLimit::Unbounded,
+            )
+            .unwrap(),
+        );
+        let after = find_inaccessible(&g, &more);
+        // Granting more can only shrink the inaccessible set.
+        for l in &after.inaccessible {
+            prop_assert!(before.inaccessible.contains(l));
+        }
+    }
+
+    #[test]
+    fn grant_times_subset_of_entry_windows((_, g, auths) in arb_instance()) {
+        // T^g of a location can never exceed the union of its own entry
+        // windows (Algorithm 1 line 21 intersects with [tis, tie]).
+        let report = find_inaccessible(&g, &auths);
+        for (l, tg) in &report.grant_times {
+            let own: IntervalSet = auths
+                .get(l)
+                .map(|v| v.iter().map(|a| a.entry_window()).collect())
+                .unwrap_or_default();
+            prop_assert_eq!(tg.intersect(&own), tg.clone(), "T^g exceeds entry windows at {}", l);
+        }
+    }
+
+    #[test]
+    fn authorized_route_has_nonempty_departure((_, g, auths) in arb_instance(), pick in any::<u64>()) {
+        // For every shortest route between entry and some location, if the
+        // route authorizes, its departure set is non-empty (Definition 4
+        // guarantees leavability).
+        let locs: Vec<LocationId> = g.locations().collect();
+        let target = locs[(pick as usize) % locs.len()];
+        let entry = g.global_entries()[0];
+        if let Some(r) = route::shortest_route(&g, entry, target) {
+            let res = authorize_route(r.locations(), Interval::ALL, |l| {
+                auths.get(&l).map(Vec::as_slice).unwrap_or(&[])
+            });
+            if let Ok(ra) = res {
+                prop_assert!(!ra.grant.is_empty());
+                prop_assert!(!ra.departure.is_empty());
+                prop_assert_eq!(ra.hop_grants.len(), r.len());
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_reaches_quiescence(
+        entries in prop::collection::vec((0u64..30, 0u64..10, 0u64..10, 1u32..3), 1..8),
+        strategy in prop::sample::select(vec![
+            ResolutionStrategy::Merge,
+            ResolutionStrategy::PreferFirst,
+            ResolutionStrategy::PreferExplicit,
+        ]),
+    ) {
+        let mut db = AuthorizationDb::new();
+        for (start, elen, dlen, n) in entries {
+            let entry = Interval::lit(start, start + elen);
+            let exit = Interval::lit(start, start + elen + dlen);
+            db.insert(
+                Authorization::new(entry, exit, ALICE, LocationId(0), EntryLimit::Finite(n))
+                    .unwrap(),
+            );
+        }
+        let _ = resolve_conflicts(&mut db, strategy);
+        prop_assert!(detect_conflicts(&db).is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_entry_coverage(
+        entries in prop::collection::vec((0u64..30, 0u64..10, 0u64..10, 1u32..3), 1..8),
+    ) {
+        let mut db = AuthorizationDb::new();
+        let mut coverage = IntervalSet::empty();
+        for (start, elen, dlen, n) in entries {
+            let entry = Interval::lit(start, start + elen);
+            coverage.insert(entry);
+            let exit = Interval::lit(start, start + elen + dlen);
+            db.insert(
+                Authorization::new(entry, exit, ALICE, LocationId(0), EntryLimit::Finite(n))
+                    .unwrap(),
+            );
+        }
+        resolve_conflicts(&mut db, ResolutionStrategy::Merge);
+        let after: IntervalSet = db.iter().map(|(_, a, _)| a.entry_window()).collect();
+        prop_assert_eq!(after, coverage);
+    }
+
+    #[test]
+    fn decision_grant_implies_window_and_budget(
+        (_, _, auths) in arb_instance(),
+        t in 0u64..120,
+    ) {
+        use ltam_core::decision::{check_access, AccessRequest, Decision};
+        use ltam_core::ledger::UsageLedger;
+        let mut db = AuthorizationDb::new();
+        for v in auths.values() {
+            for a in v {
+                db.insert(*a);
+            }
+        }
+        let ledger = UsageLedger::new();
+        for (l, v) in &auths {
+            let req = AccessRequest { time: Time(t), subject: ALICE, location: *l };
+            let d = check_access(&db, &ledger, &req);
+            let any_window = v.iter().any(|a| a.admits_entry_at(Time(t)));
+            match d {
+                Decision::Granted { auth } => {
+                    let a = db.get(auth).unwrap();
+                    prop_assert!(a.admits_entry_at(Time(t)));
+                    prop_assert_eq!(a.location(), *l);
+                }
+                Decision::Denied { .. } => prop_assert!(!any_window || v.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_serde_rejected(tis in 5u64..50, gap in 1u64..5) {
+        // Deserializing an authorization violating Definition 4 must fail.
+        let json = format!(
+            r#"{{"entry_window":{{"start":{tis},"end":{{"At":{end}}}}},
+                 "exit_window":{{"start":{bad},"end":{{"At":{end}}}}},
+                 "subject":0,"location":1,"limit":"Unbounded"}}"#,
+            tis = tis,
+            end = tis + 10,
+            bad = tis - gap,
+        );
+        let r: Result<Authorization, _> = serde_json::from_str(&json);
+        prop_assert!(r.is_err());
+    }
+}

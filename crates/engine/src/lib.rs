@@ -1,0 +1,43 @@
+//! # ltam-engine — LTAM authorization enforcement
+//!
+//! The enforcement architecture of the paper's Figure 3, built on
+//! [`ltam_core`]:
+//!
+//! * [`profile`] — the **user profile database** (supervisors, groups;
+//!   feeds the `Supervisor_Of` rule operator),
+//! * [`movement`] — the **location & movements database**: an event-sourced
+//!   log of enter/exit events with occupancy, whereabouts, presence and
+//!   contact-tracing queries,
+//! * [`engine`] — the **access control engine**: request checking
+//!   (Definition 7), continuous movement monitoring, violation detection
+//!   (tailgating, exit-window breaches, overstays), rule derivation and
+//!   audit,
+//! * [`violation`] — the violation taxonomy and security-desk alerts,
+//! * [`baseline`] — the **card-reader baseline** of §1 (request-time-only
+//!   checks) behind the same [`baseline::Enforcement`] trait, for
+//!   comparative evaluation,
+//! * [`query`] — the **query engine** with a small query language
+//!   (`ACCESSIBLE FOR`, `CAN … ENTER … AT`, `WHO IN`, `CONTACTS OF`,
+//!   `VIOLATIONS …`) over all databases,
+//! * [`shared`] — a `parking_lot`-guarded, cloneable engine handle with a
+//!   `crossbeam` alert channel for concurrent deployments.
+
+pub mod baseline;
+pub mod engine;
+pub mod movement;
+pub mod profile;
+pub mod query;
+pub mod report;
+pub mod shared;
+pub mod snapshot;
+pub mod violation;
+
+pub use baseline::{CardReaderEngine, Enforcement};
+pub use engine::{AccessControlEngine, AuditRecord, EngineConfig};
+pub use movement::{Contact, MovementEvent, MovementKind, MovementsDb, Stay};
+pub use profile::{Profile, UserProfileDb};
+pub use query::{Query, QueryContext, QueryResult};
+pub use report::{security_report, SecurityReport};
+pub use shared::SharedEngine;
+pub use snapshot::EngineSnapshot;
+pub use violation::{Alert, Violation};

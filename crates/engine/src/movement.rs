@@ -1,0 +1,459 @@
+//! The location & movements database (Figure 3).
+//!
+//! "The location & movements database stores the location layout, as well
+//! as users' movements. These data are then used for authorization
+//! validation, system status checking, etc."
+//!
+//! The store is event-sourced: an append-only log of enter/exit events with
+//! derived state — current position per subject, live occupancy per
+//! location, and a per-subject timeline of *stays* supporting historical
+//! queries (`where was s at t`, `who was in l during w`) and the
+//! co-location joins behind contact tracing (the paper's SARS motivation).
+
+use ltam_core::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::{Bound, Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What a tracked subject did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MovementKind {
+    /// The subject entered the location.
+    Enter,
+    /// The subject left the location.
+    Exit,
+}
+
+/// One tracked movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MovementEvent {
+    /// When the movement was observed.
+    pub time: Time,
+    /// Who moved.
+    pub subject: SubjectId,
+    /// Where.
+    pub location: LocationId,
+    /// Enter or exit.
+    pub kind: MovementKind,
+}
+
+impl fmt::Display for MovementEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.kind {
+            MovementKind::Enter => "enters",
+            MovementKind::Exit => "leaves",
+        };
+        write!(
+            f,
+            "t={}: {} {} {}",
+            self.time, self.subject, verb, self.location
+        )
+    }
+}
+
+/// A contiguous presence of a subject in one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stay {
+    /// The location.
+    pub location: LocationId,
+    /// Entry time.
+    pub enter: Time,
+    /// Exit time; `None` while the stay is ongoing.
+    pub exit: Option<Time>,
+}
+
+impl Stay {
+    /// The stay as a closed interval (open stays extend to `∞`).
+    pub fn interval(&self) -> Interval {
+        match self.exit {
+            Some(e) => Interval::new(self.enter, Bound::At(e)).expect("exit >= enter"),
+            None => Interval::from_start(self.enter),
+        }
+    }
+}
+
+/// A co-location record returned by contact queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contact {
+    /// The other subject.
+    pub other: SubjectId,
+    /// Where the contact happened.
+    pub location: LocationId,
+    /// The shared presence interval.
+    pub overlap: Interval,
+}
+
+/// Physically impossible movement sequences are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MovementError {
+    /// Event time precedes the subject's latest event.
+    TimeRegression {
+        /// The subject's latest recorded time.
+        latest: Time,
+        /// The offending event time.
+        event: Time,
+    },
+    /// Enter while the subject is already inside some location.
+    EnterWhileInside {
+        /// Where the subject currently is.
+        at: LocationId,
+    },
+    /// Exit from a location the subject is not in.
+    ExitWithoutEntry {
+        /// Where the subject actually is, if anywhere.
+        at: Option<LocationId>,
+    },
+}
+
+impl fmt::Display for MovementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MovementError::TimeRegression { latest, event } => {
+                write!(f, "event at {event} precedes latest record {latest}")
+            }
+            MovementError::EnterWhileInside { at } => {
+                write!(f, "enter while already inside {at}")
+            }
+            MovementError::ExitWithoutEntry { at } => match at {
+                Some(l) => write!(f, "exit from wrong location (currently in {l})"),
+                None => write!(f, "exit while not inside any location"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for MovementError {}
+
+/// The movements store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MovementsDb {
+    log: Vec<MovementEvent>,
+    timelines: BTreeMap<SubjectId, Vec<Stay>>,
+    occupancy: BTreeMap<LocationId, BTreeSet<SubjectId>>,
+    latest: BTreeMap<SubjectId, Time>,
+}
+
+impl MovementsDb {
+    /// An empty store.
+    pub fn new() -> MovementsDb {
+        MovementsDb::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The raw event log, in arrival order.
+    pub fn log(&self) -> &[MovementEvent] {
+        &self.log
+    }
+
+    fn check_time(&self, subject: SubjectId, t: Time) -> Result<(), MovementError> {
+        if let Some(&latest) = self.latest.get(&subject) {
+            if t < latest {
+                return Err(MovementError::TimeRegression { latest, event: t });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record that `subject` entered `location` at `t`.
+    pub fn record_enter(
+        &mut self,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Result<(), MovementError> {
+        self.check_time(subject, t)?;
+        if let Some(at) = self.current_location(subject) {
+            return Err(MovementError::EnterWhileInside { at });
+        }
+        self.log.push(MovementEvent {
+            time: t,
+            subject,
+            location,
+            kind: MovementKind::Enter,
+        });
+        self.timelines.entry(subject).or_default().push(Stay {
+            location,
+            enter: t,
+            exit: None,
+        });
+        self.occupancy.entry(location).or_default().insert(subject);
+        self.latest.insert(subject, t);
+        Ok(())
+    }
+
+    /// Record that `subject` left `location` at `t`.
+    pub fn record_exit(
+        &mut self,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Result<(), MovementError> {
+        self.check_time(subject, t)?;
+        let at = self.current_location(subject);
+        if at != Some(location) {
+            return Err(MovementError::ExitWithoutEntry { at });
+        }
+        self.log.push(MovementEvent {
+            time: t,
+            subject,
+            location,
+            kind: MovementKind::Exit,
+        });
+        let stay = self
+            .timelines
+            .get_mut(&subject)
+            .and_then(|v| v.last_mut())
+            .expect("open stay exists");
+        stay.exit = Some(t);
+        self.occupancy
+            .get_mut(&location)
+            .expect("occupancy entry exists")
+            .remove(&subject);
+        self.latest.insert(subject, t);
+        Ok(())
+    }
+
+    /// Where the subject currently is, if inside any location.
+    pub fn current_location(&self, subject: SubjectId) -> Option<LocationId> {
+        self.timelines
+            .get(&subject)
+            .and_then(|v| v.last())
+            .filter(|s| s.exit.is_none())
+            .map(|s| s.location)
+    }
+
+    /// Subjects currently inside `location`.
+    pub fn occupants(&self, location: LocationId) -> Vec<SubjectId> {
+        self.occupancy
+            .get(&location)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The subject's full stay history.
+    pub fn timeline(&self, subject: SubjectId) -> &[Stay] {
+        self.timelines
+            .get(&subject)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Where the subject was at time `t` (historically).
+    pub fn whereabouts(&self, subject: SubjectId, t: Time) -> Option<LocationId> {
+        let stays = self.timelines.get(&subject)?;
+        let idx = stays.partition_point(|s| s.enter <= t);
+        stays[..idx]
+            .iter()
+            .rev()
+            .find(|s| s.interval().contains(t))
+            .map(|s| s.location)
+    }
+
+    /// Subjects present in `location` at any point of `window`, with their
+    /// overlapping presence intervals.
+    pub fn present_during(
+        &self,
+        location: LocationId,
+        window: Interval,
+    ) -> Vec<(SubjectId, Interval)> {
+        let mut out = Vec::new();
+        for (&subject, stays) in &self.timelines {
+            for s in stays {
+                if s.location == location {
+                    if let Some(overlap) = s.interval().intersect(window) {
+                        out.push((subject, overlap));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|&(s, i)| (s, i.start()));
+        out
+    }
+
+    /// Everyone who was co-located with `subject` during `window` — the
+    /// contact-tracing join (§1's SARS scenario).
+    pub fn contacts(&self, subject: SubjectId, window: Interval) -> Vec<Contact> {
+        let mut out = Vec::new();
+        let Some(stays) = self.timelines.get(&subject) else {
+            return out;
+        };
+        for s in stays {
+            let Some(exposure) = s.interval().intersect(window) else {
+                continue;
+            };
+            for (other, overlap) in self.present_during(s.location, exposure) {
+                if other != subject {
+                    out.push(Contact {
+                        other,
+                        location: s.location,
+                        overlap,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|c| (c.other, c.overlap.start()));
+        out
+    }
+
+    /// Subjects with an open (ongoing) stay, with the stay.
+    pub fn inside_now(&self) -> Vec<(SubjectId, Stay)> {
+        self.timelines
+            .iter()
+            .filter_map(|(&s, v)| {
+                v.last()
+                    .filter(|stay| stay.exit.is_none())
+                    .map(|stay| (s, *stay))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALICE: SubjectId = SubjectId(0);
+    const BOB: SubjectId = SubjectId(1);
+    const CAIS: LocationId = LocationId(10);
+    const GO: LocationId = LocationId(11);
+
+    #[test]
+    fn enter_exit_round_trip() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        assert_eq!(db.current_location(ALICE), Some(CAIS));
+        assert_eq!(db.occupants(CAIS), vec![ALICE]);
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        assert_eq!(db.current_location(ALICE), None);
+        assert!(db.occupants(CAIS).is_empty());
+        assert_eq!(db.len(), 2);
+        assert_eq!(
+            db.timeline(ALICE),
+            &[Stay {
+                location: CAIS,
+                enter: Time(10),
+                exit: Some(Time(20))
+            }]
+        );
+    }
+
+    #[test]
+    fn impossible_sequences_rejected() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        assert_eq!(
+            db.record_enter(Time(11), ALICE, GO).unwrap_err(),
+            MovementError::EnterWhileInside { at: CAIS }
+        );
+        assert_eq!(
+            db.record_exit(Time(12), ALICE, GO).unwrap_err(),
+            MovementError::ExitWithoutEntry { at: Some(CAIS) }
+        );
+        assert_eq!(
+            db.record_exit(Time(5), ALICE, CAIS).unwrap_err(),
+            MovementError::TimeRegression {
+                latest: Time(10),
+                event: Time(5)
+            }
+        );
+        db.record_exit(Time(15), ALICE, CAIS).unwrap();
+        assert_eq!(
+            db.record_exit(Time(16), ALICE, CAIS).unwrap_err(),
+            MovementError::ExitWithoutEntry { at: None }
+        );
+    }
+
+    #[test]
+    fn whereabouts_is_historical() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.record_enter(Time(30), ALICE, GO).unwrap();
+        assert_eq!(db.whereabouts(ALICE, Time(5)), None);
+        assert_eq!(db.whereabouts(ALICE, Time(10)), Some(CAIS));
+        assert_eq!(db.whereabouts(ALICE, Time(20)), Some(CAIS));
+        assert_eq!(db.whereabouts(ALICE, Time(25)), None);
+        assert_eq!(db.whereabouts(ALICE, Time(35)), Some(GO)); // open stay
+    }
+
+    #[test]
+    fn present_during_clips_to_window() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.record_enter(Time(15), BOB, CAIS).unwrap();
+        let rows = db.present_during(CAIS, Interval::lit(18, 40));
+        assert_eq!(
+            rows,
+            vec![(ALICE, Interval::lit(18, 20)), (BOB, Interval::lit(18, 40)),]
+        );
+    }
+
+    #[test]
+    fn contacts_join_colocated_intervals() {
+        let mut db = MovementsDb::new();
+        // Alice in CAIS [10,20]; Bob in CAIS [15,30]; Carol in GO [0,50].
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.record_enter(Time(15), BOB, CAIS).unwrap();
+        db.record_exit(Time(30), BOB, CAIS).unwrap();
+        let carol = SubjectId(2);
+        db.record_enter(Time(0), carol, GO).unwrap();
+        let contacts = db.contacts(ALICE, Interval::lit(0, 100));
+        assert_eq!(
+            contacts,
+            vec![Contact {
+                other: BOB,
+                location: CAIS,
+                overlap: Interval::lit(15, 20)
+            }]
+        );
+        // Contact tracing is symmetric.
+        let back = db.contacts(BOB, Interval::lit(0, 100));
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].other, ALICE);
+        assert_eq!(back[0].overlap, Interval::lit(15, 20));
+    }
+
+    #[test]
+    fn inside_now_lists_open_stays() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_enter(Time(12), BOB, GO).unwrap();
+        db.record_exit(Time(14), BOB, GO).unwrap();
+        let inside = db.inside_now();
+        assert_eq!(inside.len(), 1);
+        assert_eq!(inside[0].0, ALICE);
+    }
+
+    #[test]
+    fn reentry_after_exit_allowed() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.record_enter(Time(20), ALICE, CAIS).unwrap();
+        assert_eq!(db.timeline(ALICE).len(), 2);
+        assert_eq!(db.current_location(ALICE), Some(CAIS));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: MovementsDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.current_location(ALICE), Some(CAIS));
+        assert_eq!(back.len(), 1);
+    }
+}

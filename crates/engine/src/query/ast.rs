@@ -1,0 +1,224 @@
+//! Query AST and results.
+
+use ltam_time::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed administrator query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// `ACCESSIBLE FOR s` — locations the subject can reach (Algorithm 1
+    /// complement).
+    Accessible {
+        /// Subject name.
+        subject: String,
+    },
+    /// `INACCESSIBLE FOR s` — Definition 9.
+    Inaccessible {
+        /// Subject name.
+        subject: String,
+    },
+    /// `CAN s ENTER l AT t` — Definition 7 probe.
+    CanEnter {
+        /// Subject name.
+        subject: String,
+        /// Location name.
+        location: String,
+        /// Probe time.
+        at: Time,
+    },
+    /// `WHERE s AT t` — historical whereabouts.
+    WhereIs {
+        /// Subject name.
+        subject: String,
+        /// Probe time.
+        at: Time,
+    },
+    /// `WHO IN l AT t` / `WHO IN l DURING [a,b]` — presence.
+    WhoIn {
+        /// Location name.
+        location: String,
+        /// Window (point interval for `AT`).
+        window: Interval,
+    },
+    /// `CONTACTS OF s DURING [a,b]` — co-location join.
+    Contacts {
+        /// Subject name.
+        subject: String,
+        /// Exposure window.
+        window: Interval,
+    },
+    /// `VIOLATIONS [FOR s] [DURING [a,b]]`.
+    Violations {
+        /// Optional subject filter.
+        subject: Option<String>,
+        /// Optional time filter.
+        window: Option<Interval>,
+    },
+    /// `EARLIEST s TO l [FROM t]` — temporal route planning.
+    Earliest {
+        /// Subject name.
+        subject: String,
+        /// Target location name.
+        location: String,
+        /// Start time (default 0).
+        from: Time,
+    },
+}
+
+impl fmt::Display for Query {
+    /// Render in canonical query-language syntax; `parse ∘ to_string` is
+    /// the identity (checked by property tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |s: &str| {
+            if s.chars()
+                .all(|c| c.is_alphanumeric() || matches!(c, '.' | '_' | '-'))
+                && !s.is_empty()
+                && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                s.to_string()
+            } else {
+                format!("{s:?}")
+            }
+        };
+        match self {
+            Query::Accessible { subject } => write!(f, "ACCESSIBLE FOR {}", name(subject)),
+            Query::Inaccessible { subject } => {
+                write!(f, "INACCESSIBLE FOR {}", name(subject))
+            }
+            Query::CanEnter {
+                subject,
+                location,
+                at,
+            } => write!(f, "CAN {} ENTER {} AT {at}", name(subject), name(location)),
+            Query::WhereIs { subject, at } => write!(f, "WHERE {} AT {at}", name(subject)),
+            Query::WhoIn { location, window } => {
+                write!(f, "WHO IN {} DURING {window}", name(location))
+            }
+            Query::Contacts { subject, window } => {
+                write!(f, "CONTACTS OF {} DURING {window}", name(subject))
+            }
+            Query::Violations { subject, window } => {
+                write!(f, "VIOLATIONS")?;
+                if let Some(s) = subject {
+                    write!(f, " FOR {}", name(s))?;
+                }
+                if let Some(w) = window {
+                    write!(f, " DURING {w}")?;
+                }
+                Ok(())
+            }
+            Query::Earliest {
+                subject,
+                location,
+                from,
+            } => write!(
+                f,
+                "EARLIEST {} TO {} FROM {from}",
+                name(subject),
+                name(location)
+            ),
+        }
+    }
+}
+
+/// Evaluation output, ready for display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// A list of location names.
+    Locations(Vec<String>),
+    /// A yes/no decision with a human-readable detail line.
+    Decision {
+        /// True if granted.
+        granted: bool,
+        /// Explanation.
+        detail: String,
+    },
+    /// Whereabouts: a location name, or none.
+    Whereabouts(Option<String>),
+    /// Presence rows: `(subject, interval)`.
+    Presence(Vec<(String, Interval)>),
+    /// Contact rows: `(other subject, location, overlap)`.
+    Contacts(Vec<(String, String, Interval)>),
+    /// Rendered violation lines.
+    Violations(Vec<String>),
+    /// A planned itinerary: `(location, enter_at)` hops; `None` when the
+    /// target is unreachable.
+    Itinerary(Option<Vec<(String, Time)>>),
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryResult::Locations(ls) => {
+                if ls.is_empty() {
+                    writeln!(f, "(none)")?;
+                }
+                for l in ls {
+                    writeln!(f, "{l}")?;
+                }
+                Ok(())
+            }
+            QueryResult::Decision { granted, detail } => {
+                writeln!(f, "{}: {detail}", if *granted { "YES" } else { "NO" })
+            }
+            QueryResult::Whereabouts(Some(l)) => writeln!(f, "{l}"),
+            QueryResult::Whereabouts(None) => writeln!(f, "(not inside any location)"),
+            QueryResult::Presence(rows) => {
+                if rows.is_empty() {
+                    writeln!(f, "(nobody)")?;
+                }
+                for (s, w) in rows {
+                    writeln!(f, "{s} during {w}")?;
+                }
+                Ok(())
+            }
+            QueryResult::Contacts(rows) => {
+                if rows.is_empty() {
+                    writeln!(f, "(no contacts)")?;
+                }
+                for (s, l, w) in rows {
+                    writeln!(f, "{s} in {l} during {w}")?;
+                }
+                Ok(())
+            }
+            QueryResult::Violations(rows) => {
+                if rows.is_empty() {
+                    writeln!(f, "(no violations)")?;
+                }
+                for v in rows {
+                    writeln!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            QueryResult::Itinerary(None) => writeln!(f, "(unreachable)"),
+            QueryResult::Itinerary(Some(hops)) => {
+                for (l, t) in hops {
+                    writeln!(f, "enter {l} at t={t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_rows() {
+        let r = QueryResult::Locations(vec!["CAIS".into(), "SCE.GO".into()]);
+        assert_eq!(r.to_string(), "CAIS\nSCE.GO\n");
+        let d = QueryResult::Decision {
+            granted: true,
+            detail: "granted by A0".into(),
+        };
+        assert_eq!(d.to_string(), "YES: granted by A0\n");
+        assert_eq!(
+            QueryResult::Whereabouts(None).to_string(),
+            "(not inside any location)\n"
+        );
+        assert_eq!(QueryResult::Presence(vec![]).to_string(), "(nobody)\n");
+    }
+}

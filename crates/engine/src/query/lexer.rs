@@ -1,0 +1,234 @@
+//! Tokenizer for the query language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A keyword (stored uppercase).
+    Keyword(String),
+    /// A bare or quoted name (`Alice`, `SCE.GO`, `"Dean Office"`).
+    Ident(String),
+    /// An unsigned number.
+    Number(u64),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `inf` / `∞`
+    Infinity,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(s) => write!(f, "{s:?}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Infinity => write!(f, "∞"),
+        }
+    }
+}
+
+/// A tokenization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "ACCESSIBLE",
+    "INACCESSIBLE",
+    "FOR",
+    "CAN",
+    "ENTER",
+    "AT",
+    "WHERE",
+    "WHO",
+    "IN",
+    "DURING",
+    "CONTACTS",
+    "OF",
+    "VIOLATIONS",
+    "EARLIEST",
+    "TO",
+    "FROM",
+];
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+/// Tokenize a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::RBracket);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '∞' => {
+                chars.next();
+                out.push(Token::Infinity);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for (_, c) in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(LexError {
+                        at,
+                        message: "unterminated string".into(),
+                    });
+                }
+                out.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&(_, d)) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(v as u64))
+                            .ok_or_else(|| LexError {
+                                at,
+                                message: "number too large".into(),
+                            })?;
+                        chars.next();
+                    } else if is_word_char(d) {
+                        return Err(LexError {
+                            at,
+                            message: format!("malformed number before {d:?}"),
+                        });
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Number(n));
+            }
+            c if is_word_char(c) => {
+                let mut s = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if is_word_char(d) {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let upper = s.to_ascii_uppercase();
+                if upper == "INF" {
+                    out.push(Token::Infinity);
+                } else if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(s));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    at,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("can Alice enter CAIS at 10").unwrap();
+        assert_eq!(toks[0], Token::Keyword("CAN".into()));
+        assert_eq!(toks[1], Token::Ident("Alice".into()));
+        assert_eq!(toks[2], Token::Keyword("ENTER".into()));
+        assert_eq!(toks[4], Token::Keyword("AT".into()));
+        assert_eq!(toks[5], Token::Number(10));
+    }
+
+    #[test]
+    fn dotted_names_are_single_idents() {
+        let toks = lex("WHO IN SCE.GO AT 5").unwrap();
+        assert_eq!(toks[2], Token::Ident("SCE.GO".into()));
+    }
+
+    #[test]
+    fn quoted_strings_allow_spaces() {
+        let toks = lex("WHERE \"Dean of SCE\" AT 3").unwrap();
+        assert_eq!(toks[1], Token::Ident("Dean of SCE".into()));
+        assert!(matches!(
+            lex("WHERE \"unterminated").unwrap_err(),
+            LexError { .. }
+        ));
+    }
+
+    #[test]
+    fn intervals_and_infinity() {
+        let toks = lex("DURING [5, inf]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("DURING".into()),
+                Token::LBracket,
+                Token::Number(5),
+                Token::Comma,
+                Token::Infinity,
+                Token::RBracket,
+            ]
+        );
+        assert_eq!(lex("[1, ∞]").unwrap()[3], Token::Infinity);
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        assert!(lex("AT 12x").is_err());
+        assert!(lex("AT 99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unexpected_characters_rejected() {
+        let e = lex("WHO ? WHERE").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+        assert_eq!(e.at, 4);
+    }
+}

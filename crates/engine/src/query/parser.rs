@@ -1,0 +1,330 @@
+//! Recursive-descent parser for the query language.
+
+use super::ast::Query;
+use super::lexer::{lex, LexError, Token};
+use ltam_time::{Bound, Interval, Time};
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError {
+                message: format!("expected {expected}, found {t}"),
+            },
+            None => ParseError {
+                message: format!("expected {expected}, found end of input"),
+            },
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Keyword(k)) if k == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("keyword {kw}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let Some(Token::Ident(s)) = self.next() else {
+                    unreachable!("peeked an ident");
+                };
+                Ok(s)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Token::Number(_)) => {
+                let Some(Token::Number(n)) = self.next() else {
+                    unreachable!("peeked a number");
+                };
+                Ok(n)
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    /// `[a, b]` where `b` may be `inf`/`∞`.
+    fn interval(&mut self) -> Result<Interval, ParseError> {
+        match self.peek() {
+            Some(Token::LBracket) => {
+                self.pos += 1;
+            }
+            _ => return Err(self.err("'['")),
+        }
+        let start = self.number("interval start")?;
+        match self.peek() {
+            Some(Token::Comma) => {
+                self.pos += 1;
+            }
+            _ => return Err(self.err("','")),
+        }
+        let end = match self.peek() {
+            Some(Token::Infinity) => {
+                self.pos += 1;
+                Bound::Unbounded
+            }
+            Some(Token::Number(_)) => Bound::At(Time(self.number("interval end")?)),
+            _ => return Err(self.err("interval end")),
+        };
+        match self.peek() {
+            Some(Token::RBracket) => {
+                self.pos += 1;
+            }
+            _ => return Err(self.err("']'")),
+        }
+        Interval::new(Time(start), end).map_err(|e| ParseError {
+            message: e.to_string(),
+        })
+    }
+
+    fn finish(&self, q: Query) -> Result<Query, ParseError> {
+        if self.pos != self.tokens.len() {
+            return Err(self.err("end of query"));
+        }
+        Ok(q)
+    }
+}
+
+/// Parse one query.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
+    let Some(head) = p.next() else {
+        return Err(ParseError {
+            message: "empty query".into(),
+        });
+    };
+    let Token::Keyword(head) = head else {
+        return Err(ParseError {
+            message: format!("queries start with a keyword, found {head}"),
+        });
+    };
+    match head.as_str() {
+        "ACCESSIBLE" => {
+            p.keyword("FOR")?;
+            let subject = p.ident("subject name")?;
+            p.finish(Query::Accessible { subject })
+        }
+        "INACCESSIBLE" => {
+            p.keyword("FOR")?;
+            let subject = p.ident("subject name")?;
+            p.finish(Query::Inaccessible { subject })
+        }
+        "CAN" => {
+            let subject = p.ident("subject name")?;
+            p.keyword("ENTER")?;
+            let location = p.ident("location name")?;
+            p.keyword("AT")?;
+            let t = p.number("time")?;
+            p.finish(Query::CanEnter {
+                subject,
+                location,
+                at: Time(t),
+            })
+        }
+        "WHERE" => {
+            let subject = p.ident("subject name")?;
+            p.keyword("AT")?;
+            let t = p.number("time")?;
+            p.finish(Query::WhereIs {
+                subject,
+                at: Time(t),
+            })
+        }
+        "WHO" => {
+            p.keyword("IN")?;
+            let location = p.ident("location name")?;
+            let window = if p.at_keyword("AT") {
+                p.keyword("AT")?;
+                Interval::point(p.number("time")?)
+            } else {
+                p.keyword("DURING")?;
+                p.interval()?
+            };
+            p.finish(Query::WhoIn { location, window })
+        }
+        "CONTACTS" => {
+            p.keyword("OF")?;
+            let subject = p.ident("subject name")?;
+            p.keyword("DURING")?;
+            let window = p.interval()?;
+            p.finish(Query::Contacts { subject, window })
+        }
+        "EARLIEST" => {
+            let subject = p.ident("subject name")?;
+            p.keyword("TO")?;
+            let location = p.ident("location name")?;
+            let from = if p.at_keyword("FROM") {
+                p.keyword("FROM")?;
+                Time(p.number("time")?)
+            } else {
+                Time(0)
+            };
+            p.finish(Query::Earliest {
+                subject,
+                location,
+                from,
+            })
+        }
+        "VIOLATIONS" => {
+            let mut subject = None;
+            let mut window = None;
+            if p.at_keyword("FOR") {
+                p.keyword("FOR")?;
+                subject = Some(p.ident("subject name")?);
+            }
+            if p.at_keyword("DURING") {
+                p.keyword("DURING")?;
+                window = Some(p.interval()?);
+            }
+            p.finish(Query::Violations { subject, window })
+        }
+        other => Err(ParseError {
+            message: format!("unknown query form starting with {other}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_query_form() {
+        assert_eq!(
+            parse("ACCESSIBLE FOR Alice").unwrap(),
+            Query::Accessible {
+                subject: "Alice".into()
+            }
+        );
+        assert_eq!(
+            parse("inaccessible for Alice").unwrap(),
+            Query::Inaccessible {
+                subject: "Alice".into()
+            }
+        );
+        assert_eq!(
+            parse("CAN Alice ENTER CAIS AT 10").unwrap(),
+            Query::CanEnter {
+                subject: "Alice".into(),
+                location: "CAIS".into(),
+                at: Time(10)
+            }
+        );
+        assert_eq!(
+            parse("WHERE Alice AT 15").unwrap(),
+            Query::WhereIs {
+                subject: "Alice".into(),
+                at: Time(15)
+            }
+        );
+        assert_eq!(
+            parse("WHO IN CAIS AT 15").unwrap(),
+            Query::WhoIn {
+                location: "CAIS".into(),
+                window: Interval::point(15u64)
+            }
+        );
+        assert_eq!(
+            parse("WHO IN SCE.GO DURING [10, 50]").unwrap(),
+            Query::WhoIn {
+                location: "SCE.GO".into(),
+                window: Interval::lit(10, 50)
+            }
+        );
+        assert_eq!(
+            parse("CONTACTS OF Alice DURING [0, inf]").unwrap(),
+            Query::Contacts {
+                subject: "Alice".into(),
+                window: Interval::from_start(0u64)
+            }
+        );
+        assert_eq!(
+            parse("VIOLATIONS").unwrap(),
+            Query::Violations {
+                subject: None,
+                window: None
+            }
+        );
+        assert_eq!(
+            parse("VIOLATIONS FOR Alice DURING [0, 50]").unwrap(),
+            Query::Violations {
+                subject: Some("Alice".into()),
+                window: Some(Interval::lit(0, 50))
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("").is_err());
+        assert!(parse("Alice CAN ENTER").is_err());
+        assert!(parse("ACCESSIBLE Alice").is_err());
+        assert!(parse("CAN Alice ENTER CAIS AT").is_err());
+        assert!(parse("WHO IN CAIS DURING [50, 10]").is_err()); // empty interval
+        assert!(parse("WHO IN CAIS DURING [10, 50] extra").is_err());
+        assert!(parse("FROB THE KNOB").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_expectation() {
+        let e = parse("CAN Alice CAIS").unwrap_err();
+        assert!(e.message.contains("ENTER"), "{}", e.message);
+        let e = parse("WHO IN CAIS DURING [10").unwrap_err();
+        assert!(e.message.contains("','"), "{}", e.message);
+    }
+}

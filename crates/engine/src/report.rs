@@ -1,0 +1,191 @@
+//! Administrator-facing security reports.
+//!
+//! The paper motivates LTAM partly as "a framework for analyzing the
+//! security shortfalls due to human errors in specifying authorizations";
+//! this module condenses the engine's state into the summary a security
+//! officer reviews at end of shift: decision counts, violation breakdowns,
+//! hotspots, and current occupancy.
+
+use crate::engine::AccessControlEngine;
+use crate::violation::Violation;
+use ltam_core::decision::Decision;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A condensed view of the engine's security state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityReport {
+    /// Audited access requests.
+    pub total_requests: usize,
+    /// Requests granted.
+    pub grants: usize,
+    /// Requests denied.
+    pub denials: usize,
+    /// Violations by kind name.
+    pub violations_by_kind: BTreeMap<String, usize>,
+    /// Locations ranked by violation count (name, count), descending.
+    pub violation_hotspots: Vec<(String, usize)>,
+    /// Subjects ranked by violation count (name, count), descending.
+    pub top_violators: Vec<(String, usize)>,
+    /// Movement events recorded.
+    pub movement_events: usize,
+    /// Subjects currently inside some location.
+    pub currently_inside: usize,
+}
+
+fn kind_name(v: &Violation) -> &'static str {
+    match v {
+        Violation::UnauthorizedEntry { .. } => "unauthorized entry",
+        Violation::ExitOutsideWindow { .. } => "exit outside window",
+        Violation::Overstay { .. } => "overstay",
+        Violation::InconsistentMovement { .. } => "inconsistent movement",
+    }
+}
+
+/// Build the report from an engine's current state.
+pub fn security_report(engine: &AccessControlEngine) -> SecurityReport {
+    let mut grants = 0;
+    let mut denials = 0;
+    for rec in engine.audit() {
+        match rec.decision {
+            Decision::Granted { .. } => grants += 1,
+            Decision::Denied { .. } => denials += 1,
+        }
+    }
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_location: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_subject: BTreeMap<String, usize> = BTreeMap::new();
+    for v in engine.violations() {
+        *by_kind.entry(kind_name(v).to_string()).or_default() += 1;
+        let loc = engine.model().name(v.location()).to_string();
+        *by_location.entry(loc).or_default() += 1;
+        let subj = engine
+            .profiles()
+            .name_of(v.subject())
+            .map(str::to_string)
+            .unwrap_or_else(|| v.subject().to_string());
+        *by_subject.entry(subj).or_default() += 1;
+    }
+    let rank = |m: BTreeMap<String, usize>| {
+        let mut v: Vec<(String, usize)> = m.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    };
+    SecurityReport {
+        total_requests: engine.audit().len(),
+        grants,
+        denials,
+        violations_by_kind: by_kind,
+        violation_hotspots: rank(by_location),
+        top_violators: rank(by_subject),
+        movement_events: engine.movements().len(),
+        currently_inside: engine.movements().inside_now().len(),
+    }
+}
+
+impl fmt::Display for SecurityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "security report")?;
+        writeln!(
+            f,
+            "  requests: {} ({} granted, {} denied)",
+            self.total_requests, self.grants, self.denials
+        )?;
+        writeln!(
+            f,
+            "  movements: {} events, {} currently inside",
+            self.movement_events, self.currently_inside
+        )?;
+        let total: usize = self.violations_by_kind.values().sum();
+        writeln!(f, "  violations: {total}")?;
+        for (kind, n) in &self.violations_by_kind {
+            writeln!(f, "    {kind}: {n}")?;
+        }
+        if !self.violation_hotspots.is_empty() {
+            writeln!(f, "  hotspots:")?;
+            for (loc, n) in self.violation_hotspots.iter().take(5) {
+                writeln!(f, "    {loc}: {n}")?;
+            }
+        }
+        if !self.top_violators.is_empty() {
+            writeln!(f, "  top violators:")?;
+            for (s, n) in self.top_violators.iter().take(5) {
+                writeln!(f, "    {s}: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltam_core::model::{Authorization, EntryLimit};
+    use ltam_graph::examples::ntu_campus;
+    use ltam_time::{Interval, Time};
+
+    fn busy_engine() -> AccessControlEngine {
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let mut e = AccessControlEngine::new(ntu.model);
+        let alice = e.profiles_mut().add_user("Alice", "staff");
+        let mallory = e.profiles_mut().add_user("Mallory", "?");
+        e.add_authorization(
+            Authorization::new(
+                Interval::lit(0, 50),
+                Interval::lit(0, 60),
+                alice,
+                cais,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        assert!(e.request_enter(Time(5), alice, cais).is_granted());
+        e.observe_enter(Time(5), alice, cais);
+        assert!(!e.request_enter(Time(10), alice, cais).is_granted()); // exhausted? no: still inside; second request denied on budget
+        e.observe_enter(Time(7), mallory, cais); // tailgating
+        e.observe_enter(Time(8), mallory, cais); // inconsistent (already in)
+        e.tick(Time(100)); // Alice overstays
+        e
+    }
+
+    #[test]
+    fn report_counts_everything() {
+        let e = busy_engine();
+        let r = security_report(&e);
+        assert_eq!(r.total_requests, 2);
+        assert_eq!(r.grants, 1);
+        assert_eq!(r.denials, 1);
+        assert_eq!(r.violations_by_kind["unauthorized entry"], 1);
+        assert_eq!(r.violations_by_kind["inconsistent movement"], 1);
+        assert_eq!(r.violations_by_kind["overstay"], 1);
+        assert_eq!(r.movement_events, 2); // Alice + Mallory's first enter
+        assert_eq!(r.currently_inside, 2);
+        // CAIS is the single hotspot with all three violations.
+        assert_eq!(r.violation_hotspots[0], ("CAIS".to_string(), 3));
+        assert_eq!(r.top_violators[0].0, "Mallory");
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let e = busy_engine();
+        let text = security_report(&e).to_string();
+        assert!(text.contains("requests: 2 (1 granted, 1 denied)"));
+        assert!(text.contains("violations: 3"));
+        assert!(text.contains("hotspots"));
+        assert!(text.contains("Mallory"));
+    }
+
+    #[test]
+    fn empty_engine_empty_report() {
+        let ntu = ntu_campus();
+        let e = AccessControlEngine::new(ntu.model);
+        let r = security_report(&e);
+        assert_eq!(r.total_requests, 0);
+        assert!(r.violations_by_kind.is_empty());
+        assert!(r.violation_hotspots.is_empty());
+        let text = r.to_string();
+        assert!(text.contains("violations: 0"));
+    }
+}

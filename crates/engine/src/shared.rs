@@ -1,0 +1,158 @@
+//! A thread-safe handle to the enforcement engine.
+//!
+//! The architecture of Figure 3 is concurrent by nature: card readers and
+//! the tracking infrastructure report movements while administrators run
+//! queries and update rules. [`SharedEngine`] wraps the single-threaded
+//! [`AccessControlEngine`] in a `parking_lot` read–write lock and wires the
+//! alert channel, so sensor threads, an admin console and a security desk
+//! can share one engine.
+
+use crate::engine::AccessControlEngine;
+use crate::violation::Alert;
+use crossbeam::channel::{unbounded, Receiver};
+use ltam_core::decision::Decision;
+use ltam_core::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::Time;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Cloneable, thread-safe engine handle.
+#[derive(Clone)]
+pub struct SharedEngine {
+    inner: Arc<RwLock<AccessControlEngine>>,
+}
+
+impl SharedEngine {
+    /// Wrap an engine and attach an alert channel; returns the handle and
+    /// the security desk's receiving end.
+    pub fn new(mut engine: AccessControlEngine) -> (SharedEngine, Receiver<Alert>) {
+        let (tx, rx) = unbounded();
+        engine.set_alert_channel(tx);
+        (
+            SharedEngine {
+                inner: Arc::new(RwLock::new(engine)),
+            },
+            rx,
+        )
+    }
+
+    /// Process an access request.
+    pub fn request_enter(&self, t: Time, subject: SubjectId, location: LocationId) -> Decision {
+        self.inner.write().request_enter(t, subject, location)
+    }
+
+    /// Report an observed entry.
+    pub fn observe_enter(&self, t: Time, subject: SubjectId, location: LocationId) {
+        self.inner.write().observe_enter(t, subject, location);
+    }
+
+    /// Report an observed exit.
+    pub fn observe_exit(&self, t: Time, subject: SubjectId, location: LocationId) {
+        self.inner.write().observe_exit(t, subject, location);
+    }
+
+    /// Advance the monitoring clock.
+    pub fn tick(&self, now: Time) {
+        self.inner.write().tick(now);
+    }
+
+    /// Run a query-language query under a read lock.
+    pub fn query(
+        &self,
+        input: &str,
+    ) -> Result<crate::query::QueryResult, crate::query::QueryError> {
+        self.inner.read().query(input)
+    }
+
+    /// Number of violations detected so far.
+    pub fn violation_count(&self) -> usize {
+        self.inner.read().violations().len()
+    }
+
+    /// Run arbitrary read-only logic against the engine.
+    pub fn read<R>(&self, f: impl FnOnce(&AccessControlEngine) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Run arbitrary mutating logic against the engine (administration).
+    pub fn write<R>(&self, f: impl FnOnce(&mut AccessControlEngine) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltam_core::model::{Authorization, EntryLimit};
+    use ltam_graph::examples::ntu_campus;
+    use ltam_time::Interval;
+    use std::thread;
+
+    #[test]
+    fn concurrent_requests_respect_entry_budget() {
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let mut engine = AccessControlEngine::new(ntu.model);
+        let alice = engine.profiles_mut().add_user("Alice", "researcher");
+        engine.add_authorization(
+            Authorization::new(
+                Interval::lit(0, 1000),
+                Interval::lit(0, 2000),
+                alice,
+                cais,
+                EntryLimit::Finite(4),
+            )
+            .unwrap(),
+        );
+        let (shared, _rx) = SharedEngine::new(engine);
+
+        // 8 turnstile threads race request+enter+exit cycles. However the
+        // races interleave, no more than 4 entries may ever be recorded
+        // against the authorization's budget.
+        let mut handles = Vec::new();
+        for k in 0..8u64 {
+            let s = shared.clone();
+            handles.push(thread::spawn(move || {
+                let t = Time(1 + k);
+                if s.request_enter(t, alice, cais).is_granted() {
+                    s.observe_enter(t, alice, cais);
+                    s.observe_exit(t.saturating_add(1), alice, cais);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        shared.read(|e| {
+            assert!(
+                e.ledger().total_entries() <= 4,
+                "entry budget exceeded: {}",
+                e.ledger().total_entries()
+            );
+        });
+    }
+
+    #[test]
+    fn alerts_reach_the_security_desk() {
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let mut engine = AccessControlEngine::new(ntu.model);
+        let mallory = engine.profiles_mut().add_user("Mallory", "?");
+        let (shared, rx) = SharedEngine::new(engine);
+        shared.observe_enter(Time(5), mallory, cais);
+        let alert = rx.try_recv().unwrap();
+        assert_eq!(alert.violation.subject(), mallory);
+        assert_eq!(shared.violation_count(), 1);
+    }
+
+    #[test]
+    fn queries_run_under_read_lock() {
+        let ntu = ntu_campus();
+        let mut engine = AccessControlEngine::new(ntu.model);
+        engine.profiles_mut().add_user("Alice", "researcher");
+        let (shared, _rx) = SharedEngine::new(engine);
+        let r = shared.query("WHERE Alice AT 5").unwrap();
+        assert_eq!(r, crate::query::QueryResult::Whereabouts(None));
+    }
+}

@@ -1,0 +1,199 @@
+//! Security violations and alerts.
+//!
+//! LTAM "monitors the user movement at all times" (§1) and generates "a
+//! warning signal to the security guards" when an authorization is
+//! violated (§3.2). The violation taxonomy covers exactly the failure
+//! modes the paper calls out:
+//!
+//! * entering without an authorization grant — this is what defeats
+//!   *tailgating* ("a group of users enters a restricted location based on
+//!   a single user authorization");
+//! * leaving outside the exit duration;
+//! * staying past the end of the exit duration (*overstay*).
+
+use ltam_core::db::AuthId;
+use ltam_core::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A detected violation of the authorization policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Violation {
+    /// A subject entered a location without a matching granted request.
+    UnauthorizedEntry {
+        /// When the entry was observed.
+        time: Time,
+        /// Who entered.
+        subject: SubjectId,
+        /// Where.
+        location: LocationId,
+    },
+    /// A subject left outside the exit duration of the authorization that
+    /// admitted them.
+    ExitOutsideWindow {
+        /// When the exit was observed.
+        time: Time,
+        /// Who left.
+        subject: SubjectId,
+        /// Where.
+        location: LocationId,
+        /// The authorization whose exit window was violated.
+        auth: AuthId,
+    },
+    /// A subject is still inside after the exit duration closed.
+    Overstay {
+        /// When the overstay was detected.
+        detected_at: Time,
+        /// Who is overstaying.
+        subject: SubjectId,
+        /// Where.
+        location: LocationId,
+        /// The authorization whose exit window has closed.
+        auth: AuthId,
+    },
+    /// A physically inconsistent movement report (sensor glitch or
+    /// spoofing): the movements database rejected the event.
+    InconsistentMovement {
+        /// When the event was reported.
+        time: Time,
+        /// Who.
+        subject: SubjectId,
+        /// Where the event claimed to happen.
+        location: LocationId,
+    },
+}
+
+impl Violation {
+    /// The subject involved.
+    pub fn subject(&self) -> SubjectId {
+        match *self {
+            Violation::UnauthorizedEntry { subject, .. }
+            | Violation::ExitOutsideWindow { subject, .. }
+            | Violation::Overstay { subject, .. }
+            | Violation::InconsistentMovement { subject, .. } => subject,
+        }
+    }
+
+    /// The location involved.
+    pub fn location(&self) -> LocationId {
+        match *self {
+            Violation::UnauthorizedEntry { location, .. }
+            | Violation::ExitOutsideWindow { location, .. }
+            | Violation::Overstay { location, .. }
+            | Violation::InconsistentMovement { location, .. } => location,
+        }
+    }
+
+    /// When it happened / was detected.
+    pub fn time(&self) -> Time {
+        match *self {
+            Violation::UnauthorizedEntry { time, .. }
+            | Violation::ExitOutsideWindow { time, .. }
+            | Violation::InconsistentMovement { time, .. } => time,
+            Violation::Overstay { detected_at, .. } => detected_at,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnauthorizedEntry {
+                time,
+                subject,
+                location,
+            } => write!(
+                f,
+                "t={time}: {subject} entered {location} without authorization"
+            ),
+            Violation::ExitOutsideWindow {
+                time,
+                subject,
+                location,
+                auth,
+            } => write!(
+                f,
+                "t={time}: {subject} left {location} outside the exit window of {auth}"
+            ),
+            Violation::Overstay {
+                detected_at,
+                subject,
+                location,
+                auth,
+            } => write!(
+                f,
+                "t={detected_at}: {subject} overstayed in {location} (exit window of {auth} closed)"
+            ),
+            Violation::InconsistentMovement {
+                time,
+                subject,
+                location,
+            } => write!(
+                f,
+                "t={time}: inconsistent movement report for {subject} at {location}"
+            ),
+        }
+    }
+}
+
+/// An alert pushed to the security desk (the paper's "warning signal to the
+/// security guards").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The violation that triggered the alert.
+    pub violation: Violation,
+    /// Monotone alert sequence number.
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let vs = [
+            Violation::UnauthorizedEntry {
+                time: Time(1),
+                subject: SubjectId(2),
+                location: LocationId(3),
+            },
+            Violation::ExitOutsideWindow {
+                time: Time(4),
+                subject: SubjectId(5),
+                location: LocationId(6),
+                auth: AuthId(0),
+            },
+            Violation::Overstay {
+                detected_at: Time(7),
+                subject: SubjectId(8),
+                location: LocationId(9),
+                auth: AuthId(1),
+            },
+            Violation::InconsistentMovement {
+                time: Time(10),
+                subject: SubjectId(11),
+                location: LocationId(12),
+            },
+        ];
+        assert_eq!(vs[0].time(), Time(1));
+        assert_eq!(vs[1].subject(), SubjectId(5));
+        assert_eq!(vs[2].location(), LocationId(9));
+        assert_eq!(vs[3].time(), Time(10));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation::Overstay {
+            detected_at: Time(120),
+            subject: SubjectId(1),
+            location: LocationId(2),
+            auth: AuthId(3),
+        };
+        let s = v.to_string();
+        assert!(s.contains("overstayed"));
+        assert!(s.contains("t=120"));
+    }
+}

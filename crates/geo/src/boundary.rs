@@ -1,0 +1,217 @@
+//! Mapping physical positions to primitive locations.
+//!
+//! §3.1: "the physical location information are used to define the spatial
+//! boundaries of location so that it is possible to track users in
+//! different locations". A [`BoundaryMap`] associates each primitive
+//! location with a boundary polygon; [`BoundaryMap::locate`] resolves a
+//! sensed position (an RFID/positioning reading) to the location containing
+//! it. A uniform [`GridIndex`] accelerates lookups on large floor plans.
+
+use crate::primitives::{GeoError, Point, Polygon, Rect};
+use ltam_graph::LocationId;
+use serde::{Deserialize, Serialize};
+
+/// Boundaries of primitive locations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BoundaryMap {
+    entries: Vec<(LocationId, Polygon)>,
+}
+
+impl BoundaryMap {
+    /// An empty map.
+    pub fn new() -> BoundaryMap {
+        BoundaryMap::default()
+    }
+
+    /// Register a polygonal boundary for a location.
+    pub fn insert(&mut self, location: LocationId, boundary: Polygon) {
+        self.entries.push((location, boundary));
+    }
+
+    /// Register a rectangular room.
+    pub fn insert_rect(&mut self, location: LocationId, rect: Rect) -> Result<(), GeoError> {
+        self.insert(location, Polygon::from(rect));
+        Ok(())
+    }
+
+    /// Number of registered boundaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no boundaries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The boundary of a location, if registered.
+    pub fn boundary(&self, location: LocationId) -> Option<&Polygon> {
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == location)
+            .map(|(_, p)| p)
+    }
+
+    /// All registered `(location, boundary)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LocationId, &Polygon)> {
+        self.entries.iter().map(|(l, p)| (*l, p))
+    }
+
+    /// Resolve a position to the containing location by linear scan.
+    ///
+    /// Overlapping boundaries (a room inside a hall) resolve to the
+    /// *smallest* containing boundary — the innermost room.
+    pub fn locate(&self, p: Point) -> Option<LocationId> {
+        self.entries
+            .iter()
+            .filter(|(_, poly)| poly.contains(p))
+            .min_by(|(_, a), (_, b)| a.area().partial_cmp(&b.area()).expect("areas are finite"))
+            .map(|(l, _)| *l)
+    }
+
+    /// Bounding box of all boundaries, `None` if empty.
+    pub fn extent(&self) -> Option<Rect> {
+        let mut it = self.entries.iter().map(|(_, p)| p.bbox());
+        let first = it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(&r)))
+    }
+
+    /// Build a [`GridIndex`] over these boundaries.
+    pub fn build_index(&self, cells_per_axis: usize) -> GridIndex {
+        GridIndex::build(self, cells_per_axis)
+    }
+}
+
+/// A uniform-grid spatial index over a [`BoundaryMap`].
+///
+/// Each cell stores the candidate locations whose bounding boxes intersect
+/// it; a lookup tests only those candidates' polygons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridIndex {
+    extent: Rect,
+    cells_per_axis: usize,
+    /// Row-major `cells_per_axis²` buckets of candidate indices into the
+    /// boundary map's entries.
+    cells: Vec<Vec<u32>>,
+    entries: Vec<(LocationId, Polygon)>,
+}
+
+impl GridIndex {
+    fn build(map: &BoundaryMap, cells_per_axis: usize) -> GridIndex {
+        let cells_per_axis = cells_per_axis.max(1);
+        let extent = map
+            .extent()
+            .unwrap_or_else(|| Rect::lit(0.0, 0.0, 1.0, 1.0));
+        let mut cells = vec![Vec::new(); cells_per_axis * cells_per_axis];
+        let entries: Vec<(LocationId, Polygon)> = map.iter().map(|(l, p)| (l, p.clone())).collect();
+        let w = (extent.max.x - extent.min.x).max(f64::MIN_POSITIVE);
+        let h = (extent.max.y - extent.min.y).max(f64::MIN_POSITIVE);
+        for (k, (_, poly)) in entries.iter().enumerate() {
+            let bb = poly.bbox();
+            let x0 = (((bb.min.x - extent.min.x) / w) * cells_per_axis as f64).floor() as usize;
+            let x1 = (((bb.max.x - extent.min.x) / w) * cells_per_axis as f64).floor() as usize;
+            let y0 = (((bb.min.y - extent.min.y) / h) * cells_per_axis as f64).floor() as usize;
+            let y1 = (((bb.max.y - extent.min.y) / h) * cells_per_axis as f64).floor() as usize;
+            for y in y0..=y1.min(cells_per_axis - 1) {
+                for x in x0..=x1.min(cells_per_axis - 1) {
+                    cells[y * cells_per_axis + x].push(k as u32);
+                }
+            }
+        }
+        GridIndex {
+            extent,
+            cells_per_axis,
+            cells,
+            entries,
+        }
+    }
+
+    /// Resolve a position to the innermost containing location.
+    pub fn locate(&self, p: Point) -> Option<LocationId> {
+        if !self.extent.contains(p) {
+            return None;
+        }
+        let w = (self.extent.max.x - self.extent.min.x).max(f64::MIN_POSITIVE);
+        let h = (self.extent.max.y - self.extent.min.y).max(f64::MIN_POSITIVE);
+        let cx = (((p.x - self.extent.min.x) / w) * self.cells_per_axis as f64).floor() as usize;
+        let cy = (((p.y - self.extent.min.y) / h) * self.cells_per_axis as f64).floor() as usize;
+        let cell = &self.cells[cy.min(self.cells_per_axis - 1) * self.cells_per_axis
+            + cx.min(self.cells_per_axis - 1)];
+        cell.iter()
+            .map(|&k| &self.entries[k as usize])
+            .filter(|(_, poly)| poly.contains(p))
+            .min_by(|(_, a), (_, b)| a.area().partial_cmp(&b.area()).expect("areas are finite"))
+            .map(|(l, _)| *l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three rooms in a row: [0,10]×[0,10] each.
+    fn three_rooms() -> BoundaryMap {
+        let mut m = BoundaryMap::new();
+        for i in 0..3u32 {
+            let x0 = 10.0 * i as f64;
+            m.insert_rect(LocationId(i), Rect::lit(x0, 0.0, x0 + 10.0, 10.0))
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn locate_resolves_rooms() {
+        let m = three_rooms();
+        assert_eq!(m.locate(Point::new(5.0, 5.0)), Some(LocationId(0)));
+        assert_eq!(m.locate(Point::new(15.0, 5.0)), Some(LocationId(1)));
+        assert_eq!(m.locate(Point::new(25.0, 9.9)), Some(LocationId(2)));
+        assert_eq!(m.locate(Point::new(35.0, 5.0)), None);
+    }
+
+    #[test]
+    fn overlapping_boundaries_pick_innermost() {
+        let mut m = BoundaryMap::new();
+        m.insert_rect(LocationId(0), Rect::lit(0.0, 0.0, 100.0, 100.0))
+            .unwrap(); // the hall
+        m.insert_rect(LocationId(1), Rect::lit(40.0, 40.0, 60.0, 60.0))
+            .unwrap(); // a room inside it
+        assert_eq!(m.locate(Point::new(50.0, 50.0)), Some(LocationId(1)));
+        assert_eq!(m.locate(Point::new(10.0, 10.0)), Some(LocationId(0)));
+    }
+
+    #[test]
+    fn extent_covers_all() {
+        let m = three_rooms();
+        assert_eq!(m.extent(), Some(Rect::lit(0.0, 0.0, 30.0, 10.0)));
+        assert_eq!(BoundaryMap::new().extent(), None);
+    }
+
+    #[test]
+    fn grid_index_agrees_with_linear_scan() {
+        let m = three_rooms();
+        let idx = m.build_index(8);
+        for xi in 0..70 {
+            for yi in 0..25 {
+                let p = Point::new(xi as f64 * 0.5, yi as f64 * 0.5);
+                assert_eq!(idx.locate(p), m.locate(p), "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_index_outside_extent_is_none() {
+        let m = three_rooms();
+        let idx = m.build_index(4);
+        assert_eq!(idx.locate(Point::new(-1.0, 5.0)), None);
+        assert_eq!(idx.locate(Point::new(5.0, 11.0)), None);
+    }
+
+    #[test]
+    fn boundary_lookup() {
+        let m = three_rooms();
+        assert!(m.boundary(LocationId(1)).is_some());
+        assert!(m.boundary(LocationId(9)).is_none());
+        assert_eq!(m.len(), 3);
+    }
+}

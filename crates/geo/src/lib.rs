@@ -1,0 +1,15 @@
+//! Planar geometry substrate for LTAM's physical location boundaries.
+//!
+//! LTAM locations "are both semantic and physical. When represented
+//! physically, a location is described by its absolute spatial coordinates"
+//! (§3.1); the boundaries let the tracking infrastructure place users in
+//! primitive locations. This crate provides the geometry ([`Point`],
+//! [`Rect`], [`Polygon`]) and the position→location resolution
+//! ([`BoundaryMap`], [`GridIndex`]) consumed by the movement simulator's
+//! RFID pipeline.
+
+pub mod boundary;
+pub mod primitives;
+
+pub use boundary::{BoundaryMap, GridIndex};
+pub use primitives::{GeoError, Point, Polygon, Rect};

@@ -1,0 +1,300 @@
+//! Planar geometry primitives: points, rectangles, polygons.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the plane (meters, or any consistent unit).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle `[min, max]`, inclusive of its boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+/// Errors from geometry construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// `max` must dominate `min` on both axes.
+    InvertedRect,
+    /// Polygons need at least three vertices.
+    TooFewVertices(usize),
+    /// Polygon area is (numerically) zero.
+    DegeneratePolygon,
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvertedRect => write!(f, "rectangle max must dominate min"),
+            GeoError::TooFewVertices(n) => write!(f, "polygon needs ≥3 vertices, got {n}"),
+            GeoError::DegeneratePolygon => write!(f, "polygon has zero area"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+impl Rect {
+    /// Construct, validating `min ≤ max` on both axes.
+    pub fn new(min: Point, max: Point) -> Result<Rect, GeoError> {
+        if max.x < min.x || max.y < min.y {
+            return Err(GeoError::InvertedRect);
+        }
+        Ok(Rect { min, max })
+    }
+
+    /// `[x0, y0] – [x1, y1]` shorthand; panics on inverted bounds.
+    pub fn lit(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("literal rect must be ordered")
+    }
+
+    /// True if the point lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True if the rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Width × height.
+    pub fn area(&self) -> f64 {
+        (self.max.x - self.min.x) * (self.max.y - self.min.y)
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+}
+
+/// A simple polygon given by its vertices in order (either winding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Construct, validating vertex count and non-zero area.
+    pub fn new(vertices: Vec<Point>) -> Result<Polygon, GeoError> {
+        if vertices.len() < 3 {
+            return Err(GeoError::TooFewVertices(vertices.len()));
+        }
+        let p = Polygon { vertices };
+        if p.area().abs() < 1e-12 {
+            return Err(GeoError::DegeneratePolygon);
+        }
+        Ok(p)
+    }
+
+    /// The vertices in order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Signed shoelace area (positive for counter-clockwise winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bbox(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        Rect { min, max }
+    }
+
+    /// Point-in-polygon via ray casting; boundary points count as inside
+    /// (a reading on a wall maps to the room, not to nowhere).
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        // Boundary check first: distance from p to each edge segment.
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if point_on_segment(p, a, b) {
+                return true;
+            }
+        }
+        let mut inside = false;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if (a.y > p.y) != (b.y > p.y) {
+                let x = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Polygon {
+        Polygon {
+            vertices: vec![
+                r.min,
+                Point::new(r.max.x, r.min.y),
+                r.max,
+                Point::new(r.min.x, r.max.y),
+            ],
+        }
+    }
+}
+
+fn point_on_segment(p: Point, a: Point, b: Point) -> bool {
+    const EPS: f64 = 1e-9;
+    let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if cross.abs() > EPS * (1.0 + a.distance(b)) {
+        return false;
+    }
+    p.x >= a.x.min(b.x) - EPS
+        && p.x <= a.x.max(b.x) + EPS
+        && p.y >= a.y.min(b.y) - EPS
+        && p.y <= a.y.max(b.y) + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_validation_and_queries() {
+        assert!(Rect::new(Point::new(1.0, 1.0), Point::new(0.0, 2.0)).is_err());
+        let r = Rect::lit(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 5.0)));
+        assert!(!r.contains(Point::new(10.1, 5.0)));
+        assert_eq!(r.area(), 50.0);
+        assert_eq!(r.center(), Point::new(5.0, 2.5));
+    }
+
+    #[test]
+    fn rect_intersection_and_union() {
+        let a = Rect::lit(0.0, 0.0, 5.0, 5.0);
+        let b = Rect::lit(4.0, 4.0, 8.0, 8.0);
+        let c = Rect::lit(6.0, 0.0, 9.0, 3.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.union(&c), Rect::lit(0.0, 0.0, 9.0, 5.0));
+    }
+
+    #[test]
+    fn polygon_validation() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).unwrap_err(),
+            GeoError::TooFewVertices(2)
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+            ])
+            .unwrap_err(),
+            GeoError::DegeneratePolygon
+        );
+    }
+
+    #[test]
+    fn polygon_area_and_bbox() {
+        let p = Polygon::from(Rect::lit(0.0, 0.0, 4.0, 3.0));
+        assert!((p.area() - 12.0).abs() < 1e-12);
+        assert_eq!(p.bbox(), Rect::lit(0.0, 0.0, 4.0, 3.0));
+    }
+
+    #[test]
+    fn point_in_convex_polygon() {
+        let p = Polygon::from(Rect::lit(0.0, 0.0, 4.0, 4.0));
+        assert!(p.contains(Point::new(2.0, 2.0)));
+        assert!(p.contains(Point::new(0.0, 2.0))); // boundary
+        assert!(p.contains(Point::new(4.0, 4.0))); // corner
+        assert!(!p.contains(Point::new(4.1, 2.0)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // L-shape: big square minus the upper-right quadrant.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Point::new(1.0, 3.0)));
+        assert!(l.contains(Point::new(3.0, 1.0)));
+        assert!(!l.contains(Point::new(3.0, 3.0))); // the notch
+        assert!(l.contains(Point::new(2.0, 3.0))); // notch boundary
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert!((Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the geometry substrate.
+
+use ltam_geo::{BoundaryMap, Point, Polygon, Rect};
+use ltam_graph::LocationId;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.1f64..50.0, 0.1f64..50.0)
+        .prop_map(|(x, y, w, h)| Rect::lit(x, y, x + w, y + h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-20.0f64..170.0, -20.0f64..170.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn polygon_containment_implies_bbox_containment(r in arb_rect(), p in arb_point()) {
+        let poly = Polygon::from(r);
+        if poly.contains(p) {
+            prop_assert!(poly.bbox().contains(p));
+        }
+    }
+
+    #[test]
+    fn rect_and_its_polygon_agree(r in arb_rect(), p in arb_point()) {
+        let poly = Polygon::from(r);
+        // Interior points agree exactly; boundary handling may differ by
+        // floating epsilon, so test strictly-inside and strictly-outside.
+        let eps = 1e-7;
+        let strictly_inside = p.x > r.min.x + eps
+            && p.x < r.max.x - eps
+            && p.y > r.min.y + eps
+            && p.y < r.max.y - eps;
+        let strictly_outside = p.x < r.min.x - eps
+            || p.x > r.max.x + eps
+            || p.y < r.min.y - eps
+            || p.y > r.max.y + eps;
+        if strictly_inside {
+            prop_assert!(poly.contains(p) && r.contains(p));
+        }
+        if strictly_outside {
+            prop_assert!(!poly.contains(p) && !r.contains(p));
+        }
+    }
+
+    #[test]
+    fn polygon_area_matches_rect_area(r in arb_rect()) {
+        let poly = Polygon::from(r);
+        prop_assert!((poly.area() - r.area()).abs() < 1e-9 * (1.0 + r.area()));
+        prop_assert_eq!(poly.bbox(), r);
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect(), p in arb_point()) {
+        let u = a.union(&b);
+        if a.contains(p) || b.contains(p) {
+            prop_assert!(u.contains(p));
+        }
+        prop_assert!(u.intersects(&a) && u.intersects(&b));
+    }
+
+    #[test]
+    fn rect_intersection_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn grid_index_agrees_with_linear_scan(
+        rects in prop::collection::vec(arb_rect(), 1..10),
+        probes in prop::collection::vec(arb_point(), 1..30),
+        cells in 1usize..12,
+    ) {
+        let mut map = BoundaryMap::new();
+        for (k, r) in rects.iter().enumerate() {
+            map.insert_rect(LocationId(k as u32), *r).unwrap();
+        }
+        let idx = map.build_index(cells);
+        for p in probes {
+            prop_assert_eq!(idx.locate(p), map.locate(p), "divergence at {}", p);
+        }
+    }
+
+    #[test]
+    fn locate_picks_a_containing_boundary(
+        rects in prop::collection::vec(arb_rect(), 1..10),
+        p in arb_point(),
+    ) {
+        let mut map = BoundaryMap::new();
+        for (k, r) in rects.iter().enumerate() {
+            map.insert_rect(LocationId(k as u32), *r).unwrap();
+        }
+        match map.locate(p) {
+            Some(l) => {
+                let poly = map.boundary(l).unwrap();
+                prop_assert!(poly.contains(p));
+                // And it is a minimal-area containing boundary.
+                for (other, q) in map.iter() {
+                    if q.contains(p) {
+                        prop_assert!(poly.area() <= q.area() + 1e-9, "{other} is smaller");
+                    }
+                }
+            }
+            None => {
+                for (_, poly) in map.iter() {
+                    prop_assert!(!poly.contains(p));
+                }
+            }
+        }
+    }
+}

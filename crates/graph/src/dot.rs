@@ -1,0 +1,143 @@
+//! Graphviz DOT export of multilevel location graphs.
+//!
+//! Composites render as clusters, entry locations with double borders
+//! (`peripheries=2`), matching the paper's Figure 2 convention ("locations
+//! with double lines denote the entry locations"). The repro harness uses
+//! this to regenerate Figure 2.
+
+use crate::model::{LocationId, LocationKind, LocationModel};
+use std::fmt::Write as _;
+
+/// Render the whole model as a Graphviz `graph` (undirected).
+pub fn to_dot(model: &LocationModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", escape(model.name(model.root())));
+    let _ = writeln!(out, "  node [shape=box];");
+    emit_children(model, model.root(), 1, &mut out);
+    // Edges: each undirected edge once; cluster-level edges are emitted
+    // between representative nodes with logical head/tail clusters noted.
+    for id in model.ids() {
+        for &nb in model.neighbors(id) {
+            if id < nb {
+                let (a, ca) = representative(model, id);
+                let (b, cb) = representative(model, nb);
+                let mut attrs: Vec<String> = Vec::new();
+                if let Some(c) = ca {
+                    attrs.push(format!("ltail=\"cluster_{}\"", c.0));
+                }
+                if let Some(c) = cb {
+                    attrs.push(format!("lhead=\"cluster_{}\"", c.0));
+                }
+                let attr_str = if attrs.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", attrs.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\"{};",
+                    escape(model.name(a)),
+                    escape(model.name(b)),
+                    attr_str
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A concrete (primitive) node to anchor an edge on, plus the cluster the
+/// edge logically attaches to when the endpoint is a composite.
+fn representative(model: &LocationModel, id: LocationId) -> (LocationId, Option<LocationId>) {
+    match model.kind(id) {
+        LocationKind::Primitive => (id, None),
+        LocationKind::Composite => {
+            let entries = model.entry_primitives(id);
+            let anchor = entries
+                .first()
+                .copied()
+                .or_else(|| model.primitives_under(id).first().copied())
+                .unwrap_or(id);
+            (anchor, Some(id))
+        }
+    }
+}
+
+fn emit_children(model: &LocationModel, id: LocationId, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    for &child in model.children(id) {
+        match model.kind(child) {
+            LocationKind::Primitive => {
+                let peripheries = if model.is_entry(child) { 2 } else { 1 };
+                let _ = writeln!(
+                    out,
+                    "{indent}\"{}\" [peripheries={peripheries}];",
+                    escape(model.name(child))
+                );
+            }
+            LocationKind::Composite => {
+                let _ = writeln!(out, "{indent}subgraph \"cluster_{}\" {{", child.0);
+                let _ = writeln!(out, "{indent}  label=\"{}\";", escape(model.name(child)));
+                if model.is_entry(child) {
+                    let _ = writeln!(out, "{indent}  penwidth=2;");
+                }
+                emit_children(model, child, depth + 1, out);
+                let _ = writeln!(out, "{indent}}}");
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LocationModel;
+
+    #[test]
+    fn dot_contains_clusters_nodes_and_edges() {
+        let mut m = LocationModel::new("NTU");
+        let sce = m.add_composite(m.root(), "SCE").unwrap();
+        let go = m.add_primitive(sce, "SCE.GO").unwrap();
+        let cais = m.add_primitive(sce, "CAIS").unwrap();
+        m.add_edge(go, cais).unwrap();
+        m.set_entry(go).unwrap();
+        m.set_entry(sce).unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("graph \"NTU\""));
+        assert!(dot.contains("subgraph \"cluster_1\""));
+        assert!(dot.contains("label=\"SCE\""));
+        assert!(dot.contains("\"SCE.GO\" [peripheries=2]"));
+        assert!(dot.contains("\"CAIS\" [peripheries=1]"));
+        assert!(dot.contains("\"SCE.GO\" -- \"CAIS\""));
+    }
+
+    #[test]
+    fn composite_edges_anchor_on_entry_primitives() {
+        let mut m = LocationModel::new("C");
+        let b1 = m.add_composite(m.root(), "B1").unwrap();
+        let b2 = m.add_composite(m.root(), "B2").unwrap();
+        let x = m.add_primitive(b1, "x").unwrap();
+        let y = m.add_primitive(b2, "y").unwrap();
+        m.set_entry(x).unwrap();
+        m.set_entry(y).unwrap();
+        m.set_entry(b1).unwrap();
+        m.add_edge(b1, b2).unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("\"x\" -- \"y\" [ltail=\"cluster_1\", lhead=\"cluster_2\"]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut m = LocationModel::new("A\"B");
+        let p = m.add_primitive(m.root(), "room \"1\"").unwrap();
+        m.set_entry(p).unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("room \\\"1\\\""));
+        assert!(dot.contains("graph \"A\\\"B\""));
+    }
+}

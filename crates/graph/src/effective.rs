@@ -1,0 +1,263 @@
+//! The flattened, primitive-level view of a multilevel location graph.
+//!
+//! The paper's *complex route* rule (§3.1) lets a subject cross between two
+//! composite locations `l'ᵢ – l'ᵢ₊₁` (connected by an edge in their common
+//! parent graph) by leaving through an entry location of `l'ᵢ` and entering
+//! through an entry location of `l'ᵢ₊₁`. [`EffectiveGraph`] materializes
+//! exactly those crossings: its vertices are all primitive locations and its
+//! edges are
+//!
+//! * sibling edges between primitives, plus
+//! * `entry_primitives(X) × entry_primitives(Y)` for every edge `X – Y`
+//!   involving a composite.
+//!
+//! A sequence of primitives is a complex route iff consecutive elements are
+//! adjacent in the effective graph; Algorithm 1 and the route operators run
+//! directly on this view.
+
+use crate::model::{LocationId, LocationKind, LocationModel};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Primitive-level adjacency derived from a [`LocationModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EffectiveGraph {
+    /// Sorted adjacency per primitive location.
+    adjacency: BTreeMap<LocationId, Vec<LocationId>>,
+    /// Primitive entry locations of the whole infrastructure — where a
+    /// subject can enter from outside (Definition 8 requires routes "from
+    /// every entry location of G").
+    global_entries: Vec<LocationId>,
+}
+
+impl EffectiveGraph {
+    /// Flatten `model` into its primitive-level adjacency.
+    pub fn build(model: &LocationModel) -> EffectiveGraph {
+        let mut edges: BTreeSet<(LocationId, LocationId)> = BTreeSet::new();
+        let mut add = |a: LocationId, b: LocationId| {
+            if a != b {
+                edges.insert((a.min(b), a.max(b)));
+            }
+        };
+        for id in model.ids() {
+            for &nb in model.neighbors(id) {
+                if id >= nb {
+                    continue; // visit each undirected edge once
+                }
+                match (model.kind(id), model.kind(nb)) {
+                    (LocationKind::Primitive, LocationKind::Primitive) => add(id, nb),
+                    _ => {
+                        // Complex-route bridging through entry primitives.
+                        for &p in &model.entry_primitives(id) {
+                            for &q in &model.entry_primitives(nb) {
+                                add(p, q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut adjacency: BTreeMap<LocationId, Vec<LocationId>> =
+            model.primitives().map(|p| (p, Vec::new())).collect();
+        for (a, b) in edges {
+            adjacency
+                .get_mut(&a)
+                .expect("edge endpoint is primitive")
+                .push(b);
+            adjacency
+                .get_mut(&b)
+                .expect("edge endpoint is primitive")
+                .push(a);
+        }
+        for v in adjacency.values_mut() {
+            v.sort_unstable();
+        }
+        EffectiveGraph {
+            adjacency,
+            global_entries: model.entry_primitives(model.root()),
+        }
+    }
+
+    /// All primitive locations.
+    pub fn locations(&self) -> impl Iterator<Item = LocationId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Number of primitive locations.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True if there are no primitive locations.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbors of a primitive location (empty for unknown ids).
+    pub fn neighbors(&self, id: LocationId) -> &[LocationId] {
+        self.adjacency.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `a` and `b` are adjacent (one complex-route step apart).
+    pub fn adjacent(&self, a: LocationId, b: LocationId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// True if `id` is a primitive location of this graph.
+    pub fn contains(&self, id: LocationId) -> bool {
+        self.adjacency.contains_key(&id)
+    }
+
+    /// Primitive entry locations of the whole infrastructure.
+    pub fn global_entries(&self) -> &[LocationId] {
+        &self.global_entries
+    }
+
+    /// Maximum degree over all locations (the paper's `N_d`).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Restrict the view to the primitives under one composite, keeping
+    /// only edges internal to it. Entry locations become the composite's
+    /// entry primitives. Used by the per-composite pass of the multilevel
+    /// inaccessibility analysis (Lemma 1).
+    pub fn restrict_to(&self, model: &LocationModel, composite: LocationId) -> EffectiveGraph {
+        let members: BTreeSet<LocationId> = model.primitives_under(composite).into_iter().collect();
+        let adjacency = members
+            .iter()
+            .map(|&p| {
+                let nbs = self
+                    .neighbors(p)
+                    .iter()
+                    .copied()
+                    .filter(|q| members.contains(q))
+                    .collect();
+                (p, nbs)
+            })
+            .collect();
+        EffectiveGraph {
+            adjacency,
+            global_entries: model.entry_primitives(composite),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LocationModel;
+
+    /// Two buildings of two rooms each; buildings linked at the top level.
+    fn campus() -> (LocationModel, [LocationId; 4]) {
+        let mut m = LocationModel::new("Campus");
+        let b1 = m.add_composite(m.root(), "B1").unwrap();
+        let b2 = m.add_composite(m.root(), "B2").unwrap();
+        let lobby1 = m.add_primitive(b1, "B1.Lobby").unwrap();
+        let office1 = m.add_primitive(b1, "B1.Office").unwrap();
+        let lobby2 = m.add_primitive(b2, "B2.Lobby").unwrap();
+        let office2 = m.add_primitive(b2, "B2.Office").unwrap();
+        m.add_edge(lobby1, office1).unwrap();
+        m.add_edge(lobby2, office2).unwrap();
+        m.add_edge(b1, b2).unwrap();
+        m.set_entry(lobby1).unwrap();
+        m.set_entry(lobby2).unwrap();
+        m.set_entry(b1).unwrap();
+        m.validate().unwrap();
+        (m, [lobby1, office1, lobby2, office2])
+    }
+
+    #[test]
+    fn composite_edges_bridge_entry_primitives() {
+        let (m, [lobby1, office1, lobby2, office2]) = campus();
+        let g = EffectiveGraph::build(&m);
+        assert_eq!(g.len(), 4);
+        assert!(g.adjacent(lobby1, office1));
+        assert!(g.adjacent(lobby2, office2));
+        // The B1–B2 edge bridges the two lobbies (the entry primitives)...
+        assert!(g.adjacent(lobby1, lobby2));
+        // ... and nothing else.
+        assert!(!g.adjacent(office1, office2));
+        assert!(!g.adjacent(office1, lobby2));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (m, _) = campus();
+        let g = EffectiveGraph::build(&m);
+        for a in g.locations() {
+            for &b in g.neighbors(a) {
+                assert!(g.adjacent(b, a), "asymmetric edge {a} – {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_entries_follow_entry_designations() {
+        let (m, [lobby1, ..]) = campus();
+        let g = EffectiveGraph::build(&m);
+        // Only B1 is an entry of the campus; its entry primitive is lobby1.
+        assert_eq!(g.global_entries(), &[lobby1]);
+    }
+
+    #[test]
+    fn multi_entry_composites_bridge_all_entries() {
+        let mut m = LocationModel::new("C");
+        let b1 = m.add_composite(m.root(), "B1").unwrap();
+        let x = m.add_primitive(b1, "x").unwrap();
+        let y = m.add_primitive(b1, "y").unwrap();
+        m.add_edge(x, y).unwrap();
+        m.set_entry(x).unwrap();
+        m.set_entry(y).unwrap();
+        let z = m.add_primitive(m.root(), "z").unwrap();
+        m.add_edge(b1, z).unwrap();
+        m.set_entry(b1).unwrap();
+        let g = EffectiveGraph::build(&m);
+        assert!(g.adjacent(x, z));
+        assert!(g.adjacent(y, z));
+    }
+
+    #[test]
+    fn nested_composites_recurse_entries() {
+        let mut m = LocationModel::new("W");
+        let outer = m.add_composite(m.root(), "outer").unwrap();
+        let inner = m.add_composite(outer, "inner").unwrap();
+        let core = m.add_primitive(inner, "core").unwrap();
+        let hall = m.add_primitive(outer, "hall").unwrap();
+        let gate = m.add_primitive(m.root(), "gate").unwrap();
+        m.add_edge(inner, hall).unwrap();
+        m.add_edge(outer, gate).unwrap();
+        m.set_entry(core).unwrap();
+        m.set_entry(inner).unwrap();
+        m.set_entry(gate).unwrap();
+        // outer's entry is the nested composite `inner`, whose entry is `core`.
+        let g = EffectiveGraph::build(&m);
+        assert!(g.adjacent(core, hall)); // inner–hall edge
+        assert!(g.adjacent(core, gate)); // outer–gate edge recurses to core
+    }
+
+    #[test]
+    fn restrict_to_keeps_internal_edges_only() {
+        let (m, [lobby1, office1, ..]) = campus();
+        let g = EffectiveGraph::build(&m);
+        let b1 = m.id("B1").unwrap();
+        let r = g.restrict_to(&m, b1);
+        assert_eq!(r.len(), 2);
+        assert!(r.adjacent(lobby1, office1));
+        assert_eq!(r.global_entries(), &[lobby1]);
+        assert_eq!(r.edge_count(), 1);
+    }
+
+    #[test]
+    fn max_degree_reports_nd() {
+        let (m, _) = campus();
+        let g = EffectiveGraph::build(&m);
+        assert_eq!(g.max_degree(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! The paper's running examples as ready-made location models.
+//!
+//! * [`ntu_campus`] — the NTU campus of Figures 1 and 2: schools SCE, EEE,
+//!   CEE, SME and NBS under the NTU multilevel location graph.
+//! * [`fig4_cycle`] — the four-location cycle of Figure 4 used by the
+//!   inaccessible-location example (Tables 1 and 2).
+//!
+//! Where the figures leave details unstated (exact edges inside EEE, the
+//! contents of CEE/SME/NBS, NTU-level entries) we make the smallest
+//! consistent choice and record it in `EXPERIMENTS.md`. Every route the
+//! paper states explicitly is validated by tests here:
+//!
+//! * simple route `⟨SCE.DeanOffice, SCE.SectionA, SCE.SectionB, CAIS⟩`,
+//! * complex route `⟨EEE.DeanOffice, EEE.SectionA, EEE.GO, SCE.GO,
+//!   SCE.SectionA, SCE.DeanOffice⟩`,
+//! * "the edge between SCE.SectionB and CAIS",
+//! * entry locations SCE.GO and SCE.SectionC of SCE.
+
+use crate::model::{LocationId, LocationModel};
+
+/// Handles to the named locations of the NTU campus (Figures 1 and 2).
+#[derive(Debug, Clone)]
+pub struct NtuCampus {
+    /// The campus model; root is `NTU`.
+    pub model: LocationModel,
+    /// School of Computer Engineering (composite).
+    pub sce: LocationId,
+    /// SCE general office — entry location of SCE.
+    pub sce_go: LocationId,
+    /// SCE dean's office.
+    pub sce_dean: LocationId,
+    /// SCE section A.
+    pub sce_a: LocationId,
+    /// SCE section B.
+    pub sce_b: LocationId,
+    /// SCE section C — entry location of SCE.
+    pub sce_c: LocationId,
+    /// Centre for Advanced Information Systems (research centre in SCE).
+    pub cais: LocationId,
+    /// CHIPES research centre in SCE.
+    pub chipes: LocationId,
+    /// School of Electrical and Electronic Engineering (composite).
+    pub eee: LocationId,
+    /// EEE general office — entry location of EEE.
+    pub eee_go: LocationId,
+    /// EEE dean's office.
+    pub eee_dean: LocationId,
+    /// EEE section A.
+    pub eee_a: LocationId,
+    /// EEE section B.
+    pub eee_b: LocationId,
+    /// EEE section C — entry location of EEE.
+    pub eee_c: LocationId,
+    /// Lab 1 in EEE.
+    pub lab1: LocationId,
+    /// Lab 2 in EEE.
+    pub lab2: LocationId,
+    /// School of Civil and Environmental Engineering (composite).
+    pub cee: LocationId,
+    /// School of Mechanical Engineering (composite).
+    pub sme: LocationId,
+    /// Nanyang Business School (composite).
+    pub nbs: LocationId,
+}
+
+/// Build the NTU campus of Figures 1 and 2.
+///
+/// SCE and EEE are laid out exactly as the figures and §3.1's route examples
+/// dictate; CEE, SME and NBS are shown unexpanded in Figure 2, so each gets
+/// a minimal interior (a general office serving as entry plus one office).
+/// NTU-level edges form `SCE – EEE` (required by the complex-route example)
+/// plus a chain through the remaining schools; SCE and EEE are the campus
+/// entry locations.
+pub fn ntu_campus() -> NtuCampus {
+    let mut m = LocationModel::new("NTU");
+    let root = m.root();
+
+    // --- SCE -------------------------------------------------------------
+    let sce = m.add_composite(root, "SCE").expect("fresh name");
+    let sce_go = m.add_primitive(sce, "SCE.GO").expect("fresh name");
+    let sce_dean = m.add_primitive(sce, "SCE.DeanOffice").expect("fresh name");
+    let sce_a = m.add_primitive(sce, "SCE.SectionA").expect("fresh name");
+    let sce_b = m.add_primitive(sce, "SCE.SectionB").expect("fresh name");
+    let sce_c = m.add_primitive(sce, "SCE.SectionC").expect("fresh name");
+    let cais = m.add_primitive(sce, "CAIS").expect("fresh name");
+    let chipes = m.add_primitive(sce, "CHIPES").expect("fresh name");
+    for (a, b) in [
+        (sce_go, sce_a),
+        (sce_a, sce_b),
+        (sce_b, sce_c),
+        (sce_dean, sce_a),
+        (sce_b, cais),   // stated in §3.1
+        (sce_c, chipes), // Figure 2 layout
+        (cais, chipes),  // Figure 2 layout
+    ] {
+        m.add_edge(a, b).expect("siblings");
+    }
+    m.set_entry(sce_go).expect("valid id");
+    m.set_entry(sce_c).expect("valid id");
+
+    // --- EEE (mirror of SCE per Figure 1) ---------------------------------
+    let eee = m.add_composite(root, "EEE").expect("fresh name");
+    let eee_go = m.add_primitive(eee, "EEE.GO").expect("fresh name");
+    let eee_dean = m.add_primitive(eee, "EEE.DeanOffice").expect("fresh name");
+    let eee_a = m.add_primitive(eee, "EEE.SectionA").expect("fresh name");
+    let eee_b = m.add_primitive(eee, "EEE.SectionB").expect("fresh name");
+    let eee_c = m.add_primitive(eee, "EEE.SectionC").expect("fresh name");
+    let lab1 = m.add_primitive(eee, "Lab1").expect("fresh name");
+    let lab2 = m.add_primitive(eee, "Lab2").expect("fresh name");
+    for (a, b) in [
+        (eee_go, eee_a),
+        (eee_a, eee_b),
+        (eee_b, eee_c),
+        (eee_dean, eee_a),
+        (eee_b, lab1),
+        (eee_c, lab2),
+        (lab1, lab2),
+    ] {
+        m.add_edge(a, b).expect("siblings");
+    }
+    m.set_entry(eee_go).expect("valid id");
+    m.set_entry(eee_c).expect("valid id");
+
+    // --- CEE / SME / NBS (unexpanded in Figure 2) --------------------------
+    let school = |m: &mut LocationModel, name: &str| {
+        let comp = m.add_composite(root, name).expect("fresh name");
+        let go = m
+            .add_primitive(comp, format!("{name}.GO"))
+            .expect("fresh name");
+        let office = m
+            .add_primitive(comp, format!("{name}.Office"))
+            .expect("fresh name");
+        m.add_edge(go, office).expect("siblings");
+        m.set_entry(go).expect("valid id");
+        comp
+    };
+    let cee = school(&mut m, "CEE");
+    let sme = school(&mut m, "SME");
+    let nbs = school(&mut m, "NBS");
+
+    // --- NTU level ----------------------------------------------------------
+    for (a, b) in [(sce, eee), (eee, cee), (cee, sme), (sme, nbs), (nbs, sce)] {
+        m.add_edge(a, b).expect("siblings");
+    }
+    m.set_entry(sce).expect("valid id");
+    m.set_entry(eee).expect("valid id");
+
+    m.validate().expect("campus model is well-formed");
+
+    NtuCampus {
+        model: m,
+        sce,
+        sce_go,
+        sce_dean,
+        sce_a,
+        sce_b,
+        sce_c,
+        cais,
+        chipes,
+        eee,
+        eee_go,
+        eee_dean,
+        eee_a,
+        eee_b,
+        eee_c,
+        lab1,
+        lab2,
+        cee,
+        sme,
+        nbs,
+    }
+}
+
+/// Handles to the Figure 4 example graph.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// The model; root `G` contains the four primitives.
+    pub model: LocationModel,
+    /// Entry location A.
+    pub a: LocationId,
+    /// Location B.
+    pub b: LocationId,
+    /// Location C.
+    pub c: LocationId,
+    /// Location D.
+    pub d: LocationId,
+}
+
+/// Build Figure 4: locations A, B, C, D in a cycle `A–B–C–D–A`; A is the
+/// entry location. ("Its neighboring locations B and D are to be examined"
+/// and "the flags of A and C are set to true because they are the neighbors
+/// of B and D" fix the topology.)
+pub fn fig4_cycle() -> Fig4 {
+    let mut m = LocationModel::new("G");
+    let a = m.add_primitive(m.root(), "A").expect("fresh name");
+    let b = m.add_primitive(m.root(), "B").expect("fresh name");
+    let c = m.add_primitive(m.root(), "C").expect("fresh name");
+    let d = m.add_primitive(m.root(), "D").expect("fresh name");
+    for (x, y) in [(a, b), (b, c), (c, d), (d, a)] {
+        m.add_edge(x, y).expect("siblings");
+    }
+    m.set_entry(a).expect("valid id");
+    m.validate().expect("fig4 model is well-formed");
+    Fig4 {
+        model: m,
+        a,
+        b,
+        c,
+        d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effective::EffectiveGraph;
+    use crate::route::{shortest_route, Route};
+
+    #[test]
+    fn campus_validates() {
+        let ntu = ntu_campus();
+        assert!(ntu.model.validate().is_ok());
+        // 14 SCE/EEE primitives + 6 school-stub primitives.
+        assert_eq!(ntu.model.primitives().count(), 20);
+    }
+
+    #[test]
+    fn paper_simple_route_holds() {
+        // §3.1: ⟨SCE.DeanOffice, SCE.SectionA, SCE.SectionB, CAIS⟩.
+        let ntu = ntu_campus();
+        let r = Route::simple(&ntu.model, &[ntu.sce_dean, ntu.sce_a, ntu.sce_b, ntu.cais]);
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn paper_complex_route_holds() {
+        // §3.1: ⟨EEE.DeanOffice, EEE.SectionA, EEE.GO, SCE.GO, SCE.SectionA,
+        // SCE.DeanOffice⟩.
+        let ntu = ntu_campus();
+        let g = EffectiveGraph::build(&ntu.model);
+        let r = Route::complex(
+            &g,
+            &[
+                ntu.eee_dean,
+                ntu.eee_a,
+                ntu.eee_go,
+                ntu.sce_go,
+                ntu.sce_a,
+                ntu.sce_dean,
+            ],
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn sce_entries_match_paper() {
+        let ntu = ntu_campus();
+        let entries = ntu.model.entries_of(ntu.sce);
+        assert_eq!(entries, vec![ntu.sce_go, ntu.sce_c]);
+    }
+
+    #[test]
+    fn school_crossing_requires_entries() {
+        // The SCE–EEE edge must bridge entry primitives only: EEE.GO–SCE.GO
+        // is an effective edge, EEE.Lab1–CAIS must not be.
+        let ntu = ntu_campus();
+        let g = EffectiveGraph::build(&ntu.model);
+        assert!(g.adjacent(ntu.eee_go, ntu.sce_go));
+        assert!(g.adjacent(ntu.eee_c, ntu.sce_c));
+        assert!(g.adjacent(ntu.eee_go, ntu.sce_c));
+        assert!(!g.adjacent(ntu.lab1, ntu.cais));
+        assert!(!g.adjacent(ntu.eee_a, ntu.sce_a));
+    }
+
+    #[test]
+    fn campus_is_fully_reachable_from_global_entries() {
+        let ntu = ntu_campus();
+        let g = EffectiveGraph::build(&ntu.model);
+        let entries = g.global_entries().to_vec();
+        assert!(!entries.is_empty());
+        for dst in g.locations() {
+            assert!(
+                entries
+                    .iter()
+                    .any(|&e| shortest_route(&g, e, dst).is_some()),
+                "{} unreachable from campus entries",
+                ntu.model.name(dst)
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_topology_matches_the_walkthrough() {
+        let f = fig4_cycle();
+        // "its neighboring locations B and D" (of entry A).
+        assert_eq!(f.model.neighbors(f.a), &[f.b, f.d]);
+        // "the flags of A and C ... because they are the neighbors of B and D".
+        assert_eq!(f.model.neighbors(f.b), &[f.a, f.c]);
+        assert_eq!(f.model.neighbors(f.d), &[f.a, f.c]);
+        assert!(f.model.is_entry(f.a));
+        assert!(!f.model.is_entry(f.b));
+    }
+}

@@ -1,0 +1,36 @@
+//! Location model for the LTAM authorization model.
+//!
+//! LTAM (§3.1) organizes protected space as a *multilevel location graph*:
+//!
+//! * a **primitive location** cannot be subdivided (a room),
+//! * a **composite location** groups related locations (a building),
+//! * a **location graph** `(L, E)` connects primitive locations with
+//!   bidirectional edges (Definition 1),
+//! * a **multilevel location graph** connects location graphs (or further
+//!   multilevel graphs) with mutually disjoint locations (Definition 2),
+//! * every (multilevel) location graph designates at least one **entry
+//!   location** — the first and last location visited inside it.
+//!
+//! [`LocationModel`] is a single arena holding the whole hierarchy: nodes
+//! carry a parent pointer (which guarantees the disjointness Definition 2
+//! demands), edges connect siblings only, and entry flags mark entries of
+//! their parent's graph.
+//!
+//! [`EffectiveGraph`] flattens the hierarchy to a primitive-level adjacency
+//! structure implementing the paper's *complex route* rule: an edge between
+//! composites `X–Y` becomes edges between every entry primitive of `X` and
+//! every entry primitive of `Y`. Route search, the `all_route_from` rule
+//! operator, and Algorithm 1 all run on this flat view.
+//!
+//! [`examples`] reconstructs the paper's Figure 1/2 NTU campus and the
+//! Figure 4 four-location cycle.
+
+pub mod dot;
+pub mod effective;
+pub mod examples;
+pub mod model;
+pub mod route;
+
+pub use effective::EffectiveGraph;
+pub use model::{GraphError, LocationId, LocationKind, LocationModel};
+pub use route::{Route, RouteError};

@@ -1,0 +1,421 @@
+//! Routes through (multilevel) location graphs.
+//!
+//! §3.1 defines a *simple route* as a series of primitive locations inside
+//! one location graph with consecutive elements connected by edges, and a
+//! *complex route* as one that may additionally cross between composite
+//! locations through their entry locations. [`Route`] validates both forms
+//! and provides search: shortest routes (BFS) and bounded enumeration of all
+//! simple paths (used by the `all_route_from` rule operator of §4 Example 3
+//! and by the naive inaccessibility baseline).
+
+use crate::effective::EffectiveGraph;
+use crate::model::{LocationId, LocationKind, LocationModel};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Why a location sequence is not a route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Routes have at least one location.
+    Empty,
+    /// Route element is not a primitive location.
+    NotPrimitive(LocationId),
+    /// Two consecutive elements are not connected by a permitted step.
+    Disconnected {
+        /// Index of the first element of the failing pair.
+        index: usize,
+        /// The pair itself.
+        from: LocationId,
+        /// Second element.
+        to: LocationId,
+    },
+    /// For simple routes: an element lies outside the shared location graph.
+    NotSameGraph(LocationId),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Empty => write!(f, "route must contain at least one location"),
+            RouteError::NotPrimitive(l) => write!(f, "route element {l} is not primitive"),
+            RouteError::Disconnected { index, from, to } => {
+                write!(f, "no step from {from} to {to} at position {index}")
+            }
+            RouteError::NotSameGraph(l) => {
+                write!(f, "{l} is not in the same location graph as the route head")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A validated series of primitive locations `⟨l₁, …, l_k⟩`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    locations: Vec<LocationId>,
+}
+
+impl Route {
+    /// Validate a *simple route*: all elements primitive, all in the same
+    /// location graph (same parent composite), consecutive elements joined
+    /// by sibling edges.
+    pub fn simple(model: &LocationModel, seq: &[LocationId]) -> Result<Route, RouteError> {
+        let (&first, rest) = seq.split_first().ok_or(RouteError::Empty)?;
+        if model.kind(first) != LocationKind::Primitive {
+            return Err(RouteError::NotPrimitive(first));
+        }
+        let parent = model.parent(first);
+        let mut prev = first;
+        for (i, &l) in rest.iter().enumerate() {
+            if model.kind(l) != LocationKind::Primitive {
+                return Err(RouteError::NotPrimitive(l));
+            }
+            if model.parent(l) != parent {
+                return Err(RouteError::NotSameGraph(l));
+            }
+            if !model.neighbors(prev).contains(&l) {
+                return Err(RouteError::Disconnected {
+                    index: i,
+                    from: prev,
+                    to: l,
+                });
+            }
+            prev = l;
+        }
+        Ok(Route {
+            locations: seq.to_vec(),
+        })
+    }
+
+    /// Validate a *complex route*: consecutive elements adjacent in the
+    /// effective graph (direct edge, or entry-to-entry crossing between
+    /// composites connected at some level).
+    pub fn complex(graph: &EffectiveGraph, seq: &[LocationId]) -> Result<Route, RouteError> {
+        let (&first, rest) = seq.split_first().ok_or(RouteError::Empty)?;
+        if !graph.contains(first) {
+            return Err(RouteError::NotPrimitive(first));
+        }
+        let mut prev = first;
+        for (i, &l) in rest.iter().enumerate() {
+            if !graph.contains(l) {
+                return Err(RouteError::NotPrimitive(l));
+            }
+            if !graph.adjacent(prev, l) {
+                return Err(RouteError::Disconnected {
+                    index: i,
+                    from: prev,
+                    to: l,
+                });
+            }
+            prev = l;
+        }
+        Ok(Route {
+            locations: seq.to_vec(),
+        })
+    }
+
+    /// The source `l₁`.
+    pub fn source(&self) -> LocationId {
+        *self.locations.first().expect("routes are non-empty")
+    }
+
+    /// The destination `l_k`.
+    pub fn destination(&self) -> LocationId {
+        *self.locations.last().expect("routes are non-empty")
+    }
+
+    /// The locations of the route in order.
+    pub fn locations(&self) -> &[LocationId] {
+        &self.locations
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Routes are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Render with location names, e.g. `⟨SCE.GO, SCE.SectionA, CAIS⟩`.
+    pub fn display<'a>(&'a self, model: &'a LocationModel) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Route, &'a LocationModel);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "⟨")?;
+                for (i, &l) in self.0.locations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.1.name(l))?;
+                }
+                write!(f, "⟩")
+            }
+        }
+        D(self, model)
+    }
+}
+
+/// Breadth-first shortest route between two primitives in the effective
+/// graph; `None` if unreachable.
+pub fn shortest_route(graph: &EffectiveGraph, src: LocationId, dst: LocationId) -> Option<Route> {
+    if !graph.contains(src) || !graph.contains(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(Route {
+            locations: vec![src],
+        });
+    }
+    let mut pred: HashMap<LocationId, LocationId> = HashMap::new();
+    let mut queue = VecDeque::from([src]);
+    while let Some(cur) = queue.pop_front() {
+        for &nb in graph.neighbors(cur) {
+            if nb != src && !pred.contains_key(&nb) {
+                pred.insert(nb, cur);
+                if nb == dst {
+                    let mut path = vec![dst];
+                    let mut at = dst;
+                    while at != src {
+                        at = pred[&at];
+                        path.push(at);
+                    }
+                    path.reverse();
+                    return Some(Route { locations: path });
+                }
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+/// Enumerate all simple paths (no repeated location) from `src` to `dst`,
+/// depth-first, bounded by `max_len` locations and `max_routes` results.
+///
+/// Path counts are exponential in general; the bounds keep the naive
+/// inaccessibility baseline and the `all_route_from` operator total.
+pub fn all_routes(
+    graph: &EffectiveGraph,
+    src: LocationId,
+    dst: LocationId,
+    max_len: usize,
+    max_routes: usize,
+) -> Vec<Route> {
+    let mut out = Vec::new();
+    if !graph.contains(src) || !graph.contains(dst) || max_len == 0 || max_routes == 0 {
+        return out;
+    }
+    let mut stack = vec![src];
+    let mut on_path: BTreeSet<LocationId> = BTreeSet::from([src]);
+    // Iterative DFS with an explicit neighbor cursor per level.
+    let mut cursors = vec![0usize];
+    loop {
+        let depth = stack.len() - 1;
+        let cur = stack[depth];
+        if cur == dst && cursors[depth] == 0 {
+            out.push(Route {
+                locations: stack.clone(),
+            });
+            if out.len() >= max_routes {
+                return out;
+            }
+            // Do not extend past the destination: a simple path through dst
+            // and back would revisit it.
+            on_path.remove(&cur);
+            stack.pop();
+            cursors.pop();
+            if stack.is_empty() {
+                return out;
+            }
+            continue;
+        }
+        let nbs = graph.neighbors(cur);
+        let mut advanced = false;
+        while cursors[depth] < nbs.len() {
+            let nb = nbs[cursors[depth]];
+            cursors[depth] += 1;
+            if stack.len() < max_len && !on_path.contains(&nb) {
+                stack.push(nb);
+                on_path.insert(nb);
+                cursors.push(0);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            on_path.remove(&cur);
+            stack.pop();
+            cursors.pop();
+            if stack.is_empty() {
+                return out;
+            }
+        }
+    }
+}
+
+/// Union of the locations appearing on any simple path from `src` to `dst`
+/// (the §4 `all_route_from` location operator), bounded like [`all_routes`].
+pub fn locations_on_routes(
+    graph: &EffectiveGraph,
+    src: LocationId,
+    dst: LocationId,
+    max_len: usize,
+    max_routes: usize,
+) -> Vec<LocationId> {
+    let mut set: BTreeSet<LocationId> = BTreeSet::new();
+    for r in all_routes(graph, src, dst, max_len, max_routes) {
+        set.extend(r.locations().iter().copied());
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LocationModel;
+
+    /// Line graph a–b–c–d plus chord b–d, all in one location graph.
+    fn line_with_chord() -> (LocationModel, EffectiveGraph, [LocationId; 4]) {
+        let mut m = LocationModel::new("G");
+        let a = m.add_primitive(m.root(), "a").unwrap();
+        let b = m.add_primitive(m.root(), "b").unwrap();
+        let c = m.add_primitive(m.root(), "c").unwrap();
+        let d = m.add_primitive(m.root(), "d").unwrap();
+        m.add_edge(a, b).unwrap();
+        m.add_edge(b, c).unwrap();
+        m.add_edge(c, d).unwrap();
+        m.add_edge(b, d).unwrap();
+        m.set_entry(a).unwrap();
+        let g = EffectiveGraph::build(&m);
+        (m, g, [a, b, c, d])
+    }
+
+    #[test]
+    fn simple_route_validates_edges_and_graph_membership() {
+        let (m, _, [a, b, c, d]) = line_with_chord();
+        assert!(Route::simple(&m, &[a, b, c, d]).is_ok());
+        assert!(Route::simple(&m, &[a, b, d]).is_ok());
+        assert_eq!(
+            Route::simple(&m, &[a, c]).unwrap_err(),
+            RouteError::Disconnected {
+                index: 0,
+                from: a,
+                to: c
+            }
+        );
+        assert_eq!(Route::simple(&m, &[]).unwrap_err(), RouteError::Empty);
+    }
+
+    #[test]
+    fn simple_route_rejects_cross_graph_elements() {
+        let mut m = LocationModel::new("W");
+        let b1 = m.add_composite(m.root(), "B1").unwrap();
+        let b2 = m.add_composite(m.root(), "B2").unwrap();
+        let x = m.add_primitive(b1, "x").unwrap();
+        let y = m.add_primitive(b2, "y").unwrap();
+        m.set_entry(x).unwrap();
+        m.set_entry(y).unwrap();
+        m.add_edge(b1, b2).unwrap();
+        assert_eq!(
+            Route::simple(&m, &[x, y]).unwrap_err(),
+            RouteError::NotSameGraph(y)
+        );
+        // But it is a valid complex route.
+        let g = EffectiveGraph::build(&m);
+        assert!(Route::complex(&g, &[x, y]).is_ok());
+    }
+
+    #[test]
+    fn simple_route_rejects_composites() {
+        let mut m = LocationModel::new("W");
+        let b1 = m.add_composite(m.root(), "B1").unwrap();
+        let x = m.add_primitive(b1, "x").unwrap();
+        m.set_entry(x).unwrap();
+        assert_eq!(
+            Route::simple(&m, &[b1]).unwrap_err(),
+            RouteError::NotPrimitive(b1)
+        );
+    }
+
+    #[test]
+    fn source_and_destination() {
+        let (m, _, [a, b, c, d]) = line_with_chord();
+        let r = Route::simple(&m, &[a, b, c, d]).unwrap();
+        assert_eq!(r.source(), a);
+        assert_eq!(r.destination(), d);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn shortest_route_takes_the_chord() {
+        let (_, g, [a, _, _, d]) = line_with_chord();
+        let r = shortest_route(&g, a, d).unwrap();
+        assert_eq!(r.len(), 3); // a–b–d beats a–b–c–d
+        assert_eq!(r.source(), a);
+        assert_eq!(r.destination(), d);
+    }
+
+    #[test]
+    fn shortest_route_to_self_is_singleton() {
+        let (_, g, [a, ..]) = line_with_chord();
+        let r = shortest_route(&g, a, a).unwrap();
+        assert_eq!(r.locations(), &[a]);
+    }
+
+    #[test]
+    fn shortest_route_unreachable_is_none() {
+        let mut m = LocationModel::new("W");
+        let a = m.add_primitive(m.root(), "a").unwrap();
+        let b = m.add_primitive(m.root(), "b").unwrap();
+        m.set_entry(a).unwrap();
+        let g = EffectiveGraph::build(&m);
+        assert!(shortest_route(&g, a, b).is_none());
+    }
+
+    #[test]
+    fn all_routes_enumerates_simple_paths() {
+        let (_, g, [a, _, _, d]) = line_with_chord();
+        let routes = all_routes(&g, a, d, 10, 100);
+        // a-b-d and a-b-c-d.
+        assert_eq!(routes.len(), 2);
+        let lens: Vec<usize> = routes.iter().map(Route::len).collect();
+        assert!(lens.contains(&3) && lens.contains(&4));
+    }
+
+    #[test]
+    fn all_routes_respects_bounds() {
+        let (_, g, [a, _, _, d]) = line_with_chord();
+        assert_eq!(all_routes(&g, a, d, 3, 100).len(), 1); // only a-b-d fits
+        assert_eq!(all_routes(&g, a, d, 10, 1).len(), 1);
+        assert!(all_routes(&g, a, d, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn all_routes_to_self() {
+        let (_, g, [a, ..]) = line_with_chord();
+        let routes = all_routes(&g, a, a, 5, 10);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].locations(), &[a]);
+    }
+
+    #[test]
+    fn locations_on_routes_unions_paths() {
+        let (_, g, [a, b, c, d]) = line_with_chord();
+        let locs = locations_on_routes(&g, a, d, 10, 100);
+        assert_eq!(locs, vec![a, b, c, d]);
+        let locs_short = locations_on_routes(&g, a, d, 3, 100);
+        assert_eq!(locs_short, vec![a, b, d]);
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let (m, _, [a, b, ..]) = line_with_chord();
+        let r = Route::simple(&m, &[a, b]).unwrap();
+        assert_eq!(r.display(&m).to_string(), "⟨a, b⟩");
+    }
+}

@@ -1,0 +1,271 @@
+//! Scenario library: end-to-end stories from the paper's introduction.
+//!
+//! * [`tailgating_differential`] — §1's motivating threat: a group enters
+//!   on one person's authorization. LTAM's continuous monitoring flags
+//!   every unauthorized body; the card-reader baseline sees nothing.
+//! * [`sars_contact_tracing`] — the Singapore SARS deployment: trace
+//!   everyone co-located with a diagnosed patient and produce the
+//!   quarantine list from the movements database.
+//! * [`overstay_detection`] — exit-window enforcement: subjects who stay
+//!   past their exit windows raise alerts (and only they do).
+
+use crate::gen::{grid_building, rng};
+use crate::walker::{run_population, Behavior, Walker};
+use ltam_core::model::{Authorization, EntryLimit};
+use ltam_core::subject::SubjectId;
+use ltam_engine::baseline::{CardReaderEngine, Enforcement};
+use ltam_engine::engine::AccessControlEngine;
+use ltam_engine::violation::Violation;
+use ltam_time::{Interval, Time};
+
+/// Outcome of the tailgating differential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailgatingOutcome {
+    /// Unauthorized group members following the leader.
+    pub tailgaters: usize,
+    /// Unauthorized entries LTAM detected.
+    pub ltam_detected: usize,
+    /// Unauthorized entries the card-reader baseline detected (always 0).
+    pub baseline_detected: usize,
+}
+
+/// One authorized leader swipes in; `tailgaters` unauthorized people follow
+/// through every door. Both engines observe identical movement streams.
+pub fn tailgating_differential(tailgaters: usize, ticks: u64, seed: u64) -> TailgatingOutcome {
+    let world = grid_building(4, 4);
+    let leader = SubjectId(0);
+    let followers: Vec<SubjectId> = (1..=tailgaters as u32).map(SubjectId).collect();
+
+    let mut ltam = AccessControlEngine::new(world.model.clone());
+    ltam.profiles_mut().add_user("Leader", "staff");
+    for (i, _) in followers.iter().enumerate() {
+        ltam.profiles_mut().add_user(format!("Tail{i}"), "?");
+    }
+    let mut reader = CardReaderEngine::new(world.model.clone());
+    for l in world.graph.locations() {
+        let auth = Authorization::new(
+            Interval::ALL,
+            Interval::ALL,
+            leader,
+            l,
+            EntryLimit::Unbounded,
+        )
+        .expect("open windows are valid");
+        ltam.add_authorization(auth);
+        reader.add_authorization(auth);
+    }
+
+    let run = |engine: &mut dyn Enforcement, seed: u64| {
+        let mut walkers: Vec<Walker> =
+            vec![Walker::new(leader, Behavior::Compliant { max_stay: 3 })];
+        walkers.extend(
+            followers
+                .iter()
+                .map(|&s| Walker::new(s, Behavior::Tailgater)),
+        );
+        let mut r = rng(seed);
+        run_population(&mut walkers, &world.graph, engine, ticks, &mut r);
+    };
+    run(&mut ltam, seed);
+    run(&mut reader, seed);
+
+    let count_unauthorized = |vs: &[Violation]| {
+        vs.iter()
+            .filter(|v| matches!(v, Violation::UnauthorizedEntry { .. }))
+            .count()
+    };
+    TailgatingOutcome {
+        tailgaters,
+        ltam_detected: count_unauthorized(ltam.violations()),
+        baseline_detected: count_unauthorized(reader.detected_violations()),
+    }
+}
+
+/// Outcome of the contact-tracing scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContactTracingOutcome {
+    /// Staff members simulated (excluding the patient).
+    pub staff: usize,
+    /// Subjects co-located with the patient during the exposure window.
+    pub quarantine: Vec<SubjectId>,
+    /// Total co-location records found.
+    pub contact_records: usize,
+}
+
+/// A hospital ward: one infectious patient and `staff` staff walk for
+/// `ticks`; afterwards the movements database answers "who shared a room
+/// with the patient during the exposure window?" — the RFID/SARS use case
+/// of §1.
+pub fn sars_contact_tracing(staff: usize, ticks: u64, seed: u64) -> ContactTracingOutcome {
+    let world = grid_building(4, 3);
+    let patient = SubjectId(0);
+    let staff_ids: Vec<SubjectId> = (1..=staff as u32).map(SubjectId).collect();
+
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    engine.profiles_mut().add_user("Patient", "patient");
+    for (i, _) in staff_ids.iter().enumerate() {
+        engine.profiles_mut().add_user(format!("Staff{i}"), "staff");
+    }
+    for l in world.graph.locations() {
+        for &s in std::iter::once(&patient).chain(&staff_ids) {
+            engine.add_authorization(
+                Authorization::new(Interval::ALL, Interval::ALL, s, l, EntryLimit::Unbounded)
+                    .expect("open windows are valid"),
+            );
+        }
+    }
+
+    let mut walkers: Vec<Walker> = vec![Walker::new(patient, Behavior::Compliant { max_stay: 5 })];
+    walkers.extend(
+        staff_ids
+            .iter()
+            .map(|&s| Walker::new(s, Behavior::Compliant { max_stay: 4 })),
+    );
+    let mut r = rng(seed);
+    run_population(&mut walkers, &world.graph, &mut engine, ticks, &mut r);
+
+    let exposure = Interval::closed(Time::ZERO, Time(ticks)).expect("exposure window");
+    let contacts = engine.movements().contacts(patient, exposure);
+    let mut quarantine: Vec<SubjectId> = contacts.iter().map(|c| c.other).collect();
+    quarantine.sort_unstable();
+    quarantine.dedup();
+    ContactTracingOutcome {
+        staff,
+        quarantine,
+        contact_records: contacts.len(),
+    }
+}
+
+/// Outcome of the overstay scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverstayOutcome {
+    /// Subjects that deliberately overstay.
+    pub overstayers: usize,
+    /// Distinct subjects flagged with an overstay violation.
+    pub flagged: usize,
+    /// Compliant subjects wrongly flagged (should be 0).
+    pub false_positives: usize,
+}
+
+/// `overstayers` subjects sit past their exit windows while `compliant`
+/// subjects come and go properly; the engine's clock scan must flag exactly
+/// the former.
+pub fn overstay_detection(overstayers: usize, compliant: usize, seed: u64) -> OverstayOutcome {
+    let world = grid_building(3, 3);
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    let bad: Vec<SubjectId> = (0..overstayers as u32).map(SubjectId).collect();
+    let good: Vec<SubjectId> = (overstayers as u32..(overstayers + compliant) as u32)
+        .map(SubjectId)
+        .collect();
+    for (i, _) in bad.iter().chain(&good).enumerate() {
+        engine.profiles_mut().add_user(format!("u{i}"), "sim");
+    }
+    // Everyone must be out by t=30. Compliant subjects stop being admitted
+    // at t=25 so a full voluntary stay still ends inside the exit window;
+    // overstayers can enter right up to the close.
+    for l in world.graph.locations() {
+        for &s in &bad {
+            engine.add_authorization(
+                Authorization::new(
+                    Interval::lit(0, 30),
+                    Interval::lit(0, 30),
+                    s,
+                    l,
+                    EntryLimit::Unbounded,
+                )
+                .expect("valid windows"),
+            );
+        }
+        for &s in &good {
+            engine.add_authorization(
+                Authorization::new(
+                    Interval::lit(0, 25),
+                    Interval::lit(0, 30),
+                    s,
+                    l,
+                    EntryLimit::Unbounded,
+                )
+                .expect("valid windows"),
+            );
+        }
+    }
+    let mut walkers: Vec<Walker> = bad
+        .iter()
+        .map(|&s| Walker::new(s, Behavior::Overstayer))
+        .chain(
+            good.iter()
+                .map(|&s| Walker::new(s, Behavior::Compliant { max_stay: 2 })),
+        )
+        .collect();
+    let mut r = rng(seed);
+    // Run past the window close so overstays become visible; compliant
+    // walkers stop being admitted after t=30 (their requests deny).
+    run_population(&mut walkers, &world.graph, &mut engine, 60, &mut r);
+
+    let mut flagged: Vec<SubjectId> = engine
+        .violations()
+        .iter()
+        .filter_map(|v| match v {
+            Violation::Overstay { subject, .. } => Some(*subject),
+            _ => None,
+        })
+        .collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+    let false_positives = flagged.iter().filter(|s| good.contains(s)).count();
+    OverstayOutcome {
+        overstayers,
+        flagged: flagged.len(),
+        false_positives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tailgating_ltam_catches_baseline_misses() {
+        let out = tailgating_differential(3, 60, 11);
+        assert!(out.ltam_detected > 0, "no tailgating detected: {out:?}");
+        assert_eq!(out.baseline_detected, 0);
+    }
+
+    #[test]
+    fn tailgating_detection_scales_with_group_size() {
+        let small = tailgating_differential(1, 60, 12);
+        let large = tailgating_differential(6, 60, 12);
+        assert!(large.ltam_detected > small.ltam_detected);
+    }
+
+    #[test]
+    fn contact_tracing_finds_colocated_staff() {
+        let out = sars_contact_tracing(6, 120, 13);
+        assert!(!out.quarantine.is_empty(), "no contacts found: {out:?}");
+        assert!(out.quarantine.len() <= out.staff);
+        assert!(out.contact_records >= out.quarantine.len());
+        // The patient never appears in their own quarantine list.
+        assert!(!out.quarantine.contains(&SubjectId(0)));
+    }
+
+    #[test]
+    fn contact_tracing_is_deterministic() {
+        assert_eq!(
+            sars_contact_tracing(4, 80, 14),
+            sars_contact_tracing(4, 80, 14)
+        );
+    }
+
+    #[test]
+    fn overstay_flags_exactly_the_overstayers() {
+        let out = overstay_detection(3, 5, 15);
+        assert_eq!(out.flagged, 3, "{out:?}");
+        assert_eq!(out.false_positives, 0);
+    }
+
+    #[test]
+    fn no_overstayers_no_flags() {
+        let out = overstay_detection(0, 5, 16);
+        assert_eq!(out.flagged, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Non-empty closed time intervals with an optionally unbounded end.
+
+use crate::point::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The upper endpoint of an [`Interval`]: a finite chronon or `∞`.
+///
+/// The paper writes unbounded windows as `[t, ∞]` (e.g. a missing exit
+/// duration defaults to `[tᵢ₁, ∞]`, Definition 4). The derived ordering
+/// places every finite bound before `Unbounded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bound {
+    /// A finite, inclusive upper endpoint.
+    At(Time),
+    /// The interval extends forever (`∞`).
+    Unbounded,
+}
+
+impl Bound {
+    /// The finite endpoint, if any.
+    #[inline]
+    pub fn finite(self) -> Option<Time> {
+        match self {
+            Bound::At(t) => Some(t),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// True if the bound is `∞`.
+    #[inline]
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, Bound::Unbounded)
+    }
+
+    /// The smaller of two bounds (`∞` is the top element).
+    #[inline]
+    pub fn min(self, other: Bound) -> Bound {
+        std::cmp::min(self, other)
+    }
+
+    /// The larger of two bounds.
+    #[inline]
+    pub fn max(self, other: Bound) -> Bound {
+        std::cmp::max(self, other)
+    }
+
+    /// True if a time point lies at or below this bound.
+    #[inline]
+    pub fn admits(self, t: Time) -> bool {
+        match self {
+            Bound::At(e) => t <= e,
+            Bound::Unbounded => true,
+        }
+    }
+}
+
+impl From<Time> for Bound {
+    fn from(t: Time) -> Self {
+        Bound::At(t)
+    }
+}
+
+impl From<u64> for Bound {
+    fn from(v: u64) -> Self {
+        Bound::At(Time(v))
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::At(t) => write!(f, "{t}"),
+            Bound::Unbounded => write!(f, "∞"),
+        }
+    }
+}
+
+/// Errors from interval construction and temporal arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeError {
+    /// The requested interval `[start, end]` has `end < start` and would be
+    /// empty — the paper's `NULL` interval, which is unrepresentable here.
+    EmptyInterval {
+        /// Requested start.
+        start: Time,
+        /// Requested (finite) end.
+        end: Time,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::EmptyInterval { start, end } => {
+                write!(f, "empty interval: [{start}, {end}] has end < start")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
+/// A non-empty closed interval of chronons `[start, end]`, `end` possibly `∞`.
+///
+/// Invariant: `start ≤ end`. Empty intervals cannot be constructed —
+/// deserialization re-validates — and operations that could produce one
+/// (intersection, clamping) return `Option<Interval>` instead, matching the
+/// paper's use of `NULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "RawInterval", into = "RawInterval")]
+pub struct Interval {
+    start: Time,
+    end: Bound,
+}
+
+/// Wire form of [`Interval`]; conversion re-runs validation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct RawInterval {
+    start: Time,
+    end: Bound,
+}
+
+impl TryFrom<RawInterval> for Interval {
+    type Error = TimeError;
+    fn try_from(raw: RawInterval) -> Result<Interval, TimeError> {
+        Interval::new(raw.start, raw.end)
+    }
+}
+
+impl From<Interval> for RawInterval {
+    fn from(i: Interval) -> RawInterval {
+        RawInterval {
+            start: i.start,
+            end: i.end,
+        }
+    }
+}
+
+impl Interval {
+    /// `[start, end]`; fails if the interval would be empty.
+    pub fn new(start: Time, end: Bound) -> Result<Interval, TimeError> {
+        match end {
+            Bound::At(e) if e < start => Err(TimeError::EmptyInterval { start, end: e }),
+            _ => Ok(Interval { start, end }),
+        }
+    }
+
+    /// `[a, b]` with finite endpoints; fails if `b < a`.
+    pub fn closed(a: impl Into<Time>, b: impl Into<Time>) -> Result<Interval, TimeError> {
+        Interval::new(a.into(), Bound::At(b.into()))
+    }
+
+    /// `[a, b]` with finite raw endpoints, panicking on `b < a`.
+    ///
+    /// Intended for literals in tests, examples and the paper-reproduction
+    /// harness where the operands are constants from the paper.
+    pub fn lit(a: u64, b: u64) -> Interval {
+        Interval::closed(a, b).expect("literal interval must satisfy a <= b")
+    }
+
+    /// `[start, ∞]`.
+    pub fn from_start(start: impl Into<Time>) -> Interval {
+        Interval {
+            start: start.into(),
+            end: Bound::Unbounded,
+        }
+    }
+
+    /// The single-chronon interval `[t, t]`.
+    pub fn point(t: impl Into<Time>) -> Interval {
+        let t = t.into();
+        Interval {
+            start: t,
+            end: Bound::At(t),
+        }
+    }
+
+    /// `[0, ∞]` — the whole timeline, Definition 8's access request duration.
+    pub const ALL: Interval = Interval {
+        start: Time::ZERO,
+        end: Bound::Unbounded,
+    };
+
+    /// Inclusive lower endpoint.
+    #[inline]
+    pub fn start(self) -> Time {
+        self.start
+    }
+
+    /// Inclusive upper endpoint.
+    #[inline]
+    pub fn end(self) -> Bound {
+        self.end
+    }
+
+    /// True if the interval extends to `∞`.
+    #[inline]
+    pub fn is_unbounded(self) -> bool {
+        self.end.is_unbounded()
+    }
+
+    /// Number of chronons in the interval (its *size*, §3.1), or `None` if
+    /// unbounded.
+    pub fn size(self) -> Option<u64> {
+        match self.end {
+            Bound::At(e) => Some(e.get() - self.start.get() + 1),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// True if `t ∈ [start, end]`.
+    #[inline]
+    pub fn contains(self, t: Time) -> bool {
+        t >= self.start && self.end.admits(t)
+    }
+
+    /// True if `other` is entirely inside `self`.
+    pub fn contains_interval(self, other: Interval) -> bool {
+        other.start >= self.start
+            && match (self.end, other.end) {
+                (Bound::Unbounded, _) => true,
+                (Bound::At(_), Bound::Unbounded) => false,
+                (Bound::At(a), Bound::At(b)) => b <= a,
+            }
+    }
+
+    /// True if the two intervals share at least one chronon.
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.end.admits(other.start) && other.end.admits(self.start)
+    }
+
+    /// True if the intervals are disjoint but consecutive in discrete time
+    /// (e.g. `[1,5]` and `[6,9]`), so their union is a single interval.
+    pub fn adjacent(self, other: Interval) -> bool {
+        let follows = |a: Interval, b: Interval| match a.end {
+            Bound::At(e) => e.succ() == b.start && e != Time::MAX,
+            Bound::Unbounded => false,
+        };
+        follows(self, other) || follows(other, self)
+    }
+
+    /// Intersection, or `None` if the intervals are disjoint — the paper's
+    /// `INTERSECTION` operator returns `NULL` in that case (Definition 5).
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        Interval::new(start, end).ok()
+    }
+
+    /// Union of two overlapping or adjacent intervals, `None` if they are
+    /// separated (their union would not be a single interval).
+    pub fn merge(self, other: Interval) -> Option<Interval> {
+        if self.overlaps(other) || self.adjacent(other) {
+            Some(Interval {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// `[max(start, t), end]`, or `None` if that is empty.
+    ///
+    /// This is the building block of §6's *grant duration*
+    /// `[max(tp, tis), min(tq, tie)]` and *departure duration*
+    /// `[max(tp, tos), toe]`.
+    pub fn clamp_start(self, t: Time) -> Option<Interval> {
+        Interval::new(self.start.max(t), self.end).ok()
+    }
+
+    /// `[start, min(end, b)]`, or `None` if that is empty.
+    pub fn clamp_end(self, b: Bound) -> Option<Interval> {
+        Interval::new(self.start, self.end.min(b)).ok()
+    }
+
+    /// Both intervals strictly ordered: every chronon of `self` precedes
+    /// every chronon of `other`.
+    pub fn strictly_before(self, other: Interval) -> bool {
+        match self.end {
+            Bound::At(e) => e < other.start,
+            Bound::Unbounded => false,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert!(Interval::closed(10u64, 5u64).is_err());
+        assert!(Interval::closed(5u64, 5u64).is_ok());
+        assert_eq!(
+            Interval::closed(10u64, 5u64).unwrap_err(),
+            TimeError::EmptyInterval {
+                start: Time(10),
+                end: Time(5)
+            }
+        );
+    }
+
+    #[test]
+    fn size_counts_chronons_inclusively() {
+        assert_eq!(Interval::lit(5, 40).size(), Some(36));
+        assert_eq!(Interval::point(7u64).size(), Some(1));
+        assert_eq!(Interval::from_start(3u64).size(), None);
+    }
+
+    #[test]
+    fn contains_checks_both_endpoints() {
+        let i = Interval::lit(5, 40);
+        assert!(i.contains(Time(5)));
+        assert!(i.contains(Time(40)));
+        assert!(!i.contains(Time(4)));
+        assert!(!i.contains(Time(41)));
+        assert!(Interval::from_start(5u64).contains(Time::MAX));
+    }
+
+    #[test]
+    fn overlap_and_adjacency() {
+        let a = Interval::lit(1, 5);
+        let b = Interval::lit(5, 9);
+        let c = Interval::lit(6, 9);
+        let d = Interval::lit(8, 12);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(a.adjacent(c));
+        assert!(c.adjacent(a));
+        assert!(!a.adjacent(d));
+        assert!(!a.adjacent(a));
+    }
+
+    #[test]
+    fn intersect_matches_paper_intersection_semantics() {
+        // Definition 5: INTERSECTION([t0,t1],[t2,t3]) = [t2,t1] if t2 <= t1.
+        let base = Interval::lit(5, 20);
+        let op = Interval::lit(10, 30);
+        assert_eq!(base.intersect(op), Some(Interval::lit(10, 20)));
+        // Disjoint => NULL.
+        assert_eq!(Interval::lit(1, 4).intersect(Interval::lit(6, 9)), None);
+        // Unbounded operand.
+        assert_eq!(
+            Interval::from_start(10u64).intersect(Interval::lit(5, 12)),
+            Some(Interval::lit(10, 12))
+        );
+    }
+
+    #[test]
+    fn merge_joins_overlapping_and_adjacent() {
+        assert_eq!(
+            Interval::lit(1, 5).merge(Interval::lit(4, 9)),
+            Some(Interval::lit(1, 9))
+        );
+        assert_eq!(
+            Interval::lit(1, 5).merge(Interval::lit(6, 9)),
+            Some(Interval::lit(1, 9))
+        );
+        assert_eq!(Interval::lit(1, 5).merge(Interval::lit(7, 9)), None);
+        assert_eq!(
+            Interval::lit(1, 5).merge(Interval::from_start(2u64)),
+            Some(Interval::from_start(1u64))
+        );
+    }
+
+    #[test]
+    fn grant_duration_building_blocks() {
+        // Grant duration of [tp,tq]=[20,50] against entry [40,60]:
+        // [max(20,40), min(50,60)] = [40,50] (Table 2, Update B).
+        let entry = Interval::lit(40, 60);
+        let window = Interval::lit(20, 50);
+        let grant = entry.intersect(window);
+        assert_eq!(grant, Some(Interval::lit(40, 50)));
+        // Departure duration [max(tp,55), 80] = [55,80].
+        let exit = Interval::lit(55, 80);
+        assert_eq!(exit.clamp_start(Time(20)), Some(Interval::lit(55, 80)));
+        assert_eq!(exit.clamp_start(Time(60)), Some(Interval::lit(60, 80)));
+        assert_eq!(exit.clamp_start(Time(90)), None);
+    }
+
+    #[test]
+    fn containment_of_intervals() {
+        assert!(Interval::lit(1, 10).contains_interval(Interval::lit(3, 7)));
+        assert!(!Interval::lit(1, 10).contains_interval(Interval::lit(3, 11)));
+        assert!(Interval::from_start(0u64).contains_interval(Interval::from_start(5u64)));
+        assert!(!Interval::lit(1, 10).contains_interval(Interval::from_start(5u64)));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_start_then_end() {
+        assert!(Interval::lit(1, 5) < Interval::lit(2, 3));
+        assert!(Interval::lit(1, 5) < Interval::from_start(1u64));
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        assert_eq!(Interval::lit(5, 40).to_string(), "[5, 40]");
+        assert_eq!(Interval::from_start(5u64).to_string(), "[5, ∞]");
+    }
+
+    #[test]
+    fn strictly_before_is_a_strict_order() {
+        assert!(Interval::lit(1, 4).strictly_before(Interval::lit(5, 9)));
+        assert!(!Interval::lit(1, 5).strictly_before(Interval::lit(5, 9)));
+        assert!(!Interval::from_start(0u64).strictly_before(Interval::lit(5, 9)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete time substrate for the LTAM authorization model.
+//!
+//! LTAM (Yu & Lim, SDM/VLDB Workshop 2004, §3.1) adopts the temporal model of
+//! Bertino, Bettini and Samarati's TAM: time is a sequence of *chronons* (the
+//! smallest indivisible unit of time), a *time interval* is a set of
+//! consecutive time units, and authorization windows are closed intervals that
+//! may extend to infinity (`[t, ∞]`).
+//!
+//! This crate provides:
+//!
+//! * [`Time`] — a chronon-indexed time point,
+//! * [`Interval`] — a non-empty closed interval with an optionally unbounded
+//!   end ([`Bound`]),
+//! * [`IntervalSet`] — a normalized (sorted, disjoint, non-adjacent) set of
+//!   intervals, the value domain of Algorithm 1's overall grant/departure
+//!   times `T^g` / `T^d`,
+//! * [`IntervalTree`] — an augmented search tree indexing intervals for
+//!   stabbing and overlap queries (used by the authorization database),
+//! * [`TemporalOp`] — the four temporal operators of Definition 5
+//!   (`WHENEVER`, `WHENEVERNOT`, `UNION`, `INTERSECTION`),
+//! * [`Periodic`] — periodic time expressions (an extension the paper lists
+//!   as future work; used to generate recurring authorizations).
+//!
+//! Empty intervals are unrepresentable: constructors return
+//! `Result`/`Option`, mirroring the paper's `NULL` results.
+
+pub mod index;
+pub mod interval;
+pub mod ops;
+pub mod periodic;
+pub mod point;
+pub mod set;
+
+pub use index::{EntryId, IntervalTree};
+pub use interval::{Bound, Interval, TimeError};
+pub use ops::TemporalOp;
+pub use periodic::Periodic;
+pub use point::Time;
+pub use set::IntervalSet;

@@ -1,0 +1,163 @@
+//! Temporal operators of Definition 5.
+//!
+//! Authorization rules transform the entry/exit durations of a *base
+//! authorization* into durations for *derived authorizations* using four
+//! operators: `WHENEVER`, `WHENEVERNOT`, `UNION`, and `INTERSECTION`.
+//! All four return an [`IntervalSet`]: `WHENEVERNOT` and `UNION` may produce
+//! two intervals, `INTERSECTION` may produce none (the paper's `NULL`).
+
+use crate::interval::Interval;
+use crate::point::Time;
+use crate::set::IntervalSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A temporal operator applied to a base authorization's duration.
+///
+/// The binary operators (`UNION`, `INTERSECTION`) carry their second operand,
+/// as in the paper's rule `r2: ⟨7: a1, (INTERSECTION([10,30]), …)⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalOp {
+    /// Unary: returns the base duration unchanged.
+    Whenever,
+    /// Unary: the complement of the base duration from the rule's validity
+    /// time `tr` onwards — `[tr, t0−1]` and `[t1+1, ∞]`.
+    WheneverNot,
+    /// Binary: the union of the base duration with the operand.
+    Union(Interval),
+    /// Binary: the intersection of the base duration with the operand;
+    /// `NULL` (empty set) if they are disjoint.
+    Intersection(Interval),
+}
+
+impl TemporalOp {
+    /// Apply the operator to `base`, with `tr` the time from which the rule
+    /// is valid (used only by `WHENEVERNOT`).
+    pub fn apply(self, base: Interval, tr: Time) -> IntervalSet {
+        match self {
+            TemporalOp::Whenever => IntervalSet::of(base),
+            TemporalOp::WheneverNot => {
+                IntervalSet::of(base).complement_within(Interval::from_start(tr))
+            }
+            TemporalOp::Union(operand) => {
+                let mut s = IntervalSet::of(base);
+                s.insert(operand);
+                s
+            }
+            TemporalOp::Intersection(operand) => match base.intersect(operand) {
+                Some(i) => IntervalSet::of(i),
+                None => IntervalSet::empty(),
+            },
+        }
+    }
+
+    /// True for `WHENEVER`/`WHENEVERNOT` (no second operand).
+    pub fn is_unary(self) -> bool {
+        matches!(self, TemporalOp::Whenever | TemporalOp::WheneverNot)
+    }
+}
+
+impl Default for TemporalOp {
+    /// Definition 5: "if any of the rule elements is not specified in a rule,
+    /// the default value will be copied from the base authorization" —
+    /// i.e. the identity operator.
+    fn default() -> Self {
+        TemporalOp::Whenever
+    }
+}
+
+impl fmt::Display for TemporalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalOp::Whenever => write!(f, "WHENEVER"),
+            TemporalOp::WheneverNot => write!(f, "WHENEVERNOT"),
+            TemporalOp::Union(i) => write!(f, "UNION({i})"),
+            TemporalOp::Intersection(i) => write!(f, "INTERSECTION({i})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whenever_is_identity() {
+        let base = Interval::lit(5, 20);
+        assert_eq!(
+            TemporalOp::Whenever.apply(base, Time(7)),
+            IntervalSet::of(base)
+        );
+    }
+
+    #[test]
+    fn whenevernot_returns_both_flanks() {
+        // Definition 5: on [t0,t1] returns [tr, t0-1] and [t1+1, ∞].
+        let base = Interval::lit(10, 20);
+        let got = TemporalOp::WheneverNot.apply(base, Time(2));
+        let mut expect = IntervalSet::of(Interval::lit(2, 9));
+        expect.insert(Interval::from_start(21u64));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn whenevernot_drops_empty_leading_flank() {
+        // tr after t0 - 1: only the tail remains.
+        let base = Interval::lit(10, 20);
+        let got = TemporalOp::WheneverNot.apply(base, Time(10));
+        assert_eq!(got, IntervalSet::of(Interval::from_start(21u64)));
+    }
+
+    #[test]
+    fn whenevernot_of_unbounded_base_keeps_only_prefix() {
+        let base = Interval::from_start(10u64);
+        let got = TemporalOp::WheneverNot.apply(base, Time(0));
+        assert_eq!(got, IntervalSet::of(Interval::lit(0, 9)));
+    }
+
+    #[test]
+    fn union_merges_when_overlapping() {
+        // Definition 5: UNION([t0,t1],[t2,t3]) = [t0,t3] if t2 <= t1.
+        let got = TemporalOp::Union(Interval::lit(15, 30)).apply(Interval::lit(5, 20), Time(0));
+        assert_eq!(got, IntervalSet::of(Interval::lit(5, 30)));
+    }
+
+    #[test]
+    fn union_keeps_two_intervals_when_separated() {
+        // ... or [t0,t1] and [t2,t3] if t2 > t1.
+        let got = TemporalOp::Union(Interval::lit(30, 40)).apply(Interval::lit(5, 20), Time(0));
+        let mut expect = IntervalSet::of(Interval::lit(5, 20));
+        expect.insert(Interval::lit(30, 40));
+        assert_eq!(expect.len(), 2);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn intersection_matches_rule_r2_example() {
+        // r2 derives entry duration INTERSECTION([5,20],[10,30]) = [10,20].
+        let got =
+            TemporalOp::Intersection(Interval::lit(10, 30)).apply(Interval::lit(5, 20), Time(7));
+        assert_eq!(got, IntervalSet::of(Interval::lit(10, 20)));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_null() {
+        let got =
+            TemporalOp::Intersection(Interval::lit(25, 30)).apply(Interval::lit(5, 20), Time(0));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn default_is_whenever() {
+        assert_eq!(TemporalOp::default(), TemporalOp::Whenever);
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(TemporalOp::Whenever.to_string(), "WHENEVER");
+        assert_eq!(
+            TemporalOp::Intersection(Interval::lit(10, 30)).to_string(),
+            "INTERSECTION([10, 30])"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Periodic time expressions.
+//!
+//! The paper's future-work section plans "more access constraints" for
+//! authorizations; the temporal-authorization literature it builds on
+//! (Bertino et al.'s TAM) expresses recurring validity such as *working
+//! hours* with periodic expressions. [`Periodic`] provides that extension:
+//! a repeating cycle of chronons with one or more open windows per cycle,
+//! expandable to a concrete [`IntervalSet`] over any bounded range.
+
+use crate::interval::{Bound, Interval};
+use crate::point::Time;
+use crate::set::IntervalSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from periodic-expression construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeriodicError {
+    /// The cycle length must be at least one chronon.
+    ZeroCycle,
+    /// A window starts at or beyond the cycle length.
+    WindowOutOfCycle {
+        /// Offending window offset.
+        offset: u64,
+        /// Cycle length.
+        cycle: u64,
+    },
+    /// A window has zero length.
+    EmptyWindow,
+}
+
+impl fmt::Display for PeriodicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeriodicError::ZeroCycle => write!(f, "periodic cycle must be non-zero"),
+            PeriodicError::WindowOutOfCycle { offset, cycle } => {
+                write!(f, "window offset {offset} outside cycle of length {cycle}")
+            }
+            PeriodicError::EmptyWindow => write!(f, "periodic window must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for PeriodicError {}
+
+/// A repeating pattern of time windows.
+///
+/// With chronons as hours, "business hours" is
+/// `Periodic::new(anchor, 24, [(9, 8)])`: every 24 chronons, a window of
+/// length 8 starting 9 chronons into the cycle. Windows may wrap past the
+/// end of the cycle (night shifts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Periodic {
+    /// Time at which cycle 0 begins.
+    anchor: Time,
+    /// Cycle length in chronons (> 0).
+    cycle: u64,
+    /// `(offset, len)` pairs: window of `len` chronons starting `offset`
+    /// chronons into each cycle.
+    windows: Vec<(u64, u64)>,
+}
+
+impl Periodic {
+    /// Build a periodic expression; validates cycle and window shapes.
+    pub fn new(
+        anchor: Time,
+        cycle: u64,
+        windows: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Result<Periodic, PeriodicError> {
+        if cycle == 0 {
+            return Err(PeriodicError::ZeroCycle);
+        }
+        let windows: Vec<(u64, u64)> = windows.into_iter().collect();
+        for &(offset, len) in &windows {
+            if offset >= cycle {
+                return Err(PeriodicError::WindowOutOfCycle { offset, cycle });
+            }
+            if len == 0 {
+                return Err(PeriodicError::EmptyWindow);
+            }
+        }
+        Ok(Periodic {
+            anchor,
+            cycle,
+            windows,
+        })
+    }
+
+    /// Cycle length in chronons.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True if `t` falls inside one of the repeating windows.
+    pub fn contains(&self, t: Time) -> bool {
+        let Some(since) = t.checked_since(self.anchor) else {
+            return false;
+        };
+        let phase = since % self.cycle;
+        self.windows.iter().any(|&(offset, len)| {
+            if offset + len <= self.cycle {
+                phase >= offset && phase < offset + len
+            } else {
+                // Wrapping window (e.g. 22:00–02:00 with cycle 24). The
+                // wrapped tail belongs to the *previous* cycle's window, so
+                // it only exists once a full cycle has elapsed.
+                let wrap = (offset + len) - self.cycle;
+                phase >= offset || (phase < wrap && since >= self.cycle)
+            }
+        })
+    }
+
+    /// Expand to the concrete intervals intersecting `range`.
+    ///
+    /// `range` must be bounded; expansion of `[t, ∞]` would be infinite.
+    /// Returns `None` if `range` is unbounded.
+    pub fn expand(&self, range: Interval) -> Option<IntervalSet> {
+        let Bound::At(range_end) = range.end() else {
+            return None;
+        };
+        let mut out = IntervalSet::empty();
+        let lo = range.start().max(self.anchor);
+        if range_end < lo {
+            return Some(out);
+        }
+        // First cycle that could intersect the range.
+        let since = lo.checked_since(self.anchor).unwrap_or(0);
+        let first_cycle = since / self.cycle;
+        let mut cycle_idx = first_cycle.saturating_sub(1); // catch wrapping windows
+        loop {
+            let cycle_start = self
+                .anchor
+                .get()
+                .checked_add(cycle_idx.checked_mul(self.cycle)?)?;
+            if cycle_start > range_end.get() {
+                break;
+            }
+            for &(offset, len) in &self.windows {
+                let w_start = cycle_start.checked_add(offset)?;
+                let w_end = w_start.checked_add(len - 1)?;
+                let Ok(window) = Interval::closed(w_start, w_end) else {
+                    continue;
+                };
+                if let Some(clipped) = window.intersect(range) {
+                    out.insert(clipped);
+                }
+            }
+            cycle_idx += 1;
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Periodic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "every {} from {}: ", self.cycle, self.anchor)?;
+        for (k, (o, l)) in self.windows.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "+{o}..+{}", o + l)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn business_hours() -> Periodic {
+        Periodic::new(Time(0), 24, [(9, 8)]).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert_eq!(
+            Periodic::new(Time(0), 0, [(0, 1)]).unwrap_err(),
+            PeriodicError::ZeroCycle
+        );
+        assert_eq!(
+            Periodic::new(Time(0), 10, [(10, 1)]).unwrap_err(),
+            PeriodicError::WindowOutOfCycle {
+                offset: 10,
+                cycle: 10
+            }
+        );
+        assert_eq!(
+            Periodic::new(Time(0), 10, [(3, 0)]).unwrap_err(),
+            PeriodicError::EmptyWindow
+        );
+    }
+
+    #[test]
+    fn contains_respects_phase() {
+        let p = business_hours();
+        assert!(!p.contains(Time(8)));
+        assert!(p.contains(Time(9)));
+        assert!(p.contains(Time(16)));
+        assert!(!p.contains(Time(17)));
+        assert!(p.contains(Time(24 + 9)));
+        assert!(!p.contains(Time(24 + 17)));
+    }
+
+    #[test]
+    fn contains_before_anchor_is_false() {
+        let p = Periodic::new(Time(100), 10, [(0, 5)]).unwrap();
+        assert!(!p.contains(Time(99)));
+        assert!(p.contains(Time(100)));
+    }
+
+    #[test]
+    fn wrapping_window_covers_cycle_boundary() {
+        // Night shift: starts at 22, length 4 (wraps to hour 2 of next day).
+        let p = Periodic::new(Time(0), 24, [(22, 4)]).unwrap();
+        assert!(p.contains(Time(22)));
+        assert!(p.contains(Time(23)));
+        assert!(p.contains(Time(24))); // next cycle, phase 0
+        assert!(p.contains(Time(25)));
+        assert!(!p.contains(Time(26)));
+    }
+
+    #[test]
+    fn expand_produces_clipped_intervals() {
+        let p = business_hours();
+        let got = p.expand(Interval::lit(0, 48)).unwrap();
+        let expect: IntervalSet = [Interval::lit(9, 16), Interval::lit(33, 40)]
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn expand_clips_partial_windows() {
+        let p = business_hours();
+        let got = p.expand(Interval::lit(12, 34)).unwrap();
+        let expect: IntervalSet = [Interval::lit(12, 16), Interval::lit(33, 34)]
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn expand_unbounded_range_refused() {
+        assert!(business_hours()
+            .expand(Interval::from_start(0u64))
+            .is_none());
+    }
+
+    #[test]
+    fn expand_agrees_with_contains() {
+        let p = Periodic::new(Time(3), 7, [(1, 2), (5, 3)]).unwrap();
+        let range = Interval::lit(0, 100);
+        let set = p.expand(range).unwrap();
+        for t in 0..=100u64 {
+            assert_eq!(
+                set.contains(Time(t)),
+                p.contains(Time(t)),
+                "disagreement at t={t}"
+            );
+        }
+    }
+}

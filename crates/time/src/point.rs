@@ -1,0 +1,149 @@
+//! Chronon-indexed time points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in discrete time, measured in chronons since an arbitrary epoch.
+///
+/// The paper leaves the chronon length abstract ("a chronon refers to the
+/// smallest indivisible unit of time"); worked examples use small integers
+/// such as `[5, 40]`. `Time` is a transparent `u64` newtype so callers can
+/// pick any granularity (seconds, minutes, simulation ticks).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The epoch, chronon zero.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable finite time point.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Raw chronon count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next chronon, saturating at [`Time::MAX`].
+    #[inline]
+    pub const fn succ(self) -> Time {
+        Time(self.0.saturating_add(1))
+    }
+
+    /// The previous chronon, or `None` at the epoch.
+    #[inline]
+    pub const fn pred(self) -> Option<Time> {
+        match self.0.checked_sub(1) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// `self + delta` chronons, saturating at [`Time::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, delta: u64) -> Time {
+        Time(self.0.saturating_add(delta))
+    }
+
+    /// `self - delta` chronons, saturating at [`Time::ZERO`].
+    #[inline]
+    pub const fn saturating_sub(self, delta: u64) -> Time {
+        Time(self.0.saturating_sub(delta))
+    }
+
+    /// `self + delta`, or `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, delta: u64) -> Option<Time> {
+        match self.0.checked_add(delta) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Chronons elapsed from `earlier` to `self`, or `None` if `earlier`
+    /// is after `self`.
+    #[inline]
+    pub const fn checked_since(self, earlier: Time) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<u64> for Time {
+    fn from(v: u64) -> Self {
+        Time(v)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succ_and_pred_round_trip() {
+        let t = Time(41);
+        assert_eq!(t.succ(), Time(42));
+        assert_eq!(t.succ().pred(), Some(Time(41)));
+        assert_eq!(Time::ZERO.pred(), None);
+        assert_eq!(Time::MAX.succ(), Time::MAX);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Time(5).saturating_add(10), Time(15));
+        assert_eq!(Time::MAX.saturating_add(1), Time::MAX);
+        assert_eq!(Time(5).saturating_sub(10), Time::ZERO);
+        assert_eq!(Time(10).checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    fn since_measures_elapsed_chronons() {
+        assert_eq!(Time(50).checked_since(Time(20)), Some(30));
+        assert_eq!(Time(20).checked_since(Time(50)), None);
+    }
+
+    #[test]
+    fn min_max_follow_ordering() {
+        assert_eq!(Time(3).max(Time(9)), Time(9));
+        assert_eq!(Time(3).min(Time(9)), Time(3));
+    }
+
+    #[test]
+    fn display_is_raw_number() {
+        assert_eq!(Time(17).to_string(), "17");
+    }
+}

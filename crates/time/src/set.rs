@@ -1,0 +1,442 @@
+//! Normalized sets of time intervals.
+//!
+//! Algorithm 1 (FindInaccessible) associates with every location an *overall
+//! grant time* `T^g` and an *overall departure time* `T^d`, each "a set of
+//! time intervals". [`IntervalSet`] is that representation: sorted, pairwise
+//! disjoint, and non-adjacent (maximal) intervals, so two sets denote the
+//! same chronons iff they compare equal.
+
+use crate::interval::{Bound, Interval};
+use crate::point::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A normalized set of chronons represented as maximal disjoint intervals.
+///
+/// The empty set plays the role of the paper's `null`/`φ` durations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Sorted by start; disjoint; no two intervals adjacent.
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set (the paper's `φ`).
+    pub fn empty() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// A set containing a single interval.
+    pub fn of(interval: Interval) -> IntervalSet {
+        IntervalSet {
+            intervals: vec![interval],
+        }
+    }
+
+    /// True if the set contains no chronons.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of maximal intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The maximal intervals, in increasing order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.intervals.iter().copied()
+    }
+
+    /// The maximal intervals as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Earliest chronon in the set.
+    pub fn first_time(&self) -> Option<Time> {
+        self.intervals.first().map(|i| i.start())
+    }
+
+    /// Latest chronon in the set (`None` if empty or unbounded).
+    pub fn last_bound(&self) -> Option<Bound> {
+        self.intervals.last().map(|i| i.end())
+    }
+
+    /// Total number of chronons, `None` if any interval is unbounded.
+    pub fn total_size(&self) -> Option<u64> {
+        self.intervals
+            .iter()
+            .try_fold(0u64, |acc, i| i.size().map(|s| acc.saturating_add(s)))
+    }
+
+    /// True if `t` is in the set.
+    pub fn contains(&self, t: Time) -> bool {
+        // Binary search over sorted starts, then check the candidate.
+        match self.intervals.binary_search_by(|i| i.start().cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(pos) => self.intervals[pos - 1].contains(t),
+        }
+    }
+
+    /// True if the whole of `interval` is covered by the set.
+    ///
+    /// Because the representation is normalized (maximal intervals), an
+    /// interval is covered iff a single member contains it.
+    pub fn covers(&self, interval: Interval) -> bool {
+        let t = interval.start();
+        match self.intervals.binary_search_by(|i| i.start().cmp(&t)) {
+            Ok(pos) => self.intervals[pos].contains_interval(interval),
+            Err(0) => false,
+            Err(pos) => self.intervals[pos - 1].contains_interval(interval),
+        }
+    }
+
+    /// Insert one interval, merging with any overlapping/adjacent members.
+    pub fn insert(&mut self, interval: Interval) {
+        // Find the insertion window: all members that merge with `interval`.
+        let mut merged = interval;
+        let mut lo = self
+            .intervals
+            .partition_point(|i| i.strictly_before(merged) && !i.adjacent(merged));
+        let mut hi = lo;
+        while hi < self.intervals.len() {
+            if let Some(m) = merged.merge(self.intervals[hi]) {
+                merged = m;
+                hi += 1;
+            } else {
+                break;
+            }
+        }
+        // Members before `lo` neither overlap nor touch; re-check the one
+        // immediately before in case adjacency was missed by partition_point.
+        if lo > 0 {
+            if let Some(m) = merged.merge(self.intervals[lo - 1]) {
+                merged = m;
+                lo -= 1;
+            }
+        }
+        self.intervals.splice(lo..hi, std::iter::once(merged));
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for i in other.iter() {
+            out.insert(i);
+        }
+        out
+    }
+
+    /// In-place union; returns true if the set changed.
+    ///
+    /// Algorithm 1 re-flags neighbors only "if `l.T^d ≠ l.T_old_d`"
+    /// (line 28); the change report supports that check without cloning.
+    pub fn union_in_place(&mut self, other: &IntervalSet) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        let before = self.intervals.clone();
+        for i in other.iter() {
+            self.insert(i);
+        }
+        self.intervals != before
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.intervals.len() && b < other.intervals.len() {
+            let (ia, ib) = (self.intervals[a], other.intervals[b]);
+            if let Some(x) = ia.intersect(ib) {
+                out.push(x);
+            }
+            // Advance whichever interval ends first.
+            match (ia.end(), ib.end()) {
+                (Bound::At(ea), Bound::At(eb)) => {
+                    if ea <= eb {
+                        a += 1;
+                    } else {
+                        b += 1;
+                    }
+                }
+                (Bound::At(_), Bound::Unbounded) => a += 1,
+                (Bound::Unbounded, Bound::At(_)) => b += 1,
+                (Bound::Unbounded, Bound::Unbounded) => break,
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// Chronons of `domain` that are *not* in the set.
+    ///
+    /// `WHENEVERNOT` (Definition 5) is `complement_within([tr, ∞])` of the
+    /// base interval.
+    pub fn complement_within(&self, domain: Interval) -> IntervalSet {
+        let mut out = IntervalSet::empty();
+        let mut cursor = domain.start();
+        for i in self.iter() {
+            // Portion of the gap before `i` that lies inside the domain.
+            if i.start() > cursor {
+                if let Some(gap_end) = i.start().pred() {
+                    if let Ok(gap) = Interval::new(cursor, Bound::At(gap_end)) {
+                        if let Some(g) = gap.intersect(domain) {
+                            out.insert(g);
+                        }
+                    }
+                }
+            }
+            match i.end() {
+                Bound::At(e) => {
+                    cursor = cursor.max(e.succ());
+                    if e == Time::MAX {
+                        return out;
+                    }
+                }
+                Bound::Unbounded => return out,
+            }
+        }
+        if domain.end().admits(cursor) {
+            if let Ok(tail) = Interval::new(cursor, domain.end()) {
+                out.insert(tail);
+            }
+        }
+        out
+    }
+
+    /// Chronons in `self` but not in `other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        if self.is_empty() {
+            return IntervalSet::empty();
+        }
+        let span = self.span().expect("non-empty set has a span");
+        self.intersect(&other.complement_within(span))
+    }
+
+    /// The smallest single interval containing the whole set.
+    pub fn span(&self) -> Option<Interval> {
+        let first = self.intervals.first()?;
+        let last = self.intervals.last()?;
+        Some(Interval::new(first.start(), last.end()).expect("span is non-empty"))
+    }
+
+    /// Verify the normalization invariant (debug aid and test oracle).
+    pub fn is_normalized(&self) -> bool {
+        self.intervals
+            .windows(2)
+            .all(|w| w[0].strictly_before(w[1]) && !w[0].adjacent(w[1]) && !w[0].overlaps(w[1]))
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(i: Interval) -> Self {
+        IntervalSet::of(i)
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        let mut s = IntervalSet::empty();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            // The paper prints null durations as φ (Table 2).
+            return write!(f, "φ");
+        }
+        let mut first = true;
+        for i in &self.intervals {
+            if !first {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(u64, u64)]) -> IntervalSet {
+        pairs.iter().map(|&(a, b)| Interval::lit(a, b)).collect()
+    }
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut s = IntervalSet::empty();
+        s.insert(Interval::lit(10, 20));
+        s.insert(Interval::lit(30, 40));
+        s.insert(Interval::lit(18, 29)); // bridges both
+        assert_eq!(s, set(&[(10, 40)]));
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_intervals_sorted() {
+        let s = set(&[(30, 40), (1, 5), (10, 20)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![
+                Interval::lit(1, 5),
+                Interval::lit(10, 20),
+                Interval::lit(30, 40)
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_adjacent_before_first_member_merges() {
+        let mut s = set(&[(10, 20)]);
+        s.insert(Interval::lit(5, 9));
+        assert_eq!(s, set(&[(5, 20)]));
+    }
+
+    #[test]
+    fn insert_unbounded_swallows_tail() {
+        let mut s = set(&[(1, 5), (10, 20), (30, 40)]);
+        s.insert(Interval::from_start(8u64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice()[1], Interval::from_start(8u64));
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let s = set(&[(1, 5), (10, 20), (30, 40)]);
+        assert!(s.contains(Time(1)));
+        assert!(s.contains(Time(15)));
+        assert!(!s.contains(Time(7)));
+        assert!(!s.contains(Time(41)));
+        assert!(!s.contains(Time(0)));
+    }
+
+    #[test]
+    fn covers_requires_single_member_containment() {
+        let s = set(&[(1, 5), (10, 20)]);
+        assert!(s.covers(Interval::lit(11, 19)));
+        assert!(s.covers(Interval::lit(10, 20)));
+        assert!(!s.covers(Interval::lit(4, 11)));
+    }
+
+    #[test]
+    fn union_of_table2_update_a() {
+        // Table 2, final row: T^g = [2,35] ∪ [20,35] = [2,35].
+        let a = set(&[(2, 35)]);
+        let b = set(&[(20, 35)]);
+        assert_eq!(a.union(&b), set(&[(2, 35)]));
+        // T^d = [20,50] ∪ [30,50] = [20,50].
+        let c = set(&[(20, 50)]);
+        let d = set(&[(30, 50)]);
+        assert_eq!(c.union(&d), set(&[(20, 50)]));
+    }
+
+    #[test]
+    fn union_in_place_reports_changes() {
+        let mut a = set(&[(1, 5)]);
+        assert!(!a.union_in_place(&set(&[(2, 4)])));
+        assert!(a.union_in_place(&set(&[(2, 9)])));
+        assert_eq!(a, set(&[(1, 9)]));
+    }
+
+    #[test]
+    fn intersect_walks_both_sets() {
+        let a = set(&[(1, 10), (20, 30), (40, 50)]);
+        let b = set(&[(5, 25), (45, 60)]);
+        assert_eq!(a.intersect(&b), set(&[(5, 10), (20, 25), (45, 50)]));
+    }
+
+    #[test]
+    fn intersect_with_unbounded() {
+        let mut a = IntervalSet::of(Interval::from_start(10u64));
+        let b = set(&[(1, 5), (8, 12), (20, 25)]);
+        assert_eq!(a.intersect(&b), set(&[(10, 12), (20, 25)]));
+        a = IntervalSet::of(Interval::from_start(0u64));
+        assert_eq!(
+            a.intersect(&IntervalSet::of(Interval::from_start(7u64))),
+            IntervalSet::of(Interval::from_start(7u64))
+        );
+    }
+
+    #[test]
+    fn complement_within_bounded_domain() {
+        let s = set(&[(5, 10), (20, 25)]);
+        let c = s.complement_within(Interval::lit(0, 30));
+        assert_eq!(c, set(&[(0, 4), (11, 19), (26, 30)]));
+    }
+
+    #[test]
+    fn complement_within_unbounded_domain_matches_whenevernot() {
+        // WHENEVERNOT on [t0,t1]=[5,20] valid from tr=7:
+        // returns [7, 4]→empty? No: [tr, t0-1] = [7,4] is empty (tr > t0-1),
+        // so only [21, ∞] remains.
+        let s = set(&[(5, 20)]);
+        let c = s.complement_within(Interval::from_start(7u64));
+        assert_eq!(c, IntervalSet::of(Interval::from_start(21u64)));
+        // With tr=2 both parts are produced: [2,4] and [21,∞].
+        let c2 = s.complement_within(Interval::from_start(2u64));
+        let mut expect = IntervalSet::of(Interval::lit(2, 4));
+        expect.insert(Interval::from_start(21u64));
+        assert_eq!(c2, expect);
+    }
+
+    #[test]
+    fn complement_of_empty_is_domain() {
+        let s = IntervalSet::empty();
+        assert_eq!(s.complement_within(Interval::lit(3, 9)), set(&[(3, 9)]));
+    }
+
+    #[test]
+    fn complement_of_unbounded_tail_stops() {
+        let s = IntervalSet::of(Interval::from_start(10u64));
+        assert_eq!(
+            s.complement_within(Interval::from_start(0u64)),
+            set(&[(0, 9)])
+        );
+    }
+
+    #[test]
+    fn subtract_removes_members() {
+        let a = set(&[(1, 10), (20, 30)]);
+        let b = set(&[(5, 22)]);
+        assert_eq!(a.subtract(&b), set(&[(1, 4), (23, 30)]));
+        assert_eq!(a.subtract(&IntervalSet::empty()), a);
+        assert_eq!(IntervalSet::empty().subtract(&a), IntervalSet::empty());
+    }
+
+    #[test]
+    fn total_size_sums_members() {
+        assert_eq!(set(&[(1, 5), (10, 12)]).total_size(), Some(8));
+        let mut s = set(&[(1, 5)]);
+        s.insert(Interval::from_start(100u64));
+        assert_eq!(s.total_size(), None);
+    }
+
+    #[test]
+    fn display_uses_phi_for_empty() {
+        assert_eq!(IntervalSet::empty().to_string(), "φ");
+        assert_eq!(set(&[(2, 35)]).to_string(), "[2, 35]");
+        assert_eq!(set(&[(1, 2), (5, 6)]).to_string(), "[1, 2] ∪ [5, 6]");
+    }
+
+    #[test]
+    fn span_covers_everything() {
+        let s = set(&[(3, 5), (9, 11)]);
+        assert_eq!(s.span(), Some(Interval::lit(3, 11)));
+        assert_eq!(IntervalSet::empty().span(), None);
+    }
+}

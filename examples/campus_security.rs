@@ -1,0 +1,126 @@
+//! Campus security on the paper's NTU layout (Figures 1–2): authorization
+//! rules, derivation on profile changes, conflict resolution, and live
+//! enforcement with tailgating detection.
+//!
+//! ```sh
+//! cargo run --example campus_security
+//! ```
+
+use ltam::core::conflict::ResolutionStrategy;
+use ltam::core::model::{Authorization, EntryLimit};
+use ltam::core::rules::{CountExpr, LocationOp, OpTuple, Rule, SubjectOp};
+use ltam::engine::engine::AccessControlEngine;
+use ltam::graph::examples::ntu_campus;
+use ltam::time::{Interval, Time};
+
+fn main() {
+    let ntu = ntu_campus();
+    let (cais, sce_go) = (ntu.cais, ntu.sce_go);
+    let mut engine = AccessControlEngine::new(ntu.model);
+
+    // --- people -------------------------------------------------------------
+    let alice = engine.profiles_mut().add_user("Alice", "researcher");
+    let bob = engine.profiles_mut().add_user("Bob", "professor");
+    let carol = engine.profiles_mut().add_user("Carol", "professor");
+    engine.profiles_mut().set_supervisor(alice, bob);
+
+    // --- base authorization a1 (§4) ------------------------------------------
+    let a1 = engine.add_authorization(
+        Authorization::new(
+            Interval::lit(5, 20),
+            Interval::lit(15, 50),
+            alice,
+            cais,
+            EntryLimit::Finite(2),
+        )
+        .unwrap(),
+    );
+    println!("a1 = ([5, 20], [15, 50], (Alice, CAIS), 2)");
+
+    // --- rules: supervisor mirror + route coverage ----------------------------
+    engine.add_rule(Rule {
+        valid_from: Time(7),
+        base: a1,
+        ops: OpTuple {
+            subject_op: SubjectOp::SupervisorOf,
+            ..OpTuple::default()
+        },
+    });
+    engine.add_rule(Rule {
+        valid_from: Time(7),
+        base: a1,
+        ops: OpTuple {
+            location_op: LocationOp::AllRouteFrom { source: sce_go },
+            count: CountExpr::Unbounded,
+            ..OpTuple::default()
+        },
+    });
+    let report = engine.apply_rules();
+    println!(
+        "rule derivation: +{} authorizations (supervisor mirror + route coverage)",
+        report.created.len()
+    );
+
+    // Alice's supervisor changes: Bob's derived grant is revoked, Carol's
+    // appears — no administrator action needed.
+    engine.profiles_mut().set_supervisor(alice, carol);
+    let report = engine.apply_rules();
+    println!(
+        "supervisor change: +{} derived, -{} revoked",
+        report.created.len(),
+        report.revoked.len()
+    );
+
+    // --- conflicts -------------------------------------------------------------
+    // An administrator adds an overlapping manual grant for Alice on CAIS.
+    engine.add_authorization(
+        Authorization::new(
+            Interval::lit(18, 30),
+            Interval::lit(18, 60),
+            alice,
+            cais,
+            EntryLimit::Finite(1),
+        )
+        .unwrap(),
+    );
+    let conflicts = engine.conflicts();
+    println!("conflicts detected: {}", conflicts.len());
+    let resolution = engine.resolve_conflicts(ResolutionStrategy::Merge);
+    println!(
+        "merged into {} combined authorization(s)",
+        resolution.merged_into.len()
+    );
+
+    // --- enforcement ------------------------------------------------------------
+    let d = engine.request_enter(Time(10), alice, cais);
+    println!("t=10 Alice requests CAIS: {d}");
+    engine.observe_enter(Time(10), alice, cais);
+    // Mallory slips in behind her.
+    let mallory = engine.profiles_mut().add_user("Mallory", "visitor");
+    engine.observe_enter(Time(10), mallory, cais);
+    println!("query> VIOLATIONS");
+    print!("{}", engine.query("VIOLATIONS").unwrap());
+
+    println!("query> ACCESSIBLE FOR Alice");
+    print!("{}", engine.query("ACCESSIBLE FOR Alice").unwrap());
+
+    // --- planning & lockdown -----------------------------------------------
+    println!("query> EARLIEST Alice TO CAIS FROM 0");
+    print!("{}", engine.query("EARLIEST Alice TO CAIS FROM 0").unwrap());
+
+    // An incident closes CAIS for everyone but security until t=200.
+    engine.add_prohibition(ltam::core::Prohibition {
+        subject: alice,
+        location: cais,
+        window: Interval::lit(0, 200),
+    });
+    println!("lockdown: CAIS prohibited for Alice during [0, 200]");
+    println!("query> CAN Alice ENTER CAIS AT 50");
+    print!("{}", engine.query("CAN Alice ENTER CAIS AT 50").unwrap());
+    println!("query> EARLIEST Alice TO CAIS FROM 0");
+    print!("{}", engine.query("EARLIEST Alice TO CAIS FROM 0").unwrap());
+
+    // --- end-of-shift report --------------------------------------------------
+    println!();
+    print!("{}", ltam::engine::security_report(&engine));
+}

@@ -1,0 +1,83 @@
+//! Quickstart: model a tiny office, authorize a visitor, enforce a visit.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ltam::core::model::{Authorization, EntryLimit};
+use ltam::engine::engine::AccessControlEngine;
+use ltam::graph::LocationModel;
+use ltam::time::{Interval, Time};
+
+fn main() {
+    // 1. The location layout: lobby – office – lab, lobby is the entry.
+    let mut model = LocationModel::new("Office");
+    let lobby = model.add_primitive(model.root(), "Lobby").unwrap();
+    let office = model.add_primitive(model.root(), "Office.Room").unwrap();
+    let lab = model.add_primitive(model.root(), "Lab").unwrap();
+    model.add_edge(lobby, office).unwrap();
+    model.add_edge(office, lab).unwrap();
+    model.set_entry(lobby).unwrap();
+    model.validate().unwrap();
+
+    // 2. The enforcement engine (Figure 3's architecture in one value).
+    let mut engine = AccessControlEngine::new(model);
+    let visitor = engine.profiles_mut().add_user("Visitor", "guest");
+
+    // 3. A location-temporal authorization (Definition 4): the visitor may
+    //    enter the lobby any time, and the office once during [10, 40],
+    //    leaving during [15, 60].
+    engine.add_authorization(
+        Authorization::new(
+            Interval::ALL,
+            Interval::ALL,
+            visitor,
+            lobby,
+            EntryLimit::Unbounded,
+        )
+        .unwrap(),
+    );
+    engine.add_authorization(
+        Authorization::new(
+            Interval::lit(10, 40),
+            Interval::lit(15, 60),
+            visitor,
+            office,
+            EntryLimit::Finite(1),
+        )
+        .unwrap(),
+    );
+
+    // 4. The visit: request, enter, leave — all monitored.
+    let d = engine.request_enter(Time(5), visitor, lobby);
+    println!("t=5  request lobby:  {d}");
+    engine.observe_enter(Time(5), visitor, lobby);
+    engine.observe_exit(Time(12), visitor, lobby);
+
+    let d = engine.request_enter(Time(12), visitor, office);
+    println!("t=12 request office: {d}");
+    engine.observe_enter(Time(12), visitor, office);
+    engine.observe_exit(Time(20), visitor, office);
+
+    // A second office entry exceeds the entry count.
+    let d = engine.request_enter(Time(25), visitor, office);
+    println!("t=25 request office: {d}");
+
+    // 5. Analysis: the lab has no authorization, so it is inaccessible.
+    println!(
+        "inaccessible for Visitor: {:?}",
+        engine
+            .inaccessible_for(visitor)
+            .inaccessible
+            .iter()
+            .map(|&l| engine.model().name(l).to_string())
+            .collect::<Vec<_>>()
+    );
+    assert!(engine.inaccessible_for(visitor).is_inaccessible(lab));
+
+    // 6. Ask the query engine.
+    println!("query> ACCESSIBLE FOR Visitor");
+    print!("{}", engine.query("ACCESSIBLE FOR Visitor").unwrap());
+    println!("query> VIOLATIONS");
+    print!("{}", engine.query("VIOLATIONS").unwrap());
+}

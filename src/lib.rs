@@ -1,0 +1,7 @@
+//! LTAM facade crate: re-exports the full public API of the workspace.
+pub use ltam_core as core;
+pub use ltam_engine as engine;
+pub use ltam_geo as geo;
+pub use ltam_graph as graph;
+pub use ltam_sim as sim;
+pub use ltam_time as time;

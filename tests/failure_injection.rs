@@ -1,0 +1,165 @@
+//! Failure injection: malformed inputs, impossible sensor streams,
+//! mid-flight revocations, and structural validation errors must be
+//! rejected or flagged — never silently accepted.
+
+use ltam::core::model::{AuthError, Authorization, EntryLimit};
+use ltam::core::subject::SubjectId;
+use ltam::engine::engine::AccessControlEngine;
+use ltam::engine::movement::MovementsDb;
+use ltam::engine::violation::Violation;
+use ltam::graph::{GraphError, LocationId, LocationModel};
+use ltam::sim::grid_building;
+use ltam::time::{Interval, Time};
+
+#[test]
+fn out_of_order_sensor_stream_is_flagged_not_stored() {
+    let world = grid_building(2, 2);
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    let s = engine.profiles_mut().add_user("S", "staff");
+    let entry = world.graph.global_entries()[0];
+    for l in world.graph.locations() {
+        engine.add_authorization(
+            Authorization::new(Interval::ALL, Interval::ALL, s, l, EntryLimit::Unbounded).unwrap(),
+        );
+    }
+    engine.request_enter(Time(10), s, entry);
+    engine.observe_enter(Time(10), s, entry);
+    // The sensor replays an old exit (time regression).
+    let v = engine.observe_exit(Time(4), s, entry);
+    assert!(matches!(v, Some(Violation::InconsistentMovement { .. })));
+    // The log keeps only the consistent prefix.
+    assert_eq!(engine.movements().len(), 1);
+    assert_eq!(engine.movements().current_location(s), Some(entry));
+}
+
+#[test]
+fn teleporting_subject_is_flagged() {
+    let world = grid_building(2, 2);
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    let s = engine.profiles_mut().add_user("S", "staff");
+    let locs: Vec<LocationId> = world.graph.locations().collect();
+    for &l in &locs {
+        engine.add_authorization(
+            Authorization::new(Interval::ALL, Interval::ALL, s, l, EntryLimit::Unbounded).unwrap(),
+        );
+    }
+    engine.request_enter(Time(1), s, locs[0]);
+    engine.observe_enter(Time(1), s, locs[0]);
+    // A second enter without an exit: physically impossible.
+    let v = engine.observe_enter(Time(2), s, locs[1]);
+    assert!(matches!(v, Some(Violation::InconsistentMovement { .. })));
+}
+
+#[test]
+fn movement_db_rejects_impossible_sequences_directly() {
+    let mut db = MovementsDb::new();
+    let s = SubjectId(0);
+    let l = LocationId(0);
+    assert!(db.record_exit(Time(0), s, l).is_err());
+    db.record_enter(Time(1), s, l).unwrap();
+    assert!(db.record_enter(Time(2), s, LocationId(1)).is_err());
+    assert!(db.record_exit(Time(0), s, l).is_err()); // regression
+    assert_eq!(db.len(), 1);
+}
+
+#[test]
+fn definition4_violations_cannot_enter_the_db() {
+    // Exit before entry start.
+    let bad = Authorization::new(
+        Interval::lit(10, 20),
+        Interval::lit(5, 25),
+        SubjectId(0),
+        LocationId(0),
+        EntryLimit::Finite(1),
+    );
+    assert!(matches!(bad, Err(AuthError::ExitStartsBeforeEntry { .. })));
+    // And not through serde either.
+    let json = r#"{
+        "entry_window": {"start": 10, "end": {"At": 20}},
+        "exit_window": {"start": 5, "end": {"At": 25}},
+        "subject": 0, "location": 0, "limit": {"Finite": 1}
+    }"#;
+    let parsed: Result<Authorization, _> = serde_json::from_str(json);
+    assert!(parsed.is_err());
+}
+
+#[test]
+fn structural_graph_errors_are_descriptive() {
+    let mut m = LocationModel::new("B");
+    let a = m.add_primitive(m.root(), "a").unwrap();
+    let b = m.add_primitive(m.root(), "b").unwrap();
+    // Disconnected (no edge): validation names the unreachable location.
+    m.set_entry(a).unwrap();
+    match m.validate() {
+        Err(GraphError::Disconnected { unreachable, .. }) => assert_eq!(unreachable, "b"),
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+    m.add_edge(a, b).unwrap();
+    assert!(m.validate().is_ok());
+    // A nested graph without an entry is caught too.
+    let wing = m.add_composite(m.root(), "wing").unwrap();
+    let _c = m.add_primitive(wing, "c").unwrap();
+    m.add_edge(wing, a).unwrap();
+    assert!(matches!(m.validate(), Err(GraphError::NoEntry(n)) if n == "wing"));
+}
+
+#[test]
+fn malformed_queries_fail_cleanly() {
+    let world = grid_building(2, 2);
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    engine.profiles_mut().add_user("A", "staff");
+    for q in [
+        "",
+        "CAN A ENTER",
+        "WHO IN R0_0 DURING [9, 2]",
+        "ACCESSIBLE A",
+        "WHERE A AT notanumber",
+        "VIOLATIONS DURING [1",
+    ] {
+        assert!(engine.query(q).is_err(), "query {q:?} should fail");
+    }
+    // Unknown names are evaluation (not parse) errors.
+    assert!(matches!(
+        engine.query("WHERE Ghost AT 1"),
+        Err(ltam::engine::query::QueryError::Eval(_))
+    ));
+    assert!(matches!(
+        engine.query("WHO IN Nowhere AT 1"),
+        Err(ltam::engine::query::QueryError::Eval(_))
+    ));
+}
+
+#[test]
+fn revocation_mid_stay_keeps_monitoring_consistent() {
+    let world = grid_building(2, 2);
+    let entry = world.graph.global_entries()[0];
+    let mut engine = AccessControlEngine::new(world.model.clone());
+    let s = engine.profiles_mut().add_user("S", "staff");
+    let auth_id = engine.add_authorization(
+        Authorization::new(
+            Interval::lit(0, 10),
+            Interval::lit(0, 10),
+            s,
+            entry,
+            EntryLimit::Finite(1),
+        )
+        .unwrap(),
+    );
+    assert!(engine.request_enter(Time(1), s, entry).is_granted());
+    engine.observe_enter(Time(1), s, entry);
+    // The administrator revokes the authorization while S is inside.
+    engine.revoke_authorization(auth_id);
+    // The overstay scan has no window to enforce any more — no panic, no
+    // spurious alert.
+    assert!(engine.tick(Time(50)).is_empty());
+    // The exit is still recorded; no exit-window violation can be checked
+    // against a revoked authorization.
+    assert_eq!(engine.observe_exit(Time(50), s, entry), None);
+    assert_eq!(engine.movements().current_location(s), None);
+}
+
+#[test]
+fn empty_and_inverted_intervals_are_unrepresentable() {
+    assert!(Interval::closed(9u64, 2u64).is_err());
+    assert!(serde_json::from_str::<Interval>(r#"{"start": 9, "end": {"At": 2}}"#).is_err());
+}

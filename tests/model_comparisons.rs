@@ -1,0 +1,173 @@
+//! Model-level comparisons: what LTAM expresses that the §2 baselines
+//! cannot.
+
+use ltam::core::inaccessible::{find_inaccessible, AuthsByLocation};
+use ltam::core::model::{Authorization, EntryLimit};
+use ltam::core::subject::SubjectId;
+use ltam::core::tam::{Sign, TamAuthorization, TamDb};
+use ltam::graph::{EffectiveGraph, LocationModel};
+use ltam::time::{Interval, IntervalSet, Time};
+
+const ALICE: SubjectId = SubjectId(0);
+
+/// TAM (temporal-only) says yes whenever the window is open; LTAM knows
+/// the lab is unreachable because the only corridor's window never meets
+/// the gate's. Same policy intent, different expressiveness.
+#[test]
+fn tam_grants_what_ltam_proves_unreachable() {
+    // gate – corridor – lab.
+    let mut model = LocationModel::new("Site");
+    let gate = model.add_primitive(model.root(), "Gate").unwrap();
+    let corridor = model.add_primitive(model.root(), "Corridor").unwrap();
+    let lab = model.add_primitive(model.root(), "Lab").unwrap();
+    model.add_edge(gate, corridor).unwrap();
+    model.add_edge(corridor, lab).unwrap();
+    model.set_entry(gate).unwrap();
+    let graph = EffectiveGraph::build(&model);
+
+    // TAM: object-level windows, no topology.
+    let mut tam = TamDb::new();
+    for object in ["Gate", "Corridor", "Lab"] {
+        tam.insert(TamAuthorization {
+            subject: ALICE,
+            object: object.into(),
+            window: Interval::lit(40, 60),
+            sign: Sign::Positive,
+        });
+    }
+    // Except the corridor is only open early.
+    tam.insert(TamAuthorization {
+        subject: ALICE,
+        object: "Corridor".into(),
+        window: Interval::lit(40, 60),
+        sign: Sign::Negative,
+    });
+    tam.insert(TamAuthorization {
+        subject: ALICE,
+        object: "Corridor".into(),
+        window: Interval::lit(0, 10),
+        sign: Sign::Positive,
+    });
+    // TAM happily authorizes the lab at t=50 — it cannot see that Alice
+    // has no way to *be* there.
+    assert!(tam.check(ALICE, "Lab", Time(50)));
+
+    // LTAM with the same windows proves the lab inaccessible.
+    let mut auths = AuthsByLocation::new();
+    let auth = |l, e: (u64, u64)| {
+        Authorization::new(
+            Interval::lit(e.0, e.1),
+            Interval::lit(e.0, e.1),
+            ALICE,
+            l,
+            EntryLimit::Unbounded,
+        )
+        .unwrap()
+    };
+    auths.insert(gate, vec![auth(gate, (40, 60))]);
+    auths.insert(corridor, vec![auth(corridor, (0, 10))]);
+    auths.insert(lab, vec![auth(lab, (40, 60))]);
+    let report = find_inaccessible(&graph, &auths);
+    assert!(report.is_inaccessible(lab));
+    assert!(report.is_inaccessible(corridor));
+    assert!(!report.is_inaccessible(gate));
+}
+
+/// TAM's granted set and LTAM's grant duration coincide on a single
+/// location — LTAM is a conservative extension of the temporal model.
+#[test]
+fn single_location_semantics_coincide() {
+    let mut model = LocationModel::new("One");
+    let room = model.add_primitive(model.root(), "Room").unwrap();
+    model.set_entry(room).unwrap();
+    let graph = EffectiveGraph::build(&model);
+
+    let mut tam = TamDb::new();
+    tam.insert(TamAuthorization {
+        subject: ALICE,
+        object: "Room".into(),
+        window: Interval::lit(10, 30),
+        sign: Sign::Positive,
+    });
+    tam.insert(TamAuthorization {
+        subject: ALICE,
+        object: "Room".into(),
+        window: Interval::lit(50, 70),
+        sign: Sign::Positive,
+    });
+
+    let mut auths = AuthsByLocation::new();
+    auths.insert(
+        room,
+        vec![
+            Authorization::new(
+                Interval::lit(10, 30),
+                Interval::lit(10, 30),
+                ALICE,
+                room,
+                EntryLimit::Unbounded,
+            )
+            .unwrap(),
+            Authorization::new(
+                Interval::lit(50, 70),
+                Interval::lit(50, 70),
+                ALICE,
+                room,
+                EntryLimit::Unbounded,
+            )
+            .unwrap(),
+        ],
+    );
+    let report = find_inaccessible(&graph, &auths);
+    let expected: IntervalSet = [Interval::lit(10, 30), Interval::lit(50, 70)]
+        .into_iter()
+        .collect();
+    assert_eq!(report.grant_times[&room], expected);
+    assert_eq!(
+        tam.granted_set(ALICE, "Room", Interval::lit(0, 100)),
+        expected
+    );
+}
+
+/// Entry-count limits are invisible to TAM but enforced by LTAM's
+/// decision: the second entry inside the same window differs.
+#[test]
+fn entry_counts_separate_the_models() {
+    use ltam::core::decision::{check_access, AccessRequest, Decision};
+    use ltam::core::ledger::UsageLedger;
+    use ltam::core::AuthorizationDb;
+    let location = ltam::graph::LocationId(1);
+    let mut db = AuthorizationDb::new();
+    let id = db.insert(
+        Authorization::new(
+            Interval::lit(0, 100),
+            Interval::lit(0, 100),
+            ALICE,
+            location,
+            EntryLimit::Finite(1),
+        )
+        .unwrap(),
+    );
+    let mut ledger = UsageLedger::new();
+    let mut tam = TamDb::new();
+    tam.insert(TamAuthorization {
+        subject: ALICE,
+        object: "Room".into(),
+        window: Interval::lit(0, 100),
+        sign: Sign::Positive,
+    });
+
+    let req = |t| AccessRequest {
+        time: Time(t),
+        subject: ALICE,
+        location,
+    };
+    assert!(check_access(&db, &ledger, &req(10)).is_granted());
+    ledger.record_entry(id);
+    // TAM: still yes. LTAM: budget is spent.
+    assert!(tam.check(ALICE, "Room", Time(20)));
+    assert!(matches!(
+        check_access(&db, &ledger, &req(20)),
+        Decision::Denied { .. }
+    ));
+}

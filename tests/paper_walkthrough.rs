@@ -1,0 +1,261 @@
+//! Integration tests reproducing every worked example of the paper through
+//! the public facade API, end to end.
+
+use ltam::core::decision::{Decision, DenyReason};
+use ltam::core::inaccessible::{find_inaccessible_traced, AuthsByLocation};
+use ltam::core::model::{Authorization, EntryLimit};
+use ltam::core::rules::{CountExpr, LocationOp, OpTuple, Rule, SubjectOp};
+use ltam::engine::engine::AccessControlEngine;
+use ltam::graph::examples::{fig4_cycle, ntu_campus};
+use ltam::graph::{EffectiveGraph, Route};
+use ltam::time::{Interval, IntervalSet, TemporalOp, Time};
+
+/// §3.1: both routes stated in the paper validate on the Figure 2 model.
+#[test]
+fn section31_routes_hold() {
+    let ntu = ntu_campus();
+    let g = EffectiveGraph::build(&ntu.model);
+    Route::simple(&ntu.model, &[ntu.sce_dean, ntu.sce_a, ntu.sce_b, ntu.cais])
+        .expect("simple route from the paper");
+    Route::complex(
+        &g,
+        &[
+            ntu.eee_dean,
+            ntu.eee_a,
+            ntu.eee_go,
+            ntu.sce_go,
+            ntu.sce_a,
+            ntu.sce_dean,
+        ],
+    )
+    .expect("complex route from the paper");
+    // A non-entry crossing between the schools must NOT be a route.
+    assert!(Route::complex(&g, &[ntu.lab1, ntu.cais]).is_err());
+}
+
+/// Figure 4 + Tables 1 and 2, including the exact trace row sequence.
+#[test]
+fn table2_full_reproduction() {
+    let f = fig4_cycle();
+    let g = EffectiveGraph::build(&f.model);
+    let alice = ltam::core::subject::SubjectId(0);
+    let auth = |l, e: (u64, u64), x: (u64, u64)| {
+        Authorization::new(
+            Interval::lit(e.0, e.1),
+            Interval::lit(x.0, x.1),
+            alice,
+            l,
+            EntryLimit::Finite(1),
+        )
+        .unwrap()
+    };
+    let mut auths = AuthsByLocation::new();
+    auths.insert(f.a, vec![auth(f.a, (2, 35), (20, 50))]);
+    auths.insert(f.b, vec![auth(f.b, (40, 60), (55, 80))]);
+    auths.insert(f.c, vec![auth(f.c, (38, 45), (70, 90))]);
+    auths.insert(f.d, vec![auth(f.d, (5, 25), (10, 30))]);
+
+    let (report, trace) = find_inaccessible_traced(&g, &auths);
+    assert_eq!(report.inaccessible, vec![f.c]);
+    assert_eq!(
+        report.grant_times[&f.a],
+        IntervalSet::of(Interval::lit(2, 35))
+    );
+    assert_eq!(
+        report.departure_times[&f.a],
+        IntervalSet::of(Interval::lit(20, 50))
+    );
+    assert_eq!(
+        report.grant_times[&f.b],
+        IntervalSet::of(Interval::lit(40, 50))
+    );
+    assert_eq!(
+        report.departure_times[&f.b],
+        IntervalSet::of(Interval::lit(55, 80))
+    );
+    assert_eq!(
+        report.grant_times[&f.d],
+        IntervalSet::of(Interval::lit(20, 25))
+    );
+    assert_eq!(
+        report.departure_times[&f.d],
+        IntervalSet::of(Interval::lit(20, 30))
+    );
+    assert!(report.grant_times[&f.c].is_empty());
+
+    let labels: Vec<&str> = trace.rows.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "Initiation".to_string(),
+            format!("Update {}", f.a),
+            format!("Update {}", f.b),
+            format!("Update {}", f.d),
+            format!("Update {}", f.c),
+            format!("Update {}", f.a),
+        ]
+    );
+}
+
+/// §5: the five-step walkthrough through the full enforcement engine,
+/// movement events included.
+#[test]
+fn section5_through_the_engine() {
+    let ntu = ntu_campus();
+    let (cais, chipes) = (ntu.cais, ntu.chipes);
+    let mut engine = AccessControlEngine::new(ntu.model);
+    let alice = engine.profiles_mut().add_user("Alice", "researcher");
+    let bob = engine.profiles_mut().add_user("Bob", "professor");
+    engine.add_authorization(
+        Authorization::new(
+            Interval::lit(10, 20),
+            Interval::lit(10, 50),
+            alice,
+            cais,
+            EntryLimit::Finite(2),
+        )
+        .unwrap(),
+    );
+    engine.add_authorization(
+        Authorization::new(
+            Interval::lit(5, 35),
+            Interval::lit(20, 100),
+            bob,
+            chipes,
+            EntryLimit::Finite(1),
+        )
+        .unwrap(),
+    );
+
+    // t=10: granted according to A1.
+    assert!(engine.request_enter(Time(10), alice, cais).is_granted());
+    engine.observe_enter(Time(10), alice, cais);
+    // t=15: Bob on CAIS — no authorization.
+    assert_eq!(
+        engine.request_enter(Time(15), bob, cais),
+        Decision::Denied {
+            reason: DenyReason::NoAuthorization
+        }
+    );
+    // t=16: Bob on CHIPES — granted by A2.
+    assert!(engine.request_enter(Time(16), bob, chipes).is_granted());
+    engine.observe_enter(Time(16), bob, chipes);
+    // t=20: Bob leaves CHIPES (inside [20, 100] — no violation).
+    assert_eq!(engine.observe_exit(Time(20), bob, chipes), None);
+    // t=30: Bob again on CHIPES — entry count exhausted.
+    assert_eq!(
+        engine.request_enter(Time(30), bob, chipes),
+        Decision::Denied {
+            reason: DenyReason::EntriesExhausted
+        }
+    );
+    // The §5 path produced no violations: everything was by the book.
+    assert!(engine.violations().is_empty());
+    // The movements database knows where everyone was.
+    assert_eq!(engine.movements().whereabouts(bob, Time(18)), Some(chipes));
+    assert_eq!(engine.movements().whereabouts(bob, Time(25)), None);
+}
+
+/// §4 Examples 1–3 through the engine's rule pipeline (not just the rule
+/// engine in isolation).
+#[test]
+fn section4_rules_through_the_engine() {
+    let ntu = ntu_campus();
+    let (cais, sce_go) = (ntu.cais, ntu.sce_go);
+    let mut engine = AccessControlEngine::new(ntu.model);
+    let alice = engine.profiles_mut().add_user("Alice", "researcher");
+    let bob = engine.profiles_mut().add_user("Bob", "professor");
+    engine.profiles_mut().set_supervisor(alice, bob);
+    let a1 = engine.add_authorization(
+        Authorization::new(
+            Interval::lit(5, 20),
+            Interval::lit(15, 50),
+            alice,
+            cais,
+            EntryLimit::Finite(2),
+        )
+        .unwrap(),
+    );
+
+    // r1: supervisor mirror.
+    engine.add_rule(Rule {
+        valid_from: Time(7),
+        base: a1,
+        ops: OpTuple {
+            subject_op: SubjectOp::SupervisorOf,
+            count: CountExpr::Const(2),
+            ..OpTuple::default()
+        },
+    });
+    // r2: restricted window for the supervisor.
+    engine.add_rule(Rule {
+        valid_from: Time(7),
+        base: a1,
+        ops: OpTuple {
+            entry_op: TemporalOp::Intersection(Interval::lit(10, 30)),
+            subject_op: SubjectOp::SupervisorOf,
+            count: CountExpr::Const(2),
+            ..OpTuple::default()
+        },
+    });
+    // r3: route coverage for Alice.
+    engine.add_rule(Rule {
+        valid_from: Time(7),
+        base: a1,
+        ops: OpTuple {
+            location_op: LocationOp::AllRouteFrom { source: sce_go },
+            count: CountExpr::Const(2),
+            ..OpTuple::default()
+        },
+    });
+    let report = engine.apply_rules();
+    assert!(report.errors.is_empty());
+
+    // a2: ([5,20],[15,50],(Bob,CAIS),2) exists.
+    let bob_auths: Vec<&Authorization> = engine
+        .db()
+        .for_subject_location(bob, cais)
+        .map(|(_, a)| a)
+        .collect();
+    assert!(bob_auths
+        .iter()
+        .any(|a| a.entry_window() == Interval::lit(5, 20)));
+    // a3: ([10,20],[15,50],(Bob,CAIS),2) exists.
+    assert!(bob_auths
+        .iter()
+        .any(|a| a.entry_window() == Interval::lit(10, 20)));
+    // r3 covered SCE.GO for Alice.
+    assert!(engine.db().for_subject_location(alice, sce_go).count() >= 1);
+
+    // With the derived route coverage, CAIS is now reachable for Alice.
+    let inaccessible = engine.inaccessible_for(alice);
+    assert!(!inaccessible.is_inaccessible(cais));
+}
+
+/// §3.2: over-staying the example authorization raises the warning signal.
+#[test]
+fn section32_overstay_warning() {
+    let ntu = ntu_campus();
+    let cais = ntu.cais;
+    let mut engine = AccessControlEngine::new(ntu.model);
+    let alice = engine.profiles_mut().add_user("Alice", "researcher");
+    engine.add_authorization(
+        Authorization::new(
+            Interval::lit(5, 40),
+            Interval::lit(20, 100),
+            alice,
+            cais,
+            EntryLimit::Finite(1),
+        )
+        .unwrap(),
+    );
+    assert!(engine.request_enter(Time(10), alice, cais).is_granted());
+    engine.observe_enter(Time(10), alice, cais);
+    assert!(engine.tick(Time(100)).is_empty());
+    let raised = engine.tick(Time(101));
+    assert_eq!(raised.len(), 1);
+    assert!(matches!(
+        raised[0],
+        ltam::engine::violation::Violation::Overstay { .. }
+    ));
+}
