@@ -1,0 +1,500 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (the `to_value`/`from_value` pair) for structs and enums. Because
+//! the offline build has no `syn`/`quote`, the derive input is parsed by
+//! hand from the raw `TokenStream`; the subset handled is exactly what the
+//! workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs — no generics;
+//! * enums with unit, newtype, tuple, and struct variants, serialized in
+//!   serde's externally-tagged shape;
+//! * container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// A tiny derive-input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let attrs = parse_outer_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, found {other}"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported (type {name})");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for {other} {name}"),
+    };
+
+    Item { name, attrs, shape }
+}
+
+/// Consume `#[...]` attribute groups, extracting `#[serde(...)]` contents.
+fn parse_outer_attrs(tokens: &[TokenTree], pos: &mut usize) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            panic!("serde derive: malformed attribute");
+        };
+        parse_serde_attr(g.stream(), &mut attrs);
+        *pos += 2;
+    }
+    attrs
+}
+
+fn parse_serde_attr(stream: TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                let has_eq =
+                    matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                if has_eq {
+                    let value = match args.get(i + 2) {
+                        Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
+                        other => {
+                            panic!("serde derive: expected string after {key} =, got {other:?}")
+                        }
+                    };
+                    match key.as_str() {
+                        "try_from" => attrs.try_from = Some(value),
+                        "into" => attrs.into = Some(value),
+                        other => panic!("serde derive (vendored): unsupported attribute {other}"),
+                    }
+                    i += 3;
+                } else {
+                    match key.as_str() {
+                        "transparent" => attrs.transparent = true,
+                        other => panic!("serde derive (vendored): unsupported attribute {other}"),
+                    }
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde derive: unexpected token in #[serde(...)]: {other}"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Split a field/variant list on top-level commas, tracking `<...>` depth so
+/// commas inside generic types don't split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn skip_field_attrs(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        // Fail loudly on field/variant-level #[serde(...)] rather than
+        // silently producing JSON with real-serde-divergent shape.
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if matches!(
+                g.stream().into_iter().next(),
+                Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+            ) {
+                panic!(
+                    "serde derive (vendored): field/variant-level #[serde(...)] attributes \
+                     are not supported: {g}"
+                );
+            }
+        }
+        *pos += 2;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| {
+            let mut pos = 0;
+            skip_field_attrs(&field, &mut pos);
+            skip_visibility(&field, &mut pos);
+            match &field[pos] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|var| {
+            let mut pos = 0;
+            skip_field_attrs(&var, &mut pos);
+            let name = match &var[pos] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde derive: expected variant name, found {other}"),
+            };
+            pos += 1;
+            let kind = match var.get(pos) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde derive: unsupported variant body: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(into) = &item.attrs.into {
+        return format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     let raw: {into} = ::std::clone::Clone::clone(self).into();\n\
+                     serde::Serialize::to_value(&raw)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) if item.attrs.transparent && fields.len() == 1 => {
+            format!("serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Shape::TupleStruct(1) if item.attrs.transparent => {
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!("{{ let mut pairs = Vec::new();\n{pushes}serde::Value::Object(pairs) }}")
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "pairs.push((\"{f}\".to_string(), serde::Serialize::to_value({f})));\n"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     let mut pairs = Vec::new();\n{pushes}\
+                                     serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Object(pairs))])\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(try_from) = &item.attrs.try_from {
+        return format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                     let raw: {try_from} = serde::Deserialize::from_value(value)?;\n\
+                     <Self as ::std::convert::TryFrom<{try_from}>>::try_from(raw)\n\
+                         .map_err(serde::Error::custom)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) if item.attrs.transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {f}: serde::Deserialize::from_value(value)? }})",
+                f = fields[0]
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::NamedStruct(fields) => {
+            let extract: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(value.get(\"{f}\").ok_or_else(|| serde::Error::custom(\"missing field `{f}` in {name}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Object(_) => Ok({name} {{\n{extract}}}),\n\
+                     other => Err(serde::Error::custom(format!(\"expected object for {name}, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let extract: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Array(items) if items.len() == {n} => Ok({name}({extract})),\n\
+                     other => Err(serde::Error::custom(format!(\"expected {n}-element array for {name}, found {{other:?}}\"))),\n\
+                 }}",
+                extract = extract.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match value {{\n\
+                 serde::Value::Null => Ok({name}),\n\
+                 other => Err(serde::Error::custom(format!(\"expected null for {name}, found {{other:?}}\"))),\n\
+             }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let extract: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vn}({extract})),\n\
+                                     other => Err(serde::Error::custom(format!(\"expected {n}-element array for {name}::{vn}, found {{other:?}}\"))),\n\
+                                 }},\n",
+                                extract = extract.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let extract: String = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: serde::Deserialize::from_value(inner.get(\"{f}\").ok_or_else(|| serde::Error::custom(\"missing field `{f}` in {name}::{vn}\"))?)?,\n"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Object(_) => Ok({name}::{vn} {{\n{extract}}}),\n\
+                                     other => Err(serde::Error::custom(format!(\"expected object for {name}::{vn}, found {{other:?}}\"))),\n\
+                                 }},\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(serde::Error::custom(format!(\"unknown unit variant {{other}} for {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => Err(serde::Error::custom(format!(\"unknown variant {{other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::Error::custom(format!(\"expected enum representation for {name}, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
