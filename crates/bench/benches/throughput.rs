@@ -1,0 +1,81 @@
+//! Sharded batch ingestion vs the global-lock engine, at 1–8 shards.
+//!
+//! Both paths process the same pre-materialized multi-shard trace
+//! (`ltam_sim::multi_shard_trace`). The global-lock path partitions the
+//! trace by subject across T sensor threads that all contend on one
+//! `SharedEngine` write lock — the Figure 3 deployment before this
+//! refactor. The sharded path hands the whole batch to
+//! `ShardedEngine::ingest`, which fans groups out to per-shard worker
+//! threads over crossbeam channels.
+//!
+//! The shape to check: at 1 shard the two are comparable (sharding pays
+//! a small channel/merge overhead); from 4 shards up batch ingestion
+//! pulls ahead because card swipes for different subjects stop
+//! serializing against each other.
+//!
+//! `repro throughput` reports the same comparison as events/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltam_bench::{drive_shared, partition_events, throughput_workload};
+use ltam_sim::{multi_shard_trace, TraceWorld};
+use std::time::Duration;
+
+fn bench_trace() -> TraceWorld {
+    multi_shard_trace(&throughput_workload(256, 20_000))
+}
+
+fn ingestion(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("throughput");
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("global_lock", shards),
+            &shards,
+            |b, &threads| {
+                b.iter_batched(
+                    || {
+                        (
+                            trace.build_shared().0,
+                            partition_events(&trace.events, threads),
+                        )
+                    },
+                    |(shared, groups)| {
+                        std::thread::scope(|scope| {
+                            for g in &groups {
+                                let shared = shared.clone();
+                                scope.spawn(move || drive_shared(&shared, g));
+                            }
+                        });
+                        shared.violation_count()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter_batched(
+                    || trace.build_sharded(shards).0,
+                    |engine| {
+                        let outcome = engine.ingest(&trace.events);
+                        outcome.violations.len()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = ingestion
+}
+criterion_main!(benches);

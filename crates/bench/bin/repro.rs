@@ -2,11 +2,13 @@
 //! *LTAM: A Location-Temporal Authorization Model* (Yu & Lim, SDM 2004).
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|all]
+//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
 //! `EXPERIMENTS.md` records this output against the paper's claims.
+//! `throughput` (an extension, not a paper artifact) measures sharded
+//! batch ingestion vs the global-lock engine; see `repro throughput --help`.
 
 use ltam_bench::{fig4_instance, ALICE};
 use ltam_core::decision::Decision;
@@ -24,8 +26,9 @@ use ltam_sim::{
 use ltam_time::{Interval, TemporalOp, Time};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match arg.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args.first().map(String::as_str).unwrap_or("all");
+    match arg {
         "fig1" => fig1(),
         "fig2" => fig2(),
         "fig3" => fig3(),
@@ -36,6 +39,7 @@ fn main() {
         "scaling" => scaling(),
         "baseline" => baseline(),
         "planner" => planner(),
+        "throughput" => throughput(&args[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, authz, rules, section5, table2, scaling, baseline, planner,
@@ -43,12 +47,14 @@ fn main() {
                 f();
                 println!();
             }
+            throughput(&[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|all]"
+                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|all]"
             );
+            eprintln!("       repro throughput --help   # enforcement-throughput options");
             std::process::exit(2);
         }
     }
@@ -479,6 +485,169 @@ fn baseline() {
             out.staff,
             out.quarantine.len(),
             out.contact_records
+        );
+    }
+}
+
+const THROUGHPUT_HELP: &str = "\
+usage: repro throughput [--json] [--events N] [--subjects N] [--shards LIST] [--grant-ttl T]
+
+Measures enforcement throughput (events/sec) of sharded batch ingestion
+(ShardedEngine::ingest) against the global-lock path (SharedEngine driven
+by one sensor thread per shard) on the same generated multi-shard trace.
+
+options:
+  --json          emit machine-readable JSON (the BENCH_throughput.json schema)
+  --events N      trace length in events                     [default 20000]
+  --subjects N    simulated population size                  [default 256]
+  --shards LIST   comma-separated shard counts to sweep      [default 1,2,4,8]
+  --grant-ttl T   grant time-to-live in CHRONONS (the paper's smallest,
+                  indivisible time unit): an entry at chronon t is honored
+                  iff granted_at <= t <= granted_at + T      [default 5]
+  --help          this text
+";
+
+/// One row of the `repro throughput --json` report (the
+/// `BENCH_throughput.json` schema).
+#[derive(serde::Serialize)]
+struct ThroughputRow {
+    shards: usize,
+    global_lock_events_per_sec: u64,
+    sharded_events_per_sec: u64,
+}
+
+/// The `repro throughput --json` envelope.
+#[derive(serde::Serialize)]
+struct ThroughputReport {
+    experiment: &'static str,
+    events: usize,
+    subjects: usize,
+    grant_ttl_chronons: u64,
+    results: Vec<ThroughputRow>,
+}
+
+/// Exit with a usage error for the throughput subcommand.
+fn throughput_usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{THROUGHPUT_HELP}");
+    std::process::exit(2);
+}
+
+/// Extension: sharded batch ingestion vs the global-lock engine.
+fn throughput(args: &[String]) {
+    use ltam_bench::{drive_shared, partition_events};
+    use ltam_engine::EngineConfig;
+    use ltam_sim::multi_shard_trace;
+
+    let mut json = false;
+    let mut events = 20_000usize;
+    let mut subjects = 256usize;
+    let mut shard_counts = vec![1usize, 2, 4, 8];
+    let mut grant_ttl = ltam_engine::DEFAULT_GRANT_TTL;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| throughput_usage_error(&format!("{name} needs a value")))
+                .clone()
+        };
+        let parsed = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| throughput_usage_error(&format!("{name}: bad value {raw:?}")))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--events" => events = parsed("--events", value("--events")) as usize,
+            "--subjects" => subjects = parsed("--subjects", value("--subjects")) as usize,
+            "--shards" => {
+                shard_counts = value("--shards")
+                    .split(',')
+                    .map(|s| parsed("--shards", s.trim().to_string()) as usize)
+                    .collect();
+            }
+            "--grant-ttl" => grant_ttl = parsed("--grant-ttl", value("--grant-ttl")),
+            "--help" | "-h" => {
+                print!("{THROUGHPUT_HELP}");
+                return;
+            }
+            other => throughput_usage_error(&format!("unknown throughput option {other:?}")),
+        }
+    }
+    if events == 0 {
+        throughput_usage_error("--events must be at least 1");
+    }
+    if subjects == 0 {
+        throughput_usage_error("--subjects must be at least 1");
+    }
+    if shard_counts.is_empty() || shard_counts.contains(&0) {
+        throughput_usage_error("--shards needs a comma-separated list of counts >= 1");
+    }
+
+    let config = EngineConfig { grant_ttl };
+    let trace = multi_shard_trace(&ltam_bench::throughput_workload(subjects, events));
+    let n_events = trace.events.len();
+
+    // Best of 3 runs, fresh engines each run.
+    let best_of =
+        |f: &mut dyn FnMut() -> std::time::Duration| (0..3).map(|_| f()).min().expect("three runs");
+
+    if !json {
+        banner("Extension: sharded enforcement throughput (events/sec, best of 3)");
+        println!("{n_events} events, {subjects} subjects, grant TTL {grant_ttl} chronons");
+        println!(
+            "{:<8} {:>18} {:>18} {:>9}",
+            "shards", "global-lock ev/s", "sharded ev/s", "speedup"
+        );
+    }
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        let lock_time = best_of(&mut || {
+            let (shared, _rx) = trace.build_shared();
+            shared.write(|e| e.set_config(config));
+            let groups = partition_events(&trace.events, shards);
+            let start = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for g in &groups {
+                    let shared = shared.clone();
+                    scope.spawn(move || drive_shared(&shared, g));
+                }
+            });
+            start.elapsed()
+        });
+        let sharded_time = best_of(&mut || {
+            let (engine, _rx) = trace.build_sharded(shards);
+            engine.update_policy(|p| p.set_config(config));
+            let start = std::time::Instant::now();
+            engine.ingest(&trace.events);
+            start.elapsed()
+        });
+        let lock_eps = n_events as f64 / lock_time.as_secs_f64();
+        let sharded_eps = n_events as f64 / sharded_time.as_secs_f64();
+        if !json {
+            println!(
+                "{:<8} {:>18.0} {:>18.0} {:>8.2}x",
+                shards,
+                lock_eps,
+                sharded_eps,
+                sharded_eps / lock_eps
+            );
+        }
+        rows.push(ThroughputRow {
+            shards,
+            global_lock_events_per_sec: lock_eps.round() as u64,
+            sharded_events_per_sec: sharded_eps.round() as u64,
+        });
+    }
+    if json {
+        let report = ThroughputReport {
+            experiment: "throughput",
+            events: n_events,
+            subjects,
+            grant_ttl_chronons: grant_ttl,
+            results: rows,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
         );
     }
 }

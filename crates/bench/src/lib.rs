@@ -9,6 +9,8 @@
 use ltam_core::inaccessible::AuthsByLocation;
 use ltam_core::model::{Authorization, EntryLimit};
 use ltam_core::subject::SubjectId;
+use ltam_engine::batch::{shard_of, Event};
+use ltam_engine::shared::SharedEngine;
 use ltam_graph::examples::{fig4_cycle, Fig4};
 use ltam_time::Interval;
 
@@ -40,6 +42,69 @@ pub fn fig4_instance() -> (Fig4, AuthsByLocation) {
     let f = fig4_cycle();
     let auths = table1_auths(&f);
     (f, auths)
+}
+
+/// The canonical throughput-comparison workload, parameterized only by
+/// scale. The `throughput` Criterion bench and `repro throughput` build
+/// their traces through this one constructor so both always measure the
+/// same workload shape (grid, tick cadence, behaviour mix, seed) and
+/// `BENCH_throughput.json` baselines stay comparable across runs.
+pub fn throughput_workload(subjects: usize, events: usize) -> ltam_sim::TraceConfig {
+    ltam_sim::TraceConfig {
+        subjects,
+        events,
+        grid: 8,
+        tick_every: 256,
+        tailgater_fraction: 0.1,
+        overstayer_fraction: 0.1,
+        seed: 42,
+    }
+}
+
+/// Partition a trace by subject across `threads` groups for the
+/// global-lock throughput comparison, preserving per-subject order;
+/// broadcast events (ticks) go to group 0, so the single engine runs
+/// one global overstay scan per tick.
+///
+/// Shared by the `throughput` Criterion bench and `repro throughput` so
+/// both measure exactly the same global-lock workload.
+pub fn partition_events(events: &[Event], threads: usize) -> Vec<Vec<Event>> {
+    assert!(threads >= 1, "need at least one group");
+    let mut groups = vec![Vec::new(); threads];
+    for e in events {
+        match e.subject() {
+            Some(s) => groups[shard_of(s, threads)].push(*e),
+            None => groups[0].push(*e),
+        }
+    }
+    groups
+}
+
+/// Replay a slice of events into a [`SharedEngine`] — the per-sensor
+/// thread body of the global-lock throughput comparison.
+pub fn drive_shared(shared: &SharedEngine, events: &[Event]) {
+    for e in events {
+        match *e {
+            Event::Request {
+                time,
+                subject,
+                location,
+            } => {
+                shared.request_enter(time, subject, location);
+            }
+            Event::Enter {
+                time,
+                subject,
+                location,
+            } => shared.observe_enter(time, subject, location),
+            Event::Exit {
+                time,
+                subject,
+                location,
+            } => shared.observe_exit(time, subject, location),
+            Event::Tick { now } => shared.tick(now),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,49 @@ pub fn check_access(
 
 /// Definition 7 extended with denial-takes-precedence prohibitions: a
 /// blocked `(subject, location, time)` denies regardless of grants.
+///
+/// This is the hot-path decision the enforcement layer runs for every
+/// card swipe. It borrows the policy stores *immutably* — no `&mut`
+/// engine is needed — which is what lets many enforcement shards share
+/// one read-mostly policy core (see `ltam-engine`'s `ShardedEngine`).
+///
+/// ```
+/// use ltam_core::decision::{check_access_restricted, AccessRequest, Decision};
+/// use ltam_core::db::AuthorizationDb;
+/// use ltam_core::ledger::UsageLedger;
+/// use ltam_core::model::{Authorization, EntryLimit};
+/// use ltam_core::prohibition::{Prohibition, ProhibitionDb};
+/// use ltam_core::subject::SubjectId;
+/// use ltam_graph::LocationId;
+/// use ltam_time::{Interval, Time};
+///
+/// let (alice, cais) = (SubjectId(0), LocationId(0));
+/// let mut db = AuthorizationDb::new();
+/// // The §3.2 example: ([5, 40], [20, 100], (Alice, CAIS), 1).
+/// let a1 = db.insert(
+///     Authorization::new(
+///         Interval::lit(5, 40),
+///         Interval::lit(20, 100),
+///         alice,
+///         cais,
+///         EntryLimit::Finite(1),
+///     )
+///     .unwrap(),
+/// );
+/// let mut prohibitions = ProhibitionDb::new();
+/// let ledger = UsageLedger::new();
+/// let at = |t| AccessRequest { time: Time(t), subject: alice, location: cais };
+///
+/// // Inside the entry window the request is granted by a1…
+/// assert_eq!(
+///     check_access_restricted(&db, &prohibitions, &ledger, &at(10)),
+///     Decision::Granted { auth: a1 },
+/// );
+/// // …but a lockdown covering t=10 takes precedence over the grant.
+/// prohibitions.insert(Prohibition { subject: alice, location: cais, window: Interval::lit(8, 15) });
+/// assert!(!check_access_restricted(&db, &prohibitions, &ledger, &at(10)).is_granted());
+/// assert!(check_access_restricted(&db, &prohibitions, &ledger, &at(20)).is_granted());
+/// ```
 pub fn check_access_restricted(
     db: &AuthorizationDb,
     prohibitions: &crate::prohibition::ProhibitionDb,
@@ -133,6 +176,37 @@ pub fn check_access_restricted(
         };
     }
     check_access(db, ledger, request)
+}
+
+/// The read-only half of the decision path: shared, immutable borrows of
+/// the policy stores, split away from any mutable enforcement state.
+///
+/// [`check_access_restricted`] already takes its policy inputs by `&`;
+/// this bundle makes the split explicit so an enforcement layer can hand
+/// one context to many concurrent checkers (each owning only its own
+/// mutable [`UsageLedger`] slice) without threading a `&mut` engine
+/// through the hot path. `ltam-engine`'s sharded engine builds its
+/// per-shard policy view on top of this.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// The authorization database (Definition 7's candidate set).
+    pub db: &'a AuthorizationDb,
+    /// Denial-takes-precedence prohibitions.
+    pub prohibitions: &'a crate::prohibition::ProhibitionDb,
+}
+
+impl DecisionContext<'_> {
+    /// Evaluate `request` against this policy under `ledger`'s entry
+    /// counts — exactly [`check_access_restricted`].
+    pub fn decide(&self, ledger: &UsageLedger, request: &AccessRequest) -> Decision {
+        check_access_restricted(self.db, self.prohibitions, ledger, request)
+    }
+
+    /// True if a prohibition blocks `(subject, location)` at `t`,
+    /// regardless of any grant.
+    pub fn blocked(&self, subject: SubjectId, location: LocationId, t: Time) -> bool {
+        self.prohibitions.blocks(subject, location, t)
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +381,38 @@ mod tests {
                 reason: DenyReason::EntriesExhausted
             }
         );
+    }
+
+    #[test]
+    fn decision_context_matches_free_function() {
+        use crate::prohibition::{Prohibition, ProhibitionDb};
+        let (db, _, _) = section5_db();
+        let mut prohibitions = ProhibitionDb::new();
+        prohibitions.insert(Prohibition {
+            subject: ALICE,
+            location: CAIS,
+            window: Interval::lit(12, 14),
+        });
+        let ledger = UsageLedger::new();
+        let ctx = DecisionContext {
+            db: &db,
+            prohibitions: &prohibitions,
+        };
+        for t in [9, 10, 12, 15, 21] {
+            let req = AccessRequest {
+                time: Time(t),
+                subject: ALICE,
+                location: CAIS,
+            };
+            assert_eq!(
+                ctx.decide(&ledger, &req),
+                check_access_restricted(&db, &prohibitions, &ledger, &req),
+            );
+            assert_eq!(
+                ctx.blocked(ALICE, CAIS, Time(t)),
+                prohibitions.blocks(ALICE, CAIS, Time(t)),
+            );
+        }
     }
 
     #[test]

@@ -57,6 +57,8 @@
 //! # Ok::<(), ltam_core::model::AuthError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod conflict;
 pub mod db;
 pub mod decision;
@@ -73,7 +75,9 @@ pub mod tam;
 
 pub use conflict::{detect_conflicts, resolve_conflicts, Conflict, ResolutionStrategy};
 pub use db::{AuthId, AuthorizationDb, Provenance, RuleId};
-pub use decision::{check_access, check_access_restricted, AccessRequest, Decision, DenyReason};
+pub use decision::{
+    check_access, check_access_restricted, AccessRequest, Decision, DecisionContext, DenyReason,
+};
 pub use duration::{
     authorize_route, departure_duration, grant_duration, RouteAuthorization, RouteDenial,
 };

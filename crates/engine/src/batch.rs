@@ -1,0 +1,878 @@
+//! Sharded, batch-ingesting enforcement: scale Figure 3 across threads.
+//!
+//! The single-lock [`SharedEngine`](crate::shared::SharedEngine)
+//! serializes every card swipe against every admin query. This module
+//! splits the engine along the seam LTAM's data model already implies:
+//!
+//! * a **read-mostly policy core** ([`PolicyCore`]: location model,
+//!   effective graph, authorization database, prohibitions, tunables)
+//!   shared by all shards and replaced wholesale — an *epoch swap* —
+//!   when an administrator changes policy;
+//! * **N shards** of per-subject mutable state ([`ShardState`]),
+//!   partitioned by `SubjectId` hash, each owned by a dedicated worker
+//!   thread.
+//!
+//! Sensor events arrive in batches ([`ShardedEngine::ingest`]): the
+//! batch is grouped by shard, each group is processed on its shard's
+//! worker (fed over `crossbeam` channels), and the per-shard results are
+//! merged — in shard order, so the outcome is deterministic — into one
+//! [`BatchOutcome`] whose violations are forwarded to the security desk
+//! with globally monotone alert sequence numbers.
+//!
+//! Because every per-subject invariant (pending grants, active stays,
+//! movement timelines, entry counters — an `AuthId` belongs to exactly
+//! one subject) lives entirely on that subject's shard, the sharded
+//! engine detects **exactly** the violation multiset the
+//! single-threaded engine would on the same trace; the workspace's
+//! `sharded_equivalence` integration tests assert this on 100k-event
+//! traces.
+
+use crate::engine::{AccessControlEngine, EngineConfig};
+use crate::shard::{PolicyView, ShardState};
+use crate::violation::{Alert, Violation};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ltam_core::db::AuthId;
+use ltam_core::decision::Decision;
+use ltam_core::model::Authorization;
+use ltam_core::prohibition::{Prohibition, ProhibitionDb};
+use ltam_core::subject::SubjectId;
+use ltam_core::AuthorizationDb;
+use ltam_graph::{EffectiveGraph, LocationId, LocationModel};
+use ltam_time::Time;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One sensor or clock event, ready for batch ingestion.
+///
+/// `Request`/`Enter`/`Exit` carry the subject they concern and route to
+/// that subject's shard; `Tick` is a monitoring-clock advance and is
+/// broadcast to every shard (overstay scans cover all subjects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// An access request at a door (Definition 6).
+    Request {
+        /// When the request was made.
+        time: Time,
+        /// The requesting subject.
+        subject: SubjectId,
+        /// The requested location.
+        location: LocationId,
+    },
+    /// The tracking infrastructure observed a physical entry.
+    Enter {
+        /// When the entry was observed.
+        time: Time,
+        /// Who entered.
+        subject: SubjectId,
+        /// Where.
+        location: LocationId,
+    },
+    /// The tracking infrastructure observed a physical exit.
+    Exit {
+        /// When the exit was observed.
+        time: Time,
+        /// Who left.
+        subject: SubjectId,
+        /// Where.
+        location: LocationId,
+    },
+    /// Advance the monitoring clock (overstay detection).
+    Tick {
+        /// The new clock value.
+        now: Time,
+    },
+}
+
+impl Event {
+    /// The subject the event concerns; `None` for broadcast events
+    /// (`Tick`).
+    pub fn subject(&self) -> Option<SubjectId> {
+        match *self {
+            Event::Request { subject, .. }
+            | Event::Enter { subject, .. }
+            | Event::Exit { subject, .. } => Some(subject),
+            Event::Tick { .. } => None,
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            Event::Request { time, .. } | Event::Enter { time, .. } | Event::Exit { time, .. } => {
+                time
+            }
+            Event::Tick { now } => now,
+        }
+    }
+}
+
+/// The read-mostly half of the enforcement engine: everything a shard
+/// needs to *decide*, none of what it *mutates* per event.
+///
+/// Admins never mutate a live `PolicyCore`; they build the next epoch
+/// (a clone plus edits) and the [`ShardedEngine`] swaps it in atomically
+/// behind its single writer lock. Every batch reads one consistent
+/// epoch for its whole duration.
+#[derive(Debug, Clone)]
+pub struct PolicyCore {
+    model: LocationModel,
+    graph: EffectiveGraph,
+    db: AuthorizationDb,
+    prohibitions: ProhibitionDb,
+    config: EngineConfig,
+}
+
+impl PolicyCore {
+    /// Build an empty policy core for a location layout.
+    pub fn new(model: LocationModel) -> PolicyCore {
+        let graph = EffectiveGraph::build(&model);
+        PolicyCore {
+            model,
+            graph,
+            db: AuthorizationDb::new(),
+            prohibitions: ProhibitionDb::new(),
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// The location layout.
+    pub fn model(&self) -> &LocationModel {
+        &self.model
+    }
+
+    /// The flattened location graph.
+    pub fn graph(&self) -> &EffectiveGraph {
+        &self.graph
+    }
+
+    /// The authorization database.
+    pub fn db(&self) -> &AuthorizationDb {
+        &self.db
+    }
+
+    /// The prohibition store.
+    pub fn prohibitions(&self) -> &ProhibitionDb {
+        &self.prohibitions
+    }
+
+    /// The enforcement tunables.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Override the enforcement tunables.
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+    }
+
+    /// Insert an authorization.
+    pub fn add_authorization(&mut self, auth: Authorization) -> AuthId {
+        self.db.insert(auth)
+    }
+
+    /// Insert a prohibition (denial takes precedence).
+    pub fn add_prohibition(&mut self, prohibition: Prohibition) {
+        self.prohibitions.insert(prohibition);
+    }
+
+    /// Revoke an authorization from the database. (The engine-level
+    /// [`ShardedEngine::revoke_authorization`] also lapses per-shard
+    /// grants and counters.)
+    pub fn revoke_authorization(&mut self, id: AuthId) -> Option<Authorization> {
+        self.db.revoke(id)
+    }
+
+    /// The immutable view shards enforce against.
+    pub fn view(&self) -> PolicyView<'_> {
+        PolicyView {
+            db: &self.db,
+            prohibitions: &self.prohibitions,
+            config: self.config,
+        }
+    }
+}
+
+/// Per-shard slice of a [`BatchOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// The shard index.
+    pub shard: usize,
+    /// Events routed to this shard (ticks count once per shard).
+    pub events: usize,
+    /// Violations this shard raised during the batch.
+    pub violations: usize,
+}
+
+/// The merged result of one [`ShardedEngine::ingest`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Events in the input batch.
+    pub processed: usize,
+    /// Access requests granted.
+    pub granted: usize,
+    /// Access requests denied.
+    pub denied: usize,
+    /// Violations raised by this batch, merged in shard order (within a
+    /// shard: detection order).
+    pub violations: Vec<Violation>,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// What one shard reports back for its slice of a batch.
+#[derive(Debug, Default)]
+struct ShardOutcome {
+    granted: usize,
+    denied: usize,
+    violations: Vec<Violation>,
+}
+
+#[derive(Debug)]
+enum Job {
+    Batch {
+        epoch: Arc<PolicyCore>,
+        events: Vec<Event>,
+        done: Sender<(usize, ShardOutcome)>,
+    },
+}
+
+fn apply_event(
+    state: &mut ShardState,
+    policy: &PolicyView<'_>,
+    event: &Event,
+    out: &mut ShardOutcome,
+) {
+    match *event {
+        Event::Request {
+            time,
+            subject,
+            location,
+        } => match state.request_enter(policy, time, subject, location) {
+            Decision::Granted { .. } => out.granted += 1,
+            Decision::Denied { .. } => out.denied += 1,
+        },
+        Event::Enter {
+            time,
+            subject,
+            location,
+        } => {
+            if let Some(v) = state.observe_enter(policy, time, subject, location) {
+                out.violations.push(v);
+            }
+        }
+        Event::Exit {
+            time,
+            subject,
+            location,
+        } => {
+            if let Some(v) = state.observe_exit(policy, time, subject, location) {
+                out.violations.push(v);
+            }
+        }
+        Event::Tick { now } => out.violations.extend(state.tick(policy, now)),
+    }
+}
+
+fn worker_loop(shard: usize, state: Arc<Mutex<ShardState>>, jobs: Receiver<Job>) {
+    while let Ok(Job::Batch {
+        epoch,
+        events,
+        done,
+    }) = jobs.recv()
+    {
+        let policy = epoch.view();
+        let mut out = ShardOutcome::default();
+        let mut guard = state.lock();
+        for e in &events {
+            apply_event(&mut guard, &policy, e, &mut out);
+        }
+        drop(guard);
+        // The coordinator may have been dropped mid-batch; nothing to do.
+        let _ = done.send((shard, out));
+    }
+}
+
+/// Deterministic subject → shard assignment (Fibonacci hashing, so
+/// consecutively numbered subjects spread evenly).
+pub fn shard_of(subject: SubjectId, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    let h = (subject.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) % shards as u64) as usize
+}
+
+/// A subject-sharded, batch-ingesting enforcement engine.
+///
+/// See the [module docs](crate::batch) for the architecture. Compared to
+/// [`SharedEngine`](crate::shared::SharedEngine) (one `RwLock` around
+/// everything), `ShardedEngine` lets `N` worker threads enforce
+/// concurrently while admin updates swap policy epochs underneath.
+///
+/// ```
+/// use ltam_core::model::{Authorization, EntryLimit};
+/// use ltam_core::subject::SubjectId;
+/// use ltam_engine::batch::{Event, PolicyCore, ShardedEngine};
+/// use ltam_graph::examples::ntu_campus;
+/// use ltam_time::{Interval, Time};
+///
+/// let ntu = ntu_campus();
+/// let cais = ntu.cais;
+/// let mut core = PolicyCore::new(ntu.model);
+/// let alice = SubjectId(0);
+/// // The §3.2 authorization: ([5, 40], [20, 100], (Alice, CAIS), 1).
+/// core.add_authorization(
+///     Authorization::new(
+///         Interval::lit(5, 40),
+///         Interval::lit(20, 100),
+///         alice,
+///         cais,
+///         EntryLimit::Finite(1),
+///     )
+///     .unwrap(),
+/// );
+/// let (engine, alerts) = ShardedEngine::new(core, 4);
+///
+/// // One batch: swipe, walk in, leave too early, clock tick.
+/// let outcome = engine.ingest(&[
+///     Event::Request { time: Time(10), subject: alice, location: cais },
+///     Event::Enter { time: Time(10), subject: alice, location: cais },
+///     Event::Exit { time: Time(15), subject: alice, location: cais }, // before [20, 100]
+///     Event::Tick { now: Time(16) },
+/// ]);
+/// assert_eq!(outcome.granted, 1);
+/// assert_eq!(outcome.violations.len(), 1); // the early exit
+/// assert_eq!(alerts.try_recv().unwrap().violation, outcome.violations[0]);
+/// ```
+pub struct ShardedEngine {
+    policy: RwLock<Arc<PolicyCore>>,
+    shards: Vec<Arc<Mutex<ShardState>>>,
+    workers: Vec<Sender<Job>>,
+    joins: Vec<JoinHandle<()>>,
+    alert_tx: Sender<Alert>,
+    alert_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("alert_seq", &self.alert_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    /// Spin up `shards` worker threads over `core`; returns the engine
+    /// and the security desk's alert channel.
+    pub fn new(core: PolicyCore, shards: usize) -> (ShardedEngine, Receiver<Alert>) {
+        assert!(shards >= 1, "need at least one shard");
+        let (alert_tx, alert_rx) = unbounded();
+        let states: Vec<Arc<Mutex<ShardState>>> = (0..shards)
+            .map(|_| Arc::new(Mutex::new(ShardState::new())))
+            .collect();
+        let mut workers = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for (i, state) in states.iter().enumerate() {
+            let (tx, rx) = unbounded::<Job>();
+            let state = Arc::clone(state);
+            joins.push(std::thread::spawn(move || worker_loop(i, state, rx)));
+            workers.push(tx);
+        }
+        (
+            ShardedEngine {
+                policy: RwLock::new(Arc::new(core)),
+                shards: states,
+                workers,
+                joins,
+                alert_tx,
+                alert_seq: AtomicU64::new(0),
+            },
+            alert_rx,
+        )
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a subject's state lives on.
+    pub fn shard_for(&self, subject: SubjectId) -> usize {
+        shard_of(subject, self.shards.len())
+    }
+
+    /// A snapshot of the current policy epoch.
+    pub fn policy(&self) -> Arc<PolicyCore> {
+        self.policy.read().clone()
+    }
+
+    // --- administration (the single-writer epoch-swap path) ---------------
+
+    /// Apply an arbitrary policy edit as one new epoch: clone the current
+    /// core, run `f` on the clone, swap it in. Writers serialize on the
+    /// policy lock; in-flight batches keep reading the epoch they started
+    /// with.
+    pub fn update_policy<R>(&self, f: impl FnOnce(&mut PolicyCore) -> R) -> R {
+        let mut guard = self.policy.write();
+        let mut next = (**guard).clone();
+        let r = f(&mut next);
+        *guard = Arc::new(next);
+        r
+    }
+
+    /// Insert an authorization (one epoch swap; batch admin edits with
+    /// [`ShardedEngine::update_policy`]).
+    pub fn add_authorization(&self, auth: Authorization) -> AuthId {
+        self.update_policy(|p| p.add_authorization(auth))
+    }
+
+    /// Insert a prohibition.
+    pub fn add_prohibition(&self, prohibition: Prohibition) {
+        self.update_policy(|p| p.add_prohibition(prohibition));
+    }
+
+    /// Revoke an authorization: removes it from the next policy epoch and
+    /// lapses its usage counters and pending grants on every shard.
+    pub fn revoke_authorization(&self, id: AuthId) -> Option<Authorization> {
+        let revoked = self.update_policy(|p| p.revoke_authorization(id));
+        for shard in &self.shards {
+            shard.lock().invalidate_auth(id);
+        }
+        revoked
+    }
+
+    // --- batch ingestion ---------------------------------------------------
+
+    /// Ingest a batch of events: group by shard, process each group on
+    /// its shard's worker thread, merge the results in shard order, and
+    /// forward every raised violation to the alert channel.
+    ///
+    /// Per-subject event order within the batch is preserved (a subject's
+    /// events all land on one shard, in input order), which is all the
+    /// movement database's physical-consistency checks need; `Tick`
+    /// events are broadcast to every shard at their position in the
+    /// batch.
+    pub fn ingest(&self, events: &[Event]) -> BatchOutcome {
+        let epoch = self.policy.read().clone();
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<Event>> = vec![Vec::new(); n];
+        for e in events {
+            match e.subject() {
+                Some(s) => groups[shard_of(s, n)].push(*e),
+                None => {
+                    for g in &mut groups {
+                        g.push(*e);
+                    }
+                }
+            }
+        }
+        let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+
+        let (done_tx, done_rx) = unbounded();
+        let mut dispatched = 0usize;
+        for (i, g) in groups.into_iter().enumerate() {
+            if g.is_empty() {
+                continue;
+            }
+            self.workers[i]
+                .send(Job::Batch {
+                    epoch: Arc::clone(&epoch),
+                    events: g,
+                    done: done_tx.clone(),
+                })
+                .expect("worker thread alive");
+            dispatched += 1;
+        }
+        drop(done_tx);
+
+        let mut results: Vec<Option<ShardOutcome>> = (0..n).map(|_| None).collect();
+        for _ in 0..dispatched {
+            let (shard, out) = done_rx.recv().expect("worker reports its batch");
+            results[shard] = Some(out);
+        }
+
+        // Merge deterministically in shard index order.
+        let mut outcome = BatchOutcome {
+            processed: events.len(),
+            ..BatchOutcome::default()
+        };
+        for (i, slot) in results.into_iter().enumerate() {
+            let Some(out) = slot else {
+                if group_sizes[i] == 0 {
+                    continue;
+                }
+                unreachable!("dispatched shard {i} never reported");
+            };
+            outcome.per_shard.push(ShardStats {
+                shard: i,
+                events: group_sizes[i],
+                violations: out.violations.len(),
+            });
+            outcome.granted += out.granted;
+            outcome.denied += out.denied;
+            outcome.violations.extend(out.violations);
+        }
+        for &v in &outcome.violations {
+            self.alert(v);
+        }
+        outcome
+    }
+
+    fn alert(&self, violation: Violation) {
+        let alert = Alert {
+            violation,
+            seq: self.alert_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        let _ = self.alert_tx.send(alert);
+    }
+
+    // --- single-event paths (sensor trickle between batches) --------------
+
+    /// Process one access request inline (no worker hop).
+    pub fn request_enter(&self, t: Time, subject: SubjectId, location: LocationId) -> Decision {
+        let epoch = self.policy.read().clone();
+        let idx = shard_of(subject, self.shards.len());
+        let mut state = self.shards[idx].lock();
+        state.request_enter(&epoch.view(), t, subject, location)
+    }
+
+    /// Process one observed entry inline. Returns the violation raised,
+    /// if any.
+    pub fn observe_enter(
+        &self,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Option<Violation> {
+        let epoch = self.policy.read().clone();
+        let idx = shard_of(subject, self.shards.len());
+        let raised = {
+            let mut state = self.shards[idx].lock();
+            state.observe_enter(&epoch.view(), t, subject, location)
+        };
+        if let Some(v) = raised {
+            self.alert(v);
+        }
+        raised
+    }
+
+    /// Process one observed exit inline. Returns the violation raised,
+    /// if any.
+    pub fn observe_exit(
+        &self,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Option<Violation> {
+        let epoch = self.policy.read().clone();
+        let idx = shard_of(subject, self.shards.len());
+        let raised = {
+            let mut state = self.shards[idx].lock();
+            state.observe_exit(&epoch.view(), t, subject, location)
+        };
+        if let Some(v) = raised {
+            self.alert(v);
+        }
+        raised
+    }
+
+    /// Advance the monitoring clock on every shard, in shard order.
+    pub fn tick(&self, now: Time) -> Vec<Violation> {
+        let epoch = self.policy.read().clone();
+        let mut raised = Vec::new();
+        for shard in &self.shards {
+            raised.extend(shard.lock().tick(&epoch.view(), now));
+        }
+        for &v in &raised {
+            self.alert(v);
+        }
+        raised
+    }
+
+    // --- read access -------------------------------------------------------
+
+    /// Run read-only logic against one shard's state.
+    pub fn read_shard<R>(&self, shard: usize, f: impl FnOnce(&ShardState) -> R) -> R {
+        f(&self.shards[shard].lock())
+    }
+
+    /// All violations detected so far, concatenated in shard order
+    /// (within a shard: detection order). Compare as a multiset against a
+    /// single-engine run.
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend_from_slice(shard.lock().violations());
+        }
+        out
+    }
+
+    /// Number of violations detected so far.
+    pub fn violation_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().violations().len())
+            .sum()
+    }
+
+    /// Total entries recorded across all shards' ledgers.
+    pub fn total_entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().ledger().total_entries())
+            .sum()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Closing the job channels stops the workers; join them so no
+        // thread outlives the engine.
+        self.workers.clear();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Replay one [`Event`] into a single-threaded engine — the reference
+/// semantics the sharded engine is tested against.
+pub fn apply_to_engine(engine: &mut AccessControlEngine, event: &Event) {
+    match *event {
+        Event::Request {
+            time,
+            subject,
+            location,
+        } => {
+            engine.request_enter(time, subject, location);
+        }
+        Event::Enter {
+            time,
+            subject,
+            location,
+        } => {
+            engine.observe_enter(time, subject, location);
+        }
+        Event::Exit {
+            time,
+            subject,
+            location,
+        } => {
+            engine.observe_exit(time, subject, location);
+        }
+        Event::Tick { now } => {
+            engine.tick(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltam_core::model::EntryLimit;
+    use ltam_graph::examples::ntu_campus;
+    use ltam_time::Interval;
+
+    fn one_shot_core() -> (PolicyCore, SubjectId, LocationId) {
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let mut core = PolicyCore::new(ntu.model);
+        let alice = SubjectId(0);
+        core.add_authorization(
+            Authorization::new(
+                Interval::lit(5, 40),
+                Interval::lit(20, 100),
+                alice,
+                cais,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        (core, alice, cais)
+    }
+
+    #[test]
+    fn batch_matches_single_engine_on_clean_cycle() {
+        let (core, alice, cais) = one_shot_core();
+        let (engine, _alerts) = ShardedEngine::new(core, 4);
+        let out = engine.ingest(&[
+            Event::Request {
+                time: Time(10),
+                subject: alice,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(11),
+                subject: alice,
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(25),
+                subject: alice,
+                location: cais,
+            },
+        ]);
+        assert_eq!(out.processed, 3);
+        assert_eq!(out.granted, 1);
+        assert_eq!(out.denied, 0);
+        assert!(out.violations.is_empty());
+        assert_eq!(engine.total_entries(), 1);
+        // Exactly one shard saw traffic.
+        assert_eq!(out.per_shard.len(), 1);
+        assert_eq!(out.per_shard[0].events, 3);
+    }
+
+    #[test]
+    fn ticks_broadcast_to_all_shards() {
+        let (core, alice, cais) = one_shot_core();
+        let (engine, alerts) = ShardedEngine::new(core, 4);
+        engine.ingest(&[
+            Event::Request {
+                time: Time(10),
+                subject: alice,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(11),
+                subject: alice,
+                location: cais,
+            },
+        ]);
+        // Exit window [20, 100] closed at 100; the overstay fires once.
+        let out = engine.ingest(&[
+            Event::Tick { now: Time(101) },
+            Event::Tick { now: Time(102) },
+        ]);
+        assert_eq!(out.violations.len(), 1);
+        assert!(matches!(out.violations[0], Violation::Overstay { .. }));
+        // Alerts carry monotone sequence numbers.
+        let alert = alerts.try_iter().last().unwrap();
+        assert_eq!(alert.violation, out.violations[0]);
+    }
+
+    #[test]
+    fn epoch_swap_is_seen_by_the_next_batch() {
+        let (core, alice, cais) = one_shot_core();
+        let (engine, _alerts) = ShardedEngine::new(core, 2);
+        // Lockdown lands before the swipe: denial takes precedence.
+        engine.add_prohibition(Prohibition {
+            subject: alice,
+            location: cais,
+            window: Interval::lit(8, 15),
+        });
+        let out = engine.ingest(&[Event::Request {
+            time: Time(10),
+            subject: alice,
+            location: cais,
+        }]);
+        assert_eq!(out.denied, 1);
+        // Outside the blocked window the original epoch's grant applies.
+        let out = engine.ingest(&[Event::Request {
+            time: Time(20),
+            subject: alice,
+            location: cais,
+        }]);
+        assert_eq!(out.granted, 1);
+    }
+
+    #[test]
+    fn revocation_reaches_every_shard() {
+        let (core, alice, cais) = one_shot_core();
+        let (engine, _alerts) = ShardedEngine::new(core, 4);
+        let out = engine.ingest(&[Event::Request {
+            time: Time(10),
+            subject: alice,
+            location: cais,
+        }]);
+        assert_eq!(out.granted, 1);
+        // Revoke the only authorization: the pending grant lapses.
+        let id = engine
+            .policy()
+            .db()
+            .iter()
+            .next()
+            .map(|(id, _, _)| id)
+            .unwrap();
+        assert!(engine.revoke_authorization(id).is_some());
+        let out = engine.ingest(&[Event::Enter {
+            time: Time(11),
+            subject: alice,
+            location: cais,
+        }]);
+        assert_eq!(out.violations.len(), 1);
+        assert!(matches!(
+            out.violations[0],
+            Violation::UnauthorizedEntry { .. }
+        ));
+    }
+
+    #[test]
+    fn shard_of_spreads_and_is_stable() {
+        let n = 8;
+        let mut hits = vec![0usize; n];
+        for s in 0..1000u32 {
+            let i = shard_of(SubjectId(s), n);
+            assert_eq!(i, shard_of(SubjectId(s), n));
+            hits[i] += 1;
+        }
+        // No empty shard, no shard with more than half the subjects.
+        assert!(hits.iter().all(|&h| h > 0 && h < 500), "skewed: {hits:?}");
+    }
+
+    #[test]
+    fn single_event_paths_match_batched() {
+        let (core, alice, cais) = one_shot_core();
+        let (a, _rx_a) = ShardedEngine::new(core.clone(), 3);
+        let (b, _rx_b) = ShardedEngine::new(core, 3);
+        let events = [
+            Event::Request {
+                time: Time(10),
+                subject: alice,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(11),
+                subject: alice,
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(15), // before the exit window opens
+                subject: alice,
+                location: cais,
+            },
+            Event::Tick { now: Time(101) },
+        ];
+        a.ingest(&events);
+        for e in &events {
+            match *e {
+                Event::Request {
+                    time,
+                    subject,
+                    location,
+                } => {
+                    b.request_enter(time, subject, location);
+                }
+                Event::Enter {
+                    time,
+                    subject,
+                    location,
+                } => {
+                    b.observe_enter(time, subject, location);
+                }
+                Event::Exit {
+                    time,
+                    subject,
+                    location,
+                } => {
+                    b.observe_exit(time, subject, location);
+                }
+                Event::Tick { now } => {
+                    b.tick(now);
+                }
+            }
+        }
+        assert_eq!(a.violations(), b.violations());
+    }
+}

@@ -20,10 +20,11 @@
 
 use crate::movement::MovementsDb;
 use crate::profile::UserProfileDb;
+use crate::shard::{PolicyView, ShardState};
 use crate::violation::{Alert, Violation};
 use crossbeam::channel::Sender;
 use ltam_core::db::{AuthId, AuthorizationDb};
-use ltam_core::decision::{check_access_restricted, AccessRequest, Decision};
+use ltam_core::decision::{AccessRequest, Decision};
 use ltam_core::inaccessible::{find_inaccessible, InaccessibleReport};
 use ltam_core::ledger::UsageLedger;
 use ltam_core::model::Authorization;
@@ -33,31 +34,36 @@ use ltam_core::recurring::{expand_recurring, RecurringAuthorization, RecurringEr
 use ltam_core::rules::{Rule, RuleEngine};
 use ltam_core::subject::SubjectId;
 use ltam_graph::{EffectiveGraph, LocationId, LocationModel};
-use ltam_time::{Bound, Interval, Time};
+use ltam_time::{Interval, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+
+/// Default [`EngineConfig::grant_ttl`], in **chronons** (the paper's
+/// smallest indivisible time unit — see `ltam-time`).
+///
+/// A granted access request is a promise that the door will recognize the
+/// subject's physical entry; this is how long that promise lasts. Five
+/// chronons matches the paper's worked examples, where requests and
+/// entries happen within a few time units of each other (e.g. the §5
+/// walkthrough requests at `t = 16` and enters before `t = 20`).
+pub const DEFAULT_GRANT_TTL: u64 = 5;
 
 /// Tunables for the enforcement loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Chronons a granted request stays usable before the subject must
     /// physically enter; after that the grant lapses and the entry would be
-    /// unauthorized.
+    /// unauthorized. An entry at `t` is honored iff
+    /// `granted_at <= t <= granted_at + grant_ttl` (and the grant is still
+    /// valid). Defaults to [`DEFAULT_GRANT_TTL`].
     pub grant_ttl: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { grant_ttl: 5 }
+        EngineConfig {
+            grant_ttl: DEFAULT_GRANT_TTL,
+        }
     }
-}
-
-/// A granted access request waiting for the physical entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingGrant {
-    location: LocationId,
-    auth: AuthId,
-    granted_at: Time,
 }
 
 /// One audited request decision.
@@ -70,22 +76,21 @@ pub struct AuditRecord {
 }
 
 /// The LTAM enforcement engine.
+///
+/// Internally this is one [`ShardState`] (the per-subject mutable half)
+/// over the policy stores (the read-mostly half) — the same split the
+/// concurrent [`ShardedEngine`](crate::batch::ShardedEngine) partitions
+/// across threads, so both run identical enforcement code.
 #[derive(Debug)]
 pub struct AccessControlEngine {
     model: LocationModel,
     graph: EffectiveGraph,
     db: AuthorizationDb,
     prohibitions: ProhibitionDb,
-    ledger: UsageLedger,
-    movements: MovementsDb,
     profiles: UserProfileDb,
     rules: RuleEngine,
     config: EngineConfig,
-    pending: HashMap<SubjectId, PendingGrant>,
-    active_auth: HashMap<SubjectId, (LocationId, AuthId)>,
-    overstay_alerted: HashSet<SubjectId>,
-    violations: Vec<Violation>,
-    audit: Vec<AuditRecord>,
+    state: ShardState,
     alert_seq: u64,
     alert_tx: Option<Sender<Alert>>,
 }
@@ -99,16 +104,10 @@ impl AccessControlEngine {
             graph,
             db: AuthorizationDb::new(),
             prohibitions: ProhibitionDb::new(),
-            ledger: UsageLedger::new(),
-            movements: MovementsDb::new(),
             profiles: UserProfileDb::new(),
             rules: RuleEngine::new(),
             config: EngineConfig::default(),
-            pending: HashMap::new(),
-            active_auth: HashMap::new(),
-            overstay_alerted: HashSet::new(),
-            violations: Vec::new(),
-            audit: Vec::new(),
+            state: ShardState::new(),
             alert_seq: 0,
             alert_tx: None,
         }
@@ -145,7 +144,7 @@ impl AccessControlEngine {
 
     /// The movements database.
     pub fn movements(&self) -> &MovementsDb {
-        &self.movements
+        self.state.movements()
     }
 
     /// The user profile database.
@@ -160,17 +159,17 @@ impl AccessControlEngine {
 
     /// The usage ledger.
     pub fn ledger(&self) -> &UsageLedger {
-        &self.ledger
+        self.state.ledger()
     }
 
     /// Violations detected so far, in detection order.
     pub fn violations(&self) -> &[Violation] {
-        &self.violations
+        self.state.violations()
     }
 
     /// The audited request decisions.
     pub fn audit(&self) -> &[AuditRecord] {
-        &self.audit
+        self.state.audit()
     }
 
     // --- administration -----------------------------------------------------
@@ -203,11 +202,10 @@ impl AccessControlEngine {
 
     /// Revoke an authorization and drop its usage counters.
     pub fn revoke_authorization(&mut self, id: AuthId) -> Option<Authorization> {
-        self.ledger.clear(id);
-        let auth = self.db.revoke(id)?;
-        // A pending grant on a revoked authorization lapses.
-        self.pending.retain(|_, g| g.auth != id);
-        Some(auth)
+        // Usage counters and any pending grant on a revoked authorization
+        // lapse with it.
+        self.state.invalidate_auth(id);
+        self.db.revoke(id)
     }
 
     /// Register an authorization rule (§4).
@@ -244,22 +242,19 @@ impl AccessControlEngine {
         self.db = AuthorizationDb::import_rows(rows);
         self.prohibitions = prohibitions;
         self.rules = RuleEngine::import(rules);
-        self.ledger = ledger;
+        self.state.ledger = ledger;
         self.profiles = profiles;
-        self.movements = movements;
+        self.state.movements = movements;
         self.alert_seq = violations.len() as u64;
-        self.violations = violations;
-        self.active_auth = active.into_iter().map(|(s, l, a)| (s, (l, a))).collect();
-        self.pending.clear();
-        self.overstay_alerted.clear();
+        self.state.violations = violations;
+        self.state.active_auth = active.into_iter().map(|(s, l, a)| (s, (l, a))).collect();
+        self.state.pending.clear();
+        self.state.overstay_alerted.clear();
     }
 
     /// The authorizations currently governing open stays (persistence).
     pub fn active_stays(&self) -> Vec<(SubjectId, LocationId, AuthId)> {
-        self.active_auth
-            .iter()
-            .map(|(&s, &(l, a))| (s, l, a))
-            .collect()
+        self.state.active_stays()
     }
 
     /// Detect authorization conflicts (§4: overlapping/adjacent entry
@@ -276,8 +271,7 @@ impl AccessControlEngine {
     ) -> ltam_core::conflict::ResolutionReport {
         let report = ltam_core::resolve_conflicts(&mut self.db, strategy);
         for &(_, removed) in &report.resolved {
-            self.ledger.clear(removed);
-            self.pending.retain(|_, g| g.auth != removed);
+            self.state.invalidate_auth(removed);
         }
         report
     }
@@ -289,8 +283,7 @@ impl AccessControlEngine {
             .rules
             .apply_to_fixpoint(&mut self.db, &self.profiles, &self.graph, 8);
         for &id in &report.revoked {
-            self.ledger.clear(id);
-            self.pending.retain(|_, g| g.auth != id);
+            self.state.invalidate_auth(id);
         }
         report
     }
@@ -300,29 +293,16 @@ impl AccessControlEngine {
     /// Process an access request (Definition 6). A grant is remembered so
     /// the subsequent physical entry is recognized as authorized.
     pub fn request_enter(&mut self, t: Time, subject: SubjectId, location: LocationId) -> Decision {
-        let request = AccessRequest {
-            time: t,
-            subject,
-            location,
+        let policy = PolicyView {
+            db: &self.db,
+            prohibitions: &self.prohibitions,
+            config: self.config,
         };
-        let decision =
-            check_access_restricted(&self.db, &self.prohibitions, &self.ledger, &request);
-        if let Decision::Granted { auth } = decision {
-            self.pending.insert(
-                subject,
-                PendingGrant {
-                    location,
-                    auth,
-                    granted_at: t,
-                },
-            );
-        }
-        self.audit.push(AuditRecord { request, decision });
-        decision
+        self.state.request_enter(&policy, t, subject, location)
     }
 
-    fn emit(&mut self, violation: Violation) {
-        self.violations.push(violation);
+    /// Forward a freshly recorded violation to the security desk.
+    fn alert(&mut self, violation: Violation) {
         let alert = Alert {
             violation,
             seq: self.alert_seq,
@@ -331,26 +311,6 @@ impl AccessControlEngine {
         if let Some(tx) = &self.alert_tx {
             let _ = tx.send(alert);
         }
-    }
-
-    fn valid_pending(&self, subject: SubjectId, location: LocationId, t: Time) -> Option<AuthId> {
-        let g = self.pending.get(&subject)?;
-        if g.location != location {
-            return None;
-        }
-        if t < g.granted_at || t.get() - g.granted_at.get() > self.config.grant_ttl {
-            return None;
-        }
-        let auth = self.db.get(g.auth)?;
-        if !auth.admits_entry_at(t) {
-            return None;
-        }
-        // A prohibition issued between the grant and the physical entry
-        // voids the grant.
-        if self.prohibitions.blocks(subject, location, t) {
-            return None;
-        }
-        Some(g.auth)
     }
 
     /// Process an observed entry (from the tracking infrastructure).
@@ -362,34 +322,16 @@ impl AccessControlEngine {
         subject: SubjectId,
         location: LocationId,
     ) -> Option<Violation> {
-        if self.movements.record_enter(t, subject, location).is_err() {
-            let v = Violation::InconsistentMovement {
-                time: t,
-                subject,
-                location,
-            };
-            self.emit(v);
-            return Some(v);
+        let policy = PolicyView {
+            db: &self.db,
+            prohibitions: &self.prohibitions,
+            config: self.config,
+        };
+        let raised = self.state.observe_enter(&policy, t, subject, location);
+        if let Some(v) = raised {
+            self.alert(v);
         }
-        match self.valid_pending(subject, location, t) {
-            Some(auth) => {
-                // Definition 7's count: the subject "has entered l" once more.
-                self.ledger.record_entry(auth);
-                self.pending.remove(&subject);
-                self.active_auth.insert(subject, (location, auth));
-                self.overstay_alerted.remove(&subject);
-                None
-            }
-            None => {
-                let v = Violation::UnauthorizedEntry {
-                    time: t,
-                    subject,
-                    location,
-                };
-                self.emit(v);
-                Some(v)
-            }
-        }
+        raised
     }
 
     /// Process an observed exit. Returns the violation raised, if any.
@@ -399,63 +341,29 @@ impl AccessControlEngine {
         subject: SubjectId,
         location: LocationId,
     ) -> Option<Violation> {
-        if self.movements.record_exit(t, subject, location).is_err() {
-            let v = Violation::InconsistentMovement {
-                time: t,
-                subject,
-                location,
-            };
-            self.emit(v);
-            return Some(v);
+        let policy = PolicyView {
+            db: &self.db,
+            prohibitions: &self.prohibitions,
+            config: self.config,
+        };
+        let raised = self.state.observe_exit(&policy, t, subject, location);
+        if let Some(v) = raised {
+            self.alert(v);
         }
-        let mut raised = None;
-        if let Some((l, auth_id)) = self.active_auth.remove(&subject) {
-            if l == location {
-                if let Some(auth) = self.db.get(auth_id) {
-                    if !auth.admits_exit_at(t) {
-                        let v = Violation::ExitOutsideWindow {
-                            time: t,
-                            subject,
-                            location,
-                            auth: auth_id,
-                        };
-                        self.emit(v);
-                        raised = Some(v);
-                    }
-                }
-            }
-        }
-        self.overstay_alerted.remove(&subject);
         raised
     }
 
     /// Advance the monitoring clock: raise an overstay alert (once per
     /// stay) for every subject still inside after their exit window closed.
     pub fn tick(&mut self, now: Time) -> Vec<Violation> {
-        let mut raised = Vec::new();
-        let candidates: Vec<(SubjectId, LocationId, AuthId)> = self
-            .active_auth
-            .iter()
-            .filter(|(s, _)| !self.overstay_alerted.contains(*s))
-            .map(|(&s, &(l, a))| (s, l, a))
-            .collect();
-        for (subject, location, auth_id) in candidates {
-            let Some(auth) = self.db.get(auth_id) else {
-                continue;
-            };
-            if let Bound::At(end) = auth.exit_window().end() {
-                if now > end {
-                    let v = Violation::Overstay {
-                        detected_at: now,
-                        subject,
-                        location,
-                        auth: auth_id,
-                    };
-                    self.emit(v);
-                    self.overstay_alerted.insert(subject);
-                    raised.push(v);
-                }
-            }
+        let policy = PolicyView {
+            db: &self.db,
+            prohibitions: &self.prohibitions,
+            config: self.config,
+        };
+        let raised = self.state.tick(&policy, now);
+        for &v in &raised {
+            self.alert(v);
         }
         raised
     }
@@ -469,9 +377,9 @@ impl AccessControlEngine {
             graph: &self.graph,
             db: &self.db,
             prohibitions: &self.prohibitions,
-            ledger: &self.ledger,
-            movements: &self.movements,
-            violations: &self.violations,
+            ledger: self.state.ledger(),
+            movements: self.state.movements(),
+            violations: self.state.violations(),
             profiles: &self.profiles,
         }
     }
@@ -592,6 +500,18 @@ mod tests {
         // Default TTL is 5; entering at 16 is too late.
         let v = e.observe_enter(Time(16), alice, cais);
         assert!(matches!(v, Some(Violation::UnauthorizedEntry { .. })));
+    }
+
+    #[test]
+    fn default_grant_ttl_is_five_chronons() {
+        // The grant TTL is measured in chronons (the paper's smallest time
+        // unit): a grant at chronon t admits entries in [t, t + ttl].
+        assert_eq!(DEFAULT_GRANT_TTL, 5);
+        assert_eq!(EngineConfig::default().grant_ttl, DEFAULT_GRANT_TTL);
+        // Boundary: entry exactly at granted_at + ttl is still honored.
+        let (mut e, alice, cais) = engine_with_alice();
+        assert!(e.request_enter(Time(10), alice, cais).is_granted());
+        assert_eq!(e.observe_enter(Time(15), alice, cais), None);
     }
 
     #[test]

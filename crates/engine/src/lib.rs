@@ -22,22 +22,28 @@
 //! * [`shared`] — a `parking_lot`-guarded, cloneable engine handle with a
 //!   `crossbeam` alert channel for concurrent deployments.
 
+#![warn(missing_docs)]
+
 pub mod baseline;
+pub mod batch;
 pub mod engine;
 pub mod movement;
 pub mod profile;
 pub mod query;
 pub mod report;
+pub mod shard;
 pub mod shared;
 pub mod snapshot;
 pub mod violation;
 
 pub use baseline::{CardReaderEngine, Enforcement};
-pub use engine::{AccessControlEngine, AuditRecord, EngineConfig};
+pub use batch::{BatchOutcome, Event, PolicyCore, ShardStats, ShardedEngine};
+pub use engine::{AccessControlEngine, AuditRecord, EngineConfig, DEFAULT_GRANT_TTL};
 pub use movement::{Contact, MovementEvent, MovementKind, MovementsDb, Stay};
 pub use profile::{Profile, UserProfileDb};
 pub use query::{Query, QueryContext, QueryResult};
 pub use report::{security_report, SecurityReport};
+pub use shard::{PolicyView, ShardState};
 pub use shared::SharedEngine;
 pub use snapshot::EngineSnapshot;
 pub use violation::{Alert, Violation};

@@ -1,0 +1,384 @@
+//! Per-subject enforcement state, factored out of the engine so it can be
+//! sharded.
+//!
+//! LTAM's data model splits cleanly in two:
+//!
+//! * **read-mostly policy** — the location model, effective graph,
+//!   authorization database and prohibitions. Admins change these rarely;
+//!   every card swipe reads them.
+//! * **per-subject mutable state** — pending grants, active stays, usage
+//!   counters, movement timelines and violation logs. Every sensor event
+//!   writes these, but only ever for *one* subject.
+//!
+//! [`ShardState`] owns the second half. The single-threaded
+//! [`AccessControlEngine`](crate::engine::AccessControlEngine) holds
+//! exactly one `ShardState`; the concurrent
+//! [`ShardedEngine`](crate::batch::ShardedEngine) holds `N` of them,
+//! partitioned by `SubjectId` hash over one shared policy core. Both run
+//! the *same* enforcement code below, so the sharded deployment detects
+//! exactly the violations the paper's single engine would.
+//!
+//! Enforcement methods take a [`PolicyView`] — immutable borrows of the
+//! policy stores plus the engine tunables — and return the violations
+//! they raise; the caller is responsible for turning those into
+//! security-desk alerts.
+
+use crate::engine::{AuditRecord, EngineConfig};
+use crate::movement::MovementsDb;
+use crate::violation::Violation;
+use ltam_core::db::{AuthId, AuthorizationDb};
+use ltam_core::decision::{AccessRequest, Decision, DecisionContext};
+use ltam_core::ledger::UsageLedger;
+use ltam_core::prohibition::ProhibitionDb;
+use ltam_core::subject::SubjectId;
+use ltam_graph::LocationId;
+use ltam_time::{Bound, Time};
+use std::collections::{HashMap, HashSet};
+
+/// Immutable borrows of everything a shard needs to decide and monitor:
+/// the read-mostly policy stores plus the enforcement tunables.
+///
+/// Build one per event batch (or per call) from whatever owns the policy —
+/// the single engine's fields, or an epoch of the sharded engine's policy
+/// core.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyView<'a> {
+    /// The authorization database.
+    pub db: &'a AuthorizationDb,
+    /// Denial-takes-precedence prohibitions.
+    pub prohibitions: &'a ProhibitionDb,
+    /// Enforcement tunables (grant TTL).
+    pub config: EngineConfig,
+}
+
+impl<'a> PolicyView<'a> {
+    /// The core decision context this view wraps.
+    pub fn decision_context(&self) -> DecisionContext<'a> {
+        DecisionContext {
+            db: self.db,
+            prohibitions: self.prohibitions,
+        }
+    }
+}
+
+/// A granted access request waiting for the physical entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingGrant {
+    pub(crate) location: LocationId,
+    pub(crate) auth: AuthId,
+    pub(crate) granted_at: Time,
+}
+
+/// The per-subject mutable half of the enforcement engine.
+///
+/// All state here is keyed by subject (pending grants, active stays,
+/// overstay flags, movement timelines) or owned by exactly one subject's
+/// authorizations (ledger counters — an [`AuthId`] belongs to one
+/// subject), so partitioning subjects across `ShardState`s never splits
+/// an invariant across shards.
+#[derive(Debug, Default)]
+pub struct ShardState {
+    pub(crate) ledger: UsageLedger,
+    pub(crate) movements: MovementsDb,
+    pub(crate) pending: HashMap<SubjectId, PendingGrant>,
+    pub(crate) active_auth: HashMap<SubjectId, (LocationId, AuthId)>,
+    pub(crate) overstay_alerted: HashSet<SubjectId>,
+    pub(crate) violations: Vec<Violation>,
+    pub(crate) audit: Vec<AuditRecord>,
+}
+
+impl ShardState {
+    /// An empty shard.
+    pub fn new() -> ShardState {
+        ShardState::default()
+    }
+
+    // --- read access ------------------------------------------------------
+
+    /// This shard's slice of the usage ledger.
+    pub fn ledger(&self) -> &UsageLedger {
+        &self.ledger
+    }
+
+    /// This shard's movements database.
+    pub fn movements(&self) -> &MovementsDb {
+        &self.movements
+    }
+
+    /// Violations detected by this shard, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The audited request decisions taken by this shard.
+    pub fn audit(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+
+    /// The authorizations currently governing open stays on this shard.
+    pub fn active_stays(&self) -> Vec<(SubjectId, LocationId, AuthId)> {
+        self.active_auth
+            .iter()
+            .map(|(&s, &(l, a))| (s, l, a))
+            .collect()
+    }
+
+    // --- enforcement ------------------------------------------------------
+
+    /// Process an access request (Definition 6). A grant is remembered so
+    /// the subsequent physical entry is recognized as authorized.
+    pub fn request_enter(
+        &mut self,
+        policy: &PolicyView<'_>,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Decision {
+        let request = AccessRequest {
+            time: t,
+            subject,
+            location,
+        };
+        let decision = policy.decision_context().decide(&self.ledger, &request);
+        if let Decision::Granted { auth } = decision {
+            self.pending.insert(
+                subject,
+                PendingGrant {
+                    location,
+                    auth,
+                    granted_at: t,
+                },
+            );
+        }
+        self.audit.push(AuditRecord { request, decision });
+        decision
+    }
+
+    fn record(&mut self, violation: Violation) -> Violation {
+        self.violations.push(violation);
+        violation
+    }
+
+    fn valid_pending(
+        &self,
+        policy: &PolicyView<'_>,
+        subject: SubjectId,
+        location: LocationId,
+        t: Time,
+    ) -> Option<AuthId> {
+        let g = self.pending.get(&subject)?;
+        if g.location != location {
+            return None;
+        }
+        if t < g.granted_at || t.get() - g.granted_at.get() > policy.config.grant_ttl {
+            return None;
+        }
+        let auth = policy.db.get(g.auth)?;
+        if !auth.admits_entry_at(t) {
+            return None;
+        }
+        // A prohibition issued between the grant and the physical entry
+        // voids the grant.
+        if policy.decision_context().blocked(subject, location, t) {
+            return None;
+        }
+        Some(g.auth)
+    }
+
+    /// Process an observed entry (from the tracking infrastructure).
+    ///
+    /// Returns the violation raised, if any; the violation is already
+    /// recorded in [`ShardState::violations`] — the caller only needs to
+    /// forward it as an alert.
+    pub fn observe_enter(
+        &mut self,
+        policy: &PolicyView<'_>,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Option<Violation> {
+        if self.movements.record_enter(t, subject, location).is_err() {
+            return Some(self.record(Violation::InconsistentMovement {
+                time: t,
+                subject,
+                location,
+            }));
+        }
+        match self.valid_pending(policy, subject, location, t) {
+            Some(auth) => {
+                // Definition 7's count: the subject "has entered l" once more.
+                self.ledger.record_entry(auth);
+                self.pending.remove(&subject);
+                self.active_auth.insert(subject, (location, auth));
+                self.overstay_alerted.remove(&subject);
+                None
+            }
+            None => Some(self.record(Violation::UnauthorizedEntry {
+                time: t,
+                subject,
+                location,
+            })),
+        }
+    }
+
+    /// Process an observed exit. Returns the violation raised, if any.
+    pub fn observe_exit(
+        &mut self,
+        policy: &PolicyView<'_>,
+        t: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Option<Violation> {
+        if self.movements.record_exit(t, subject, location).is_err() {
+            return Some(self.record(Violation::InconsistentMovement {
+                time: t,
+                subject,
+                location,
+            }));
+        }
+        let mut raised = None;
+        if let Some((l, auth_id)) = self.active_auth.remove(&subject) {
+            if l == location {
+                if let Some(auth) = policy.db.get(auth_id) {
+                    if !auth.admits_exit_at(t) {
+                        raised = Some(self.record(Violation::ExitOutsideWindow {
+                            time: t,
+                            subject,
+                            location,
+                            auth: auth_id,
+                        }));
+                    }
+                }
+            }
+        }
+        self.overstay_alerted.remove(&subject);
+        raised
+    }
+
+    /// Advance the monitoring clock: raise an overstay alert (once per
+    /// stay) for every subject on this shard still inside after their exit
+    /// window closed.
+    pub fn tick(&mut self, policy: &PolicyView<'_>, now: Time) -> Vec<Violation> {
+        let mut raised = Vec::new();
+        let candidates: Vec<(SubjectId, LocationId, AuthId)> = self
+            .active_auth
+            .iter()
+            .filter(|(s, _)| !self.overstay_alerted.contains(*s))
+            .map(|(&s, &(l, a))| (s, l, a))
+            .collect();
+        for (subject, location, auth_id) in candidates {
+            let Some(auth) = policy.db.get(auth_id) else {
+                continue;
+            };
+            if let Bound::At(end) = auth.exit_window().end() {
+                if now > end {
+                    raised.push(self.record(Violation::Overstay {
+                        detected_at: now,
+                        subject,
+                        location,
+                        auth: auth_id,
+                    }));
+                    self.overstay_alerted.insert(subject);
+                }
+            }
+        }
+        raised
+    }
+
+    // --- administration hooks ---------------------------------------------
+
+    /// An authorization was revoked: forget its usage counters and lapse
+    /// any pending grant issued under it.
+    pub fn invalidate_auth(&mut self, id: AuthId) {
+        self.ledger.clear(id);
+        self.pending.retain(|_, g| g.auth != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltam_core::model::{Authorization, EntryLimit};
+    use ltam_time::Interval;
+
+    const ALICE: SubjectId = SubjectId(0);
+    const CAIS: LocationId = LocationId(3);
+
+    fn policy_db() -> (AuthorizationDb, ProhibitionDb) {
+        let mut db = AuthorizationDb::new();
+        db.insert(
+            Authorization::new(
+                Interval::lit(5, 40),
+                Interval::lit(20, 100),
+                ALICE,
+                CAIS,
+                EntryLimit::Finite(1),
+            )
+            .unwrap(),
+        );
+        (db, ProhibitionDb::new())
+    }
+
+    #[test]
+    fn shard_state_runs_the_full_cycle() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        assert!(s.request_enter(&policy, Time(10), ALICE, CAIS).is_granted());
+        assert_eq!(s.observe_enter(&policy, Time(11), ALICE, CAIS), None);
+        assert_eq!(s.active_stays().len(), 1);
+        // Exit at 25 is inside [20, 100]: clean.
+        assert_eq!(s.observe_exit(&policy, Time(25), ALICE, CAIS), None);
+        assert!(s.violations().is_empty());
+        assert_eq!(s.audit().len(), 1);
+        assert_eq!(s.ledger().used(ltam_core::db::AuthId(0)), 1);
+    }
+
+    #[test]
+    fn shard_state_raises_the_taxonomy() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        // Tailgate: enter without a grant.
+        assert!(matches!(
+            s.observe_enter(&policy, Time(6), ALICE, CAIS),
+            Some(Violation::UnauthorizedEntry { .. })
+        ));
+        // Exiting the unauthorized stay breaches nothing: there is no
+        // active authorization whose window could be violated.
+        assert!(s.observe_exit(&policy, Time(7), ALICE, CAIS).is_none());
+        // Inconsistent: exit again while outside.
+        assert!(matches!(
+            s.observe_exit(&policy, Time(8), ALICE, CAIS),
+            Some(Violation::InconsistentMovement { .. })
+        ));
+        assert_eq!(s.violations().len(), 2);
+    }
+
+    #[test]
+    fn invalidate_auth_lapses_pending_and_counters() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        let Decision::Granted { auth } = s.request_enter(&policy, Time(10), ALICE, CAIS) else {
+            panic!("expected grant");
+        };
+        s.invalidate_auth(auth);
+        assert!(matches!(
+            s.observe_enter(&policy, Time(11), ALICE, CAIS),
+            Some(Violation::UnauthorizedEntry { .. })
+        ));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod gen;
 pub mod rfid;
 pub mod scenario;
+pub mod trace;
 pub mod walker;
 
 pub use gen::{
@@ -32,4 +33,5 @@ pub use scenario::{
     overstay_detection, sars_contact_tracing, tailgating_differential, ContactTracingOutcome,
     OverstayOutcome, TailgatingOutcome,
 };
+pub use trace::{multi_shard_trace, TraceConfig, TraceWorld};
 pub use walker::{run_population, Behavior, Walker};

@@ -50,6 +50,32 @@ impl SplitMix64 {
 ///
 /// Duplicate intervals are allowed (two authorizations may share a window);
 /// each insertion gets a fresh [`EntryId`] used for removal.
+///
+/// This is the index behind the authorization database's hot path: a
+/// Definition 7 check stabs the tree with the request time instead of
+/// scanning every window.
+///
+/// ```
+/// use ltam_time::{Interval, IntervalTree, Time};
+///
+/// let mut tree = IntervalTree::new();
+/// tree.insert(Interval::lit(5, 40), "entry window of a1");
+/// tree.insert(Interval::lit(20, 100), "exit window of a1");
+/// let id = tree.insert(Interval::from_start(Time(50)), "an open-ended window");
+///
+/// // Stabbing: which windows contain chronon 25?
+/// let mut hit: Vec<&&str> = tree.stab(Time(25)).into_iter().map(|(_, v)| v).collect();
+/// hit.sort();
+/// assert_eq!(hit, [&"entry window of a1", &"exit window of a1"]);
+///
+/// // Overlap: which windows intersect [90, 200]?
+/// assert_eq!(tree.overlapping(Interval::lit(90, 200)).len(), 2);
+///
+/// // Entries are removable by (interval, id).
+/// tree.remove(Interval::from_start(Time(50)), id);
+/// assert_eq!(tree.len(), 2);
+/// assert!(tree.stab(Time(1_000)).is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct IntervalTree<V> {
     nodes: Vec<Node<V>>,

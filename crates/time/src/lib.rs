@@ -24,6 +24,8 @@
 //! Empty intervals are unrepresentable: constructors return
 //! `Result`/`Option`, mirroring the paper's `NULL` results.
 
+#![warn(missing_docs)]
+
 pub mod index;
 pub mod interval;
 pub mod ops;

@@ -1,0 +1,138 @@
+//! Sharded enforcement is *semantically invisible*: on the same event
+//! trace, `ShardedEngine` (N shards, batch ingestion, worker threads)
+//! must detect exactly the violation multiset the single-threaded
+//! `AccessControlEngine` / single-lock `SharedEngine` detects.
+//!
+//! This holds because every per-subject invariant lives entirely on one
+//! shard (see `ltam_engine::shard`); these tests are the executable
+//! proof obligation behind that claim.
+
+use ltam_core::db::AuthId;
+use ltam_engine::batch::apply_to_engine;
+use ltam_engine::violation::Violation;
+use ltam_sim::{multi_shard_trace, TraceConfig};
+use proptest::prelude::*;
+
+/// A total order on violations so multisets compare as sorted vectors.
+fn sort_key(v: &Violation) -> (u8, u64, u32, u32, u64) {
+    let kind = match v {
+        Violation::UnauthorizedEntry { .. } => 0,
+        Violation::ExitOutsideWindow { .. } => 1,
+        Violation::Overstay { .. } => 2,
+        Violation::InconsistentMovement { .. } => 3,
+    };
+    let auth = match *v {
+        Violation::ExitOutsideWindow {
+            auth: AuthId(a), ..
+        }
+        | Violation::Overstay {
+            auth: AuthId(a), ..
+        } => a,
+        _ => u64::MAX,
+    };
+    (kind, v.time().get(), v.subject().0, v.location().0, auth)
+}
+
+fn as_multiset(mut vs: Vec<Violation>) -> Vec<Violation> {
+    vs.sort_by_key(sort_key);
+    vs
+}
+
+/// Replay `cfg`'s trace through the reference engine and through a
+/// sharded engine, returning both violation multisets.
+fn run_both(cfg: &TraceConfig, shards: usize) -> (Vec<Violation>, Vec<Violation>) {
+    let trace = multi_shard_trace(cfg);
+
+    let mut reference = trace.build_engine();
+    for e in &trace.events {
+        apply_to_engine(&mut reference, e);
+    }
+
+    let (sharded, _alerts) = trace.build_sharded(shards);
+    let outcome = sharded.ingest(&trace.events);
+    assert_eq!(outcome.processed, trace.events.len());
+
+    (
+        as_multiset(reference.violations().to_vec()),
+        as_multiset(sharded.violations()),
+    )
+}
+
+/// The acceptance trace: 100k events, 4 shards, identical multisets.
+#[test]
+fn sharded_matches_single_engine_on_100k_events() {
+    let cfg = TraceConfig {
+        subjects: 256,
+        events: 100_000,
+        grid: 8,
+        tick_every: 128,
+        tailgater_fraction: 0.1,
+        overstayer_fraction: 0.1,
+        seed: 42,
+    };
+    let (reference, sharded) = run_both(&cfg, 4);
+    assert!(
+        !reference.is_empty(),
+        "trace should exercise the violation taxonomy"
+    );
+    assert_eq!(
+        reference.len(),
+        sharded.len(),
+        "violation counts diverge between single and sharded enforcement"
+    );
+    assert_eq!(reference, sharded);
+}
+
+/// The same equivalence across batch boundaries: splitting one trace
+/// into many ingest calls must not change what is detected.
+#[test]
+fn batch_boundaries_are_invisible() {
+    let cfg = TraceConfig {
+        subjects: 64,
+        events: 10_000,
+        ..TraceConfig::default()
+    };
+    let trace = multi_shard_trace(&cfg);
+
+    let (one_batch, _rx) = trace.build_sharded(4);
+    one_batch.ingest(&trace.events);
+
+    let (chunked, _rx) = trace.build_sharded(4);
+    for chunk in trace.events.chunks(97) {
+        chunked.ingest(chunk);
+    }
+
+    assert_eq!(
+        as_multiset(one_batch.violations()),
+        as_multiset(chunked.violations())
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Channel-ordering property: for arbitrary populations, trace
+    /// lengths, shard counts and seeds, the multiset of violations is
+    /// independent of the sharding — whatever order the worker threads
+    /// interleave in.
+    #[test]
+    fn sharding_never_changes_the_violation_multiset(
+        subjects in 1usize..24,
+        events in 50usize..600,
+        shards in 1usize..6,
+        tailgaters in 0u8..4,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = TraceConfig {
+            subjects,
+            events,
+            grid: 4,
+            tick_every: 32,
+            tailgater_fraction: f64::from(tailgaters) / 8.0,
+            overstayer_fraction: 0.2,
+            seed,
+        };
+        let (reference, sharded) = run_both(&cfg, shards);
+        prop_assert_eq!(reference, sharded);
+    }
+}

@@ -8,6 +8,11 @@
 //! scaled so each sample fits the measurement budget. Reports min /
 //! median / max per-iteration time to stdout. No statistics, plots, or
 //! baseline comparisons.
+//!
+//! Like real criterion, passing `--test` on the command line (e.g.
+//! `cargo bench --bench throughput -- --test`) switches to smoke mode:
+//! every benchmark routine runs exactly once, with no warm-up or
+//! measurement, so CI can catch bench bit-rot cheaply.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -213,7 +218,24 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// True when the harness was invoked with `--test` (smoke mode).
+fn test_mode() -> bool {
+    static TEST_MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *TEST_MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(config: &MeasureConfig, name: &str, mut f: F) {
+    if test_mode() {
+        // Smoke mode: one iteration, no measurement — just prove the
+        // benchmark still runs.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
     // Calibration: run single iterations until the warm-up budget is spent.
     let mut b = Bencher {
         iters: 1,
