@@ -1,0 +1,137 @@
+//! Durability-layer costs: WAL append throughput and recovery latency.
+//!
+//! * `wal_append` — raw segmented-log appends (codec + CRC + buffered
+//!   write, fsync off so the bench measures the store code, not the
+//!   device) for 10k-event batches.
+//! * `durable_ingest` — the full durable path (WAL append then sharded
+//!   enforcement) against plain `ShardedEngine::ingest`, i.e. what
+//!   durability costs per event end to end.
+//! * `recovery` — `DurableEngine::open` on a prepared store: snapshot
+//!   load + WAL-tail replay of half the trace.
+//!
+//! `repro durability` reports the same drill with fsync on and a torn
+//! WAL tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltam_bench::throughput_workload;
+use ltam_sim::{multi_shard_trace, TraceWorld};
+use ltam_store::{DurableEngine, ScratchDir, StoreConfig, Wal, WalConfig};
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+
+fn bench_trace() -> TraceWorld {
+    multi_shard_trace(&throughput_workload(128, 10_000))
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        segment_bytes: 256 * 1024,
+        snapshot_every: 0,
+        fsync: false,
+    }
+}
+
+fn wal_append(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("durability");
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("wal_append_10k", |b| {
+        b.iter_batched(
+            || ScratchDir::new("bench-append"),
+            |dir| {
+                let config = WalConfig {
+                    segment_bytes: 256 * 1024,
+                    fsync: false,
+                };
+                let (mut wal, _) = Wal::open(dir.path(), config).expect("open WAL");
+                for chunk in trace.events.chunks(512) {
+                    wal.append_batch(chunk).expect("append");
+                }
+                wal.next_seq()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("durable_ingest_10k", |b| {
+        b.iter_batched(
+            || {
+                let dir = ScratchDir::new("bench-durable");
+                let (durable, _alerts) = DurableEngine::create(
+                    dir.path(),
+                    trace.build_policy_core(),
+                    SHARDS,
+                    store_config(),
+                )
+                .expect("create store");
+                (dir, durable)
+            },
+            |(_dir, mut durable)| {
+                for chunk in trace.events.chunks(512) {
+                    durable.ingest(chunk).expect("ingest");
+                }
+                durable.applied()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("volatile_ingest_10k", |b| {
+        b.iter_batched(
+            || trace.build_sharded(SHARDS).0,
+            |engine| {
+                for chunk in trace.events.chunks(512) {
+                    engine.ingest(chunk);
+                }
+                engine.violation_count()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn recovery(c: &mut Criterion) {
+    let trace = bench_trace();
+    // Prepare one store: snapshot at half the trace, WAL tail for the
+    // rest — so recovery = snapshot load + 5k-event replay.
+    let base = ScratchDir::new("bench-recovery-base");
+    {
+        let (mut durable, _alerts) = DurableEngine::create(
+            base.path(),
+            trace.build_policy_core(),
+            SHARDS,
+            store_config(),
+        )
+        .expect("create store");
+        let half = trace.events.len() / 2;
+        durable.ingest(&trace.events[..half]).expect("first half");
+        durable.snapshot().expect("snapshot");
+        durable.ingest(&trace.events[half..]).expect("second half");
+    }
+    let mut group = c.benchmark_group("durability");
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("recover_snapshot_plus_5k_tail", |b| {
+        b.iter_batched(
+            || {
+                let dir = ScratchDir::new("bench-recovery");
+                ltam_store::copy_flat_dir(base.path(), dir.path()).expect("copy store");
+                dir
+            },
+            |dir| {
+                let (durable, _alerts, report) =
+                    DurableEngine::open(dir.path(), store_config()).expect("recover");
+                assert_eq!(report.replayed, trace.events.len() - trace.events.len() / 2);
+                durable.applied()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = wal_append, recovery
+}
+criterion_main!(benches);

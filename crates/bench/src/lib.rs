@@ -6,11 +6,13 @@
 //! cover the §6 complexity claim and the ablations called out in
 //! `DESIGN.md`.
 
+use ltam_core::db::AuthId;
 use ltam_core::inaccessible::AuthsByLocation;
 use ltam_core::model::{Authorization, EntryLimit};
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::{shard_of, Event};
 use ltam_engine::shared::SharedEngine;
+use ltam_engine::violation::Violation;
 use ltam_graph::examples::{fig4_cycle, Fig4};
 use ltam_time::Interval;
 
@@ -78,6 +80,36 @@ pub fn partition_events(events: &[Event], threads: usize) -> Vec<Vec<Event>> {
         }
     }
     groups
+}
+
+/// A total order on violations, so two violation multisets compare as
+/// sorted vectors (shared by the durability drill and the equivalence
+/// tests; detection *order* is legitimately engine-shape-dependent, the
+/// multiset is not).
+pub fn violation_sort_key(v: &Violation) -> (u8, u64, u32, u32, u64) {
+    let kind = match v {
+        Violation::UnauthorizedEntry { .. } => 0,
+        Violation::ExitOutsideWindow { .. } => 1,
+        Violation::Overstay { .. } => 2,
+        Violation::InconsistentMovement { .. } => 3,
+    };
+    let auth = match *v {
+        Violation::ExitOutsideWindow {
+            auth: AuthId(a), ..
+        }
+        | Violation::Overstay {
+            auth: AuthId(a), ..
+        } => a,
+        _ => u64::MAX,
+    };
+    (kind, v.time().get(), v.subject().0, v.location().0, auth)
+}
+
+/// Sort a violation list into canonical multiset order (see
+/// [`violation_sort_key`]).
+pub fn violation_multiset(mut vs: Vec<Violation>) -> Vec<Violation> {
+    vs.sort_by_key(violation_sort_key);
+    vs
 }
 
 /// Replay a slice of events into a [`SharedEngine`] — the per-sensor

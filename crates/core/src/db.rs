@@ -255,8 +255,29 @@ impl AuthorizationDb {
             .collect()
     }
 
+    /// The id the next inserted authorization will get — the
+    /// id-allocator high-water mark. Persist this alongside
+    /// [`AuthorizationDb::export_rows`]: the largest *surviving* row does
+    /// not reveal ids that were issued and then revoked, and reissuing
+    /// one of those after a restore would let stale external references
+    /// (an open stay recorded under the revoked id) resolve to the wrong
+    /// authorization.
+    pub fn next_id(&self) -> u64 {
+        self.next
+    }
+
+    /// Raise the id-allocator high-water mark to at least `next`
+    /// (restore-time companion of [`AuthorizationDb::next_id`]; never
+    /// lowers it).
+    pub fn reserve_ids_through(&mut self, next: u64) {
+        self.next = self.next.max(next);
+    }
+
     /// Rebuild a database preserving the original ids; the id counter
-    /// resumes past the largest restored id.
+    /// resumes past the largest restored id (callers restoring from a
+    /// snapshot should additionally apply the exported
+    /// [`AuthorizationDb::next_id`] watermark via
+    /// [`AuthorizationDb::reserve_ids_through`]).
     pub fn import_rows(
         rows: impl IntoIterator<Item = (AuthId, Authorization, Provenance)>,
     ) -> AuthorizationDb {

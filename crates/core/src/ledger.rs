@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-authorization entry counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UsageLedger {
     counts: HashMap<AuthId, u32>,
 }
@@ -50,6 +50,22 @@ impl UsageLedger {
     /// Forget counters for a revoked authorization.
     pub fn clear(&mut self, id: AuthId) {
         self.counts.remove(&id);
+    }
+
+    /// Iterate over all non-zero counters, in no particular order
+    /// (persistence and shard-redistribution support).
+    pub fn counts(&self) -> impl Iterator<Item = (AuthId, u32)> + '_ {
+        self.counts.iter().map(|(&id, &c)| (id, c))
+    }
+
+    /// Overwrite the counter for `id` (persistence import; a zero count
+    /// removes the entry so restored ledgers compare equal to originals).
+    pub fn restore_count(&mut self, id: AuthId, count: u32) {
+        if count == 0 {
+            self.counts.remove(&id);
+        } else {
+            self.counts.insert(id, count);
+        }
     }
 
     /// Total entries recorded across all authorizations.
@@ -117,5 +133,22 @@ mod tests {
         ledger.record_entry(AuthId(9));
         ledger.clear(AuthId(9));
         assert_eq!(ledger.used(AuthId(9)), 0);
+    }
+
+    #[test]
+    fn counts_and_restore_round_trip() {
+        let mut ledger = UsageLedger::new();
+        ledger.record_entry(AuthId(1));
+        ledger.record_entry(AuthId(1));
+        ledger.record_entry(AuthId(7));
+        let mut restored = UsageLedger::new();
+        for (id, c) in ledger.counts() {
+            restored.restore_count(id, c);
+        }
+        restored.restore_count(AuthId(9), 0); // zero counts leave no entry
+        assert_eq!(restored.used(AuthId(1)), 2);
+        assert_eq!(restored.used(AuthId(7)), 1);
+        assert_eq!(restored.total_entries(), ledger.total_entries());
+        assert_eq!(restored.counts().count(), 2);
     }
 }

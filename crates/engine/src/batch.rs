@@ -28,10 +28,10 @@
 //! traces.
 
 use crate::engine::{AccessControlEngine, EngineConfig};
-use crate::shard::{PolicyView, ShardState};
+use crate::shard::{PolicyView, ShardState, ShardStateImage};
 use crate::violation::{Alert, Violation};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ltam_core::db::AuthId;
+use ltam_core::db::{AuthId, Provenance};
 use ltam_core::decision::Decision;
 use ltam_core::model::Authorization;
 use ltam_core::prohibition::{Prohibition, ProhibitionDb};
@@ -193,6 +193,59 @@ impl PolicyCore {
             config: self.config,
         }
     }
+
+    // --- persistence hooks --------------------------------------------------
+
+    /// Export the policy core as a serializable image. The effective
+    /// graph is derived state and is rebuilt on import.
+    pub fn image(&self) -> PolicyImage {
+        PolicyImage {
+            model: self.model.clone(),
+            authorizations: self.db.export_rows(),
+            next_auth_id: self.db.next_id(),
+            prohibitions: self.prohibitions.clone(),
+            config: self.config,
+        }
+    }
+
+    /// Rebuild a policy core from an exported image (inverse of
+    /// [`PolicyCore::image`]); authorization ids are preserved, so
+    /// external state referencing them (ledgers, pending grants) stays
+    /// valid.
+    pub fn from_image(image: PolicyImage) -> PolicyCore {
+        let graph = EffectiveGraph::build(&image.model);
+        let mut db = AuthorizationDb::import_rows(image.authorizations);
+        // Never reissue an id that existed before the snapshot: stale
+        // per-shard references to a revoked id (an open stay) must keep
+        // dangling rather than resolve to a new, unrelated authorization.
+        db.reserve_ids_through(image.next_auth_id);
+        PolicyCore {
+            model: image.model,
+            graph,
+            db,
+            prohibitions: image.prohibitions,
+            config: image.config,
+        }
+    }
+}
+
+/// Serializable image of a [`PolicyCore`] — the read-mostly half of an
+/// engine snapshot. Produced by [`PolicyCore::image`], consumed by
+/// [`PolicyCore::from_image`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyImage {
+    /// The location layout.
+    pub model: LocationModel,
+    /// Authorization rows with their ids and provenance, in id order.
+    pub authorizations: Vec<(AuthId, Authorization, Provenance)>,
+    /// The id-allocator high-water mark (see
+    /// [`ltam_core::AuthorizationDb::next_id`]): restoring it prevents
+    /// ids of revoked authorizations from being reissued after recovery.
+    pub next_auth_id: u64,
+    /// Prohibitions (denial takes precedence).
+    pub prohibitions: ProhibitionDb,
+    /// Enforcement tunables.
+    pub config: EngineConfig,
 }
 
 /// Per-shard slice of a [`BatchOutcome`].
@@ -367,10 +420,26 @@ impl ShardedEngine {
     /// Spin up `shards` worker threads over `core`; returns the engine
     /// and the security desk's alert channel.
     pub fn new(core: PolicyCore, shards: usize) -> (ShardedEngine, Receiver<Alert>) {
+        Self::with_states(core, (0..shards).map(|_| ShardState::new()).collect())
+    }
+
+    /// Spin up an engine whose shards start from pre-loaded state — the
+    /// crash-recovery path: `ltam-store` restores each shard's
+    /// [`ShardStateImage`] from the latest snapshot and replays the WAL
+    /// tail through [`ShardedEngine::ingest`]. The alert sequence resumes
+    /// past the violations already recorded, so restart alerts stay
+    /// monotone.
+    pub fn with_states(
+        core: PolicyCore,
+        states: Vec<ShardState>,
+    ) -> (ShardedEngine, Receiver<Alert>) {
+        let shards = states.len();
         assert!(shards >= 1, "need at least one shard");
         let (alert_tx, alert_rx) = unbounded();
-        let states: Vec<Arc<Mutex<ShardState>>> = (0..shards)
-            .map(|_| Arc::new(Mutex::new(ShardState::new())))
+        let seeded_seq: u64 = states.iter().map(|s| s.violations().len() as u64).sum();
+        let states: Vec<Arc<Mutex<ShardState>>> = states
+            .into_iter()
+            .map(|s| Arc::new(Mutex::new(s)))
             .collect();
         let mut workers = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
@@ -387,10 +456,19 @@ impl ShardedEngine {
                 workers,
                 joins,
                 alert_tx,
-                alert_seq: AtomicU64::new(0),
+                alert_seq: AtomicU64::new(seeded_seq),
             },
             alert_rx,
         )
+    }
+
+    /// Export every shard's mutable state as serializable images, in
+    /// shard order (persistence; pairs with [`ShardedEngine::with_states`]).
+    ///
+    /// Each shard is locked and imaged in turn; call between batches for a
+    /// point-in-time snapshot.
+    pub fn export_images(&self) -> Vec<ShardStateImage> {
+        self.shards.iter().map(|s| s.lock().image()).collect()
     }
 
     /// Number of shards.

@@ -231,6 +231,7 @@ impl AccessControlEngine {
     pub(crate) fn restore_parts(
         &mut self,
         rows: Vec<(AuthId, Authorization, ltam_core::db::Provenance)>,
+        next_auth_id: u64,
         prohibitions: ProhibitionDb,
         rules: Vec<(ltam_core::db::RuleId, Rule)>,
         ledger: UsageLedger,
@@ -240,6 +241,7 @@ impl AccessControlEngine {
         active: Vec<(SubjectId, LocationId, AuthId)>,
     ) {
         self.db = AuthorizationDb::import_rows(rows);
+        self.db.reserve_ids_through(next_auth_id);
         self.prohibitions = prohibitions;
         self.rules = RuleEngine::import(rules);
         self.state.ledger = ledger;

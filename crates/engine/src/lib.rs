@@ -37,13 +37,13 @@ pub mod snapshot;
 pub mod violation;
 
 pub use baseline::{CardReaderEngine, Enforcement};
-pub use batch::{BatchOutcome, Event, PolicyCore, ShardStats, ShardedEngine};
+pub use batch::{BatchOutcome, Event, PolicyCore, PolicyImage, ShardStats, ShardedEngine};
 pub use engine::{AccessControlEngine, AuditRecord, EngineConfig, DEFAULT_GRANT_TTL};
 pub use movement::{Contact, MovementEvent, MovementKind, MovementsDb, Stay};
 pub use profile::{Profile, UserProfileDb};
 pub use query::{Query, QueryContext, QueryResult};
 pub use report::{security_report, SecurityReport};
-pub use shard::{PolicyView, ShardState};
+pub use shard::{PendingImage, PolicyView, ShardState, ShardStateImage};
 pub use shared::SharedEngine;
 pub use snapshot::EngineSnapshot;
 pub use violation::{Alert, Violation};

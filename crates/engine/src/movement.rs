@@ -127,7 +127,7 @@ impl fmt::Display for MovementError {
 impl std::error::Error for MovementError {}
 
 /// The movements store.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MovementsDb {
     log: Vec<MovementEvent>,
     timelines: BTreeMap<SubjectId, Vec<Stay>>,

@@ -33,6 +33,7 @@ use ltam_core::prohibition::ProhibitionDb;
 use ltam_core::subject::SubjectId;
 use ltam_graph::LocationId;
 use ltam_time::{Bound, Time};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Immutable borrows of everything a shard needs to decide and monitor:
@@ -287,12 +288,129 @@ impl ShardState {
 
     // --- administration hooks ---------------------------------------------
 
-    /// An authorization was revoked: forget its usage counters and lapse
-    /// any pending grant issued under it.
+    /// An authorization was revoked: forget its usage counters, lapse any
+    /// pending grant issued under it, and release active stays it was
+    /// governing. (Stays under a revoked id were already unmonitorable —
+    /// exit/overstay checks skip ids absent from the database — but the
+    /// reference must not survive into a persistence image, where a later
+    /// reuse of the id would make it resolve to the wrong authorization.)
     pub fn invalidate_auth(&mut self, id: AuthId) {
         self.ledger.clear(id);
         self.pending.retain(|_, g| g.auth != id);
+        self.active_auth.retain(|_, &mut (_, a)| a != id);
     }
+
+    // --- persistence hooks --------------------------------------------------
+
+    /// Export the complete mutable state as a serializable image.
+    ///
+    /// Unlike [`EngineSnapshot`](crate::snapshot::EngineSnapshot) (which
+    /// deliberately drops pending grants on operator-driven backups), the
+    /// image is **exhaustive**: crash recovery must reproduce the exact
+    /// enforcement state, or replaying the WAL tail after a restart would
+    /// raise violations an uninterrupted run never saw. Collections are
+    /// sorted so equal states export byte-identical images.
+    pub fn image(&self) -> ShardStateImage {
+        let mut pending: Vec<PendingImage> = self
+            .pending
+            .iter()
+            .map(|(&subject, g)| PendingImage {
+                subject,
+                location: g.location,
+                auth: g.auth,
+                granted_at: g.granted_at,
+            })
+            .collect();
+        pending.sort_by_key(|p| p.subject);
+        let mut active: Vec<(SubjectId, LocationId, AuthId)> = self
+            .active_auth
+            .iter()
+            .map(|(&s, &(l, a))| (s, l, a))
+            .collect();
+        active.sort_by_key(|&(s, _, _)| s);
+        let mut overstay_alerted: Vec<SubjectId> = self.overstay_alerted.iter().copied().collect();
+        overstay_alerted.sort();
+        ShardStateImage {
+            ledger: self.ledger.clone(),
+            movements: self.movements.clone(),
+            pending,
+            active,
+            overstay_alerted,
+            violations: self.violations.clone(),
+            audit: self.audit.clone(),
+        }
+    }
+
+    /// Rebuild a shard from an exported image (inverse of
+    /// [`ShardState::image`]).
+    pub fn from_image(image: ShardStateImage) -> ShardState {
+        ShardState {
+            ledger: image.ledger,
+            movements: image.movements,
+            pending: image
+                .pending
+                .into_iter()
+                .map(|p| {
+                    (
+                        p.subject,
+                        PendingGrant {
+                            location: p.location,
+                            auth: p.auth,
+                            granted_at: p.granted_at,
+                        },
+                    )
+                })
+                .collect(),
+            active_auth: image
+                .active
+                .into_iter()
+                .map(|(s, l, a)| (s, (l, a)))
+                .collect(),
+            overstay_alerted: image.overstay_alerted.into_iter().collect(),
+            violations: image.violations,
+            audit: image.audit,
+        }
+    }
+}
+
+/// A pending grant, flattened for serialization (see
+/// [`ShardStateImage::pending`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingImage {
+    /// The granted subject.
+    pub subject: SubjectId,
+    /// The location the grant admits them to.
+    pub location: LocationId,
+    /// The authorization the grant was issued under.
+    pub auth: AuthId,
+    /// When the request was granted (the grant lapses `grant_ttl`
+    /// chronons later).
+    pub granted_at: Time,
+}
+
+/// Serializable image of one shard's complete mutable state.
+///
+/// Produced by [`ShardState::image`], consumed by
+/// [`ShardState::from_image`]; `ltam-store` persists a vector of these
+/// (one per shard) inside every engine snapshot. All fields are public so
+/// the store layer can redistribute subject-keyed state when an engine is
+/// recovered onto a different shard count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStateImage {
+    /// Per-authorization entry counters.
+    pub ledger: UsageLedger,
+    /// The shard's movements database (log, timelines, occupancy).
+    pub movements: MovementsDb,
+    /// Grants issued but not yet used, sorted by subject.
+    pub pending: Vec<PendingImage>,
+    /// Authorizations governing open stays, sorted by subject.
+    pub active: Vec<(SubjectId, LocationId, AuthId)>,
+    /// Subjects already alerted for their current overstay, sorted.
+    pub overstay_alerted: Vec<SubjectId>,
+    /// Violations detected by this shard, in detection order.
+    pub violations: Vec<Violation>,
+    /// Audited request decisions, in decision order.
+    pub audit: Vec<AuditRecord>,
 }
 
 #[cfg(test)]
@@ -361,6 +479,55 @@ mod tests {
             Some(Violation::InconsistentMovement { .. })
         ));
         assert_eq!(s.violations().len(), 2);
+    }
+
+    #[test]
+    fn image_round_trip_preserves_every_field() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        // Exercise every piece of state: a used grant, an open stay, a
+        // pending grant for a second subject, and a violation.
+        assert!(s.request_enter(&policy, Time(10), ALICE, CAIS).is_granted());
+        assert_eq!(s.observe_enter(&policy, Time(11), ALICE, CAIS), None);
+        s.observe_enter(&policy, Time(6), SubjectId(7), CAIS); // tailgate
+        let image = s.image();
+        let restored = ShardState::from_image(image.clone());
+        assert_eq!(restored.image(), image);
+        assert_eq!(restored.violations(), s.violations());
+        assert_eq!(restored.audit(), s.audit());
+        assert_eq!(restored.active_stays(), s.active_stays());
+        assert_eq!(restored.ledger().total_entries(), 1);
+        // Unlike EngineSnapshot, pending grants DO survive an image: crash
+        // recovery must not turn a granted entry into a violation.
+        let mut pending = ShardState::new();
+        assert!(pending
+            .request_enter(&policy, Time(10), ALICE, CAIS)
+            .is_granted());
+        let mut back = ShardState::from_image(pending.image());
+        assert_eq!(back.observe_enter(&policy, Time(11), ALICE, CAIS), None);
+    }
+
+    #[test]
+    fn image_serde_round_trips_through_json() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        assert!(s.request_enter(&policy, Time(10), ALICE, CAIS).is_granted());
+        assert_eq!(s.observe_enter(&policy, Time(11), ALICE, CAIS), None);
+        s.tick(&policy, Time(200));
+        let image = s.image();
+        let json = serde_json::to_string(&image).unwrap();
+        let back: ShardStateImage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, image);
     }
 
     #[test]

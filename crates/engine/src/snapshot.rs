@@ -30,6 +30,12 @@ pub struct EngineSnapshot {
     pub model: LocationModel,
     /// Authorization rows with their ids and provenance, in id order.
     pub authorizations: Vec<(AuthId, Authorization, Provenance)>,
+    /// The id-allocator high-water mark: restored so ids of revoked
+    /// authorizations are never reissued to new rows (stale references
+    /// must dangle, not alias). `None` for snapshots serialized before
+    /// this field existed — restore then falls back to resuming past the
+    /// largest surviving id.
+    pub next_auth_id: Option<u64>,
     /// Prohibitions.
     pub prohibitions: ProhibitionDb,
     /// Declarative rules with their ids.
@@ -52,6 +58,7 @@ impl AccessControlEngine {
         EngineSnapshot {
             model: self.model().clone(),
             authorizations: self.db().export_rows(),
+            next_auth_id: Some(self.db().next_id()),
             prohibitions: self.prohibitions().clone(),
             rules: self.rules_export(),
             ledger: self.ledger().clone(),
@@ -69,6 +76,7 @@ impl AccessControlEngine {
         let mut engine = AccessControlEngine::new(snapshot.model);
         engine.restore_parts(
             snapshot.authorizations,
+            snapshot.next_auth_id.unwrap_or(0),
             snapshot.prohibitions,
             snapshot.rules,
             snapshot.ledger,
@@ -187,6 +195,22 @@ mod tests {
         // Re-deriving after restore is quiescent (nothing changed).
         let report = restored.apply_rules();
         assert!(report.is_quiescent(), "{report:?}");
+    }
+
+    #[test]
+    fn snapshots_without_the_id_watermark_still_restore() {
+        // Snapshots serialized before `next_auth_id` existed must keep
+        // deserializing (the field is optional; restore falls back to
+        // resuming past the largest surviving id).
+        let (engine, alice, cais) = populated();
+        let json = serde_json::to_string(&engine.snapshot()).unwrap();
+        let legacy = json.replace("\"next_auth_id\":1,", "");
+        assert_ne!(legacy, json, "test must actually strip the field");
+        let back: EngineSnapshot = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.next_auth_id, None);
+        let restored = AccessControlEngine::restore(back);
+        assert_eq!(restored.movements().whereabouts(alice, Time(7)), Some(cais));
+        assert_eq!(restored.db().len(), engine.db().len());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! ([`BoundaryMap`], [`GridIndex`]) consumed by the movement simulator's
 //! RFID pipeline.
 
+#![warn(missing_docs)]
+
 pub mod boundary;
 pub mod primitives;
 

@@ -25,6 +25,8 @@
 //! [`examples`] reconstructs the paper's Figure 1/2 NTU campus and the
 //! Figure 4 four-location cycle.
 
+#![warn(missing_docs)]
+
 pub mod dot;
 pub mod effective;
 pub mod examples;

@@ -44,7 +44,12 @@ pub enum GraphError {
     /// Edges may only connect siblings — locations of the same (multilevel)
     /// location graph. Definition 2 requires mutually disjoint members;
     /// cross-level edges would break the hierarchy.
-    NotSiblings { a: String, b: String },
+    NotSiblings {
+        /// One endpoint's name.
+        a: String,
+        /// The other endpoint's name.
+        b: String,
+    },
     /// Every (multilevel) location graph must designate at least one entry
     /// location (§3.1).
     NoEntry(String),

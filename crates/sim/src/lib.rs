@@ -19,6 +19,8 @@
 //!
 //! All generators and scenarios are deterministic given a seed.
 
+#![warn(missing_docs)]
+
 pub mod gen;
 pub mod rfid;
 pub mod scenario;
@@ -33,5 +35,5 @@ pub use scenario::{
     overstay_detection, sars_contact_tracing, tailgating_differential, ContactTracingOutcome,
     OverstayOutcome, TailgatingOutcome,
 };
-pub use trace::{multi_shard_trace, TraceConfig, TraceWorld};
+pub use trace::{multi_shard_trace, read_events_wal, TraceConfig, TraceWorld};
 pub use walker::{run_population, Behavior, Walker};

@@ -97,12 +97,54 @@ impl TraceWorld {
         &self,
         shards: usize,
     ) -> (ShardedEngine, crossbeam::channel::Receiver<Alert>) {
+        ShardedEngine::new(self.build_policy_core(), shards)
+    }
+
+    /// Build the trace's [`PolicyCore`] (for [`ltam_store::DurableEngine`]
+    /// and other engine shapes).
+    pub fn build_policy_core(&self) -> PolicyCore {
         let mut core = PolicyCore::new(self.world.model.clone());
         for auth in &self.authorizations {
             core.add_authorization(*auth);
         }
-        ShardedEngine::new(core, shards)
+        core
     }
+
+    /// Persist this trace's event stream as an `ltam-store` WAL fixture
+    /// under `dir` — the on-disk input for durability tests, corruption
+    /// drills, and recovery benchmarks. Returns the number of records
+    /// written. Pair with [`read_events_wal`]; the world and
+    /// authorizations regenerate deterministically from the same
+    /// [`TraceConfig`].
+    pub fn write_events_wal(
+        &self,
+        dir: &std::path::Path,
+        segment_bytes: u64,
+    ) -> std::io::Result<u64> {
+        let config = ltam_store::WalConfig {
+            segment_bytes,
+            fsync: false, // fixtures are rewritable artifacts, not live logs
+        };
+        let (mut wal, recovered) = ltam_store::Wal::open(dir, config)?;
+        if !recovered.events.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already holds a WAL fixture", dir.display()),
+            ));
+        }
+        for chunk in self.events.chunks(1024) {
+            wal.append_batch(chunk)?;
+        }
+        Ok(wal.next_seq())
+    }
+}
+
+/// Load the event stream of a WAL fixture written by
+/// [`TraceWorld::write_events_wal`] (tolerating — and repairing — a torn
+/// or corrupted tail, like any WAL open).
+pub fn read_events_wal(dir: &std::path::Path) -> std::io::Result<Vec<Event>> {
+    let (_, recovered) = ltam_store::Wal::open(dir, ltam_store::WalConfig::default())?;
+    Ok(recovered.events.into_iter().map(|(_, e)| e).collect())
 }
 
 /// Where one simulated subject is in its request → enter → exit cycle.
@@ -295,6 +337,21 @@ mod tests {
         );
         // Clean traffic exists too: some entries were granted and used.
         assert!(engine.ledger().total_entries() > 0);
+    }
+
+    #[test]
+    fn wal_fixture_round_trips_the_trace() {
+        let trace = multi_shard_trace(&TraceConfig {
+            subjects: 16,
+            events: 1_500,
+            ..TraceConfig::default()
+        });
+        let dir = ltam_store::ScratchDir::new("sim-fixture");
+        let written = trace.write_events_wal(dir.path(), 16 * 1024).unwrap();
+        assert_eq!(written, trace.events.len() as u64);
+        assert_eq!(read_events_wal(dir.path()).unwrap(), trace.events);
+        // A fixture refuses to overwrite itself.
+        assert!(trace.write_events_wal(dir.path(), 16 * 1024).is_err());
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Versioned on-disk snapshots of the full engine state.
+//!
+//! ## On-disk format (version 1)
+//!
+//! A snapshot file `snap-<seq>.snap` is:
+//!
+//! ```text
+//! ┌──────────────── header (28 bytes) ────────────────────────────────┐
+//! │ magic "LTSN" │ version u16 LE │ reserved u16 │ seq u64 LE         │
+//! │ payload_len u64 LE │ crc32 u32 LE                                 │
+//! ├──────────────── payload ──────────────────────────────────────────┤
+//! │ JSON of StoreSnapshot (payload_len bytes)                         │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! `seq` is the number of WAL events already **applied** to the captured
+//! state: recovery loads the snapshot and replays WAL records with
+//! sequence numbers `>= seq`. The CRC covers the payload; a snapshot that
+//! fails any header or CRC check is skipped, and [`SnapshotStore`] keeps
+//! the previous snapshot around precisely so a crash mid-write (already
+//! mitigated by write-to-temp-then-rename) or a corrupted newest file
+//! falls back to the older one.
+
+use crate::crc::crc32;
+use ltam_engine::batch::PolicyImage;
+use ltam_engine::shard::ShardStateImage;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"LTSN";
+/// On-disk snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+/// Bytes of the snapshot header.
+pub const SNAPSHOT_HEADER_LEN: usize = 28;
+/// Valid snapshots kept on disk (newest first); older ones are pruned.
+pub const SNAPSHOTS_KEPT: usize = 2;
+
+/// A point-in-time image of a whole
+/// [`ShardedEngine`](ltam_engine::batch::ShardedEngine): the policy
+/// epoch plus every shard's mutable state, stamped with the WAL position
+/// it covers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    /// WAL events applied to this state (replay resumes here).
+    pub seq: u64,
+    /// Policy edits acknowledged up to this state. Recovery compares
+    /// this against the store's policy-epoch marker: falling back to a
+    /// snapshot with a *smaller* epoch would silently revert an
+    /// acknowledged policy change, so it is refused instead.
+    pub policy_epoch: u64,
+    /// Shard count the states were captured under.
+    pub shards: usize,
+    /// The read-mostly policy epoch.
+    pub policy: PolicyImage,
+    /// Per-shard mutable state, in shard order (`states.len() == shards`).
+    pub states: Vec<ShardStateImage>,
+}
+
+/// Reads and writes [`StoreSnapshot`]s in a store directory.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    fsync: bool,
+}
+
+fn snapshot_path(dir: &Path, seq: u64, epoch: u64) -> PathBuf {
+    // Both coordinates go in the name: policy edits snapshot without
+    // advancing `seq`, and keying by seq alone would overwrite the
+    // previous snapshot in place — collapsing the keep-2 fallback to a
+    // single file.
+    dir.join(format!("snap-{seq:020}-{epoch:010}.snap"))
+}
+
+fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
+    let body = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    let (seq, epoch) = body.split_once('-')?;
+    Some((seq.parse().ok()?, epoch.parse().ok()?))
+}
+
+impl SnapshotStore {
+    /// A snapshot store over `dir` (created on first write), `fsync`ing
+    /// every written snapshot.
+    pub fn new(dir: &Path) -> SnapshotStore {
+        SnapshotStore::with_fsync(dir, true)
+    }
+
+    /// A snapshot store with explicit `fsync` behavior (disable only for
+    /// benchmarks and tests; writes are still atomic via temp + rename).
+    pub fn with_fsync(dir: &Path, fsync: bool) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.to_path_buf(),
+            fsync,
+        }
+    }
+
+    /// Snapshot files present in `dir`, newest first — by `(seq, epoch)`,
+    /// both of which are nondecreasing over a store's lifetime.
+    fn listing(&self) -> io::Result<Vec<(u64, u64, PathBuf)>> {
+        let mut out = Vec::new();
+        match fs::read_dir(&self.dir) {
+            Ok(entries) => {
+                for entry in entries {
+                    let entry = entry?;
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if let Some((seq, epoch)) = parse_snapshot_name(&name) {
+                        out.push((seq, epoch, entry.path()));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        out.sort_by_key(|&(seq, epoch, _)| std::cmp::Reverse((seq, epoch)));
+        Ok(out)
+    }
+
+    /// True if the directory holds at least one snapshot file (valid or
+    /// not) — used to refuse `create` over an existing store.
+    pub fn any_present(&self) -> io::Result<bool> {
+        Ok(!self.listing()?.is_empty())
+    }
+
+    /// The sequence of the **oldest** snapshot file still on disk (by
+    /// filename, validity not checked). WAL compaction must not pass
+    /// this point: if the newest snapshot later turns out corrupt,
+    /// recovery falls back to an older one and needs the WAL records
+    /// between the two.
+    pub fn oldest_retained_seq(&self) -> io::Result<Option<u64>> {
+        Ok(self.listing()?.last().map(|&(seq, _, _)| seq))
+    }
+
+    /// Serialize and durably write `snapshot`, then prune old snapshots
+    /// down to [`SNAPSHOTS_KEPT`]. Returns the written path.
+    ///
+    /// The write is atomic: payload goes to a temp file which is fsynced
+    /// and renamed into place, then the directory is fsynced, so a crash
+    /// leaves either the old listing or the new one — never a half
+    /// snapshot under the final name.
+    pub fn write(&self, snapshot: &StoreSnapshot) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let payload = serde_json::to_string(snapshot)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let payload = payload.as_bytes();
+        let mut bytes = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&snapshot.seq.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+
+        let tmp = self.dir.join(format!(
+            "snap-{:020}-{:010}.tmp",
+            snapshot.seq, snapshot.policy_epoch
+        ));
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&bytes)?;
+            if self.fsync {
+                f.sync_data()?;
+            }
+        }
+        let path = snapshot_path(&self.dir, snapshot.seq, snapshot.policy_epoch);
+        fs::rename(&tmp, &path)?;
+        if self.fsync {
+            // Propagate directory-fsync failures: callers ack durability
+            // on Ok, so a swallowed error here could lose the rename's
+            // dirent to a power cut after the ack.
+            if let Ok(d) = File::open(&self.dir) {
+                d.sync_all()?;
+            }
+        }
+        self.prune()?;
+        Ok(path)
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        for (_, _, path) in self.listing()?.into_iter().skip(SNAPSHOTS_KEPT) {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Load the newest snapshot that passes every integrity check, or
+    /// `None` if the directory holds no usable snapshot. Corrupt files
+    /// are skipped, not deleted (operators may want the evidence).
+    pub fn load_latest(&self) -> io::Result<Option<StoreSnapshot>> {
+        for (seq, epoch, path) in self.listing()? {
+            if let Some(snap) = read_snapshot(&path, seq, epoch)? {
+                return Ok(Some(snap));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Parse and validate one snapshot file; `None` if any check fails.
+fn read_snapshot(
+    path: &Path,
+    expected_seq: u64,
+    expected_epoch: u64,
+) -> io::Result<Option<StoreSnapshot>> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < SNAPSHOT_HEADER_LEN
+        || bytes[0..4] != SNAPSHOT_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != SNAPSHOT_VERSION
+    {
+        return Ok(None);
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    if seq != expected_seq {
+        return Ok(None);
+    }
+    // A corrupted length field can hold anything up to u64::MAX; all
+    // arithmetic on it must be checked or the fallback path would panic.
+    let Some(end) = usize::try_from(len)
+        .ok()
+        .and_then(|len| SNAPSHOT_HEADER_LEN.checked_add(len))
+    else {
+        return Ok(None);
+    };
+    let Some(payload) = bytes.get(SNAPSHOT_HEADER_LEN..end) else {
+        return Ok(None);
+    };
+    if bytes.len() != end || crc32(payload) != crc {
+        return Ok(None);
+    }
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return Ok(None);
+    };
+    match serde_json::from_str::<StoreSnapshot>(text) {
+        Ok(snap)
+            if snap.seq == seq
+                && snap.policy_epoch == expected_epoch
+                && snap.states.len() == snap.shards =>
+        {
+            Ok(Some(snap))
+        }
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use ltam_engine::batch::PolicyCore;
+    use ltam_engine::shard::ShardState;
+    use ltam_graph::examples::ntu_campus;
+
+    fn snapshot(seq: u64) -> StoreSnapshot {
+        let core = PolicyCore::new(ntu_campus().model);
+        StoreSnapshot {
+            seq,
+            policy_epoch: 0,
+            shards: 2,
+            policy: core.image(),
+            states: vec![ShardState::new().image(), ShardState::new().image()],
+        }
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = ScratchDir::new("snap-roundtrip");
+        let store = SnapshotStore::new(dir.path());
+        assert!(store.load_latest().unwrap().is_none());
+        store.write(&snapshot(42)).unwrap();
+        let back = store.load_latest().unwrap().unwrap();
+        assert_eq!(back.seq, 42);
+        assert_eq!(back.shards, 2);
+        assert_eq!(back.states.len(), 2);
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins_and_pruning_keeps_two() {
+        let dir = ScratchDir::new("snap-prune");
+        let store = SnapshotStore::new(dir.path());
+        for seq in [10, 20, 30] {
+            store.write(&snapshot(seq)).unwrap();
+        }
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 30);
+        let files: Vec<_> = fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+            .collect();
+        assert_eq!(files.len(), SNAPSHOTS_KEPT);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = ScratchDir::new("snap-fallback");
+        let store = SnapshotStore::new(dir.path());
+        store.write(&snapshot(10)).unwrap();
+        let newest = store.write(&snapshot(20)).unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn truncated_newest_falls_back_to_previous() {
+        let dir = ScratchDir::new("snap-truncated");
+        let store = SnapshotStore::new(dir.path());
+        store.write(&snapshot(10)).unwrap();
+        let newest = store.write(&snapshot(20)).unwrap();
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn corrupted_length_field_never_panics() {
+        let dir = ScratchDir::new("snap-badlen");
+        let store = SnapshotStore::new(dir.path());
+        store.write(&snapshot(10)).unwrap();
+        let newest = store.write(&snapshot(20)).unwrap();
+        // Overwrite payload_len (bytes 16..24) with u64::MAX: the loader
+        // must skip the file, not overflow.
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&newest, &bytes).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 10);
+    }
+}

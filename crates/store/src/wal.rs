@@ -1,0 +1,611 @@
+//! Segmented, append-only write-ahead log for [`Event`] streams.
+//!
+//! ## On-disk format (version 1)
+//!
+//! A WAL is a directory of segment files named `wal-<first_seq>.log`,
+//! where `<first_seq>` is the zero-padded sequence number of the
+//! segment's first record. Each segment is:
+//!
+//! ```text
+//! ┌────────────────────────── segment header (16 bytes) ─────────────┐
+//! │ magic "LTWL" │ version u16 LE │ reserved u16 │ first_seq u64 LE  │
+//! ├────────────────────────── records ───────────────────────────────┤
+//! │ len u32 LE │ crc32 u32 LE │ payload (len bytes, one Event)       │
+//! │ ...                                                              │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The CRC covers the payload; the payload is the [`codec`](crate::codec)
+//! binary encoding of exactly one event. Records are appended in batches
+//! with **one `fsync` per batch**, and a segment rotates once it crosses
+//! [`WalConfig::segment_bytes`] (checked at batch granularity, so a
+//! segment may exceed the threshold by at most one batch).
+//!
+//! ## Recovery
+//!
+//! [`Wal::open`] scans every segment in sequence order and stops at the
+//! **first** invalid byte: a torn record header, a short payload, a CRC
+//! mismatch, a payload that is not exactly one event, or a segment whose
+//! header or name disagrees with the expected sequence. Everything before
+//! that point is returned as recovered `(seq, Event)` pairs and is never
+//! dropped; everything from that point on is disregarded, because record
+//! boundaries after a corrupt region cannot be trusted. The damaged
+//! segment is truncated to its last valid record, so the log is
+//! immediately appendable again; later segments (which may hold intact,
+//! acked records) are renamed to `*.quarantine` — set aside for
+//! operators, never deleted.
+//!
+//! Compaction ([`Wal::compact`]) removes sealed segments all of whose
+//! records are at sequence numbers below a snapshot's cover point.
+
+use crate::codec::{decode_event_exact, encode_event};
+use crate::crc::crc32;
+use ltam_engine::batch::Event;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL segment.
+pub const WAL_MAGIC: [u8; 4] = *b"LTWL";
+/// On-disk format version written into segment headers.
+pub const WAL_VERSION: u16 = 1;
+/// Bytes of the segment header.
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+/// Bytes of a record header (length + CRC).
+pub const RECORD_HEADER_LEN: u64 = 8;
+
+/// Tunables for the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one crosses this many
+    /// bytes (checked per batch).
+    pub segment_bytes: u64,
+    /// `fsync` after every appended batch. Disable only for benchmarks
+    /// and tests; without it a crash can lose the tail the OS had not
+    /// flushed (recovery still truncates cleanly).
+    pub fsync: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 1 << 20,
+            fsync: true,
+        }
+    }
+}
+
+/// What [`Wal::open`] found (and repaired) on disk.
+#[derive(Debug, Clone, Default)]
+pub struct WalRecovery {
+    /// Every intact record, in sequence order.
+    pub events: Vec<(u64, Event)>,
+    /// Bytes cut off the damaged segment (0 for a clean log).
+    pub truncated_bytes: u64,
+    /// Whole segments disregarded because they followed (or were) a
+    /// corrupt region — renamed to `*.quarantine` in the directory, never
+    /// deleted, so acked records they may hold stay recoverable by hand.
+    pub dropped_segments: usize,
+}
+
+#[derive(Debug)]
+struct Segment {
+    first_seq: u64,
+    path: PathBuf,
+    /// Valid bytes (records end exactly here).
+    len: u64,
+    /// Records in the segment.
+    records: u64,
+}
+
+/// The segmented write-ahead log. See the [module docs](self) for the
+/// format and recovery protocol.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    sealed: Vec<Segment>,
+    active: Segment,
+    file: File,
+    next_seq: u64,
+    /// Set when a failed append could not be rolled back to the last
+    /// known-good boundary; all further appends refuse.
+    poisoned: bool,
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:020}.log"))
+}
+
+fn segment_header(first_seq: u64) -> [u8; 16] {
+    let mut h = [0u8; 16];
+    h[0..4].copy_from_slice(&WAL_MAGIC);
+    h[4..6].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&first_seq.to_le_bytes());
+    h
+}
+
+fn create_segment(dir: &Path, first_seq: u64, fsync: bool) -> io::Result<(Segment, File)> {
+    let path = segment_path(dir, first_seq);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)?;
+    file.write_all(&segment_header(first_seq))?;
+    if fsync {
+        file.sync_data()?;
+        // The new directory entry must be durable too: without this, a
+        // power cut can drop the whole segment file — and every
+        // fsync-acked record inside it — while older segments survive,
+        // which recovery could not distinguish from a legitimately
+        // shorter log.
+        if let Ok(d) = File::open(dir) {
+            d.sync_all()?;
+        }
+    }
+    Ok((
+        Segment {
+            first_seq,
+            path,
+            len: SEGMENT_HEADER_LEN,
+            records: 0,
+        },
+        file,
+    ))
+}
+
+/// Parse one segment's bytes. Returns the records that scanned cleanly
+/// and, if the segment is damaged, the byte offset of the first invalid
+/// byte.
+fn scan_segment(bytes: &[u8], expected_first_seq: u64) -> (Vec<Event>, u64, Option<u64>) {
+    let header_ok = bytes.len() >= SEGMENT_HEADER_LEN as usize
+        && bytes[0..4] == WAL_MAGIC
+        && u16::from_le_bytes([bytes[4], bytes[5]]) == WAL_VERSION
+        && u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) == expected_first_seq;
+    if !header_ok {
+        return (Vec::new(), 0, Some(0));
+    }
+    let mut events = Vec::new();
+    let mut at = SEGMENT_HEADER_LEN as usize;
+    loop {
+        if at == bytes.len() {
+            return (events, at as u64, None);
+        }
+        let Some(header) = bytes.get(at..at + RECORD_HEADER_LEN as usize) else {
+            return (events, at as u64, Some(at as u64));
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let start = at + RECORD_HEADER_LEN as usize;
+        let Some(payload) = start.checked_add(len).and_then(|end| bytes.get(start..end)) else {
+            return (events, at as u64, Some(at as u64));
+        };
+        if crc32(payload) != crc {
+            return (events, at as u64, Some(at as u64));
+        }
+        match decode_event_exact(payload) {
+            Ok(event) => events.push(event),
+            Err(_) => return (events, at as u64, Some(at as u64)),
+        }
+        at = start + len;
+    }
+}
+
+/// `dir`'s segment files as `(first_seq, path)`, sorted by sequence.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Move a segment the log can no longer trust out of the `wal-*.log`
+/// namespace (so scans skip it and rotation can never collide with it)
+/// while preserving its bytes for operators. The target name probes for
+/// a free slot: if the log's sequence later re-crosses this segment's
+/// range and corruption strikes again, the second quarantine must not
+/// clobber the first one's evidence.
+fn quarantine_segment(path: &Path) -> io::Result<()> {
+    let target = free_quarantine_slot(path)?;
+    fs::rename(path, target)
+}
+
+/// Park the cut-off bytes of a truncated segment next to it (same
+/// naming scheme as whole-file quarantine).
+fn quarantine_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let target = free_quarantine_slot(path)?;
+    fs::write(target, bytes)
+}
+
+fn free_quarantine_slot(path: &Path) -> io::Result<PathBuf> {
+    for attempt in 0..1000u32 {
+        let mut target = path.as_os_str().to_owned();
+        target.push(if attempt == 0 {
+            ".quarantine".to_string()
+        } else {
+            format!(".quarantine-{attempt}")
+        });
+        let target = PathBuf::from(target);
+        if !target.exists() {
+            return Ok(target);
+        }
+    }
+    Err(io::Error::other(format!(
+        "no free quarantine slot for {}",
+        path.display()
+    )))
+}
+
+impl Wal {
+    /// Open (or create) the WAL in `dir`, repairing any torn tail: the
+    /// damaged segment is truncated to its last intact record and later
+    /// segments are removed. Returns the log positioned for appending and
+    /// everything it recovered.
+    pub fn open(dir: &Path, config: WalConfig) -> io::Result<(Wal, WalRecovery)> {
+        fs::create_dir_all(dir)?;
+        let names = list_segments(dir)?;
+
+        let mut recovery = WalRecovery::default();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut expected_seq: Option<u64> = None;
+        let mut corrupt: Option<(usize, u64)> = None; // (segment index in `names`, offset)
+        for (i, (first_seq, path)) in names.iter().enumerate() {
+            // A gap between segments (or a name/header mismatch) means the
+            // contiguous record sequence ends here.
+            if expected_seq.is_some_and(|e| e != *first_seq) {
+                corrupt = Some((i, 0));
+                break;
+            }
+            let bytes = fs::read(path)?;
+            let (events, valid_len, bad_at) = scan_segment(&bytes, *first_seq);
+            let records = events.len() as u64;
+            for (k, event) in events.into_iter().enumerate() {
+                recovery.events.push((first_seq + k as u64, event));
+            }
+            segments.push(Segment {
+                first_seq: *first_seq,
+                path: path.clone(),
+                len: valid_len,
+                records,
+            });
+            expected_seq = Some(first_seq + records);
+            if let Some(off) = bad_at {
+                recovery.truncated_bytes += bytes.len() as u64 - off;
+                corrupt = Some((i, off));
+                break;
+            }
+        }
+
+        if let Some((i, off)) = corrupt {
+            // Later segments cannot be trusted past a corrupt region —
+            // but they may hold intact, fsync-acked records, so they are
+            // QUARANTINED (renamed aside for operators/forensics), never
+            // deleted. The caller decides whether losing them is
+            // acceptable; `DurableEngine::open` refuses when they could
+            // hold events past the usable snapshot.
+            for (_, path) in &names[i + 1..] {
+                quarantine_segment(path)?;
+                recovery.dropped_segments += 1;
+            }
+            if off == 0 && i < segments.len() && segments[i].records == 0 {
+                // Nothing valid in the damaged segment at all (bad
+                // header): quarantine the whole file.
+                let seg = segments.pop().expect("segment was just scanned");
+                quarantine_segment(&seg.path)?;
+            } else if i < segments.len() {
+                // Truncate the damaged tail — but park its bytes first:
+                // past the first invalid byte there may still be
+                // CRC-intact acked records (e.g. a mid-segment bit flip),
+                // and if the caller refuses this recovery, those bytes
+                // are the operator's only repair material.
+                let seg = &segments[i];
+                let tail = fs::read(&seg.path)?;
+                if (tail.len() as u64) > seg.len {
+                    quarantine_bytes(&seg.path, &tail[seg.len as usize..])?;
+                }
+                let f = OpenOptions::new().write(true).open(&seg.path)?;
+                f.set_len(seg.len)?;
+                f.sync_data()?;
+            } else {
+                // Corruption was a sequence gap: the segment at `i` was
+                // never scanned; quarantine it too.
+                quarantine_segment(&names[i].1)?;
+                recovery.dropped_segments += 1;
+            }
+        }
+
+        let next_seq = segments
+            .last()
+            .map(|s| s.first_seq + s.records)
+            .unwrap_or(0);
+        let (active, file) = match segments.pop() {
+            Some(seg) => {
+                let file = OpenOptions::new().append(true).open(&seg.path)?;
+                (seg, file)
+            }
+            None => create_segment(dir, next_seq, config.fsync)?,
+        };
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                config,
+                sealed: segments,
+                active,
+                file,
+                next_seq,
+                poisoned: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// The sequence number the next appended event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// List `dir`'s WAL segment files by name, sorted by first sequence,
+    /// without opening (or repairing) the log — for fixtures, corruption
+    /// drills, and tooling that needs to damage or inspect segments.
+    pub fn segment_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+        Ok(list_segments(dir)?.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Paths of every live segment, sealed first, active last.
+    pub fn segment_paths(&self) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = self.sealed.iter().map(|s| s.path.clone()).collect();
+        out.push(self.active.path.clone());
+        out
+    }
+
+    /// Append a batch of events as one write + one `fsync` (if enabled).
+    /// Returns the sequence number of the first event appended.
+    ///
+    /// A failed write is rolled back: the segment is truncated to its
+    /// last known-good boundary, so a retried append never lands after
+    /// partial junk (which recovery would treat as the end of the log,
+    /// discarding every acked record behind it). If that rollback itself
+    /// fails the log is poisoned and every further append errors.
+    pub fn append_batch(&mut self, events: &[Event]) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "WAL poisoned: a failed append could not be rolled back; reopen to repair",
+            ));
+        }
+        let first = self.next_seq;
+        if events.is_empty() {
+            return Ok(first);
+        }
+        if self.active.len >= self.config.segment_bytes {
+            self.rotate()?;
+        }
+        let mut buf = Vec::with_capacity(events.len() * 16);
+        let mut payload = Vec::with_capacity(16);
+        for event in events {
+            payload.clear();
+            encode_event(event, &mut payload);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        let written = self.file.write_all(&buf).and_then(|()| {
+            if self.config.fsync {
+                self.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = written {
+            if self.file.set_len(self.active.len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.active.len += buf.len() as u64;
+        self.active.records += events.len() as u64;
+        self.next_seq += events.len() as u64;
+        Ok(first)
+    }
+
+    /// Seal the active segment and start a new one at the current
+    /// sequence. No-op if the active segment holds no records.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        if self.active.records == 0 {
+            return Ok(());
+        }
+        self.file.sync_data()?;
+        let (next, file) = create_segment(&self.dir, self.next_seq, self.config.fsync)?;
+        self.sealed.push(std::mem::replace(&mut self.active, next));
+        self.file = file;
+        Ok(())
+    }
+
+    /// Remove sealed segments all of whose records precede `covered_upto`
+    /// (exclusive) — i.e. are already captured by a snapshot at that
+    /// sequence. Returns the number of segments removed.
+    pub fn compact(&mut self, covered_upto: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        while let Some(first) = self.sealed.first() {
+            let end = first.first_seq + first.records;
+            if end > covered_upto {
+                break;
+            }
+            let seg = self.sealed.remove(0);
+            fs::remove_file(&seg.path)?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Discard every segment and restart the log at sequence `seq` — the
+    /// recovery escape hatch for a store whose WAL is missing or entirely
+    /// unreadable but whose snapshot is valid.
+    pub fn reset_to(&mut self, seq: u64) -> io::Result<()> {
+        for seg in self.sealed.drain(..) {
+            fs::remove_file(&seg.path)?;
+        }
+        fs::remove_file(&self.active.path)?;
+        let (active, file) = create_segment(&self.dir, seq, self.config.fsync)?;
+        self.active = active;
+        self.file = file;
+        self.next_seq = seq;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use ltam_core::subject::SubjectId;
+    use ltam_graph::LocationId;
+    use ltam_time::Time;
+
+    fn ev(i: u64) -> Event {
+        match i % 4 {
+            0 => Event::Request {
+                time: Time(i),
+                subject: SubjectId((i % 97) as u32),
+                location: LocationId((i % 13) as u32),
+            },
+            1 => Event::Enter {
+                time: Time(i),
+                subject: SubjectId((i % 97) as u32),
+                location: LocationId((i % 13) as u32),
+            },
+            2 => Event::Exit {
+                time: Time(i),
+                subject: SubjectId((i % 97) as u32),
+                location: LocationId((i % 13) as u32),
+            },
+            _ => Event::Tick { now: Time(i) },
+        }
+    }
+
+    fn events(n: u64) -> Vec<Event> {
+        (0..n).map(ev).collect()
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let dir = ScratchDir::new("wal-roundtrip");
+        let all = events(500);
+        {
+            let (mut wal, rec) = Wal::open(dir.path(), WalConfig::default()).unwrap();
+            assert!(rec.events.is_empty());
+            for chunk in all.chunks(37) {
+                wal.append_batch(chunk).unwrap();
+            }
+            assert_eq!(wal.next_seq(), 500);
+        }
+        let (wal, rec) = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        assert_eq!(wal.next_seq(), 500);
+        assert_eq!(rec.truncated_bytes, 0);
+        let got: Vec<Event> = rec.events.iter().map(|&(_, e)| e).collect();
+        assert_eq!(got, all);
+        let seqs: Vec<u64> = rec.events.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn segments_rotate_at_the_byte_threshold() {
+        let dir = ScratchDir::new("wal-rotate");
+        let config = WalConfig {
+            segment_bytes: 256,
+            fsync: false,
+        };
+        let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+        for chunk in events(400).chunks(10) {
+            wal.append_batch(chunk).unwrap();
+        }
+        assert!(wal.segment_paths().len() > 2, "{:?}", wal.segment_paths());
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(rec.events.len(), 400);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_earlier_records_survive() {
+        let dir = ScratchDir::new("wal-torn");
+        let config = WalConfig {
+            segment_bytes: 1 << 20,
+            fsync: false,
+        };
+        {
+            let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+            wal.append_batch(&events(100)).unwrap();
+        }
+        let path = segment_path(dir.path(), 0);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap(); // tear the last record
+        drop(f);
+        let (wal, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(rec.events.len(), 99, "only the torn record is lost");
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(wal.next_seq(), 99);
+        // The log is appendable again and a further reopen is clean.
+        let mut wal = wal;
+        wal.append_batch(&[ev(99)]).unwrap();
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(rec.events.len(), 100);
+        assert_eq!(rec.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_the_flip_never_before() {
+        let dir = ScratchDir::new("wal-flip");
+        let config = WalConfig {
+            segment_bytes: 1 << 20,
+            fsync: false,
+        };
+        let all = events(64);
+        {
+            let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+            wal.append_batch(&all).unwrap();
+        }
+        let path = segment_path(dir.path(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        let got: Vec<Event> = rec.events.iter().map(|&(_, e)| e).collect();
+        assert!(got.len() < all.len());
+        assert_eq!(got[..], all[..got.len()], "recovered events are a prefix");
+    }
+
+    #[test]
+    fn compaction_drops_only_covered_segments() {
+        let dir = ScratchDir::new("wal-compact");
+        let config = WalConfig {
+            segment_bytes: 128,
+            fsync: false,
+        };
+        let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+        for chunk in events(200).chunks(8) {
+            wal.append_batch(chunk).unwrap();
+        }
+        wal.rotate().unwrap();
+        let before = wal.segment_paths().len();
+        let removed = wal.compact(150).unwrap();
+        assert!(removed > 0);
+        assert_eq!(wal.segment_paths().len(), before - removed);
+        // Records >= 150 are still on disk.
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        assert!(rec.events.iter().any(|&(s, _)| s == 150));
+        assert!(rec.events.iter().all(|&(s, _)| s < 150 || s <= 199));
+        let last = rec.events.last().unwrap().0;
+        assert_eq!(last, 199);
+    }
+}

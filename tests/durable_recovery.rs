@@ -1,0 +1,244 @@
+//! Crash-point recovery equivalence: durability is *semantically
+//! invisible*.
+//!
+//! The contract (ISSUE 3 acceptance): for a 50k-event trace ingested
+//! through the WAL-backed [`DurableEngine`], cutting the log at an
+//! **arbitrary byte offset** — a record boundary, mid-record, even
+//! mid-header — and recovering (latest snapshot + WAL-tail replay,
+//! truncating the damage) yields a state from which ingesting the
+//! remaining events produces the **exact violation multiset** of an
+//! uninterrupted in-memory run. Corrupt tails truncate; they never panic
+//! and never cost a committed record before the damage.
+//!
+//! The fixture store is built once (50k events, one mid-stream snapshot
+//! at the halfway point, so recovery always exercises snapshot +
+//! replay); each case damages a fresh copy.
+
+use ltam_bench::violation_multiset as as_multiset;
+use ltam_engine::batch::{apply_to_engine, Event};
+use ltam_engine::violation::Violation;
+use ltam_sim::{multi_shard_trace, TraceConfig};
+use ltam_store::{DurableEngine, ScratchDir, StoreConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const SHARDS: usize = 4;
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        segment_bytes: 128 * 1024,
+        snapshot_every: 0, // the fixture controls its snapshot point
+        fsync: false,      // tests measure semantics, not device flushes
+    }
+}
+
+struct Fixture {
+    events: Vec<Event>,
+    /// Violation multiset of the uninterrupted reference run.
+    expected: Vec<Violation>,
+    /// A fully-ingested store: snapshot at `snapshot_seq`, WAL tail for
+    /// the rest. (Held so the scratch dir outlives every test case.)
+    base: ScratchDir,
+    snapshot_seq: u64,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let trace = multi_shard_trace(&TraceConfig {
+            subjects: 128,
+            events: 50_000,
+            grid: 8,
+            tick_every: 128,
+            tailgater_fraction: 0.1,
+            overstayer_fraction: 0.1,
+            seed: 7,
+        });
+
+        let mut reference = trace.build_engine();
+        for e in &trace.events {
+            apply_to_engine(&mut reference, e);
+        }
+        let expected = as_multiset(reference.violations().to_vec());
+        assert!(
+            !expected.is_empty(),
+            "fixture trace must exercise the violation taxonomy"
+        );
+
+        let base = ScratchDir::new("durable-recovery-base");
+        let (mut durable, _alerts) = DurableEngine::create(
+            base.path(),
+            trace.build_policy_core(),
+            SHARDS,
+            store_config(),
+        )
+        .expect("create fixture store");
+        let half = trace.events.len() / 2;
+        durable
+            .ingest(&trace.events[..half])
+            .expect("ingest first half");
+        let snapshot_seq = durable.snapshot().expect("mid-stream snapshot");
+        durable
+            .ingest(&trace.events[half..])
+            .expect("ingest second half");
+        // No final snapshot: the second half lives only in the WAL.
+
+        Fixture {
+            events: trace.events,
+            expected,
+            base,
+            snapshot_seq,
+        }
+    })
+}
+
+/// Damage a copy of the fixture store with `damage`, recover, finish the
+/// trace from wherever recovery resumed, and return the final violation
+/// multiset alongside the resume point. `Err` is recovery *refusing*
+/// (e.g. the damage quarantined acked events the snapshot does not
+/// cover) — loud, never silent.
+fn crash_recover_finish(damage: impl FnOnce(&[PathBuf])) -> std::io::Result<(Vec<Violation>, u64)> {
+    let fx = fixture();
+    let dir = ScratchDir::new("durable-recovery-case");
+    ltam_store::copy_flat_dir(fx.base.path(), dir.path()).expect("copy fixture store");
+    damage(&ltam_store::Wal::segment_files(dir.path()).expect("list WAL segments"));
+
+    let (mut durable, _alerts, report) = DurableEngine::open(dir.path(), store_config())?;
+    assert_eq!(report.snapshot_seq, fx.snapshot_seq);
+    let resumed = durable.applied();
+    assert!(
+        resumed >= fx.snapshot_seq,
+        "recovery can never resume before its snapshot"
+    );
+    assert!(
+        resumed <= fx.events.len() as u64,
+        "recovery can never invent events"
+    );
+    durable
+        .ingest(&fx.events[resumed as usize..])
+        .expect("post-recovery ingest");
+    Ok((as_multiset(durable.engine().violations()), resumed))
+}
+
+/// No damage at all: recovery resumes at the end of the trace and the
+/// multiset matches without replaying anything by hand.
+#[test]
+fn clean_restart_matches_the_uninterrupted_run() {
+    let fx = fixture();
+    let (got, resumed) = crash_recover_finish(|_| {}).expect("clean open");
+    assert_eq!(resumed, fx.events.len() as u64);
+    assert_eq!(got, fx.expected);
+}
+
+/// Crash at an exact record boundary: chop the newest segment after a
+/// whole number of records (parsed from the record length prefixes).
+#[test]
+fn crash_at_a_record_boundary_matches() {
+    let fx = fixture();
+    let (got, resumed) = crash_recover_finish(|segments| {
+        let last = segments.last().expect("segment exists");
+        let bytes = std::fs::read(last).expect("read segment");
+        // Walk the framing: 16-byte segment header, then 8-byte record
+        // headers whose first u32 is the payload length.
+        let mut boundaries = vec![16u64];
+        let mut at = 16usize;
+        while at + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            if at + 8 + len > bytes.len() {
+                break;
+            }
+            at += 8 + len;
+            boundaries.push(at as u64);
+        }
+        let cut = boundaries[boundaries.len() / 2];
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(last)
+            .expect("open segment");
+        f.set_len(cut).expect("truncate at boundary");
+    })
+    .expect("a torn tail always recovers");
+    assert!(resumed < fx.events.len() as u64);
+    assert_eq!(got, fx.expected);
+}
+
+/// A torn final write (mid-record cut): the partial record truncates, the
+/// lost events are re-ingested, and the multiset still matches.
+#[test]
+fn torn_final_record_matches() {
+    let fx = fixture();
+    let (got, _) = crash_recover_finish(|segments| {
+        let last = segments.last().expect("segment exists");
+        let len = std::fs::metadata(last).expect("metadata").len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(last)
+            .expect("open segment");
+        f.set_len(len - 5).expect("tear the final record");
+    })
+    .expect("a torn tail always recovers");
+    assert_eq!(got, fx.expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// THE acceptance property: cut the WAL at an arbitrary byte offset
+    /// (any segment, any position — header, record header, payload) and
+    /// recover. Two outcomes are legal, and nothing else: recovery
+    /// succeeds and finishing the trace yields the exact violation
+    /// multiset of the uninterrupted run, or — when the cut destroyed a
+    /// segment *behind* the snapshot, quarantining acked events the
+    /// snapshot cannot replace (disk corruption, not a crash; a crash
+    /// only ever tears the tail) — recovery refuses loudly. Silent
+    /// divergence and panics are never acceptable.
+    #[test]
+    fn arbitrary_byte_cut_preserves_the_violation_multiset(
+        segment_pick in 0usize..1000,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let fx = fixture();
+        let outcome = crash_recover_finish(|segments| {
+            let target = &segments[segment_pick % segments.len()];
+            let len = std::fs::metadata(target).expect("metadata").len();
+            let cut = (len as f64 * cut_fraction) as u64;
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(target)
+                .expect("open segment");
+            f.set_len(cut).expect("cut segment");
+            // A real crash loses everything the device had not written:
+            // segments after the cut point cannot exist. (Recovery also
+            // tolerates them existing, but deleting matches reality.)
+            let idx = segments.iter().position(|p| p == target).expect("target listed");
+            for later in &segments[idx + 1..] {
+                std::fs::remove_file(later).expect("remove later segment");
+            }
+        });
+        match outcome {
+            Ok((got, _)) => prop_assert_eq!(&got, &fx.expected),
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+        }
+    }
+
+    /// Bit rot anywhere in the newest segment: recovery truncates from
+    /// the flip, never panics, and the finished run still matches.
+    #[test]
+    fn bit_flip_in_the_tail_preserves_the_violation_multiset(
+        offset_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let fx = fixture();
+        let (got, _) = crash_recover_finish(|segments| {
+            let last = segments.last().expect("segment exists");
+            let mut bytes = std::fs::read(last).expect("read segment");
+            let at = ((bytes.len() - 1) as f64 * offset_fraction) as usize;
+            bytes[at] ^= 1 << bit;
+            std::fs::write(last, &bytes).expect("write damaged segment");
+        })
+        .expect("damage to the newest segment always recovers");
+        prop_assert_eq!(&got, &fx.expected);
+    }
+}

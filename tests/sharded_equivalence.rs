@@ -7,36 +7,11 @@
 //! shard (see `ltam_engine::shard`); these tests are the executable
 //! proof obligation behind that claim.
 
-use ltam_core::db::AuthId;
+use ltam_bench::violation_multiset as as_multiset;
 use ltam_engine::batch::apply_to_engine;
 use ltam_engine::violation::Violation;
 use ltam_sim::{multi_shard_trace, TraceConfig};
 use proptest::prelude::*;
-
-/// A total order on violations so multisets compare as sorted vectors.
-fn sort_key(v: &Violation) -> (u8, u64, u32, u32, u64) {
-    let kind = match v {
-        Violation::UnauthorizedEntry { .. } => 0,
-        Violation::ExitOutsideWindow { .. } => 1,
-        Violation::Overstay { .. } => 2,
-        Violation::InconsistentMovement { .. } => 3,
-    };
-    let auth = match *v {
-        Violation::ExitOutsideWindow {
-            auth: AuthId(a), ..
-        }
-        | Violation::Overstay {
-            auth: AuthId(a), ..
-        } => a,
-        _ => u64::MAX,
-    };
-    (kind, v.time().get(), v.subject().0, v.location().0, auth)
-}
-
-fn as_multiset(mut vs: Vec<Violation>) -> Vec<Violation> {
-    vs.sort_by_key(sort_key);
-    vs
-}
 
 /// Replay `cfg`'s trace through the reference engine and through a
 /// sharded engine, returning both violation multisets.

@@ -397,11 +397,18 @@ fn generate_deserialize(item: &Item) -> String {
             format!("Ok({name}(serde::Deserialize::from_value(value)?))")
         }
         Shape::NamedStruct(fields) => {
+            // Missing fields deserialize from `Null`, matching real
+            // serde's observable behavior: absent `Option<T>` fields load
+            // as `None` (real serde's `missing_field` feeds `Option` a
+            // none-deserializer), while absent required fields still
+            // error (their types reject null). This is what lets
+            // persistence formats add optional fields without breaking
+            // old payloads.
             let extract: String = fields
                 .iter()
                 .map(|f| {
                     format!(
-                        "{f}: serde::Deserialize::from_value(value.get(\"{f}\").ok_or_else(|| serde::Error::custom(\"missing field `{f}` in {name}\"))?)?,\n"
+                        "{f}: serde::Deserialize::from_value(value.get(\"{f}\").unwrap_or(&serde::Value::Null))?,\n"
                     )
                 })
                 .collect();
@@ -461,7 +468,7 @@ fn generate_deserialize(item: &Item) -> String {
                             let extract: String = fields
                                 .iter()
                                 .map(|f| format!(
-                                    "{f}: serde::Deserialize::from_value(inner.get(\"{f}\").ok_or_else(|| serde::Error::custom(\"missing field `{f}` in {name}::{vn}\"))?)?,\n"
+                                    "{f}: serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&serde::Value::Null))?,\n"
                                 ))
                                 .collect();
                             Some(format!(
