@@ -29,6 +29,7 @@ fn store_config() -> StoreConfig {
         segment_bytes: 256 * 1024,
         snapshot_every: 0,
         fsync: false,
+        retention: None,
     }
 }
 

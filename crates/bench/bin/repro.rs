@@ -2,15 +2,16 @@
 //! *LTAM: A Location-Temporal Authorization Model* (Yu & Lim, SDM 2004).
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|all]
+//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
 //! `EXPERIMENTS.md` records this output against the paper's claims.
-//! `throughput` and `durability` (extensions, not paper artifacts)
-//! measure sharded batch ingestion vs the global-lock engine and
-//! crash-recovery of the WAL-backed engine respectively; see
-//! `repro throughput --help` / `repro durability --help`.
+//! `throughput`, `durability` and `retention` (extensions, not paper
+//! artifacts) measure sharded batch ingestion vs the global-lock
+//! engine, crash-recovery of the WAL-backed engine, and bounded live
+//! state under history retention respectively; see each subcommand's
+//! `--help`.
 
 use ltam_bench::{fig4_instance, ALICE};
 use ltam_core::decision::Decision;
@@ -43,6 +44,7 @@ fn main() {
         "planner" => planner(),
         "throughput" => throughput(&args[1..]),
         "durability" => durability(&args[1..]),
+        "retention" => retention(&args[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, authz, rules, section5, table2, scaling, baseline, planner,
@@ -53,14 +55,17 @@ fn main() {
             throughput(&[]);
             println!();
             durability(&[]);
+            println!();
+            retention(&[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|all]"
+                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|all]"
             );
             eprintln!("       repro throughput --help   # enforcement-throughput options");
             eprintln!("       repro durability --help   # crash-recovery drill options");
+            eprintln!("       repro retention --help    # bounded-live-state drill options");
             std::process::exit(2);
         }
     }
@@ -767,6 +772,7 @@ fn durability(args: &[String]) {
         segment_bytes: segment_kib * 1024,
         snapshot_every: 0, // the drill controls its own snapshot point
         fsync: true,
+        retention: None,
     };
 
     // Phase 1: durable ingest up to the crash point, snapshotting midway
@@ -907,5 +913,315 @@ fn planner() {
                 .collect();
             println!("{:<10} via {}", "", hops.join(" -> "));
         }
+    }
+}
+
+const RETENTION_HELP: &str = "\
+usage: repro retention [--json] [--events N] [--subjects N] [--shards N]
+                       [--horizon H] [--checkpoints K]
+
+Bounded-live-state drill for the retention/tiering subsystem. Ingests
+the canonical multi-shard trace through a DurableEngine whose retention
+policy keeps the last H chronons live (older history is archived, then
+pruned), sampling live history size and snapshot size at K checkpoints.
+Afterwards, historical queries spanning the WHOLE trace — whereabouts,
+contact tracing (the paper's SARS scenario, across the horizon
+boundary), and the violation report — run through the tier-aware API
+and every answer is compared against an unpruned volatile reference
+run. Exits non-zero if live state is not bounded at steady state or any
+answer diverges.
+
+options:
+  --json          emit one machine-readable JSON object
+  --events N      trace length in events                 [default 20000]
+  --subjects N    simulated population size              [default 256]
+  --shards N      engine shard count                     [default 4]
+  --horizon H     retention horizon in chronons          [default 100]
+  --checkpoints K live-size samples across the trace     [default 8]
+  --help          this text
+";
+
+/// One live-size sample of the `repro retention` drill.
+#[derive(serde::Serialize)]
+struct RetentionSample {
+    ingested: usize,
+    live_records: usize,
+    snapshot_bytes: u64,
+}
+
+/// The `repro retention --json` report.
+#[derive(serde::Serialize)]
+struct RetentionReport {
+    experiment: &'static str,
+    events: usize,
+    subjects: usize,
+    shards: usize,
+    horizon_chronons: u64,
+    trace_span_chronons: u64,
+    watermark: u64,
+    total_records: usize,
+    live_final_records: usize,
+    live_peak_records: usize,
+    snapshot_bytes_final: u64,
+    state_bytes_final: u64,
+    state_bytes_unpruned: u64,
+    archive_bytes: u64,
+    live_bounded: bool,
+    queries_match: bool,
+    samples: Vec<RetentionSample>,
+}
+
+/// Exit with a usage error for the retention subcommand.
+fn retention_usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{RETENTION_HELP}");
+    std::process::exit(2);
+}
+
+/// Size of the newest snapshot file in a store directory.
+fn newest_snapshot_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .max_by_key(|e| e.file_name())
+        .and_then(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+/// Extension: bounded live state under history retention + tiering.
+fn retention(args: &[String]) {
+    use ltam_bench::{contact_multiset, live_history_records, violation_multiset};
+    use ltam_core::retention::RetentionPolicy;
+    use ltam_sim::multi_shard_trace;
+    use ltam_store::{DurableEngine, ScratchDir, StoreConfig};
+
+    let mut json = false;
+    let mut events = 20_000usize;
+    let mut subjects = 256usize;
+    let mut shards = 4usize;
+    let mut horizon = 100u64;
+    let mut checkpoints = 8usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| retention_usage_error(&format!("{name} needs a value")))
+                .clone()
+        };
+        let parsed = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| retention_usage_error(&format!("{name}: bad value {raw:?}")))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--events" => events = parsed("--events", value("--events")) as usize,
+            "--subjects" => subjects = parsed("--subjects", value("--subjects")) as usize,
+            "--shards" => shards = parsed("--shards", value("--shards")) as usize,
+            "--horizon" => horizon = parsed("--horizon", value("--horizon")),
+            "--checkpoints" => {
+                checkpoints = parsed("--checkpoints", value("--checkpoints")) as usize
+            }
+            "--help" | "-h" => {
+                print!("{RETENTION_HELP}");
+                return;
+            }
+            other => retention_usage_error(&format!("unknown retention option {other:?}")),
+        }
+    }
+    if events == 0 || subjects == 0 || shards == 0 || checkpoints == 0 {
+        retention_usage_error(
+            "--events, --subjects, --shards and --checkpoints must be at least 1",
+        );
+    }
+    if horizon == 0 {
+        retention_usage_error("--horizon must be at least 1 chronon");
+    }
+
+    let trace = multi_shard_trace(&ltam_bench::throughput_workload(subjects, events));
+    let n_events = trace.events.len();
+    let span = trace.max_time().get();
+
+    // The unpruned reference: the whole trace through a single volatile
+    // engine (the proven-equivalent semantics).
+    let mut reference = trace.build_engine();
+    for e in &trace.events {
+        ltam_engine::batch::apply_to_engine(&mut reference, e);
+    }
+    let total_records =
+        reference.movements().len() + reference.audit().len() + reference.violations().len();
+
+    // What the UNPRUNED per-shard state weighs in a snapshot (a
+    // volatile sharded run serialized through the same image schema).
+    // The policy image is deliberately excluded from the bound: it is
+    // invariant under retention and, on authorization-heavy workloads,
+    // dominates whole-file snapshot size.
+    let state_bytes_unpruned = {
+        let (unpruned, _rx) = trace.build_sharded(shards);
+        unpruned.ingest(&trace.events);
+        serde_json::to_string(&unpruned.export_images())
+            .expect("images serialize")
+            .len() as u64
+    };
+
+    let dir = ScratchDir::new("repro-retention");
+    let policy = RetentionPolicy::keep_last(horizon);
+    let config = StoreConfig {
+        segment_bytes: 256 * 1024,
+        snapshot_every: 0, // the drill snapshots at its own checkpoints
+        fsync: true,
+        retention: Some(policy),
+    };
+    let (mut durable, _alerts) =
+        DurableEngine::create(dir.path(), trace.build_policy_core(), shards, config)
+            .expect("create store");
+
+    let chunk = n_events.div_ceil(checkpoints).max(1);
+    let mut samples = Vec::new();
+    let mut live_peak = 0usize;
+    let mut ingested = 0usize;
+    for batch in trace.events.chunks(chunk) {
+        durable.ingest(batch).expect("durable ingest");
+        ingested += batch.len();
+        durable.snapshot().expect("checkpoint snapshot");
+        let live = live_history_records(durable.engine());
+        live_peak = live_peak.max(live);
+        samples.push(RetentionSample {
+            ingested,
+            live_records: live,
+            snapshot_bytes: newest_snapshot_bytes(dir.path()),
+        });
+    }
+    if let Some(e) = durable.take_retention_error() {
+        eprintln!("retention drill FAILED: maintenance run error: {e}");
+        std::process::exit(1);
+    }
+    let watermark = durable.retention_watermark().get();
+    let live_final = samples.last().map(|s| s.live_records).unwrap_or(0);
+    let snapshot_bytes_final = samples.last().map(|s| s.snapshot_bytes).unwrap_or(0);
+    let state_bytes_final = serde_json::to_string(&durable.engine().export_images())
+        .expect("images serialize")
+        .len() as u64;
+    let archive_bytes: u64 = std::fs::read_dir(dir.path())
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".arch"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+
+    // Bounded: at steady state the live tier holds a horizon's worth of
+    // history, not the whole trace. (The horizon is a fraction of the
+    // trace span, so half the total is a generous ceiling.)
+    let live_bounded = watermark > 0
+        && live_final * 2 <= total_records
+        && state_bytes_final * 2 <= state_bytes_unpruned;
+
+    // Query equivalence across the horizon boundary, vs the unpruned run.
+    let all = ltam_time::Interval::ALL;
+    let mut queries_match = true;
+    let mut mismatch = String::new();
+    let expected_violations = violation_multiset(reference.violations().to_vec());
+    let got_violations =
+        violation_multiset(durable.violations_in(all).expect("tier-aware violations"));
+    if got_violations != expected_violations {
+        queries_match = false;
+        mismatch = format!(
+            "violation multiset diverged ({} vs {})",
+            got_violations.len(),
+            expected_violations.len()
+        );
+    }
+    let sample_subjects: Vec<ltam_core::subject::SubjectId> = (0..subjects.min(16))
+        .map(|i| ltam_core::subject::SubjectId(i as u32))
+        .collect();
+    let sample_times: Vec<ltam_time::Time> =
+        (0..=8).map(|i| ltam_time::Time(span * i / 8)).collect();
+    for &s in &sample_subjects {
+        for &t in &sample_times {
+            let got = durable.whereabouts(s, t).expect("tier-aware whereabouts");
+            let want = reference.movements().whereabouts(s, t);
+            if got != want {
+                queries_match = false;
+                mismatch = format!("whereabouts({s}, {t}): {got:?} != {want:?}");
+            }
+        }
+        let got = contact_multiset(durable.contacts(s, all).expect("tier-aware contacts"));
+        let want = contact_multiset(reference.movements().contacts(s, all));
+        if got != want {
+            queries_match = false;
+            mismatch = format!("contacts({s}): {} rows != {} rows", got.len(), want.len());
+        }
+    }
+
+    if json {
+        let report = RetentionReport {
+            experiment: "retention",
+            events: n_events,
+            subjects,
+            shards,
+            horizon_chronons: horizon,
+            trace_span_chronons: span,
+            watermark,
+            total_records,
+            live_final_records: live_final,
+            live_peak_records: live_peak,
+            snapshot_bytes_final,
+            state_bytes_final,
+            state_bytes_unpruned,
+            archive_bytes,
+            live_bounded,
+            queries_match,
+            samples,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        banner("Extension: history retention — bounded live state + archive tier");
+        println!(
+            "{n_events} events over {span} chronons, {subjects} subjects, {shards} shards, horizon {horizon} chronons"
+        );
+        println!(
+            "{:>10} {:>14} {:>16}",
+            "ingested", "live records", "snapshot bytes"
+        );
+        for s in &samples {
+            println!(
+                "{:>10} {:>14} {:>16}",
+                s.ingested, s.live_records, s.snapshot_bytes
+            );
+        }
+        println!(
+            "watermark: t={watermark}; live {live_final}/{total_records} records at end (peak {live_peak}); archive {archive_bytes} bytes"
+        );
+        println!(
+            "shard-state image: {state_bytes_final} bytes pruned vs {state_bytes_unpruned} bytes \
+             unpruned (full snapshot file: {snapshot_bytes_final} bytes incl. the invariant policy)"
+        );
+        println!(
+            "live state bounded: {}; whole-trace queries vs unpruned run: {}",
+            if live_bounded { "YES" } else { "NO" },
+            if queries_match { "MATCH" } else { "MISMATCH" }
+        );
+    }
+    let mut failed = false;
+    if !live_bounded {
+        eprintln!("retention drill FAILED: live state/snapshot not bounded (watermark {watermark}, live {live_final}/{total_records}, state bytes {state_bytes_final}/{state_bytes_unpruned})");
+        failed = true;
+    }
+    if !queries_match {
+        eprintln!(
+            "retention drill FAILED: tier-merged answers diverge from the unpruned run: {mismatch}"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

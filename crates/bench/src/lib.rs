@@ -6,6 +6,8 @@
 //! cover the §6 complexity claim and the ablations called out in
 //! `DESIGN.md`.
 
+#![warn(missing_docs)]
+
 use ltam_core::db::AuthId;
 use ltam_core::inaccessible::AuthsByLocation;
 use ltam_core::model::{Authorization, EntryLimit};
@@ -110,6 +112,47 @@ pub fn violation_sort_key(v: &Violation) -> (u8, u64, u32, u32, u64) {
 pub fn violation_multiset(mut vs: Vec<Violation>) -> Vec<Violation> {
     vs.sort_by_key(violation_sort_key);
     vs
+}
+
+/// Total live history records — movement events + audit records +
+/// violations, summed across shards. This is exactly the quantity a
+/// retention policy bounds: enforcement state (ledger, pending grants,
+/// active stays) is population-bounded and excluded. Shared by
+/// `repro retention` and the `retention_equivalence` test.
+pub fn live_history_records(engine: &ltam_engine::batch::ShardedEngine) -> usize {
+    (0..engine.shard_count())
+        .map(|s| {
+            engine.read_shard(s, |st| {
+                st.movements().len() + st.audit().len() + st.violations().len()
+            })
+        })
+        .sum()
+}
+
+/// A total order on contact rows, so tier-merged and unpruned contact
+/// lists compare as sorted vectors (companion of [`violation_sort_key`];
+/// only `(other, start)` is ordered by the query contract, the rest of
+/// the key just makes ties deterministic).
+pub fn contact_sort_key(c: &ltam_engine::movement::Contact) -> (u32, u32, u64, u64) {
+    (
+        c.other.0,
+        c.location.0,
+        c.overlap.start().get(),
+        c.overlap
+            .end()
+            .finite()
+            .map(|t| t.get())
+            .unwrap_or(u64::MAX),
+    )
+}
+
+/// Sort a contact list into canonical multiset order (see
+/// [`contact_sort_key`]).
+pub fn contact_multiset(
+    mut cs: Vec<ltam_engine::movement::Contact>,
+) -> Vec<ltam_engine::movement::Contact> {
+    cs.sort_by_key(contact_sort_key);
+    cs
 }
 
 /// Replay a slice of events into a [`SharedEngine`] — the per-sensor

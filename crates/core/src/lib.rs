@@ -23,6 +23,8 @@
 //!   engine,
 //! * [`conflict`] — conflict detection and resolution (the paper's declared
 //!   future work),
+//! * [`retention`] — history-retention policies bounding how much of the
+//!   past stays in live state (the enforcement layers prune against them),
 //! * [`tam`] — a minimal TAM-style temporal-only baseline (§2).
 //!
 //! Location structure comes from [`ltam_graph`], the time substrate from
@@ -69,6 +71,7 @@ pub mod model;
 pub mod planner;
 pub mod prohibition;
 pub mod recurring;
+pub mod retention;
 pub mod rules;
 pub mod subject;
 pub mod tam;
@@ -90,6 +93,7 @@ pub use model::{AuthError, Authorization, EntryLimit, LocationAuthorization};
 pub use planner::{earliest_visit, earliest_visit_all, Itinerary, ItineraryStep};
 pub use prohibition::{restrict_authorizations, Prohibition, ProhibitionDb};
 pub use recurring::{expand_recurring, RecurringAuthorization, RecurringError};
+pub use retention::RetentionPolicy;
 pub use rules::{
     CountExpr, LocationOp, OpTuple, ProfileProvider, Rule, RuleEngine, StaticProfiles, SubjectOp,
 };

@@ -28,6 +28,7 @@
 //! traces.
 
 use crate::engine::{AccessControlEngine, EngineConfig};
+use crate::retention::{HistoryWatermarks, PrunedHistory};
 use crate::shard::{PolicyView, ShardState, ShardStateImage};
 use crate::violation::{Alert, Violation};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -436,7 +437,12 @@ impl ShardedEngine {
         let shards = states.len();
         assert!(shards >= 1, "need at least one shard");
         let (alert_tx, alert_rx) = unbounded();
-        let seeded_seq: u64 = states.iter().map(|s| s.violations().len() as u64).sum();
+        // Pruned violations still count: retention must not let alert
+        // sequence numbers repeat after a restart.
+        let seeded_seq: u64 = states
+            .iter()
+            .map(|s| s.violations().len() as u64 + s.violations_pruned())
+            .sum();
         let states: Vec<Arc<Mutex<ShardState>>> = states
             .into_iter()
             .map(|s| Arc::new(Mutex::new(s)))
@@ -669,6 +675,65 @@ impl ShardedEngine {
         raised
     }
 
+    // --- retention ---------------------------------------------------------
+
+    /// The records a retention run at `horizon` would remove across all
+    /// shards, without mutating anything. A durable deployment archives
+    /// this bundle, then calls [`ShardedEngine::apply_retention`]; see
+    /// `ltam_store::DurableEngine::run_retention` for that sequence.
+    pub fn collect_prunable(
+        &self,
+        policy: &ltam_core::RetentionPolicy,
+        horizon: Time,
+    ) -> PrunedHistory {
+        let mut out = PrunedHistory::default();
+        for shard in &self.shards {
+            out.merge(shard.lock().collect_prunable(policy, horizon));
+        }
+        out
+    }
+
+    /// Drop every record of an enabled class older than `horizon` on
+    /// every shard and advance the watermarks. Enforcement semantics
+    /// are unaffected: ledger counters, pending grants, active stays
+    /// and the movement consistency guards all survive.
+    pub fn apply_retention(&self, policy: &ltam_core::RetentionPolicy, horizon: Time) {
+        for shard in &self.shards {
+            shard.lock().apply_retention(policy, horizon);
+        }
+    }
+
+    /// Run one retention maintenance pass at monitoring time `now`:
+    /// prune each shard (collect + drop under one lock hold) at
+    /// `policy.horizon_at(now)` and return everything removed. The
+    /// caller decides the pruned records' fate — `ltam-store` archives
+    /// them; discarding them makes historical queries past the
+    /// watermark refuse rather than silently under-report.
+    pub fn run_retention(&self, policy: &ltam_core::RetentionPolicy, now: Time) -> PrunedHistory {
+        let horizon = policy.horizon_at(now);
+        let mut out = PrunedHistory::default();
+        for shard in &self.shards {
+            out.merge(shard.lock().prune(policy, horizon));
+        }
+        out
+    }
+
+    /// Engine-level retention watermarks: per class, the maximum over
+    /// all shards (answers below a class's watermark may be incomplete
+    /// in live state).
+    pub fn watermarks(&self) -> HistoryWatermarks {
+        self.shards
+            .iter()
+            .map(|s| s.lock().watermarks())
+            .fold(HistoryWatermarks::default(), HistoryWatermarks::join)
+    }
+
+    /// The movement-history retention watermark (shorthand for
+    /// [`ShardedEngine::watermarks`]`.movements`).
+    pub fn retention_watermark(&self) -> Time {
+        self.watermarks().movements
+    }
+
     // --- read access -------------------------------------------------------
 
     /// Run read-only logic against one shard's state.
@@ -884,6 +949,62 @@ mod tests {
             out.violations[0],
             Violation::UnauthorizedEntry { .. }
         ));
+    }
+
+    #[test]
+    fn retention_across_shards_keeps_alert_seq_monotone() {
+        use ltam_core::RetentionPolicy;
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = PolicyCore::new(ntu.model);
+        let (engine, alerts) = ShardedEngine::new(core, 4);
+        // Two tailgaters on (very likely) different shards.
+        engine.ingest(&[
+            Event::Enter {
+                time: Time(5),
+                subject: SubjectId(0),
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(6),
+                subject: SubjectId(1),
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(7),
+                subject: SubjectId(0),
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(8),
+                subject: SubjectId(1),
+                location: cais,
+            },
+        ]);
+        assert_eq!(engine.violation_count(), 2);
+        let policy = RetentionPolicy::keep_last(10);
+        let pruned = engine.run_retention(&policy, Time(100));
+        assert_eq!(pruned.violations.len(), 2);
+        assert_eq!(pruned.stays.len(), 2);
+        assert_eq!(engine.violation_count(), 0);
+        assert_eq!(engine.retention_watermark(), Time(90));
+        assert_eq!(engine.watermarks().violations, Time(90));
+        // Restart from images: the alert sequence resumes past the two
+        // pruned violations, so the next alert's seq is 2, not 0.
+        let images = engine.export_images();
+        let states = images.into_iter().map(ShardState::from_image).collect();
+        let (restarted, alerts2) = ShardedEngine::with_states((*engine.policy()).clone(), states);
+        drop(alerts);
+        restarted.ingest(&[Event::Enter {
+            time: Time(200),
+            subject: SubjectId(2),
+            location: cais,
+        }]);
+        assert_eq!(alerts2.try_recv().unwrap().seq, 2);
+        // collect_prunable alone must not mutate.
+        let again = restarted.collect_prunable(&policy, Time(201));
+        assert_eq!(again.violations.len(), 1);
+        assert_eq!(restarted.violation_count(), 1);
     }
 
     #[test]

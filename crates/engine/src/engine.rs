@@ -162,9 +162,17 @@ impl AccessControlEngine {
         self.state.ledger()
     }
 
-    /// Violations detected so far, in detection order.
+    /// Violations detected so far, in detection order. Complete from
+    /// [`AccessControlEngine::watermarks`]`.violations` onward; earlier
+    /// ones may have been pruned by retention (still counted by
+    /// [`AccessControlEngine::violations_pruned`]).
     pub fn violations(&self) -> &[Violation] {
         self.state.violations()
+    }
+
+    /// Violations dropped by retention (live list + this = total ever).
+    pub fn violations_pruned(&self) -> u64 {
+        self.state.violations_pruned()
     }
 
     /// The audited request decisions.
@@ -238,6 +246,7 @@ impl AccessControlEngine {
         profiles: UserProfileDb,
         movements: MovementsDb,
         violations: Vec<Violation>,
+        violations_pruned: u64,
         active: Vec<(SubjectId, LocationId, AuthId)>,
     ) {
         self.db = AuthorizationDb::import_rows(rows);
@@ -247,7 +256,10 @@ impl AccessControlEngine {
         self.state.ledger = ledger;
         self.profiles = profiles;
         self.state.movements = movements;
-        self.alert_seq = violations.len() as u64;
+        // Pruned violations keep counting toward the alert sequence so
+        // restored alerts never repeat a sequence number.
+        self.alert_seq = violations.len() as u64 + violations_pruned;
+        self.state.violations_pruned = violations_pruned;
         self.state.violations = violations;
         self.state.active_auth = active.into_iter().map(|(s, l, a)| (s, (l, a))).collect();
         self.state.pending.clear();
@@ -288,6 +300,28 @@ impl AccessControlEngine {
             self.state.invalidate_auth(id);
         }
         report
+    }
+
+    // --- retention ----------------------------------------------------------
+
+    /// Run one retention maintenance pass at monitoring time `now`:
+    /// prune history of every enabled record class older than
+    /// `policy.horizon_at(now)` and return the removed records. The
+    /// caller decides their fate (archive or discard); after a discard,
+    /// historical queries below the watermark refuse — see
+    /// [`crate::query`] — rather than silently under-report.
+    pub fn run_retention(
+        &mut self,
+        policy: &ltam_core::RetentionPolicy,
+        now: Time,
+    ) -> crate::retention::PrunedHistory {
+        self.state.prune(policy, policy.horizon_at(now))
+    }
+
+    /// From which chronon each record class is complete in live state
+    /// (`Time::ZERO` everywhere if retention never ran).
+    pub fn watermarks(&self) -> crate::retention::HistoryWatermarks {
+        self.state.watermarks()
     }
 
     // --- enforcement ---------------------------------------------------------
@@ -374,6 +408,7 @@ impl AccessControlEngine {
 
     /// A read-only view for the query engine.
     pub fn query_context(&self) -> crate::query::QueryContext<'_> {
+        let watermarks = self.state.watermarks();
         crate::query::QueryContext {
             model: &self.model,
             graph: &self.graph,
@@ -383,6 +418,8 @@ impl AccessControlEngine {
             movements: self.state.movements(),
             violations: self.state.violations(),
             profiles: &self.profiles,
+            history_from: watermarks.movements,
+            violations_from: watermarks.violations,
         }
     }
 

@@ -19,6 +19,10 @@
 //! * [`query`] — the **query engine** with a small query language
 //!   (`ACCESSIBLE FOR`, `CAN … ENTER … AT`, `WHO IN`, `CONTACTS OF`,
 //!   `VIOLATIONS …`) over all databases,
+//! * [`retention`] — the engine half of history retention: the record
+//!   bundle a prune produces and the per-class watermarks a pruned
+//!   engine exposes (policies live in [`ltam_core::retention`]; the
+//!   archive tier lives in `ltam-store`),
 //! * [`shared`] — a `parking_lot`-guarded, cloneable engine handle with a
 //!   `crossbeam` alert channel for concurrent deployments.
 
@@ -31,6 +35,7 @@ pub mod movement;
 pub mod profile;
 pub mod query;
 pub mod report;
+pub mod retention;
 pub mod shard;
 pub mod shared;
 pub mod snapshot;
@@ -43,6 +48,7 @@ pub use movement::{Contact, MovementEvent, MovementKind, MovementsDb, Stay};
 pub use profile::{Profile, UserProfileDb};
 pub use query::{Query, QueryContext, QueryResult};
 pub use report::{security_report, SecurityReport};
+pub use retention::{HistoryWatermarks, PrunedHistory};
 pub use shard::{PendingImage, PolicyView, ShardState, ShardStateImage};
 pub use shared::SharedEngine;
 pub use snapshot::EngineSnapshot;

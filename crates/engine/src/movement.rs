@@ -127,12 +127,32 @@ impl fmt::Display for MovementError {
 impl std::error::Error for MovementError {}
 
 /// The movements store.
+///
+/// ## Retention
+///
+/// History is append-only and unbounded by default. A deployment may
+/// bound it by pruning closed stays (and their log events) older than a
+/// horizon via [`MovementsDb::apply_prune`]; the **retention watermark**
+/// ([`MovementsDb::watermark`]) then records the chronon before which
+/// live history may be incomplete. Every query on this type is complete
+/// for times at or after the watermark: a stay is pruned only when its
+/// *exit* precedes the horizon, so any stay that could contain a
+/// post-watermark chronon is retained. Callers asking about earlier
+/// times must consult the archive tier (see `ltam-store`) or treat the
+/// answer as unknown — never as "was nowhere".
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MovementsDb {
     log: Vec<MovementEvent>,
     timelines: BTreeMap<SubjectId, Vec<Stay>>,
     occupancy: BTreeMap<LocationId, BTreeSet<SubjectId>>,
     latest: BTreeMap<SubjectId, Time>,
+    /// Retention watermark; `None` means never pruned (complete from
+    /// the epoch). Optional so images from before retention existed
+    /// still deserialize.
+    watermark: Option<Time>,
+    /// Events dropped by pruning (log length plus this is the total
+    /// ever recorded). Optional for the same compatibility reason.
+    pruned_events: Option<u64>,
 }
 
 impl MovementsDb {
@@ -317,6 +337,133 @@ impl MovementsDb {
             })
             .collect()
     }
+
+    // --- retention ----------------------------------------------------------
+
+    /// The retention watermark: live history is complete from this
+    /// chronon onward; earlier history may have been pruned. `Time::ZERO`
+    /// for a never-pruned store.
+    pub fn watermark(&self) -> Time {
+        self.watermark.unwrap_or(Time::ZERO)
+    }
+
+    /// True if queries at `t` are answerable completely from live state.
+    pub fn covers(&self, t: Time) -> bool {
+        t >= self.watermark()
+    }
+
+    /// Events dropped by pruning since the store was created.
+    pub fn pruned_events(&self) -> u64 {
+        self.pruned_events.unwrap_or(0)
+    }
+
+    /// Events ever recorded: the live log plus everything pruned.
+    pub fn total_recorded(&self) -> u64 {
+        self.log.len() as u64 + self.pruned_events()
+    }
+
+    /// The number of leading stays of `timeline` that are prunable at
+    /// `horizon`: stays are chronological and exits nondecreasing, so
+    /// the prunable set ("closed with `exit < horizon`") is always a
+    /// prefix — an open stay, or one a query at `horizon` could still
+    /// see, is never prunable.
+    fn prunable_prefix(timeline: &[Stay], horizon: Time) -> usize {
+        timeline.partition_point(|s| matches!(s.exit, Some(e) if e < horizon))
+    }
+
+    /// The history that [`MovementsDb::apply_prune`] at `horizon` would
+    /// drop, without mutating anything: the pruned stays (with their
+    /// subjects) and the log events backing them, both in stored order.
+    /// A durable deployment archives these *before* pruning.
+    pub fn collect_prunable(&self, horizon: Time) -> (Vec<MovementEvent>, Vec<(SubjectId, Stay)>) {
+        let mut stays = Vec::new();
+        // Each pruned stay is closed, i.e. exactly one Enter and one
+        // Exit event — and they are the *first* log events of that
+        // subject, because per-subject events are chronological.
+        let mut remaining: BTreeMap<SubjectId, usize> = BTreeMap::new();
+        for (&subject, timeline) in &self.timelines {
+            let k = Self::prunable_prefix(timeline, horizon);
+            if k > 0 {
+                stays.extend(timeline[..k].iter().map(|&s| (subject, s)));
+                remaining.insert(subject, 2 * k);
+            }
+        }
+        let mut events = Vec::new();
+        for e in &self.log {
+            if let Some(r) = remaining.get_mut(&e.subject) {
+                if *r > 0 {
+                    events.push(*e);
+                    *r -= 1;
+                }
+            }
+        }
+        (events, stays)
+    }
+
+    /// Drop all history prunable at `horizon` (see
+    /// [`MovementsDb::collect_prunable`]) and advance the watermark to
+    /// at least `horizon`. Returns the number of log events dropped.
+    ///
+    /// Enforcement state is untouched: open stays, current occupancy
+    /// and the per-subject latest-time map (which guards against time
+    /// regression) all survive, so pruning is invisible to
+    /// `record_enter`/`record_exit`.
+    pub fn apply_prune(&mut self, horizon: Time) -> u64 {
+        let mut remaining: BTreeMap<SubjectId, usize> = BTreeMap::new();
+        for (&subject, timeline) in &mut self.timelines {
+            let k = Self::prunable_prefix(timeline, horizon);
+            if k > 0 {
+                timeline.drain(..k);
+                remaining.insert(subject, 2 * k);
+            }
+        }
+        self.timelines.retain(|_, t| !t.is_empty());
+        let before = self.log.len();
+        let mut kept = Vec::with_capacity(before);
+        for e in self.log.drain(..) {
+            match remaining.get_mut(&e.subject) {
+                Some(r) if *r > 0 => *r -= 1,
+                _ => kept.push(e),
+            }
+        }
+        self.log = kept;
+        let dropped = (before - self.log.len()) as u64;
+        self.pruned_events = Some(self.pruned_events() + dropped);
+        self.watermark = Some(self.watermark().max(horizon));
+        dropped
+    }
+
+    // --- persistence / redistribution support -------------------------------
+
+    /// The per-subject latest recorded times (the time-regression
+    /// guard). Exposed so shard redistribution can preserve the guard
+    /// for subjects whose events were all pruned.
+    pub fn latest_times(&self) -> impl Iterator<Item = (SubjectId, Time)> + '_ {
+        self.latest.iter().map(|(&s, &t)| (s, t))
+    }
+
+    /// Raise `subject`'s latest-time guard to at least `t`
+    /// (redistribution import; never lowers it).
+    pub fn observe_latest(&mut self, subject: SubjectId, t: Time) {
+        let entry = self.latest.entry(subject).or_insert(t);
+        *entry = (*entry).max(t);
+    }
+
+    /// Raise the retention watermark to at least `w` without pruning
+    /// (redistribution import: the target store starts from an
+    /// already-pruned log).
+    pub fn set_watermark(&mut self, w: Time) {
+        if w > self.watermark() {
+            self.watermark = Some(w);
+        }
+    }
+
+    /// Add `n` to the pruned-events counter (redistribution import).
+    pub fn add_pruned_events(&mut self, n: u64) {
+        if n > 0 {
+            self.pruned_events = Some(self.pruned_events() + n);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -455,5 +602,150 @@ mod tests {
         let back: MovementsDb = serde_json::from_str(&json).unwrap();
         assert_eq!(back.current_location(ALICE), Some(CAIS));
         assert_eq!(back.len(), 1);
+    }
+
+    /// Alice: two closed stays + one open; Bob: one closed stay.
+    fn pruneable_db() -> MovementsDb {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.record_enter(Time(15), BOB, GO).unwrap();
+        db.record_exit(Time(25), BOB, GO).unwrap();
+        db.record_enter(Time(30), ALICE, GO).unwrap();
+        db.record_exit(Time(40), ALICE, GO).unwrap();
+        db.record_enter(Time(50), ALICE, CAIS).unwrap();
+        db
+    }
+
+    #[test]
+    fn prune_drops_only_closed_stays_before_the_horizon() {
+        let mut db = pruneable_db();
+        let (events, stays) = db.collect_prunable(Time(30));
+        assert_eq!(stays.len(), 2, "{stays:?}"); // Alice [10,20] + Bob [15,25]
+        assert_eq!(events.len(), 4);
+        let dropped = db.apply_prune(Time(30));
+        assert_eq!(dropped, 4);
+        assert_eq!(db.watermark(), Time(30));
+        assert_eq!(db.pruned_events(), 4);
+        assert_eq!(db.len(), 3); // Alice's [30,40] + open [50, ..]
+        assert_eq!(db.total_recorded(), 7);
+        // Post-watermark queries stay complete.
+        assert_eq!(db.whereabouts(ALICE, Time(35)), Some(GO));
+        assert_eq!(db.whereabouts(ALICE, Time(55)), Some(CAIS));
+        assert_eq!(db.current_location(ALICE), Some(CAIS));
+        // Bob's whole timeline is gone; the subject key is dropped too.
+        assert!(db.timeline(BOB).is_empty());
+        assert!(!db.covers(Time(29)));
+        assert!(db.covers(Time(30)));
+    }
+
+    #[test]
+    fn prune_retains_a_stay_straddling_the_horizon() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(40), ALICE, CAIS).unwrap();
+        // Horizon falls inside the stay: exit (40) is not before 30, so
+        // the stay survives and whereabouts below the watermark that hit
+        // it still answer from live state.
+        assert_eq!(db.apply_prune(Time(30)), 0);
+        assert_eq!(db.whereabouts(ALICE, Time(20)), Some(CAIS));
+    }
+
+    #[test]
+    fn prune_handles_same_chronon_reentry() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.record_enter(Time(20), ALICE, GO).unwrap();
+        // Horizon 21: the first stay (exit 20 < 21) goes; the reentry at
+        // the same chronon stays — event-count bookkeeping, not time
+        // filtering, separates the Exit@20 from the Enter@20.
+        assert_eq!(db.apply_prune(Time(21)), 2);
+        assert_eq!(db.timeline(ALICE).len(), 1);
+        assert_eq!(db.log()[0].kind, MovementKind::Enter);
+        assert_eq!(db.log()[0].time, Time(20));
+        assert_eq!(db.current_location(ALICE), Some(GO));
+    }
+
+    #[test]
+    fn prune_preserves_the_time_regression_guard() {
+        let mut db = MovementsDb::new();
+        db.record_enter(Time(10), ALICE, CAIS).unwrap();
+        db.record_exit(Time(20), ALICE, CAIS).unwrap();
+        db.apply_prune(Time(100));
+        assert!(db.timeline(ALICE).is_empty());
+        // Alice's history is gone but her clock is not: a regressed
+        // event is still rejected, exactly as without pruning.
+        assert_eq!(
+            db.record_enter(Time(5), ALICE, CAIS).unwrap_err(),
+            MovementError::TimeRegression {
+                latest: Time(20),
+                event: Time(5)
+            }
+        );
+        db.record_enter(Time(30), ALICE, CAIS).unwrap();
+    }
+
+    #[test]
+    fn prune_is_idempotent_and_watermark_monotone() {
+        let mut db = pruneable_db();
+        db.apply_prune(Time(30));
+        let snapshot = db.clone();
+        assert_eq!(db.apply_prune(Time(30)), 0);
+        assert_eq!(db, snapshot);
+        // A lower horizon never lowers the watermark.
+        db.apply_prune(Time(5));
+        assert_eq!(db.watermark(), Time(30));
+    }
+
+    #[test]
+    fn collect_prunable_matches_apply_prune() {
+        let db = pruneable_db();
+        let (events, stays) = db.collect_prunable(Time(30));
+        let mut pruned = db.clone();
+        pruned.apply_prune(Time(30));
+        // Retained log + pruned events = the original log (order within
+        // each side preserved).
+        assert_eq!(events.len() + pruned.len(), db.len());
+        for e in &events {
+            assert!(db.log().contains(e));
+            assert!(!pruned.log().contains(e));
+        }
+        for (s, stay) in &stays {
+            assert!(!pruned.timeline(*s).contains(stay));
+        }
+    }
+
+    #[test]
+    fn pruned_db_serde_round_trips_watermark() {
+        let mut db = pruneable_db();
+        db.apply_prune(Time(30));
+        let json = serde_json::to_string(&db).unwrap();
+        let back: MovementsDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.watermark(), Time(30));
+        assert_eq!(back.pruned_events(), 4);
+    }
+
+    #[test]
+    fn latest_times_and_observe_latest_support_redistribution() {
+        let mut db = pruneable_db();
+        db.apply_prune(Time(100));
+        let latest: std::collections::BTreeMap<_, _> = db.latest_times().collect();
+        assert_eq!(latest[&BOB], Time(25));
+        let mut fresh = MovementsDb::new();
+        for (s, t) in db.latest_times() {
+            fresh.observe_latest(s, t);
+        }
+        fresh.observe_latest(BOB, Time(1)); // never lowers
+        assert!(matches!(
+            fresh.record_enter(Time(24), BOB, GO),
+            Err(MovementError::TimeRegression { .. })
+        ));
+        fresh.set_watermark(Time(100));
+        fresh.set_watermark(Time(50)); // never lowers
+        assert_eq!(fresh.watermark(), Time(100));
+        fresh.add_pruned_events(4);
+        assert_eq!(fresh.total_recorded(), 4);
     }
 }

@@ -25,11 +25,13 @@
 
 use crate::engine::{AuditRecord, EngineConfig};
 use crate::movement::MovementsDb;
+use crate::retention::{HistoryWatermarks, PrunedHistory};
 use crate::violation::Violation;
 use ltam_core::db::{AuthId, AuthorizationDb};
 use ltam_core::decision::{AccessRequest, Decision, DecisionContext};
 use ltam_core::ledger::UsageLedger;
 use ltam_core::prohibition::ProhibitionDb;
+use ltam_core::retention::RetentionPolicy;
 use ltam_core::subject::SubjectId;
 use ltam_graph::LocationId;
 use ltam_time::{Bound, Time};
@@ -86,6 +88,15 @@ pub struct ShardState {
     pub(crate) overstay_alerted: HashSet<SubjectId>,
     pub(crate) violations: Vec<Violation>,
     pub(crate) audit: Vec<AuditRecord>,
+    /// Audit records are complete from this chronon (earlier ones pruned).
+    pub(crate) audit_from: Time,
+    /// Audit records dropped by retention.
+    pub(crate) audit_pruned: u64,
+    /// Violations are complete from this chronon (earlier ones pruned).
+    pub(crate) violations_from: Time,
+    /// Violations dropped by retention — still counted toward the alert
+    /// sequence, so restart alerts stay monotone after pruning.
+    pub(crate) violations_pruned: u64,
 }
 
 impl ShardState {
@@ -122,6 +133,87 @@ impl ShardState {
             .iter()
             .map(|(&s, &(l, a))| (s, l, a))
             .collect()
+    }
+
+    /// From which chronon each record class is complete on this shard.
+    pub fn watermarks(&self) -> HistoryWatermarks {
+        HistoryWatermarks {
+            movements: self.movements.watermark(),
+            audit: self.audit_from,
+            violations: self.violations_from,
+        }
+    }
+
+    /// Violations dropped by retention (the live list plus this is the
+    /// total ever detected; the alert sequence counts both).
+    pub fn violations_pruned(&self) -> u64 {
+        self.violations_pruned
+    }
+
+    /// Audit records dropped by retention.
+    pub fn audit_pruned(&self) -> u64 {
+        self.audit_pruned
+    }
+
+    // --- retention ----------------------------------------------------------
+
+    /// The records a retention run at `horizon` would remove, without
+    /// mutating anything (a durable deployment archives these first).
+    pub fn collect_prunable(&self, policy: &RetentionPolicy, horizon: Time) -> PrunedHistory {
+        let mut out = PrunedHistory::default();
+        if policy.movements {
+            let (events, stays) = self.movements.collect_prunable(horizon);
+            out.events = events;
+            out.stays = stays;
+        }
+        if policy.audit {
+            out.audit = self
+                .audit
+                .iter()
+                .filter(|r| r.request.time < horizon)
+                .copied()
+                .collect();
+        }
+        if policy.violations {
+            out.violations = self
+                .violations
+                .iter()
+                .filter(|v| v.time() < horizon)
+                .copied()
+                .collect();
+        }
+        out
+    }
+
+    /// Drop every record of an enabled class older than `horizon` and
+    /// advance that class's watermark. Enforcement state — ledger,
+    /// pending grants, active stays, overstay flags, the movement
+    /// time-regression guard — is untouched, so pruning never changes
+    /// which violations future events raise.
+    pub fn apply_retention(&mut self, policy: &RetentionPolicy, horizon: Time) {
+        if policy.movements {
+            self.movements.apply_prune(horizon);
+        }
+        if policy.audit {
+            let before = self.audit.len();
+            self.audit.retain(|r| r.request.time >= horizon);
+            self.audit_pruned += (before - self.audit.len()) as u64;
+            self.audit_from = self.audit_from.max(horizon);
+        }
+        if policy.violations {
+            let before = self.violations.len();
+            self.violations.retain(|v| v.time() >= horizon);
+            self.violations_pruned += (before - self.violations.len()) as u64;
+            self.violations_from = self.violations_from.max(horizon);
+        }
+    }
+
+    /// Collect-then-drop in one call (the volatile path; the caller
+    /// decides whether the returned records are archived or discarded).
+    pub fn prune(&mut self, policy: &RetentionPolicy, horizon: Time) -> PrunedHistory {
+        let pruned = self.collect_prunable(policy, horizon);
+        self.apply_retention(policy, horizon);
+        pruned
     }
 
     // --- enforcement ------------------------------------------------------
@@ -338,6 +430,10 @@ impl ShardState {
             overstay_alerted,
             violations: self.violations.clone(),
             audit: self.audit.clone(),
+            audit_from: Some(self.audit_from),
+            audit_pruned: Some(self.audit_pruned),
+            violations_from: Some(self.violations_from),
+            violations_pruned: Some(self.violations_pruned),
         }
     }
 
@@ -369,6 +465,10 @@ impl ShardState {
             overstay_alerted: image.overstay_alerted.into_iter().collect(),
             violations: image.violations,
             audit: image.audit,
+            audit_from: image.audit_from.unwrap_or(Time::ZERO),
+            audit_pruned: image.audit_pruned.unwrap_or(0),
+            violations_from: image.violations_from.unwrap_or(Time::ZERO),
+            violations_pruned: image.violations_pruned.unwrap_or(0),
         }
     }
 }
@@ -411,6 +511,16 @@ pub struct ShardStateImage {
     pub violations: Vec<Violation>,
     /// Audited request decisions, in decision order.
     pub audit: Vec<AuditRecord>,
+    /// Audit retention watermark (`None` in pre-retention images:
+    /// complete from the epoch).
+    pub audit_from: Option<Time>,
+    /// Audit records dropped by retention (`None` = 0).
+    pub audit_pruned: Option<u64>,
+    /// Violation retention watermark (`None` = complete from the epoch).
+    pub violations_from: Option<Time>,
+    /// Violations dropped by retention (`None` = 0); carried so the
+    /// alert sequence resumes past pruned violations after recovery.
+    pub violations_pruned: Option<u64>,
 }
 
 #[cfg(test)]
@@ -528,6 +638,68 @@ mod tests {
         let json = serde_json::to_string(&image).unwrap();
         let back: ShardStateImage = serde_json::from_str(&json).unwrap();
         assert_eq!(back, image);
+    }
+
+    #[test]
+    fn retention_prunes_history_but_not_enforcement_state() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        // A full early cycle (audit + movements + ledger) and a tailgate
+        // violation, then a later open stay.
+        assert!(s.request_enter(&policy, Time(10), ALICE, CAIS).is_granted());
+        assert_eq!(s.observe_enter(&policy, Time(11), ALICE, CAIS), None);
+        assert_eq!(s.observe_exit(&policy, Time(25), ALICE, CAIS), None);
+        s.observe_enter(&policy, Time(12), SubjectId(7), CAIS); // tailgate
+        s.observe_exit(&policy, Time(13), SubjectId(7), CAIS);
+        let retention = ltam_core::RetentionPolicy::keep_last(10);
+        let pruned = s.prune(&retention, Time(30));
+        assert_eq!(pruned.stays.len(), 2, "{pruned:?}");
+        assert_eq!(pruned.audit.len(), 1);
+        assert_eq!(pruned.violations.len(), 1);
+        assert!(s.violations().is_empty());
+        assert!(s.audit().is_empty());
+        assert_eq!(s.violations_pruned(), 1);
+        assert_eq!(s.audit_pruned(), 1);
+        let w = s.watermarks();
+        assert_eq!(w.movements, Time(30));
+        assert_eq!(w.audit, Time(30));
+        assert_eq!(w.violations, Time(30));
+        // The ledger survived: Alice's single entry stays spent.
+        assert_eq!(s.ledger().used(AuthId(0)), 1);
+        assert!(!s.request_enter(&policy, Time(31), ALICE, CAIS).is_granted());
+        // Images round-trip the watermarks and counters.
+        let restored = ShardState::from_image(s.image());
+        assert_eq!(restored.watermarks(), w);
+        assert_eq!(restored.violations_pruned(), 1);
+        assert_eq!(restored.image(), s.image());
+    }
+
+    #[test]
+    fn per_class_knobs_prune_independently() {
+        let (db, prohibitions) = policy_db();
+        let policy = PolicyView {
+            db: &db,
+            prohibitions: &prohibitions,
+            config: EngineConfig::default(),
+        };
+        let mut s = ShardState::new();
+        s.observe_enter(&policy, Time(5), SubjectId(7), CAIS); // tailgate
+        s.observe_exit(&policy, Time(6), SubjectId(7), CAIS);
+        let retention = ltam_core::RetentionPolicy {
+            violations: false,
+            ..ltam_core::RetentionPolicy::keep_last(1)
+        };
+        let pruned = s.prune(&retention, Time(50));
+        assert!(pruned.violations.is_empty());
+        assert_eq!(s.violations().len(), 1, "violations class disabled");
+        assert_eq!(s.watermarks().violations, Time::ZERO);
+        assert_eq!(s.watermarks().movements, Time(50));
+        assert_eq!(pruned.stays.len(), 1);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct EngineSnapshot {
     pub movements: MovementsDb,
     /// Violations detected so far.
     pub violations: Vec<Violation>,
+    /// Violations dropped by retention before this snapshot (`None` for
+    /// pre-retention snapshots = 0). Restored so the alert sequence
+    /// resumes past pruned violations.
+    pub violations_pruned: Option<u64>,
     /// Authorizations governing open stays (for overstay monitoring).
     pub active: Vec<(SubjectId, LocationId, AuthId)>,
 }
@@ -65,6 +69,7 @@ impl AccessControlEngine {
             profiles: self.profiles().clone(),
             movements: self.movements().clone(),
             violations: self.violations().to_vec(),
+            violations_pruned: Some(self.violations_pruned()),
             active: self.active_stays(),
         }
     }
@@ -83,6 +88,7 @@ impl AccessControlEngine {
             snapshot.profiles,
             snapshot.movements,
             snapshot.violations,
+            snapshot.violations_pruned.unwrap_or(0),
             snapshot.active,
         );
         engine

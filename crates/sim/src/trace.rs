@@ -110,6 +110,17 @@ impl TraceWorld {
         core
     }
 
+    /// The largest timestamp in the trace — the monitoring-clock value
+    /// a retention horizon is naturally anchored to (`Time::ZERO` for
+    /// an empty trace).
+    pub fn max_time(&self) -> Time {
+        self.events
+            .iter()
+            .map(Event::time)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
     /// Persist this trace's event stream as an `ltam-store` WAL fixture
     /// under `dir` — the on-disk input for durability tests, corruption
     /// drills, and recovery benchmarks. Returns the number of records
@@ -352,6 +363,18 @@ mod tests {
         assert_eq!(read_events_wal(dir.path()).unwrap(), trace.events);
         // A fixture refuses to overwrite itself.
         assert!(trace.write_events_wal(dir.path(), 16 * 1024).is_err());
+    }
+
+    #[test]
+    fn max_time_tracks_the_latest_event() {
+        let trace = multi_shard_trace(&TraceConfig {
+            subjects: 8,
+            events: 500,
+            ..TraceConfig::default()
+        });
+        let expected = trace.events.iter().map(|e| e.time()).max().unwrap();
+        assert_eq!(trace.max_time(), expected);
+        assert!(trace.max_time() > Time(0));
     }
 
     #[test]

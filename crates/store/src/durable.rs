@@ -29,16 +29,23 @@
 //!   policy-epoch marker; recovery refuses a snapshot fallback that
 //!   would silently revert an acknowledged edit.
 
+use crate::archive::{ArchiveData, ArchiveStore};
 use crate::crc::crc32;
+use crate::history::{self, HistoryError};
 use crate::snapshot::{SnapshotStore, StoreSnapshot};
 use crate::wal::{Wal, WalConfig, WalRecovery};
 use ltam_core::db::AuthId;
 use ltam_core::model::Authorization;
+use ltam_core::retention::RetentionPolicy;
+use ltam_core::subject::SubjectId;
 use ltam_core::AuthorizationDb;
 use ltam_engine::batch::{shard_of, BatchOutcome, Event, PolicyCore, ShardedEngine};
-use ltam_engine::movement::MovementKind;
+use ltam_engine::movement::{Contact, MovementKind};
 use ltam_engine::shard::{ShardState, ShardStateImage};
 use ltam_engine::violation::Alert;
+use ltam_engine::Violation;
+use ltam_graph::LocationId;
+use ltam_time::{Interval, Time};
 use std::io;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -54,6 +61,12 @@ pub struct StoreConfig {
     pub snapshot_every: u64,
     /// `fsync` WAL batches and snapshots (disable only for benchmarks).
     pub fsync: bool,
+    /// History retention: `None` keeps all history live forever (the
+    /// pre-retention behavior); `Some(policy)` bounds live state by
+    /// pruning history past the policy's horizon on ingest-driven
+    /// maintenance runs, archiving it first (see
+    /// [`DurableEngine::run_retention`]).
+    pub retention: Option<RetentionPolicy>,
 }
 
 impl Default for StoreConfig {
@@ -62,6 +75,7 @@ impl Default for StoreConfig {
             segment_bytes: 1 << 20,
             snapshot_every: 100_000,
             fsync: true,
+            retention: None,
         }
     }
 }
@@ -89,6 +103,19 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// WAL segments dropped because they followed a corrupt region.
     pub dropped_segments: usize,
+    /// Movement-history retention watermark carried by the recovered
+    /// snapshot (0 = never pruned).
+    pub retention_watermark: u64,
+    /// Archive coverage end at open time (0 = no archive segments).
+    /// Historical queries below `retention_watermark` refuse unless the
+    /// archive reaches the watermark.
+    pub archive_covered_to: u64,
+    /// `Some(message)` if the archive chain could not be scanned at
+    /// open time (gappy or corrupt segments). Enforcement and recovery
+    /// proceed — the archive is a query tier, not the recovery path —
+    /// but below-watermark queries will fail until it is repaired, so
+    /// operators should alert on this (see `docs/OPERATIONS.md` §6.6).
+    pub archive_error: Option<String>,
 }
 
 /// A [`ShardedEngine`] with a durable event log and snapshots underneath.
@@ -100,10 +127,18 @@ pub struct DurableEngine {
     engine: ShardedEngine,
     wal: Wal,
     snapshots: SnapshotStore,
+    archive: ArchiveStore,
+    /// Loaded archive tier, cached across queries; invalidated by
+    /// retention runs (which append a segment).
+    archive_cache: Option<ArchiveData>,
     applied: u64,
     since_snapshot: u64,
     policy_epoch: u64,
+    /// Highest event time seen — the monitoring clock retention
+    /// maintenance runs against.
+    clock: Time,
     snapshot_error: Option<io::Error>,
+    retention_error: Option<io::Error>,
     /// Held for the engine's lifetime; released (file removed) on drop.
     _lock: StoreLock,
 }
@@ -266,10 +301,14 @@ impl DurableEngine {
             engine,
             wal,
             snapshots,
+            archive: ArchiveStore::with_fsync(dir, config.fsync),
+            archive_cache: None,
             applied: 0,
             since_snapshot: 0,
             policy_epoch: 0,
+            clock: Time::ZERO,
             snapshot_error: None,
+            retention_error: None,
             _lock: lock,
         };
         durable.snapshot()?;
@@ -404,16 +443,37 @@ impl DurableEngine {
             .filter(|&&(seq, _)| seq >= snap.seq)
             .map(|&(_, event)| event)
             .collect();
+        let archive = ArchiveStore::with_fsync(dir, config.fsync);
+        // A broken archive chain must not hide behind a healthy-looking
+        // zero: it means below-watermark queries will refuse until the
+        // segments are restored.
+        let (archive_covered_to, archive_error) = match archive.coverage_end() {
+            Ok(covered) => (covered, None),
+            Err(e) => (0, Some(e.to_string())),
+        };
         let mut report = RecoveryReport {
             snapshot_seq: snap.seq,
             replayed: replay.len(),
             replayed_violations: 0,
             truncated_bytes: recovered.truncated_bytes,
             dropped_segments: recovered.dropped_segments,
+            retention_watermark: 0,
+            archive_covered_to,
+            archive_error,
         };
         if !replay.is_empty() {
             report.replayed_violations = engine.ingest(&replay).violations.len();
         }
+        report.retention_watermark = engine.retention_watermark().get();
+        // Re-seed the monitoring clock from the replayed tail so
+        // ingest-driven retention resumes at the right point (a stale
+        // clock only delays the next run, never prunes early).
+        let clock = replay
+            .iter()
+            .map(Event::time)
+            .max()
+            .unwrap_or(Time::ZERO)
+            .max(engine.retention_watermark());
         let applied = wal.next_seq().max(snap.seq);
         Ok((
             DurableEngine {
@@ -422,10 +482,14 @@ impl DurableEngine {
                 engine,
                 wal,
                 snapshots,
+                archive,
+                archive_cache: None,
                 applied,
                 since_snapshot: applied - snap.seq,
                 policy_epoch: snap.policy_epoch,
+                clock,
                 snapshot_error: None,
+                retention_error: None,
                 _lock: lock,
             },
             alerts,
@@ -469,6 +533,24 @@ impl DurableEngine {
         let outcome = self.engine.ingest(events);
         self.applied += events.len() as u64;
         self.since_snapshot += events.len() as u64;
+        if let Some(t) = events.iter().map(Event::time).max() {
+            self.clock = self.clock.max(t);
+        }
+        // Retention maintenance rides the ingest path: once the batch's
+        // clock lets the watermark advance by the policy's minimum, the
+        // prune runs (archive-then-drop). Like the piggybacked snapshot
+        // below, a failure never fails the batch — the batch's
+        // durability rests on the WAL — and is deferred to
+        // [`DurableEngine::take_retention_error`]; live state is only
+        // dropped after its archive segment is durable, so a failed run
+        // leaves history intact and retries at the next cadence point.
+        if let Some(policy) = self.config.retention {
+            if policy.should_run(self.retention_anchor(&policy), self.clock) {
+                if let Err(e) = self.run_retention_with(&policy, self.clock) {
+                    self.retention_error = Some(e);
+                }
+            }
+        }
         if self.config.snapshot_every > 0 && self.since_snapshot >= self.config.snapshot_every {
             if let Err(e) = self.snapshot() {
                 self.snapshot_error = Some(e);
@@ -481,6 +563,12 @@ impl DurableEngine {
     /// (cleared by this call; see [`DurableEngine::ingest`]).
     pub fn take_snapshot_error(&mut self) -> Option<io::Error> {
         self.snapshot_error.take()
+    }
+
+    /// The error of the most recent failed ingest-driven retention run,
+    /// if any (cleared by this call; see [`DurableEngine::ingest`]).
+    pub fn take_retention_error(&mut self) -> Option<io::Error> {
+        self.retention_error.take()
     }
 
     /// Apply a policy edit as one epoch swap and make it durable: the
@@ -540,6 +628,277 @@ impl DurableEngine {
         self.since_snapshot = 0;
         Ok(self.applied)
     }
+
+    // --- retention and the archive tier -------------------------------------
+
+    /// The movement-history retention watermark: live state is complete
+    /// from this chronon on; earlier history lives in the archive tier.
+    pub fn retention_watermark(&self) -> Time {
+        self.engine.retention_watermark()
+    }
+
+    /// Per-class retention watermarks (see
+    /// [`ShardedEngine::watermarks`]).
+    pub fn watermarks(&self) -> ltam_engine::HistoryWatermarks {
+        self.engine.watermarks()
+    }
+
+    /// Run one retention maintenance pass at monitoring time `now`
+    /// using the configured policy ([`StoreConfig::retention`]); an
+    /// unconfigured store returns `InvalidInput`. See
+    /// [`DurableEngine::run_retention_with`].
+    pub fn run_retention(&mut self, now: Time) -> io::Result<RetentionOutcome> {
+        let policy = self.config.retention.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no retention policy configured (StoreConfig::retention is None)",
+            )
+        })?;
+        self.run_retention_with(&policy, now)
+    }
+
+    /// The watermark a maintenance run anchors on: the furthest any
+    /// *enabled* class has been pruned to (the classes advance in
+    /// lockstep while the policy is stable, so this is simply "the last
+    /// applied horizon"). Deliberately **not** the movements watermark
+    /// alone: with `movements: false` that never advances, and
+    /// anchoring on it would make every run rewrite the chain from the
+    /// epoch — discarding previously archived audit/violation records.
+    fn retention_anchor(&self, policy: &RetentionPolicy) -> Time {
+        let w = self.engine.watermarks();
+        let mut anchor = Time::ZERO;
+        if policy.movements {
+            anchor = anchor.max(w.movements);
+        }
+        if policy.audit {
+            anchor = anchor.max(w.audit);
+        }
+        if policy.violations {
+            anchor = anchor.max(w.violations);
+        }
+        anchor
+    }
+
+    /// Run one retention maintenance pass with an explicit policy:
+    ///
+    /// 1. collect every record of an enabled class older than
+    ///    `policy.horizon_at(now)` (live state untouched);
+    /// 2. append them to the archive tier, atomically and durably — a
+    ///    crash-repeated run re-collects from the same watermark and
+    ///    *replaces* its stranded segment (a superset, possibly with
+    ///    records ingested since the stranded write), so records are
+    ///    never lost or duplicated;
+    /// 3. only then drop them from live state and advance the
+    ///    watermarks (which the next snapshot carries).
+    ///
+    /// A crash between 2 and 3 leaves the records both archived and
+    /// live; the tier-aware queries clip the archive side at the live
+    /// watermark so nothing is counted twice, and the next run
+    /// supersedes the stranded segment. If the archive chain already
+    /// extends past the policy horizon (the crash came *after* the
+    /// prune applied elsewhere), the pass re-covers up to the chain
+    /// end so the replacement loses nothing.
+    pub fn run_retention_with(
+        &mut self,
+        policy: &RetentionPolicy,
+        now: Time,
+    ) -> io::Result<RetentionOutcome> {
+        let live_from = self.retention_anchor(policy);
+        if !(policy.movements || policy.audit || policy.violations) {
+            // No class enabled: nothing can ever be pruned. Bail before
+            // the archive directory scan — this runs on the ingest path.
+            return Ok(RetentionOutcome {
+                watermark: live_from,
+                pruned: 0,
+                archived: 0,
+                archive_to: live_from.get(),
+            });
+        }
+        let chain_end = self.archive.coverage_end()?;
+        let horizon = policy.horizon_at(now).max(Time(chain_end));
+        if horizon <= live_from {
+            return Ok(RetentionOutcome {
+                watermark: live_from,
+                pruned: 0,
+                archived: 0,
+                archive_to: chain_end,
+            });
+        }
+        let prunable = self.engine.collect_prunable(policy, horizon);
+        let run = self
+            .archive
+            .append_run(live_from.get(), horizon.get(), &prunable)?;
+        self.engine.apply_retention(policy, horizon);
+        self.archive_cache = None; // a new segment may exist; reload lazily
+        Ok(RetentionOutcome {
+            watermark: horizon,
+            pruned: prunable.len(),
+            archived: run.map(|r| r.records).unwrap_or(0),
+            archive_to: run.map(|r| r.to).unwrap_or_else(|| horizon.get()),
+        })
+    }
+
+    /// Load (and cache) the archive tier, refusing if it does not reach
+    /// the live watermark — the gap would mean discarded-and-unarchived
+    /// history.
+    fn ensure_archive(&mut self, requested: Time, live_from: Time) -> Result<(), HistoryError> {
+        if self.archive_cache.is_none() {
+            self.archive_cache = Some(self.archive.load()?);
+        }
+        let covered = self.archive_cache.as_ref().expect("just loaded").covered_to;
+        if covered < live_from.get() {
+            return Err(HistoryError::Unarchived {
+                requested,
+                archived_to: covered,
+                live_from,
+            });
+        }
+        Ok(())
+    }
+
+    /// Tier-aware historical whereabouts: answered from live state at
+    /// or after the retention watermark (or by a live stay straddling
+    /// it), from the archive before it. Refuses
+    /// ([`HistoryError::Unarchived`]) only when the answer would need
+    /// discarded-and-unarchived history.
+    pub fn whereabouts(
+        &mut self,
+        subject: SubjectId,
+        t: Time,
+    ) -> Result<Option<LocationId>, HistoryError> {
+        let live_from = self.engine.retention_watermark();
+        let live = history::merged_whereabouts(&self.engine, None, subject, t);
+        if live.is_some() || t >= live_from {
+            return Ok(live);
+        }
+        self.ensure_archive(t, live_from)?;
+        Ok(history::merged_whereabouts(
+            &self.engine,
+            self.archive_cache.as_ref(),
+            subject,
+            t,
+        ))
+    }
+
+    /// Tier-aware presence query: who was in `location` during
+    /// `window`, with clipped overlap intervals, merged across tiers.
+    pub fn present_during(
+        &mut self,
+        location: LocationId,
+        window: Interval,
+    ) -> Result<Vec<(SubjectId, Interval)>, HistoryError> {
+        let live_from = self.engine.retention_watermark();
+        let archive = if window.start() < live_from {
+            self.ensure_archive(window.start(), live_from)?;
+            self.archive_cache.as_ref()
+        } else {
+            None
+        };
+        Ok(history::merged_present_during(
+            &self.engine,
+            archive,
+            location,
+            window,
+        ))
+    }
+
+    /// Tier-aware contact tracing — the paper's SARS query — merged
+    /// across live state and the archive, so an operator can trace
+    /// across the retention boundary exactly as if history were
+    /// unbounded.
+    ///
+    /// ```
+    /// use ltam_core::model::{Authorization, EntryLimit};
+    /// use ltam_core::retention::RetentionPolicy;
+    /// use ltam_core::subject::SubjectId;
+    /// use ltam_engine::batch::{Event, PolicyCore};
+    /// use ltam_graph::examples::ntu_campus;
+    /// use ltam_store::{DurableEngine, ScratchDir, StoreConfig};
+    /// use ltam_time::{Interval, Time};
+    ///
+    /// let ntu = ntu_campus();
+    /// let cais = ntu.cais;
+    /// let mut core = PolicyCore::new(ntu.model);
+    /// let (alice, bob) = (SubjectId(0), SubjectId(1));
+    /// for s in [alice, bob] {
+    ///     core.add_authorization(
+    ///         Authorization::new(Interval::ALL, Interval::ALL, s, cais, EntryLimit::Unbounded)
+    ///             .unwrap(),
+    ///     );
+    /// }
+    /// let dir = ScratchDir::new("doc-tiered-contacts");
+    /// let config = StoreConfig {
+    ///     retention: Some(RetentionPolicy::keep_last(100)),
+    ///     fsync: false,
+    ///     ..StoreConfig::default()
+    /// };
+    /// let (mut engine, _alerts) = DurableEngine::create(dir.path(), core, 2, config).unwrap();
+    /// // Alice and Bob overlap in CAIS during [12, 20]...
+    /// engine.ingest(&[
+    ///     Event::Request { time: Time(10), subject: alice, location: cais },
+    ///     Event::Enter { time: Time(10), subject: alice, location: cais },
+    ///     Event::Request { time: Time(12), subject: bob, location: cais },
+    ///     Event::Enter { time: Time(12), subject: bob, location: cais },
+    ///     Event::Exit { time: Time(20), subject: alice, location: cais },
+    ///     Event::Exit { time: Time(25), subject: bob, location: cais },
+    /// ]).unwrap();
+    /// // ...then time passes and retention spills those stays to the archive.
+    /// engine.run_retention(Time(500)).unwrap();
+    /// assert_eq!(engine.retention_watermark(), Time(400));
+    /// assert_eq!(engine.engine().read_shard(0, |s| s.movements().len())
+    ///     + engine.engine().read_shard(1, |s| s.movements().len()), 0);
+    /// // The contact-tracing join still sees the archived co-location.
+    /// let contacts = engine.contacts(alice, Interval::lit(0, 500)).unwrap();
+    /// assert_eq!(contacts.len(), 1);
+    /// assert_eq!(contacts[0].other, bob);
+    /// assert_eq!(contacts[0].overlap, Interval::lit(12, 20));
+    /// ```
+    pub fn contacts(
+        &mut self,
+        subject: SubjectId,
+        window: Interval,
+    ) -> Result<Vec<Contact>, HistoryError> {
+        let live_from = self.engine.retention_watermark();
+        let archive = if window.start() < live_from {
+            self.ensure_archive(window.start(), live_from)?;
+            self.archive_cache.as_ref()
+        } else {
+            None
+        };
+        Ok(history::merged_contacts(
+            &self.engine,
+            archive,
+            subject,
+            window,
+        ))
+    }
+
+    /// Tier-aware violation report over `window` (multiset semantics:
+    /// archived violations first, then live in shard order).
+    pub fn violations_in(&mut self, window: Interval) -> Result<Vec<Violation>, HistoryError> {
+        let live_from = self.engine.watermarks().violations;
+        let archive = if window.start() < live_from {
+            self.ensure_archive(window.start(), live_from)?;
+            self.archive_cache.as_ref()
+        } else {
+            None
+        };
+        Ok(history::merged_violations(&self.engine, archive, window))
+    }
+}
+
+/// What one [`DurableEngine::run_retention`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionOutcome {
+    /// The movement-history watermark after the pass.
+    pub watermark: Time,
+    /// Records dropped from live state (all classes).
+    pub pruned: usize,
+    /// Records written to the archive by this pass (0 when the range
+    /// was already covered by a crash-era segment).
+    pub archived: usize,
+    /// Archive coverage end after the pass.
+    pub archive_to: u64,
 }
 
 /// Re-key per-subject state onto a different shard count: every piece of
@@ -554,6 +913,21 @@ pub fn redistribute(
 ) -> Vec<ShardStateImage> {
     assert!(shards >= 1, "need at least one shard");
     let mut out: Vec<ShardStateImage> = (0..shards).map(|_| ShardStateImage::default()).collect();
+    // Retention bookkeeping redistributes too: class watermarks join to
+    // the max (sources pruned in lockstep, but a max is always sound —
+    // claiming completeness below any source's watermark would not be),
+    // and the pruned-record counters are global totals, parked on
+    // shard 0 like revoked-authorization ledger counters.
+    let movements_from = images
+        .iter()
+        .map(|i| i.movements.watermark())
+        .max()
+        .unwrap_or(Time::ZERO);
+    let audit_from = images.iter().filter_map(|i| i.audit_from).max();
+    let violations_from = images.iter().filter_map(|i| i.violations_from).max();
+    let events_pruned: u64 = images.iter().map(|i| i.movements.pruned_events()).sum();
+    let audit_pruned: u64 = images.iter().filter_map(|i| i.audit_pruned).sum();
+    let violations_pruned: u64 = images.iter().filter_map(|i| i.violations_pruned).sum();
     for image in images {
         for event in image.movements.log() {
             let target = &mut out[shard_of(event.subject, shards)].movements;
@@ -566,6 +940,13 @@ pub fn redistribute(
                 MovementKind::Exit => target.record_exit(event.time, event.subject, event.location),
             };
             debug_assert!(replayed.is_ok(), "shard-local movement logs replay cleanly");
+        }
+        // After the replay (which rebuilds the guard for surviving
+        // events), merge the source's latest-time guards so subjects
+        // whose history was entirely pruned keep their time-regression
+        // protection on the new shard.
+        for (s, t) in image.movements.latest_times() {
+            out[shard_of(s, shards)].movements.observe_latest(s, t);
         }
         for p in image.pending {
             out[shard_of(p.subject, shards)].pending.push(p);
@@ -600,6 +981,16 @@ pub fn redistribute(
         image.pending.sort_by_key(|p| p.subject);
         image.active.sort_by_key(|&(s, _, _)| s);
         image.overstay_alerted.sort();
+        image.movements.set_watermark(movements_from);
+        image.audit_from = audit_from;
+        image.violations_from = violations_from;
+    }
+    out[0].movements.add_pruned_events(events_pruned);
+    if audit_pruned > 0 {
+        out[0].audit_pruned = Some(audit_pruned);
+    }
+    if violations_pruned > 0 {
+        out[0].violations_pruned = Some(violations_pruned);
     }
     out
 }
@@ -637,6 +1028,7 @@ mod tests {
             segment_bytes: 4096,
             snapshot_every: 0,
             fsync: false,
+            retention: None,
         }
     }
 
@@ -804,6 +1196,7 @@ mod tests {
             segment_bytes: 256, // several segments between snapshots
             snapshot_every: 0,
             fsync: false,
+            retention: None,
         };
         let (core, alice, cais) = campus_core();
         {
@@ -1096,6 +1489,468 @@ mod tests {
             out.violations[0],
             ltam_engine::violation::Violation::UnauthorizedEntry { .. }
         ));
+    }
+
+    /// A two-subject store: Alice and Bob overlap in CAIS during
+    /// [12, 20], Bob tailgates nobody; a later clean cycle for Alice at
+    /// [200, 210] keeps recent history live.
+    fn two_subject_events(cais: LocationId) -> Vec<Event> {
+        let (alice, bob) = (SubjectId(0), SubjectId(1));
+        vec![
+            Event::Request {
+                time: Time(10),
+                subject: alice,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(10),
+                subject: alice,
+                location: cais,
+            },
+            Event::Request {
+                time: Time(12),
+                subject: bob,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(12),
+                subject: bob,
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(20),
+                subject: alice,
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(25),
+                subject: bob,
+                location: cais,
+            },
+            Event::Request {
+                time: Time(200),
+                subject: alice,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(200),
+                subject: alice,
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(210),
+                subject: alice,
+                location: cais,
+            },
+        ]
+    }
+
+    fn wide_open_core(cais: LocationId, model: ltam_graph::LocationModel) -> PolicyCore {
+        let mut core = PolicyCore::new(model);
+        for s in [SubjectId(0), SubjectId(1)] {
+            core.add_authorization(
+                Authorization::new(Interval::ALL, Interval::ALL, s, cais, EntryLimit::Unbounded)
+                    .unwrap(),
+            );
+        }
+        core
+    }
+
+    #[test]
+    fn retention_archives_then_prunes_and_queries_merge_tiers() {
+        let dir = ScratchDir::new("durable-retention");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let (mut durable, _alerts) =
+            DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+        let (alice, bob) = (SubjectId(0), SubjectId(1));
+        durable.ingest(&two_subject_events(cais)).unwrap();
+
+        let outcome = durable
+            .run_retention_with(&RetentionPolicy::keep_last(100), Time(250))
+            .unwrap();
+        assert_eq!(outcome.watermark, Time(150));
+        assert!(outcome.pruned > 0);
+        assert_eq!(outcome.archived, outcome.pruned);
+        assert_eq!(outcome.archive_to, 150);
+        assert_eq!(durable.retention_watermark(), Time(150));
+
+        // Live state holds only the recent cycle (its enter + exit).
+        let live_events: usize = (0..2)
+            .map(|s| durable.engine().read_shard(s, |st| st.movements().len()))
+            .sum();
+        assert_eq!(live_events, 2);
+
+        // Tier-aware queries answer across the boundary exactly as an
+        // unpruned engine would.
+        assert_eq!(durable.whereabouts(alice, Time(15)).unwrap(), Some(cais)); // archive
+        assert_eq!(durable.whereabouts(alice, Time(205)).unwrap(), Some(cais)); // live
+        assert_eq!(durable.whereabouts(bob, Time(50)).unwrap(), None);
+        let contacts = durable.contacts(alice, Interval::lit(0, 300)).unwrap();
+        assert_eq!(contacts.len(), 1);
+        assert_eq!(contacts[0].other, bob);
+        assert_eq!(contacts[0].overlap, Interval::lit(12, 20));
+        let present = durable.present_during(cais, Interval::lit(0, 300)).unwrap();
+        assert_eq!(present.len(), 3, "{present:?}"); // Alice×2 + Bob×1
+        assert!(durable
+            .violations_in(Interval::lit(0, 300))
+            .unwrap()
+            .is_empty());
+
+        // Re-running at the same horizon is a no-op (idempotent).
+        let again = durable
+            .run_retention_with(&RetentionPolicy::keep_last(100), Time(250))
+            .unwrap();
+        assert_eq!(again.pruned, 0);
+        assert_eq!(again.archived, 0);
+    }
+
+    #[test]
+    fn retention_watermark_survives_crash_and_recovery() {
+        let dir = ScratchDir::new("durable-retention-crash");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let (alice, bob) = (SubjectId(0), SubjectId(1));
+        {
+            let core = wide_open_core(cais, ntu.model);
+            let (mut durable, _alerts) =
+                DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+            durable.ingest(&two_subject_events(cais)).unwrap();
+            durable
+                .run_retention_with(&RetentionPolicy::keep_last(100), Time(250))
+                .unwrap();
+            durable.snapshot().unwrap();
+        } // crash after the snapshot carrying the watermark
+        let (mut durable, _alerts, report) =
+            DurableEngine::open(dir.path(), test_config()).unwrap();
+        assert_eq!(report.retention_watermark, 150);
+        assert_eq!(report.archive_covered_to, 150);
+        assert_eq!(durable.retention_watermark(), Time(150));
+        // Archived history is still reachable through the merge...
+        assert_eq!(durable.whereabouts(alice, Time(15)).unwrap(), Some(cais));
+        let contacts = durable.contacts(alice, Interval::lit(0, 300)).unwrap();
+        assert_eq!(contacts.len(), 1);
+        assert_eq!(contacts[0].other, bob);
+        // ...and pruned history stays pruned: the time-regression guard
+        // survived, so stale sensor events are still rejected.
+        let out = durable
+            .ingest(&[Event::Enter {
+                time: Time(5),
+                subject: alice,
+                location: cais,
+            }])
+            .unwrap();
+        assert_eq!(out.violations.len(), 1, "regressed event still flagged");
+    }
+
+    #[test]
+    fn crash_before_the_prune_applies_never_duplicates_archive_records() {
+        let dir = ScratchDir::new("durable-retention-idem");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let (mut durable, _alerts) =
+            DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+        durable.ingest(&two_subject_events(cais)).unwrap();
+        let policy = RetentionPolicy::keep_last(100);
+        // Simulate the crash window: the archive segment lands but the
+        // in-memory prune (and any later snapshot) never happens.
+        let prunable = durable.engine().collect_prunable(&policy, Time(150));
+        durable.archive.append_run(0, 150, &prunable).unwrap();
+        assert_eq!(durable.retention_watermark(), Time::ZERO);
+        // Queries stay correct: the archive is only consulted below the
+        // watermark, which never advanced.
+        assert_eq!(
+            durable.whereabouts(SubjectId(0), Time(15)).unwrap(),
+            Some(cais)
+        );
+        // The re-run after "recovery" replaces the stranded segment
+        // with an identical superset: no record is ever in the archive
+        // twice (live state may have gained records since the stranded
+        // write, so the rewrite is never skipped).
+        let outcome = durable.run_retention_with(&policy, Time(250)).unwrap();
+        assert!(outcome.pruned > 0);
+        assert_eq!(
+            outcome.archived, outcome.pruned,
+            "stranded segment replaced"
+        );
+        let data = durable.archive.load().unwrap();
+        assert_eq!(data.stays_of(SubjectId(0)).len(), 1);
+        assert_eq!(data.stays_of(SubjectId(1)).len(), 1);
+        let contacts = durable
+            .contacts(SubjectId(0), Interval::lit(0, 300))
+            .unwrap();
+        assert_eq!(contacts.len(), 1, "no duplicate contact rows");
+    }
+
+    #[test]
+    fn late_records_below_a_stranded_chain_are_archived_not_lost() {
+        let dir = ScratchDir::new("durable-retention-late");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let (mut durable, _alerts) =
+            DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+        let bob = SubjectId(1);
+        durable.ingest(&two_subject_events(cais)).unwrap();
+        let policy = RetentionPolicy::keep_last(100);
+        // Strand a segment: archive written, prune never applied (the
+        // crash window).
+        let prunable = durable.engine().collect_prunable(&policy, Time(150));
+        durable.archive.append_run(0, 150, &prunable).unwrap();
+        // A record arrives *below* the stranded chain end — legal,
+        // sensor clocks are only per-subject monotone (Bob's clock is
+        // at 25).
+        durable
+            .ingest(&[
+                Event::Request {
+                    time: Time(60),
+                    subject: bob,
+                    location: cais,
+                },
+                Event::Enter {
+                    time: Time(60),
+                    subject: bob,
+                    location: cais,
+                },
+                Event::Exit {
+                    time: Time(70),
+                    subject: bob,
+                    location: cais,
+                },
+            ])
+            .unwrap();
+        // The next run's horizon clamps to the chain end (150); the
+        // late stay must travel in the replacement segment, not be
+        // silently dropped with nothing archived.
+        let outcome = durable.run_retention_with(&policy, Time(250)).unwrap();
+        assert_eq!(outcome.watermark, Time(150));
+        assert_eq!(outcome.archived, outcome.pruned);
+        assert_eq!(durable.whereabouts(bob, Time(65)).unwrap(), Some(cais));
+        let data = durable.archive.load().unwrap();
+        assert_eq!(data.stays_of(bob).len(), 2, "no loss, no duplicates");
+    }
+
+    #[test]
+    fn stranded_segment_contents_are_never_double_counted() {
+        let dir = ScratchDir::new("durable-retention-doublecount");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let (mut durable, _alerts) =
+            DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+        let bob = SubjectId(1);
+        let policy = RetentionPolicy::keep_last(100);
+        durable.ingest(&two_subject_events(cais)).unwrap();
+        // An applied run advances the watermark to 110.
+        durable.run_retention_with(&policy, Time(210)).unwrap();
+        assert_eq!(durable.retention_watermark(), Time(110));
+        // Bob (own clock at 25) legally ingests a stay whose timestamps
+        // sit BELOW the watermark — the late-arrival case.
+        durable
+            .ingest(&[
+                Event::Request {
+                    time: Time(60),
+                    subject: bob,
+                    location: cais,
+                },
+                Event::Enter {
+                    time: Time(60),
+                    subject: bob,
+                    location: cais,
+                },
+                Event::Exit {
+                    time: Time(70),
+                    subject: bob,
+                    location: cais,
+                },
+            ])
+            .unwrap();
+        // Crash window: the next run's segment lands but its prune
+        // never applies. The stranded segment [110, 150) holds the late
+        // stay, and so does live state.
+        let prunable = durable.engine().collect_prunable(&policy, Time(150));
+        durable.archive.append_run(110, 150, &prunable).unwrap();
+        // Time-based clipping would admit the archived copy (70 < 110);
+        // segment provenance (starts at 110, not below it) must not.
+        let present = durable.present_during(cais, Interval::lit(50, 80)).unwrap();
+        assert_eq!(present, vec![(bob, Interval::lit(60, 70))], "counted once");
+        let contacts = durable.contacts(bob, Interval::lit(50, 80)).unwrap();
+        assert!(contacts.is_empty(), "{contacts:?}");
+        // After the run completes (replacing the stranded segment and
+        // applying the prune), the stay counts exactly once — from the
+        // archive this time.
+        durable.run_retention_with(&policy, Time(250)).unwrap();
+        assert_eq!(durable.retention_watermark(), Time(150));
+        let present = durable.present_during(cais, Interval::lit(50, 80)).unwrap();
+        assert_eq!(present, vec![(bob, Interval::lit(60, 70))]);
+    }
+
+    #[test]
+    fn disabling_movement_pruning_does_not_discard_archived_violations() {
+        let dir = ScratchDir::new("durable-retention-classes");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let (mut durable, _alerts) =
+            DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+        let policy = RetentionPolicy {
+            movements: false,
+            ..RetentionPolicy::keep_last(50)
+        };
+        let tailgate = |t: u64, s: u32| Event::Enter {
+            time: Time(t),
+            subject: SubjectId(s + 5), // unauthorized
+            location: cais,
+        };
+        durable.ingest(&[tailgate(10, 0)]).unwrap();
+        let r1 = durable.run_retention_with(&policy, Time(200)).unwrap();
+        assert_eq!(r1.pruned, 1, "the t=10 violation");
+        durable.ingest(&[tailgate(300, 1)]).unwrap();
+        // The second run must anchor on the violations watermark (the
+        // movements watermark never advances under this policy) and
+        // extend the chain — not rewrite it from the epoch and discard
+        // the first run's archived violation.
+        let r2 = durable.run_retention_with(&policy, Time(400)).unwrap();
+        assert_eq!(r2.pruned, 1, "only the t=300 violation");
+        let vs = durable.violations_in(Interval::lit(0, 50)).unwrap();
+        assert_eq!(vs.len(), 1, "the t=10 violation survived the second run");
+        assert_eq!(vs[0].time(), Time(10));
+        // Movements were never pruned: live whereabouts still answers.
+        assert_eq!(
+            durable.whereabouts(SubjectId(5), Time(10)).unwrap(),
+            Some(cais)
+        );
+        assert_eq!(durable.retention_watermark(), Time::ZERO);
+    }
+
+    #[test]
+    fn missing_archive_refuses_below_watermark_queries() {
+        let dir = ScratchDir::new("durable-retention-refuse");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let (mut durable, _alerts) =
+            DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+        let (alice, bob) = (SubjectId(0), SubjectId(1));
+        durable.ingest(&two_subject_events(cais)).unwrap();
+        durable
+            .run_retention_with(&RetentionPolicy::keep_last(100), Time(250))
+            .unwrap();
+        // An operator (or disaster) removes the archive tier.
+        for entry in std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+        {
+            if entry.file_name().to_string_lossy().ends_with(".arch") {
+                std::fs::remove_file(entry.path()).unwrap();
+            }
+        }
+        // Below the watermark with a live miss: refuse loudly.
+        let err = durable.whereabouts(bob, Time(15)).unwrap_err();
+        assert!(matches!(err, HistoryError::Unarchived { .. }), "{err}");
+        assert!(err.to_string().contains("refusing"), "{err}");
+        let err = durable.contacts(alice, Interval::lit(0, 300)).unwrap_err();
+        assert!(matches!(err, HistoryError::Unarchived { .. }));
+        // At or above the watermark: live answers as usual.
+        assert_eq!(durable.whereabouts(alice, Time(205)).unwrap(), Some(cais));
+        assert!(durable
+            .contacts(alice, Interval::lit(150, 300))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn configured_retention_runs_automatically_on_ingest() {
+        let dir = ScratchDir::new("durable-retention-auto");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let core = wide_open_core(cais, ntu.model);
+        let config = StoreConfig {
+            retention: Some(RetentionPolicy::keep_last(100)),
+            ..test_config()
+        };
+        let (mut durable, _alerts) = DurableEngine::create(dir.path(), core, 2, config).unwrap();
+        let alice = SubjectId(0);
+        // Long trace of short clean cycles: live history must stay
+        // bounded by the horizon, not grow with the trace.
+        let mut live_peak = 0usize;
+        for i in 0..400u64 {
+            let t = i * 10;
+            durable
+                .ingest(&[
+                    Event::Request {
+                        time: Time(t),
+                        subject: alice,
+                        location: cais,
+                    },
+                    Event::Enter {
+                        time: Time(t + 1),
+                        subject: alice,
+                        location: cais,
+                    },
+                    Event::Exit {
+                        time: Time(t + 5),
+                        subject: alice,
+                        location: cais,
+                    },
+                ])
+                .unwrap();
+            let live: usize = (0..2)
+                .map(|s| durable.engine().read_shard(s, |st| st.movements().len()))
+                .sum();
+            live_peak = live_peak.max(live);
+        }
+        assert!(durable.take_retention_error().is_none());
+        assert!(durable.retention_watermark() >= Time(3_000));
+        // 400 cycles × 3 events ingested, but live never held more than
+        // ~a horizon's worth (100 chronons ≈ 10 cycles ≈ 30 events,
+        // plus slack for the maintenance cadence).
+        assert!(live_peak <= 60, "live history unbounded: peak {live_peak}");
+        // Nothing was lost: whereabouts across the whole trace still
+        // answer through the archive.
+        assert_eq!(durable.whereabouts(alice, Time(2)).unwrap(), Some(cais));
+        assert_eq!(durable.whereabouts(alice, Time(3_902)).unwrap(), Some(cais));
+    }
+
+    #[test]
+    fn reshard_after_retention_keeps_watermark_and_guards() {
+        let dir = ScratchDir::new("durable-retention-reshard");
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let (alice, bob) = (SubjectId(0), SubjectId(1));
+        {
+            let core = wide_open_core(cais, ntu.model);
+            let (mut durable, _alerts) =
+                DurableEngine::create(dir.path(), core, 2, test_config()).unwrap();
+            durable.ingest(&two_subject_events(cais)).unwrap();
+            durable
+                .run_retention_with(&RetentionPolicy::keep_last(100), Time(250))
+                .unwrap();
+            durable.snapshot().unwrap();
+        }
+        // Reopen on 5 shards: subject state re-deals, and the retention
+        // bookkeeping re-deals with it.
+        let (mut durable, _alerts, _) =
+            DurableEngine::open_with_shards(dir.path(), test_config(), 5).unwrap();
+        assert_eq!(durable.engine().shard_count(), 5);
+        assert_eq!(durable.retention_watermark(), Time(150));
+        // Bob's history was entirely pruned, yet his time-regression
+        // guard crossed the reshard: a stale event is still flagged.
+        let out = durable
+            .ingest(&[Event::Enter {
+                time: Time(3),
+                subject: bob,
+                location: cais,
+            }])
+            .unwrap();
+        assert_eq!(out.violations.len(), 1, "guard lost in redistribution");
+        // Tiered queries still merge the archive.
+        assert_eq!(durable.whereabouts(alice, Time(15)).unwrap(), Some(cais));
+        let contacts = durable.contacts(alice, Interval::lit(0, 300)).unwrap();
+        assert_eq!(contacts.len(), 1);
+        assert_eq!(contacts[0].other, bob);
     }
 
     #[test]

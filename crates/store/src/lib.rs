@@ -18,6 +18,15 @@
 //! * [`durable`] — [`DurableEngine`]: WAL-append before ingest, periodic
 //!   snapshots, recovery (snapshot + WAL-tail replay through the normal
 //!   ingest path) and compaction,
+//! * [`archive`] — the cold tier: segmented, CRC'd archive files holding
+//!   history that retention pruned from live state (stays, audit records,
+//!   violations, raw events in the WAL codec), written atomically
+//!   *before* any in-memory drop,
+//! * [`history`] — tier-aware historical queries (whereabouts, presence,
+//!   contact tracing, violation reports): live within the retention
+//!   horizon, transparently merged with archive reads beyond it, and a
+//!   loud refusal when the answer would need discarded-and-unarchived
+//!   data,
 //! * [`scratch`] — unique temp directories for tests and benches.
 //!
 //! The correctness bar, proven by the workspace's `durable_recovery`
@@ -27,16 +36,20 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod codec;
 pub mod crc;
 pub mod durable;
+pub mod history;
 pub mod scratch;
 pub mod snapshot;
 pub mod wal;
 
+pub use archive::{ArchiveData, ArchiveRunReport, ArchiveStore, ARCHIVE_VERSION};
 pub use codec::{decode_event, decode_event_exact, encode_event, event_bytes, DecodeError};
 pub use crc::crc32;
-pub use durable::{redistribute, DurableEngine, RecoveryReport, StoreConfig};
+pub use durable::{redistribute, DurableEngine, RecoveryReport, RetentionOutcome, StoreConfig};
+pub use history::HistoryError;
 pub use scratch::{copy_flat_dir, ScratchDir};
 pub use snapshot::{SnapshotStore, StoreSnapshot, SNAPSHOT_VERSION};
 pub use wal::{Wal, WalConfig, WalRecovery, WAL_VERSION};

@@ -36,6 +36,7 @@ fn main() {
         segment_bytes: 64 * 1024,
         snapshot_every: 2_000, // snapshot every 2k events
         fsync: true,
+        retention: None,
     };
     let crash_at = n / 2;
     {

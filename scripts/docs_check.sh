@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Documentation guardrail, run by CI on every push:
+#
+#  1. every local markdown link (and #anchor) in the top-level docs
+#     resolves — BOOK/OPERATIONS/README cross-references cannot rot;
+#  2. every `cargo …` command inside an `sh` fence of
+#     docs/OPERATIONS.md actually runs — the operator's handbook stays
+#     executable, not aspirational.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/BOOK.md docs/OPERATIONS.md)
+
+echo "== link check: ${DOCS[*]}"
+python3 - "${DOCS[@]}" <<'PY'
+import re
+import sys
+from pathlib import Path
+
+def slug(heading: str) -> str:
+    """GitHub-style anchor slug."""
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\s-]", "", s)
+    return s.replace(" ", "-")
+
+def headings(path: Path) -> set[str]:
+    out = set()
+    for line in path.read_text().splitlines():
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if m:
+            out.add(slug(m.group(1)))
+    return out
+
+failures = []
+for name in sys.argv[1:]:
+    doc = Path(name)
+    base = doc.parent
+    for target in re.findall(r"\]\(([^)\s]+)\)", doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, anchor = target.partition("#")
+        dest = (base / path) if path else doc
+        if path and not dest.exists():
+            failures.append(f"{name}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md" and anchor not in headings(dest):
+            failures.append(f"{name}: broken anchor -> {target}")
+for f in failures:
+    print("FAIL", f)
+sys.exit(1 if failures else 0)
+PY
+
+echo "== operator commands: docs/OPERATIONS.md"
+mapfile -t commands < <(awk '
+    /^```sh$/ { fence = 1; next }
+    /^```$/ { fence = 0 }
+    fence && /^cargo / { print }
+' docs/OPERATIONS.md)
+
+if [ "${#commands[@]}" -eq 0 ]; then
+    echo "FAIL: no runnable commands found in docs/OPERATIONS.md" >&2
+    exit 1
+fi
+
+for cmd in "${commands[@]}"; do
+    echo "-- $cmd"
+    bash -c "$cmd" >/dev/null
+done
+
+echo "docs check OK (${#commands[@]} operator commands ran)"

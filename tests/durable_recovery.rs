@@ -30,6 +30,7 @@ fn store_config() -> StoreConfig {
         segment_bytes: 128 * 1024,
         snapshot_every: 0, // the fixture controls its snapshot point
         fsync: false,      // tests measure semantics, not device flushes
+        retention: None,
     }
 }
 
