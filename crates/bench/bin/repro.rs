@@ -2,15 +2,16 @@
 //! *LTAM: A Location-Temporal Authorization Model* (Yu & Lim, SDM 2004).
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|all]
+//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
 //! `EXPERIMENTS.md` records this output against the paper's claims.
-//! `throughput`, `durability` and `retention` (extensions, not paper
-//! artifacts) measure sharded batch ingestion vs the global-lock
-//! engine, crash-recovery of the WAL-backed engine, and bounded live
-//! state under history retention respectively; see each subcommand's
+//! `throughput`, `durability`, `retention` and `serve` (extensions,
+//! not paper artifacts) measure sharded batch ingestion vs the
+//! global-lock engine, crash-recovery of the WAL-backed engine,
+//! bounded live state under history retention, and the network serving
+//! tier under concurrent clients respectively; see each subcommand's
 //! `--help`.
 
 use ltam_bench::{fig4_instance, ALICE};
@@ -45,6 +46,7 @@ fn main() {
         "throughput" => throughput(&args[1..]),
         "durability" => durability(&args[1..]),
         "retention" => retention(&args[1..]),
+        "serve" => serve(&args[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, authz, rules, section5, table2, scaling, baseline, planner,
@@ -57,15 +59,18 @@ fn main() {
             durability(&[]);
             println!();
             retention(&[]);
+            println!();
+            serve(&[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|all]"
+                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|all]"
             );
             eprintln!("       repro throughput --help   # enforcement-throughput options");
             eprintln!("       repro durability --help   # crash-recovery drill options");
             eprintln!("       repro retention --help    # bounded-live-state drill options");
+            eprintln!("       repro serve --help        # network serving drill options");
             std::process::exit(2);
         }
     }
@@ -1219,6 +1224,257 @@ fn retention(args: &[String]) {
         eprintln!(
             "retention drill FAILED: tier-merged answers diverge from the unpruned run: {mismatch}"
         );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+const SERVE_HELP: &str = "\
+usage: repro serve [--json] [--events N] [--subjects N] [--shards N]
+                   [--clients N] [--batch N]
+
+Closed-loop drill for the ltam-serve network tier. Generates the
+canonical multi-shard trace WITHOUT interleaved clock ticks (a network
+deployment has no global event order, so tick-driven overstay scans
+would fire at interleaving-dependent times; one final tick after every
+stream drains restores overstay coverage deterministically), starts a
+TCP server over a fresh durable store on a loopback ephemeral port,
+partitions the trace into per-subject client streams, and replays them
+from N concurrent client threads, one request in flight per connection.
+Reports request/event throughput and p50/p99 round-trip latency, then
+verifies OVER THE WIRE that the served violation multiset and sampled
+whereabouts equal an in-process run of the same trace. Exits non-zero
+on any client-side error, any server-counted protocol error, or any
+divergence.
+
+options:
+  --json          emit one machine-readable JSON object
+  --events N      trace length in events                 [default 20000]
+  --subjects N    simulated population size              [default 256]
+  --shards N      engine shard count                     [default 4]
+  --clients N     concurrent client connections          [default 4]
+  --batch N       events per ingest request              [default 256]
+  --help          this text
+";
+
+/// The `repro serve --json` report (the `BENCH_serve.json` schema).
+#[derive(serde::Serialize)]
+struct ServeReport {
+    experiment: &'static str,
+    events: usize,
+    subjects: usize,
+    shards: usize,
+    clients: usize,
+    batch: usize,
+    requests: u64,
+    requests_per_sec: u64,
+    events_per_sec: u64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    client_errors: u64,
+    server_protocol_errors: u64,
+    violations: usize,
+    violations_match: bool,
+    whereabouts_match: bool,
+}
+
+/// Exit with a usage error for the serve subcommand.
+fn serve_usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{SERVE_HELP}");
+    std::process::exit(2);
+}
+
+/// Extension: the network serving tier under concurrent clients.
+fn serve(args: &[String]) {
+    use ltam_bench::violation_multiset;
+    use ltam_engine::batch::Event;
+    use ltam_serve::{LoadConfig, LtamClient, Server, ServerConfig};
+    use ltam_sim::multi_shard_trace;
+    use ltam_store::{ScratchDir, StoreConfig};
+    use ltam_time::Time;
+
+    let mut json = false;
+    let mut events = 20_000usize;
+    let mut subjects = 256usize;
+    let mut shards = 4usize;
+    let mut clients = 4usize;
+    let mut batch = 256usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| serve_usage_error(&format!("{name} needs a value")))
+                .clone()
+        };
+        let parsed = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| serve_usage_error(&format!("{name}: bad value {raw:?}")))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--events" => events = parsed("--events", value("--events")) as usize,
+            "--subjects" => subjects = parsed("--subjects", value("--subjects")) as usize,
+            "--shards" => shards = parsed("--shards", value("--shards")) as usize,
+            "--clients" => clients = parsed("--clients", value("--clients")) as usize,
+            "--batch" => batch = parsed("--batch", value("--batch")) as usize,
+            "--help" | "-h" => {
+                print!("{SERVE_HELP}");
+                return;
+            }
+            other => serve_usage_error(&format!("unknown serve option {other:?}")),
+        }
+    }
+    if events == 0 || subjects == 0 || shards == 0 || clients == 0 || batch == 0 {
+        serve_usage_error("--events, --subjects, --shards, --clients and --batch must be >= 1");
+    }
+
+    let trace = multi_shard_trace(&ltam_bench::serve_workload(subjects, events));
+    let n_events = trace.events.len();
+    let span = trace.max_time();
+    // One deterministic overstay scan once every stream has drained
+    // (see SERVE_HELP); both runs ingest it as their final event.
+    let final_tick = Event::Tick {
+        now: Time(span.get() + 1),
+    };
+
+    // The in-process reference: the same trace + final tick through the
+    // proven-equivalent single-threaded engine.
+    let mut reference = trace.build_engine();
+    for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+        ltam_engine::batch::apply_to_engine(&mut reference, e);
+    }
+    let expected = violation_multiset(reference.violations().to_vec());
+
+    let dir = ScratchDir::new("repro-serve");
+    let store_config = StoreConfig {
+        segment_bytes: 256 * 1024,
+        snapshot_every: (n_events as u64 / 4).max(1), // exercised mid-drill
+        fsync: true,
+        retention: None,
+    };
+    let (engine, _alerts) = ltam_store::DurableEngine::create(
+        dir.path(),
+        trace.build_policy_core(),
+        shards,
+        store_config,
+    )
+    .expect("create store");
+    let server_config = ServerConfig {
+        max_connections: clients + 8,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, "127.0.0.1:0", server_config).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    // Drive the partitioned streams from N concurrent closed-loop clients.
+    let streams = trace.client_streams(clients);
+    let load = ltam_serve::drive(
+        &addr,
+        &streams,
+        LoadConfig {
+            batch,
+            status_every: 16,
+        },
+    );
+
+    // Control connection: final tick, then verification over the wire.
+    let mut control = LtamClient::connect(&addr).expect("control client");
+    control.ingest(&[final_tick]).expect("final tick");
+    let got = violation_multiset(
+        control
+            .violations_in(ltam_time::Interval::ALL)
+            .expect("served violation report"),
+    );
+    let violations_match = got == expected;
+    let mut whereabouts_match = true;
+    for i in 0..subjects.min(16) {
+        let s = ltam_core::subject::SubjectId(i as u32);
+        for t in [Time(span.get() / 3), Time(span.get() / 2), span] {
+            let served = control.whereabouts(s, t).expect("served whereabouts");
+            if served != reference.movements().whereabouts(s, t) {
+                whereabouts_match = false;
+            }
+        }
+    }
+    let status = control.status().expect("served status");
+    let drained = status.events_ingested == n_events as u64 + 1;
+
+    // Graceful shutdown drains and snapshots; the store outlives the
+    // server and could be re-served (tests/serve_recovery.rs proves the
+    // crash-shaped variant).
+    let engine = server.shutdown().expect("graceful shutdown");
+    let applied = engine.applied();
+    drop(engine);
+
+    let p50 = load.latency_percentile_us(50.0);
+    let p99 = load.latency_percentile_us(99.0);
+    if json {
+        let report = ServeReport {
+            experiment: "serve",
+            events: n_events,
+            subjects,
+            shards,
+            clients,
+            batch,
+            requests: load.requests,
+            requests_per_sec: load.requests_per_sec().round() as u64,
+            events_per_sec: load.events_per_sec().round() as u64,
+            latency_p50_us: p50,
+            latency_p99_us: p99,
+            client_errors: load.errors,
+            server_protocol_errors: status.protocol_errors,
+            violations: got.len(),
+            violations_match,
+            whereabouts_match,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        banner("Extension: network serving tier — closed-loop drill");
+        println!(
+            "{n_events} events, {subjects} subjects, {shards} shards, {clients} clients, batch {batch}"
+        );
+        println!(
+            "load: {} requests at {:.0} req/s ({:.0} events/s); latency p50 {:.2} ms, p99 {:.2} ms",
+            load.requests,
+            load.requests_per_sec(),
+            load.events_per_sec(),
+            p50 as f64 / 1000.0,
+            p99 as f64 / 1000.0
+        );
+        println!(
+            "errors: {} client, {} server-counted protocol; WAL position {} (snapshot @ {})",
+            load.errors, status.protocol_errors, applied, status.snapshot_seq
+        );
+        println!(
+            "served violation multiset vs in-process run: {} ({} violations); whereabouts sample: {}",
+            if violations_match { "MATCH" } else { "MISMATCH" },
+            got.len(),
+            if whereabouts_match { "MATCH" } else { "MISMATCH" }
+        );
+    }
+    let mut failed = false;
+    if load.errors > 0 || status.protocol_errors > 0 {
+        eprintln!(
+            "serve drill FAILED: {} client errors, {} protocol errors",
+            load.errors, status.protocol_errors
+        );
+        failed = true;
+    }
+    if !drained {
+        eprintln!(
+            "serve drill FAILED: server ingested {} of {} events",
+            status.events_ingested,
+            n_events + 1
+        );
+        failed = true;
+    }
+    if !violations_match || !whereabouts_match {
+        eprintln!("serve drill FAILED: served answers diverge from the in-process run");
         failed = true;
     }
     if failed {

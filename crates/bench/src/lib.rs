@@ -65,6 +65,21 @@ pub fn throughput_workload(subjects: usize, events: usize) -> ltam_sim::TraceCon
     }
 }
 
+/// The canonical *serving* workload: the throughput workload with the
+/// interleaved clock ticks removed. A network deployment has no global
+/// event order — N clients deliver their subjects' streams
+/// concurrently — so a tick's position in the generated trace is
+/// meaningless on the wire, and tick-driven overstay detection would
+/// fire at interleaving-dependent scan times. The serve drill instead
+/// sends one final tick after every stream has drained, which is
+/// deterministic (see `repro serve`).
+pub fn serve_workload(subjects: usize, events: usize) -> ltam_sim::TraceConfig {
+    ltam_sim::TraceConfig {
+        tick_every: 0,
+        ..throughput_workload(subjects, events)
+    }
+}
+
 /// Partition a trace by subject across `threads` groups for the
 /// global-lock throughput comparison, preserving per-subject order;
 /// broadcast events (ticks) go to group 0, so the single engine runs

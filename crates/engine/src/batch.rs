@@ -276,6 +276,46 @@ pub struct BatchOutcome {
     pub per_shard: Vec<ShardStats>,
 }
 
+/// One shard's row of an [`EngineStatus`] report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStatusRow {
+    /// The shard index.
+    pub shard: usize,
+    /// Live movement events on this shard.
+    pub movement_events: usize,
+    /// Live violations on this shard.
+    pub violations: usize,
+    /// Live audit records on this shard.
+    pub audit_records: usize,
+}
+
+/// Engine-level operational counters (see [`ShardedEngine::status`]).
+/// Serializable so a serving layer can expose it over the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStatus {
+    /// Number of shards.
+    pub shards: usize,
+    /// Live movement events across all shards.
+    pub live_movement_events: usize,
+    /// Live violations across all shards.
+    pub live_violations: usize,
+    /// Live audit records across all shards.
+    pub audit_records: usize,
+    /// Movement events dropped by retention (archived in a durable
+    /// deployment).
+    pub events_pruned: u64,
+    /// Violations dropped by retention.
+    pub violations_pruned: u64,
+    /// Audit records dropped by retention.
+    pub audit_pruned: u64,
+    /// Entries recorded across all shards' usage ledgers.
+    pub total_entries: u64,
+    /// Per-class retention watermarks (max over shards).
+    pub watermarks: HistoryWatermarks,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardStatusRow>,
+}
+
 /// What one shard reports back for its slice of a batch.
 #[derive(Debug, Default)]
 struct ShardOutcome {
@@ -736,6 +776,35 @@ impl ShardedEngine {
 
     // --- read access -------------------------------------------------------
 
+    /// Operational counters, aggregated across shards under one brief
+    /// lock hold each — the engine half of a serving layer's status
+    /// endpoint (`ltam-serve` merges this with store-level counters).
+    pub fn status(&self) -> EngineStatus {
+        let mut status = EngineStatus {
+            shards: self.shards.len(),
+            ..EngineStatus::default()
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            let s = shard.lock();
+            let row = ShardStatusRow {
+                shard: i,
+                movement_events: s.movements().len(),
+                violations: s.violations().len(),
+                audit_records: s.audit().len(),
+            };
+            status.live_movement_events += row.movement_events;
+            status.live_violations += row.violations;
+            status.audit_records += row.audit_records;
+            status.events_pruned += s.movements().pruned_events();
+            status.violations_pruned += s.violations_pruned();
+            status.audit_pruned += s.audit_pruned();
+            status.total_entries += s.ledger().total_entries();
+            status.watermarks = status.watermarks.join(s.watermarks());
+            status.per_shard.push(row);
+        }
+        status
+    }
+
     /// Run read-only logic against one shard's state.
     pub fn read_shard<R>(&self, shard: usize, f: impl FnOnce(&ShardState) -> R) -> R {
         f(&self.shards[shard].lock())
@@ -893,6 +962,50 @@ mod tests {
         // Alerts carry monotone sequence numbers.
         let alert = alerts.try_iter().last().unwrap();
         assert_eq!(alert.violation, out.violations[0]);
+    }
+
+    #[test]
+    fn status_aggregates_counters_across_shards() {
+        let (core, alice, cais) = one_shot_core();
+        let (engine, _alerts) = ShardedEngine::new(core, 4);
+        engine.ingest(&[
+            Event::Request {
+                time: Time(10),
+                subject: alice,
+                location: cais,
+            },
+            Event::Enter {
+                time: Time(11),
+                subject: alice,
+                location: cais,
+            },
+            Event::Exit {
+                time: Time(15), // before [20, 100]: a violation
+                subject: alice,
+                location: cais,
+            },
+            // An unauthorized subject tailgates in.
+            Event::Enter {
+                time: Time(12),
+                subject: SubjectId(7),
+                location: cais,
+            },
+        ]);
+        let status = engine.status();
+        assert_eq!(status.shards, 4);
+        assert_eq!(status.live_movement_events, 3); // two enters + one exit
+        assert_eq!(status.live_violations, 2);
+        assert_eq!(status.audit_records, 1);
+        assert_eq!(status.total_entries, 1);
+        assert_eq!(status.per_shard.len(), 4);
+        assert_eq!(
+            status.per_shard.iter().map(|r| r.violations).sum::<usize>(),
+            status.live_violations
+        );
+        // The status round-trips through JSON (the wire carries it).
+        let json = serde_json::to_string(&status).unwrap();
+        let back: EngineStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod snapshot;
 pub mod violation;
 
 pub use baseline::{CardReaderEngine, Enforcement};
-pub use batch::{BatchOutcome, Event, PolicyCore, PolicyImage, ShardStats, ShardedEngine};
+pub use batch::{
+    BatchOutcome, EngineStatus, Event, PolicyCore, PolicyImage, ShardStats, ShardStatusRow,
+    ShardedEngine,
+};
 pub use engine::{AccessControlEngine, AuditRecord, EngineConfig, DEFAULT_GRANT_TTL};
 pub use movement::{Contact, MovementEvent, MovementKind, MovementsDb, Stay};
 pub use profile::{Profile, UserProfileDb};

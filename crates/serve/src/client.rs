@@ -1,0 +1,257 @@
+//! [`LtamClient`] — a blocking, reconnecting client for the LTAM wire
+//! protocol.
+//!
+//! One request is in flight at a time (closed loop). After a transport
+//! error the connection is dropped and the **next** call transparently
+//! reconnects; the failed call itself is *not* retried, because the
+//! server may or may not have applied it — an ingest resent blindly
+//! could double-apply. Callers that need exactly-once must make their
+//! retries idempotent (or compare end state, as the load generator
+//! does).
+
+use crate::wire::{
+    self, ErrorCode, FrameError, HistoryQuery, Request, Response, ServerStatus, WireError,
+};
+use ltam_core::subject::SubjectId;
+use ltam_engine::batch::Event;
+use ltam_engine::movement::Contact;
+use ltam_engine::Violation;
+use ltam_graph::LocationId;
+use ltam_time::{Interval, Time};
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, send, or receive). The client
+    /// reconnects on the next call.
+    Io(io::Error),
+    /// The server's bytes were not a valid response frame.
+    Wire(WireError),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong shape for the
+    /// request (a server bug; surfaced, never silently coerced).
+    UnexpectedResponse(Box<Response>),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "server ({code:?}): {message}"),
+            ClientError::UnexpectedResponse(r) => write!(f, "unexpected response shape: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Protocol(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// Summary of one served ingest batch (the fields of
+/// [`Response::Ingested`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestSummary {
+    /// Events in the batch.
+    pub processed: usize,
+    /// Access requests granted.
+    pub granted: usize,
+    /// Access requests denied.
+    pub denied: usize,
+    /// Violations the batch raised.
+    pub violations: Vec<Violation>,
+}
+
+/// A blocking LTAM protocol client. See the [module docs](self) for
+/// the reconnect contract.
+#[derive(Debug)]
+pub struct LtamClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    read_timeout: Option<Duration>,
+    max_frame_bytes: u32,
+}
+
+impl LtamClient {
+    /// Connect to `addr` (e.g. `"127.0.0.1:4774"`) eagerly.
+    pub fn connect(addr: &str) -> io::Result<LtamClient> {
+        let mut client = LtamClient {
+            addr: addr.to_string(),
+            stream: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Override how long a call waits for the server's response frame
+    /// (`None` blocks forever).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+        if let Some(stream) = &self.stream {
+            let _ = stream.set_read_timeout(self.read_timeout);
+        }
+    }
+
+    /// True while a TCP connection is established.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(self.read_timeout)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Send one request and block for its response. On a transport or
+    /// framing error the connection is dropped (the next call
+    /// reconnects) and the error is returned.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let max_frame_bytes = self.max_frame_bytes;
+        let result = (|| {
+            let stream = self.ensure_connected()?;
+            wire::write_frame(stream, &wire::encode_request(request)).map_err(ClientError::Io)?;
+            let payload = wire::read_frame(stream, max_frame_bytes)?;
+            wire::decode_response(&payload).map_err(ClientError::Wire)
+        })();
+        if result.is_err() {
+            // The stream may be desynchronized; reconnect lazily.
+            self.stream = None;
+        }
+        match result {
+            Ok(Response::Error { code, message }) => {
+                if code == ErrorCode::Busy {
+                    // The server closes a refused connection after the
+                    // Busy frame; keeping the stream would turn the
+                    // documented back-off-and-retry into a spurious
+                    // transport error. Drop it so the retry reconnects.
+                    self.stream = None;
+                }
+                Err(ClientError::Server { code, message })
+            }
+            other => other,
+        }
+    }
+
+    // --- typed helpers -----------------------------------------------------
+
+    /// Durably ingest a batch of events.
+    pub fn ingest(&mut self, events: &[Event]) -> Result<IngestSummary, ClientError> {
+        match self.call(&Request::Ingest(events.to_vec()))? {
+            Response::Ingested {
+                processed,
+                granted,
+                denied,
+                violations,
+            } => Ok(IngestSummary {
+                processed,
+                granted,
+                denied,
+                violations,
+            }),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// One door swipe: was access granted?
+    pub fn check_access(
+        &mut self,
+        time: Time,
+        subject: SubjectId,
+        location: LocationId,
+    ) -> Result<bool, ClientError> {
+        let event = Event::Request {
+            time,
+            subject,
+            location,
+        };
+        match self.call(&Request::Check(event))? {
+            Response::Access { granted } => Ok(granted),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Where was `subject` at `at`?
+    pub fn whereabouts(
+        &mut self,
+        subject: SubjectId,
+        at: Time,
+    ) -> Result<Option<LocationId>, ClientError> {
+        match self.call(&Request::Query(HistoryQuery::Whereabouts { subject, at }))? {
+            Response::Whereabouts { location } => Ok(location),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Who was in `location` during `window`?
+    pub fn present_during(
+        &mut self,
+        location: LocationId,
+        window: Interval,
+    ) -> Result<Vec<(SubjectId, Interval)>, ClientError> {
+        match self.call(&Request::Query(HistoryQuery::PresentDuring {
+            location,
+            window,
+        }))? {
+            Response::Present { rows } => Ok(rows),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Contact tracing for `subject` over `window`.
+    pub fn contacts(
+        &mut self,
+        subject: SubjectId,
+        window: Interval,
+    ) -> Result<Vec<Contact>, ClientError> {
+        match self.call(&Request::Query(HistoryQuery::Contacts { subject, window }))? {
+            Response::Contacts { contacts } => Ok(contacts),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Violations detected inside `window`.
+    pub fn violations_in(&mut self, window: Interval) -> Result<Vec<Violation>, ClientError> {
+        match self.call(&Request::Query(HistoryQuery::ViolationsIn { window }))? {
+            Response::Violations { violations } => Ok(violations),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// The server's operational counters.
+    pub fn status(&mut self) -> Result<ServerStatus, ClientError> {
+        match self.call(&Request::Query(HistoryQuery::Status))? {
+            Response::Status { status } => Ok(status),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # ltam-serve — the network serving tier for LTAM enforcement
+//!
+//! PRs 1–4 made the enforcement engine sharded, durable, and bounded;
+//! every client still lived in-process. This crate is the deployment
+//! shape the paper (and the ROADMAP's "millions of users") actually
+//! implies: many untrusted sensors, turnstiles and admin consoles
+//! reaching **one enforcement authority** over a network.
+//!
+//! * [`wire`] — the binary protocol: length-prefixed, CRC32-framed
+//!   request/response messages whose hot path (event batches) reuses
+//!   `ltam-store`'s WAL event codec byte for byte. Decoding is total —
+//!   torn, truncated or bit-flipped frames produce errors, never
+//!   panics, and the CRC makes a corrupted frame unable to pass as a
+//!   different valid message.
+//! * [`server`] — [`Server`]: an acceptor plus worker-per-connection
+//!   threads over one shared [`DurableEngine`](ltam_store::DurableEngine)
+//!   (writes funnel through the durable batch-ingest path; reads run
+//!   concurrently), with a connection limit ([`ErrorCode::Busy`]
+//!   refusals), idle timeouts, and graceful drain-then-snapshot
+//!   shutdown.
+//! * [`client`] — [`LtamClient`]: a blocking, reconnecting client with
+//!   typed helpers for every RPC.
+//! * [`loadgen`] — a closed-loop load generator (N client threads,
+//!   latency percentiles) driving the `repro serve` drill, which
+//!   verifies the served violation multiset against an in-process run
+//!   of the same trace.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, IngestSummary, LtamClient};
+pub use loadgen::{drive, LoadConfig, LoadReport};
+pub use server::{Server, ServerConfig};
+pub use wire::{
+    ErrorCode, FrameError, HistoryQuery, Request, Response, ServerStatus, WireError,
+    DEFAULT_MAX_FRAME_BYTES,
+};

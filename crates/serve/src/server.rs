@@ -1,0 +1,443 @@
+//! The serving tier: a threaded `std::net` TCP server fronting a
+//! [`DurableEngine`].
+//!
+//! ## Threading model
+//!
+//! One **acceptor** thread owns the listener; every accepted connection
+//! gets a dedicated **worker** thread (worker-per-connection — the same
+//! trade the sharded engine makes: real OS threads, no async runtime,
+//! nothing to vendor). Workers share the engine behind one
+//! `parking_lot::RwLock`:
+//!
+//! * **writes** ([`Request::Ingest`], [`Request::Check`]) take the
+//!   write lock and funnel through [`DurableEngine::ingest`] — the WAL
+//!   append, shard-order merge, snapshot cadence and retention
+//!   maintenance all run exactly as they do in-process, so durability
+//!   and determinism are preserved per batch;
+//! * **reads** ([`Request::Query`]) take the read lock and run
+//!   concurrently with each other (the tier-aware queries are `&self`;
+//!   the lazy archive cache has its own interior lock).
+//!
+//! ## Backpressure
+//!
+//! Past [`ServerConfig::max_connections`] the acceptor answers a
+//! single [`Response::Error`] with [`ErrorCode::Busy`] and closes —
+//! the client sees it as the response to its first request and can
+//! back off. Within a connection, backpressure is the closed loop
+//! itself: one request is in flight per connection, and a slow engine
+//! slows every client's next send.
+//!
+//! ## Timeouts and shutdown
+//!
+//! Workers poll for the first byte of each frame with a short read
+//! timeout so an idle connection holds no lock and notices shutdown;
+//! a connection idle past [`ServerConfig::idle_timeout`] is closed
+//! (its slot is the scarce resource). A peer that starts a frame and
+//! stalls mid-way is cut off after the read timeout — a torn frame,
+//! like a torn WAL record, never blocks the server.
+//!
+//! [`Server::shutdown`] stops accepting, lets every worker finish the
+//! request it is processing (in-flight requests drain; idle workers
+//! notice the flag at their next poll), joins all threads, takes a
+//! final snapshot, and hands the engine back. [`Server::abort`] skips
+//! the snapshot and drops the engine where it stands — recovery then
+//! replays the WAL tail, exactly as after a crash.
+
+use crate::wire::{
+    self, ErrorCode, FrameError, HistoryQuery, Request, Response, ServerStatus, FRAME_HEADER_LEN,
+};
+use ltam_store::{DurableEngine, HistoryError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Served connections beyond this are refused with
+    /// [`ErrorCode::Busy`].
+    pub max_connections: usize,
+    /// A connection idle (no frame started) past this is closed.
+    pub idle_timeout: Duration,
+    /// How long a peer may stall *mid-frame* before being cut off —
+    /// also the worker's poll tick for shutdown and idle checks.
+    pub read_timeout: Duration,
+    /// Per-frame payload cap (see [`wire::DEFAULT_MAX_FRAME_BYTES`]).
+    pub max_frame_bytes: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_millis(200),
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Counters and connection registry shared by every thread.
+#[derive(Debug, Default)]
+struct Stats {
+    connections_total: AtomicU64,
+    refused_busy: AtomicU64,
+    requests_served: AtomicU64,
+    protocol_errors: AtomicU64,
+    active: AtomicUsize,
+    /// Requests served per live connection, by connection id.
+    per_connection: Mutex<BTreeMap<u64, u64>>,
+}
+
+struct Shared {
+    engine: RwLock<DurableEngine>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+/// A running LTAM server. Dropping it without calling
+/// [`Server::shutdown`] or [`Server::abort`] aborts ungracefully.
+pub struct Server {
+    addr: SocketAddr,
+    /// `Some` while running; taken by `stop()`.
+    shared: Option<Arc<Shared>>,
+    acceptor: Option<JoinHandle<()>>,
+    /// Worker handles, registered by the acceptor as connections come
+    /// in; joined on shutdown (finished workers join instantly).
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `engine`.
+    pub fn start(engine: DurableEngine, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(engine),
+            config,
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::spawn(move || acceptor_loop(listener, shared, workers))
+        };
+        Ok(Server {
+            addr: local,
+            shared: Some(shared),
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully stop: refuse new connections, drain in-flight
+    /// requests, join every thread, snapshot, and return the engine.
+    pub fn shutdown(mut self) -> io::Result<DurableEngine> {
+        let mut engine = self.stop()?;
+        engine.snapshot()?;
+        Ok(engine)
+    }
+
+    /// Hard-stop without the final snapshot — the closest an in-process
+    /// test can get to `kill -9`: whatever the WAL holds is what
+    /// recovery will see.
+    pub fn abort(mut self) -> io::Result<()> {
+        self.stop().map(drop)
+    }
+
+    fn stop(&mut self) -> io::Result<DurableEngine> {
+        let shared = self
+            .shared
+            .take()
+            .ok_or_else(|| io::Error::other("server already stopped"))?;
+        shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => Ok(shared.engine.into_inner()),
+            Err(_) => Err(io::Error::other(
+                "a worker thread still holds the engine after join",
+            )),
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Persistent accept failures (EMFILE under fd pressure,
+                // ECONNABORTED storms) must not busy-spin the acceptor;
+                // back off briefly and retry. Shutdown still lands: the
+                // flag is checked every iteration.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Reap finished workers so the handle list tracks *live*
+        // connections, not every connection ever accepted.
+        {
+            let mut guard = workers.lock();
+            let (done, live): (Vec<_>, Vec<_>) = guard.drain(..).partition(|h| h.is_finished());
+            *guard = live;
+            drop(guard);
+            for h in done {
+                let _ = h.join();
+            }
+        }
+        let active = shared.stats.active.load(Ordering::SeqCst);
+        if active >= shared.config.max_connections {
+            refuse_busy(stream, &shared);
+            continue;
+        }
+        shared.stats.active.fetch_add(1, Ordering::SeqCst);
+        shared
+            .stats
+            .connections_total
+            .fetch_add(1, Ordering::SeqCst);
+        let id = next_conn_id;
+        next_conn_id += 1;
+        shared.stats.per_connection.lock().insert(id, 0);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, id, &shared);
+                shared.stats.per_connection.lock().remove(&id);
+                shared.stats.active.fetch_sub(1, Ordering::SeqCst);
+            })
+        };
+        workers.lock().push(worker);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.shared.is_some() {
+            let _ = self.stop(); // ungraceful: no final snapshot
+        }
+    }
+}
+
+/// Over the connection limit: answer one `Busy` error and close.
+fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
+    shared.stats.refused_busy.fetch_add(1, Ordering::SeqCst);
+    // A refused peer not reading must not wedge the acceptor either.
+    let _ = stream.set_write_timeout(Some(shared.config.idle_timeout));
+    let response = Response::Error {
+        code: ErrorCode::Busy,
+        message: format!(
+            "serving {} connections (the configured limit); retry later",
+            shared.config.max_connections
+        ),
+    };
+    let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+}
+
+/// One worker: read frames, dispatch, respond, until disconnect,
+/// protocol violation, idle timeout, or shutdown.
+fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) -> io::Result<()> {
+    // Closed-loop request/response: Nagle + delayed ACK would add tens
+    // of milliseconds per round trip.
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    // A peer that stops *reading* is as dead as one that stops
+    // writing: without this, a full kernel send buffer would block
+    // `write_all` forever, pin the connection slot, and stall
+    // `Server::shutdown` at the join.
+    stream.set_write_timeout(Some(shared.config.idle_timeout))?;
+    let mut last_activity = Instant::now();
+    loop {
+        // Phase 1: poll for the first header byte, so idleness (no
+        // frame started) is distinguishable from a mid-frame stall.
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(()), // clean disconnect between frames
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                if last_activity.elapsed() >= shared.config.idle_timeout {
+                    return Ok(()); // idle: free the slot
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        // Phase 2: the peer committed to a frame; finish it or cut off.
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[0] = first[0];
+        let payload = stream
+            .read_exact(&mut header[1..])
+            .map_err(FrameError::Io)
+            .and_then(|()| {
+                wire::read_frame_after_header(&mut stream, header, shared.config.max_frame_bytes)
+            });
+        let payload = match payload {
+            Ok(p) => p,
+            Err(FrameError::Protocol(e)) => {
+                // Malformed frame: report, answer once, disconnect (the
+                // stream is no longer in sync).
+                shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                let response = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("unreadable frame: {e}"),
+                };
+                let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+                return Ok(());
+            }
+            Err(FrameError::Io(_)) => return Ok(()), // torn frame / dead peer
+        };
+        last_activity = Instant::now();
+        let response = match wire::decode_request(&payload) {
+            Ok(request) => dispatch(shared, request),
+            Err(e) => {
+                // Framing was intact (CRC passed) but the body is not a
+                // request: answer the error and stay in sync.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                }
+            }
+        };
+        wire::write_frame(&mut stream, &wire::encode_response(&response))?;
+        shared.stats.requests_served.fetch_add(1, Ordering::SeqCst);
+        if let Some(n) = shared.stats.per_connection.lock().get_mut(&conn_id) {
+            *n += 1;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain semantics: the in-flight request was answered;
+            // close before starting another.
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Ingest(events) => match shared.engine.write().ingest(&events) {
+            Ok(outcome) => Response::Ingested {
+                processed: outcome.processed,
+                granted: outcome.granted,
+                denied: outcome.denied,
+                violations: outcome.violations,
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("batch not durable: {e}"),
+            },
+        },
+        Request::Check(event) => match shared.engine.write().ingest(&[event]) {
+            Ok(outcome) => Response::Access {
+                granted: outcome.granted == 1,
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("swipe not durable: {e}"),
+            },
+        },
+        Request::Query(query) => {
+            let engine = shared.engine.read();
+            match query {
+                HistoryQuery::Whereabouts { subject, at } => engine
+                    .whereabouts(subject, at)
+                    .map(|location| Response::Whereabouts { location })
+                    .unwrap_or_else(history_error),
+                HistoryQuery::PresentDuring { location, window } => engine
+                    .present_during(location, window)
+                    .map(|rows| Response::Present { rows })
+                    .unwrap_or_else(history_error),
+                HistoryQuery::Contacts { subject, window } => engine
+                    .contacts(subject, window)
+                    .map(|contacts| Response::Contacts { contacts })
+                    .unwrap_or_else(history_error),
+                HistoryQuery::ViolationsIn { window } => engine
+                    .violations_in(window)
+                    .map(|violations| Response::Violations { violations })
+                    .unwrap_or_else(history_error),
+                HistoryQuery::Status => Response::Status {
+                    status: status_of(shared, &engine),
+                },
+            }
+        }
+    }
+}
+
+fn history_error(e: HistoryError) -> Response {
+    let code = match e {
+        HistoryError::Unarchived { .. } => ErrorCode::Unarchived,
+        HistoryError::Io(_) => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn status_of(shared: &Shared, engine: &DurableEngine) -> ServerStatus {
+    let (archive_covered_to, archive_error) = match engine.archive_covered_to() {
+        Ok(covered) => (covered, None),
+        // An unreadable archive must not masquerade as the healthy
+        // "nothing archived yet" zero.
+        Err(e) => (0, Some(e.to_string())),
+    };
+    ServerStatus {
+        events_ingested: engine.applied(),
+        snapshot_seq: engine.last_snapshot_seq(),
+        policy_epoch: engine.policy_epoch(),
+        retention_watermark: engine.retention_watermark().get(),
+        archive_covered_to,
+        archive_error,
+        archive_segments_loaded: engine.archive_segments_loaded(),
+        engine: engine.engine().status(),
+        connections_active: shared.stats.active.load(Ordering::SeqCst),
+        connections_total: shared.stats.connections_total.load(Ordering::SeqCst),
+        refused_busy: shared.stats.refused_busy.load(Ordering::SeqCst),
+        requests_served: shared.stats.requests_served.load(Ordering::SeqCst),
+        protocol_errors: shared.stats.protocol_errors.load(Ordering::SeqCst),
+        per_connection: shared
+            .stats
+            .per_connection
+            .lock()
+            .iter()
+            .map(|(&id, &n)| (id, n))
+            .collect(),
+    }
+}

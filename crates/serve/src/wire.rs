@@ -1,0 +1,572 @@
+//! The LTAM wire protocol (version 1): length-prefixed, CRC32-framed
+//! request/response messages over any byte stream.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌──────── frame header (8 bytes) ────────┬──────────────────────────┐
+//! │ len u32 LE │ crc32 u32 LE              │ payload (len bytes)      │
+//! └────────────┴───────────────────────────┴──────────────────────────┘
+//! payload = [ kind u8 ][ body ]
+//! ```
+//!
+//! The framing deliberately mirrors the WAL record format
+//! (`ltam-store`'s `wal.rs`): the CRC covers the payload, and the
+//! integer encodings are the same LEB128 varints
+//! ([`ltam_store::put_varint`]). Bodies come in two shapes:
+//!
+//! * **binary** — the hot ingest path ([`Request::Ingest`],
+//!   [`Request::Check`]) carries events in the WAL event codec
+//!   ([`ltam_store::encode_event`]), so a sensor batch costs the same
+//!   bytes on the wire as it does in the log;
+//! * **JSON** — queries and every response, exactly like archive
+//!   segments pair a binary events block with a JSON records block.
+//!
+//! Decoding is **total**: arbitrary bytes either decode to a message or
+//! return a [`WireError`] — never a panic — and a corrupted frame can
+//! never decode to a *wrong-but-valid* message, because the CRC is
+//! checked before the body is looked at (CRC32 catches every single-bit
+//! flip in the payload). The workspace's serve property tests assert
+//! all of this the same way the codec's do.
+
+use ltam_core::subject::SubjectId;
+use ltam_engine::batch::{EngineStatus, Event};
+use ltam_engine::movement::Contact;
+use ltam_engine::Violation;
+use ltam_graph::LocationId;
+use ltam_store::codec::{decode_event, encode_event, get_varint, put_varint, DecodeError};
+use ltam_store::crc32;
+use ltam_time::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Bytes of the frame header (length + CRC).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Default cap on a frame's payload size. A peer announcing a larger
+/// frame is protocol-violating (or malicious): the reader refuses
+/// before allocating.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Payload kind tags (version 1).
+const KIND_INGEST: u8 = 0x01;
+const KIND_CHECK: u8 = 0x02;
+const KIND_QUERY: u8 = 0x03;
+const KIND_RESPONSE: u8 = 0x04;
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame announced a payload larger than the reader's cap.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u32,
+        /// The reader's cap.
+        max: u32,
+    },
+    /// An empty payload (every payload carries at least a kind byte).
+    EmptyPayload,
+    /// The payload's CRC32 does not match the header's.
+    CrcMismatch,
+    /// The leading kind byte is not a known payload kind.
+    BadKind(u8),
+    /// A binary body failed to decode as events.
+    Codec(DecodeError),
+    /// A binary body decoded cleanly but bytes remained.
+    TrailingBytes,
+    /// The event count of an ingest body is implausible for the body's
+    /// size (refused before allocating).
+    BadCount(u64),
+    /// A `Check` body must be a `Request` event (a door swipe).
+    NotARequest,
+    /// A JSON body failed to parse as the expected message.
+    BadJson(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::EmptyPayload => write!(f, "empty frame payload"),
+            WireError::CrcMismatch => write!(f, "frame CRC mismatch"),
+            WireError::BadKind(k) => write!(f, "unknown payload kind {k:#04x}"),
+            WireError::Codec(e) => write!(f, "event codec error: {e}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after the message body"),
+            WireError::BadCount(n) => write!(f, "implausible event count {n} for the body size"),
+            WireError::NotARequest => write!(f, "Check body must be a Request event"),
+            WireError::BadJson(e) => write!(f, "bad JSON body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// What [`read_frame`] can fail with: a transport error (timeout,
+/// disconnect, torn read) or a protocol violation by the peer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes timeouts and EOF).
+    Io(io::Error),
+    /// The peer sent bytes that are not a valid frame.
+    Protocol(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// A request from a client to the serving tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Durably ingest a batch of sensor events (the write path; the
+    /// server funnels it through `DurableEngine::ingest`, so the whole
+    /// batch is WAL-durable before the response — or none of it is).
+    Ingest(Vec<Event>),
+    /// A single door swipe: the event must be [`Event::Request`]. The
+    /// response reports the decision.
+    Check(Event),
+    /// A read-only historical or status query.
+    Query(HistoryQuery),
+}
+
+/// The read-only queries the serving tier answers (tier-aware: they
+/// transparently merge the archive when the window reaches below the
+/// retention watermark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryQuery {
+    /// Where was `subject` at `at`?
+    Whereabouts {
+        /// The subject to locate.
+        subject: SubjectId,
+        /// The chronon to locate them at.
+        at: Time,
+    },
+    /// Who was in `location` during `window`?
+    PresentDuring {
+        /// The location of interest.
+        location: LocationId,
+        /// The presence window.
+        window: Interval,
+    },
+    /// The paper's SARS query: who overlapped with `subject`?
+    Contacts {
+        /// The diagnosed subject.
+        subject: SubjectId,
+        /// The exposure window.
+        window: Interval,
+    },
+    /// Violations detected inside `window`.
+    ViolationsIn {
+        /// The report window.
+        window: Interval,
+    },
+    /// Operational counters (see [`ServerStatus`]).
+    Status,
+}
+
+/// Machine-readable classes of server-reported errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The server is at its connection limit; retry later.
+    Busy,
+    /// The request decoded but was semantically invalid.
+    BadRequest,
+    /// The query needs history that was discarded without archiving
+    /// (see `ltam_store::HistoryError::Unarchived`).
+    Unarchived,
+    /// The server failed internally (I/O on the store, archive rot).
+    Internal,
+}
+
+/// A response from the serving tier. Always JSON-bodied (tag
+/// `0x04`): responses carry structured query results, which is
+/// exactly the shape the archive's JSON block already serializes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Outcome of an [`Request::Ingest`] batch.
+    Ingested {
+        /// Events in the batch.
+        processed: usize,
+        /// Access requests granted.
+        granted: usize,
+        /// Access requests denied.
+        denied: usize,
+        /// Violations the batch raised, in shard-merge order.
+        violations: Vec<Violation>,
+    },
+    /// Outcome of a [`Request::Check`] swipe.
+    Access {
+        /// Was the request granted?
+        granted: bool,
+    },
+    /// Answer to [`HistoryQuery::Whereabouts`].
+    Whereabouts {
+        /// The location, if the subject was anywhere known.
+        location: Option<LocationId>,
+    },
+    /// Answer to [`HistoryQuery::PresentDuring`].
+    Present {
+        /// `(subject, clipped overlap)` rows.
+        rows: Vec<(SubjectId, Interval)>,
+    },
+    /// Answer to [`HistoryQuery::Contacts`].
+    Contacts {
+        /// The contact rows.
+        contacts: Vec<Contact>,
+    },
+    /// Answer to [`HistoryQuery::ViolationsIn`].
+    Violations {
+        /// The violations inside the window.
+        violations: Vec<Violation>,
+    },
+    /// Answer to [`HistoryQuery::Status`].
+    Status {
+        /// The counters.
+        status: ServerStatus,
+    },
+    /// The request could not be served.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Operational counters exposed by the `Status` RPC: store-level
+/// durability positions, the engine's [`EngineStatus`], and the serving
+/// tier's connection/request accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatus {
+    /// Events durably applied (the WAL sequence).
+    pub events_ingested: u64,
+    /// WAL sequence the newest snapshot covers.
+    pub snapshot_seq: u64,
+    /// Policy epoch (bumped by every durable policy edit).
+    pub policy_epoch: u64,
+    /// Movement-history retention watermark (0 = never pruned).
+    pub retention_watermark: u64,
+    /// Archive chain coverage end (0 = no archive).
+    pub archive_covered_to: u64,
+    /// `Some(message)` when the archive chain could not be scanned
+    /// (unreadable directory, gappy or corrupt segments). Never fold
+    /// this into a healthy-looking `archive_covered_to: 0` — operators
+    /// alert on it (`OPERATIONS.md` §8).
+    pub archive_error: Option<String>,
+    /// Archive segments whose payloads are cached in memory.
+    pub archive_segments_loaded: usize,
+    /// Engine-level counters, per shard and aggregated.
+    pub engine: EngineStatus,
+    /// Connections currently being served.
+    pub connections_active: usize,
+    /// Connections accepted since the server started.
+    pub connections_total: u64,
+    /// Connections refused with `Busy` (over the limit).
+    pub refused_busy: u64,
+    /// Requests answered since the server started.
+    pub requests_served: u64,
+    /// Frames or bodies that failed to decode.
+    pub protocol_errors: u64,
+    /// Per-connection request counts for live connections, as
+    /// `(connection id, requests served)` rows.
+    pub per_connection: Vec<(u64, u64)>,
+}
+
+// --- framing ---------------------------------------------------------------
+
+/// Write one frame: header (payload length + CRC32 of the payload),
+/// then the payload, as a single `write_all`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)
+}
+
+/// Read one frame's payload, verifying length cap and CRC. A short
+/// read surfaces as [`FrameError::Io`]; an oversized announcement,
+/// empty payload, or CRC mismatch as [`FrameError::Protocol`].
+pub fn read_frame(r: &mut impl Read, max_bytes: u32) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    read_frame_after_header(r, header, max_bytes)
+}
+
+/// Finish reading a frame whose 8-byte header was already consumed
+/// (the server reads the first byte separately to distinguish idle
+/// timeouts from mid-frame stalls).
+pub fn read_frame_after_header(
+    r: &mut impl Read,
+    header: [u8; FRAME_HEADER_LEN],
+    max_bytes: u32,
+) -> Result<Vec<u8>, FrameError> {
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > max_bytes {
+        return Err(FrameError::Protocol(WireError::FrameTooLarge {
+            len,
+            max: max_bytes,
+        }));
+    }
+    if len == 0 {
+        return Err(FrameError::Protocol(WireError::EmptyPayload));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(FrameError::Protocol(WireError::CrcMismatch));
+    }
+    Ok(payload)
+}
+
+// --- request encoding ------------------------------------------------------
+
+/// Encode a request payload (frame it with [`write_frame`]).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match request {
+        Request::Ingest(events) => {
+            out.push(KIND_INGEST);
+            put_varint(&mut out, events.len() as u64);
+            for e in events {
+                encode_event(e, &mut out);
+            }
+        }
+        Request::Check(event) => {
+            out.push(KIND_CHECK);
+            encode_event(event, &mut out);
+        }
+        Request::Query(query) => {
+            out.push(KIND_QUERY);
+            out.extend_from_slice(
+                serde_json::to_string(query)
+                    .expect("queries serialize")
+                    .as_bytes(),
+            );
+        }
+    }
+    out
+}
+
+/// Decode a request payload. Total: arbitrary bytes yield a request or
+/// a [`WireError`], never a panic.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let (&kind, body) = payload.split_first().ok_or(WireError::EmptyPayload)?;
+    match kind {
+        KIND_INGEST => {
+            let mut at = 0usize;
+            let count = get_varint(body, &mut at)?;
+            // The smallest event (a Tick) is 2 bytes: any larger count
+            // lies about the body and must not drive an allocation.
+            if count > ((body.len() - at) / 2 + 1) as u64 {
+                return Err(WireError::BadCount(count));
+            }
+            let mut events = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let (event, used) = decode_event(&body[at..])?;
+                at += used;
+                events.push(event);
+            }
+            if at != body.len() {
+                return Err(WireError::TrailingBytes);
+            }
+            Ok(Request::Ingest(events))
+        }
+        KIND_CHECK => {
+            let (event, used) = decode_event(body)?;
+            if used != body.len() {
+                return Err(WireError::TrailingBytes);
+            }
+            if !matches!(event, Event::Request { .. }) {
+                return Err(WireError::NotARequest);
+            }
+            Ok(Request::Check(event))
+        }
+        KIND_QUERY => {
+            let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
+            let query =
+                serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
+            Ok(Request::Query(query))
+        }
+        other => Err(WireError::BadKind(other)),
+    }
+}
+
+// --- response encoding -----------------------------------------------------
+
+/// Encode a response payload (frame it with [`write_frame`]).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let json = serde_json::to_string(response).expect("responses serialize");
+    let mut out = Vec::with_capacity(1 + json.len());
+    out.push(KIND_RESPONSE);
+    out.extend_from_slice(json.as_bytes());
+    out
+}
+
+/// Decode a response payload. Total, like [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let (&kind, body) = payload.split_first().ok_or(WireError::EmptyPayload)?;
+    if kind != KIND_RESPONSE {
+        return Err(WireError::BadKind(kind));
+    }
+    let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ingest(vec![]),
+            Request::Ingest(vec![
+                Event::Request {
+                    time: Time(10),
+                    subject: SubjectId(1),
+                    location: LocationId(2),
+                },
+                Event::Tick { now: Time(99) },
+            ]),
+            Request::Check(Event::Request {
+                time: Time(5),
+                subject: SubjectId(0),
+                location: LocationId(3),
+            }),
+            Request::Query(HistoryQuery::Whereabouts {
+                subject: SubjectId(7),
+                at: Time(42),
+            }),
+            Request::Query(HistoryQuery::Contacts {
+                subject: SubjectId(7),
+                window: Interval::lit(0, 100),
+            }),
+            Request::Query(HistoryQuery::Status),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_a_framed_stream() {
+        let mut stream = Vec::new();
+        for r in sample_requests() {
+            write_frame(&mut stream, &encode_request(&r)).unwrap();
+        }
+        let mut cursor = Cursor::new(stream);
+        for expected in sample_requests() {
+            let payload = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(decode_request(&payload).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let samples = vec![
+            Response::Ingested {
+                processed: 3,
+                granted: 1,
+                denied: 1,
+                violations: vec![Violation::UnauthorizedEntry {
+                    time: Time(9),
+                    subject: SubjectId(4),
+                    location: LocationId(1),
+                }],
+            },
+            Response::Access { granted: true },
+            Response::Whereabouts { location: None },
+            Response::Present {
+                rows: vec![(SubjectId(1), Interval::lit(3, 9))],
+            },
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "at the connection limit".into(),
+            },
+        ];
+        for r in &samples {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &encode_response(r)).unwrap();
+            let payload = read_frame(&mut Cursor::new(bytes), DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert_eq!(&decode_response(&payload).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_protocol_errors() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &[0u8; 64]).unwrap();
+        let err = read_frame(&mut Cursor::new(bytes), 16).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Protocol(WireError::FrameTooLarge { len: 64, max: 16 })
+        ));
+        let mut empty = Vec::new();
+        write_frame(&mut empty, &[]).unwrap();
+        let err = read_frame(&mut Cursor::new(empty), 16).unwrap_err();
+        assert!(matches!(err, FrameError::Protocol(WireError::EmptyPayload)));
+    }
+
+    #[test]
+    fn a_flipped_payload_bit_is_caught_by_the_crc() {
+        let mut bytes = Vec::new();
+        write_frame(
+            &mut bytes,
+            &encode_request(&Request::Query(HistoryQuery::Status)),
+        )
+        .unwrap();
+        for bit in 0..8 {
+            let mut copy = bytes.clone();
+            let last = copy.len() - 1;
+            copy[last] ^= 1 << bit;
+            let err = read_frame(&mut Cursor::new(copy), DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+            assert!(matches!(err, FrameError::Protocol(WireError::CrcMismatch)));
+        }
+    }
+
+    #[test]
+    fn implausible_ingest_counts_do_not_allocate() {
+        // A body claiming u64::MAX events with no event bytes.
+        let mut payload = vec![KIND_INGEST];
+        put_varint(&mut payload, u64::MAX);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadCount(_))
+        ));
+    }
+
+    #[test]
+    fn check_rejects_non_request_events() {
+        let mut payload = vec![KIND_CHECK];
+        encode_event(
+            &Event::Enter {
+                time: Time(1),
+                subject: SubjectId(1),
+                location: LocationId(1),
+            },
+            &mut payload,
+        );
+        assert_eq!(decode_request(&payload), Err(WireError::NotARequest));
+    }
+}

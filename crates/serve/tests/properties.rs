@@ -1,0 +1,176 @@
+//! Property tests for the wire layer, held to the same bar as the WAL
+//! codec's: round-trips are exact, and damaged bytes — truncations,
+//! bit flips, garbage — decode to errors, never panics, and **never a
+//! wrong-but-valid message** (the frame CRC is checked before any body
+//! is interpreted, and CRC32 catches every single-bit flip of the
+//! payload).
+
+use ltam_core::subject::SubjectId;
+use ltam_engine::batch::Event;
+use ltam_graph::LocationId;
+use ltam_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    HistoryQuery, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+use ltam_time::{Interval, Time};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let fields = || (0u64..=u64::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX);
+    prop_oneof![
+        fields().prop_map(|(t, s, l)| Event::Request {
+            time: Time(t),
+            subject: SubjectId(s),
+            location: LocationId(l),
+        }),
+        fields().prop_map(|(t, s, l)| Event::Enter {
+            time: Time(t),
+            subject: SubjectId(s),
+            location: LocationId(l),
+        }),
+        fields().prop_map(|(t, s, l)| Event::Exit {
+            time: Time(t),
+            subject: SubjectId(s),
+            location: LocationId(l),
+        }),
+        (0u64..=u64::MAX).prop_map(|t| Event::Tick { now: Time(t) }),
+    ]
+}
+
+fn arb_window() -> impl Strategy<Value = Interval> {
+    (0u64..1_000_000, 0u64..1_000_000).prop_map(|(a, b)| Interval::lit(a.min(b), a.max(b)))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let swipe = (0u64..=u64::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX).prop_map(|(t, s, l)| {
+        Request::Check(Event::Request {
+            time: Time(t),
+            subject: SubjectId(s),
+            location: LocationId(l),
+        })
+    });
+    prop_oneof![
+        prop::collection::vec(arb_event(), 0..24).prop_map(Request::Ingest),
+        swipe,
+        (0u32..=u32::MAX, 0u64..=u64::MAX).prop_map(|(s, t)| Request::Query(
+            HistoryQuery::Whereabouts {
+                subject: SubjectId(s),
+                at: Time(t),
+            }
+        )),
+        (0u32..=u32::MAX, arb_window()).prop_map(|(l, w)| Request::Query(
+            HistoryQuery::PresentDuring {
+                location: LocationId(l),
+                window: w,
+            }
+        )),
+        (0u32..=u32::MAX, arb_window()).prop_map(|(s, w)| Request::Query(HistoryQuery::Contacts {
+            subject: SubjectId(s),
+            window: w,
+        })),
+        arb_window().prop_map(|w| Request::Query(HistoryQuery::ViolationsIn { window: w })),
+        Just(Request::Query(HistoryQuery::Status)),
+    ]
+}
+
+/// Frame a request exactly as the client would put it on the wire.
+fn framed(request: &Request) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &encode_request(request)).expect("vec write");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary requests survive the full frame → parse round trip
+    /// bit-exactly.
+    #[test]
+    fn framed_requests_round_trip(request in arb_request()) {
+        let bytes = framed(&request);
+        let payload = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME_BYTES)
+            .expect("intact frames read");
+        prop_assert_eq!(decode_request(&payload).expect("intact payloads decode"), request);
+    }
+
+    /// Every strict prefix of a framed request fails to read — the
+    /// stream can tear anywhere (header, payload, mid-varint) without
+    /// a panic or a silent success.
+    #[test]
+    fn truncated_frames_always_error(request in arb_request(), cut_seed in 0usize..4096) {
+        let bytes = framed(&request);
+        let cut = cut_seed % bytes.len();
+        let result = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME_BYTES);
+        prop_assert!(result.is_err(), "cut at {} of {}", cut, bytes.len());
+    }
+
+    /// A single flipped bit anywhere in the frame is caught: the read
+    /// or decode errors, and can never produce a different valid
+    /// message. (A payload flip is guaranteed caught by CRC32; a
+    /// header flip either breaks the read or breaks the CRC check.)
+    #[test]
+    fn bit_flipped_frames_never_yield_a_wrong_message(
+        request in arb_request(),
+        byte_seed in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = framed(&request);
+        let i = byte_seed % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let outcome = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME_BYTES)
+            .map_err(|_| ())
+            .and_then(|payload| decode_request(&payload).map_err(|_| ()));
+        prop_assert!(outcome.is_err(), "flip at byte {} bit {}", i, bit);
+    }
+
+    /// Arbitrary garbage never panics the frame reader or the decoders.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME_BYTES);
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// A framed stream of many requests parses back message by message
+    /// (connections carry back-to-back frames).
+    #[test]
+    fn framed_streams_parse_frame_by_frame(requests in prop::collection::vec(arb_request(), 0..12)) {
+        let mut stream = Vec::new();
+        for r in &requests {
+            stream.extend_from_slice(&framed(r));
+        }
+        let mut cursor = Cursor::new(&stream);
+        let mut back = Vec::new();
+        while (cursor.position() as usize) < stream.len() {
+            let payload = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).expect("stream frame");
+            back.push(decode_request(&payload).expect("stream payload"));
+        }
+        prop_assert_eq!(back, requests);
+    }
+
+    /// Responses round-trip too (violations and contact rows travel
+    /// the other way).
+    #[test]
+    fn framed_responses_round_trip(granted in any::<bool>(), n in 0usize..8) {
+        let response = Response::Ingested {
+            processed: n,
+            granted: n,
+            denied: 0,
+            violations: (0..n)
+                .map(|i| ltam_engine::Violation::UnauthorizedEntry {
+                    time: Time(i as u64),
+                    subject: SubjectId(i as u32),
+                    location: LocationId(1),
+                })
+                .collect(),
+        };
+        let access = Response::Access { granted };
+        for r in [&response, &access] {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &encode_response(r)).unwrap();
+            let payload = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME_BYTES).unwrap();
+            prop_assert_eq!(&decode_response(&payload).unwrap(), r);
+        }
+    }
+}

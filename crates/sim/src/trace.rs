@@ -121,6 +121,28 @@ impl TraceWorld {
             .unwrap_or(Time::ZERO)
     }
 
+    /// Partition the trace into `clients` per-connection replay
+    /// streams for the serving tier's load generator: each subject's
+    /// events land in exactly one stream, in trace order — the
+    /// invariant enforcement needs — while cross-subject interleaving
+    /// is surrendered to the network. Broadcast events (`Tick`) go to
+    /// stream 0; because concurrent replay cannot preserve a tick's
+    /// global position, traces meant for violation-multiset comparison
+    /// against a serial run should be generated with `tick_every: 0`
+    /// (and, if overstay coverage is wanted, followed by one final tick
+    /// after every stream has drained — see `repro serve`).
+    pub fn client_streams(&self, clients: usize) -> Vec<Vec<Event>> {
+        assert!(clients >= 1, "need at least one client stream");
+        let mut streams = vec![Vec::new(); clients];
+        for e in &self.events {
+            match e.subject() {
+                Some(s) => streams[ltam_engine::batch::shard_of(s, clients)].push(*e),
+                None => streams[0].push(*e),
+            }
+        }
+        streams
+    }
+
     /// Persist this trace's event stream as an `ltam-store` WAL fixture
     /// under `dir` — the on-disk input for durability tests, corruption
     /// drills, and recovery benchmarks. Returns the number of records
@@ -363,6 +385,34 @@ mod tests {
         assert_eq!(read_events_wal(dir.path()).unwrap(), trace.events);
         // A fixture refuses to overwrite itself.
         assert!(trace.write_events_wal(dir.path(), 16 * 1024).is_err());
+    }
+
+    #[test]
+    fn client_streams_partition_by_subject_in_order() {
+        let trace = multi_shard_trace(&TraceConfig {
+            subjects: 24,
+            events: 2_000,
+            ..TraceConfig::default()
+        });
+        let streams = trace.client_streams(3);
+        assert_eq!(streams.len(), 3);
+        let scattered: usize = streams.iter().map(Vec::len).sum();
+        assert_eq!(scattered, trace.events.len(), "every event lands once");
+        // Each subject lives in exactly one stream, in original order.
+        let mut owner: std::collections::HashMap<SubjectId, usize> = Default::default();
+        for (i, stream) in streams.iter().enumerate() {
+            let mut last: std::collections::HashMap<SubjectId, Time> = Default::default();
+            for e in stream {
+                if let Some(s) = e.subject() {
+                    assert_eq!(*owner.entry(s).or_insert(i), i, "{s} split across streams");
+                    if let Some(&prev) = last.get(&s) {
+                        assert!(e.time() >= prev, "order broken for {s}");
+                    }
+                    last.insert(s, e.time());
+                }
+            }
+        }
+        assert!(owner.len() > 3, "multiple subjects per stream");
     }
 
     #[test]

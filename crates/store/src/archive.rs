@@ -342,35 +342,147 @@ impl ArchiveStore {
     /// Any unusable segment (bad header, CRC mismatch, undecodable
     /// record) fails the whole load — see the module docs for why the
     /// archive never skips damage.
+    ///
+    /// Loads the whole tier eagerly; live query paths go through
+    /// [`LazyArchive`] instead, which loads (and caches) only the
+    /// segments a query can actually touch.
     pub fn load(&self) -> io::Result<ArchiveData> {
-        let mut data = ArchiveData::default();
-        for (from, to, path) in self.scan()?.0 {
-            let seg = read_segment(&path, from, to)?;
-            for (s, stay) in seg.stays {
-                data.stays.entry(s).or_default().push((from, stay));
-                data.by_location
-                    .entry(stay.location)
-                    .or_default()
-                    .push((from, s, stay));
-            }
-            data.audit.extend(seg.audit);
-            data.violations
-                .extend(seg.violations.into_iter().map(|v| (from, v)));
-            data.events.extend(seg.events);
-            data.covered_to = to;
+        let chain = self.scan()?.0;
+        let mut data = ArchiveData {
+            covered_to: chain.last().map(|&(_, to, _)| to).unwrap_or(0),
+            ..ArchiveData::default()
+        };
+        for &(from, to, ref path) in &chain {
+            let seg = read_segment(path, from, to)?;
+            merge_segment(&mut data, from, seg);
         }
-        // Late-arriving records mean a later segment can hold a stay
-        // that predates an earlier segment's, so sort each subject's
-        // vector — queries binary-search them by enter time. The
-        // per-location index (what presence/contact joins scan) sorts
-        // by subject to match the live query's output order.
-        for stays in data.stays.values_mut() {
-            stays.sort_by_key(|&(_, s)| (s.enter, s.exit));
-        }
-        for stays in data.by_location.values_mut() {
-            stays.sort_by_key(|&(_, s, stay)| (s, stay.enter));
-        }
+        data.sort_indexes();
         Ok(data)
+    }
+}
+
+/// Fold one segment's records into `data` (indexes left unsorted; call
+/// [`ArchiveData::sort_indexes`] after the last merge).
+fn merge_segment(data: &mut ArchiveData, from: u64, seg: SegmentData) {
+    for (s, stay) in seg.stays {
+        data.stays.entry(s).or_default().push((from, stay));
+        data.by_location
+            .entry(stay.location)
+            .or_default()
+            .push((from, s, stay));
+    }
+    data.audit.extend(seg.audit);
+    data.violations
+        .extend(seg.violations.into_iter().map(|v| (from, v)));
+    data.events.extend(seg.events);
+}
+
+/// The archive tier with per-segment lazy loading: the chain is scanned
+/// once (file names only — that is the coverage index), and a segment's
+/// *payload* is read and cached only when a query's window can touch
+/// it. Huge archives therefore cost a directory listing until someone
+/// actually asks about the deep past.
+///
+/// Which segments can a query over `[needs_from, …)` touch? **Not**
+/// just those whose watermark range intersects the window naively:
+/// sensor clocks are only per-subject monotone, so a segment
+/// `[from, to)` may hold *late-arriving* records with timestamps below
+/// `from` (they were ingested after earlier runs pruned that era). Its
+/// records are bounded above by `to` only. A segment is therefore
+/// needed when
+///
+/// * `to > needs_from` — it can hold records at or past the query's
+///   lower edge (no segment can hold records at or past its own `to`,
+///   so segments wholly below the window stay cold), and
+/// * `from < applied_below` — the querying class's live watermark; a
+///   segment starting at or past it is *stranded* (its prune never
+///   applied, recovery resurrected its records into live state) and
+///   every record it holds would be filtered by the provenance check
+///   anyway, so it never needs loading.
+///
+/// Loaded segments accumulate monotonically: classes with different
+/// watermarks share one cache, and loading a superset is always sound
+/// because the per-record provenance filter still applies at query
+/// time.
+#[derive(Debug, Default)]
+pub struct LazyArchive {
+    /// Scanned chain rows, cached after the first scan.
+    chain: Option<Vec<SegmentRow>>,
+    /// Chain starts whose payloads are merged into `data`.
+    loaded: std::collections::BTreeSet<u64>,
+    data: ArchiveData,
+}
+
+impl LazyArchive {
+    /// A cold cache (nothing scanned, nothing loaded).
+    pub fn new() -> LazyArchive {
+        LazyArchive::default()
+    }
+
+    /// Drop everything; the next query rescans and reloads. Call after
+    /// any retention run (it may have appended or replaced segments).
+    pub fn invalidate(&mut self) {
+        *self = LazyArchive::default();
+    }
+
+    /// Chain coverage end (exclusive), scanning the directory on first
+    /// use. This never reads segment payloads.
+    pub fn coverage_end(&mut self, store: &ArchiveStore) -> io::Result<u64> {
+        Ok(self
+            .ensure_chain(store)?
+            .last()
+            .map(|&(_, to, _)| to)
+            .unwrap_or(0))
+    }
+
+    /// Segments whose payloads are currently cached (tests and the
+    /// status surface use this to prove laziness).
+    pub fn segments_loaded(&self) -> usize {
+        self.loaded.len()
+    }
+
+    fn ensure_chain(&mut self, store: &ArchiveStore) -> io::Result<&[SegmentRow]> {
+        if self.chain.is_none() {
+            let (chain, _) = store.scan()?;
+            self.data.covered_to = chain.last().map(|&(_, to, _)| to).unwrap_or(0);
+            self.chain = Some(chain);
+        }
+        Ok(self.chain.as_deref().expect("just scanned"))
+    }
+
+    /// The archive view for a query reaching down to `needs_from`,
+    /// with `applied_below` the querying class's live watermark (see
+    /// the type docs for the segment-selection rule). Segments needed
+    /// but not yet cached are read now; a corrupt or gappy chain fails
+    /// loudly, exactly like [`ArchiveStore::load`].
+    pub fn view_for(
+        &mut self,
+        store: &ArchiveStore,
+        needs_from: Time,
+        applied_below: Time,
+    ) -> io::Result<&ArchiveData> {
+        self.ensure_chain(store)?;
+        let needed: Vec<SegmentRow> = self
+            .chain
+            .as_deref()
+            .expect("chain scanned")
+            .iter()
+            .filter(|&&(from, to, _)| {
+                to > needs_from.get() && from < applied_below.get() && !self.loaded.contains(&from)
+            })
+            .cloned()
+            .collect();
+        let mut merged_any = false;
+        for (from, to, path) in needed {
+            let seg = read_segment(&path, from, to)?;
+            merge_segment(&mut self.data, from, seg);
+            self.loaded.insert(from);
+            merged_any = true;
+        }
+        if merged_any {
+            self.data.sort_indexes();
+        }
+        Ok(&self.data)
     }
 }
 
@@ -510,6 +622,21 @@ impl ArchiveData {
     /// True if the archive covers chronon `t`.
     pub fn covers(&self, t: Time) -> bool {
         t.get() < self.covered_to
+    }
+
+    /// Restore the query-order invariants after merging segments:
+    /// late-arriving records mean a later segment can hold a stay that
+    /// predates an earlier segment's, so each subject's vector sorts by
+    /// enter time (queries binary-search it) and the per-location index
+    /// (what presence/contact joins scan) sorts by subject to match the
+    /// live query's output order.
+    pub fn sort_indexes(&mut self) {
+        for stays in self.stays.values_mut() {
+            stays.sort_by_key(|&(_, s)| (s.enter, s.exit));
+        }
+        for stays in self.by_location.values_mut() {
+            stays.sort_by_key(|&(_, s, stay)| (s, stay.enter));
+        }
     }
 
     /// Archived `(segment start, stay)` rows of one subject. Callers
@@ -769,6 +896,93 @@ mod tests {
         // Truncation is caught too.
         std::fs::write(&seg, &bytes[..bytes.len() / 2]).unwrap();
         assert!(store.load().is_err());
+    }
+
+    #[test]
+    fn lazy_archive_loads_only_touched_segments() {
+        let dir = ScratchDir::new("arch-lazy");
+        let store = ArchiveStore::with_fsync(dir.path(), false);
+        store.append_run(0, 50, &history(&[(5, 10)])).unwrap();
+        store.append_run(50, 100, &history(&[(60, 70)])).unwrap();
+        store.append_run(100, 150, &history(&[(110, 120)])).unwrap();
+
+        let mut lazy = LazyArchive::new();
+        assert_eq!(lazy.coverage_end(&store).unwrap(), 150);
+        assert_eq!(lazy.segments_loaded(), 0, "coverage is a directory listing");
+
+        // A query reaching down to t=110 touches only the last segment.
+        let loc = lazy
+            .view_for(&store, Time(110), Time::MAX)
+            .unwrap()
+            .whereabouts(SubjectId(1), Time(115), Time::MAX);
+        assert_eq!(loc, Some(LocationId(2)));
+        assert_eq!(lazy.segments_loaded(), 1);
+
+        // Reaching down to t=55 adds the middle one — never the first.
+        lazy.view_for(&store, Time(55), Time::MAX).unwrap();
+        assert_eq!(lazy.segments_loaded(), 2);
+
+        // A whole-history query loads everything; the merged view then
+        // answers across segments.
+        let stays = lazy
+            .view_for(&store, Time::ZERO, Time::MAX)
+            .unwrap()
+            .stays_of(SubjectId(1))
+            .len();
+        assert_eq!(stays, 3);
+        assert_eq!(lazy.segments_loaded(), 3);
+
+        // Stranded segments (start at or past the class watermark)
+        // never load: their records live in the live tier.
+        let mut cold = LazyArchive::new();
+        cold.view_for(&store, Time::ZERO, Time(100)).unwrap();
+        assert_eq!(cold.segments_loaded(), 2);
+
+        lazy.invalidate();
+        assert_eq!(lazy.segments_loaded(), 0);
+    }
+
+    #[test]
+    fn lazy_archive_never_misses_late_arriving_records() {
+        let dir = ScratchDir::new("arch-lazy-late");
+        let store = ArchiveStore::with_fsync(dir.path(), false);
+        store.append_run(0, 50, &history(&[(5, 10)])).unwrap();
+        // The (20, 30) stay arrived late: it was pruned by the run that
+        // advanced [50, 100), so it lives in that segment despite its
+        // timestamps sitting below 50.
+        store
+            .append_run(50, 100, &history(&[(20, 30), (60, 70)]))
+            .unwrap();
+        let mut lazy = LazyArchive::new();
+        // A query at t=25 must load the [50, 100) segment too — the
+        // selection rule keys on each segment's *end* (records are
+        // bounded above by it, not below by its start).
+        let loc = lazy
+            .view_for(&store, Time(25), Time::MAX)
+            .unwrap()
+            .whereabouts(SubjectId(1), Time(25), Time::MAX);
+        assert_eq!(loc, Some(LocationId(2)), "late-arriving stay found");
+        assert_eq!(lazy.segments_loaded(), 2);
+    }
+
+    #[test]
+    fn lazy_archive_fails_loudly_only_when_a_touched_segment_is_corrupt() {
+        let dir = ScratchDir::new("arch-lazy-corrupt");
+        let store = ArchiveStore::with_fsync(dir.path(), false);
+        store.append_run(0, 50, &history(&[(5, 10)])).unwrap();
+        store.append_run(50, 100, &history(&[(60, 70)])).unwrap();
+        // Rot the FIRST segment.
+        let seg = segment_path(dir.path(), 0, 50);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let mut lazy = LazyArchive::new();
+        // Recent queries never touch the rotten segment and still work…
+        assert!(lazy.view_for(&store, Time(60), Time::MAX).is_ok());
+        // …but a query that needs it refuses rather than under-report.
+        let err = lazy.view_for(&store, Time(5), Time::MAX).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

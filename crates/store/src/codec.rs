@@ -60,8 +60,10 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Append `v` as an LEB128 varint.
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Append `v` as an LEB128 varint (the integer encoding every binary
+/// format in the workspace shares: WAL payloads, archive event blocks,
+/// and the `ltam-serve` wire protocol).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -73,8 +75,10 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-/// Read an LEB128 varint from `buf[*at..]`, advancing `*at`.
-fn get_varint(buf: &[u8], at: &mut usize) -> Result<u64, DecodeError> {
+/// Read an LEB128 varint from `buf[*at..]`, advancing `*at`. Total like
+/// [`decode_event`]: arbitrary bytes yield a value or a [`DecodeError`],
+/// never a panic.
+pub fn get_varint(buf: &[u8], at: &mut usize) -> Result<u64, DecodeError> {
     let mut v: u64 = 0;
     for i in 0..10 {
         let &byte = buf.get(*at).ok_or(DecodeError::UnexpectedEof)?;

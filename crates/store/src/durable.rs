@@ -29,7 +29,7 @@
 //!   policy-epoch marker; recovery refuses a snapshot fallback that
 //!   would silently revert an acknowledged edit.
 
-use crate::archive::{ArchiveData, ArchiveStore};
+use crate::archive::{ArchiveData, ArchiveStore, LazyArchive};
 use crate::crc::crc32;
 use crate::history::{self, HistoryError};
 use crate::snapshot::{SnapshotStore, StoreSnapshot};
@@ -128,9 +128,12 @@ pub struct DurableEngine {
     wal: Wal,
     snapshots: SnapshotStore,
     archive: ArchiveStore,
-    /// Loaded archive tier, cached across queries; invalidated by
-    /// retention runs (which append a segment).
-    archive_cache: Option<ArchiveData>,
+    /// Lazily-loaded archive tier, cached across queries (segments load
+    /// on first touch; see [`LazyArchive`]); invalidated by retention
+    /// runs (which append a segment). Interior mutability so the
+    /// tier-aware queries take `&self` — a serving layer can answer
+    /// reads concurrently while ingest holds the exclusive reference.
+    archive_cache: parking_lot::Mutex<LazyArchive>,
     applied: u64,
     since_snapshot: u64,
     policy_epoch: u64,
@@ -302,7 +305,7 @@ impl DurableEngine {
             wal,
             snapshots,
             archive: ArchiveStore::with_fsync(dir, config.fsync),
-            archive_cache: None,
+            archive_cache: parking_lot::Mutex::new(LazyArchive::new()),
             applied: 0,
             since_snapshot: 0,
             policy_epoch: 0,
@@ -483,7 +486,7 @@ impl DurableEngine {
                 wal,
                 snapshots,
                 archive,
-                archive_cache: None,
+                archive_cache: parking_lot::Mutex::new(LazyArchive::new()),
                 applied,
                 since_snapshot: applied - snap.seq,
                 policy_epoch: snap.policy_epoch,
@@ -512,6 +515,17 @@ impl DurableEngine {
     /// Events durably applied so far (the WAL sequence).
     pub fn applied(&self) -> u64 {
         self.applied
+    }
+
+    /// WAL sequence the most recent snapshot covers (recovery replays
+    /// at most `applied() - last_snapshot_seq()` events).
+    pub fn last_snapshot_seq(&self) -> u64 {
+        self.applied - self.since_snapshot
+    }
+
+    /// The current policy epoch (bumped by every durable policy edit).
+    pub fn policy_epoch(&self) -> u64 {
+        self.policy_epoch
     }
 
     /// The store directory.
@@ -729,7 +743,9 @@ impl DurableEngine {
             .archive
             .append_run(live_from.get(), horizon.get(), &prunable)?;
         self.engine.apply_retention(policy, horizon);
-        self.archive_cache = None; // a new segment may exist; reload lazily
+        // A new segment exists (and may have replaced a stranded one):
+        // the next query rescans the chain and reloads lazily.
+        self.archive_cache.lock().invalidate();
         Ok(RetentionOutcome {
             watermark: horizon,
             pruned: prunable.len(),
@@ -738,14 +754,19 @@ impl DurableEngine {
         })
     }
 
-    /// Load (and cache) the archive tier, refusing if it does not reach
-    /// the live watermark — the gap would mean discarded-and-unarchived
-    /// history.
-    fn ensure_archive(&mut self, requested: Time, live_from: Time) -> Result<(), HistoryError> {
-        if self.archive_cache.is_none() {
-            self.archive_cache = Some(self.archive.load()?);
-        }
-        let covered = self.archive_cache.as_ref().expect("just loaded").covered_to;
+    /// Chain-scan the archive and return the per-segment lazy view for
+    /// a query reaching down to `requested`, refusing if the chain does
+    /// not reach the querying class's live watermark — the gap would
+    /// mean discarded-and-unarchived history. Only segments the query
+    /// can touch have their payloads read (see [`LazyArchive`]); the
+    /// coverage check itself is a directory listing.
+    fn archive_view<'a>(
+        &self,
+        cache: &'a mut LazyArchive,
+        requested: Time,
+        live_from: Time,
+    ) -> Result<&'a ArchiveData, HistoryError> {
+        let covered = cache.coverage_end(&self.archive)?;
         if covered < live_from.get() {
             return Err(HistoryError::Unarchived {
                 requested,
@@ -753,7 +774,20 @@ impl DurableEngine {
                 live_from,
             });
         }
-        Ok(())
+        Ok(cache.view_for(&self.archive, requested, live_from)?)
+    }
+
+    /// Archive segments whose payloads are currently cached (the status
+    /// surface and the laziness tests read this; it only grows as
+    /// queries reach further back).
+    pub fn archive_segments_loaded(&self) -> usize {
+        self.archive_cache.lock().segments_loaded()
+    }
+
+    /// Archive chain coverage end (exclusive), from the cached chain
+    /// scan — no segment payload is read.
+    pub fn archive_covered_to(&self) -> io::Result<u64> {
+        self.archive_cache.lock().coverage_end(&self.archive)
     }
 
     /// Tier-aware historical whereabouts: answered from live state at
@@ -762,7 +796,7 @@ impl DurableEngine {
     /// ([`HistoryError::Unarchived`]) only when the answer would need
     /// discarded-and-unarchived history.
     pub fn whereabouts(
-        &mut self,
+        &self,
         subject: SubjectId,
         t: Time,
     ) -> Result<Option<LocationId>, HistoryError> {
@@ -771,10 +805,11 @@ impl DurableEngine {
         if live.is_some() || t >= live_from {
             return Ok(live);
         }
-        self.ensure_archive(t, live_from)?;
+        let mut cache = self.archive_cache.lock();
+        let archive = self.archive_view(&mut cache, t, live_from)?;
         Ok(history::merged_whereabouts(
             &self.engine,
-            self.archive_cache.as_ref(),
+            Some(archive),
             subject,
             t,
         ))
@@ -783,20 +818,24 @@ impl DurableEngine {
     /// Tier-aware presence query: who was in `location` during
     /// `window`, with clipped overlap intervals, merged across tiers.
     pub fn present_during(
-        &mut self,
+        &self,
         location: LocationId,
         window: Interval,
     ) -> Result<Vec<(SubjectId, Interval)>, HistoryError> {
         let live_from = self.engine.retention_watermark();
-        let archive = if window.start() < live_from {
-            self.ensure_archive(window.start(), live_from)?;
-            self.archive_cache.as_ref()
-        } else {
-            None
-        };
+        if window.start() >= live_from {
+            return Ok(history::merged_present_during(
+                &self.engine,
+                None,
+                location,
+                window,
+            ));
+        }
+        let mut cache = self.archive_cache.lock();
+        let archive = self.archive_view(&mut cache, window.start(), live_from)?;
         Ok(history::merged_present_during(
             &self.engine,
-            archive,
+            Some(archive),
             location,
             window,
         ))
@@ -854,20 +893,24 @@ impl DurableEngine {
     /// assert_eq!(contacts[0].overlap, Interval::lit(12, 20));
     /// ```
     pub fn contacts(
-        &mut self,
+        &self,
         subject: SubjectId,
         window: Interval,
     ) -> Result<Vec<Contact>, HistoryError> {
         let live_from = self.engine.retention_watermark();
-        let archive = if window.start() < live_from {
-            self.ensure_archive(window.start(), live_from)?;
-            self.archive_cache.as_ref()
-        } else {
-            None
-        };
+        if window.start() >= live_from {
+            return Ok(history::merged_contacts(
+                &self.engine,
+                None,
+                subject,
+                window,
+            ));
+        }
+        let mut cache = self.archive_cache.lock();
+        let archive = self.archive_view(&mut cache, window.start(), live_from)?;
         Ok(history::merged_contacts(
             &self.engine,
-            archive,
+            Some(archive),
             subject,
             window,
         ))
@@ -875,15 +918,18 @@ impl DurableEngine {
 
     /// Tier-aware violation report over `window` (multiset semantics:
     /// archived violations first, then live in shard order).
-    pub fn violations_in(&mut self, window: Interval) -> Result<Vec<Violation>, HistoryError> {
+    pub fn violations_in(&self, window: Interval) -> Result<Vec<Violation>, HistoryError> {
         let live_from = self.engine.watermarks().violations;
-        let archive = if window.start() < live_from {
-            self.ensure_archive(window.start(), live_from)?;
-            self.archive_cache.as_ref()
-        } else {
-            None
-        };
-        Ok(history::merged_violations(&self.engine, archive, window))
+        if window.start() >= live_from {
+            return Ok(history::merged_violations(&self.engine, None, window));
+        }
+        let mut cache = self.archive_cache.lock();
+        let archive = self.archive_view(&mut cache, window.start(), live_from)?;
+        Ok(history::merged_violations(
+            &self.engine,
+            Some(archive),
+            window,
+        ))
     }
 }
 

@@ -45,8 +45,11 @@ pub mod scratch;
 pub mod snapshot;
 pub mod wal;
 
-pub use archive::{ArchiveData, ArchiveRunReport, ArchiveStore, ARCHIVE_VERSION};
-pub use codec::{decode_event, decode_event_exact, encode_event, event_bytes, DecodeError};
+pub use archive::{ArchiveData, ArchiveRunReport, ArchiveStore, LazyArchive, ARCHIVE_VERSION};
+pub use codec::{
+    decode_event, decode_event_exact, encode_event, event_bytes, get_varint, put_varint,
+    DecodeError,
+};
 pub use crc::crc32;
 pub use durable::{redistribute, DurableEngine, RecoveryReport, RetentionOutcome, StoreConfig};
 pub use history::HistoryError;

@@ -158,7 +158,7 @@ fn pruned_crashed_recovered_store_answers_like_an_unpruned_run() {
             std::fs::remove_file(entry.path()).unwrap();
         }
     }
-    let (mut durable, _alerts, _) = {
+    let (durable, _alerts, _) = {
         drop(durable);
         DurableEngine::open(dir.path(), config()).expect("reopen store")
     };

@@ -1,0 +1,135 @@
+//! Kill the server mid-stream, restart on the same store, keep
+//! serving: the acceptance drill for the serving tier's durability
+//! story. A retention policy is active throughout, so the restarted
+//! server also proves that tier-aware queries (live + lazily-loaded
+//! archive) keep answering correctly over the wire — both inside the
+//! retention horizon and across it.
+
+use ltam::core::retention::RetentionPolicy;
+use ltam::core::subject::SubjectId;
+use ltam::engine::batch::{apply_to_engine, Event};
+use ltam::serve::{LtamClient, Server, ServerConfig};
+use ltam::store::{DurableEngine, ScratchDir, StoreConfig, Wal};
+use ltam::time::{Interval, Time};
+use ltam_bench::{contact_multiset, serve_workload, violation_multiset};
+use ltam_sim::multi_shard_trace;
+
+#[test]
+fn killed_server_recovers_on_the_same_store_and_keeps_serving() {
+    let trace = multi_shard_trace(&serve_workload(48, 4_000));
+    let n = trace.events.len();
+    let final_tick = Event::Tick {
+        now: Time(trace.max_time().get() + 1),
+    };
+
+    // The in-process reference: unpruned, uninterrupted.
+    let mut reference = trace.build_engine();
+    for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+        apply_to_engine(&mut reference, e);
+    }
+    let expected_violations = violation_multiset(reference.violations().to_vec());
+
+    let dir = ScratchDir::new("serve-recovery");
+    let store_config = StoreConfig {
+        segment_bytes: 64 * 1024,
+        snapshot_every: 1_000,
+        fsync: false,
+        retention: Some(RetentionPolicy::keep_last(100)),
+    };
+
+    // Phase 1: serve the first half of the trace, then kill the server
+    // (no graceful drain, no final snapshot) and tear the last WAL
+    // record, as a power cut mid-write would.
+    let half = n / 2;
+    {
+        let (engine, _alerts) =
+            DurableEngine::create(dir.path(), trace.build_policy_core(), 2, store_config).unwrap();
+        let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = LtamClient::connect(&server.local_addr().to_string()).unwrap();
+        for chunk in trace.events[..half].chunks(128) {
+            client.ingest(chunk).unwrap();
+        }
+        server.abort().unwrap(); // kill -9, minus the process boundary
+    }
+    let segments = Wal::segment_files(dir.path()).unwrap();
+    let last = segments.last().unwrap();
+    let len = std::fs::metadata(last).unwrap().len();
+    assert!(len > 3);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(last)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    // Phase 2: recover the store, serve again, finish the trace.
+    let (engine, _alerts, report) = DurableEngine::open(dir.path(), store_config).unwrap();
+    let resumed = engine.applied() as usize;
+    assert!(report.truncated_bytes > 0, "the torn record was repaired");
+    assert!(resumed < half, "the torn record's event left the log");
+    assert!(
+        resumed as u64 >= report.snapshot_seq,
+        "recovery resumed behind its snapshot"
+    );
+    let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = LtamClient::connect(&server.local_addr().to_string()).unwrap();
+    for chunk in trace.events[resumed..].chunks(128) {
+        client.ingest(chunk).unwrap();
+    }
+    client.ingest(&[final_tick]).unwrap();
+
+    // The served violation multiset equals the uninterrupted in-process
+    // run — across the crash, the torn record, and the retention prune
+    // (the report spans the whole trace, so it tier-merges the archive,
+    // loading segments lazily).
+    let status = client.status().unwrap();
+    assert_eq!(status.events_ingested, n as u64 + 1);
+    assert!(
+        status.retention_watermark > 0,
+        "retention pruned during the run"
+    );
+    assert_eq!(
+        status.archive_segments_loaded, 0,
+        "no query touched the archive yet"
+    );
+    let served = violation_multiset(client.violations_in(Interval::ALL).unwrap());
+    assert_eq!(served, expected_violations);
+    let status = client.status().unwrap();
+    assert!(
+        status.archive_segments_loaded > 0,
+        "the whole-trace report loaded archive segments"
+    );
+
+    // Whereabouts and contact tracing answer identically, both inside
+    // the horizon and across it.
+    let span = trace.max_time().get();
+    for i in 0..12u32 {
+        let s = SubjectId(i);
+        for t in [Time(span / 4), Time(span / 2), Time(span)] {
+            assert_eq!(
+                client.whereabouts(s, t).unwrap(),
+                reference.movements().whereabouts(s, t),
+                "whereabouts({s}, {t})"
+            );
+        }
+        assert_eq!(
+            contact_multiset(client.contacts(s, Interval::ALL).unwrap()),
+            contact_multiset(reference.movements().contacts(s, Interval::ALL)),
+            "contacts({s})"
+        );
+    }
+
+    // An in-horizon presence query is served from live state alone.
+    let recent = Interval::lit(status.retention_watermark, span);
+    let locations: Vec<_> = trace.world.graph.locations().collect();
+    for &l in locations.iter().take(4) {
+        assert_eq!(
+            client.present_during(l, recent).unwrap(),
+            reference.movements().present_during(l, recent),
+            "present_during({l}) in horizon"
+        );
+    }
+
+    let engine = server.shutdown().unwrap();
+    assert_eq!(engine.applied(), n as u64 + 1);
+}
