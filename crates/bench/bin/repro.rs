@@ -1233,7 +1233,8 @@ fn retention(args: &[String]) {
 
 const SERVE_HELP: &str = "\
 usage: repro serve [--json] [--events N] [--subjects N] [--shards N]
-                   [--clients N] [--batch N]
+                   [--clients N] [--batch N] [--pipeline N]
+                   [--poll-threads N]
 
 Closed-loop drill for the ltam-serve network tier. Generates the
 canonical multi-shard trace WITHOUT interleaved clock ticks (a network
@@ -1242,21 +1243,25 @@ would fire at interleaving-dependent times; one final tick after every
 stream drains restores overstay coverage deterministically), starts a
 TCP server over a fresh durable store on a loopback ephemeral port,
 partitions the trace into per-subject client streams, and replays them
-from N concurrent client threads, one request in flight per connection.
-Reports request/event throughput and p50/p99 round-trip latency, then
+from N concurrent client threads, up to --pipeline requests in flight
+per connection (the server's group commit coalesces concurrent and
+pipelined batches into shared fsyncs). Reports request/event
+throughput, p50/p90/p99 round-trip latency and the fsync rate, then
 verifies OVER THE WIRE that the served violation multiset and sampled
 whereabouts equal an in-process run of the same trace. Exits non-zero
 on any client-side error, any server-counted protocol error, or any
 divergence.
 
 options:
-  --json          emit one machine-readable JSON object
-  --events N      trace length in events                 [default 20000]
-  --subjects N    simulated population size              [default 256]
-  --shards N      engine shard count                     [default 4]
-  --clients N     concurrent client connections          [default 4]
-  --batch N       events per ingest request              [default 256]
-  --help          this text
+  --json           emit one machine-readable JSON object
+  --events N       trace length in events                 [default 20000]
+  --subjects N     simulated population size              [default 256]
+  --shards N       engine shard count                     [default 4]
+  --clients N      concurrent client connections          [default 4]
+  --batch N        events per ingest request              [default 64]
+  --pipeline N     ingest requests in flight per client   [default 4]
+  --poll-threads N server event-loop threads              [default 1]
+  --help           this text
 ";
 
 /// The `repro serve --json` report (the `BENCH_serve.json` schema).
@@ -1268,11 +1273,16 @@ struct ServeReport {
     shards: usize,
     clients: usize,
     batch: usize,
+    pipeline: usize,
+    poll_threads: usize,
     requests: u64,
     requests_per_sec: u64,
     events_per_sec: u64,
     latency_p50_us: u64,
+    latency_p90_us: u64,
     latency_p99_us: u64,
+    wal_fsyncs: u64,
+    fsyncs_per_sec: u64,
     client_errors: u64,
     server_protocol_errors: u64,
     violations: usize,
@@ -1300,7 +1310,15 @@ fn serve(args: &[String]) {
     let mut subjects = 256usize;
     let mut shards = 4usize;
     let mut clients = 4usize;
-    let mut batch = 256usize;
+    // Default window = pipeline * batch = 256 events per client: deep
+    // enough that group commit amortizes fsyncs ~10x, small enough
+    // that a whole window round-trips in low single-digit
+    // milliseconds. Doubling batch or pipeline roughly doubles
+    // throughput again at the cost of tail latency — the knobs to turn
+    // when raw events/s is the goal.
+    let mut batch = 64usize;
+    let mut pipeline = 4usize;
+    let mut poll_threads = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -1319,6 +1337,10 @@ fn serve(args: &[String]) {
             "--shards" => shards = parsed("--shards", value("--shards")) as usize,
             "--clients" => clients = parsed("--clients", value("--clients")) as usize,
             "--batch" => batch = parsed("--batch", value("--batch")) as usize,
+            "--pipeline" => pipeline = parsed("--pipeline", value("--pipeline")) as usize,
+            "--poll-threads" => {
+                poll_threads = parsed("--poll-threads", value("--poll-threads")) as usize
+            }
             "--help" | "-h" => {
                 print!("{SERVE_HELP}");
                 return;
@@ -1326,8 +1348,17 @@ fn serve(args: &[String]) {
             other => serve_usage_error(&format!("unknown serve option {other:?}")),
         }
     }
-    if events == 0 || subjects == 0 || shards == 0 || clients == 0 || batch == 0 {
-        serve_usage_error("--events, --subjects, --shards, --clients and --batch must be >= 1");
+    if events == 0
+        || subjects == 0
+        || shards == 0
+        || clients == 0
+        || batch == 0
+        || pipeline == 0
+        || poll_threads == 0
+    {
+        serve_usage_error(
+            "--events, --subjects, --shards, --clients, --batch, --pipeline and --poll-threads must be >= 1",
+        );
     }
 
     let trace = multi_shard_trace(&ltam_bench::serve_workload(subjects, events));
@@ -1349,7 +1380,13 @@ fn serve(args: &[String]) {
 
     let dir = ScratchDir::new("repro-serve");
     let store_config = StoreConfig {
-        segment_bytes: 256 * 1024,
+        // Large segments on purpose: at several hundred thousand
+        // events/s the WAL grows ~1 MiB per drill, and 256 KiB segments
+        // would roll over mid-drill — each rollover is a file create +
+        // directory fsync that serializes with the group-commit fsyncs
+        // on the filesystem journal and shows up directly in tail
+        // latency. Snapshot rotation still bounds segment count.
+        segment_bytes: 8 * 1024 * 1024,
         snapshot_every: (n_events as u64 / 4).max(1), // exercised mid-drill
         fsync: true,
         retention: None,
@@ -1363,6 +1400,7 @@ fn serve(args: &[String]) {
     .expect("create store");
     let server_config = ServerConfig {
         max_connections: clients + 8,
+        poll_threads,
         ..ServerConfig::default()
     };
     let server = Server::start(engine, "127.0.0.1:0", server_config).expect("bind loopback");
@@ -1376,6 +1414,7 @@ fn serve(args: &[String]) {
         LoadConfig {
             batch,
             status_every: 16,
+            pipeline,
         },
     );
 
@@ -1401,15 +1440,24 @@ fn serve(args: &[String]) {
     let status = control.status().expect("served status");
     let drained = status.events_ingested == n_events as u64 + 1;
 
-    // Graceful shutdown drains and snapshots; the store outlives the
-    // server and could be re-served (tests/serve_recovery.rs proves the
-    // crash-shaped variant).
-    let engine = server.shutdown().expect("graceful shutdown");
+    // Stop without the parting snapshot: the store is scratch (deleted
+    // on exit), so imaging + durably writing megabytes at teardown only
+    // adds disk churn between back-to-back drills. The WAL alone makes
+    // the store re-servable — tests/serve_recovery.rs proves exactly
+    // that crash-shaped recovery, and graceful-shutdown snapshots are
+    // covered by the server's own tests.
+    let engine = server.abort().expect("server stop");
     let applied = engine.applied();
     drop(engine);
 
     let p50 = load.latency_percentile_us(50.0);
+    let p90 = load.latency_percentile_us(90.0);
     let p99 = load.latency_percentile_us(99.0);
+    let fsyncs_per_sec = if load.elapsed.as_secs_f64() > 0.0 {
+        (status.wal_fsyncs as f64 / load.elapsed.as_secs_f64()).round() as u64
+    } else {
+        0
+    };
     if json {
         let report = ServeReport {
             experiment: "serve",
@@ -1418,11 +1466,16 @@ fn serve(args: &[String]) {
             shards,
             clients,
             batch,
+            pipeline,
+            poll_threads,
             requests: load.requests,
             requests_per_sec: load.requests_per_sec().round() as u64,
             events_per_sec: load.events_per_sec().round() as u64,
             latency_p50_us: p50,
+            latency_p90_us: p90,
             latency_p99_us: p99,
+            wal_fsyncs: status.wal_fsyncs,
+            fsyncs_per_sec,
             client_errors: load.errors,
             server_protocol_errors: status.protocol_errors,
             violations: got.len(),
@@ -1436,15 +1489,20 @@ fn serve(args: &[String]) {
     } else {
         banner("Extension: network serving tier — closed-loop drill");
         println!(
-            "{n_events} events, {subjects} subjects, {shards} shards, {clients} clients, batch {batch}"
+            "{n_events} events, {subjects} subjects, {shards} shards, {clients} clients, batch {batch}, pipeline {pipeline}, {poll_threads} poll thread(s)"
         );
         println!(
-            "load: {} requests at {:.0} req/s ({:.0} events/s); latency p50 {:.2} ms, p99 {:.2} ms",
+            "load: {} requests at {:.0} req/s ({:.0} events/s); latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms",
             load.requests,
             load.requests_per_sec(),
             load.events_per_sec(),
             p50 as f64 / 1000.0,
+            p90 as f64 / 1000.0,
             p99 as f64 / 1000.0
+        );
+        println!(
+            "group commit: {} WAL fsyncs ({} fsync/s) for {} ingest batches",
+            status.wal_fsyncs, fsyncs_per_sec, load.requests
         );
         println!(
             "errors: {} client, {} server-counted protocol; WAL position {} (snapshot @ {})",

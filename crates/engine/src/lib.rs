@@ -39,6 +39,7 @@ pub mod retention;
 pub mod shard;
 pub mod shared;
 pub mod snapshot;
+pub mod view;
 pub mod violation;
 
 pub use baseline::{CardReaderEngine, Enforcement};
@@ -55,4 +56,5 @@ pub use retention::{HistoryWatermarks, PrunedHistory};
 pub use shard::{PendingImage, PolicyView, ShardState, ShardStateImage};
 pub use shared::SharedEngine;
 pub use snapshot::EngineSnapshot;
+pub use view::EngineReadView;
 pub use violation::{Alert, Violation};

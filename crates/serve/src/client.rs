@@ -182,6 +182,69 @@ impl LtamClient {
         }
     }
 
+    /// Durably ingest several batches **pipelined**: every `Ingest`
+    /// frame is sent back-to-back before any response is read, then
+    /// the responses are collected in order. With a server that
+    /// group-commits, N pipelined batches typically share one `fsync`
+    /// instead of paying N — this is the client half of closing the
+    /// wire gap.
+    ///
+    /// The reconnect contract is the same **at-least-once** shape as
+    /// [`LtamClient::ingest`], with a wider window: on any error, an
+    /// unknown *prefix* of the batches may already be durable (the
+    /// server applies them in send order and never skips one in the
+    /// middle), the connection is dropped, and nothing is retried
+    /// here. Callers that resend after an error must tolerate a
+    /// replayed prefix — idempotent events, or end-state comparison as
+    /// the load generator does.
+    pub fn ingest_pipelined(
+        &mut self,
+        batches: &[&[Event]],
+    ) -> Result<Vec<IngestSummary>, ClientError> {
+        let max_frame_bytes = self.max_frame_bytes;
+        let result = (|| {
+            let stream = self.ensure_connected()?;
+            let mut frames = Vec::new();
+            for batch in batches {
+                wire::write_frame(
+                    &mut frames,
+                    &wire::encode_request(&Request::Ingest(batch.to_vec())),
+                )
+                .map_err(ClientError::Io)?;
+            }
+            use std::io::Write as _;
+            stream.write_all(&frames).map_err(ClientError::Io)?;
+            let mut summaries = Vec::with_capacity(batches.len());
+            for _ in batches {
+                let payload = wire::read_frame(stream, max_frame_bytes)?;
+                match wire::decode_response(&payload).map_err(ClientError::Wire)? {
+                    Response::Ingested {
+                        processed,
+                        granted,
+                        denied,
+                        violations,
+                    } => summaries.push(IngestSummary {
+                        processed,
+                        granted,
+                        denied,
+                        violations,
+                    }),
+                    Response::Error { code, message } => {
+                        return Err(ClientError::Server { code, message })
+                    }
+                    other => return Err(ClientError::UnexpectedResponse(Box::new(other))),
+                }
+            }
+            Ok(summaries)
+        })();
+        if result.is_err() {
+            // Responses may still be in flight for frames we sent:
+            // the stream is desynchronized either way. Reconnect lazily.
+            self.stream = None;
+        }
+        result
+    }
+
     /// One door swipe: was access granted?
     pub fn check_access(
         &mut self,

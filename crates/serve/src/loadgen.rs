@@ -1,12 +1,15 @@
 //! Closed-loop load generation: N client threads replay pre-partitioned
-//! event streams against a server, each waiting for every response
-//! before sending the next batch, and report throughput and latency.
+//! event streams against a server, each waiting for a whole window of
+//! responses before sending the next, and report throughput and
+//! latency.
 //!
 //! Closed-loop (rather than open-loop) because that is what the
-//! serving tier's backpressure model assumes: one request in flight
-//! per connection, so a slow engine slows the offered load instead of
-//! growing an unbounded queue. Latency numbers are therefore honest
-//! round-trip times under the achieved throughput.
+//! serving tier's backpressure model assumes: at most
+//! [`LoadConfig::pipeline`] requests in flight per connection, so a
+//! slow engine slows the offered load instead of growing an unbounded
+//! queue. Latency numbers are honest round-trip times under the
+//! achieved throughput — per request at depth 1, per pipelined window
+//! at depth > 1.
 //!
 //! The streams must be partitioned so each subject's events live in
 //! exactly one stream (per-subject order is what enforcement
@@ -25,6 +28,13 @@ pub struct LoadConfig {
     /// Issue a `Status` query every this many batches (0 disables):
     /// exercises the concurrent read path while writes are in flight.
     pub status_every: usize,
+    /// Ingest requests sent back-to-back before reading responses
+    /// (see [`LtamClient::ingest_pipelined`]). 1 = strict closed loop.
+    /// Deeper pipelines give the server's group commit more batches to
+    /// coalesce per fsync; latency is then recorded per *window* (the
+    /// time from the window's first send to its last response), which
+    /// is what each pipelined request actually waited.
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -32,6 +42,7 @@ impl Default for LoadConfig {
         LoadConfig {
             batch: 256,
             status_every: 16,
+            pipeline: 1,
         }
     }
 }
@@ -102,17 +113,28 @@ fn drive_stream(addr: &str, stream: &[Event], config: LoadConfig) -> ThreadRepor
             return report;
         }
     };
-    for (i, chunk) in stream.chunks(config.batch.max(1)).enumerate() {
+    let depth = config.pipeline.max(1);
+    let batches: Vec<&[Event]> = stream.chunks(config.batch.max(1)).collect();
+    let mut sent = 0usize;
+    for window in batches.chunks(depth) {
         let start = Instant::now();
-        match client.ingest(chunk) {
-            Ok(summary) => {
-                report.events += summary.processed as u64;
+        match client.ingest_pipelined(window) {
+            Ok(summaries) => {
+                for s in &summaries {
+                    report.events += s.processed as u64;
+                }
             }
             Err(_) => report.errors += 1,
         }
-        report.latencies_us.push(start.elapsed().as_micros() as u64);
-        report.requests += 1;
-        if config.status_every > 0 && (i + 1) % config.status_every == 0 {
+        let elapsed = start.elapsed().as_micros() as u64;
+        for _ in window {
+            report.latencies_us.push(elapsed);
+            report.requests += 1;
+        }
+        sent += window.len();
+        let probe_due = config.status_every > 0
+            && sent / config.status_every > (sent - window.len()) / config.status_every;
+        if probe_due {
             let start = Instant::now();
             if client.status().is_err() {
                 report.errors += 1;

@@ -1,55 +1,88 @@
-//! The serving tier: a threaded `std::net` TCP server fronting a
-//! [`DurableEngine`].
+//! The serving tier: a readiness-driven `epoll` event loop fronting a
+//! [`DurableEngine`] through group commit.
 //!
 //! ## Threading model
 //!
-//! One **acceptor** thread owns the listener; every accepted connection
-//! gets a dedicated **worker** thread (worker-per-connection — the same
-//! trade the sharded engine makes: real OS threads, no async runtime,
-//! nothing to vendor). Workers share the engine behind one
-//! `parking_lot::RwLock`:
+//! A small pool of **poll threads** ([`ServerConfig::poll_threads`],
+//! default 1) each owns an epoll instance and a disjoint set of
+//! nonblocking connections. Thread 0 also owns the listener; accepted
+//! connections are assigned round-robin and handed to their owner
+//! through a per-thread inbox + [`mio::Waker`]. There is no thread per
+//! connection: a poll thread sleeps in `epoll_wait` until some socket
+//! has bytes (or a commit completion arrives), reads whatever the
+//! kernel has, and reassembles frames incrementally
+//! ([`wire::FrameAssembler`]) — so ten thousand idle connections cost
+//! ten thousand fds, not ten thousand stacks.
 //!
-//! * **writes** ([`Request::Ingest`], [`Request::Check`]) take the
-//!   write lock and funnel through [`DurableEngine::ingest`] — the WAL
-//!   append, shard-order merge, snapshot cadence and retention
-//!   maintenance all run exactly as they do in-process, so durability
-//!   and determinism are preserved per batch;
-//! * **reads** ([`Request::Query`]) take the read lock and run
-//!   concurrently with each other (the tier-aware queries are `&self`;
-//!   the lazy archive cache has its own interior lock).
+//! ## Pipelining
+//!
+//! A connection may have many request frames in flight
+//! ([`ServerConfig::max_pipeline`]); responses always return in
+//! request order. Each parsed request takes a slot in the connection's
+//! response FIFO: read-only queries are answered inline by the poll
+//! thread and fill their slot immediately; writes fill theirs when the
+//! commit thread acks. The FIFO's ready prefix is what gets flushed.
+//!
+//! ## The write path: group commit
+//!
+//! Writes ([`Request::Ingest`], [`Request::Check`]) are **submitted**,
+//! not executed, by poll threads: the events go to `ltam-store`'s
+//! [`GroupCommit`] thread, which drains every batch queued while the
+//! previous `fsync` ran, appends them all under **one** WAL write +
+//! one `fsync`, applies them in submission order, and then completes
+//! each waiter — the completion re-enters the owning poll thread via
+//! its inbox and wakes it. Durability semantics are unchanged: a batch
+//! is acked only after its bytes are synced, and it stays
+//! all-or-nothing across a crash (its own WAL record). What changed is
+//! the *sharing*: N connections' batches cost one flush, not N.
+//!
+//! ## The read path: around the write lock
+//!
+//! Read-only queries never touch the commit thread. Poll threads hold
+//! a [`ReadView`] — shared handles onto the engine's shards, the
+//! archive, and published status counters — and answer
+//! [`Request::Query`] inline, concurrent with in-flight ingest (shard
+//! mutexes interleave; there is no engine-wide lock anywhere on the
+//! serving path).
 //!
 //! ## Backpressure
 //!
-//! Past [`ServerConfig::max_connections`] the acceptor answers a
-//! single [`Response::Error`] with [`ErrorCode::Busy`] and closes —
-//! the client sees it as the response to its first request and can
-//! back off. Within a connection, backpressure is the closed loop
-//! itself: one request is in flight per connection, and a slow engine
-//! slows every client's next send.
+//! Three independent valves, all per connection, none blocking a poll
+//! thread:
+//!
+//! * past [`ServerConfig::max_connections`], accepts are answered with
+//!   one [`ErrorCode::Busy`] frame and closed;
+//! * a connection at its pipeline cap stops being *read* (its readable
+//!   interest is dropped) until responses drain — the bytes wait in
+//!   the kernel and eventually in the peer's send buffer;
+//! * a peer that stops **reading** accumulates output until
+//!   [`ServerConfig::write_buffer_bytes`], then likewise stops being
+//!   read. A slow reader therefore wedges only itself: its responses
+//!   sit in its own buffer while every other connection proceeds.
 //!
 //! ## Timeouts and shutdown
 //!
-//! Workers poll for the first byte of each frame with a short read
-//! timeout so an idle connection holds no lock and notices shutdown;
-//! a connection idle past [`ServerConfig::idle_timeout`] is closed
-//! (its slot is the scarce resource). A peer that starts a frame and
-//! stalls mid-way is cut off after the read timeout — a torn frame,
-//! like a torn WAL record, never blocks the server.
+//! `epoll_wait` runs with a short tick ([`ServerConfig::read_timeout`])
+//! so each loop pass can reap: idle connections past
+//! [`ServerConfig::idle_timeout`], and peers stalled *mid-frame* past
+//! the read timeout (a torn frame, like a torn WAL record, never
+//! blocks the server).
 //!
-//! [`Server::shutdown`] stops accepting, lets every worker finish the
-//! request it is processing (in-flight requests drain; idle workers
-//! notice the flag at their next poll), joins all threads, takes a
-//! final snapshot, and hands the engine back. [`Server::abort`] skips
-//! the snapshot and drops the engine where it stands — recovery then
-//! replays the WAL tail, exactly as after a crash.
+//! [`Server::shutdown`] stops accepting, lets every connection's
+//! in-flight requests complete and flush, joins the poll threads,
+//! drains the commit queue, takes a final snapshot, and hands the
+//! engine back. [`Server::abort`] skips the snapshot — recovery then
+//! replays the WAL, exactly as after a crash.
 
-use crate::wire::{
-    self, ErrorCode, FrameError, HistoryQuery, Request, Response, ServerStatus, FRAME_HEADER_LEN,
+use crate::wire::{self, ErrorCode, FrameAssembler, HistoryQuery, Request, Response, ServerStatus};
+use ltam_engine::batch::BatchOutcome;
+use ltam_store::{
+    CommitHandle, DurableEngine, GroupCommit, GroupCommitConfig, HistoryError, ReadView,
 };
-use ltam_store::{DurableEngine, HistoryError};
-use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
-use std::io::{self, ErrorKind, Read};
+use mio::{Events, Interest, Poll, Token, Waker};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -62,13 +95,26 @@ pub struct ServerConfig {
     /// Served connections beyond this are refused with
     /// [`ErrorCode::Busy`].
     pub max_connections: usize,
-    /// A connection idle (no frame started) past this is closed.
+    /// A connection idle (no frame started, nothing in flight) past
+    /// this is closed.
     pub idle_timeout: Duration,
     /// How long a peer may stall *mid-frame* before being cut off —
-    /// also the worker's poll tick for shutdown and idle checks.
+    /// also the poll loop's tick for idle checks and shutdown.
     pub read_timeout: Duration,
     /// Per-frame payload cap (see [`wire::DEFAULT_MAX_FRAME_BYTES`]).
     pub max_frame_bytes: u32,
+    /// Poll threads sharing the connection set. One is right for one
+    /// core; more only helps when query work saturates a thread.
+    pub poll_threads: usize,
+    /// Requests one connection may have in flight before the server
+    /// stops reading it (responses still flow).
+    pub max_pipeline: usize,
+    /// Buffered response bytes at which a connection stops being read
+    /// (the slow-reader valve).
+    pub write_buffer_bytes: usize,
+    /// Group-commit drain cap, in events (see
+    /// [`GroupCommitConfig::max_group_events`]).
+    pub max_group_events: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +124,10 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             read_timeout: Duration::from_millis(200),
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            poll_threads: 1,
+            max_pipeline: 128,
+            write_buffer_bytes: 1 << 20,
+            max_group_events: GroupCommitConfig::default().max_group_events,
         }
     }
 }
@@ -94,11 +144,45 @@ struct Stats {
     per_connection: Mutex<BTreeMap<u64, u64>>,
 }
 
+/// Was the in-flight write a batch ingest or a single swipe? (Decides
+/// the response shape when its commit completes.)
+#[derive(Debug, Clone, Copy)]
+enum WriteKind {
+    Ingest,
+    Check,
+}
+
+/// A commit completion routed back to the poll thread that owns the
+/// connection.
+struct Completion {
+    conn: u64,
+    slot: u64,
+    kind: WriteKind,
+    result: io::Result<BatchOutcome>,
+}
+
+/// Work posted to a poll thread from outside its loop.
+#[derive(Default)]
+struct Inbox {
+    /// Freshly accepted connections assigned to this thread.
+    conns: Vec<(TcpStream, u64)>,
+    /// Commit completions for this thread's connections.
+    done: Vec<Completion>,
+}
+
+/// One poll thread's externally visible half: post to the inbox, then
+/// wake it out of `epoll_wait`.
+struct ThreadHandle {
+    waker: Waker,
+    inbox: Mutex<Inbox>,
+}
+
 struct Shared {
-    engine: RwLock<DurableEngine>,
+    view: ReadView,
     config: ServerConfig,
     shutdown: AtomicBool,
     stats: Stats,
+    threads: Vec<ThreadHandle>,
 }
 
 /// A running LTAM server. Dropping it without calling
@@ -107,10 +191,8 @@ pub struct Server {
     addr: SocketAddr,
     /// `Some` while running; taken by `stop()`.
     shared: Option<Arc<Shared>>,
-    acceptor: Option<JoinHandle<()>>,
-    /// Worker handles, registered by the acceptor as connections come
-    /// in; joined on shutdown (finished workers join instantly).
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    polls: Vec<JoinHandle<()>>,
+    commit: Option<GroupCommit>,
 }
 
 impl std::fmt::Debug for Server {
@@ -125,23 +207,59 @@ impl Server {
     pub fn start(engine: DurableEngine, addr: &str, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let view = engine.read_view();
+        let (commit, commit_handle) = GroupCommit::start(
+            engine,
+            GroupCommitConfig {
+                max_group_events: config.max_group_events.max(1),
+            },
+        );
+        let threads = config.poll_threads.max(1);
+        // Build every thread's poller + waker up front so the shared
+        // handle table is complete before any loop runs.
+        let mut pollers = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let poll = Poll::new()?;
+            let waker = Waker::new(poll.registry(), WAKER)?;
+            handles.push(ThreadHandle {
+                waker,
+                inbox: Mutex::new(Inbox::default()),
+            });
+            pollers.push(poll);
+        }
         let shared = Arc::new(Shared {
-            engine: RwLock::new(engine),
+            view,
             config,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
+            threads: handles,
         });
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let workers = Arc::clone(&workers);
-            std::thread::spawn(move || acceptor_loop(listener, shared, workers))
-        };
+        let polls = pollers
+            .into_iter()
+            .enumerate()
+            .map(|(index, poll)| {
+                let shared = Arc::clone(&shared);
+                let commit = commit_handle.clone();
+                let listener = if index == 0 {
+                    Some(listener.try_clone()).transpose()
+                } else {
+                    Ok(None)
+                };
+                let listener = listener.expect("clone listener for poll thread 0");
+                std::thread::Builder::new()
+                    .name(format!("ltam-poll-{index}"))
+                    .spawn(move || poll_loop(poll, index, listener, shared, commit))
+                    .expect("spawn poll thread")
+            })
+            .collect();
+        drop(commit_handle);
         Ok(Server {
             addr: local,
             shared: Some(shared),
-            acceptor: Some(acceptor),
-            workers,
+            polls,
+            commit: Some(commit),
         })
     }
 
@@ -150,8 +268,9 @@ impl Server {
         self.addr
     }
 
-    /// Gracefully stop: refuse new connections, drain in-flight
-    /// requests, join every thread, snapshot, and return the engine.
+    /// Gracefully stop: refuse new connections, complete and flush
+    /// in-flight requests, join every thread, snapshot, and return the
+    /// engine.
     pub fn shutdown(mut self) -> io::Result<DurableEngine> {
         let mut engine = self.stop()?;
         engine.snapshot()?;
@@ -160,9 +279,10 @@ impl Server {
 
     /// Hard-stop without the final snapshot — the closest an in-process
     /// test can get to `kill -9`: whatever the WAL holds is what
-    /// recovery will see.
-    pub fn abort(mut self) -> io::Result<()> {
-        self.stop().map(drop)
+    /// recovery will see. The engine comes back for inspection; drop it
+    /// to complete the "crash".
+    pub fn abort(mut self) -> io::Result<DurableEngine> {
+        self.stop()
     }
 
     fn stop(&mut self) -> io::Result<DurableEngine> {
@@ -171,78 +291,18 @@ impl Server {
             .take()
             .ok_or_else(|| io::Error::other("server already stopped"))?;
         shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for t in &shared.threads {
+            let _ = t.waker.wake();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
-        for h in handles {
+        for h in self.polls.drain(..) {
             let _ = h.join();
         }
-        match Arc::try_unwrap(shared) {
-            Ok(shared) => Ok(shared.engine.into_inner()),
-            Err(_) => Err(io::Error::other(
-                "a worker thread still holds the engine after join",
-            )),
-        }
-    }
-}
-
-fn acceptor_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let mut next_conn_id = 0u64;
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => {
-                // Persistent accept failures (EMFILE under fd pressure,
-                // ECONNABORTED storms) must not busy-spin the acceptor;
-                // back off briefly and retry. Shutdown still lands: the
-                // flag is checked every iteration.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        // Reap finished workers so the handle list tracks *live*
-        // connections, not every connection ever accepted.
-        {
-            let mut guard = workers.lock();
-            let (done, live): (Vec<_>, Vec<_>) = guard.drain(..).partition(|h| h.is_finished());
-            *guard = live;
-            drop(guard);
-            for h in done {
-                let _ = h.join();
-            }
-        }
-        let active = shared.stats.active.load(Ordering::SeqCst);
-        if active >= shared.config.max_connections {
-            refuse_busy(stream, &shared);
-            continue;
-        }
-        shared.stats.active.fetch_add(1, Ordering::SeqCst);
-        shared
-            .stats
-            .connections_total
-            .fetch_add(1, Ordering::SeqCst);
-        let id = next_conn_id;
-        next_conn_id += 1;
-        shared.stats.per_connection.lock().insert(id, 0);
-        let worker = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                let _ = serve_connection(stream, id, &shared);
-                shared.stats.per_connection.lock().remove(&id);
-                shared.stats.active.fetch_sub(1, Ordering::SeqCst);
-            })
-        };
-        workers.lock().push(worker);
+        // Poll threads are gone (their commit handles dropped with
+        // them); draining the commit queue hands the engine back.
+        self.commit
+            .take()
+            .ok_or_else(|| io::Error::other("server already stopped"))?
+            .shutdown()
     }
 }
 
@@ -254,11 +314,320 @@ impl Drop for Server {
     }
 }
 
-/// Over the connection limit: answer one `Busy` error and close.
+// --- the poll loop ---------------------------------------------------------
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+/// Connection tokens are `slab index + CONN_BASE`.
+const CONN_BASE: usize = 2;
+
+/// A response slot in a connection's in-order FIFO.
+enum SlotState {
+    /// A write submitted to the commit thread; identified so the
+    /// completion can find it.
+    Waiting(u64),
+    /// An encoded response frame, ready to flush once everything ahead
+    /// of it is.
+    Ready(Vec<u8>),
+}
+
+/// One nonblocking connection owned by a poll loop.
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    token: Token,
+    assembler: FrameAssembler,
+    /// Response FIFO: one slot per in-flight request, request order.
+    pending: VecDeque<SlotState>,
+    next_slot: u64,
+    /// Encoded-but-unsent output; `out[out_pos..]` remains to write.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// What the fd is currently registered for (`None` = deregistered,
+    /// e.g. fully backpressured).
+    registered: Option<Interest>,
+    /// Stop reading requests; close once the FIFO and buffer drain.
+    closing: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn out_backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.out_backlog() == 0
+    }
+}
+
+fn poll_loop(
+    mut poll: Poll,
+    index: usize,
+    listener: Option<TcpListener>,
+    shared: Arc<Shared>,
+    commit: CommitHandle,
+) {
+    let mut events = Events::with_capacity(256);
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut by_id: HashMap<u64, usize> = HashMap::new();
+    let mut next_conn_id = index as u64;
+    let mut accepting = listener.is_some();
+    let mut draining: Option<Instant> = None;
+    if let Some(l) = &listener {
+        if poll
+            .registry()
+            .register(l, LISTENER, Interest::READABLE)
+            .is_err()
+        {
+            return;
+        }
+    }
+    let tick = shared.config.read_timeout.min(Duration::from_millis(100));
+    loop {
+        let _ = poll.poll(&mut events, Some(tick));
+        let now = Instant::now();
+        let shutting = shared.shutdown.load(Ordering::SeqCst);
+
+        // 1. Inbox first: handed-off connections and commit
+        //    completions (the waker may be why we woke).
+        let inbox = std::mem::take(&mut *shared.threads[index].inbox.lock());
+        for (stream, id) in inbox.conns {
+            admit(stream, id, &mut conns, &mut by_id, &poll, &shared, now);
+        }
+        for completion in inbox.done {
+            let Some(&slot) = by_id.get(&completion.conn) else {
+                continue; // connection died before its commit finished
+            };
+            if let Some(conn) = conns[slot].as_mut() {
+                apply_completion(conn, completion);
+                if !flush(conn, now) || !update_interest(conn, &poll, &shared.config) {
+                    close_conn(&mut conns, &mut by_id, slot, &poll, &shared);
+                }
+            }
+        }
+
+        // 2. Readiness events.
+        let mut accept_ready = false;
+        for ev in events.iter() {
+            match ev.token() {
+                LISTENER => accept_ready = true,
+                WAKER => {} // inbox already drained above
+                Token(t) => {
+                    let slot = t - CONN_BASE;
+                    let keep = match conns.get_mut(slot).and_then(Option::as_mut) {
+                        // A stale event for a slot reused this pass is
+                        // harmless: reads just hit WouldBlock.
+                        Some(conn) => {
+                            let mut keep = true;
+                            if ev.is_writable() {
+                                keep = flush(conn, now);
+                            }
+                            if keep && ev.is_readable() {
+                                keep = read_input(conn, index, &shared, &commit, now);
+                            }
+                            if keep && ev.is_error() && conn.drained() {
+                                keep = false;
+                            }
+                            keep && update_interest(conn, &poll, &shared.config)
+                        }
+                        None => continue,
+                    };
+                    if !keep {
+                        close_conn(&mut conns, &mut by_id, slot, &poll, &shared);
+                    }
+                }
+            }
+        }
+
+        // 3. Accept (thread 0 only; level-triggered, so a backlog left
+        //    unaccepted re-notifies next pass).
+        if accept_ready && accepting && !shutting {
+            accept_all(
+                listener.as_ref().expect("accept event implies listener"),
+                index,
+                &mut next_conn_id,
+                &mut conns,
+                &mut by_id,
+                &poll,
+                &shared,
+                now,
+            );
+        }
+
+        // 4. Reaping: mid-frame stalls and idle connections.
+        for slot in 0..conns.len() {
+            let Some(conn) = conns[slot].as_ref() else {
+                continue;
+            };
+            let stalled = conn.assembler.mid_frame()
+                && now.duration_since(conn.last_activity) >= shared.config.read_timeout;
+            let idle = !conn.assembler.mid_frame()
+                && conn.drained()
+                && now.duration_since(conn.last_activity) >= shared.config.idle_timeout;
+            if stalled || idle {
+                close_conn(&mut conns, &mut by_id, slot, &poll, &shared);
+            }
+        }
+
+        // 5. Shutdown drain: stop accepting and reading, answer what
+        //    is in flight, then leave. A bounded deadline covers peers
+        //    that never read their last responses.
+        if shutting {
+            if accepting {
+                let _ = poll
+                    .registry()
+                    .deregister(listener.as_ref().expect("accepting implies listener"));
+                accepting = false;
+            }
+            let deadline = *draining.get_or_insert_with(|| {
+                now + shared.config.idle_timeout.min(Duration::from_secs(5))
+            });
+            for slot in 0..conns.len() {
+                let Some(conn) = conns[slot].as_mut() else {
+                    continue;
+                };
+                conn.closing = true;
+                if conn.drained() || now >= deadline || !update_interest(conn, &poll, &shared.config)
+                {
+                    close_conn(&mut conns, &mut by_id, slot, &poll, &shared);
+                }
+            }
+            if by_id.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+/// Take ownership of an accepted connection: nonblocking, registered,
+/// slotted.
+fn admit(
+    stream: TcpStream,
+    id: u64,
+    conns: &mut Vec<Option<Conn>>,
+    by_id: &mut HashMap<u64, usize>,
+    poll: &Poll,
+    shared: &Arc<Shared>,
+    now: Instant,
+) {
+    // Closed-loop clients round-trip constantly: Nagle + delayed ACK
+    // would add tens of milliseconds per request.
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        forget_conn(id, shared);
+        return;
+    }
+    let slot = match conns.iter().position(Option::is_none) {
+        Some(s) => s,
+        None => {
+            conns.push(None);
+            conns.len() - 1
+        }
+    };
+    let token = Token(slot + CONN_BASE);
+    if poll
+        .registry()
+        .register(&stream, token, Interest::READABLE)
+        .is_err()
+    {
+        forget_conn(id, shared);
+        return;
+    }
+    by_id.insert(id, slot);
+    conns[slot] = Some(Conn {
+        stream,
+        id,
+        token,
+        assembler: FrameAssembler::new(shared.config.max_frame_bytes),
+        pending: VecDeque::new(),
+        next_slot: 0,
+        out: Vec::new(),
+        out_pos: 0,
+        registered: Some(Interest::READABLE),
+        closing: false,
+        last_activity: now,
+    });
+}
+
+/// Drop a connection's registry entries without ever having served it.
+fn forget_conn(id: u64, shared: &Shared) {
+    shared.stats.per_connection.lock().remove(&id);
+    shared.stats.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn close_conn(
+    conns: &mut [Option<Conn>],
+    by_id: &mut HashMap<u64, usize>,
+    slot: usize,
+    poll: &Poll,
+    shared: &Shared,
+) {
+    if let Some(conn) = conns[slot].take() {
+        if conn.registered.is_some() {
+            let _ = poll.registry().deregister(&conn.stream);
+        }
+        by_id.remove(&conn.id);
+        forget_conn(conn.id, shared);
+    }
+}
+
+/// Accept until the backlog is dry, refusing over the limit and
+/// handing off round-robin.
+#[allow(clippy::too_many_arguments)]
+fn accept_all(
+    listener: &TcpListener,
+    index: usize,
+    next_conn_id: &mut u64,
+    conns: &mut Vec<Option<Conn>>,
+    by_id: &mut HashMap<u64, usize>,
+    poll: &Poll,
+    shared: &Arc<Shared>,
+    now: Instant,
+) {
+    let threads = shared.threads.len();
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Transient accept failures (ECONNABORTED storms, fd
+            // pressure): the level-triggered listener re-notifies, so
+            // just yield this pass rather than busy-spinning.
+            Err(_) => return,
+        };
+        if shared.stats.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            refuse_busy(stream, shared);
+            continue;
+        }
+        shared.stats.active.fetch_add(1, Ordering::SeqCst);
+        shared
+            .stats
+            .connections_total
+            .fetch_add(1, Ordering::SeqCst);
+        let id = *next_conn_id;
+        *next_conn_id += 1;
+        shared.stats.per_connection.lock().insert(id, 0);
+        let target = (id as usize) % threads;
+        if target == index {
+            admit(stream, id, conns, by_id, poll, shared, now);
+        } else {
+            let t = &shared.threads[target];
+            t.inbox.lock().conns.push((stream, id));
+            let _ = t.waker.wake();
+        }
+    }
+}
+
+/// Over the connection limit: answer one `Busy` error and close. The
+/// accepted socket is still blocking (accept does not inherit
+/// O_NONBLOCK), so a bounded write timeout keeps a non-reading peer
+/// from wedging the accept pass.
 fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
     shared.stats.refused_busy.fetch_add(1, Ordering::SeqCst);
-    // A refused peer not reading must not wedge the acceptor either.
-    let _ = stream.set_write_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_write_timeout(Some(
+        shared.config.read_timeout.max(Duration::from_millis(50)),
+    ));
     let response = Response::Error {
         code: ErrorCode::Busy,
         message: format!(
@@ -269,134 +638,283 @@ fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
     let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
 }
 
-/// One worker: read frames, dispatch, respond, until disconnect,
-/// protocol violation, idle timeout, or shutdown.
-fn serve_connection(mut stream: TcpStream, conn_id: u64, shared: &Shared) -> io::Result<()> {
-    // Closed-loop request/response: Nagle + delayed ACK would add tens
-    // of milliseconds per round trip.
-    let _ = stream.set_nodelay(true);
-    stream.set_read_timeout(Some(shared.config.read_timeout))?;
-    // A peer that stops *reading* is as dead as one that stops
-    // writing: without this, a full kernel send buffer would block
-    // `write_all` forever, pin the connection slot, and stall
-    // `Server::shutdown` at the join.
-    stream.set_write_timeout(Some(shared.config.idle_timeout))?;
-    let mut last_activity = Instant::now();
+/// Is this connection refusing further input? (Pipeline or write
+/// buffer at cap, or closing.)
+fn read_paused(conn: &Conn, config: &ServerConfig) -> bool {
+    conn.closing
+        || conn.pending.len() >= config.max_pipeline
+        || conn.out_backlog() >= config.write_buffer_bytes
+}
+
+/// Drain the socket's readable bytes into frames and dispatch them.
+/// Returns false when the connection should close now.
+fn read_input(
+    conn: &mut Conn,
+    index: usize,
+    shared: &Arc<Shared>,
+    commit: &CommitHandle,
+    now: Instant,
+) -> bool {
+    let mut scratch = [0u8; 32 * 1024];
     loop {
-        // Phase 1: poll for the first header byte, so idleness (no
-        // frame started) is distinguishable from a mid-frame stall.
-        let mut first = [0u8; 1];
-        match stream.read(&mut first) {
-            Ok(0) => return Ok(()), // clean disconnect between frames
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-                if last_activity.elapsed() >= shared.config.idle_timeout {
-                    return Ok(()); // idle: free the slot
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
+        if read_paused(conn, &shared.config) {
+            return true;
         }
-        // Phase 2: the peer committed to a frame; finish it or cut off.
-        let mut header = [0u8; FRAME_HEADER_LEN];
-        header[0] = first[0];
-        let payload = stream
-            .read_exact(&mut header[1..])
-            .map_err(FrameError::Io)
-            .and_then(|()| {
-                wire::read_frame_after_header(&mut stream, header, shared.config.max_frame_bytes)
-            });
-        let payload = match payload {
-            Ok(p) => p,
-            Err(FrameError::Protocol(e)) => {
-                // Malformed frame: report, answer once, disconnect (the
-                // stream is no longer in sync).
-                shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
-                let response = Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: format!("unreadable frame: {e}"),
-                };
-                let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
-                return Ok(());
+        let n = match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                // EOF: the peer is done sending. Answer everything in
+                // flight, then close — pipelined clients half-close
+                // after their last frame and read the tail.
+                conn.closing = true;
+                return !conn.drained();
             }
-            Err(FrameError::Io(_)) => return Ok(()), // torn frame / dead peer
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         };
-        last_activity = Instant::now();
-        let response = match wire::decode_request(&payload) {
-            Ok(request) => dispatch(shared, request),
-            Err(e) => {
-                // Framing was intact (CRC passed) but the body is not a
-                // request: answer the error and stay in sync.
-                shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
-                Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: e.to_string(),
+        conn.last_activity = now;
+        conn.assembler.push(&scratch[..n]);
+        loop {
+            match conn.assembler.next_frame() {
+                Ok(Some(payload)) => dispatch(conn, &payload, index, shared, commit),
+                Ok(None) => break,
+                Err(e) => {
+                    // Unreadable framing: the stream cannot resync.
+                    // Answer once (after anything already in flight),
+                    // then close.
+                    shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                    push_response(
+                        conn,
+                        &Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!("unreadable frame: {e}"),
+                        },
+                    );
+                    conn.closing = true;
+                    return flush(conn, now);
                 }
             }
-        };
-        wire::write_frame(&mut stream, &wire::encode_response(&response))?;
-        shared.stats.requests_served.fetch_add(1, Ordering::SeqCst);
-        if let Some(n) = shared.stats.per_connection.lock().get_mut(&conn_id) {
-            *n += 1;
         }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Drain semantics: the in-flight request was answered;
-            // close before starting another.
-            return Ok(());
+        if !flush(conn, now) {
+            return false;
+        }
+        if n < scratch.len() {
+            // Likely drained; if not, level-triggered epoll re-notifies.
+            return true;
         }
     }
 }
 
-fn dispatch(shared: &Shared, request: Request) -> Response {
-    match request {
-        Request::Ingest(events) => match shared.engine.write().ingest(&events) {
-            Ok(outcome) => Response::Ingested {
-                processed: outcome.processed,
-                granted: outcome.granted,
-                denied: outcome.denied,
-                violations: outcome.violations,
-            },
-            Err(e) => Response::Error {
-                code: ErrorCode::Internal,
-                message: format!("batch not durable: {e}"),
-            },
-        },
-        Request::Check(event) => match shared.engine.write().ingest(&[event]) {
-            Ok(outcome) => Response::Access {
-                granted: outcome.granted == 1,
-            },
-            Err(e) => Response::Error {
-                code: ErrorCode::Internal,
-                message: format!("swipe not durable: {e}"),
-            },
-        },
-        Request::Query(query) => {
-            let engine = shared.engine.read();
-            match query {
-                HistoryQuery::Whereabouts { subject, at } => engine
-                    .whereabouts(subject, at)
-                    .map(|location| Response::Whereabouts { location })
-                    .unwrap_or_else(history_error),
-                HistoryQuery::PresentDuring { location, window } => engine
-                    .present_during(location, window)
-                    .map(|rows| Response::Present { rows })
-                    .unwrap_or_else(history_error),
-                HistoryQuery::Contacts { subject, window } => engine
-                    .contacts(subject, window)
-                    .map(|contacts| Response::Contacts { contacts })
-                    .unwrap_or_else(history_error),
-                HistoryQuery::ViolationsIn { window } => engine
-                    .violations_in(window)
-                    .map(|violations| Response::Violations { violations })
-                    .unwrap_or_else(history_error),
-                HistoryQuery::Status => Response::Status {
-                    status: status_of(shared, &engine),
+/// Decode one frame's request and either answer it inline (queries,
+/// errors) or submit it to the commit thread (writes).
+fn dispatch(
+    conn: &mut Conn,
+    payload: &[u8],
+    index: usize,
+    shared: &Arc<Shared>,
+    commit: &CommitHandle,
+) {
+    let request = match wire::decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            // Framing was intact (CRC passed) but the body is not a
+            // request: answer in-band and stay in sync.
+            shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            count_served(conn, shared);
+            push_response(
+                conn,
+                &Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
                 },
+            );
+            return;
+        }
+    };
+    count_served(conn, shared);
+    let (events, kind) = match request {
+        Request::Query(query) => {
+            push_response(conn, &answer_query(query, shared));
+            return;
+        }
+        Request::Ingest(events) => (events, WriteKind::Ingest),
+        Request::Check(event) => (vec![event], WriteKind::Check),
+    };
+    let slot = conn.next_slot;
+    conn.next_slot += 1;
+    conn.pending.push_back(SlotState::Waiting(slot));
+    let done = {
+        let shared = Arc::clone(shared);
+        let conn_id = conn.id;
+        move |result: io::Result<BatchOutcome>| {
+            let t = &shared.threads[index];
+            t.inbox.lock().done.push(Completion {
+                conn: conn_id,
+                slot,
+                kind,
+                result,
+            });
+            let _ = t.waker.wake();
+        }
+    };
+    if commit.submit(events, done).is_err() {
+        // Commit thread already gone (shutdown race): fail the slot
+        // in place.
+        let frame = response_frame(&Response::Error {
+            code: ErrorCode::Internal,
+            message: "server is shutting down".into(),
+        });
+        *conn.pending.back_mut().expect("slot just pushed") = SlotState::Ready(frame);
+    }
+}
+
+/// Turn a commit completion into its slot's ready response.
+fn apply_completion(conn: &mut Conn, completion: Completion) {
+    let response = match (completion.kind, completion.result) {
+        (WriteKind::Ingest, Ok(outcome)) => Response::Ingested {
+            processed: outcome.processed,
+            granted: outcome.granted,
+            denied: outcome.denied,
+            violations: outcome.violations,
+        },
+        (WriteKind::Check, Ok(outcome)) => Response::Access {
+            granted: outcome.granted == 1,
+        },
+        (WriteKind::Ingest, Err(e)) => Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("batch not durable: {e}"),
+        },
+        (WriteKind::Check, Err(e)) => Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("swipe not durable: {e}"),
+        },
+    };
+    let frame = response_frame(&response);
+    let filled = conn.pending.iter_mut().find_map(|s| match s {
+        SlotState::Waiting(id) if *id == completion.slot => Some(s),
+        _ => None,
+    });
+    match filled {
+        Some(slot) => *slot = SlotState::Ready(frame),
+        None => {
+            // A slot can only vanish with the whole connection; a
+            // present connection always holds its waiting slots.
+            debug_assert!(false, "completion for unknown slot");
+        }
+    }
+}
+
+fn count_served(conn: &Conn, shared: &Shared) {
+    shared.stats.requests_served.fetch_add(1, Ordering::SeqCst);
+    if let Some(n) = shared.stats.per_connection.lock().get_mut(&conn.id) {
+        *n += 1;
+    }
+}
+
+/// Append an inline (already-answerable) response to the FIFO.
+fn push_response(conn: &mut Conn, response: &Response) {
+    conn.pending
+        .push_back(SlotState::Ready(response_frame(response)));
+}
+
+fn response_frame(response: &Response) -> Vec<u8> {
+    let mut frame = Vec::new();
+    wire::write_frame(&mut frame, &wire::encode_response(response))
+        .expect("writing to a Vec cannot fail");
+    frame
+}
+
+/// Move the FIFO's ready prefix into the output buffer and write as
+/// much as the socket takes. Returns false when the connection should
+/// close (write failure, or `closing` and fully drained).
+fn flush(conn: &mut Conn, now: Instant) -> bool {
+    loop {
+        if conn.out_backlog() == 0 {
+            conn.out.clear();
+            conn.out_pos = 0;
+            while matches!(conn.pending.front(), Some(SlotState::Ready(_))) {
+                let Some(SlotState::Ready(frame)) = conn.pending.pop_front() else {
+                    unreachable!("front checked to be Ready");
+                };
+                conn.out.extend_from_slice(&frame);
+            }
+            if conn.out.is_empty() {
+                break;
             }
         }
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    !(conn.closing && conn.drained())
+}
+
+/// Reconcile the fd's epoll registration with what the connection
+/// currently wants. Returns false on a registry failure (close it).
+fn update_interest(conn: &mut Conn, poll: &Poll, config: &ServerConfig) -> bool {
+    let want_read = !read_paused(conn, config);
+    let want_write =
+        conn.out_backlog() > 0 || matches!(conn.pending.front(), Some(SlotState::Ready(_)));
+    let desired = match (want_read, want_write) {
+        (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+        (true, false) => Some(Interest::READABLE),
+        (false, true) => Some(Interest::WRITABLE),
+        // Fully backpressured (or closing while a write commits):
+        // deregister — level-triggered readiness on bytes we refuse to
+        // read would otherwise spin the loop. Completions re-arm us
+        // through the inbox, not through epoll.
+        (false, false) => None,
+    };
+    let ok = match (conn.registered, desired) {
+        (Some(cur), Some(want)) if cur != want => poll
+            .registry()
+            .reregister(&conn.stream, conn.token, want)
+            .is_ok(),
+        (None, Some(want)) => poll
+            .registry()
+            .register(&conn.stream, conn.token, want)
+            .is_ok(),
+        (Some(_), None) => poll.registry().deregister(&conn.stream).is_ok(),
+        _ => true,
+    };
+    if ok {
+        conn.registered = desired;
+    }
+    ok
+}
+
+/// Answer a read-only query from the poll thread via the shared
+/// [`ReadView`] — never touching the commit thread.
+fn answer_query(query: HistoryQuery, shared: &Shared) -> Response {
+    let view = &shared.view;
+    match query {
+        HistoryQuery::Whereabouts { subject, at } => view
+            .whereabouts(subject, at)
+            .map(|location| Response::Whereabouts { location })
+            .unwrap_or_else(history_error),
+        HistoryQuery::PresentDuring { location, window } => view
+            .present_during(location, window)
+            .map(|rows| Response::Present { rows })
+            .unwrap_or_else(history_error),
+        HistoryQuery::Contacts { subject, window } => view
+            .contacts(subject, window)
+            .map(|contacts| Response::Contacts { contacts })
+            .unwrap_or_else(history_error),
+        HistoryQuery::ViolationsIn { window } => view
+            .violations_in(window)
+            .map(|violations| Response::Violations { violations })
+            .unwrap_or_else(history_error),
+        HistoryQuery::Status => Response::Status {
+            status: status_of(shared),
+        },
     }
 }
 
@@ -411,22 +929,24 @@ fn history_error(e: HistoryError) -> Response {
     }
 }
 
-fn status_of(shared: &Shared, engine: &DurableEngine) -> ServerStatus {
-    let (archive_covered_to, archive_error) = match engine.archive_covered_to() {
+fn status_of(shared: &Shared) -> ServerStatus {
+    let view = &shared.view;
+    let (archive_covered_to, archive_error) = match view.archive_covered_to() {
         Ok(covered) => (covered, None),
         // An unreadable archive must not masquerade as the healthy
         // "nothing archived yet" zero.
         Err(e) => (0, Some(e.to_string())),
     };
     ServerStatus {
-        events_ingested: engine.applied(),
-        snapshot_seq: engine.last_snapshot_seq(),
-        policy_epoch: engine.policy_epoch(),
-        retention_watermark: engine.retention_watermark().get(),
+        events_ingested: view.applied(),
+        snapshot_seq: view.last_snapshot_seq(),
+        policy_epoch: view.policy_epoch(),
+        retention_watermark: view.retention_watermark().get(),
         archive_covered_to,
         archive_error,
-        archive_segments_loaded: engine.archive_segments_loaded(),
-        engine: engine.engine().status(),
+        archive_segments_loaded: view.archive_segments_loaded(),
+        wal_fsyncs: view.wal_fsyncs(),
+        engine: view.engine().status(),
         connections_active: shared.stats.active.load(Ordering::SeqCst),
         connections_total: shared.stats.connections_total.load(Ordering::SeqCst),
         refused_busy: shared.stats.refused_busy.load(Ordering::SeqCst),

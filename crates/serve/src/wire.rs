@@ -203,6 +203,11 @@ pub enum ErrorCode {
 /// A response from the serving tier. Always JSON-bodied (tag
 /// `0x04`): responses carry structured query results, which is
 /// exactly the shape the archive's JSON block already serializes.
+///
+/// `Status` is much larger than its siblings; responses are
+/// transient (encoded or consumed immediately), so boxing it would
+/// buy nothing but indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Outcome of an [`Request::Ingest`] batch.
@@ -277,6 +282,10 @@ pub struct ServerStatus {
     pub archive_error: Option<String>,
     /// Archive segments whose payloads are cached in memory.
     pub archive_segments_loaded: usize,
+    /// WAL `fsync`s issued since the store opened. Against
+    /// `events_ingested`, this is the group-commit amortization ratio:
+    /// far fewer fsyncs than batches means coalescing is working.
+    pub wal_fsyncs: u64,
     /// Engine-level counters, per shard and aggregated.
     pub engine: EngineStatus,
     /// Connections currently being served.
@@ -340,6 +349,101 @@ pub fn read_frame_after_header(
         return Err(FrameError::Protocol(WireError::CrcMismatch));
     }
     Ok(payload)
+}
+
+/// Incremental frame reassembly for a nonblocking byte stream.
+///
+/// The readiness-driven server cannot use [`read_frame`] (which blocks
+/// until a whole frame arrives): a `read()` on a nonblocking socket
+/// returns whatever bytes the kernel has — possibly half a header, or
+/// three frames and a quarter. Feed every chunk to [`push`], then
+/// drain complete frames with [`next_frame`]. Byte boundaries are
+/// immaterial: any split of the same stream yields the same frames
+/// (the serve property tests pin this).
+///
+/// A protocol error (oversized announcement, empty payload, CRC
+/// mismatch) poisons the stream — framing is byte-positional, so there
+/// is no way to resynchronize. Callers should answer the error and
+/// close, exactly like the blocking reader's contract.
+///
+/// [`push`]: FrameAssembler::push
+/// [`next_frame`]: FrameAssembler::next_frame
+#[derive(Debug)]
+pub struct FrameAssembler {
+    max_bytes: u32,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily, so draining many
+    /// small frames from one chunk does not memmove per frame).
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler refusing payloads over `max_bytes`.
+    pub fn new(max_bytes: u32) -> FrameAssembler {
+        FrameAssembler {
+            max_bytes,
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Append bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame (a partial frame
+    /// in flight).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Is a frame currently arriving? (Some bytes buffered, but not a
+    /// whole frame.) Distinguishes an *idle* peer from one *stalled
+    /// mid-frame* — the server cuts the latter off much sooner.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Extract the next complete frame's payload, `Ok(None)` if more
+    /// bytes are needed, or the protocol error that poisons the stream.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        if len > self.max_bytes {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: self.max_bytes,
+            });
+        }
+        if len == 0 {
+            return Err(WireError::EmptyPayload);
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER_LEN..total].to_vec();
+        if crc32(&payload) != crc {
+            return Err(WireError::CrcMismatch);
+        }
+        self.start += total;
+        // Compact once the dead prefix dominates, so the buffer does
+        // not grow without bound on a long-lived chatty connection.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(payload))
+    }
 }
 
 // --- request encoding ------------------------------------------------------
@@ -554,6 +658,51 @@ mod tests {
             decode_request(&payload),
             Err(WireError::BadCount(_))
         ));
+    }
+
+    #[test]
+    fn assembler_yields_frames_regardless_of_chunking() {
+        let mut stream = Vec::new();
+        for r in sample_requests() {
+            write_frame(&mut stream, &encode_request(&r)).unwrap();
+        }
+        // Worst-case chunking: one byte at a time.
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+        let mut decoded = Vec::new();
+        for &b in &stream {
+            asm.push(&[b]);
+            while let Some(payload) = asm.next_frame().unwrap() {
+                decoded.push(decode_request(&payload).unwrap());
+            }
+        }
+        assert_eq!(decoded, sample_requests());
+        assert!(!asm.mid_frame(), "stream fully consumed");
+        // And the whole stream in one push.
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+        asm.push(&stream);
+        let mut decoded = Vec::new();
+        while let Some(payload) = asm.next_frame().unwrap() {
+            decoded.push(decode_request(&payload).unwrap());
+        }
+        assert_eq!(decoded, sample_requests());
+    }
+
+    #[test]
+    fn assembler_surfaces_protocol_errors_without_panicking() {
+        let mut asm = FrameAssembler::new(64);
+        asm.push(&u32::MAX.to_le_bytes());
+        asm.push(&0u32.to_le_bytes());
+        assert!(matches!(
+            asm.next_frame(),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        let mut asm = FrameAssembler::new(64);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &[1, 2, 3]).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        asm.push(&frame);
+        assert!(matches!(asm.next_frame(), Err(WireError::CrcMismatch)));
     }
 
     #[test]

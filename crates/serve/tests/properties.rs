@@ -10,7 +10,7 @@ use ltam_engine::batch::Event;
 use ltam_graph::LocationId;
 use ltam_serve::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    HistoryQuery, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+    FrameAssembler, HistoryQuery, Request, Response, DEFAULT_MAX_FRAME_BYTES,
 };
 use ltam_time::{Interval, Time};
 use proptest::prelude::*;
@@ -130,6 +130,37 @@ proptest! {
         let _ = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME_BYTES);
         let _ = decode_request(&bytes);
         let _ = decode_response(&bytes);
+    }
+
+    /// The incremental assembler is chunking-invariant: TCP may hand
+    /// the same framed stream to the poll loop cut at **any** byte
+    /// boundaries — mid-header, mid-payload, many frames per chunk —
+    /// and the decoded request sequence must be identical to reading
+    /// the stream whole.
+    #[test]
+    fn assembler_decodes_identically_across_arbitrary_splits(
+        requests in prop::collection::vec(arb_request(), 1..10),
+        cut_seeds in prop::collection::vec(0usize..65536, 0..32),
+    ) {
+        let mut stream = Vec::new();
+        for r in &requests {
+            stream.extend_from_slice(&framed(r));
+        }
+        let mut cuts: Vec<usize> = cut_seeds.iter().map(|c| c % (stream.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME_BYTES);
+        let mut decoded = Vec::new();
+        let mut at = 0usize;
+        for end in cuts.into_iter().chain(std::iter::once(stream.len())) {
+            asm.push(&stream[at..end]);
+            at = end;
+            while let Some(payload) = asm.next_frame().expect("intact stream") {
+                decoded.push(decode_request(&payload).expect("intact payload"));
+            }
+        }
+        prop_assert_eq!(decoded, requests);
+        prop_assert!(!asm.mid_frame(), "stream fully consumed");
     }
 
     /// A framed stream of many requests parses back message by message

@@ -250,6 +250,91 @@ fn idle_connections_are_reaped_and_the_client_reconnects() {
 }
 
 #[test]
+fn slow_readers_and_mid_frame_stalls_never_block_the_poll_loop() {
+    // One poll thread owns *every* connection — if a misbehaving peer
+    // could block the loop, nothing else would be served. Both valves
+    // are set low so the abuse trips them quickly: a connection with
+    // too many requests in flight, or too many unread response bytes,
+    // stops being read (never stops the loop).
+    let dir = ScratchDir::new("serve-slow-reader");
+    let (server, alice, cais) = start_server(
+        &dir,
+        ServerConfig {
+            poll_threads: 1,
+            max_pipeline: 8,
+            write_buffer_bytes: 1024,
+            ..quick_config()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Peer 1 stalls mid-frame: three bytes of header, then silence.
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(&[0x10, 0x00, 0x00]).unwrap();
+
+    // Peer 2 is a slow reader: it pours ingest requests in and never
+    // reads a single response. Responses jam up its socket and the
+    // server's write buffer until the valve closes its read side; its
+    // own sends then hit WouldBlock (nonblocking, so the test never
+    // wedges itself).
+    let mut deaf = std::net::TcpStream::connect(addr).unwrap();
+    deaf.set_nonblocking(true).unwrap();
+    let batch: Vec<Event> = (0..24u64)
+        .map(|i| Event::Request {
+            time: Time(1_000 + i),
+            subject: alice,
+            location: cais,
+        })
+        .collect();
+    let mut frame = Vec::new();
+    wire::write_frame(&mut frame, &wire::encode_request(&Request::Ingest(batch))).unwrap();
+    let mut poured = 0usize;
+    'pour: for _ in 0..2048 {
+        let mut at = 0usize;
+        let mut retries = 0u32;
+        while at < frame.len() {
+            match deaf.write(&frame[at..]) {
+                Ok(0) => break 'pour,
+                Ok(n) => at += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if at == 0 || retries > 200 {
+                        break 'pour; // jammed: the valve closed
+                    }
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("unexpected send error: {e:?}"),
+            }
+        }
+        poured += 1;
+    }
+
+    // While both peers sit there, a well-behaved client gets full
+    // service from the same poll thread, promptly.
+    let start = std::time::Instant::now();
+    let mut client = LtamClient::connect(&addr.to_string()).unwrap();
+    for i in 0..50u64 {
+        assert!(client.check_access(Time(10 + i % 20), alice, cais).is_ok());
+    }
+    let status = client.status().unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "round trips stayed prompt alongside the stalled peers"
+    );
+    // The abusive peers may by now have been cut off (a valve-closed
+    // connection looks like a mid-frame stall and times out) — that is
+    // a defense, not a failure. What matters: the loop stayed live.
+    assert!(status.connections_active >= 1);
+    assert!(
+        poured > 8,
+        "the slow reader got past the pipeline cap before jamming"
+    );
+    drop(stalled);
+    drop(deaf);
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn ingest_is_all_or_nothing_per_batch_over_the_wire() {
     // A batch the engine refuses to make durable is fully refused: the
     // response is the Error, and the WAL position does not move. (Here

@@ -43,12 +43,16 @@ use ltam_engine::batch::{shard_of, BatchOutcome, Event, PolicyCore, ShardedEngin
 use ltam_engine::movement::{Contact, MovementKind};
 use ltam_engine::shard::{ShardState, ShardStateImage};
 use ltam_engine::violation::Alert;
+use ltam_engine::EngineReadView;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
 use ltam_time::{Interval, Time};
 use std::io;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Tunables for a durable engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,16 +128,26 @@ pub struct RecoveryReport {
 pub struct DurableEngine {
     dir: PathBuf,
     config: StoreConfig,
-    engine: ShardedEngine,
+    /// Shared with every [`ReadView`]: the sharded engine synchronizes
+    /// reads per shard itself, so views answer queries concurrently
+    /// while this handle serializes all mutation.
+    engine: Arc<ShardedEngine>,
     wal: Wal,
     snapshots: SnapshotStore,
-    archive: ArchiveStore,
+    archive: Arc<ArchiveStore>,
     /// Lazily-loaded archive tier, cached across queries (segments load
     /// on first touch; see [`LazyArchive`]); invalidated by retention
     /// runs (which append a segment). Interior mutability so the
-    /// tier-aware queries take `&self` — a serving layer can answer
-    /// reads concurrently while ingest holds the exclusive reference.
-    archive_cache: parking_lot::Mutex<LazyArchive>,
+    /// tier-aware queries take `&self` — shared with [`ReadView`]s,
+    /// which answer reads concurrently while ingest proceeds here.
+    archive_cache: Arc<parking_lot::Mutex<LazyArchive>>,
+    /// Store-level counters mirrored for [`ReadView`]s after every
+    /// mutation (a view must not reach into `Wal` or the sequence
+    /// bookkeeping, which only this writer handle may touch).
+    cells: Arc<StatusCells>,
+    /// An in-flight background snapshot write, if any (see
+    /// [`DurableEngine::snapshot_async`]).
+    pending_snapshot: Option<PendingSnapshot>,
     applied: u64,
     since_snapshot: u64,
     policy_epoch: u64,
@@ -144,6 +158,52 @@ pub struct DurableEngine {
     retention_error: Option<io::Error>,
     /// Held for the engine's lifetime; released (file removed) on drop.
     _lock: StoreLock,
+}
+
+/// Store counters a [`ReadView`] can read without touching the writer:
+/// published by the writer after every mutation, loaded lock-free by
+/// any number of views.
+#[derive(Debug, Default)]
+struct StatusCells {
+    applied: AtomicU64,
+    snapshot_seq: AtomicU64,
+    policy_epoch: AtomicU64,
+    wal_fsyncs: AtomicU64,
+}
+
+/// A background snapshot write in flight: the engine was imaged and the
+/// WAL rotated synchronously; the encode + write + fsync run on this
+/// thread. Joined (and the WAL compacted) before the next snapshot,
+/// any policy edit, or drop.
+#[derive(Debug)]
+struct PendingSnapshot {
+    join: JoinHandle<io::Result<PathBuf>>,
+}
+
+/// Lower the **calling thread's** scheduling priority (nice +10).
+///
+/// The background snapshot writer burns ~tens of milliseconds of CPU
+/// encoding a multi-megabyte image; on a small machine (1 vCPU) that
+/// steals whole scheduler quanta from the poll and commit threads and
+/// shows up directly as tail latency on the wire. Niceness keeps the
+/// writer running whenever the box is otherwise idle but yields to the
+/// serving threads when it is not. On Linux `setpriority(PRIO_PROCESS,
+/// 0, ..)` is per-thread, which is exactly the scope we want; a
+/// failure (or a non-Linux target) is harmless — the write still
+/// happens, just without the hint.
+fn lower_thread_priority() {
+    #[cfg(target_os = "linux")]
+    {
+        extern "C" {
+            fn setpriority(which: i32, who: u32, prio: i32) -> i32;
+        }
+        const PRIO_PROCESS: i32 = 0;
+        // SAFETY: plain syscall wrapper; pid 0 = the calling thread on
+        // Linux. The return value is ignored on purpose (best effort).
+        unsafe {
+            setpriority(PRIO_PROCESS, 0, 10);
+        }
+    }
 }
 
 /// Best-effort single-opener guard: a `store.lock` file holding the
@@ -301,11 +361,13 @@ impl DurableEngine {
         let mut durable = DurableEngine {
             dir: dir.to_path_buf(),
             config,
-            engine,
+            engine: Arc::new(engine),
             wal,
             snapshots,
-            archive: ArchiveStore::with_fsync(dir, config.fsync),
-            archive_cache: parking_lot::Mutex::new(LazyArchive::new()),
+            archive: Arc::new(ArchiveStore::with_fsync(dir, config.fsync)),
+            archive_cache: Arc::new(parking_lot::Mutex::new(LazyArchive::new())),
+            cells: Arc::new(StatusCells::default()),
+            pending_snapshot: None,
             applied: 0,
             since_snapshot: 0,
             policy_epoch: 0,
@@ -478,26 +540,26 @@ impl DurableEngine {
             .unwrap_or(Time::ZERO)
             .max(engine.retention_watermark());
         let applied = wal.next_seq().max(snap.seq);
-        Ok((
-            DurableEngine {
-                dir: dir.to_path_buf(),
-                config,
-                engine,
-                wal,
-                snapshots,
-                archive,
-                archive_cache: parking_lot::Mutex::new(LazyArchive::new()),
-                applied,
-                since_snapshot: applied - snap.seq,
-                policy_epoch: snap.policy_epoch,
-                clock,
-                snapshot_error: None,
-                retention_error: None,
-                _lock: lock,
-            },
-            alerts,
-            report,
-        ))
+        let durable = DurableEngine {
+            dir: dir.to_path_buf(),
+            config,
+            engine: Arc::new(engine),
+            wal,
+            snapshots,
+            archive: Arc::new(archive),
+            archive_cache: Arc::new(parking_lot::Mutex::new(LazyArchive::new())),
+            cells: Arc::new(StatusCells::default()),
+            pending_snapshot: None,
+            applied,
+            since_snapshot: applied - snap.seq,
+            policy_epoch: snap.policy_epoch,
+            clock,
+            snapshot_error: None,
+            retention_error: None,
+            _lock: lock,
+        };
+        durable.publish_cells();
+        Ok((durable, alerts, report))
     }
 
     /// The wrapped engine, for reads and queries.
@@ -533,6 +595,26 @@ impl DurableEngine {
         &self.dir
     }
 
+    /// `fsync` calls the WAL has issued since open — divide events by
+    /// this to see group commit working.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// A cloneable, read-only view over this store: tier-aware history
+    /// queries, engine status, and the store counters — everything a
+    /// serving tier's read path needs — answered **concurrently** with
+    /// this writer handle (per-shard locks, the archive cache's own
+    /// lock, and atomic counter cells; never the writer's `&mut self`).
+    pub fn read_view(&self) -> ReadView {
+        ReadView {
+            engine: Arc::clone(&self.engine),
+            archive: Arc::clone(&self.archive),
+            archive_cache: Arc::clone(&self.archive_cache),
+            cells: Arc::clone(&self.cells),
+        }
+    }
+
     /// Durably ingest a batch: WAL-append + `fsync`, then enforce, then
     /// snapshot if the cadence says so.
     ///
@@ -543,21 +625,54 @@ impl DurableEngine {
     /// error is deferred to [`DurableEngine::take_snapshot_error`] and
     /// the snapshot retries at the next cadence point.
     pub fn ingest(&mut self, events: &[Event]) -> io::Result<BatchOutcome> {
-        self.wal.append_batch(events)?;
-        let outcome = self.engine.ingest(events);
-        self.applied += events.len() as u64;
-        self.since_snapshot += events.len() as u64;
-        if let Some(t) = events.iter().map(Event::time).max() {
-            self.clock = self.clock.max(t);
+        let mut outcomes = self.commit_group(&[events])?;
+        self.maintain();
+        Ok(outcomes.pop().expect("one batch in, one outcome out"))
+    }
+
+    /// Durably commit several independently-submitted batches under
+    /// **one** WAL write and one `fsync` — the group-commit primitive a
+    /// commit thread drains its submission queue into (see
+    /// [`GroupCommit`](crate::GroupCommit)). Each batch stays its own
+    /// WAL record (all-or-nothing across a crash, exactly as if it had
+    /// been ingested alone) and is enforced in submission order, so the
+    /// returned outcomes line up with `batches`.
+    ///
+    /// `Err` means no batch in the group reached the WAL (and the
+    /// engine was not touched): every submitter may safely retry.
+    /// Maintenance (retention, snapshot cadence) is deliberately **not**
+    /// run here — callers ack their waiters first, then call
+    /// [`DurableEngine::maintain`], keeping snapshot stalls out of the
+    /// commit latency path.
+    pub fn commit_group(&mut self, batches: &[&[Event]]) -> io::Result<Vec<BatchOutcome>> {
+        self.wal.append_batches(batches)?;
+        let mut outcomes = Vec::with_capacity(batches.len());
+        for batch in batches {
+            let outcome = self.engine.ingest(batch);
+            self.applied += batch.len() as u64;
+            self.since_snapshot += batch.len() as u64;
+            if let Some(t) = batch.iter().map(Event::time).max() {
+                self.clock = self.clock.max(t);
+            }
+            outcomes.push(outcome);
         }
-        // Retention maintenance rides the ingest path: once the batch's
-        // clock lets the watermark advance by the policy's minimum, the
-        // prune runs (archive-then-drop). Like the piggybacked snapshot
-        // below, a failure never fails the batch — the batch's
-        // durability rests on the WAL — and is deferred to
-        // [`DurableEngine::take_retention_error`]; live state is only
-        // dropped after its archive segment is durable, so a failed run
-        // leaves history intact and retries at the next cadence point.
+        self.publish_cells();
+        Ok(outcomes)
+    }
+
+    /// Run the ingest-path maintenance that used to ride every batch:
+    /// ingest-driven retention once the clock lets the watermark
+    /// advance, and the snapshot cadence (taken asynchronously — the
+    /// engine is imaged and the WAL rotated inline, but the multi-MB
+    /// encode + write + fsync happen on a background thread; see
+    /// [`DurableEngine::snapshot_async`]).
+    ///
+    /// A failure never fails any batch — batch durability rests on the
+    /// WAL — and is deferred to [`DurableEngine::take_retention_error`]
+    /// / [`DurableEngine::take_snapshot_error`]; live state is only
+    /// dropped after its archive segment is durable, so a failed run
+    /// leaves history intact and retries at the next cadence point.
+    pub fn maintain(&mut self) {
         if let Some(policy) = self.config.retention {
             if policy.should_run(self.retention_anchor(&policy), self.clock) {
                 if let Err(e) = self.run_retention_with(&policy, self.clock) {
@@ -566,11 +681,24 @@ impl DurableEngine {
             }
         }
         if self.config.snapshot_every > 0 && self.since_snapshot >= self.config.snapshot_every {
-            if let Err(e) = self.snapshot() {
-                self.snapshot_error = Some(e);
+            // If the previous background write is still running, taking
+            // another snapshot now would *block* on joining it — turning
+            // the async cadence into a synchronous stall on the ingest
+            // path (the writer is deliberately nice'd, so under load the
+            // join can wait tens of milliseconds). Skip this round
+            // instead: `since_snapshot` keeps growing and the next
+            // maintain() retries, and the WAL covers everything until
+            // then regardless.
+            let writer_busy = self
+                .pending_snapshot
+                .as_ref()
+                .is_some_and(|p| !p.join.is_finished());
+            if !writer_busy {
+                if let Err(e) = self.snapshot_async() {
+                    self.snapshot_error = Some(e);
+                }
             }
         }
-        Ok(outcome)
     }
 
     /// The error of the most recent failed automatic snapshot, if any
@@ -624,23 +752,106 @@ impl DurableEngine {
     /// recovery falls back to the older snapshot and must still find the
     /// WAL records between the two.
     pub fn snapshot(&mut self) -> io::Result<u64> {
-        let snapshot = StoreSnapshot {
+        self.snapshot_finish()?;
+        let snapshot = self.image();
+        self.snapshots.write(&snapshot)?;
+        self.wal.rotate()?;
+        self.compact_behind_snapshots()?;
+        self.since_snapshot = 0;
+        self.publish_cells();
+        Ok(self.applied)
+    }
+
+    /// Image the engine at the current WAL position **synchronously**
+    /// (about a millisecond), then hand the expensive part — encoding
+    /// and durably writing the multi-megabyte snapshot file — to a
+    /// background thread. Returns the covered sequence.
+    ///
+    /// Unlike [`DurableEngine::snapshot`], the WAL is **not** rotated
+    /// here: rotation costs several journal commits (seal + create +
+    /// directory fsync) on the ingest path, and its only benefit at a
+    /// snapshot point is compaction granularity. Segments still seal on
+    /// size ([`WalConfig::segment_bytes`]), and the join's compaction
+    /// drops whichever sealed segments the retained snapshots cover.
+    ///
+    /// Correctness does not depend on the write finishing: until the
+    /// file is durable, recovery falls back to the previous snapshot and
+    /// replays the full WAL (compaction is deferred to the join for
+    /// exactly this reason). The write is joined — and any error
+    /// surfaced — by the next snapshot, policy edit, or drop.
+    pub fn snapshot_async(&mut self) -> io::Result<u64> {
+        self.snapshot_finish()?;
+        let snapshot = self.image();
+        let store = self.snapshots.clone();
+        self.pending_snapshot = Some(PendingSnapshot {
+            join: std::thread::spawn(move || {
+                lower_thread_priority();
+                // Grace period: imaging just stalled the commit thread
+                // for ~a millisecond, so a backlog of batches is about
+                // to group-commit. Let their fsyncs hit a quiet journal
+                // before this thread starts competing for CPU and disk.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                store.write(&snapshot)
+            }),
+        });
+        self.since_snapshot = 0;
+        self.publish_cells();
+        Ok(self.applied)
+    }
+
+    /// Join an in-flight background snapshot write, if any, and run the
+    /// compaction it deferred. An `Err` means the snapshot file did
+    /// **not** land (no state is lost — the WAL still covers it).
+    pub fn snapshot_finish(&mut self) -> io::Result<()> {
+        let Some(pending) = self.pending_snapshot.take() else {
+            return Ok(());
+        };
+        match pending.join.join() {
+            Ok(Ok(_path)) => self.compact_behind_snapshots(),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(io::Error::other("background snapshot writer panicked")),
+        }
+    }
+
+    fn image(&self) -> StoreSnapshot {
+        StoreSnapshot {
             seq: self.applied,
             policy_epoch: self.policy_epoch,
             shards: self.engine.shard_count(),
             policy: self.engine.policy().image(),
             states: self.engine.export_images(),
-        };
-        self.snapshots.write(&snapshot)?;
-        self.wal.rotate()?;
+        }
+    }
+
+    /// Compaction goes up to the **oldest retained** snapshot, not the
+    /// newest: if the newest file is later found corrupt, recovery falls
+    /// back to the older snapshot and must still find the WAL records
+    /// between the two.
+    fn compact_behind_snapshots(&mut self) -> io::Result<()> {
         let cover = self
             .snapshots
             .oldest_retained_seq()?
             .unwrap_or(self.applied)
             .min(self.applied);
         self.wal.compact(cover)?;
-        self.since_snapshot = 0;
-        Ok(self.applied)
+        Ok(())
+    }
+
+    /// Mirror the writer-side counters into the cells [`ReadView`]s
+    /// read (release-ordered so a view that sees `applied` also sees
+    /// the shard state that batch produced — the shard mutexes provide
+    /// the actual synchronization; the cells are monitoring counters).
+    fn publish_cells(&self) {
+        self.cells.applied.store(self.applied, Ordering::Release);
+        self.cells
+            .snapshot_seq
+            .store(self.applied - self.since_snapshot, Ordering::Release);
+        self.cells
+            .policy_epoch
+            .store(self.policy_epoch, Ordering::Release);
+        self.cells
+            .wal_fsyncs
+            .store(self.wal.fsyncs(), Ordering::Release);
     }
 
     // --- retention and the archive tier -------------------------------------
@@ -754,29 +965,6 @@ impl DurableEngine {
         })
     }
 
-    /// Chain-scan the archive and return the per-segment lazy view for
-    /// a query reaching down to `requested`, refusing if the chain does
-    /// not reach the querying class's live watermark — the gap would
-    /// mean discarded-and-unarchived history. Only segments the query
-    /// can touch have their payloads read (see [`LazyArchive`]); the
-    /// coverage check itself is a directory listing.
-    fn archive_view<'a>(
-        &self,
-        cache: &'a mut LazyArchive,
-        requested: Time,
-        live_from: Time,
-    ) -> Result<&'a ArchiveData, HistoryError> {
-        let covered = cache.coverage_end(&self.archive)?;
-        if covered < live_from.get() {
-            return Err(HistoryError::Unarchived {
-                requested,
-                archived_to: covered,
-                live_from,
-            });
-        }
-        Ok(cache.view_for(&self.archive, requested, live_from)?)
-    }
-
     /// Archive segments whose payloads are currently cached (the status
     /// surface and the laziness tests read this; it only grows as
     /// queries reach further back).
@@ -800,19 +988,7 @@ impl DurableEngine {
         subject: SubjectId,
         t: Time,
     ) -> Result<Option<LocationId>, HistoryError> {
-        let live_from = self.engine.retention_watermark();
-        let live = history::merged_whereabouts(&self.engine, None, subject, t);
-        if live.is_some() || t >= live_from {
-            return Ok(live);
-        }
-        let mut cache = self.archive_cache.lock();
-        let archive = self.archive_view(&mut cache, t, live_from)?;
-        Ok(history::merged_whereabouts(
-            &self.engine,
-            Some(archive),
-            subject,
-            t,
-        ))
+        tiered_whereabouts(&self.engine, &self.archive, &self.archive_cache, subject, t)
     }
 
     /// Tier-aware presence query: who was in `location` during
@@ -822,23 +998,13 @@ impl DurableEngine {
         location: LocationId,
         window: Interval,
     ) -> Result<Vec<(SubjectId, Interval)>, HistoryError> {
-        let live_from = self.engine.retention_watermark();
-        if window.start() >= live_from {
-            return Ok(history::merged_present_during(
-                &self.engine,
-                None,
-                location,
-                window,
-            ));
-        }
-        let mut cache = self.archive_cache.lock();
-        let archive = self.archive_view(&mut cache, window.start(), live_from)?;
-        Ok(history::merged_present_during(
+        tiered_present_during(
             &self.engine,
-            Some(archive),
+            &self.archive,
+            &self.archive_cache,
             location,
             window,
-        ))
+        )
     }
 
     /// Tier-aware contact tracing — the paper's SARS query — merged
@@ -897,39 +1063,247 @@ impl DurableEngine {
         subject: SubjectId,
         window: Interval,
     ) -> Result<Vec<Contact>, HistoryError> {
-        let live_from = self.engine.retention_watermark();
-        if window.start() >= live_from {
-            return Ok(history::merged_contacts(
-                &self.engine,
-                None,
-                subject,
-                window,
-            ));
-        }
-        let mut cache = self.archive_cache.lock();
-        let archive = self.archive_view(&mut cache, window.start(), live_from)?;
-        Ok(history::merged_contacts(
+        tiered_contacts(
             &self.engine,
-            Some(archive),
+            &self.archive,
+            &self.archive_cache,
             subject,
             window,
-        ))
+        )
     }
 
     /// Tier-aware violation report over `window` (multiset semantics:
     /// archived violations first, then live in shard order).
     pub fn violations_in(&self, window: Interval) -> Result<Vec<Violation>, HistoryError> {
-        let live_from = self.engine.watermarks().violations;
-        if window.start() >= live_from {
-            return Ok(history::merged_violations(&self.engine, None, window));
-        }
-        let mut cache = self.archive_cache.lock();
-        let archive = self.archive_view(&mut cache, window.start(), live_from)?;
-        Ok(history::merged_violations(
+        tiered_violations_in(&self.engine, &self.archive, &self.archive_cache, window)
+    }
+}
+
+impl Drop for DurableEngine {
+    fn drop(&mut self) {
+        // A background snapshot writer must not outlive the store (its
+        // scratch directory may be about to vanish). Dropping mid-write
+        // is crash-equivalent anyway: the WAL still covers everything
+        // the unfinished snapshot would have.
+        let _ = self.snapshot_finish();
+    }
+}
+
+// --- the shared, tier-aware read path ---------------------------------------
+//
+// Free functions over the shared pieces (`ShardedEngine`, the archive
+// store, the lazy archive cache) so [`DurableEngine`] and [`ReadView`]
+// answer queries through literally the same code.
+
+/// Chain-scan the archive and return the per-segment lazy view for
+/// a query reaching down to `requested`, refusing if the chain does
+/// not reach the querying class's live watermark — the gap would
+/// mean discarded-and-unarchived history. Only segments the query
+/// can touch have their payloads read (see [`LazyArchive`]); the
+/// coverage check itself is a directory listing.
+fn archive_view<'a>(
+    archive: &ArchiveStore,
+    cache: &'a mut LazyArchive,
+    requested: Time,
+    live_from: Time,
+) -> Result<&'a ArchiveData, HistoryError> {
+    let covered = cache.coverage_end(archive)?;
+    if covered < live_from.get() {
+        return Err(HistoryError::Unarchived {
+            requested,
+            archived_to: covered,
+            live_from,
+        });
+    }
+    Ok(cache.view_for(archive, requested, live_from)?)
+}
+
+fn tiered_whereabouts(
+    engine: &ShardedEngine,
+    archive: &ArchiveStore,
+    cache: &parking_lot::Mutex<LazyArchive>,
+    subject: SubjectId,
+    t: Time,
+) -> Result<Option<LocationId>, HistoryError> {
+    let live_from = engine.retention_watermark();
+    let live = history::merged_whereabouts(engine, None, subject, t);
+    if live.is_some() || t >= live_from {
+        return Ok(live);
+    }
+    let mut cache = cache.lock();
+    let archive = archive_view(archive, &mut cache, t, live_from)?;
+    Ok(history::merged_whereabouts(
+        engine,
+        Some(archive),
+        subject,
+        t,
+    ))
+}
+
+fn tiered_present_during(
+    engine: &ShardedEngine,
+    archive: &ArchiveStore,
+    cache: &parking_lot::Mutex<LazyArchive>,
+    location: LocationId,
+    window: Interval,
+) -> Result<Vec<(SubjectId, Interval)>, HistoryError> {
+    let live_from = engine.retention_watermark();
+    if window.start() >= live_from {
+        return Ok(history::merged_present_during(
+            engine, None, location, window,
+        ));
+    }
+    let mut cache = cache.lock();
+    let archive = archive_view(archive, &mut cache, window.start(), live_from)?;
+    Ok(history::merged_present_during(
+        engine,
+        Some(archive),
+        location,
+        window,
+    ))
+}
+
+fn tiered_contacts(
+    engine: &ShardedEngine,
+    archive: &ArchiveStore,
+    cache: &parking_lot::Mutex<LazyArchive>,
+    subject: SubjectId,
+    window: Interval,
+) -> Result<Vec<Contact>, HistoryError> {
+    let live_from = engine.retention_watermark();
+    if window.start() >= live_from {
+        return Ok(history::merged_contacts(engine, None, subject, window));
+    }
+    let mut cache = cache.lock();
+    let archive = archive_view(archive, &mut cache, window.start(), live_from)?;
+    Ok(history::merged_contacts(
+        engine,
+        Some(archive),
+        subject,
+        window,
+    ))
+}
+
+fn tiered_violations_in(
+    engine: &ShardedEngine,
+    archive: &ArchiveStore,
+    cache: &parking_lot::Mutex<LazyArchive>,
+    window: Interval,
+) -> Result<Vec<Violation>, HistoryError> {
+    let live_from = engine.watermarks().violations;
+    if window.start() >= live_from {
+        return Ok(history::merged_violations(engine, None, window));
+    }
+    let mut cache = cache.lock();
+    let archive = archive_view(archive, &mut cache, window.start(), live_from)?;
+    Ok(history::merged_violations(engine, Some(archive), window))
+}
+
+/// A cloneable, read-only view over a [`DurableEngine`] — the serving
+/// tier's read path. Queries answer **concurrently** with the writer:
+/// the sharded engine synchronizes reads per shard, the lazy archive
+/// cache has its own lock, and the store counters are atomic cells the
+/// writer publishes after every mutation. Holding a view never blocks
+/// ingest, and a view outliving the writer simply keeps answering from
+/// the final state.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    engine: Arc<ShardedEngine>,
+    archive: Arc<ArchiveStore>,
+    archive_cache: Arc<parking_lot::Mutex<LazyArchive>>,
+    cells: Arc<StatusCells>,
+}
+
+impl ReadView {
+    /// A read-only handle over the wrapped engine (status, shard reads,
+    /// violation queries).
+    pub fn engine(&self) -> EngineReadView {
+        EngineReadView::new(Arc::clone(&self.engine))
+    }
+
+    /// Events durably applied so far (the WAL sequence), as of the
+    /// writer's most recent commit.
+    pub fn applied(&self) -> u64 {
+        self.cells.applied.load(Ordering::Acquire)
+    }
+
+    /// WAL sequence the most recent snapshot covers.
+    pub fn last_snapshot_seq(&self) -> u64 {
+        self.cells.snapshot_seq.load(Ordering::Acquire)
+    }
+
+    /// The current policy epoch.
+    pub fn policy_epoch(&self) -> u64 {
+        self.cells.policy_epoch.load(Ordering::Acquire)
+    }
+
+    /// `fsync` calls the WAL has issued — the group-commit
+    /// effectiveness counter (`events_ingested / wal_fsyncs` ≈ events
+    /// per fsync).
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.cells.wal_fsyncs.load(Ordering::Acquire)
+    }
+
+    /// The movement-history retention watermark.
+    pub fn retention_watermark(&self) -> Time {
+        self.engine.retention_watermark()
+    }
+
+    /// Archive segments whose payloads are currently cached.
+    pub fn archive_segments_loaded(&self) -> usize {
+        self.archive_cache.lock().segments_loaded()
+    }
+
+    /// Archive chain coverage end (exclusive).
+    pub fn archive_covered_to(&self) -> io::Result<u64> {
+        self.archive_cache.lock().coverage_end(&self.archive)
+    }
+
+    /// Tier-aware historical whereabouts (see
+    /// [`DurableEngine::whereabouts`]).
+    pub fn whereabouts(
+        &self,
+        subject: SubjectId,
+        t: Time,
+    ) -> Result<Option<LocationId>, HistoryError> {
+        tiered_whereabouts(&self.engine, &self.archive, &self.archive_cache, subject, t)
+    }
+
+    /// Tier-aware presence query (see
+    /// [`DurableEngine::present_during`]).
+    pub fn present_during(
+        &self,
+        location: LocationId,
+        window: Interval,
+    ) -> Result<Vec<(SubjectId, Interval)>, HistoryError> {
+        tiered_present_during(
             &self.engine,
-            Some(archive),
+            &self.archive,
+            &self.archive_cache,
+            location,
             window,
-        ))
+        )
+    }
+
+    /// Tier-aware contact tracing (see [`DurableEngine::contacts`]).
+    pub fn contacts(
+        &self,
+        subject: SubjectId,
+        window: Interval,
+    ) -> Result<Vec<Contact>, HistoryError> {
+        tiered_contacts(
+            &self.engine,
+            &self.archive,
+            &self.archive_cache,
+            subject,
+            window,
+        )
+    }
+
+    /// Tier-aware violation report (see
+    /// [`DurableEngine::violations_in`]).
+    pub fn violations_in(&self, window: Interval) -> Result<Vec<Violation>, HistoryError> {
+        tiered_violations_in(&self.engine, &self.archive, &self.archive_cache, window)
     }
 }
 

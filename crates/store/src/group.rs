@@ -1,0 +1,318 @@
+//! [`GroupCommit`] — a dedicated commit thread that coalesces ingest
+//! batches from many submitters into one WAL write + one `fsync`.
+//!
+//! ## Why
+//!
+//! `DurableEngine::ingest` pays one `fsync` per batch. That is the
+//! right call shape for a single in-process writer, but a serving tier
+//! has *many* concurrent submitters (one per connection), and giving
+//! each its own fsync serializes the whole tier on the disk's flush
+//! latency. Group commit is the classic fix: submitters queue, a
+//! single commit thread drains whatever has accumulated, appends every
+//! batch under **one** WAL write + one `fsync`
+//! ([`DurableEngine::commit_group`]), and then acks every waiter. Under
+//! load, the queue is never empty when the fsync returns, so the cost
+//! amortizes across more and more batches exactly when it matters.
+//!
+//! ## Ordering and atomicity
+//!
+//! Batches commit and are enforced in submission (queue) order; each
+//! batch stays its own WAL record, so it is all-or-nothing across a
+//! crash exactly as if it had been ingested alone. A waiter is acked
+//! only after its batch's fsync returned — never before durability —
+//! and acks go out **before** maintenance (retention, snapshot
+//! cadence), so a snapshot stall delays the *next* group, not the acks
+//! of the one already durable.
+//!
+//! ## Shutdown
+//!
+//! Dropping every [`CommitHandle`] closes the queue; the commit thread
+//! drains what is left, runs a final maintenance pass, and parks the
+//! engine for [`GroupCommit::shutdown`] to reclaim.
+
+use crate::durable::DurableEngine;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use ltam_engine::batch::{BatchOutcome, Event};
+use std::io;
+use std::thread::JoinHandle;
+
+/// Tunables for a [`GroupCommit`] thread.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitConfig {
+    /// Stop draining the queue once a group holds this many **events**
+    /// (not batches). Caps both ack latency under a flood and the size
+    /// of a single WAL write; the group that triggers the cap still
+    /// commits in full.
+    pub max_group_events: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_group_events: 32 * 1024,
+        }
+    }
+}
+
+/// One queued batch: the events and the completion to run after its
+/// fsync (or failure).
+struct Job {
+    events: Vec<Event>,
+    done: Box<dyn FnOnce(io::Result<BatchOutcome>) + Send>,
+}
+
+/// A cloneable submission handle onto a [`GroupCommit`] thread. Every
+/// connection (or worker) holds one; dropping the last one shuts the
+/// commit thread down.
+#[derive(Clone)]
+pub struct CommitHandle {
+    tx: Sender<Job>,
+}
+
+impl std::fmt::Debug for CommitHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitHandle").finish_non_exhaustive()
+    }
+}
+
+impl CommitHandle {
+    /// Queue a batch and return immediately; `done` runs on the commit
+    /// thread once the batch is durable (or failed). Keep the callback
+    /// cheap — it delays every later waiter in the group — typically a
+    /// channel send plus a waker poke.
+    ///
+    /// Errors only if the commit thread is gone (shut down), handing
+    /// the events back.
+    pub fn submit(
+        &self,
+        events: Vec<Event>,
+        done: impl FnOnce(io::Result<BatchOutcome>) + Send + 'static,
+    ) -> Result<(), Vec<Event>> {
+        self.tx
+            .send(Job {
+                events,
+                done: Box::new(done),
+            })
+            .map_err(|e| e.0.events)
+    }
+
+    /// Queue a batch and block until it is durable — the convenience
+    /// shape for tests and non-event-loop callers.
+    pub fn commit(&self, events: Vec<Event>) -> io::Result<BatchOutcome> {
+        let (tx, rx) = unbounded();
+        self.submit(events, move |result| {
+            let _ = tx.send(result);
+        })
+        .map_err(|_| io::Error::other("commit thread is shut down"))?;
+        rx.recv()
+            .unwrap_or_else(|_| Err(io::Error::other("commit thread died before acking")))
+    }
+}
+
+/// The owner of a running commit thread (see the [module docs](self)).
+#[derive(Debug)]
+pub struct GroupCommit {
+    join: JoinHandle<DurableEngine>,
+    /// Kept so `handle()` can mint more; dropped by `shutdown`.
+    handle: CommitHandle,
+}
+
+impl GroupCommit {
+    /// Move `engine` onto a new commit thread and return the owner plus
+    /// the first submission handle.
+    pub fn start(engine: DurableEngine, config: GroupCommitConfig) -> (GroupCommit, CommitHandle) {
+        let (tx, rx) = unbounded::<Job>();
+        let join = std::thread::Builder::new()
+            .name("ltam-commit".into())
+            .spawn(move || commit_loop(engine, rx, config))
+            .expect("spawn commit thread");
+        let handle = CommitHandle { tx };
+        (
+            GroupCommit {
+                join,
+                handle: handle.clone(),
+            },
+            handle,
+        )
+    }
+
+    /// Mint another submission handle.
+    pub fn handle(&self) -> CommitHandle {
+        self.handle.clone()
+    }
+
+    /// Close the queue, drain every batch already submitted (each still
+    /// acked after its fsync), and hand the engine back. Outstanding
+    /// [`CommitHandle`] clones keep the queue open — drop them first or
+    /// this blocks until they go away.
+    pub fn shutdown(self) -> io::Result<DurableEngine> {
+        drop(self.handle);
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("commit thread panicked"))
+    }
+}
+
+fn commit_loop(
+    mut engine: DurableEngine,
+    rx: Receiver<Job>,
+    config: GroupCommitConfig,
+) -> DurableEngine {
+    while let Ok(first) = rx.recv() {
+        let mut total = first.events.len();
+        let mut jobs = vec![first];
+        // Natural batching: drain whatever queued while the previous
+        // group's fsync ran. No linger timer — waiting for more work
+        // when the disk is idle only adds latency; under load the queue
+        // is never empty here.
+        while total < config.max_group_events {
+            match rx.try_recv() {
+                Ok(job) => {
+                    total += job.events.len();
+                    jobs.push(job);
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let batches: Vec<&[Event]> = jobs.iter().map(|j| j.events.as_slice()).collect();
+        match engine.commit_group(&batches) {
+            Ok(outcomes) => {
+                debug_assert_eq!(outcomes.len(), jobs.len());
+                for (job, outcome) in jobs.into_iter().zip(outcomes) {
+                    (job.done)(Ok(outcome));
+                }
+            }
+            Err(e) => {
+                // The group never reached the WAL: every submitter gets
+                // the same verdict and may retry.
+                let kind = e.kind();
+                let message = e.to_string();
+                for job in jobs {
+                    (job.done)(Err(io::Error::new(kind, message.clone())));
+                }
+            }
+        }
+        // Acks are out; now the cadence work (snapshot imaging is
+        // about a millisecond — the expensive write is backgrounded).
+        engine.maintain();
+    }
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::StoreConfig;
+    use crate::scratch::ScratchDir;
+    use ltam_core::model::{Authorization, EntryLimit};
+    use ltam_core::subject::SubjectId;
+    use ltam_engine::batch::PolicyCore;
+    use ltam_graph::examples::ntu_campus;
+    use ltam_time::{Interval, Time};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn store(dir: &std::path::Path, fsync: bool) -> DurableEngine {
+        let ntu = ntu_campus();
+        let cais = ntu.cais;
+        let mut core = PolicyCore::new(ntu.model);
+        for s in 0..64u32 {
+            core.add_authorization(
+                Authorization::new(
+                    Interval::ALL,
+                    Interval::ALL,
+                    SubjectId(s),
+                    cais,
+                    EntryLimit::Unbounded,
+                )
+                .unwrap(),
+            );
+        }
+        let config = StoreConfig {
+            snapshot_every: 0,
+            fsync,
+            ..StoreConfig::default()
+        };
+        DurableEngine::create(dir, core, 2, config).unwrap().0
+    }
+
+    fn request(t: u64, s: u32) -> Event {
+        let cais = ntu_campus().cais;
+        Event::Request {
+            time: Time(t),
+            subject: SubjectId(s),
+            location: cais,
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_all_commit_with_far_fewer_fsyncs() {
+        let dir = ScratchDir::new("group-basic");
+        let engine = store(dir.path(), true);
+        let fsyncs_before = engine.wal_fsyncs();
+        let (gc, handle) = GroupCommit::start(engine, GroupCommitConfig::default());
+        let submitters: Vec<_> = (0..8)
+            .map(|thread| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        let out = h.commit(vec![request(i, thread)]).unwrap();
+                        assert_eq!(out.granted, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in submitters {
+            t.join().unwrap();
+        }
+        drop(handle);
+        let engine = gc.shutdown().unwrap();
+        assert_eq!(engine.applied(), 200);
+        let fsyncs = engine.wal_fsyncs() - fsyncs_before;
+        assert!(
+            fsyncs < 200,
+            "200 one-event batches from 8 threads must share fsyncs (got {fsyncs})"
+        );
+    }
+
+    #[test]
+    fn acks_preserve_submission_order_and_outcomes_line_up() {
+        let dir = ScratchDir::new("group-order");
+        let engine = store(dir.path(), false);
+        let (gc, handle) = GroupCommit::start(engine, GroupCommitConfig::default());
+        let acked = Arc::new(AtomicUsize::new(0));
+        let mut ranks = Vec::new();
+        for i in 0..50u64 {
+            let acked = Arc::clone(&acked);
+            let (tx, rx) = unbounded();
+            handle
+                .submit(vec![request(i, (i % 4) as u32)], move |result| {
+                    let rank = acked.fetch_add(1, Ordering::SeqCst);
+                    let _ = tx.send((rank, result.unwrap().granted));
+                })
+                .unwrap();
+            ranks.push(rx);
+        }
+        for (i, rx) in ranks.into_iter().enumerate() {
+            let (rank, granted) = rx.recv().unwrap();
+            assert_eq!(rank, i, "acks ran in submission order");
+            assert_eq!(granted, 1);
+        }
+        drop(handle);
+        let engine = gc.shutdown().unwrap();
+        assert_eq!(engine.applied(), 50);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_batches_before_returning_the_engine() {
+        let dir = ScratchDir::new("group-drain");
+        let engine = store(dir.path(), false);
+        let (gc, handle) = GroupCommit::start(engine, GroupCommitConfig::default());
+        for i in 0..100u64 {
+            handle.submit(vec![request(i, 0)], drop).unwrap();
+        }
+        drop(handle);
+        let engine = gc.shutdown().unwrap();
+        assert_eq!(engine.applied(), 100, "nothing queued is dropped");
+    }
+}

@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod binval;
 pub mod codec;
 pub mod crc;
 pub mod durable;
+pub mod group;
 pub mod history;
 pub mod scratch;
 pub mod snapshot;
@@ -51,7 +53,10 @@ pub use codec::{
     DecodeError,
 };
 pub use crc::crc32;
-pub use durable::{redistribute, DurableEngine, RecoveryReport, RetentionOutcome, StoreConfig};
+pub use durable::{
+    redistribute, DurableEngine, ReadView, RecoveryReport, RetentionOutcome, StoreConfig,
+};
+pub use group::{CommitHandle, GroupCommit, GroupCommitConfig};
 pub use history::HistoryError;
 pub use scratch::{copy_flat_dir, ScratchDir};
 pub use snapshot::{SnapshotStore, StoreSnapshot, SNAPSHOT_VERSION};

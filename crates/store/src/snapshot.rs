@@ -1,17 +1,23 @@
 //! Versioned on-disk snapshots of the full engine state.
 //!
-//! ## On-disk format (version 1)
+//! ## On-disk format (version 2)
 //!
-//! A snapshot file `snap-<seq>.snap` is:
+//! A snapshot file `snap-<seq>-<epoch>.snap` is:
 //!
 //! ```text
 //! ┌──────────────── header (28 bytes) ────────────────────────────────┐
 //! │ magic "LTSN" │ version u16 LE │ reserved u16 │ seq u64 LE         │
 //! │ payload_len u64 LE │ crc32 u32 LE                                 │
 //! ├──────────────── payload ──────────────────────────────────────────┤
-//! │ JSON of StoreSnapshot (payload_len bytes)                         │
+//! │ StoreSnapshot in the binary value encoding ([`crate::binval`])    │
 //! └───────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Version 1 files carried the same header with a JSON payload; they
+//! are still **read** (an upgraded store recovers from its last v1
+//! snapshot) but no longer written — at drill scale the JSON encode
+//! alone cost tens of milliseconds per snapshot, which was the p99
+//! outlier in the serving tier (see `binval`).
 //!
 //! `seq` is the number of WAL events already **applied** to the captured
 //! state: recovery loads the snapshot and replays WAL records with
@@ -31,8 +37,10 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"LTSN";
-/// On-disk snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// On-disk snapshot format version written by this build.
+pub const SNAPSHOT_VERSION: u16 = 2;
+/// Oldest snapshot format version still readable (JSON payload).
+pub const SNAPSHOT_VERSION_JSON: u16 = 1;
 /// Bytes of the snapshot header.
 pub const SNAPSHOT_HEADER_LEN: usize = 28;
 /// Valid snapshots kept on disk (newest first); older ones are pruned.
@@ -142,9 +150,8 @@ impl SnapshotStore {
     /// snapshot under the final name.
     pub fn write(&self, snapshot: &StoreSnapshot) -> io::Result<PathBuf> {
         fs::create_dir_all(&self.dir)?;
-        let payload = serde_json::to_string(snapshot)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let payload = payload.as_bytes();
+        let payload = crate::binval::encode(snapshot);
+        let payload = &payload[..];
         let mut bytes = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
         bytes.extend_from_slice(&SNAPSHOT_MAGIC);
         bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
@@ -164,7 +171,32 @@ impl SnapshotStore {
                 .write(true)
                 .truncate(true)
                 .open(&tmp)?;
-            f.write_all(&bytes)?;
+            // Stream the multi-megabyte image in bounded chunks, kicking
+            // off data writeback after each one, then settle everything
+            // with a single sync at the end. This is not about the
+            // writer's own latency (it runs on a background thread): on
+            // journaling filesystems in ordered mode, *any* fsync's
+            // journal commit first flushes the dirty data blocks the
+            // running transaction pins — so megabytes of unsynced
+            // snapshot would be paid for by whichever WAL group-commit
+            // fsync lands next, stalling the ingest path by tens of
+            // milliseconds. Early writeback keeps those pages clean so
+            // concurrent fsyncs find (almost) nothing of ours to flush,
+            // without issuing a journal commit per chunk (which would
+            // serialize against every WAL fsync instead).
+            const SNAPSHOT_WRITE_CHUNK: usize = 256 * 1024;
+            let chunks = bytes.chunks(SNAPSHOT_WRITE_CHUNK);
+            let paced = chunks.len() > 1;
+            for chunk in chunks {
+                f.write_all(chunk)?;
+                if self.fsync && paced {
+                    start_writeback(&f);
+                    // Give the device a moment to drain this chunk
+                    // before dirtying the next one — bounds how much
+                    // data a concurrent journal commit can inherit.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
             if self.fsync {
                 f.sync_data()?;
             }
@@ -203,6 +235,28 @@ impl SnapshotStore {
     }
 }
 
+/// Ask the kernel to start writing `f`'s dirty pages to disk without
+/// forcing a journal commit or waiting for completion (Linux
+/// `sync_file_range(SYNC_FILE_RANGE_WRITE)`). Best-effort: on other
+/// targets, or on failure, the caller's final `sync_data` still
+/// provides durability — this only loses the pacing benefit.
+fn start_writeback(f: &File) {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::unix::io::AsRawFd;
+        extern "C" {
+            fn sync_file_range(fd: i32, offset: i64, nbytes: i64, flags: u32) -> i32;
+        }
+        const SYNC_FILE_RANGE_WRITE: u32 = 2;
+        // SAFETY: plain syscall on an open fd; nbytes 0 = "to EOF".
+        unsafe {
+            sync_file_range(f.as_raw_fd(), 0, 0, SYNC_FILE_RANGE_WRITE);
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = f;
+}
+
 /// Parse and validate one snapshot file; `None` if any check fails.
 fn read_snapshot(
     path: &Path,
@@ -210,10 +264,11 @@ fn read_snapshot(
     expected_epoch: u64,
 ) -> io::Result<Option<StoreSnapshot>> {
     let bytes = fs::read(path)?;
-    if bytes.len() < SNAPSHOT_HEADER_LEN
-        || bytes[0..4] != SNAPSHOT_MAGIC
-        || u16::from_le_bytes([bytes[4], bytes[5]]) != SNAPSHOT_VERSION
-    {
+    if bytes.len() < SNAPSHOT_HEADER_LEN || bytes[0..4] != SNAPSHOT_MAGIC {
+        return Ok(None);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_JSON {
         return Ok(None);
     }
     let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
@@ -236,10 +291,15 @@ fn read_snapshot(
     if bytes.len() != end || crc32(payload) != crc {
         return Ok(None);
     }
-    let Ok(text) = std::str::from_utf8(payload) else {
-        return Ok(None);
+    let decoded = if version == SNAPSHOT_VERSION_JSON {
+        let Ok(text) = std::str::from_utf8(payload) else {
+            return Ok(None);
+        };
+        serde_json::from_str::<StoreSnapshot>(text)
+    } else {
+        crate::binval::decode::<StoreSnapshot>(payload)
     };
-    match serde_json::from_str::<StoreSnapshot>(text) {
+    match decoded {
         Ok(snap)
             if snap.seq == seq
                 && snap.policy_epoch == expected_epoch
@@ -320,6 +380,37 @@ mod tests {
         let bytes = fs::read(&newest).unwrap();
         fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
         assert_eq!(store.load_latest().unwrap().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn version_1_json_snapshots_still_load() {
+        // A store written before the binary payload (format v2) must
+        // recover from its existing v1 snapshot after an upgrade.
+        let dir = ScratchDir::new("snap-v1-compat");
+        let snap = snapshot(33);
+        let payload = serde_json::to_string(&snap).unwrap();
+        let payload = payload.as_bytes();
+        let mut bytes = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION_JSON.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&snap.seq.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        fs::create_dir_all(dir.path()).unwrap();
+        fs::write(snapshot_path(dir.path(), 33, 0), &bytes).unwrap();
+
+        let store = SnapshotStore::new(dir.path());
+        let back = store.load_latest().unwrap().unwrap();
+        assert_eq!(back.seq, 33);
+        assert_eq!(back.states.len(), 2);
+
+        // And the next write upgrades in place: newest is now v2.
+        let newest = store.write(&snapshot(40)).unwrap();
+        let head = fs::read(&newest).unwrap();
+        assert_eq!(u16::from_le_bytes([head[4], head[5]]), SNAPSHOT_VERSION);
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 40);
     }
 
     #[test]

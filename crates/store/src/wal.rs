@@ -10,16 +10,23 @@
 //! ┌────────────────────────── segment header (16 bytes) ─────────────┐
 //! │ magic "LTWL" │ version u16 LE │ reserved u16 │ first_seq u64 LE  │
 //! ├────────────────────────── records ───────────────────────────────┤
-//! │ len u32 LE │ crc32 u32 LE │ payload (len bytes, one Event)       │
+//! │ len u32 LE │ crc32 u32 LE │ payload (len bytes, >= 1 Events)     │
 //! │ ...                                                              │
 //! └──────────────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! The CRC covers the payload; the payload is the [`codec`](crate::codec)
-//! binary encoding of exactly one event. Records are appended in batches
-//! with **one `fsync` per batch**, and a segment rotates once it crosses
-//! [`WalConfig::segment_bytes`] (checked at batch granularity, so a
-//! segment may exceed the threshold by at most one batch).
+//! binary encoding of **one or more** concatenated events — one record
+//! per appended batch. (Before group commit landed, every record held
+//! exactly one event; such logs are a special case of this format and
+//! still replay, so the version stays 1.) A record is the unit of
+//! atomicity: recovery keeps it in full or discards it in full, which is
+//! what makes an appended batch all-or-nothing across a crash. Appends
+//! take **one `fsync` per call** — [`Wal::append_batches`] stacks many
+//! batches into that single fsync, which is the group-commit path — and
+//! a segment rotates once it crosses [`WalConfig::segment_bytes`]
+//! (checked at append granularity, so a segment may exceed the threshold
+//! by at most one append).
 //!
 //! ## Recovery
 //!
@@ -38,7 +45,7 @@
 //! Compaction ([`Wal::compact`]) removes sealed segments all of whose
 //! records are at sequence numbers below a snapshot's cover point.
 
-use crate::codec::{decode_event_exact, encode_event};
+use crate::codec::{decode_event, encode_event};
 use crate::crc::crc32;
 use ltam_engine::batch::Event;
 use std::fs::{self, File, OpenOptions};
@@ -94,7 +101,7 @@ struct Segment {
     path: PathBuf,
     /// Valid bytes (records end exactly here).
     len: u64,
-    /// Records in the segment.
+    /// Events in the segment (a record may hold several).
     records: u64,
 }
 
@@ -108,6 +115,9 @@ pub struct Wal {
     active: Segment,
     file: File,
     next_seq: u64,
+    /// `sync_data`/`sync_all` calls issued so far — the group-commit
+    /// effectiveness metric (events per fsync) surfaces through here.
+    fsyncs: u64,
     /// Set when a failed append could not be rolled back to the last
     /// known-good boundary; all further appends refuse.
     poisoned: bool,
@@ -183,10 +193,24 @@ fn scan_segment(bytes: &[u8], expected_first_seq: u64) -> (Vec<Event>, u64, Opti
         if crc32(payload) != crc {
             return (events, at as u64, Some(at as u64));
         }
-        match decode_event_exact(payload) {
-            Ok(event) => events.push(event),
-            Err(_) => return (events, at as u64, Some(at as u64)),
+        // A record holds one or more concatenated events; anything that
+        // does not decode exactly — including an empty payload — marks
+        // the record (and everything after it) invalid.
+        let mut offset = 0usize;
+        let mut decoded = Vec::new();
+        while offset < payload.len() {
+            match decode_event(&payload[offset..]) {
+                Ok((event, consumed)) => {
+                    decoded.push(event);
+                    offset += consumed;
+                }
+                Err(_) => return (events, at as u64, Some(at as u64)),
+            }
         }
+        if decoded.is_empty() {
+            return (events, at as u64, Some(at as u64));
+        }
+        events.extend(decoded);
         at = start + len;
     }
 }
@@ -344,6 +368,7 @@ impl Wal {
                 active,
                 file,
                 next_seq,
+                fsyncs: 0,
                 poisoned: false,
             },
             recovery,
@@ -353,6 +378,12 @@ impl Wal {
     /// The sequence number the next appended event will get.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// `fsync` calls this log has issued since it was opened (appends,
+    /// rotations, and new-segment directory syncs).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// List `dir`'s WAL segment files by name, sorted by first sequence,
@@ -369,8 +400,11 @@ impl Wal {
         out
     }
 
-    /// Append a batch of events as one write + one `fsync` (if enabled).
-    /// Returns the sequence number of the first event appended.
+    /// Append a batch of events as **one record**, one write + one
+    /// `fsync` (if enabled). Returns the sequence number of the first
+    /// event appended. The record framing is what makes the batch
+    /// all-or-nothing: a crash mid-write tears the record, and recovery
+    /// discards it in full — never a half-applied batch.
     ///
     /// A failed write is rolled back: the segment is truncated to its
     /// last known-good boundary, so a retried append never lands after
@@ -378,29 +412,49 @@ impl Wal {
     /// discarding every acked record behind it). If that rollback itself
     /// fails the log is poisoned and every further append errors.
     pub fn append_batch(&mut self, events: &[Event]) -> io::Result<u64> {
+        self.append_batches(&[events])
+    }
+
+    /// Append several batches — one record each — as a single write and
+    /// a single `fsync`: the group-commit primitive. Returns the
+    /// sequence number of the first event appended.
+    ///
+    /// All batches share one durability point. On any failure the whole
+    /// group is rolled back (or the log poisoned), so no caller can be
+    /// acked while another group member is half-written; on a torn
+    /// crash, recovery keeps a prefix of whole records, so each batch is
+    /// individually all-or-nothing.
+    pub fn append_batches(&mut self, batches: &[&[Event]]) -> io::Result<u64> {
         if self.poisoned {
             return Err(io::Error::other(
                 "WAL poisoned: a failed append could not be rolled back; reopen to repair",
             ));
         }
         let first = self.next_seq;
-        if events.is_empty() {
+        let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        if total == 0 {
             return Ok(first);
         }
         if self.active.len >= self.config.segment_bytes {
             self.rotate()?;
         }
-        let mut buf = Vec::with_capacity(events.len() * 16);
-        let mut payload = Vec::with_capacity(16);
-        for event in events {
+        let mut buf = Vec::with_capacity(total as usize * 16);
+        let mut payload = Vec::with_capacity(256);
+        for batch in batches {
+            if batch.is_empty() {
+                continue;
+            }
             payload.clear();
-            encode_event(event, &mut payload);
+            for event in *batch {
+                encode_event(event, &mut payload);
+            }
             buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(&crc32(&payload).to_le_bytes());
             buf.extend_from_slice(&payload);
         }
         let written = self.file.write_all(&buf).and_then(|()| {
             if self.config.fsync {
+                self.fsyncs += 1;
                 self.file.sync_data()
             } else {
                 Ok(())
@@ -413,8 +467,8 @@ impl Wal {
             return Err(e);
         }
         self.active.len += buf.len() as u64;
-        self.active.records += events.len() as u64;
-        self.next_seq += events.len() as u64;
+        self.active.records += total;
+        self.next_seq += total;
         Ok(first)
     }
 
@@ -424,8 +478,13 @@ impl Wal {
         if self.active.records == 0 {
             return Ok(());
         }
+        self.fsyncs += 1;
         self.file.sync_data()?;
-        let (next, file) = create_segment(&self.dir, self.next_seq, self.config.fsync)?;
+        let created = create_segment(&self.dir, self.next_seq, self.config.fsync)?;
+        if self.config.fsync {
+            self.fsyncs += 2; // segment data + directory entry
+        }
+        let (next, file) = created;
         self.sealed.push(std::mem::replace(&mut self.active, next));
         self.file = file;
         Ok(())
@@ -457,6 +516,9 @@ impl Wal {
         }
         fs::remove_file(&self.active.path)?;
         let (active, file) = create_segment(&self.dir, seq, self.config.fsync)?;
+        if self.config.fsync {
+            self.fsyncs += 2;
+        }
         self.active = active;
         self.file = file;
         self.next_seq = seq;
@@ -543,7 +605,10 @@ mod tests {
         };
         {
             let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
-            wal.append_batch(&events(100)).unwrap();
+            // One event per append, so each is its own record.
+            for e in events(100) {
+                wal.append_batch(&[e]).unwrap();
+            }
         }
         let path = segment_path(dir.path(), 0);
         let len = fs::metadata(&path).unwrap().len();
@@ -572,7 +637,9 @@ mod tests {
         let all = events(64);
         {
             let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
-            wal.append_batch(&all).unwrap();
+            for chunk in all.chunks(4) {
+                wal.append_batch(chunk).unwrap();
+            }
         }
         let path = segment_path(dir.path(), 0);
         let mut bytes = fs::read(&path).unwrap();
@@ -583,6 +650,74 @@ mod tests {
         let got: Vec<Event> = rec.events.iter().map(|&(_, e)| e).collect();
         assert!(got.len() < all.len());
         assert_eq!(got[..], all[..got.len()], "recovered events are a prefix");
+    }
+
+    #[test]
+    fn a_torn_tail_drops_whole_batches_never_parts_of_one() {
+        // Each appended batch is one record, so a crash mid-write can
+        // only lose entire batches — the all-or-nothing guarantee group
+        // commit relies on.
+        let dir = ScratchDir::new("wal-torn-batch");
+        let config = WalConfig {
+            segment_bytes: 1 << 20,
+            fsync: false,
+        };
+        {
+            let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+            for chunk in events(100).chunks(10) {
+                wal.append_batch(chunk).unwrap();
+            }
+        }
+        let path = segment_path(dir.path(), 0);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap(); // tear into the last record
+        drop(f);
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(rec.events.len(), 90, "the torn batch is lost in full");
+        // Tearing deep into the middle record still cuts at a batch edge.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(
+            rec.events.len() % 10,
+            0,
+            "recovery cuts at a batch boundary"
+        );
+    }
+
+    #[test]
+    fn append_batches_shares_one_fsync_across_the_group() {
+        let dir = ScratchDir::new("wal-group");
+        let config = WalConfig {
+            segment_bytes: 1 << 20,
+            fsync: true,
+        };
+        let all = events(60);
+        {
+            let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+            let batches: Vec<&[Event]> = all.chunks(12).collect();
+            let first = wal.append_batches(&batches).unwrap();
+            assert_eq!(first, 0);
+            assert_eq!(wal.next_seq(), 60);
+            assert_eq!(wal.fsyncs(), 1, "five batches, one fsync");
+            // Empty members are skipped without burning a record.
+            let first = wal.append_batches(&[&[], &all[..3], &[]]).unwrap();
+            assert_eq!(first, 60);
+            assert_eq!(wal.next_seq(), 63);
+            assert_eq!(wal.fsyncs(), 2);
+            let first = wal.append_batches(&[]).unwrap();
+            assert_eq!(first, 63);
+            assert_eq!(wal.fsyncs(), 2, "an empty group costs nothing");
+        }
+        let (_, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(rec.events.len(), 63);
+        let got: Vec<Event> = rec.events.iter().take(60).map(|&(_, e)| e).collect();
+        assert_eq!(got, all);
+        let seqs: Vec<u64> = rec.events.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, (0..63).collect::<Vec<_>>());
     }
 
     #[test]

@@ -76,14 +76,18 @@ fn fixture() -> &'static Fixture {
             store_config(),
         )
         .expect("create fixture store");
+        // Ingest in server-sized batches: each batch is one WAL record
+        // (the all-or-nothing unit), so a crash cut can land *between*
+        // committed batches — one giant ingest would be one giant
+        // record and "a record boundary" would mean end-of-file.
         let half = trace.events.len() / 2;
-        durable
-            .ingest(&trace.events[..half])
-            .expect("ingest first half");
+        for batch in trace.events[..half].chunks(256) {
+            durable.ingest(batch).expect("ingest first half");
+        }
         let snapshot_seq = durable.snapshot().expect("mid-stream snapshot");
-        durable
-            .ingest(&trace.events[half..])
-            .expect("ingest second half");
+        for batch in trace.events[half..].chunks(256) {
+            durable.ingest(batch).expect("ingest second half");
+        }
         // No final snapshot: the second half lives only in the WAL.
 
         Fixture {
@@ -162,6 +166,17 @@ fn crash_at_a_record_boundary_matches() {
     })
     .expect("a torn tail always recovers");
     assert!(resumed < fx.events.len() as u64);
+    // Group-commit atomicity, observed at recovery: each submitted
+    // batch is one WAL record, so a boundary cut can only resume at a
+    // whole number of the fixture's 256-event batches — never
+    // mid-batch.
+    let half = fx.events.len() as u64 / 2;
+    let on_batch_boundary = if resumed <= half {
+        resumed.is_multiple_of(256) || resumed == half
+    } else {
+        (resumed - half).is_multiple_of(256)
+    };
+    assert!(on_batch_boundary, "recovery resumed mid-batch at {resumed}");
     assert_eq!(got, fx.expected);
 }
 

@@ -1,0 +1,485 @@
+//! Vendored minimal stand-in for `mio` (offline build).
+//!
+//! Readiness-driven polling over raw Linux `epoll`, with an
+//! `eventfd`-backed [`Waker`] for cross-thread wakeups. Only the
+//! surface this workspace uses is implemented:
+//!
+//! * [`Poll`] / [`Registry`] — register any `AsRawFd` source with a
+//!   [`Token`] and an [`Interest`], then block in
+//!   [`Poll::poll`] for readiness [`Events`],
+//! * [`Interest`] — readable/writable, combinable with `|`,
+//! * [`Waker`] — wake a blocked `poll` from another thread.
+//!
+//! Differences from real mio, on purpose:
+//!
+//! * sources are plain `&impl AsRawFd` (std types with
+//!   `set_nonblocking(true)`), not a `Source` trait,
+//! * registrations are **level-triggered** (the waker alone is
+//!   edge-triggered so it needs no drain), so a handler that does not
+//!   finish its buffer is re-notified on the next poll,
+//! * Linux-only: the syscalls are declared `extern "C"` against the
+//!   libc every `*-linux-gnu` binary already links, keeping the
+//!   workspace offline-buildable.
+
+#![warn(missing_docs)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Re-export module mirroring `mio::event` so callers can name
+/// `event::Event` the way real-mio code does.
+pub mod event {
+    pub use crate::Event;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// Mirror of the kernel's `struct epoll_event`. Packed on x86-64 (the
+/// kernel ABI packs it there so 32/64-bit layouts agree); naturally
+/// aligned elsewhere.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    u64: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Identifies a registered source in the events a poll returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// What readiness to watch a source for. Combine with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Watch for read readiness (includes peer hangup).
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Watch for write readiness.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    /// Both interests combined. (Named to match the real mio API.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include readable?
+    pub fn is_readable(self) -> bool {
+        self.0 & EPOLLIN != 0
+    }
+
+    /// Does this interest include writable?
+    pub fn is_writable(self) -> bool {
+        self.0 & EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Reading will not block (data, EOF, or peer hangup).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Writing will not block (or the peer is gone and a write will
+    /// fail fast).
+    pub fn is_writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer closed its write half (or the whole connection).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (EPOLLRDHUP | EPOLLHUP) != 0
+    }
+
+    /// The source is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.bits & EPOLLERR != 0
+    }
+}
+
+/// A reusable buffer of readiness notifications filled by
+/// [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Copy out of the (possibly packed) struct before borrowing.
+        let (events, data) = (self.events, self.u64);
+        f.debug_struct("EpollEvent")
+            .field("events", &events)
+            .field("u64", &data)
+            .finish()
+    }
+}
+
+impl Events {
+    /// A buffer that can hold up to `capacity` notifications per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![EpollEvent { events: 0, u64: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of notifications from the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Did the last poll return nothing (timeout)?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the notifications from the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| Event {
+            token: Token(raw.u64 as usize),
+            bits: raw.events,
+        })
+    }
+}
+
+/// Registration handle for a [`Poll`]; cheap to hand to other threads
+/// by reference (registering is thread-safe — epoll allows concurrent
+/// `epoll_ctl`).
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, bits: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: bits,
+            u64: token.0 as u64,
+        };
+        // SAFETY: epfd and fd are owned-open descriptors; ev outlives
+        // the call.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(drop)
+    }
+
+    /// Watch `source` for `interest`, tagging notifications with
+    /// `token` (level-triggered).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), interest.0, token)
+    }
+
+    /// Change the interest (and/or token) of an already-registered
+    /// source.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), interest.0, token)
+    }
+
+    /// Stop watching `source`.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), 0, Token(0))
+    }
+}
+
+/// The poller: an epoll instance plus its [`Registry`].
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Create a fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Block until at least one registered source is ready, `timeout`
+    /// elapses (`events` comes back empty), or a [`Waker`] fires.
+    /// `None` blocks indefinitely. Retries on signal interruption.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.len = 0;
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout still sleeps ~1ms rather than
+            // spinning at 0.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        loop {
+            // SAFETY: the buffer is valid for `raw.len()` entries and
+            // lives across the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.registry.epfd,
+                    events.raw.as_mut_ptr(),
+                    events.raw.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                events.len = n as usize;
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: closing an fd we own exactly once.
+        unsafe { close(self.registry.epfd) };
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from any thread: the
+/// poll returns an event carrying the waker's token.
+///
+/// Backed by a nonblocking `eventfd` registered **edge-triggered**, so
+/// the poll loop never has to drain it: each `wake` bumps the counter
+/// and arms one notification; the counter is reset lazily if a write
+/// ever finds it saturated.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Create a waker delivering `token` through `registry`'s poll.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        let waker = Waker { fd };
+        registry.ctl(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLET, token)?;
+        Ok(waker)
+    }
+
+    /// Wake the poll. Cheap and thread-safe; coalesces with wakes the
+    /// poll has not observed yet.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: fd is our open eventfd; the buffer is 8 valid bytes.
+        let n = unsafe { write(self.fd, &one as *const u64 as *const u8, 8) };
+        if n == 8 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            // Counter saturated (2^64-2 unobserved wakes): drain and
+            // re-arm.
+            let mut buf = [0u8; 8];
+            // SAFETY: same fd, 8-byte buffer.
+            unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+            // SAFETY: as above.
+            let n = unsafe { write(self.fd, &one as *const u64 as *const u8, 8) };
+            if n == 8 {
+                return Ok(());
+            }
+            return Err(io::Error::last_os_error());
+        }
+        Err(err)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: closing an fd we own exactly once. The epoll
+        // registration dies with the fd.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn readable_fires_when_data_arrives_and_not_before() {
+        let mut poll = Poll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet, poll must time out");
+        a.write_all(b"hi").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("one readiness event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        let mut buf = [0u8; 8];
+        let mut b2 = &b;
+        assert_eq!(b2.read(&mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn level_triggered_renotifies_until_drained_and_interest_toggles() {
+        let mut poll = Poll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(1), Interest::READABLE)
+            .unwrap();
+        a.write_all(b"xyz").unwrap();
+        let mut events = Events::with_capacity(8);
+        for _ in 0..2 {
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "undrained data keeps the source ready");
+        }
+        // Drop read interest: the pending data must no longer wake us.
+        poll.registry()
+            .reregister(&b, Token(1), Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().unwrap();
+        assert!(ev.is_writable() && ev.bits & EPOLLIN == 0);
+        poll.registry().deregister(&b).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered sources never notify");
+    }
+
+    #[test]
+    fn peer_close_is_visible_as_read_closed() {
+        let mut poll = Poll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poll.registry()
+            .register(&b, Token(3), Interest::READABLE)
+            .unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("hangup must notify");
+        assert!(ev.is_readable(), "read returns 0 (EOF) without blocking");
+        assert!(ev.is_read_closed());
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), Token(99)).unwrap());
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "woke early");
+        assert_eq!(events.iter().next().unwrap().token(), Token(99));
+        t.join().unwrap();
+        // Edge-triggered: with no new wake, the next poll times out
+        // even though the eventfd counter was never drained.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        // And a fresh wake after the un-drained one still fires.
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn timeout_is_honored() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(1);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}

@@ -66,9 +66,91 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// A streaming serialization sink, in the spirit of real serde's
+/// `Serializer` (but flattened: no associated per-compound types).
+///
+/// [`Serialize::serialize`] drives a `Serializer` directly, without
+/// building the intermediate [`Value`] tree that `to_value` produces —
+/// for multi-megabyte payloads (engine snapshots) the tree's per-node
+/// allocations dominate the cost, so formats that care about throughput
+/// (`serde_json::to_string`, the store's binary snapshot payload)
+/// implement this trait and stream.
+///
+/// Call protocol, which emitters must follow and sinks may rely on:
+///
+/// * exactly one value is emitted at top level;
+/// * `begin_array(len)` is followed by `len` repetitions of
+///   `elem(i)` + one value, then `end_array()`;
+/// * `begin_object(len)` is followed by `len` repetitions of
+///   `field(i, key)` + one value, then `end_object()`;
+/// * indices count from 0 in emission order (JSON uses `i > 0` to place
+///   commas; binary sinks can ignore them).
+pub trait Serializer {
+    /// Emit `null`.
+    fn emit_null(&mut self);
+    /// Emit a boolean.
+    fn emit_bool(&mut self, b: bool);
+    /// Emit an unsigned integer.
+    fn emit_u64(&mut self, n: u64);
+    /// Emit a signed (negative) integer.
+    fn emit_i64(&mut self, n: i64);
+    /// Emit a float.
+    fn emit_f64(&mut self, n: f64);
+    /// Emit a string.
+    fn emit_str(&mut self, s: &str);
+    /// Open an array of exactly `len` elements.
+    fn begin_array(&mut self, len: usize);
+    /// Announce element `index` (0-based); its value follows.
+    fn elem(&mut self, index: usize);
+    /// Close the innermost open array.
+    fn end_array(&mut self);
+    /// Open an object of exactly `len` fields.
+    fn begin_object(&mut self, len: usize);
+    /// Announce field `index` with key `key`; its value follows.
+    fn field(&mut self, index: usize, key: &str);
+    /// Close the innermost open object.
+    fn end_object(&mut self);
+}
+
+/// Stream an already-built [`Value`] tree into a [`Serializer`].
+pub fn emit_value<S: Serializer + ?Sized>(v: &Value, s: &mut S) {
+    match v {
+        Value::Null => s.emit_null(),
+        Value::Bool(b) => s.emit_bool(*b),
+        Value::U64(n) => s.emit_u64(*n),
+        Value::I64(n) => s.emit_i64(*n),
+        Value::F64(n) => s.emit_f64(*n),
+        Value::Str(t) => s.emit_str(t),
+        Value::Array(items) => {
+            s.begin_array(items.len());
+            for (i, item) in items.iter().enumerate() {
+                s.elem(i);
+                emit_value(item, s);
+            }
+            s.end_array();
+        }
+        Value::Object(pairs) => {
+            s.begin_object(pairs.len());
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                s.field(i, k);
+                emit_value(item, s);
+            }
+            s.end_object();
+        }
+    }
+}
+
 /// Types that can be converted into the [`Value`] data model.
 pub trait Serialize {
     fn to_value(&self) -> Value;
+
+    /// Stream `self` into a [`Serializer`] without building a [`Value`]
+    /// tree. The default goes through [`Serialize::to_value`] so manual
+    /// impls stay correct; the derive macro and the impls in this crate
+    /// override it with direct streaming.
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_value(&self.to_value(), s);
+    }
 }
 
 /// Types that can be reconstructed from the [`Value`] data model.
@@ -98,6 +180,7 @@ macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::U64(*self as u64) }
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) { s.emit_u64(*self as u64) }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -121,6 +204,10 @@ macro_rules! impl_int {
                 let n = *self as i64;
                 if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
             }
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+                let n = *self as i64;
+                if n >= 0 { s.emit_u64(n as u64) } else { s.emit_i64(n) }
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -141,6 +228,7 @@ macro_rules! impl_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value { Value::F64(*self as f64) }
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) { s.emit_f64(*self as f64) }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -160,6 +248,9 @@ impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.emit_bool(*self);
+    }
 }
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, Error> {
@@ -173,6 +264,9 @@ impl Deserialize for bool {
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.emit_str(self.encode_utf8(&mut [0u8; 4]));
     }
 }
 impl Deserialize for char {
@@ -188,6 +282,9 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.emit_str(self);
+    }
 }
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
@@ -202,11 +299,17 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.emit_str(self);
+    }
 }
 
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.emit_null();
     }
 }
 impl Deserialize for () {
@@ -229,6 +332,12 @@ impl<T: Serialize> Serialize for Option<T> {
             Some(v) => v.to_value(),
         }
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        match self {
+            None => s.emit_null(),
+            Some(v) => v.serialize(s),
+        }
+    }
 }
 impl<T: Deserialize> Deserialize for Option<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
@@ -243,11 +352,17 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        (**self).serialize(s);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        (**self).serialize(s);
     }
 }
 impl<T: Deserialize> Deserialize for Box<T> {
@@ -259,6 +374,9 @@ impl<T: Deserialize> Deserialize for Box<T> {
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_seq(self.iter(), self.len(), s);
     }
 }
 impl<T: Deserialize> Deserialize for Vec<T> {
@@ -274,6 +392,9 @@ impl<T: Serialize> Serialize for VecDeque<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_seq(self.iter(), self.len(), s);
+    }
 }
 impl<T: Deserialize> Deserialize for VecDeque<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
@@ -288,11 +409,17 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_seq(self.iter(), self.len(), s);
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_seq(self.iter(), self.len(), s);
     }
 }
 
@@ -301,6 +428,12 @@ macro_rules! impl_tuple {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$n.to_value()),+])
+            }
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                s.begin_array(LEN);
+                $(s.elem($n); self.$n.serialize(s);)+
+                s.end_array();
             }
         }
         impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
@@ -336,6 +469,9 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
                 .collect(),
         )
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_map(self.iter(), self.len(), s);
+    }
 }
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
@@ -350,6 +486,9 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
                 .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
                 .collect(),
         )
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_map(self.iter(), self.len(), s);
     }
 }
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
@@ -372,9 +511,46 @@ fn entries<'a, K: Deserialize, V: Deserialize>(
     }
 }
 
+/// Stream an exact-size sequence of serializable items.
+fn emit_seq<'a, T: Serialize + 'a, S: Serializer + ?Sized>(
+    items: impl Iterator<Item = &'a T>,
+    len: usize,
+    s: &mut S,
+) {
+    s.begin_array(len);
+    for (i, item) in items.enumerate() {
+        s.elem(i);
+        item.serialize(s);
+    }
+    s.end_array();
+}
+
+/// Stream a map as the `[[key, value], ...]` entry-array shape that
+/// `to_value` produces (see the map impls above for why).
+fn emit_map<'a, K: Serialize + 'a, V: Serialize + 'a, S: Serializer + ?Sized>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    len: usize,
+    s: &mut S,
+) {
+    s.begin_array(len);
+    for (i, (k, v)) in entries.enumerate() {
+        s.elem(i);
+        s.begin_array(2);
+        s.elem(0);
+        k.serialize(s);
+        s.elem(1);
+        v.serialize(s);
+        s.end_array();
+    }
+    s.end_array();
+}
+
 impl<T: Serialize> Serialize for HashSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_seq(self.iter(), self.len(), s);
     }
 }
 impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
@@ -390,6 +566,9 @@ impl<T: Serialize> Serialize for BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_seq(self.iter(), self.len(), s);
+    }
 }
 impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
@@ -403,6 +582,9 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        emit_value(self, s);
     }
 }
 impl Deserialize for Value {

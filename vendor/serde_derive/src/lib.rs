@@ -292,9 +292,14 @@ fn generate_serialize(item: &Item) -> String {
                      let raw: {into} = ::std::clone::Clone::clone(self).into();\n\
                      serde::Serialize::to_value(&raw)\n\
                  }}\n\
+                 fn serialize<S: serde::Serializer + ?Sized>(&self, s: &mut S) {{\n\
+                     let raw: {into} = ::std::clone::Clone::clone(self).into();\n\
+                     serde::Serialize::serialize(&raw, s);\n\
+                 }}\n\
              }}"
         );
     }
+    let stream_body = generate_serialize_stream_body(item);
     let body = match &item.shape {
         Shape::NamedStruct(fields) if item.attrs.transparent && fields.len() == 1 => {
             format!("serde::Serialize::to_value(&self.{})", fields[0])
@@ -369,8 +374,101 @@ fn generate_serialize(item: &Item) -> String {
     format!(
         "impl serde::Serialize for {name} {{\n\
              fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+             fn serialize<S: serde::Serializer + ?Sized>(&self, s: &mut S) {{\n{stream_body}\n}}\n\
          }}"
     )
+}
+
+/// The body of the streaming `Serialize::serialize` impl: emits exactly
+/// the shape `to_value` builds (same field order, same externally-tagged
+/// enum representation) directly into a `serde::Serializer`, skipping the
+/// intermediate `Value` tree.
+fn generate_serialize_stream_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::NamedStruct(fields) if item.attrs.transparent && fields.len() == 1 => {
+            format!("serde::Serialize::serialize(&self.{}, s);", fields[0])
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::serialize(&self.0, s);".to_string(),
+        Shape::NamedStruct(fields) => {
+            let emits: String = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    format!("s.field({i}, \"{f}\"); serde::Serialize::serialize(&self.{f}, s);\n")
+                })
+                .collect();
+            format!("s.begin_object({});\n{emits}s.end_object();", fields.len())
+        }
+        Shape::TupleStruct(n) => {
+            let emits: String = (0..*n)
+                .map(|i| format!("s.elem({i}); serde::Serialize::serialize(&self.{i}, s);\n"))
+                .collect();
+            format!("s.begin_array({n});\n{emits}s.end_array();")
+        }
+        Shape::UnitStruct => "s.emit_null();".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vname} => s.emit_str(\"{vname}\"),\n")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => {{\n\
+                                 s.begin_object(1); s.field(0, \"{vname}\");\n\
+                                 serde::Serialize::serialize(f0, s);\n\
+                                 s.end_object();\n\
+                             }}\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let emits: String = binds
+                                .iter()
+                                .enumerate()
+                                .map(|(i, b)| {
+                                    format!(
+                                        "s.elem({i}); serde::Serialize::serialize({b}, s);\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {{\n\
+                                     s.begin_object(1); s.field(0, \"{vname}\");\n\
+                                     s.begin_array({n});\n{emits}s.end_array();\n\
+                                     s.end_object();\n\
+                                 }}\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let emits: String = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| {
+                                    format!(
+                                        "s.field({i}, \"{f}\"); serde::Serialize::serialize({f}, s);\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     s.begin_object(1); s.field(0, \"{vname}\");\n\
+                                     s.begin_object({});\n{emits}s.end_object();\n\
+                                     s.end_object();\n\
+                                 }}\n",
+                                fields.len()
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    }
 }
 
 fn generate_deserialize(item: &Item) -> String {

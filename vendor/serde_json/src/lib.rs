@@ -6,15 +6,93 @@
 //! tests, which include fixed JSON literals in serde's shape (e.g.
 //! `{"start": 9, "end": {"At": 2}}`).
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize, Serializer, Value};
 
 pub use serde::Error;
 
 /// Serialize a value to compact JSON text.
+///
+/// Streams through [`serde::Serializer`] — no intermediate
+/// [`serde::Value`] tree is built, which matters for multi-megabyte
+/// payloads like engine snapshots (the tree's per-node allocations cost
+/// an order of magnitude more than the text itself).
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&value.to_value(), &mut out);
-    Ok(out)
+    let mut ser = JsonSerializer { out: String::new() };
+    value.serialize(&mut ser);
+    Ok(ser.out)
+}
+
+/// Streaming compact-JSON sink. Produces byte-identical output to
+/// walking `to_value()` through `write_value`.
+struct JsonSerializer {
+    out: String,
+}
+
+impl Serializer for JsonSerializer {
+    fn emit_null(&mut self) {
+        self.out.push_str("null");
+    }
+    fn emit_bool(&mut self, b: bool) {
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+    fn emit_u64(&mut self, n: u64) {
+        push_u64(&mut self.out, n);
+    }
+    fn emit_i64(&mut self, n: i64) {
+        if n < 0 {
+            self.out.push('-');
+            push_u64(&mut self.out, n.unsigned_abs());
+        } else {
+            push_u64(&mut self.out, n as u64);
+        }
+    }
+    fn emit_f64(&mut self, n: f64) {
+        write_f64(n, &mut self.out);
+    }
+    fn emit_str(&mut self, s: &str) {
+        write_string(s, &mut self.out);
+    }
+    fn begin_array(&mut self, _len: usize) {
+        self.out.push('[');
+    }
+    fn elem(&mut self, index: usize) {
+        if index > 0 {
+            self.out.push(',');
+        }
+    }
+    fn end_array(&mut self) {
+        self.out.push(']');
+    }
+    fn begin_object(&mut self, _len: usize) {
+        self.out.push('{');
+    }
+    fn field(&mut self, index: usize, key: &str) {
+        if index > 0 {
+            self.out.push(',');
+        }
+        write_string(key, &mut self.out);
+        self.out.push(':');
+    }
+    fn end_object(&mut self) {
+        self.out.push('}');
+    }
+}
+
+/// Append a decimal integer without going through `format!`'s machinery
+/// (numbers dominate LTAM payloads, so this is the hot path).
+fn push_u64(out: &mut String, mut n: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // Digits are pure ASCII.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 /// Serialize a value to indented JSON text.
@@ -131,17 +209,30 @@ fn write_f64(n: f64, out: &mut String) {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    // Copy maximal runs that need no escaping in one push; only `"`,
+    // `\` and control bytes break a run (multi-byte UTF-8 never does —
+    // continuation bytes are all >= 0x80).
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        if escape.is_empty() {
+            out.push_str(&format!("\\u{:04x}", b as u32));
+        } else {
+            out.push_str(escape);
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
