@@ -2,17 +2,18 @@
 //! *LTAM: A Location-Temporal Authorization Model* (Yu & Lim, SDM 2004).
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|all]
+//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
 //! `EXPERIMENTS.md` records this output against the paper's claims.
-//! `throughput`, `durability`, `retention` and `serve` (extensions,
-//! not paper artifacts) measure sharded batch ingestion vs the
-//! global-lock engine, crash-recovery of the WAL-backed engine,
-//! bounded live state under history retention, and the network serving
-//! tier under concurrent clients respectively; see each subcommand's
-//! `--help`.
+//! `throughput`, `durability`, `retention`, `serve` and `replicate`
+//! (extensions, not paper artifacts) measure sharded batch ingestion
+//! vs the global-lock engine, crash-recovery of the WAL-backed engine,
+//! bounded live state under history retention, the network serving
+//! tier under concurrent clients, and read-replica staleness with a
+//! mid-stream follower kill + re-bootstrap respectively; see each
+//! subcommand's `--help`.
 
 use ltam_bench::{fig4_instance, ALICE};
 use ltam_core::decision::Decision;
@@ -47,6 +48,7 @@ fn main() {
         "durability" => durability(&args[1..]),
         "retention" => retention(&args[1..]),
         "serve" => serve(&args[1..]),
+        "replicate" => replicate(&args[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, authz, rules, section5, table2, scaling, baseline, planner,
@@ -61,16 +63,19 @@ fn main() {
             retention(&[]);
             println!();
             serve(&[]);
+            println!();
+            replicate(&[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|all]"
+                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|all]"
             );
             eprintln!("       repro throughput --help   # enforcement-throughput options");
             eprintln!("       repro durability --help   # crash-recovery drill options");
             eprintln!("       repro retention --help    # bounded-live-state drill options");
             eprintln!("       repro serve --help        # network serving drill options");
+            eprintln!("       repro replicate --help    # read-replica drill options");
             std::process::exit(2);
         }
     }
@@ -1533,6 +1538,405 @@ fn serve(args: &[String]) {
     }
     if !violations_match || !whereabouts_match {
         eprintln!("serve drill FAILED: served answers diverge from the in-process run");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+const REPLICATE_HELP: &str = "\
+usage: repro replicate [--json] [--events N] [--subjects N] [--shards N]
+                       [--batch N]
+
+Read-replica drill. Starts a primary over a fresh durable store,
+ingests a quarter of the canonical trace, then bootstraps a follower
+over the wire (snapshot + archive chain) and starts it tailing the
+primary's WAL while a loader thread streams the rest of the trace.
+Staleness lag (primary sequence minus follower watermark) is sampled
+throughout. Mid-load the follower is KILLED (abort, no shutdown) and a
+fresh one is re-bootstrapped with the dead follower's watermark as its
+floor — the monotone-read guarantee across the generation change.
+After a final deterministic overstay tick, the drill waits for the
+follower to converge and then verifies OVER THE WIRE that the follower
+and primary agree at the same watermark: identical violation
+multisets, identical sampled whereabouts, identical engine state
+digests — and that the follower refuses a write with a typed
+NotPrimary redirect. Exits non-zero on any divergence, any watermark
+regression, or convergence timeout.
+
+options:
+  --json           emit one machine-readable JSON object
+  --events N       trace length in events                 [default 20000]
+  --subjects N     simulated population size              [default 256]
+  --shards N       engine shard count                     [default 4]
+  --batch N        events per ingest request              [default 64]
+  --help           this text
+";
+
+/// The `repro replicate --json` report (the `BENCH_replicate.json`
+/// schema).
+#[derive(serde::Serialize)]
+struct ReplicateReport {
+    experiment: &'static str,
+    events: usize,
+    subjects: usize,
+    shards: usize,
+    batch: usize,
+    staleness_samples: usize,
+    staleness_p50_events: u64,
+    staleness_p90_events: u64,
+    staleness_max_events: u64,
+    watermark_floor_at_kill: u64,
+    rebootstraps: u32,
+    convergence_ms: u64,
+    final_watermark: u64,
+    watermark_monotone: bool,
+    violations: usize,
+    violations_match: bool,
+    whereabouts_match: bool,
+    state_digest_match: bool,
+    write_refused_with_redirect: bool,
+}
+
+/// Exit with a usage error for the replicate subcommand.
+fn replicate_usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{REPLICATE_HELP}");
+    std::process::exit(2);
+}
+
+/// Extension: read replicas — snapshot + WAL shipping with a
+/// mid-stream follower kill and re-bootstrap.
+fn replicate(args: &[String]) {
+    use ltam_bench::violation_multiset;
+    use ltam_engine::batch::Event;
+    use ltam_serve::{
+        bootstrap_follower, ClientError, ErrorCode, LtamClient, ReplicaConfig, Server,
+        ServerConfig, ServerRole,
+    };
+    use ltam_sim::multi_shard_trace;
+    use ltam_store::{DurableEngine, ScratchDir, StoreConfig};
+    use ltam_time::Time;
+    use std::time::{Duration, Instant};
+
+    let mut json = false;
+    let mut events = 20_000usize;
+    let mut subjects = 256usize;
+    let mut shards = 4usize;
+    let mut batch = 64usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| replicate_usage_error(&format!("{name} needs a value")))
+                .clone()
+        };
+        let parsed = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| replicate_usage_error(&format!("{name}: bad value {raw:?}")))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--events" => events = parsed("--events", value("--events")) as usize,
+            "--subjects" => subjects = parsed("--subjects", value("--subjects")) as usize,
+            "--shards" => shards = parsed("--shards", value("--shards")) as usize,
+            "--batch" => batch = parsed("--batch", value("--batch")) as usize,
+            "--help" | "-h" => {
+                print!("{REPLICATE_HELP}");
+                return;
+            }
+            other => replicate_usage_error(&format!("unknown replicate option {other:?}")),
+        }
+    }
+    if events == 0 || subjects == 0 || shards == 0 || batch == 0 {
+        replicate_usage_error("--events, --subjects, --shards and --batch must be >= 1");
+    }
+
+    let trace = multi_shard_trace(&ltam_bench::serve_workload(subjects, events));
+    let n_events = trace.events.len();
+    let span = trace.max_time();
+    let final_tick = Event::Tick {
+        now: Time(span.get() + 1),
+    };
+
+    // The in-process reference (same trace + tick, proven-equivalent
+    // engine) — what BOTH primary and follower must agree with.
+    let mut reference = trace.build_engine();
+    for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+        ltam_engine::batch::apply_to_engine(&mut reference, e);
+    }
+    let expected = violation_multiset(reference.violations().to_vec());
+
+    // Primary: small segments on purpose — the follower must cross
+    // segment hops, and snapshot rotation must prune under it at least
+    // potentially. (The serve drill optimizes the opposite way.)
+    let primary_dir = ScratchDir::new("repro-replicate-primary");
+    let primary_store = StoreConfig {
+        segment_bytes: 256 * 1024,
+        snapshot_every: (n_events as u64 / 4).max(1),
+        fsync: true,
+        retention: None,
+    };
+    let (engine, _alerts) = DurableEngine::create(
+        primary_dir.path(),
+        trace.build_policy_core(),
+        shards,
+        primary_store,
+    )
+    .expect("create primary store");
+    let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind primary on loopback");
+    let primary_addr = primary.local_addr().to_string();
+
+    // Followers replay through their own group commit; their local
+    // fsync cadence is their own durability choice, not the primary's.
+    let follower_store = StoreConfig {
+        segment_bytes: 256 * 1024,
+        snapshot_every: 0, // manual; the drill store is scratch
+        fsync: false,
+        retention: None,
+    };
+    let replica_config = |floor: u64| ReplicaConfig {
+        poll_interval: Duration::from_millis(3),
+        watermark_floor: floor,
+        ..ReplicaConfig::new(&primary_addr)
+    };
+    // A bootstrap can race the primary's snapshot rotation (the fetched
+    // snapshot pruned mid-transfer): retry into a fresh directory.
+    let bootstrap = |tag: &str| -> (ScratchDir, DurableEngine) {
+        let mut last_err = None;
+        for attempt in 0..3 {
+            let dir = ScratchDir::new(&format!("repro-replicate-{tag}-{attempt}"));
+            match bootstrap_follower(dir.path(), &primary_addr, follower_store) {
+                Ok(engine) => return (dir, engine),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        panic!("follower bootstrap failed 3 times: {last_err:?}");
+    };
+
+    // Phase 1: a quarter of the trace lands before any follower exists
+    // — the bootstrap must carry real state, not an empty store.
+    let mut loader = LtamClient::connect(&primary_addr).expect("loader client");
+    let preload = n_events / 4;
+    for chunk in trace.events[..preload].chunks(batch) {
+        loader.ingest(chunk).expect("preload batch");
+    }
+
+    let (f1_dir, f1_engine) = bootstrap("f1");
+    let follower1 = Server::start_follower(
+        f1_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        replica_config(0),
+    )
+    .expect("bind follower 1");
+    let f1_addr = follower1.local_addr().to_string();
+
+    // Phase 2: loader thread streams the rest, lightly throttled so
+    // staleness sampling sees a live stream rather than one burst.
+    let stream_trace = trace.events[preload..].to_vec();
+    let loader_thread = std::thread::spawn(move || {
+        for chunk in stream_trace.chunks(batch) {
+            loader.ingest(chunk).expect("streamed batch");
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    });
+
+    let mut primary_probe = LtamClient::connect(&primary_addr).expect("primary probe");
+    let mut f_probe = LtamClient::connect(&f1_addr).expect("follower probe");
+    let mut lags: Vec<u64> = Vec::new();
+    let mut last_watermark = 0u64;
+    let mut watermark_monotone = true;
+    let kill_at = (n_events as u64 * 3) / 5;
+    loop {
+        let p = primary_probe
+            .status()
+            .expect("primary status")
+            .events_ingested;
+        let w = f_probe.watermark().expect("follower watermark");
+        if w < last_watermark {
+            watermark_monotone = false;
+        }
+        last_watermark = w;
+        lags.push(p.saturating_sub(w));
+        if p >= kill_at {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The kill: no shutdown, no parting snapshot — the follower simply
+    // stops existing mid-stream. Its published watermark is the floor
+    // its replacement must honor before serving a single read.
+    let floor = f_probe.watermark().expect("watermark at kill");
+    drop(f_probe);
+    drop(follower1.abort().expect("kill follower 1"));
+    drop(f1_dir);
+
+    let (f2_dir, f2_engine) = bootstrap("f2");
+    let follower2 = Server::start_follower(
+        f2_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        replica_config(floor),
+    )
+    .expect("bind follower 2");
+    let f2_addr = follower2.local_addr().to_string();
+    let mut f_probe = LtamClient::connect(&f2_addr).expect("follower 2 probe");
+
+    // The replacement publishes a watermark that never dips below the
+    // dead follower's — monotone reads across the generation change.
+    last_watermark = floor;
+    loop {
+        let p = primary_probe
+            .status()
+            .expect("primary status")
+            .events_ingested;
+        let w = f_probe.watermark().expect("follower 2 watermark");
+        if w < last_watermark {
+            watermark_monotone = false;
+        }
+        last_watermark = w;
+        lags.push(p.saturating_sub(w));
+        if p >= n_events as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    loader_thread.join().expect("loader thread");
+
+    // Final deterministic overstay tick, then convergence.
+    primary_probe.ingest(&[final_tick]).expect("final tick");
+    let target = n_events as u64 + 1;
+    let converge_start = Instant::now();
+    let final_watermark = f_probe
+        .wait_for_watermark(target, Duration::from_secs(30))
+        .expect("follower converges to the final tick");
+    let convergence_ms = converge_start.elapsed().as_millis() as u64;
+    if final_watermark < last_watermark {
+        watermark_monotone = false;
+    }
+
+    // The honesty battery: follower answers vs the in-process
+    // reference AND vs the primary, at the same watermark.
+    let got = violation_multiset(
+        f_probe
+            .violations_in(ltam_time::Interval::ALL)
+            .expect("follower violation report"),
+    );
+    let violations_match = got == expected;
+    let mut whereabouts_match = true;
+    for i in 0..subjects.min(16) {
+        let s = ltam_core::subject::SubjectId(i as u32);
+        for t in [Time(span.get() / 3), Time(span.get() / 2), span] {
+            let served = f_probe.whereabouts(s, t).expect("follower whereabouts");
+            if served != reference.movements().whereabouts(s, t) {
+                whereabouts_match = false;
+            }
+        }
+    }
+    let p_status = primary_probe.status().expect("primary final status");
+    let f_status = f_probe.status().expect("follower final status");
+    let state_digest_match = p_status.state_digest == f_status.state_digest
+        && p_status.events_ingested == f_status.events_ingested;
+
+    // Writes at the follower: refused loudly, with the typed redirect.
+    let write_refused_with_redirect = matches!(
+        f_probe.ingest(&[final_tick]),
+        Err(ClientError::Server {
+            code: ErrorCode::NotPrimary,
+            role: ServerRole::Follower,
+            ref message,
+        }) if message.contains(&primary_addr)
+    );
+
+    let roles_ok = p_status.role == ServerRole::Primary && f_status.role == ServerRole::Follower;
+
+    drop(follower2.abort().expect("stop follower 2"));
+    drop(f2_dir);
+    drop(primary.abort().expect("stop primary"));
+
+    lags.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lags.is_empty() {
+            return 0;
+        }
+        let idx = ((lags.len() - 1) as f64 * p / 100.0).round() as usize;
+        lags[idx]
+    };
+    let (p50, p90, max) = (pct(50.0), pct(90.0), *lags.last().unwrap_or(&0));
+
+    if json {
+        let report = ReplicateReport {
+            experiment: "replicate",
+            events: n_events,
+            subjects,
+            shards,
+            batch,
+            staleness_samples: lags.len(),
+            staleness_p50_events: p50,
+            staleness_p90_events: p90,
+            staleness_max_events: max,
+            watermark_floor_at_kill: floor,
+            rebootstraps: 1,
+            convergence_ms,
+            final_watermark,
+            watermark_monotone,
+            violations: got.len(),
+            violations_match,
+            whereabouts_match,
+            state_digest_match,
+            write_refused_with_redirect,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        banner("Extension: read replicas — kill & re-bootstrap drill");
+        println!(
+            "{n_events} events, {subjects} subjects, {shards} shards, batch {batch}; follower killed at primary seq ~{kill_at}, floor {floor}"
+        );
+        println!(
+            "staleness lag over {} samples: p50 {p50} events, p90 {p90} events, max {max} events",
+            lags.len()
+        );
+        println!(
+            "convergence after final tick: {convergence_ms} ms to watermark {final_watermark}; monotone: {}",
+            if watermark_monotone { "YES" } else { "VIOLATED" }
+        );
+        println!(
+            "follower vs reference: violations {} ({} of them), whereabouts {}; follower vs primary state digest: {}",
+            if violations_match { "MATCH" } else { "MISMATCH" },
+            got.len(),
+            if whereabouts_match { "MATCH" } else { "MISMATCH" },
+            if state_digest_match { "MATCH" } else { "MISMATCH" }
+        );
+        println!(
+            "write at follower: {}",
+            if write_refused_with_redirect {
+                "refused with NotPrimary redirect (correct)"
+            } else {
+                "NOT refused correctly"
+            }
+        );
+    }
+    let mut failed = false;
+    if !violations_match || !whereabouts_match || !state_digest_match {
+        eprintln!("replicate drill FAILED: follower diverges from the primary/reference");
+        failed = true;
+    }
+    if !watermark_monotone {
+        eprintln!("replicate drill FAILED: follower watermark moved backward");
+        failed = true;
+    }
+    if !write_refused_with_redirect {
+        eprintln!("replicate drill FAILED: follower accepted (or mis-refused) a write");
+        failed = true;
+    }
+    if !roles_ok {
+        eprintln!("replicate drill FAILED: served roles are wrong");
         failed = true;
     }
     if failed {

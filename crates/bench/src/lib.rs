@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod relay;
+
 use ltam_core::db::AuthId;
 use ltam_core::inaccessible::AuthsByLocation;
 use ltam_core::model::{Authorization, EntryLimit};

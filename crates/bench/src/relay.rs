@@ -1,0 +1,147 @@
+//! A tiny TCP relay for the replication test battery.
+//!
+//! A follower is configured with one fixed `primary_addr` for its
+//! whole life, but the tests need to kill the primary and bring it
+//! back — and `std`'s listener (no `SO_REUSEADDR`) cannot reliably
+//! re-bind the old port while its connections sit in TIME_WAIT. The
+//! relay solves both: the follower points at the relay's stable
+//! address, and each restarted primary binds a fresh ephemeral port
+//! behind it ([`TcpRelay::set_upstream`]). Killing the primary kills
+//! every relayed link naturally (the upstream side closes and the
+//! pump tears down the downstream side); [`TcpRelay::sever`] cuts the
+//! links without touching the primary, for pure-reconnect tests.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A running relay. The accept loop and per-link pump threads live
+/// until [`TcpRelay::stop`] (or process exit); links die whenever
+/// either side closes.
+pub struct TcpRelay {
+    addr: String,
+    upstream: Arc<Mutex<String>>,
+    links: Arc<Mutex<Vec<TcpStream>>>,
+    stopped: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl TcpRelay {
+    /// Bind an ephemeral port and start relaying to `upstream`.
+    pub fn start(upstream: &str) -> std::io::Result<TcpRelay> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        let upstream = Arc::new(Mutex::new(upstream.to_string()));
+        let links: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let stopped = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let upstream = Arc::clone(&upstream);
+            let links = Arc::clone(&links);
+            let stopped = Arc::clone(&stopped);
+            thread::Builder::new()
+                .name("ltam-relay".into())
+                .spawn(move || {
+                    while !stopped.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((down, _)) => {
+                                let target = upstream.lock().unwrap().clone();
+                                link(down, &target, &links);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn relay accept thread")
+        };
+        Ok(TcpRelay {
+            addr,
+            upstream,
+            links,
+            stopped,
+            accept: Some(accept),
+        })
+    }
+
+    /// The stable address followers should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Point future connections at a new primary (existing links are
+    /// left alone — kill the old primary or [`TcpRelay::sever`] them).
+    pub fn set_upstream(&self, addr: &str) {
+        *self.upstream.lock().unwrap() = addr.to_string();
+    }
+
+    /// Cut every live link (both directions), as a network partition
+    /// between follower and primary would.
+    pub fn sever(&self) {
+        let mut links = self.links.lock().unwrap();
+        for s in links.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Sever all links and join the accept loop.
+    pub fn stop(mut self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.sever();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Connect `down` to `target` and spawn the two pump threads. A
+/// failed upstream connect simply drops the downstream socket — the
+/// follower sees a closed connection and retries, exactly as with a
+/// dead primary.
+fn link(down: TcpStream, target: &str, links: &Arc<Mutex<Vec<TcpStream>>>) {
+    let Ok(up) = TcpStream::connect(target) else {
+        return;
+    };
+    let mut registry = links.lock().unwrap();
+    registry.retain(|s| {
+        // Prune links whose sockets already died, so long tests don't
+        // accumulate file descriptors.
+        s.take_error().is_ok() && s.peer_addr().is_ok()
+    });
+    registry.push(down.try_clone().expect("clone relay socket"));
+    registry.push(up.try_clone().expect("clone relay socket"));
+    drop(registry);
+    pump(
+        down.try_clone().expect("clone relay socket"),
+        up.try_clone().expect("clone relay socket"),
+    );
+    pump(up, down);
+}
+
+/// One copy direction; on EOF or error, both ends are shut down so
+/// the opposite pump exits too.
+fn pump(mut from: TcpStream, mut to: TcpStream) {
+    thread::Builder::new()
+        .name("ltam-relay-pump".into())
+        .spawn(move || {
+            let mut buf = [0u8; 8192];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if to.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+        })
+        .expect("spawn relay pump thread");
+}

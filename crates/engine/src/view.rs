@@ -100,6 +100,40 @@ impl EngineReadView {
     pub fn total_entries(&self) -> u64 {
         self.engine.total_entries()
     }
+
+    /// A deterministic digest of the engine's observable enforcement
+    /// state: shard count, entry/violation totals, retention watermarks
+    /// and the full violation list in shard-merge order, folded through
+    /// FNV-1a. Two engines that ingested the same events in the same
+    /// batches with the same shard count produce the same digest — the
+    /// replication drill's cheap "is the follower byte-for-byte honest"
+    /// check at a matched watermark. Not a cryptographic hash.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(&(self.shard_count() as u64).to_le_bytes());
+        fold(&self.total_entries().to_le_bytes());
+        fold(&(self.violation_count() as u64).to_le_bytes());
+        let marks = self.watermarks();
+        fold(&marks.movements.0.to_le_bytes());
+        fold(&marks.audit.0.to_le_bytes());
+        fold(&marks.violations.0.to_le_bytes());
+        for v in self.violations() {
+            // `Violation`'s Debug form is a pure function of its fields
+            // (ids and chronons, no addresses), so it is a stable,
+            // process-independent serialization for hashing.
+            fold(format!("{v:?}").as_bytes());
+            fold(&[0xff]);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

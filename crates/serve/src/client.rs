@@ -10,13 +10,15 @@
 //! does).
 
 use crate::wire::{
-    self, ErrorCode, FrameError, HistoryQuery, Request, Response, ServerStatus, WireError,
+    self, ErrorCode, FrameError, HistoryQuery, ReplChunk, ReplManifest, ReplReply, ReplRequest,
+    Request, Response, ServerRole, ServerStatus, WireError,
 };
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::Event;
 use ltam_engine::movement::Contact;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
+use ltam_store::replica::ReplFileId;
 use ltam_time::{Interval, Time};
 use std::fmt;
 use std::io;
@@ -37,6 +39,13 @@ pub enum ClientError {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Which role refused — primary or follower. Before this field,
+        /// a `Busy` refusal followed by the reconnect erased *who* said
+        /// no, which a client failing over between a primary and its
+        /// replicas cannot afford: `Busy` from a follower means "try
+        /// another replica", `NotPrimary` means "writes go to the
+        /// primary named in the message".
+        role: ServerRole,
     },
     /// The server answered with a response of the wrong shape for the
     /// request (a server bug; surfaced, never silently coerced).
@@ -48,7 +57,11 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport: {e}"),
             ClientError::Wire(e) => write!(f, "protocol: {e}"),
-            ClientError::Server { code, message } => write!(f, "server ({code:?}): {message}"),
+            ClientError::Server {
+                code,
+                message,
+                role,
+            } => write!(f, "{role:?} server ({code:?}): {message}"),
             ClientError::UnexpectedResponse(r) => write!(f, "unexpected response shape: {r:?}"),
         }
     }
@@ -148,7 +161,11 @@ impl LtamClient {
             self.stream = None;
         }
         match result {
-            Ok(Response::Error { code, message }) => {
+            Ok(Response::Error {
+                code,
+                message,
+                role,
+            }) => {
                 if code == ErrorCode::Busy {
                     // The server closes a refused connection after the
                     // Busy frame; keeping the stream would turn the
@@ -156,7 +173,11 @@ impl LtamClient {
                     // transport error. Drop it so the retry reconnects.
                     self.stream = None;
                 }
-                Err(ClientError::Server { code, message })
+                Err(ClientError::Server {
+                    code,
+                    message,
+                    role,
+                })
             }
             other => other,
         }
@@ -229,8 +250,16 @@ impl LtamClient {
                         denied,
                         violations,
                     }),
-                    Response::Error { code, message } => {
-                        return Err(ClientError::Server { code, message })
+                    Response::Error {
+                        code,
+                        message,
+                        role,
+                    } => {
+                        return Err(ClientError::Server {
+                            code,
+                            message,
+                            role,
+                        })
                     }
                     other => return Err(ClientError::UnexpectedResponse(Box::new(other))),
                 }
@@ -315,6 +344,88 @@ impl LtamClient {
         match self.call(&Request::Query(HistoryQuery::Status))? {
             Response::Status { status } => Ok(status),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    // --- watermark awareness ------------------------------------------------
+
+    /// The server's read watermark: the WAL sequence its answers cover.
+    /// On a primary that is simply everything ingested; on a follower
+    /// it is the *published* replication watermark (monotone across
+    /// reconnects and re-bootstraps), which may trail the primary by
+    /// the staleness lag.
+    pub fn watermark(&mut self) -> Result<u64, ClientError> {
+        let status = self.status()?;
+        Ok(match status.replica {
+            Some(replica) => replica.watermark,
+            None => status.events_ingested,
+        })
+    }
+
+    /// Poll [`LtamClient::watermark`] until it reaches `min` or
+    /// `timeout` elapses — the read-your-writes primitive: a client
+    /// that wrote through the primary at sequence `s` waits for a
+    /// follower's watermark to reach `s` before trusting its answers.
+    pub fn wait_for_watermark(&mut self, min: u64, timeout: Duration) -> Result<u64, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let seen = self.watermark()?;
+            if seen >= min {
+                return Ok(seen);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("watermark stalled at {seen}, wanted {min}"),
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // --- replication --------------------------------------------------------
+
+    /// The primary's replication manifest (inventory + positions).
+    pub fn repl_manifest(&mut self) -> Result<ReplManifest, ClientError> {
+        match self.call(&Request::Repl(ReplRequest::Manifest))? {
+            Response::ReplManifest { manifest } => Ok(manifest),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Fetch up to `len` bytes of a shippable store file at `offset`.
+    /// A vanished file surfaces as [`ErrorCode::Gone`].
+    pub fn repl_fetch(
+        &mut self,
+        file: ReplFileId,
+        offset: u64,
+        len: u32,
+    ) -> Result<ReplChunk, ClientError> {
+        let max_frame_bytes = self.max_frame_bytes;
+        let request = Request::Repl(ReplRequest::Fetch { file, offset, len });
+        let result = (|| {
+            let stream = self.ensure_connected()?;
+            wire::write_frame(stream, &wire::encode_request(&request)).map_err(ClientError::Io)?;
+            let payload = wire::read_frame(stream, max_frame_bytes)?;
+            wire::decode_repl_reply(&payload).map_err(ClientError::Wire)
+        })();
+        if result.is_err() {
+            self.stream = None;
+        }
+        match result? {
+            ReplReply::Chunk(chunk) => Ok(chunk),
+            ReplReply::Other(other) => match *other {
+                Response::Error {
+                    code,
+                    message,
+                    role,
+                } => Err(ClientError::Server {
+                    code,
+                    message,
+                    role,
+                }),
+                other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+            },
         }
     }
 }

@@ -24,18 +24,29 @@
 //!   latency percentiles) driving the `repro serve` drill, which
 //!   verifies the served violation multiset against an in-process run
 //!   of the same trace.
+//! * [`replica`] — read replicas: [`bootstrap_follower`] copies the
+//!   primary's newest snapshot + archive chain over the wire, and
+//!   [`Server::start_follower`] tails the primary's WAL
+//!   (resume-from-(segment, offset)), replaying verified batches
+//!   through normal ingest and serving read-only queries at a
+//!   monotone watermark. Writes at a follower are refused with
+//!   [`ErrorCode::NotPrimary`]; a policy-epoch swap parks the
+//!   follower for re-bootstrap rather than risking divergence.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod loadgen;
+pub mod replica;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientError, IngestSummary, LtamClient};
 pub use loadgen::{drive, LoadConfig, LoadReport};
+pub use replica::{bootstrap_follower, ReplicaConfig};
 pub use server::{Server, ServerConfig};
 pub use wire::{
-    ErrorCode, FrameError, HistoryQuery, Request, Response, ServerStatus, WireError,
-    DEFAULT_MAX_FRAME_BYTES,
+    ErrorCode, FrameError, HistoryQuery, ReplChunk, ReplChunkMeta, ReplManifest, ReplReply,
+    ReplRequest, ReplicaState, ReplicaStatus, Request, Response, ServerRole, ServerStatus,
+    WireError, DEFAULT_MAX_FRAME_BYTES,
 };

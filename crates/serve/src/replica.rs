@@ -1,0 +1,462 @@
+//! The follower side of replication: snapshot bootstrap and the WAL
+//! tailing loop.
+//!
+//! ## Protocol
+//!
+//! Replication is **pull**: a follower polls its primary over the
+//! ordinary framed wire protocol
+//! ([`ReplRequest::Manifest`](crate::wire::ReplRequest::Manifest) /
+//! [`ReplRequest::Fetch`](crate::wire::ReplRequest::Fetch)), so the
+//! primary keeps no per-follower state at all — a follower that dies
+//! costs it nothing, and any number may tail the same primary.
+//!
+//! [`bootstrap_follower`] copies the primary's newest snapshot, archive
+//! chain and policy-epoch marker into a fresh directory and opens it
+//! with the normal [`DurableEngine::open`] path — every CRC, version
+//! and epoch check crash recovery performs runs against the shipped
+//! bytes too. From there the replication loop (spawned by
+//! `Server::start_follower`) tails the primary's WAL with a
+//! [`TailScanner`]: verified record batches are replayed through the
+//! follower's own group-commit thread — **normal ingest**, so the
+//! follower WAL-logs, snapshots and enforces exactly like a primary —
+//! and the published watermark rises to the applied sequence.
+//!
+//! ## The never-diverge contract
+//!
+//! The loop only ever applies bytes that verified (CRC + total event
+//! decoding) at the correct cursor, with a policy epoch matching its
+//! own. Everything else parks it: an epoch swap or compacted-away
+//! segment sets [`ReplicaState::NeedsBootstrap`]; persistent
+//! verification faults do the same after a bounded retry (one poll's
+//! worth of patience covers an append caught mid-write); transport
+//! errors set [`ReplicaState::Disconnected`] and retry forever. A
+//! parked or lagging follower keeps serving reads at its watermark —
+//! stale is a state, wrong is a bug.
+//!
+//! The watermark is **monotone**: it starts at the floor the follower
+//! was started with (a re-bootstrap passes the previous instance's
+//! watermark) and only ever rises with applied events. Until the
+//! engine catches back up to the floor, history queries are refused
+//! with [`ErrorCode::Stale`] rather
+//! than answered from a state older than one this follower already
+//! served.
+
+use crate::client::{ClientError, LtamClient};
+use crate::wire::{ErrorCode, ReplManifest, ReplicaState, ReplicaStatus};
+use ltam_store::replica::{ReplFile, ReplFileId, TailScanner};
+use ltam_store::{CommitHandle, DurableEngine, ReadView, StoreConfig};
+use parking_lot::Mutex;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tunables for a follower's replication loop.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The primary's address (e.g. `"127.0.0.1:4774"`).
+    pub primary_addr: String,
+    /// How long to sleep once caught up (and between reconnect
+    /// attempts). The staleness lag floor.
+    pub poll_interval: Duration,
+    /// Max WAL bytes fetched per request.
+    pub chunk_bytes: u32,
+    /// The watermark this follower has already served reads at (0 for
+    /// a first bootstrap; a re-bootstrap passes the previous
+    /// instance's watermark). History queries are refused with
+    /// [`ErrorCode::Stale`] until the
+    /// engine catches up to it, and the published watermark never
+    /// drops below it.
+    pub watermark_floor: u64,
+}
+
+impl ReplicaConfig {
+    /// Defaults against `primary_addr`: 20ms polls, 1MiB chunks, no
+    /// floor.
+    pub fn new(primary_addr: &str) -> ReplicaConfig {
+        ReplicaConfig {
+            primary_addr: primary_addr.to_string(),
+            poll_interval: Duration::from_millis(20),
+            chunk_bytes: 1 << 20,
+            watermark_floor: 0,
+        }
+    }
+}
+
+/// Re-fetches of the same faulty cursor before the loop gives up and
+/// parks. A chunk read can race an in-flight append (or a rotation)
+/// into a transient torn look; a real corruption never heals.
+const MAX_FAULT_RETRIES: u32 = 8;
+
+const STATE_CATCHING_UP: u8 = 0;
+const STATE_STREAMING: u8 = 1;
+const STATE_DISCONNECTED: u8 = 2;
+const STATE_NEEDS_BOOTSTRAP: u8 = 3;
+
+/// The replication loop's shared, atomically-published face: the
+/// serving threads read it for status and staleness gating.
+#[derive(Debug)]
+pub(crate) struct ReplicaShared {
+    primary_addr: String,
+    floor: u64,
+    watermark: AtomicU64,
+    primary_applied: AtomicU64,
+    primary_epoch: AtomicU64,
+    state: AtomicU8,
+    last_error: Mutex<Option<String>>,
+}
+
+impl ReplicaShared {
+    pub(crate) fn new(config: &ReplicaConfig, applied: u64) -> ReplicaShared {
+        ReplicaShared {
+            primary_addr: config.primary_addr.clone(),
+            floor: config.watermark_floor,
+            watermark: AtomicU64::new(config.watermark_floor.max(applied)),
+            primary_applied: AtomicU64::new(0),
+            primary_epoch: AtomicU64::new(0),
+            state: AtomicU8::new(STATE_CATCHING_UP),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    /// The watermark floor: reads below it are refused, never served.
+    pub(crate) fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// The primary this follower tails (for redirect errors).
+    pub(crate) fn primary_addr(&self) -> &str {
+        &self.primary_addr
+    }
+
+    /// Raise the published watermark to `applied` (never lowers it —
+    /// `fetch_max`, so monotonicity survives any interleaving).
+    fn publish(&self, applied: u64) {
+        self.watermark.fetch_max(applied, Ordering::AcqRel);
+    }
+
+    fn set_state(&self, state: u8, error: Option<String>) {
+        self.state.store(state, Ordering::Release);
+        if error.is_some() || state == STATE_STREAMING || state == STATE_CATCHING_UP {
+            *self.last_error.lock() = error;
+        }
+    }
+
+    pub(crate) fn status(&self, applied: u64) -> ReplicaStatus {
+        ReplicaStatus {
+            primary_addr: self.primary_addr.clone(),
+            watermark: self.watermark.load(Ordering::Acquire),
+            applied,
+            primary_applied: self.primary_applied.load(Ordering::Acquire),
+            primary_epoch: self.primary_epoch.load(Ordering::Acquire),
+            state: match self.state.load(Ordering::Acquire) {
+                STATE_STREAMING => ReplicaState::Streaming,
+                STATE_DISCONNECTED => ReplicaState::Disconnected,
+                STATE_NEEDS_BOOTSTRAP => ReplicaState::NeedsBootstrap,
+                _ => ReplicaState::CatchingUp,
+            },
+            last_error: self.last_error.lock().clone(),
+        }
+    }
+}
+
+fn replication_error(e: ClientError) -> io::Error {
+    io::Error::other(format!("replication: {e}"))
+}
+
+/// Fetch one immutable store file from the primary into `dir`,
+/// written to a temp name and renamed only once complete — a killed
+/// bootstrap leaves no half-file a later open could mistake for the
+/// real thing.
+fn fetch_file(
+    client: &mut LtamClient,
+    dir: &Path,
+    file: ReplFile,
+    chunk_bytes: u32,
+) -> io::Result<()> {
+    let path = file.file.path(dir);
+    let tmp = dir.join(format!("{}.fetch", file.file.file_name()));
+    let mut out = fs::File::create(&tmp)?;
+    let mut offset = 0u64;
+    loop {
+        let chunk = client
+            .repl_fetch(file.file, offset, chunk_bytes)
+            .map_err(replication_error)?;
+        if chunk.bytes.is_empty() {
+            break;
+        }
+        out.write_all(&chunk.bytes)?;
+        offset += chunk.bytes.len() as u64;
+    }
+    if offset < file.len {
+        return Err(io::Error::other(format!(
+            "short transfer of {}: got {offset} of {} bytes",
+            file.file.file_name(),
+            file.len
+        )));
+    }
+    out.sync_data()?;
+    drop(out);
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Bootstrap a follower store in `dir` from the primary at
+/// `primary_addr`: fetch the newest snapshot, the archive chain and
+/// the policy-epoch marker, then open the directory through the
+/// normal recovery path (which re-verifies every shipped byte — CRCs,
+/// versions, the epoch marker — and positions the WAL at the snapshot
+/// sequence). The returned engine is ready for
+/// `Server::start_follower`.
+///
+/// `dir` must not already hold a store; the store config's shard
+/// count is irrelevant — the follower inherits the shard count baked
+/// into the snapshot.
+pub fn bootstrap_follower(
+    dir: &Path,
+    primary_addr: &str,
+    config: StoreConfig,
+) -> io::Result<DurableEngine> {
+    fs::create_dir_all(dir)?;
+    if ltam_store::replica::newest_snapshot(dir)?.is_some()
+        || !ltam_store::replica::wal_segment_ids(dir)?.is_empty()
+    {
+        return Err(io::Error::other(format!(
+            "{} already holds a store; bootstrap wants a fresh directory",
+            dir.display()
+        )));
+    }
+    let mut client = LtamClient::connect(primary_addr)?;
+    let manifest = client.repl_manifest().map_err(replication_error)?;
+    let Some(snapshot) = manifest.snapshot else {
+        return Err(io::Error::other(
+            "primary has no snapshot to bootstrap from",
+        ));
+    };
+    let chunk_bytes = 1 << 20;
+    for archive in &manifest.archives {
+        fetch_file(&mut client, dir, *archive, chunk_bytes)?;
+    }
+    fetch_file(&mut client, dir, snapshot, chunk_bytes)?;
+    // The marker last: it must never claim an epoch newer than the
+    // fetched snapshot's (open refuses that as a policy revert), and
+    // fetching it after the snapshot can only make it *older* if the
+    // primary bumps concurrently — wait, older is the safe direction;
+    // a *newer* marker surfaces as a loud open refusal and the
+    // bootstrap is retried.
+    if let Some(marker) = manifest.epoch_marker {
+        fetch_file(&mut client, dir, marker, chunk_bytes)?;
+    }
+    let (engine, _alerts, report) = DurableEngine::open(dir, config)?;
+    if let Some(e) = report.archive_error {
+        return Err(io::Error::other(format!(
+            "bootstrapped archive chain does not scan: {e}"
+        )));
+    }
+    Ok(engine)
+}
+
+/// Sleep up to `d`, waking early when `stop` trips.
+fn sleep_while(stop: &impl Fn() -> bool, d: Duration) {
+    let deadline = Instant::now() + d;
+    while !stop() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The follower's replication thread body (spawned by
+/// `Server::start_follower`). Polls the primary, verifies and applies
+/// WAL records through `commit`, publishes the watermark in `shared`.
+/// Returns when `stop` trips.
+pub(crate) fn replicate_loop(
+    stop: impl Fn() -> bool,
+    view: ReadView,
+    commit: CommitHandle,
+    shared: &ReplicaShared,
+    config: &ReplicaConfig,
+) {
+    let mut client: Option<LtamClient> = None;
+    let mut scanner: Option<TailScanner> = None;
+    let mut faults = 0u32;
+    shared.publish(view.applied());
+    while !stop() {
+        // Connect (or reuse the live connection).
+        let mut c = match client.take() {
+            Some(c) => c,
+            None => match LtamClient::connect(&config.primary_addr) {
+                Ok(mut c) => {
+                    // A bounded read timeout keeps shutdown prompt even
+                    // against a hung primary.
+                    c.set_read_timeout(Some(Duration::from_secs(1)));
+                    c
+                }
+                Err(e) => {
+                    shared.set_state(STATE_DISCONNECTED, Some(format!("connect: {e}")));
+                    sleep_while(&stop, config.poll_interval);
+                    continue;
+                }
+            },
+        };
+        // One manifest poll positions (or re-positions) the tail.
+        let manifest: ReplManifest = match c.repl_manifest() {
+            Ok(m) => m,
+            Err(e) => {
+                shared.set_state(STATE_DISCONNECTED, Some(format!("manifest: {e}")));
+                sleep_while(&stop, config.poll_interval);
+                continue; // client dropped; reconnect next pass
+            }
+        };
+        shared
+            .primary_applied
+            .fetch_max(manifest.applied, Ordering::AcqRel);
+        shared
+            .primary_epoch
+            .store(manifest.policy_epoch, Ordering::Release);
+        if manifest.policy_epoch != view.policy_epoch() {
+            // Policy edits are not WAL records: tailing cannot carry an
+            // epoch swap across. Park — apply nothing — until an
+            // operator re-bootstraps from a post-swap snapshot.
+            shared.set_state(
+                STATE_NEEDS_BOOTSTRAP,
+                Some(format!(
+                    "primary is on policy epoch {}, this follower on {}; re-bootstrap required",
+                    manifest.policy_epoch,
+                    view.policy_epoch()
+                )),
+            );
+            client = Some(c);
+            sleep_while(&stop, config.poll_interval.max(Duration::from_millis(50)));
+            continue;
+        }
+        if scanner.is_none() {
+            scanner = TailScanner::start(view.applied(), &manifest.wal_segments);
+            if scanner.is_none() {
+                shared.set_state(
+                    STATE_NEEDS_BOOTSTRAP,
+                    Some(format!(
+                        "primary's WAL no longer covers sequence {} (compacted); re-bootstrap required",
+                        view.applied()
+                    )),
+                );
+                client = Some(c);
+                sleep_while(&stop, config.poll_interval.max(Duration::from_millis(50)));
+                continue;
+            }
+        }
+        // Tail until caught up to the primary's tail (or a fault
+        // parks us), then sleep one poll and re-poll the manifest.
+        // The breaks say whether the connection survives the pause.
+        let keep_client = loop {
+            if stop() {
+                break false;
+            }
+            let (segment, offset) = {
+                let s = scanner.as_ref().expect("scanner positioned above");
+                (s.segment(), s.offset())
+            };
+            let chunk = match c.repl_fetch(
+                ReplFileId::WalSegment { first_seq: segment },
+                offset,
+                config.chunk_bytes,
+            ) {
+                Ok(chunk) => chunk,
+                Err(ClientError::Server {
+                    code: ErrorCode::Gone,
+                    message,
+                    ..
+                }) => {
+                    // The segment vanished under us (compaction). Try to
+                    // re-position off the next manifest; if nothing
+                    // covers our sequence anymore, that pass parks us.
+                    scanner = None;
+                    shared.set_state(STATE_CATCHING_UP, Some(format!("segment gone: {message}")));
+                    break true;
+                }
+                Err(e) => {
+                    shared.set_state(STATE_DISCONNECTED, Some(format!("fetch: {e}")));
+                    sleep_while(&stop, config.poll_interval);
+                    break false; // reconnect via the outer loop
+                }
+            };
+            if chunk.meta.policy_epoch != view.policy_epoch() {
+                // The epoch moved while this chunk was in flight; its
+                // bytes may straddle the swap. Apply nothing.
+                shared.set_state(
+                    STATE_NEEDS_BOOTSTRAP,
+                    Some(format!(
+                        "primary moved to policy epoch {} mid-stream; re-bootstrap required",
+                        chunk.meta.policy_epoch
+                    )),
+                );
+                break true;
+            }
+            shared
+                .primary_applied
+                .fetch_max(chunk.meta.applied, Ordering::AcqRel);
+            let step = scanner.as_mut().expect("scanner positioned above").apply(
+                &chunk.bytes,
+                chunk.meta.file_len,
+                chunk.meta.sealed,
+            );
+            let mut commit_failed = false;
+            for batch in step.batches {
+                if batch.is_empty() {
+                    continue;
+                }
+                if let Err(e) = commit.commit(batch) {
+                    // The *follower's* own store failed — nothing wrong
+                    // with the shipped bytes. The scanner cursor is now
+                    // ahead of the applied state, so it must be rebuilt.
+                    shared.set_state(STATE_DISCONNECTED, Some(format!("local commit: {e}")));
+                    scanner = None;
+                    commit_failed = true;
+                    break;
+                }
+                shared.publish(view.applied());
+            }
+            if commit_failed {
+                sleep_while(&stop, config.poll_interval);
+                break true;
+            }
+            if let Some(fault) = step.fault {
+                faults += 1;
+                if faults > MAX_FAULT_RETRIES {
+                    shared.set_state(
+                        STATE_NEEDS_BOOTSTRAP,
+                        Some(format!(
+                            "shipped WAL bytes fail verification persistently ({fault}); refusing to apply"
+                        )),
+                    );
+                    break true;
+                }
+                // Transient torn look (append or rotation in flight):
+                // re-fetch the same cursor after a beat.
+                sleep_while(&stop, config.poll_interval.min(Duration::from_millis(10)));
+                continue;
+            }
+            faults = 0;
+            if view.applied() >= chunk.meta.applied {
+                shared.set_state(STATE_STREAMING, None);
+            } else {
+                shared.set_state(STATE_CATCHING_UP, None);
+            }
+            let at_tail = !chunk.meta.sealed
+                && scanner
+                    .as_ref()
+                    .is_some_and(|s| s.offset() >= chunk.meta.file_len);
+            if at_tail {
+                sleep_while(&stop, config.poll_interval);
+                break true;
+            }
+        };
+        if keep_client {
+            client = Some(c);
+        }
+        // A parked follower (NeedsBootstrap) re-polls slowly; it still
+        // reports status, it just cannot make progress on its own.
+        if shared.state.load(Ordering::Acquire) == STATE_NEEDS_BOOTSTRAP {
+            sleep_while(&stop, config.poll_interval.max(Duration::from_millis(50)));
+        }
+    }
+}

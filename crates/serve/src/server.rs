@@ -74,8 +74,15 @@
 //! engine back. [`Server::abort`] skips the snapshot — recovery then
 //! replays the WAL, exactly as after a crash.
 
-use crate::wire::{self, ErrorCode, FrameAssembler, HistoryQuery, Request, Response, ServerStatus};
+use crate::replica::{replicate_loop, ReplicaConfig, ReplicaShared};
+use crate::wire::{
+    self, ErrorCode, FrameAssembler, HistoryQuery, ReplChunk, ReplChunkMeta, ReplManifest,
+    ReplRequest, Request, Response, ServerRole, ServerStatus,
+};
 use ltam_engine::batch::BatchOutcome;
+use ltam_store::replica::{
+    archive_files, epoch_marker_file, newest_snapshot, read_file_chunk, wal_segment_ids, ReplFileId,
+};
 use ltam_store::{
     CommitHandle, DurableEngine, GroupCommit, GroupCommitConfig, HistoryError, ReadView,
 };
@@ -183,6 +190,11 @@ struct Shared {
     shutdown: AtomicBool,
     stats: Stats,
     threads: Vec<ThreadHandle>,
+    /// Which role every error frame and status report carries.
+    role: ServerRole,
+    /// Present iff this server is a follower: the replication loop's
+    /// published face (watermark, lag, state).
+    replica: Option<Arc<ReplicaShared>>,
 }
 
 /// A running LTAM server. Dropping it without calling
@@ -192,6 +204,8 @@ pub struct Server {
     /// `Some` while running; taken by `stop()`.
     shared: Option<Arc<Shared>>,
     polls: Vec<JoinHandle<()>>,
+    /// The replication thread, when running as a follower.
+    repl: Option<JoinHandle<()>>,
     commit: Option<GroupCommit>,
 }
 
@@ -203,8 +217,39 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start serving `engine`.
+    /// start serving `engine` as a primary: writes accepted, and the
+    /// replication stream ([`ReplRequest`]) served to any follower
+    /// that asks.
     pub fn start(engine: DurableEngine, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        Server::start_inner(engine, addr, config, None)
+    }
+
+    /// Bind `addr` and serve `engine` as a **read-only follower** of
+    /// the primary named in `replica`: a replication thread tails the
+    /// primary's WAL and replays it through this server's own group
+    /// commit, while the poll threads serve history queries at the
+    /// published watermark. Writes are refused with
+    /// [`ErrorCode::NotPrimary`] (the error names the primary);
+    /// history queries are refused with [`ErrorCode::Stale`] until the
+    /// engine has caught up to `replica.watermark_floor`. `engine`
+    /// normally comes from
+    /// [`bootstrap_follower`](crate::replica::bootstrap_follower), or
+    /// from re-opening a previous follower directory.
+    pub fn start_follower(
+        engine: DurableEngine,
+        addr: &str,
+        config: ServerConfig,
+        replica: ReplicaConfig,
+    ) -> io::Result<Server> {
+        Server::start_inner(engine, addr, config, Some(replica))
+    }
+
+    fn start_inner(
+        engine: DurableEngine,
+        addr: &str,
+        config: ServerConfig,
+        replica: Option<ReplicaConfig>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -229,12 +274,21 @@ impl Server {
             });
             pollers.push(poll);
         }
+        let replica_shared = replica
+            .as_ref()
+            .map(|r| Arc::new(ReplicaShared::new(r, view.applied())));
         let shared = Arc::new(Shared {
             view,
             config,
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
             threads: handles,
+            role: if replica.is_some() {
+                ServerRole::Follower
+            } else {
+                ServerRole::Primary
+            },
+            replica: replica_shared.clone(),
         });
         let polls = pollers
             .into_iter()
@@ -254,11 +308,34 @@ impl Server {
                     .expect("spawn poll thread")
             })
             .collect();
+        let repl = match (replica, replica_shared) {
+            (Some(replica_config), Some(replica_shared)) => {
+                let stop_flag = Arc::clone(&shared);
+                let view = shared.view.clone();
+                let commit = commit_handle.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("ltam-replicate".into())
+                        .spawn(move || {
+                            replicate_loop(
+                                move || stop_flag.shutdown.load(Ordering::SeqCst),
+                                view,
+                                commit,
+                                &replica_shared,
+                                &replica_config,
+                            )
+                        })
+                        .expect("spawn replication thread"),
+                )
+            }
+            _ => None,
+        };
         drop(commit_handle);
         Ok(Server {
             addr: local,
             shared: Some(shared),
             polls,
+            repl,
             commit: Some(commit),
         })
     }
@@ -295,6 +372,11 @@ impl Server {
             let _ = t.waker.wake();
         }
         for h in self.polls.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.repl.take() {
+            // The replication thread holds a commit handle too; it must
+            // exit before commit shutdown can drain.
             let _ = h.join();
         }
         // Poll threads are gone (their commit handles dropped with
@@ -400,7 +482,7 @@ fn poll_loop(
                 continue; // connection died before its commit finished
             };
             if let Some(conn) = conns[slot].as_mut() {
-                apply_completion(conn, completion);
+                apply_completion(conn, completion, shared.role);
                 if !flush(conn, now) || !update_interest(conn, &poll, &shared.config) {
                     close_conn(&mut conns, &mut by_id, slot, &poll, &shared);
                 }
@@ -488,7 +570,9 @@ fn poll_loop(
                     continue;
                 };
                 conn.closing = true;
-                if conn.drained() || now >= deadline || !update_interest(conn, &poll, &shared.config)
+                if conn.drained()
+                    || now >= deadline
+                    || !update_interest(conn, &poll, &shared.config)
                 {
                     close_conn(&mut conns, &mut by_id, slot, &poll, &shared);
                 }
@@ -630,6 +714,7 @@ fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
     ));
     let response = Response::Error {
         code: ErrorCode::Busy,
+        role: shared.role,
         message: format!(
             "serving {} connections (the configured limit); retry later",
             shared.config.max_connections
@@ -688,6 +773,7 @@ fn read_input(
                         conn,
                         &Response::Error {
                             code: ErrorCode::BadRequest,
+                            role: shared.role,
                             message: format!("unreadable frame: {e}"),
                         },
                     );
@@ -726,6 +812,7 @@ fn dispatch(
                 conn,
                 &Response::Error {
                     code: ErrorCode::BadRequest,
+                    role: shared.role,
                     message: e.to_string(),
                 },
             );
@@ -738,9 +825,30 @@ fn dispatch(
             push_response(conn, &answer_query(query, shared));
             return;
         }
+        Request::Repl(repl) => {
+            answer_repl(conn, repl, shared);
+            return;
+        }
         Request::Ingest(events) => (events, WriteKind::Ingest),
         Request::Check(event) => (vec![event], WriteKind::Check),
     };
+    if let Some(replica) = &shared.replica {
+        // Followers are read-only: a write acked here would fork
+        // history from the primary's. Refuse loudly, naming where
+        // writes go.
+        push_response(
+            conn,
+            &Response::Error {
+                code: ErrorCode::NotPrimary,
+                role: shared.role,
+                message: format!(
+                    "this server is a read-only follower; send writes to the primary at {}",
+                    replica.primary_addr()
+                ),
+            },
+        );
+        return;
+    }
     let slot = conn.next_slot;
     conn.next_slot += 1;
     conn.pending.push_back(SlotState::Waiting(slot));
@@ -763,6 +871,7 @@ fn dispatch(
         // in place.
         let frame = response_frame(&Response::Error {
             code: ErrorCode::Internal,
+            role: shared.role,
             message: "server is shutting down".into(),
         });
         *conn.pending.back_mut().expect("slot just pushed") = SlotState::Ready(frame);
@@ -770,7 +879,7 @@ fn dispatch(
 }
 
 /// Turn a commit completion into its slot's ready response.
-fn apply_completion(conn: &mut Conn, completion: Completion) {
+fn apply_completion(conn: &mut Conn, completion: Completion, role: ServerRole) {
     let response = match (completion.kind, completion.result) {
         (WriteKind::Ingest, Ok(outcome)) => Response::Ingested {
             processed: outcome.processed,
@@ -783,10 +892,12 @@ fn apply_completion(conn: &mut Conn, completion: Completion) {
         },
         (WriteKind::Ingest, Err(e)) => Response::Error {
             code: ErrorCode::Internal,
+            role,
             message: format!("batch not durable: {e}"),
         },
         (WriteKind::Check, Err(e)) => Response::Error {
             code: ErrorCode::Internal,
+            role,
             message: format!("swipe not durable: {e}"),
         },
     };
@@ -895,36 +1006,164 @@ fn update_interest(conn: &mut Conn, poll: &Poll, config: &ServerConfig) -> bool 
 /// [`ReadView`] — never touching the commit thread.
 fn answer_query(query: HistoryQuery, shared: &Shared) -> Response {
     let view = &shared.view;
+    let role = shared.role;
+    // A freshly (re-)started follower may hold state older than the
+    // watermark its predecessor already served reads at. Answering
+    // from it would show time running backward; refuse until caught
+    // up. `Status` stays answerable — it is how operators watch the
+    // catch-up.
+    if !matches!(query, HistoryQuery::Status) {
+        if let Some(replica) = &shared.replica {
+            let applied = view.applied();
+            if applied < replica.floor() {
+                return Response::Error {
+                    code: ErrorCode::Stale,
+                    role,
+                    message: format!(
+                        "follower at sequence {applied}, behind its served watermark {}; \
+                         retry once caught up",
+                        replica.floor()
+                    ),
+                };
+            }
+        }
+    }
     match query {
         HistoryQuery::Whereabouts { subject, at } => view
             .whereabouts(subject, at)
             .map(|location| Response::Whereabouts { location })
-            .unwrap_or_else(history_error),
+            .unwrap_or_else(|e| history_error(e, role)),
         HistoryQuery::PresentDuring { location, window } => view
             .present_during(location, window)
             .map(|rows| Response::Present { rows })
-            .unwrap_or_else(history_error),
+            .unwrap_or_else(|e| history_error(e, role)),
         HistoryQuery::Contacts { subject, window } => view
             .contacts(subject, window)
             .map(|contacts| Response::Contacts { contacts })
-            .unwrap_or_else(history_error),
+            .unwrap_or_else(|e| history_error(e, role)),
         HistoryQuery::ViolationsIn { window } => view
             .violations_in(window)
             .map(|violations| Response::Violations { violations })
-            .unwrap_or_else(history_error),
+            .unwrap_or_else(|e| history_error(e, role)),
         HistoryQuery::Status => Response::Status {
             status: status_of(shared),
         },
     }
 }
 
-fn history_error(e: HistoryError) -> Response {
+/// Answer one replication request. Manifests and chunks are served
+/// from the primary's store directory through the shared [`ReadView`];
+/// a follower refuses them (replication chains from the primary only).
+fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
+    if shared.role != ServerRole::Primary {
+        push_response(
+            conn,
+            &Response::Error {
+                code: ErrorCode::BadRequest,
+                role: shared.role,
+                message: "replication is served by the primary, not a follower".into(),
+            },
+        );
+        return;
+    }
+    let view = &shared.view;
+    let dir = view.dir();
+    match request {
+        ReplRequest::Manifest => {
+            let inventory = (|| {
+                io::Result::Ok((
+                    newest_snapshot(dir)?,
+                    archive_files(dir)?,
+                    wal_segment_ids(dir)?,
+                    epoch_marker_file(dir)?,
+                ))
+            })();
+            let response = match inventory {
+                Ok((snapshot, archives, wal_segments, epoch_marker)) => Response::ReplManifest {
+                    manifest: ReplManifest {
+                        // Counters after the listing: `applied` must
+                        // never overstate what the listed files hold.
+                        applied: view.applied(),
+                        policy_epoch: view.policy_epoch(),
+                        retention_watermark: view.retention_watermark().get(),
+                        snapshot,
+                        archives,
+                        wal_segments,
+                        epoch_marker,
+                    },
+                },
+                Err(e) => Response::Error {
+                    code: ErrorCode::Internal,
+                    role: shared.role,
+                    message: format!("listing store files: {e}"),
+                },
+            };
+            push_response(conn, &response);
+        }
+        ReplRequest::Fetch { file, offset, len } => {
+            // Leave room in the frame for the chunk meta and headers.
+            let cap = shared.config.max_frame_bytes.saturating_sub(4096).max(1);
+            match read_file_chunk(dir, file, offset, len.min(cap)) {
+                Ok(Some(read)) => {
+                    // Bytes were read BEFORE these counters: everything
+                    // in them is at-or-before `applied`, and a chunk
+                    // carrying a stale epoch can never pass the
+                    // follower's epoch check after a swap.
+                    let sealed = match file {
+                        ReplFileId::WalSegment { first_seq } => wal_segment_ids(dir)
+                            .map(|ids| ids.iter().any(|&id| id > first_seq))
+                            .unwrap_or(false),
+                        _ => true,
+                    };
+                    let chunk = ReplChunk {
+                        meta: ReplChunkMeta {
+                            file,
+                            offset,
+                            file_len: read.file_len,
+                            sealed,
+                            applied: view.applied(),
+                            policy_epoch: view.policy_epoch(),
+                            retention_watermark: view.retention_watermark().get(),
+                        },
+                        bytes: read.bytes,
+                    };
+                    let mut frame = Vec::new();
+                    wire::write_frame(&mut frame, &wire::encode_repl_chunk(&chunk))
+                        .expect("writing to a Vec cannot fail");
+                    conn.pending.push_back(SlotState::Ready(frame));
+                }
+                Ok(None) => push_response(
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::Gone,
+                        role: shared.role,
+                        message: format!(
+                            "{} is gone (pruned or compacted); re-list the manifest",
+                            file.file_name()
+                        ),
+                    },
+                ),
+                Err(e) => push_response(
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::Internal,
+                        role: shared.role,
+                        message: format!("reading {}: {e}", file.file_name()),
+                    },
+                ),
+            }
+        }
+    }
+}
+
+fn history_error(e: HistoryError, role: ServerRole) -> Response {
     let code = match e {
         HistoryError::Unarchived { .. } => ErrorCode::Unarchived,
         HistoryError::Io(_) => ErrorCode::Internal,
     };
     Response::Error {
         code,
+        role,
         message: e.to_string(),
     }
 }
@@ -938,6 +1177,9 @@ fn status_of(shared: &Shared) -> ServerStatus {
         Err(e) => (0, Some(e.to_string())),
     };
     ServerStatus {
+        role: shared.role,
+        state_digest: view.engine().state_digest(),
+        replica: shared.replica.as_ref().map(|r| r.status(view.applied())),
         events_ingested: view.applied(),
         snapshot_seq: view.last_snapshot_seq(),
         policy_epoch: view.policy_epoch(),

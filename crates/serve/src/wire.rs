@@ -36,6 +36,7 @@ use ltam_engine::Violation;
 use ltam_graph::LocationId;
 use ltam_store::codec::{decode_event, encode_event, get_varint, put_varint, DecodeError};
 use ltam_store::crc32;
+use ltam_store::replica::{ReplFile, ReplFileId};
 use ltam_time::{Interval, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -54,6 +55,8 @@ const KIND_INGEST: u8 = 0x01;
 const KIND_CHECK: u8 = 0x02;
 const KIND_QUERY: u8 = 0x03;
 const KIND_RESPONSE: u8 = 0x04;
+const KIND_REPL: u8 = 0x05;
+const KIND_REPL_CHUNK: u8 = 0x06;
 
 /// Why a frame or payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +152,100 @@ pub enum Request {
     Check(Event),
     /// A read-only historical or status query.
     Query(HistoryQuery),
+    /// A replication request from a follower (only a primary answers;
+    /// a follower refuses with [`ErrorCode::BadRequest`] so replication
+    /// chains never form by accident).
+    Repl(ReplRequest),
+}
+
+/// What a follower asks its primary for (JSON-bodied, tag `0x05`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplRequest {
+    /// The primary's current shippable-file inventory and positions
+    /// (answered with [`Response::ReplManifest`]).
+    Manifest,
+    /// Up to `len` bytes of `file` starting at `offset` (answered with
+    /// a binary [`ReplChunk`] frame, or [`ErrorCode::Gone`] if the file
+    /// has been rotated, compacted or pruned away).
+    Fetch {
+        /// Which store file.
+        file: ReplFileId,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Maximum bytes wanted (the primary also caps by its own
+        /// frame limit).
+        len: u32,
+    },
+}
+
+/// The primary's replication manifest: every file a follower may fetch
+/// plus the durability positions that let it pick a bootstrap plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplManifest {
+    /// Events durably applied on the primary (the WAL sequence).
+    pub applied: u64,
+    /// The primary's current policy epoch. A follower whose engine is
+    /// on a different epoch must re-bootstrap — policy edits are not
+    /// WAL records, so tailing cannot carry them across.
+    pub policy_epoch: u64,
+    /// The primary's movement-retention watermark (chronons; 0 = never
+    /// pruned).
+    pub retention_watermark: u64,
+    /// The newest snapshot, if any — the bootstrap anchor.
+    pub snapshot: Option<ReplFile>,
+    /// The archive chain, in coverage order.
+    pub archives: Vec<ReplFile>,
+    /// First sequence of every WAL segment, ascending; all but the
+    /// last are sealed.
+    pub wal_segments: Vec<u64>,
+    /// The policy-epoch marker file, if one has been written.
+    pub epoch_marker: Option<ReplFile>,
+}
+
+/// Metadata riding with every shipped chunk of file bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplChunkMeta {
+    /// The file the bytes came from.
+    pub file: ReplFileId,
+    /// Byte offset of the first shipped byte.
+    pub offset: u64,
+    /// The file's total length when the chunk was read.
+    pub file_len: u64,
+    /// For WAL segments: was another, later segment present when this
+    /// chunk was read (so this one is sealed and must end on a record
+    /// boundary)? Always `true` for immutable files.
+    pub sealed: bool,
+    /// The primary's applied sequence, read **after** the bytes — so a
+    /// chunk can never carry post-epoch-bump records under a
+    /// pre-bump epoch stamp.
+    pub applied: u64,
+    /// The primary's policy epoch, read after the bytes (same ordering
+    /// guarantee).
+    pub policy_epoch: u64,
+    /// The primary's retention watermark (chronons).
+    pub retention_watermark: u64,
+}
+
+/// A shipped chunk: metadata plus the raw file bytes (binary frame,
+/// tag `0x06` — the bytes travel uncopied next to a small JSON header,
+/// mirroring how archive segments pair a JSON block with binary
+/// events).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplChunk {
+    /// The chunk's provenance and the primary's positions.
+    pub meta: ReplChunkMeta,
+    /// The raw file bytes at `[meta.offset, meta.offset + bytes.len())`.
+    pub bytes: Vec<u8>,
+}
+
+/// What a replication exchange can answer with: a binary chunk or an
+/// ordinary JSON response (manifest, error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplReply {
+    /// A shipped chunk of file bytes.
+    Chunk(ReplChunk),
+    /// A JSON response (a manifest or a refusal).
+    Other(Box<Response>),
 }
 
 /// The read-only queries the serving tier answers (tier-aware: they
@@ -198,6 +295,31 @@ pub enum ErrorCode {
     Unarchived,
     /// The server failed internally (I/O on the store, archive rot).
     Internal,
+    /// A write was sent to a read-only follower; the message names the
+    /// primary to redirect to.
+    NotPrimary,
+    /// The requested replication file no longer exists (rotated,
+    /// compacted or pruned) — the follower must re-plan or
+    /// re-bootstrap.
+    Gone,
+    /// A follower still catching up to its watermark floor refused a
+    /// history query rather than serve an answer older than what it
+    /// already acknowledged serving.
+    Stale,
+}
+
+/// Which role a server is running in (stamped on status and on every
+/// refusal, so clients that fail over between boxes always know *who*
+/// refused them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerRole {
+    /// The single writer: accepts ingest, serves queries, ships
+    /// replication.
+    #[default]
+    Primary,
+    /// A read replica: tails a primary, refuses writes with
+    /// [`ErrorCode::NotPrimary`].
+    Follower,
 }
 
 /// A response from the serving tier. Always JSON-bodied (tag
@@ -251,12 +373,20 @@ pub enum Response {
         /// The counters.
         status: ServerStatus,
     },
+    /// Answer to [`ReplRequest::Manifest`].
+    ReplManifest {
+        /// The primary's shippable-file inventory.
+        manifest: ReplManifest,
+    },
     /// The request could not be served.
     Error {
         /// Machine-readable class.
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Who refused: primary or follower (so a client holding
+        /// several addresses knows whether to redirect).
+        role: ServerRole,
     },
 }
 
@@ -301,6 +431,55 @@ pub struct ServerStatus {
     /// Per-connection request counts for live connections, as
     /// `(connection id, requests served)` rows.
     pub per_connection: Vec<(u64, u64)>,
+    /// Which role this server runs in.
+    pub role: ServerRole,
+    /// Deterministic digest of the engine's enforcement state (see
+    /// `EngineReadView::state_digest`): equal digests at an equal
+    /// watermark mean a primary and follower agree on every violation,
+    /// entry total and retention mark.
+    pub state_digest: u64,
+    /// Replication health — `Some` only on a follower.
+    pub replica: Option<ReplicaStatus>,
+}
+
+/// A follower's replication position and health (inside
+/// [`ServerStatus::replica`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStatus {
+    /// The primary this follower tails.
+    pub primary_addr: String,
+    /// The published read watermark: monotone, never below the
+    /// watermark floor the follower was (re)started with.
+    pub watermark: u64,
+    /// Events actually applied to the follower's engine (equals
+    /// `watermark` once caught up to the floor).
+    pub applied: u64,
+    /// The primary's applied sequence as of the last successful poll —
+    /// `primary_applied - watermark` is the staleness lag in events.
+    pub primary_applied: u64,
+    /// The primary's policy epoch as of the last successful poll.
+    pub primary_epoch: u64,
+    /// Where the replication loop currently stands.
+    pub state: ReplicaState,
+    /// The most recent replication error, if any (sticky until the
+    /// next successful poll).
+    pub last_error: Option<String>,
+}
+
+/// The replication loop's state machine, as surfaced to operators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicaState {
+    /// Applying shipped records, still below the primary's position.
+    #[default]
+    CatchingUp,
+    /// At the primary's position; polling for new records.
+    Streaming,
+    /// Cannot reach the primary; retrying.
+    Disconnected,
+    /// Parked: tailing cannot continue (epoch swap, compacted-away
+    /// segment, or persistent corruption). Only a fresh bootstrap —
+    /// with the current watermark as the floor — resumes reads.
+    NeedsBootstrap,
 }
 
 // --- framing ---------------------------------------------------------------
@@ -471,6 +650,14 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                     .as_bytes(),
             );
         }
+        Request::Repl(repl) => {
+            out.push(KIND_REPL);
+            out.extend_from_slice(
+                serde_json::to_string(repl)
+                    .expect("repl requests serialize")
+                    .as_bytes(),
+            );
+        }
     }
     out
 }
@@ -515,6 +702,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
             Ok(Request::Query(query))
         }
+        KIND_REPL => {
+            let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
+            let repl = serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
+            Ok(Request::Repl(repl))
+        }
         other => Err(WireError::BadKind(other)),
     }
 }
@@ -538,6 +730,53 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     }
     let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
     serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))
+}
+
+// --- replication chunk encoding --------------------------------------------
+
+/// Encode a shipped chunk: `[kind 0x06][varint meta_len][meta JSON]
+/// [raw file bytes]` — the only binary *response* in the protocol,
+/// because base64-ing megabytes of WAL through JSON would double the
+/// bytes on the replication path for nothing.
+pub fn encode_repl_chunk(chunk: &ReplChunk) -> Vec<u8> {
+    let meta = serde_json::to_string(&chunk.meta).expect("chunk meta serializes");
+    let mut out = Vec::with_capacity(1 + 10 + meta.len() + chunk.bytes.len());
+    out.push(KIND_REPL_CHUNK);
+    put_varint(&mut out, meta.len() as u64);
+    out.extend_from_slice(meta.as_bytes());
+    out.extend_from_slice(&chunk.bytes);
+    out
+}
+
+/// Decode the reply to a replication request: a binary chunk (tag
+/// `0x06`) or an ordinary JSON response (tag `0x04` — a manifest or a
+/// refusal). Total, like every decoder here.
+pub fn decode_repl_reply(payload: &[u8]) -> Result<ReplReply, WireError> {
+    let (&kind, body) = payload.split_first().ok_or(WireError::EmptyPayload)?;
+    match kind {
+        KIND_REPL_CHUNK => {
+            let mut at = 0usize;
+            let meta_len = get_varint(body, &mut at)?;
+            let end = (meta_len as usize)
+                .checked_add(at)
+                .filter(|&e| e <= body.len());
+            let Some(end) = end else {
+                return Err(WireError::BadJson(format!(
+                    "chunk meta length {meta_len} exceeds the body"
+                )));
+            };
+            let text = std::str::from_utf8(&body[at..end])
+                .map_err(|e| WireError::BadJson(e.to_string()))?;
+            let meta: ReplChunkMeta =
+                serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
+            Ok(ReplReply::Chunk(ReplChunk {
+                meta,
+                bytes: body[end..].to_vec(),
+            }))
+        }
+        KIND_RESPONSE => decode_response(payload).map(|r| ReplReply::Other(Box::new(r))),
+        other => Err(WireError::BadKind(other)),
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +809,12 @@ mod tests {
                 window: Interval::lit(0, 100),
             }),
             Request::Query(HistoryQuery::Status),
+            Request::Repl(ReplRequest::Manifest),
+            Request::Repl(ReplRequest::Fetch {
+                file: ReplFileId::WalSegment { first_seq: 512 },
+                offset: 16,
+                len: 4096,
+            }),
         ]
     }
 
@@ -607,6 +852,32 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "at the connection limit".into(),
+                role: ServerRole::Primary,
+            },
+            Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: "read-only follower; writes go to 127.0.0.1:7000".into(),
+                role: ServerRole::Follower,
+            },
+            Response::ReplManifest {
+                manifest: ReplManifest {
+                    applied: 100,
+                    policy_epoch: 2,
+                    retention_watermark: 50,
+                    snapshot: Some(ReplFile {
+                        file: ReplFileId::Snapshot { seq: 90, epoch: 2 },
+                        len: 4096,
+                    }),
+                    archives: vec![ReplFile {
+                        file: ReplFileId::Archive { from: 0, to: 40 },
+                        len: 512,
+                    }],
+                    wal_segments: vec![0, 90],
+                    epoch_marker: Some(ReplFile {
+                        file: ReplFileId::EpochMarker,
+                        len: 20,
+                    }),
+                },
             },
         ];
         for r in &samples {
@@ -703,6 +974,64 @@ mod tests {
         frame[last] ^= 0x40;
         asm.push(&frame);
         assert!(matches!(asm.next_frame(), Err(WireError::CrcMismatch)));
+    }
+
+    #[test]
+    fn repl_chunks_round_trip_with_raw_bytes_intact() {
+        let chunk = ReplChunk {
+            meta: ReplChunkMeta {
+                file: ReplFileId::WalSegment { first_seq: 7 },
+                offset: 16,
+                file_len: 160,
+                sealed: false,
+                applied: 42,
+                policy_epoch: 1,
+                retention_watermark: 9,
+            },
+            bytes: (0u8..=255).collect(),
+        };
+        let payload = encode_repl_chunk(&chunk);
+        match decode_repl_reply(&payload).unwrap() {
+            ReplReply::Chunk(got) => assert_eq!(got, chunk),
+            other => panic!("expected a chunk, got {other:?}"),
+        }
+        // A JSON error response decodes through the same entry point.
+        let err = Response::Error {
+            code: ErrorCode::Gone,
+            message: "segment compacted".into(),
+            role: ServerRole::Primary,
+        };
+        match decode_repl_reply(&encode_response(&err)).unwrap() {
+            ReplReply::Other(got) => assert_eq!(*got, err),
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_repl_chunk_meta_is_a_decode_error_not_a_panic() {
+        let chunk = ReplChunk {
+            meta: ReplChunkMeta {
+                file: ReplFileId::EpochMarker,
+                offset: 0,
+                file_len: 20,
+                sealed: true,
+                applied: 1,
+                policy_epoch: 0,
+                retention_watermark: 0,
+            },
+            bytes: vec![1, 2, 3],
+        };
+        let payload = encode_repl_chunk(&chunk);
+        for cut in 1..payload.len().min(24) {
+            let _ = decode_repl_reply(&payload[..cut]); // must not panic
+        }
+        // A meta length pointing past the body is refused.
+        let mut bogus = vec![KIND_REPL_CHUNK];
+        put_varint(&mut bogus, u64::MAX);
+        assert!(matches!(
+            decode_repl_reply(&bogus),
+            Err(WireError::BadJson(_)) | Err(WireError::Codec(_))
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use ltam_engine::batch::{Event, PolicyCore};
 use ltam_graph::examples::ntu_campus;
 use ltam_graph::LocationId;
 use ltam_serve::wire::{self, Request};
-use ltam_serve::{ClientError, ErrorCode, LtamClient, Server, ServerConfig};
+use ltam_serve::{ClientError, ErrorCode, LtamClient, Server, ServerConfig, ServerRole};
 use ltam_store::{DurableEngine, ScratchDir, StoreConfig};
 use ltam_time::{Interval, Time};
 use std::io::{Read, Write};
@@ -123,11 +123,15 @@ fn over_the_connection_limit_is_refused_busy() {
     assert!(first.check_access(Time(10), alice, cais).unwrap());
     // The second connection's first call sees the Busy refusal.
     let mut second = LtamClient::connect(&addr).unwrap();
+    // The refusal keeps its typed context across the forced reconnect:
+    // code AND which role said no (a Busy primary means back off; a
+    // Busy follower would mean "read elsewhere").
     let busy = |r: Result<bool, ClientError>| {
         matches!(
             r,
             Err(ClientError::Server {
                 code: ErrorCode::Busy,
+                role: ServerRole::Primary,
                 ..
             })
         )

@@ -612,6 +612,7 @@ impl DurableEngine {
             archive: Arc::clone(&self.archive),
             archive_cache: Arc::clone(&self.archive_cache),
             cells: Arc::clone(&self.cells),
+            dir: self.dir.clone(),
         }
     }
 
@@ -1212,6 +1213,7 @@ pub struct ReadView {
     archive: Arc<ArchiveStore>,
     archive_cache: Arc<parking_lot::Mutex<LazyArchive>>,
     cells: Arc<StatusCells>,
+    dir: PathBuf,
 }
 
 impl ReadView {
@@ -1219,6 +1221,13 @@ impl ReadView {
     /// violation queries).
     pub fn engine(&self) -> EngineReadView {
         EngineReadView::new(Arc::clone(&self.engine))
+    }
+
+    /// The store directory this view reads from — the root the
+    /// replication inventory ([`crate::replica`]) lists shippable files
+    /// under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// Events durably applied so far (the WAL sequence), as of the

@@ -27,6 +27,12 @@
 //!   horizon, transparently merged with archive reads beyond it, and a
 //!   loud refusal when the answer would need discarded-and-unarchived
 //!   data,
+//! * [`replica`] — replication building blocks: a numeric inventory of
+//!   shippable store files (snapshots, archive segments, WAL segments,
+//!   the epoch marker) and the follower's [`TailScanner`] — a resume
+//!   state machine that verifies shipped WAL bytes record-by-record
+//!   (CRC + total decoding) and can never yield a wrong-but-valid
+//!   record,
 //! * [`scratch`] — unique temp directories for tests and benches.
 //!
 //! The correctness bar, proven by the workspace's `durable_recovery`
@@ -43,6 +49,7 @@ pub mod crc;
 pub mod durable;
 pub mod group;
 pub mod history;
+pub mod replica;
 pub mod scratch;
 pub mod snapshot;
 pub mod wal;
@@ -58,6 +65,7 @@ pub use durable::{
 };
 pub use group::{CommitHandle, GroupCommit, GroupCommitConfig};
 pub use history::HistoryError;
+pub use replica::{ChunkRead, ReplFile, ReplFileId, TailFault, TailScanner, TailStep};
 pub use scratch::{copy_flat_dir, ScratchDir};
 pub use snapshot::{SnapshotStore, StoreSnapshot, SNAPSHOT_VERSION};
 pub use wal::{Wal, WalConfig, WalRecovery, WAL_VERSION};

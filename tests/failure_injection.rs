@@ -163,3 +163,336 @@ fn empty_and_inverted_intervals_are_unrepresentable() {
     assert!(Interval::closed(9u64, 2u64).is_err());
     assert!(serde_json::from_str::<Interval>(r#"{"start": 9, "end": {"At": 2}}"#).is_err());
 }
+
+/// Follower-side faults: the primary dies mid-snapshot-transfer,
+/// mid-segment, and exactly on a group-commit batch boundary. In every
+/// case the follower must resume cleanly or refuse loudly — never
+/// diverge from the primary's history.
+mod follower_faults {
+    use std::io::Write;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    use ltam::engine::batch::{apply_to_engine, Event};
+    use ltam::serve::wire::{
+        decode_request, encode_repl_chunk, encode_response, read_frame, write_frame, ReplChunk,
+        ReplChunkMeta, ReplManifest, ReplRequest, ReplicaState, Request, Response,
+        DEFAULT_MAX_FRAME_BYTES,
+    };
+    use ltam::serve::{bootstrap_follower, LtamClient, ReplicaConfig, Server, ServerConfig};
+    use ltam::store::{DurableEngine, ReplFile, ReplFileId, ScratchDir, StoreConfig};
+    use ltam::time::{Interval, Time};
+    use ltam_bench::relay::TcpRelay;
+    use ltam_bench::{serve_workload, violation_multiset};
+    use ltam_sim::multi_shard_trace;
+
+    fn primary_store() -> StoreConfig {
+        StoreConfig {
+            segment_bytes: 16 * 1024,
+            snapshot_every: 0,
+            fsync: true, // acked writes survive the kill; replication of lost acks is out of scope
+            retention: None,
+        }
+    }
+
+    fn follower_store() -> StoreConfig {
+        StoreConfig {
+            segment_bytes: 16 * 1024,
+            snapshot_every: 0,
+            fsync: false,
+            retention: None,
+        }
+    }
+
+    fn fast_replica(primary_addr: &str) -> ReplicaConfig {
+        let mut config = ReplicaConfig::new(primary_addr);
+        config.poll_interval = Duration::from_millis(2);
+        config
+    }
+
+    /// Poll the follower until its replication loop reaches `want`.
+    fn wait_for_state(probe: &mut LtamClient, want: ReplicaState) -> u64 {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let replica = probe
+                .status()
+                .expect("follower keeps serving status")
+                .replica
+                .expect("follower reports a replica block");
+            if replica.state == want {
+                return replica.watermark;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follower never reached {want:?}; stuck at {replica:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The primary dies halfway through shipping the bootstrap
+    /// snapshot. The follower must fail the bootstrap loudly, and the
+    /// partial directory must not be openable as a store — a torn
+    /// snapshot can never become a serving replica.
+    #[test]
+    fn primary_death_mid_snapshot_transfer_is_a_clean_refusal() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let snapshot = ReplFileId::Snapshot { seq: 64, epoch: 0 };
+        let fake_primary = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let payload = read_frame(&mut sock, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            assert!(matches!(
+                decode_request(&payload),
+                Ok(Request::Repl(ReplRequest::Manifest))
+            ));
+            let manifest = ReplManifest {
+                applied: 64,
+                policy_epoch: 0,
+                retention_watermark: 0,
+                snapshot: Some(ReplFile {
+                    file: snapshot,
+                    len: 1 << 20,
+                }),
+                archives: Vec::new(),
+                wal_segments: vec![0],
+                epoch_marker: None,
+            };
+            write_frame(
+                &mut sock,
+                &encode_response(&Response::ReplManifest { manifest }),
+            )
+            .unwrap();
+            let payload = read_frame(&mut sock, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            let Ok(Request::Repl(ReplRequest::Fetch { file, offset, len })) =
+                decode_request(&payload)
+            else {
+                panic!("expected a snapshot fetch");
+            };
+            assert_eq!(file, snapshot);
+            assert_eq!(offset, 0);
+            let chunk = ReplChunk {
+                meta: ReplChunkMeta {
+                    file,
+                    offset,
+                    file_len: 1 << 20,
+                    sealed: true,
+                    applied: 64,
+                    policy_epoch: 0,
+                    retention_watermark: 0,
+                },
+                bytes: vec![0xAB; (len as usize).min(4096)],
+            };
+            let mut frame = Vec::new();
+            write_frame(&mut frame, &encode_repl_chunk(&chunk)).unwrap();
+            // Half a frame, then death: the socket drops here.
+            sock.write_all(&frame[..frame.len() / 2]).unwrap();
+        });
+
+        let dir = ScratchDir::new("follower-mid-snapshot");
+        let err = bootstrap_follower(dir.path(), &addr, follower_store())
+            .expect_err("a torn snapshot transfer must fail the bootstrap");
+        fake_primary.join().unwrap();
+        assert!(!err.to_string().is_empty());
+        DurableEngine::open(dir.path(), follower_store())
+            .expect_err("the partial bootstrap directory must not open as a store");
+    }
+
+    /// The primary dies while the follower is tailing the middle of an
+    /// active WAL segment, with a loader still streaming. The follower
+    /// parks `Disconnected` at a watermark no higher than what the
+    /// primary durably holds, keeps serving reads, and — once the
+    /// primary returns — resumes from its cursor and converges on the
+    /// identical state.
+    #[test]
+    fn primary_death_mid_segment_parks_then_resumes_without_divergence() {
+        let trace = multi_shard_trace(&serve_workload(48, 3_000));
+        let n = trace.events.len();
+        let final_tick = Event::Tick {
+            now: Time(trace.max_time().get() + 1),
+        };
+        let mut reference = trace.build_engine();
+        for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+            apply_to_engine(&mut reference, e);
+        }
+        let expected = violation_multiset(reference.violations().to_vec());
+
+        let p_dir = ScratchDir::new("mid-segment-primary");
+        let f_dir = ScratchDir::new("mid-segment-follower");
+        let (engine, _alerts) =
+            DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store())
+                .unwrap();
+        let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let p_addr = primary.local_addr().to_string();
+        let relay = TcpRelay::start(&p_addr).unwrap();
+
+        let mut loader = LtamClient::connect(&p_addr).unwrap();
+        for chunk in trace.events[..n / 3].chunks(64) {
+            loader.ingest(chunk).unwrap();
+        }
+
+        let f_engine = bootstrap_follower(f_dir.path(), relay.addr(), follower_store()).unwrap();
+        let follower = Server::start_follower(
+            f_engine,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            fast_replica(relay.addr()),
+        )
+        .unwrap();
+        let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+        probe
+            .wait_for_watermark(n as u64 / 3, Duration::from_secs(20))
+            .unwrap();
+
+        // Stream the second third and kill the primary while the
+        // follower is still tailing it — mid-active-segment, not at a
+        // tidy stopping point.
+        for chunk in trace.events[n / 3..2 * n / 3].chunks(64) {
+            loader.ingest(chunk).unwrap();
+        }
+        drop(primary.abort().unwrap());
+
+        let wm_at_death = wait_for_state(&mut probe, ReplicaState::Disconnected);
+        // Parked, but still serving reads at its watermark.
+        probe
+            .violations_in(Interval::ALL)
+            .expect("a parked follower keeps serving reads");
+
+        // The primary returns on a fresh port behind the same relay
+        // address; the follower must pick up where it left off.
+        let (engine, _alerts, _report) =
+            DurableEngine::open(p_dir.path(), primary_store()).unwrap();
+        assert!(
+            wm_at_death <= engine.applied(),
+            "follower applied {} but the recovered primary only holds {}",
+            wm_at_death,
+            engine.applied()
+        );
+        let resumed = engine.applied() as usize;
+        assert!(resumed >= 2 * (n / 3), "fsync'd acks survived the kill");
+        let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        relay.set_upstream(&primary.local_addr().to_string());
+
+        let mut loader = LtamClient::connect(&primary.local_addr().to_string()).unwrap();
+        for chunk in trace.events[resumed..].chunks(64) {
+            loader.ingest(chunk).unwrap();
+        }
+        loader.ingest(&[final_tick]).unwrap();
+
+        probe
+            .wait_for_watermark(n as u64 + 1, Duration::from_secs(30))
+            .unwrap();
+        let status = probe.status().unwrap();
+        let replica = status.replica.clone().unwrap();
+        assert!(
+            replica.watermark >= wm_at_death,
+            "watermark regressed across the outage"
+        );
+        assert_eq!(
+            violation_multiset(probe.violations_in(Interval::ALL).unwrap()),
+            expected,
+            "follower diverged from the uninterrupted reference"
+        );
+        let p_status = LtamClient::connect(&primary.local_addr().to_string())
+            .unwrap()
+            .status()
+            .unwrap();
+        assert_eq!(
+            status.state_digest, p_status.state_digest,
+            "follower state digest differs from the primary's"
+        );
+
+        drop(follower.abort().unwrap());
+        drop(primary.abort().unwrap());
+        relay.stop();
+    }
+
+    /// The primary dies exactly on a group-commit batch boundary: every
+    /// acked batch is fully in the WAL, nothing is in flight, and the
+    /// follower has confirmed it is caught up to precisely that
+    /// sequence. Resume must continue from the boundary — no replays,
+    /// no gaps, no divergence.
+    #[test]
+    fn primary_death_on_a_group_commit_boundary_resumes_exactly() {
+        let trace = multi_shard_trace(&serve_workload(32, 2_000));
+        let n = trace.events.len();
+        let final_tick = Event::Tick {
+            now: Time(trace.max_time().get() + 1),
+        };
+        let mut reference = trace.build_engine();
+        for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+            apply_to_engine(&mut reference, e);
+        }
+        let expected = violation_multiset(reference.violations().to_vec());
+
+        let p_dir = ScratchDir::new("boundary-primary");
+        let f_dir = ScratchDir::new("boundary-follower");
+        let (engine, _alerts) =
+            DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store())
+                .unwrap();
+        let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let relay = TcpRelay::start(&primary.local_addr().to_string()).unwrap();
+
+        let f_engine = bootstrap_follower(f_dir.path(), relay.addr(), follower_store()).unwrap();
+        let follower = Server::start_follower(
+            f_engine,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            fast_replica(relay.addr()),
+        )
+        .unwrap();
+        let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+
+        // First half: every batch acked, then the follower confirmed at
+        // exactly the boundary sequence before the kill.
+        let half = n / 2;
+        let mut loader = LtamClient::connect(&primary.local_addr().to_string()).unwrap();
+        for chunk in trace.events[..half].chunks(64) {
+            loader.ingest(chunk).unwrap();
+        }
+        probe
+            .wait_for_watermark(half as u64, Duration::from_secs(20))
+            .unwrap();
+        let engine = primary.abort().unwrap();
+        assert_eq!(
+            engine.applied(),
+            half as u64,
+            "the kill landed exactly on the last acked batch boundary"
+        );
+        drop(engine);
+
+        let wm_at_death = wait_for_state(&mut probe, ReplicaState::Disconnected);
+        assert_eq!(wm_at_death, half as u64);
+
+        let (engine, _alerts, _report) =
+            DurableEngine::open(p_dir.path(), primary_store()).unwrap();
+        assert_eq!(engine.applied(), half as u64, "recovery kept the boundary");
+        let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        relay.set_upstream(&primary.local_addr().to_string());
+
+        let mut loader = LtamClient::connect(&primary.local_addr().to_string()).unwrap();
+        for chunk in trace.events[half..].chunks(64) {
+            loader.ingest(chunk).unwrap();
+        }
+        loader.ingest(&[final_tick]).unwrap();
+
+        probe
+            .wait_for_watermark(n as u64 + 1, Duration::from_secs(30))
+            .unwrap();
+        let status = probe.status().unwrap();
+        assert_eq!(status.events_ingested, n as u64 + 1, "no replays, no gaps");
+        assert_eq!(
+            violation_multiset(probe.violations_in(Interval::ALL).unwrap()),
+            expected
+        );
+        let p_status = LtamClient::connect(&primary.local_addr().to_string())
+            .unwrap()
+            .status()
+            .unwrap();
+        assert_eq!(status.state_digest, p_status.state_digest);
+
+        drop(follower.abort().unwrap());
+        drop(primary.abort().unwrap());
+        relay.stop();
+    }
+}

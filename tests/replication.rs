@@ -1,0 +1,279 @@
+//! Watermark monotonicity: a follower's published read watermark may
+//! stall, but it must never move backward — not across network cuts
+//! and reconnects, not across a follower kill + re-bootstrap, and not
+//! across a policy-epoch swap (which parks the follower for
+//! re-bootstrap rather than risking divergence).
+
+use std::time::{Duration, Instant};
+
+use ltam::engine::batch::{apply_to_engine, Event};
+use ltam::serve::{
+    bootstrap_follower, LtamClient, ReplicaConfig, ReplicaState, Server, ServerConfig,
+};
+use ltam::store::{DurableEngine, ScratchDir, StoreConfig};
+use ltam::time::Time;
+use ltam_bench::relay::TcpRelay;
+use ltam_bench::serve_workload;
+use ltam_sim::multi_shard_trace;
+
+fn primary_store() -> StoreConfig {
+    StoreConfig {
+        segment_bytes: 16 * 1024,
+        snapshot_every: 0,
+        fsync: true,
+        retention: None,
+    }
+}
+
+fn follower_store() -> StoreConfig {
+    StoreConfig {
+        segment_bytes: 16 * 1024,
+        snapshot_every: 0,
+        fsync: false,
+        retention: None,
+    }
+}
+
+fn fast_replica(primary_addr: &str, floor: u64) -> ReplicaConfig {
+    let mut config = ReplicaConfig::new(primary_addr);
+    config.poll_interval = Duration::from_millis(2);
+    config.watermark_floor = floor;
+    config
+}
+
+/// Assert the probed watermark never drops below `last`, returning the
+/// new high-water mark.
+fn assert_monotone(probe: &mut LtamClient, last: u64, context: &str) -> u64 {
+    let watermark = probe
+        .watermark()
+        .expect("follower answers watermark probes");
+    assert!(
+        watermark >= last,
+        "watermark regressed {last} -> {watermark} ({context})"
+    );
+    watermark
+}
+
+/// The follower's link to the primary is severed and re-established
+/// repeatedly while a loader streams events. The watermark, sampled
+/// continuously, never regresses, and the follower converges once the
+/// stream ends.
+#[test]
+fn watermark_is_monotone_across_reconnects() {
+    let trace = multi_shard_trace(&serve_workload(32, 2_400));
+    let n = trace.events.len();
+
+    let p_dir = ScratchDir::new("reconnect-primary");
+    let f_dir = ScratchDir::new("reconnect-follower");
+    let (engine, _alerts) =
+        DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store()).unwrap();
+    let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let p_addr = primary.local_addr().to_string();
+    let relay = TcpRelay::start(&p_addr).unwrap();
+
+    let f_engine = bootstrap_follower(f_dir.path(), relay.addr(), follower_store()).unwrap();
+    let follower = Server::start_follower(
+        f_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        fast_replica(relay.addr(), 0),
+    )
+    .unwrap();
+    let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+
+    let mut loader = LtamClient::connect(&p_addr).unwrap();
+    let mut last = 0u64;
+    for (i, chunk) in trace.events.chunks(64).enumerate() {
+        loader.ingest(chunk).unwrap();
+        last = assert_monotone(&mut probe, last, "while streaming");
+        if i % 8 == 7 {
+            relay.sever(); // cut the follower's link mid-stream
+            last = assert_monotone(&mut probe, last, "just after a cut");
+        }
+    }
+
+    probe
+        .wait_for_watermark(n as u64, Duration::from_secs(30))
+        .expect("follower reconnects through every cut and converges");
+    assert_monotone(&mut probe, last, "after convergence");
+
+    drop(follower.abort().unwrap());
+    drop(primary.abort().unwrap());
+    relay.stop();
+}
+
+/// A follower is killed mid-stream and a replacement is bootstrapped
+/// with the dead follower's watermark as its floor: the replacement
+/// never publishes a watermark below that floor, even before it has
+/// caught up.
+#[test]
+fn watermark_is_monotone_across_a_rebootstrap() {
+    let trace = multi_shard_trace(&serve_workload(32, 2_400));
+    let n = trace.events.len();
+
+    let p_dir = ScratchDir::new("rebootstrap-primary");
+    let (engine, _alerts) =
+        DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store()).unwrap();
+    let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let p_addr = primary.local_addr().to_string();
+
+    let f1_dir = ScratchDir::new("rebootstrap-follower1");
+    let f1_engine = bootstrap_follower(f1_dir.path(), &p_addr, follower_store()).unwrap();
+    let follower1 = Server::start_follower(
+        f1_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        fast_replica(&p_addr, 0),
+    )
+    .unwrap();
+    let mut probe = LtamClient::connect(&follower1.local_addr().to_string()).unwrap();
+
+    let mut loader = LtamClient::connect(&p_addr).unwrap();
+    let half = n / 2;
+    for chunk in trace.events[..half].chunks(64) {
+        loader.ingest(chunk).unwrap();
+    }
+    probe
+        .wait_for_watermark(half as u64, Duration::from_secs(20))
+        .unwrap();
+    let floor = probe.watermark().unwrap();
+    drop(follower1.abort().unwrap()); // the follower dies
+
+    // Its replacement inherits the served watermark as a floor.
+    let f2_dir = ScratchDir::new("rebootstrap-follower2");
+    let f2_engine = bootstrap_follower(f2_dir.path(), &p_addr, follower_store()).unwrap();
+    let follower2 = Server::start_follower(
+        f2_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        fast_replica(&p_addr, floor),
+    )
+    .unwrap();
+    let mut probe = LtamClient::connect(&follower2.local_addr().to_string()).unwrap();
+    let mut last = assert_monotone(&mut probe, floor, "first sample after re-bootstrap");
+
+    for chunk in trace.events[half..].chunks(64) {
+        loader.ingest(chunk).unwrap();
+        last = assert_monotone(&mut probe, last, "while catching up");
+    }
+    probe
+        .wait_for_watermark(n as u64, Duration::from_secs(30))
+        .unwrap();
+
+    drop(follower2.abort().unwrap());
+    drop(primary.abort().unwrap());
+}
+
+/// A policy edit on the primary swaps the policy epoch. Tailing cannot
+/// carry policy edits (they are not WAL records), so the follower must
+/// park `NeedsBootstrap` — watermark frozen, reads still served — and
+/// a re-bootstrap with that watermark as the floor converges on the
+/// new epoch without ever regressing.
+#[test]
+fn watermark_is_monotone_across_a_policy_epoch_swap() {
+    let trace = multi_shard_trace(&serve_workload(32, 2_400));
+    let n = trace.events.len();
+    let final_tick = Event::Tick {
+        now: Time(trace.max_time().get() + 1),
+    };
+    let mut reference = trace.build_engine();
+    for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+        apply_to_engine(&mut reference, e);
+    }
+
+    let p_dir = ScratchDir::new("epoch-primary");
+    let (engine, _alerts) =
+        DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store()).unwrap();
+    let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let relay = TcpRelay::start(&primary.local_addr().to_string()).unwrap();
+
+    let f1_dir = ScratchDir::new("epoch-follower1");
+    let f1_engine = bootstrap_follower(f1_dir.path(), relay.addr(), follower_store()).unwrap();
+    let follower1 = Server::start_follower(
+        f1_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        fast_replica(relay.addr(), 0),
+    )
+    .unwrap();
+    let mut probe = LtamClient::connect(&follower1.local_addr().to_string()).unwrap();
+
+    let half = n / 2;
+    let mut loader = LtamClient::connect(&primary.local_addr().to_string()).unwrap();
+    for chunk in trace.events[..half].chunks(64) {
+        loader.ingest(chunk).unwrap();
+    }
+    probe
+        .wait_for_watermark(half as u64, Duration::from_secs(20))
+        .unwrap();
+
+    // The administrator edits the policy: stop the primary, apply the
+    // edit as one durable epoch swap, bring it back.
+    let mut engine = primary.abort().unwrap();
+    engine.update_policy(|_| ()).unwrap();
+    assert_eq!(engine.policy_epoch(), 1);
+    let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    relay.set_upstream(&primary.local_addr().to_string());
+
+    // The follower sees the new epoch and parks — watermark frozen at
+    // its pre-swap value, reads still served, nothing applied from the
+    // foreign epoch.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let frozen = loop {
+        let replica = probe.status().unwrap().replica.unwrap();
+        if replica.state == ReplicaState::NeedsBootstrap {
+            break replica.watermark;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never parked on the epoch swap: {replica:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(frozen >= half as u64);
+    assert_monotone(&mut probe, frozen, "while parked");
+    drop(follower1.abort().unwrap());
+
+    // Re-bootstrap onto the new epoch with the frozen watermark as the
+    // floor; finish the trace and converge.
+    let f2_dir = ScratchDir::new("epoch-follower2");
+    let f2_engine = bootstrap_follower(f2_dir.path(), relay.addr(), follower_store()).unwrap();
+    assert_eq!(
+        f2_engine.policy_epoch(),
+        1,
+        "bootstrap lands on the new epoch"
+    );
+    let follower2 = Server::start_follower(
+        f2_engine,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        fast_replica(relay.addr(), frozen),
+    )
+    .unwrap();
+    let mut probe = LtamClient::connect(&follower2.local_addr().to_string()).unwrap();
+    let mut last = assert_monotone(&mut probe, frozen, "first sample on the new epoch");
+
+    let mut loader = LtamClient::connect(&primary.local_addr().to_string()).unwrap();
+    for chunk in trace.events[half..].chunks(64) {
+        loader.ingest(chunk).unwrap();
+        last = assert_monotone(&mut probe, last, "while catching up on the new epoch");
+    }
+    loader.ingest(&[final_tick]).unwrap();
+    probe
+        .wait_for_watermark(n as u64 + 1, Duration::from_secs(30))
+        .unwrap();
+    assert_monotone(&mut probe, last, "after convergence");
+
+    // No divergence across the swap: digests match.
+    let p_status = LtamClient::connect(&primary.local_addr().to_string())
+        .unwrap()
+        .status()
+        .unwrap();
+    let f_status = probe.status().unwrap();
+    assert_eq!(f_status.state_digest, p_status.state_digest);
+    assert_eq!(f_status.replica.unwrap().primary_epoch, 1);
+
+    drop(follower2.abort().unwrap());
+    drop(primary.abort().unwrap());
+    relay.stop();
+}
