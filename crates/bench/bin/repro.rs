@@ -2,7 +2,7 @@
 //! *LTAM: A Location-Temporal Authorization Model* (Yu & Lim, SDM 2004).
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|all]
+//! repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|metrics|all]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs in paper order.
@@ -13,7 +13,9 @@
 //! bounded live state under history retention, the network serving
 //! tier under concurrent clients, and read-replica staleness with a
 //! mid-stream follower kill + re-bootstrap respectively; see each
-//! subcommand's `--help`.
+//! subcommand's `--help`. `metrics` is not an experiment at all: it
+//! scrapes a running server's metric registry over the wire
+//! (`docs/OPERATIONS.md` §7).
 
 use ltam_bench::{fig4_instance, ALICE};
 use ltam_core::decision::Decision;
@@ -49,6 +51,7 @@ fn main() {
         "retention" => retention(&args[1..]),
         "serve" => serve(&args[1..]),
         "replicate" => replicate(&args[1..]),
+        "metrics" => metrics(&args[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, authz, rules, section5, table2, scaling, baseline, planner,
@@ -69,13 +72,14 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|all]"
+                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|metrics|all]"
             );
             eprintln!("       repro throughput --help   # enforcement-throughput options");
             eprintln!("       repro durability --help   # crash-recovery drill options");
             eprintln!("       repro retention --help    # bounded-live-state drill options");
             eprintln!("       repro serve --help        # network serving drill options");
             eprintln!("       repro replicate --help    # read-replica drill options");
+            eprintln!("       repro metrics --help      # one-shot wire metrics scrape");
             std::process::exit(2);
         }
     }
@@ -1239,7 +1243,7 @@ fn retention(args: &[String]) {
 const SERVE_HELP: &str = "\
 usage: repro serve [--json] [--events N] [--subjects N] [--shards N]
                    [--clients N] [--batch N] [--pipeline N]
-                   [--poll-threads N]
+                   [--poll-threads N] [--no-metrics]
 
 Closed-loop drill for the ltam-serve network tier. Generates the
 canonical multi-shard trace WITHOUT interleaved clock ticks (a network
@@ -1253,9 +1257,12 @@ per connection (the server's group commit coalesces concurrent and
 pipelined batches into shared fsyncs). Reports request/event
 throughput, p50/p90/p99 round-trip latency and the fsync rate, then
 verifies OVER THE WIRE that the served violation multiset and sampled
-whereabouts equal an in-process run of the same trace. Exits non-zero
-on any client-side error, any server-counted protocol error, or any
-divergence.
+whereabouts equal an in-process run of the same trace. The drill also
+scrapes the server's metric registry through the KIND_METRICS frame
+and checks the exposition: grammar-valid, duplicate-free, core series
+present, and the scraped WAL-fsync counter exactly equal to the
+engine's own count. Exits non-zero on any client-side error, any
+server-counted protocol error, any divergence, or a bad scrape.
 
 options:
   --json           emit one machine-readable JSON object
@@ -1266,6 +1273,8 @@ options:
   --batch N        events per ingest request              [default 64]
   --pipeline N     ingest requests in flight per client   [default 4]
   --poll-threads N server event-loop threads              [default 1]
+  --no-metrics     disable timing spans (the overhead A/B knob;
+                   counters still record, histogram checks are skipped)
   --help           this text
 ";
 
@@ -1293,6 +1302,21 @@ struct ServeReport {
     violations: usize,
     violations_match: bool,
     whereabouts_match: bool,
+    metrics: ServeMetricsBlock,
+}
+
+/// The registry-sourced `metrics` block of [`ServeReport`]. Times are
+/// raw histogram units (microseconds); `-1` marks a value whose series
+/// never recorded (e.g. under `--no-metrics`).
+#[derive(serde::Serialize)]
+struct ServeMetricsBlock {
+    scrape_valid: bool,
+    fsync_count_exact: bool,
+    series: usize,
+    fsync_p50_us: i64,
+    fsync_p99_us: i64,
+    mean_group_events: f64,
+    backpressure_activations: u64,
 }
 
 /// Exit with a usage error for the serve subcommand.
@@ -1324,6 +1348,7 @@ fn serve(args: &[String]) {
     let mut batch = 64usize;
     let mut pipeline = 4usize;
     let mut poll_threads = 1usize;
+    let mut no_metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -1337,6 +1362,7 @@ fn serve(args: &[String]) {
         };
         match a.as_str() {
             "--json" => json = true,
+            "--no-metrics" => no_metrics = true,
             "--events" => events = parsed("--events", value("--events")) as usize,
             "--subjects" => subjects = parsed("--subjects", value("--subjects")) as usize,
             "--shards" => shards = parsed("--shards", value("--shards")) as usize,
@@ -1396,6 +1422,16 @@ fn serve(args: &[String]) {
         fsync: true,
         retention: None,
     };
+    // The overhead A/B knob: `--no-metrics` turns off timing spans
+    // process-wide before the drill. Counters still record (they are a
+    // handful of relaxed atomic adds), so the fsync-exactness check
+    // below stays meaningful either way.
+    ltam_obs::set_disabled(no_metrics);
+    // The registry is process-global and `repro all` runs WAL-touching
+    // drills earlier in this same process, so exactness is a DELTA
+    // against the counter's value before this store exists.
+    let fsyncs_base =
+        ltam_obs::counter_value(ltam_obs::registry(), "store_wal_fsyncs_total", &[]).unwrap_or(0);
     let (engine, _alerts) = ltam_store::DurableEngine::create(
         dir.path(),
         trace.build_policy_core(),
@@ -1445,6 +1481,73 @@ fn serve(args: &[String]) {
     let status = control.status().expect("served status");
     let drained = status.events_ingested == n_events as u64 + 1;
 
+    // Scrape the registry over the wire (KIND_METRICS) while every
+    // ingested batch is already durable: the fsync counter's delta
+    // since before this store existed must equal the status report's
+    // figure EXACTLY — the check that the instrumentation sits on the
+    // real fsync path rather than alongside it.
+    let scrape = control.metrics().expect("metrics scrape");
+    let expo = match ltam_obs::validate(&scrape) {
+        Ok(expo) => Some(expo),
+        Err(e) => {
+            eprintln!("metrics scrape rejected by validator: {e}");
+            None
+        }
+    };
+    let scrape_valid = expo.is_some();
+    let scraped_fsyncs = expo
+        .as_ref()
+        .and_then(|e| e.value("store_wal_fsyncs_total", &[]))
+        .unwrap_or(-1.0);
+    let fsync_count_exact = scraped_fsyncs >= 0.0
+        && (scraped_fsyncs as u64).saturating_sub(fsyncs_base) == status.wal_fsyncs;
+    // Core-series liveness: a drill that ingested tens of thousands of
+    // events must have left tracks in each tier's headline series.
+    let mut missing_series: Vec<&str> = Vec::new();
+    if let Some(expo) = &expo {
+        for name in [
+            "store_wal_records_total",
+            "store_group_commits_total",
+            "engine_decisions_total",
+            "serve_connections_total",
+        ] {
+            if expo.family_sum(name) <= 0.0 {
+                missing_series.push(name);
+            }
+        }
+        if !no_metrics {
+            for name in ["store_fsync_seconds", "serve_request_seconds"] {
+                if expo.family_sum(&format!("{name}_count")) <= 0.0 {
+                    missing_series.push(name);
+                }
+            }
+        }
+    }
+    let registry = ltam_obs::registry();
+    let fsync_hist = ltam_obs::histogram_snapshot(registry, "store_fsync_seconds", &[]);
+    let group_hist = ltam_obs::histogram_snapshot(registry, "store_group_events", &[]);
+    let metrics_block = ServeMetricsBlock {
+        scrape_valid,
+        fsync_count_exact,
+        series: expo.as_ref().map_or(0, |e| e.samples.len()),
+        fsync_p50_us: fsync_hist
+            .as_ref()
+            .filter(|h| h.count > 0)
+            .map_or(-1, |h| h.percentile(50.0) as i64),
+        fsync_p99_us: fsync_hist
+            .as_ref()
+            .filter(|h| h.count > 0)
+            .map_or(-1, |h| h.percentile(99.0) as i64),
+        mean_group_events: group_hist
+            .as_ref()
+            .filter(|h| h.count > 0)
+            .map_or(-1.0, |h| h.mean()),
+        backpressure_activations: ltam_obs::counter_family_sum(
+            registry,
+            "serve_backpressure_total",
+        ),
+    };
+
     // Stop without the parting snapshot: the store is scratch (deleted
     // on exit), so imaging + durably writing megabytes at teardown only
     // adds disk churn between back-to-back drills. The WAL alone makes
@@ -1486,6 +1589,7 @@ fn serve(args: &[String]) {
             violations: got.len(),
             violations_match,
             whereabouts_match,
+            metrics: metrics_block,
         };
         println!(
             "{}",
@@ -1519,6 +1623,16 @@ fn serve(args: &[String]) {
             got.len(),
             if whereabouts_match { "MATCH" } else { "MISMATCH" }
         );
+        println!(
+            "metrics: scrape {} ({} series); fsync count {}; fsync p50 {} us, p99 {} us; mean group {:.1} events; backpressure {}",
+            if metrics_block.scrape_valid { "VALID" } else { "INVALID" },
+            metrics_block.series,
+            if metrics_block.fsync_count_exact { "EXACT" } else { "MISMATCH" },
+            metrics_block.fsync_p50_us,
+            metrics_block.fsync_p99_us,
+            metrics_block.mean_group_events,
+            metrics_block.backpressure_activations
+        );
     }
     let mut failed = false;
     if load.errors > 0 || status.protocol_errors > 0 {
@@ -1540,9 +1654,98 @@ fn serve(args: &[String]) {
         eprintln!("serve drill FAILED: served answers diverge from the in-process run");
         failed = true;
     }
+    if !scrape_valid {
+        eprintln!("serve drill FAILED: wire-scraped exposition is malformed");
+        failed = true;
+    }
+    if !fsync_count_exact {
+        eprintln!(
+            "serve drill FAILED: scraped store_wal_fsyncs_total delta {} != status wal_fsyncs {}",
+            if scraped_fsyncs >= 0.0 {
+                (scraped_fsyncs as u64)
+                    .saturating_sub(fsyncs_base)
+                    .to_string()
+            } else {
+                "absent".to_string()
+            },
+            status.wal_fsyncs
+        );
+        failed = true;
+    }
+    if !missing_series.is_empty() {
+        eprintln!("serve drill FAILED: core series silent or absent: {missing_series:?}");
+        failed = true;
+    }
+    // Leave the process-global knob as we found it for `repro all`.
+    ltam_obs::set_disabled(false);
     if failed {
         std::process::exit(1);
     }
+}
+
+const METRICS_HELP: &str = "\
+usage: repro metrics --addr HOST:PORT
+
+Scrape a running ltam-serve server's metric registry over the wire
+(the KIND_METRICS frame), validate the exposition against the text
+grammar (including duplicate-series rejection), and print it to
+stdout. Point any text-format-speaking collector at the same frame, or
+use this as a one-shot `curl` stand-in during incidents
+(docs/OPERATIONS.md section 7 builds its checklist on these series).
+
+options:
+  --addr HOST:PORT  server address to scrape                 [required]
+  --help            this text
+";
+
+/// Exit with a usage error for the metrics subcommand.
+fn metrics_usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{METRICS_HELP}");
+    std::process::exit(2);
+}
+
+/// One-shot wire scrape of a running server's registry.
+fn metrics(args: &[String]) {
+    use ltam_serve::LtamClient;
+
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .unwrap_or_else(|| metrics_usage_error("--addr needs a value"))
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => {
+                print!("{METRICS_HELP}");
+                return;
+            }
+            other => metrics_usage_error(&format!("unknown metrics option {other:?}")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| metrics_usage_error("--addr is required"));
+    let mut client = match LtamClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("metrics: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let text = match client.metrics() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metrics: scrape failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = ltam_obs::validate(&text) {
+        eprintln!("metrics: exposition failed validation: {e}");
+        std::process::exit(1);
+    }
+    print!("{text}");
 }
 
 const REPLICATE_HELP: &str = "\
@@ -1597,6 +1800,20 @@ struct ReplicateReport {
     whereabouts_match: bool,
     state_digest_match: bool,
     write_refused_with_redirect: bool,
+    metrics: ReplicateMetricsBlock,
+}
+
+/// The registry-sourced `metrics` block of [`ReplicateReport`].
+/// `lag_events_after_converge` is the follower's wire-scraped
+/// `repl_lag_events` gauge AFTER `wait_for_watermark` returned — the
+/// drill requires exactly 0; `-1` marks an absent series. Fetch time
+/// is raw histogram units (microseconds).
+#[derive(serde::Serialize)]
+struct ReplicateMetricsBlock {
+    scrape_valid: bool,
+    lag_events_after_converge: i64,
+    fetch_p50_us: i64,
+    state_transitions: u64,
 }
 
 /// Exit with a usage error for the replicate subcommand.
@@ -1853,6 +2070,34 @@ fn replicate(args: &[String]) {
 
     let roles_ok = p_status.role == ServerRole::Primary && f_status.role == ServerRole::Follower;
 
+    // Scrape the follower over the wire: its `repl_lag_events` gauge is
+    // refreshed from monotone atomics at every watermark publish, so
+    // once `wait_for_watermark` has returned it must read EXACTLY 0 —
+    // convergence as the metrics layer tells it, not just as the drill
+    // measured it. (Both servers share this process's registry; the
+    // scrape goes through the follower's own KIND_METRICS path anyway
+    // to exercise the frame.)
+    let f_scrape = f_probe.metrics().expect("follower metrics scrape");
+    let (lag_scrape_valid, lag_after_converge) = match ltam_obs::validate(&f_scrape) {
+        Ok(expo) => (
+            true,
+            expo.value("repl_lag_events", &[]).map_or(-1, |v| v as i64),
+        ),
+        Err(e) => {
+            eprintln!("follower metrics scrape rejected by validator: {e}");
+            (false, -1)
+        }
+    };
+    let registry = ltam_obs::registry();
+    let repl_metrics = ReplicateMetricsBlock {
+        scrape_valid: lag_scrape_valid,
+        lag_events_after_converge: lag_after_converge,
+        fetch_p50_us: ltam_obs::histogram_snapshot(registry, "repl_fetch_seconds", &[])
+            .filter(|h| h.count > 0)
+            .map_or(-1, |h| h.percentile(50.0) as i64),
+        state_transitions: ltam_obs::counter_family_sum(registry, "repl_state_transitions_total"),
+    };
+
     drop(follower2.abort().expect("stop follower 2"));
     drop(f2_dir);
     drop(primary.abort().expect("stop primary"));
@@ -1888,6 +2133,7 @@ fn replicate(args: &[String]) {
             whereabouts_match,
             state_digest_match,
             write_refused_with_redirect,
+            metrics: repl_metrics,
         };
         println!(
             "{}",
@@ -1921,10 +2167,27 @@ fn replicate(args: &[String]) {
                 "NOT refused correctly"
             }
         );
+        println!(
+            "metrics: scrape {}; repl_lag_events after convergence {}; fetch p50 {} us; {} state transitions",
+            if repl_metrics.scrape_valid { "VALID" } else { "INVALID" },
+            repl_metrics.lag_events_after_converge,
+            repl_metrics.fetch_p50_us,
+            repl_metrics.state_transitions
+        );
     }
     let mut failed = false;
     if !violations_match || !whereabouts_match || !state_digest_match {
         eprintln!("replicate drill FAILED: follower diverges from the primary/reference");
+        failed = true;
+    }
+    if !lag_scrape_valid {
+        eprintln!("replicate drill FAILED: follower exposition is malformed");
+        failed = true;
+    }
+    if lag_after_converge != 0 {
+        eprintln!(
+            "replicate drill FAILED: scraped repl_lag_events is {lag_after_converge}, expected 0 after convergence"
+        );
         failed = true;
     }
     if !watermark_monotone {

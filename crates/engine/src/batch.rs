@@ -370,13 +370,34 @@ fn apply_event(
     }
 }
 
+/// Static label values for per-shard series, so worker threads never
+/// allocate (or leak) label strings. Shard counts beyond the table
+/// share one overflow bucket — per-shard resolution matters most at
+/// the small counts the throughput experiments sweep.
+const SHARD_LABELS: [&str; 16] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
+
+fn shard_label(shard: usize) -> &'static str {
+    SHARD_LABELS.get(shard).copied().unwrap_or("16+")
+}
+
 fn worker_loop(shard: usize, state: Arc<Mutex<ShardState>>, jobs: Receiver<Job>) {
+    // One registry lookup per worker thread; the loop then records
+    // through the cached handle only.
+    let batch_seconds = ltam_obs::registry().histogram(
+        "engine_shard_batch_seconds",
+        &[("shard", shard_label(shard))],
+        "Time one shard spent applying its slice of an ingest batch",
+        ltam_obs::Unit::SecondsFromMicros,
+    );
     while let Ok(Job::Batch {
         epoch,
         events,
         done,
     }) = jobs.recv()
     {
+        let started = (!ltam_obs::disabled()).then(std::time::Instant::now);
         let policy = epoch.view();
         let mut out = ShardOutcome::default();
         let mut guard = state.lock();
@@ -384,6 +405,9 @@ fn worker_loop(shard: usize, state: Arc<Mutex<ShardState>>, jobs: Receiver<Job>)
             apply_event(&mut guard, &policy, e, &mut out);
         }
         drop(guard);
+        if let Some(started) = started {
+            batch_seconds.observe(started.elapsed().as_micros() as u64);
+        }
         // The coordinator may have been dropped mid-batch; nothing to do.
         let _ = done.send((shard, out));
     }
@@ -638,6 +662,18 @@ impl ShardedEngine {
             outcome.denied += out.denied;
             outcome.violations.extend(out.violations);
         }
+        ltam_obs::counter!(
+            "engine_decisions_total",
+            "Access-request decisions, by outcome",
+            "outcome" => "granted"
+        )
+        .inc_by(outcome.granted as u64);
+        ltam_obs::counter!(
+            "engine_decisions_total",
+            "Access-request decisions, by outcome",
+            "outcome" => "denied"
+        )
+        .inc_by(outcome.denied as u64);
         for &v in &outcome.violations {
             self.alert(v);
         }
@@ -645,6 +681,11 @@ impl ShardedEngine {
     }
 
     fn alert(&self, violation: Violation) {
+        ltam_obs::counter!(
+            "engine_alerts_total",
+            "Violation alerts forwarded to the security desk"
+        )
+        .inc();
         let alert = Alert {
             violation,
             seq: self.alert_seq.fetch_add(1, Ordering::Relaxed),
@@ -658,8 +699,24 @@ impl ShardedEngine {
     pub fn request_enter(&self, t: Time, subject: SubjectId, location: LocationId) -> Decision {
         let epoch = self.policy.read().clone();
         let idx = shard_of(subject, self.shards.len());
-        let mut state = self.shards[idx].lock();
-        state.request_enter(&epoch.view(), t, subject, location)
+        let decision = {
+            let mut state = self.shards[idx].lock();
+            state.request_enter(&epoch.view(), t, subject, location)
+        };
+        let outcome_counter = match decision {
+            Decision::Granted { .. } => ltam_obs::counter!(
+                "engine_decisions_total",
+                "Access-request decisions, by outcome",
+                "outcome" => "granted"
+            ),
+            Decision::Denied { .. } => ltam_obs::counter!(
+                "engine_decisions_total",
+                "Access-request decisions, by outcome",
+                "outcome" => "denied"
+            ),
+        };
+        outcome_counter.inc();
+        decision
     }
 
     /// Process one observed entry inline. Returns the violation raised,

@@ -1,0 +1,554 @@
+//! Text exposition: encode the registry in the Prometheus text format,
+//! and parse that format back.
+//!
+//! The parser is not vestigial: it is how the serve drill and the CI
+//! smoke *validate* a wire scrape (every line parses, no duplicate
+//! series, expected series present), and how `repro metrics` turns a
+//! remote server's bytes into something greppable. Encoder and parser
+//! living together keeps them honest — the round-trip proptest feeds
+//! arbitrary registries through both.
+
+use crate::metric::HistogramSnapshot;
+use crate::registry::{Metric, MetricKind, Registry, Series};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render `registry` in the Prometheus text exposition format:
+/// `# HELP` / `# TYPE` per family, one sample line per series, and for
+/// histograms the cumulative `_bucket{le=…}` / `_sum` / `_count`
+/// triple. Families appear in name order; output is deterministic for
+/// a given registry state.
+pub fn encode_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut described: Option<&str> = None;
+    registry.for_each(|series| {
+        if described != Some(series.name) {
+            let kind = match series.metric.kind() {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", series.name, escape_help(series.help));
+            let _ = writeln!(out, "# TYPE {} {}", series.name, kind);
+            described = Some(series.name);
+        }
+        encode_series(&mut out, series);
+    });
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format one `{k="v",…}` block; extra pairs are appended after the
+/// series' own labels (used for a histogram's `le`).
+fn label_block(labels: &[(&str, &str)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(&v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Format an exposition value: integers stay integral, everything else
+/// gets enough digits to round-trip.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn encode_series(out: &mut String, series: &Series) {
+    let labels = &series.labels;
+    match &series.metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                series.name,
+                label_block(labels, None),
+                c.get()
+            );
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                series.name,
+                label_block(labels, None),
+                g.get()
+            );
+        }
+        Metric::Histogram(h) => {
+            let snap = h.snapshot();
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let le = series.unit.scale(crate::metric::bucket_upper_bound(i));
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    series.name,
+                    label_block(labels, Some(("le", fmt_value(le)))),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                series.name,
+                label_block(labels, Some(("le", "+Inf".to_string()))),
+                snap.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                series.name,
+                label_block(labels, None),
+                fmt_value(series.unit.scale(snap.sum))
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                series.name,
+                label_block(labels, None),
+                snap.count
+            );
+        }
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+/// Why an exposition text failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpoError {
+    /// A line matched no production of the grammar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The same (name, labels) sample appeared twice.
+    DuplicateSeries {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The offending sample identity.
+        series: String,
+    },
+}
+
+impl std::fmt::Display for ExpoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpoError::Malformed { line, reason } => {
+                write!(f, "exposition line {line}: {reason}")
+            }
+            ExpoError::DuplicateSeries { line, series } => {
+                write!(f, "exposition line {line}: duplicate series {series}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpoError {}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name as written (`family`, `family_bucket`, …).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// The numeric value (`+Inf` parses as `f64::INFINITY`).
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → kind string.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations: family name → help text.
+    pub helps: BTreeMap<String, String>,
+    /// Every sample line, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of the sample with exactly `name` and `labels`
+    /// (order-insensitive). `None` when absent.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut wanted: Vec<(&str, &str)> = labels.to_vec();
+        wanted.sort_unstable();
+        self.samples.iter().find_map(|s| {
+            if s.name != name || s.labels.len() != wanted.len() {
+                return None;
+            }
+            let mut have: Vec<(&str, &str)> = s
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            have.sort_unstable();
+            (have == wanted).then_some(s.value)
+        })
+    }
+
+    /// Sum of every sample of `name` across all label sets — e.g. the
+    /// total of a counter family partitioned by a label.
+    pub fn family_sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse `label="value",…` (the inside of a label block). `pos` is the
+/// line number for errors.
+fn parse_labels(body: &str, pos: usize) -> Result<Vec<(String, String)>, ExpoError> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.trim_start_matches(',').trim_start();
+        if rest.is_empty() {
+            return Ok(labels);
+        }
+        let eq = rest.find('=').ok_or_else(|| ExpoError::Malformed {
+            line: pos,
+            reason: format!("label without '=': {rest:?}"),
+        })?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(ExpoError::Malformed {
+                line: pos,
+                reason: format!("bad label name {key:?}"),
+            });
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(ExpoError::Malformed {
+                line: pos,
+                reason: "label value must be quoted".to_string(),
+            });
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => {
+                        return Err(ExpoError::Malformed {
+                            line: pos,
+                            reason: "dangling escape in label value".to_string(),
+                        })
+                    }
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| ExpoError::Malformed {
+            line: pos,
+            reason: "unterminated label value".to_string(),
+        })?;
+        labels.push((key, value));
+        rest = &rest[1 + end + 1..];
+    }
+}
+
+/// Parse an exposition document, enforcing the grammar but not
+/// duplicate-freedom (see [`validate`]).
+pub fn parse_text(text: &str) -> Result<Exposition, ExpoError> {
+    let mut out = Exposition::default();
+    for (i, line) in text.lines().enumerate() {
+        let pos = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let (name, kind) = decl.split_once(' ').ok_or_else(|| ExpoError::Malformed {
+                    line: pos,
+                    reason: "TYPE needs a name and a kind".to_string(),
+                })?;
+                if !valid_name(name) {
+                    return Err(ExpoError::Malformed {
+                        line: pos,
+                        reason: format!("bad family name {name:?}"),
+                    });
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(ExpoError::Malformed {
+                        line: pos,
+                        reason: format!("unknown metric type {kind:?}"),
+                    });
+                }
+                out.types.insert(name.to_string(), kind.to_string());
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let (name, help) = decl.split_once(' ').unwrap_or((decl, ""));
+                if !valid_name(name) {
+                    return Err(ExpoError::Malformed {
+                        line: pos,
+                        reason: format!("bad family name {name:?}"),
+                    });
+                }
+                out.helps.insert(name.to_string(), help.to_string());
+            }
+            // Other comments are permitted and ignored.
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+        // Sample: name[{labels}] value
+        let (ident, value_str) = match line.find('{') {
+            Some(open) => {
+                let close = line.rfind('}').ok_or_else(|| ExpoError::Malformed {
+                    line: pos,
+                    reason: "unterminated label block".to_string(),
+                })?;
+                if close < open {
+                    return Err(ExpoError::Malformed {
+                        line: pos,
+                        reason: "'}' before '{'".to_string(),
+                    });
+                }
+                (
+                    (&line[..open], Some(&line[open + 1..close])),
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let (name, value) =
+                    line.split_once(char::is_whitespace)
+                        .ok_or_else(|| ExpoError::Malformed {
+                            line: pos,
+                            reason: "sample needs a value".to_string(),
+                        })?;
+                ((name, None), value.trim())
+            }
+        };
+        let (name, label_body) = ident;
+        if !valid_name(name) {
+            return Err(ExpoError::Malformed {
+                line: pos,
+                reason: format!("bad sample name {name:?}"),
+            });
+        }
+        let labels = match label_body {
+            Some(body) => parse_labels(body, pos)?,
+            None => Vec::new(),
+        };
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            other => other.parse().map_err(|_| ExpoError::Malformed {
+                line: pos,
+                reason: format!("bad sample value {other:?}"),
+            })?,
+        };
+        out.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse **and** reject duplicate series — the CI smoke's grammar
+/// check. A duplicate is two samples with the same name and the same
+/// label set (order-insensitive).
+pub fn validate(text: &str) -> Result<Exposition, ExpoError> {
+    let expo = parse_text(text)?;
+    let mut seen: BTreeMap<(String, Vec<(String, String)>), usize> = BTreeMap::new();
+    for (idx, sample) in expo.samples.iter().enumerate() {
+        let mut labels = sample.labels.clone();
+        labels.sort();
+        let key = (sample.name.clone(), labels);
+        if seen.insert(key, idx).is_some() {
+            // `line` counts samples, not raw lines — close enough to
+            // point an operator at the offender.
+            return Err(ExpoError::DuplicateSeries {
+                line: idx + 1,
+                series: format!("{}{:?}", sample.name, sample.labels),
+            });
+        }
+    }
+    Ok(expo)
+}
+
+/// Percentile of a registered histogram series (raw-unit value, e.g.
+/// microseconds for `SecondsFromMicros` series) read straight from the
+/// registry — the in-process path drill reports use.
+pub fn histogram_snapshot(
+    registry: &Registry,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<HistogramSnapshot> {
+    registry.find(name, labels).and_then(|s| match &s.metric {
+        Metric::Histogram(h) => Some(h.snapshot()),
+        _ => None,
+    })
+}
+
+/// A registered counter's value, or `None` if it never fired.
+pub fn counter_value(registry: &Registry, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+    registry.find(name, labels).and_then(|s| match &s.metric {
+        Metric::Counter(c) => Some(c.get()),
+        _ => None,
+    })
+}
+
+/// A registered gauge's value, or `None` if it was never set.
+pub fn gauge_value(registry: &Registry, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+    registry.find(name, labels).and_then(|s| match &s.metric {
+        Metric::Gauge(g) => Some(g.get()),
+        _ => None,
+    })
+}
+
+/// Sum a counter family across every label set (e.g. all `code=` arms
+/// of a refusal counter).
+pub fn counter_family_sum(registry: &Registry, name: &str) -> u64 {
+    let mut total = 0u64;
+    registry.for_each(|s| {
+        if s.name == name {
+            if let Metric::Counter(c) = &s.metric {
+                total += c.get();
+            }
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{registry, Unit};
+
+    #[test]
+    fn encode_then_validate_round_trips() {
+        let r = registry();
+        r.counter("obs_expo_requests_total", &[("kind", "ingest")], "Requests")
+            .inc_by(5);
+        r.counter("obs_expo_requests_total", &[("kind", "query")], "Requests")
+            .inc_by(2);
+        r.gauge("obs_expo_depth", &[], "Depth").set(-3);
+        r.histogram(
+            "obs_expo_lat_seconds",
+            &[],
+            "Latency",
+            Unit::SecondsFromMicros,
+        )
+        .observe(1500);
+        let text = encode_text(r);
+        let expo = validate(&text).expect("validates");
+        assert_eq!(
+            expo.value("obs_expo_requests_total", &[("kind", "ingest")]),
+            Some(5.0)
+        );
+        assert_eq!(expo.family_sum("obs_expo_requests_total"), 7.0);
+        assert_eq!(expo.value("obs_expo_depth", &[]), Some(-3.0));
+        assert_eq!(expo.value("obs_expo_lat_seconds_count", &[]), Some(1.0));
+        assert_eq!(
+            expo.types.get("obs_expo_depth").map(String::as_str),
+            Some("gauge")
+        );
+        // The histogram sum was rescaled micros -> seconds.
+        let sum = expo.value("obs_expo_lat_seconds_sum", &[]).unwrap();
+        assert!((sum - 0.0015).abs() < 1e-9, "sum {sum}");
+        // The +Inf bucket is present.
+        assert_eq!(
+            expo.value("obs_expo_lat_seconds_bucket", &[("le", "+Inf")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(matches!(
+            parse_text("9bad_name 1"),
+            Err(ExpoError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_text("name_without_value"),
+            Err(ExpoError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_text("x{k=\"unterminated} 1"),
+            Err(ExpoError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_text("x 1.2.3"),
+            Err(ExpoError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_text("# TYPE x flimsy"),
+            Err(ExpoError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_rejected_order_insensitively() {
+        let text = "a{x=\"1\",y=\"2\"} 1\na{y=\"2\",x=\"1\"} 2\n";
+        assert!(matches!(
+            validate(text),
+            Err(ExpoError::DuplicateSeries { .. })
+        ));
+        // Different label values are distinct series.
+        assert!(validate("a{x=\"1\"} 1\na{x=\"2\"} 2\n").is_ok());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let text = format!("m{{k=\"{}\"}} 1\n", "a\\\\b\\\"c\\nd");
+        let expo = parse_text(&text).unwrap();
+        assert_eq!(expo.samples[0].labels[0].1, "a\\b\"c\nd");
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+}

@@ -1,0 +1,332 @@
+//! The three metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are plain clusters of atomics — no locks, no allocation on
+//! the hot path — so instrumenting the group-commit thread or a poll
+//! loop costs a handful of uncontended `fetch_add`s. Reading is
+//! snapshot-based: [`Histogram::snapshot`] copies the bucket array once
+//! and every derived statistic (percentiles, mean, merge) is computed
+//! on the immutable copy, so scrapes never pause writers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move in both directions (queue depths, lags).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-linear bucket layout: values 0..3 get exact buckets, then every
+/// power-of-two octave is split into 4 sub-buckets, so any recorded
+/// value is over-estimated by at most 25% by its bucket's upper bound.
+/// 62 octaves × 4 cover the full `u64` range in [`BUCKETS`] slots.
+pub const BUCKETS: usize = 252;
+
+/// The bucket a value lands in. Total over all of `u64`: every value
+/// maps to exactly one index below [`BUCKETS`].
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        (msb - 2) * 4 + ((v >> (msb - 2)) & 7) as usize
+    }
+}
+
+/// The largest value that lands in bucket `i` (the bucket's inclusive
+/// upper bound) — the "exact bound" percentile estimation quotes.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i < 4 {
+        i as u64
+    } else if i == BUCKETS - 1 {
+        // The top bucket's nominal bound (8 << 61) is one past u64.
+        u64::MAX
+    } else {
+        // Bucket i >= 4 covers [(i%4 + 4) << (i/4 - 1), (i%4 + 5) << (i/4 - 1)).
+        let (octave, sub) = (i / 4, (i % 4) as u64);
+        ((sub + 5) << (octave - 1)) - 1
+    }
+}
+
+/// A fixed-bucket log-scale histogram of `u64` samples.
+///
+/// Recording is one relaxed `fetch_add` into the value's bucket plus
+/// count/sum/min/max updates; there is no dynamic range configuration
+/// to get wrong because the layout covers all of `u64`. Time series
+/// record **microseconds** and declare [`crate::Unit::SecondsFromMicros`] at
+/// registration so the exposition layer rescales (§ the `expo` module).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for percentile math and merging. Buckets
+    /// are read individually (not under a lock), so a snapshot taken
+    /// concurrently with writers may be mid-sample — fine for
+    /// monitoring, and the totals are self-consistent enough that
+    /// `percentile` never indexes out of range.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state: mergeable (for
+/// cross-shard or cross-scrape aggregation) and the basis for
+/// percentile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples (always the bucket sum).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge another snapshot into this one. Associative and
+    /// commutative: merging per-replica scrapes in any order yields the
+    /// same aggregate (the proptests pin this down).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        // Wrapping, matching the atomic `fetch_add` in `observe`: the
+        // sum of arbitrary u64 samples can exceed u64 either way.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at percentile `p` (0–100): the upper bound of the
+    /// bucket holding the p-th sample, clamped into `[min, max]` so
+    /// the estimate never leaves the recorded range. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact — from the true
+    /// sum, not the buckets). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's upper bound maps back into that bucket, and
+        // the value one past it maps into the next.
+        for i in 0..BUCKETS {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_of(ub), i, "upper bound of bucket {i}");
+            if ub < u64::MAX {
+                assert_eq!(bucket_of(ub + 1), i + 1, "successor of bucket {i}");
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bound_overestimates_by_at_most_a_quarter() {
+        for v in [4u64, 5, 100, 1000, 12345, 1 << 30, u64::MAX / 3] {
+            let ub = bucket_upper_bound(bucket_of(v));
+            assert!(ub >= v);
+            assert!((ub - v) as f64 <= v as f64 * 0.25, "{v} -> {ub}");
+        }
+    }
+
+    #[test]
+    fn percentiles_land_on_exact_small_values() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            for _ in 0..25 {
+                h.observe(v);
+            }
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.percentile(25.0), 0);
+        assert_eq!(s.percentile(50.0), 1);
+        assert_eq!(s.percentile(100.0), 3);
+        assert_eq!(s.mean(), 1.5);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(10);
+        a.observe(20);
+        b.observe(5000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 5030);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 5000);
+        assert!(s.percentile(99.0) >= 5000 / 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.inc_by(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the histogram and the exposition codec — the
+//! observability layer's correctness floor:
+//!
+//! * **bucket totality**: every `u64` maps to exactly one bucket whose
+//!   bounds actually contain it;
+//! * **merge associativity/commutativity**: aggregating per-replica
+//!   snapshots gives one answer regardless of merge order;
+//! * **percentile bounds**: the estimate never leaves `[min, max]` of
+//!   what was recorded and is monotone in `p`;
+//! * **exposition round-trip**: whatever the registry holds, the
+//!   encoded text re-parses, validates duplicate-free, and reproduces
+//!   every counter value exactly.
+
+use ltam_obs::{
+    bucket_of, bucket_upper_bound, encode_text, validate, Histogram, HistogramSnapshot, BUCKETS,
+};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_totality(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(i < BUCKETS);
+        // The bucket's bounds contain the value: upper bound of the
+        // previous bucket is strictly below, own upper bound at or
+        // above.
+        prop_assert!(bucket_upper_bound(i) >= v);
+        if i > 0 {
+            prop_assert!(bucket_upper_bound(i - 1) < v);
+        }
+    }
+
+    #[test]
+    fn bucket_bound_relative_error_is_bounded(v in 1u64..=u64::MAX) {
+        let ub = bucket_upper_bound(bucket_of(v));
+        // Log-linear with 4 sub-buckets: at most 25% over-estimation.
+        prop_assert!(ub as f64 <= v as f64 * 1.25);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+        c in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a + (b + c), built by merging into b's copy first
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        // c + b + a
+        let mut rev = sc;
+        rev.merge(&sb);
+        rev.merge(&sa);
+        prop_assert_eq!(&left, &rev);
+        // And the merge equals recording everything in one histogram.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn percentiles_stay_inside_recorded_range(
+        samples in prop::collection::vec(any::<u64>(), 1..128),
+        p in 0.0f64..=100.0,
+    ) {
+        let s = snapshot_of(&samples);
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        let est = s.percentile(p);
+        prop_assert!(est >= lo, "p{p}: {est} < min {lo}");
+        prop_assert!(est <= hi, "p{p}: {est} > max {hi}");
+        // Monotone in p.
+        prop_assert!(s.percentile(100.0) >= est);
+        prop_assert!(est >= s.percentile(0.0));
+    }
+
+    #[test]
+    fn exposition_reproduces_counters_exactly(
+        entries in prop::collection::vec((0usize..8, 0u64..1_000_000), 1..8),
+    ) {
+        let series: std::collections::BTreeMap<usize, u64> = entries.into_iter().collect();
+        // Label every series off one family so repeated test cases
+        // reuse (not duplicate) registry entries; values accumulate
+        // across cases, which the assertion below accounts for by
+        // reading back the live registry, not the inputs.
+        const KEYS: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        for (&idx, &n) in &series {
+            ltam_obs::registry()
+                .counter("obs_prop_counter_total", &[("k", KEYS[idx])], "prop")
+                .inc_by(n);
+        }
+        let text = encode_text(ltam_obs::registry());
+        let expo = validate(&text).expect("encoded registry validates");
+        for &idx in series.keys() {
+            let live = ltam_obs::counter_value(
+                ltam_obs::registry(),
+                "obs_prop_counter_total",
+                &[("k", KEYS[idx])],
+            )
+            .unwrap();
+            let scraped = expo
+                .value("obs_prop_counter_total", &[("k", KEYS[idx])])
+                .expect("series present in scrape");
+            prop_assert_eq!(scraped, live as f64);
+        }
+    }
+}

@@ -347,6 +347,17 @@ impl LtamClient {
         }
     }
 
+    /// Scrape the server's metric registry: the Prometheus-style text
+    /// exposition of every series the process has registered (parse it
+    /// with `ltam_obs::parse_text`, or check it with
+    /// `ltam_obs::validate`).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
     // --- watermark awareness ------------------------------------------------
 
     /// The server's read watermark: the WAL sequence its answers cover.

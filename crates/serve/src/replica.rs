@@ -134,10 +134,41 @@ impl ReplicaShared {
     /// `fetch_max`, so monotonicity survives any interleaving).
     fn publish(&self, applied: u64) {
         self.watermark.fetch_max(applied, Ordering::AcqRel);
+        self.publish_lag();
+    }
+
+    /// Refresh the `repl_lag_events` gauge from the two published
+    /// counters. Called from both sides of the race (watermark rises,
+    /// primary advances) so the gauge tracks whichever moved last.
+    fn publish_lag(&self) {
+        let primary = self.primary_applied.load(Ordering::Acquire);
+        let applied = self.watermark.load(Ordering::Acquire);
+        let lag = primary.saturating_sub(applied).min(i64::MAX as u64) as i64;
+        ltam_obs::gauge!(
+            "repl_lag_events",
+            "Events the primary has applied that this follower has not (its replication lag)"
+        )
+        .set(lag);
     }
 
     fn set_state(&self, state: u8, error: Option<String>) {
-        self.state.store(state, Ordering::Release);
+        let prev = self.state.swap(state, Ordering::AcqRel);
+        if prev != state {
+            let name = match state {
+                STATE_STREAMING => "streaming",
+                STATE_DISCONNECTED => "disconnected",
+                STATE_NEEDS_BOOTSTRAP => "needs_bootstrap",
+                _ => "catching_up",
+            };
+            // Transitions are rare; the per-call registry lock is fine.
+            ltam_obs::registry()
+                .counter(
+                    "repl_state_transitions_total",
+                    &[("state", name)],
+                    "Replication-loop state transitions, by the state entered",
+                )
+                .inc();
+        }
         if error.is_some() || state == STATE_STREAMING || state == STATE_CATCHING_UP {
             *self.last_error.lock() = error;
         }
@@ -254,6 +285,11 @@ pub fn bootstrap_follower(
             "bootstrapped archive chain does not scan: {e}"
         )));
     }
+    ltam_obs::counter!(
+        "repl_bootstraps_total",
+        "Successful follower bootstraps performed by this process"
+    )
+    .inc();
     Ok(engine)
 }
 
@@ -310,6 +346,7 @@ pub(crate) fn replicate_loop(
         shared
             .primary_applied
             .fetch_max(manifest.applied, Ordering::AcqRel);
+        shared.publish_lag();
         shared
             .primary_epoch
             .store(manifest.policy_epoch, Ordering::Release);
@@ -355,11 +392,18 @@ pub(crate) fn replicate_loop(
                 let s = scanner.as_ref().expect("scanner positioned above");
                 (s.segment(), s.offset())
             };
-            let chunk = match c.repl_fetch(
-                ReplFileId::WalSegment { first_seq: segment },
-                offset,
-                config.chunk_bytes,
-            ) {
+            let fetched = {
+                let _span = ltam_obs::timed!(
+                    "repl_fetch_seconds",
+                    "Round-trip time of one WAL chunk fetch from the primary"
+                );
+                c.repl_fetch(
+                    ReplFileId::WalSegment { first_seq: segment },
+                    offset,
+                    config.chunk_bytes,
+                )
+            };
+            let chunk = match fetched {
                 Ok(chunk) => chunk,
                 Err(ClientError::Server {
                     code: ErrorCode::Gone,
@@ -394,6 +438,7 @@ pub(crate) fn replicate_loop(
             shared
                 .primary_applied
                 .fetch_max(chunk.meta.applied, Ordering::AcqRel);
+            shared.publish_lag();
             let step = scanner.as_mut().expect("scanner positioned above").apply(
                 &chunk.bytes,
                 chunk.meta.file_len,

@@ -195,6 +195,9 @@ struct Shared {
     /// Present iff this server is a follower: the replication loop's
     /// published face (watermark, lag, state).
     replica: Option<Arc<ReplicaShared>>,
+    /// When `start_inner` ran — the zero of `uptime_chronons` in
+    /// status reports.
+    started: Instant,
 }
 
 /// A running LTAM server. Dropping it without calling
@@ -289,6 +292,7 @@ impl Server {
                 ServerRole::Primary
             },
             replica: replica_shared.clone(),
+            started: Instant::now(),
         });
         let polls = pollers
             .into_iter()
@@ -466,9 +470,20 @@ fn poll_loop(
         }
     }
     let tick = shared.config.read_timeout.min(Duration::from_millis(100));
+    // One registry lookup per poll thread, before the hot loop.
+    let wakeups = ltam_obs::counter!(
+        "serve_poll_wakeups_total",
+        "Poll-loop passes (epoll returns, timer ticks, and waker pokes)"
+    );
+    let iteration = ltam_obs::histogram!(
+        "serve_poll_iteration_seconds",
+        "Work done per poll-loop pass, from epoll return to going back to sleep",
+        SecondsFromMicros
+    );
     loop {
         let _ = poll.poll(&mut events, Some(tick));
         let now = Instant::now();
+        wakeups.inc();
         let shutting = shared.shutdown.load(Ordering::SeqCst);
 
         // 1. Inbox first: handed-off connections and commit
@@ -581,6 +596,11 @@ fn poll_loop(
                 return;
             }
         }
+        // `now` was stamped right after the poll returned, so its age
+        // here is this pass's working time (sleep excluded).
+        if !ltam_obs::disabled() {
+            iteration.observe(now.elapsed().as_micros() as u64);
+        }
     }
 }
 
@@ -689,6 +709,11 @@ fn accept_all(
             .stats
             .connections_total
             .fetch_add(1, Ordering::SeqCst);
+        ltam_obs::counter!(
+            "serve_connections_total",
+            "Connections accepted and admitted (refusals are counted separately)"
+        )
+        .inc();
         let id = *next_conn_id;
         *next_conn_id += 1;
         shared.stats.per_connection.lock().insert(id, 0);
@@ -709,6 +734,7 @@ fn accept_all(
 /// from wedging the accept pass.
 fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
     shared.stats.refused_busy.fetch_add(1, Ordering::SeqCst);
+    refused("busy").inc();
     let _ = stream.set_write_timeout(Some(
         shared.config.read_timeout.max(Duration::from_millis(50)),
     ));
@@ -721,6 +747,17 @@ fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
         ),
     };
     let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+}
+
+/// The `serve_refused_total{code=...}` counter. Refusals are error
+/// paths, so the per-call registry lock is acceptable; `code` names
+/// the [`ErrorCode`] sent back, snake_cased.
+fn refused(code: &'static str) -> &'static ltam_obs::Counter {
+    ltam_obs::registry().counter(
+        "serve_refused_total",
+        &[("code", code)],
+        "Requests refused with an error frame, by error code",
+    )
 }
 
 /// Is this connection refusing further input? (Pipeline or write
@@ -769,6 +806,7 @@ fn read_input(
                     // Answer once (after anything already in flight),
                     // then close.
                     shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+                    refused("bad_request").inc();
                     push_response(
                         conn,
                         &Response::Error {
@@ -807,6 +845,7 @@ fn dispatch(
             // Framing was intact (CRC passed) but the body is not a
             // request: answer in-band and stay in sync.
             shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
+            refused("bad_request").inc();
             count_served(conn, shared);
             push_response(
                 conn,
@@ -820,13 +859,46 @@ fn dispatch(
         }
     };
     count_served(conn, shared);
+    ltam_obs::histogram!(
+        "serve_pipeline_depth",
+        "Response slots already in flight on the connection when a request arrives",
+        None
+    )
+    .observe(conn.pending.len() as u64);
     let (events, kind) = match request {
         Request::Query(query) => {
+            let _span = ltam_obs::timed!(
+                "serve_request_seconds",
+                "Server-side request latency by request kind (queries: decode to encoded \
+                 response; writes: decode to durable)",
+                "kind" => "query"
+            );
             push_response(conn, &answer_query(query, shared));
             return;
         }
         Request::Repl(repl) => {
+            let _span = ltam_obs::timed!(
+                "serve_request_seconds",
+                "Server-side request latency by request kind (queries: decode to encoded \
+                 response; writes: decode to durable)",
+                "kind" => "repl"
+            );
             answer_repl(conn, repl, shared);
+            return;
+        }
+        Request::Metrics => {
+            let _span = ltam_obs::timed!(
+                "serve_request_seconds",
+                "Server-side request latency by request kind (queries: decode to encoded \
+                 response; writes: decode to durable)",
+                "kind" => "metrics"
+            );
+            push_response(
+                conn,
+                &Response::Metrics {
+                    text: ltam_obs::encode_text(ltam_obs::registry()),
+                },
+            );
             return;
         }
         Request::Ingest(events) => (events, WriteKind::Ingest),
@@ -836,6 +908,7 @@ fn dispatch(
         // Followers are read-only: a write acked here would fork
         // history from the primary's. Refuse loudly, naming where
         // writes go.
+        refused("not_primary").inc();
         push_response(
             conn,
             &Response::Error {
@@ -852,10 +925,32 @@ fn dispatch(
     let slot = conn.next_slot;
     conn.next_slot += 1;
     conn.pending.push_back(SlotState::Waiting(slot));
+    // Write latency spans the submit-to-durable window: the span ends
+    // on the commit thread, right after this batch's fsync returned.
+    let submitted = (!ltam_obs::disabled()).then(Instant::now);
     let done = {
         let shared = Arc::clone(shared);
         let conn_id = conn.id;
         move |result: io::Result<BatchOutcome>| {
+            if let Some(t) = submitted {
+                let latency = match kind {
+                    WriteKind::Ingest => ltam_obs::histogram!(
+                        "serve_request_seconds",
+                        "Server-side request latency by request kind (queries: decode to \
+                         encoded response; writes: decode to durable)",
+                        SecondsFromMicros,
+                        "kind" => "ingest"
+                    ),
+                    WriteKind::Check => ltam_obs::histogram!(
+                        "serve_request_seconds",
+                        "Server-side request latency by request kind (queries: decode to \
+                         encoded response; writes: decode to durable)",
+                        SecondsFromMicros,
+                        "kind" => "check"
+                    ),
+                };
+                latency.observe(t.elapsed().as_micros() as u64);
+            }
             let t = &shared.threads[index];
             t.inbox.lock().done.push(Completion {
                 conn: conn_id,
@@ -972,6 +1067,26 @@ fn flush(conn: &mut Conn, now: Instant) -> bool {
 /// currently wants. Returns false on a registry failure (close it).
 fn update_interest(conn: &mut Conn, poll: &Poll, config: &ServerConfig) -> bool {
     let want_read = !read_paused(conn, config);
+    // A read-interest drop that is not the connection closing is a
+    // backpressure valve engaging: count the edge (not the paused
+    // passes), named for which cap tripped.
+    let was_reading = conn.registered.is_some_and(|i| i.is_readable());
+    if was_reading && !want_read && !conn.closing {
+        let valve = if conn.pending.len() >= config.max_pipeline {
+            ltam_obs::counter!(
+                "serve_backpressure_total",
+                "Connections paused (read interest dropped) by which valve tripped",
+                "valve" => "pipeline"
+            )
+        } else {
+            ltam_obs::counter!(
+                "serve_backpressure_total",
+                "Connections paused (read interest dropped) by which valve tripped",
+                "valve" => "write_buffer"
+            )
+        };
+        valve.inc();
+    }
     let want_write =
         conn.out_backlog() > 0 || matches!(conn.pending.front(), Some(SlotState::Ready(_)));
     let desired = match (want_read, want_write) {
@@ -1016,6 +1131,7 @@ fn answer_query(query: HistoryQuery, shared: &Shared) -> Response {
         if let Some(replica) = &shared.replica {
             let applied = view.applied();
             if applied < replica.floor() {
+                refused("stale").inc();
                 return Response::Error {
                     code: ErrorCode::Stale,
                     role,
@@ -1056,6 +1172,7 @@ fn answer_query(query: HistoryQuery, shared: &Shared) -> Response {
 /// a follower refuses them (replication chains from the primary only).
 fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
     if shared.role != ServerRole::Primary {
+        refused("bad_request").inc();
         push_response(
             conn,
             &Response::Error {
@@ -1132,17 +1249,20 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
                         .expect("writing to a Vec cannot fail");
                     conn.pending.push_back(SlotState::Ready(frame));
                 }
-                Ok(None) => push_response(
-                    conn,
-                    &Response::Error {
-                        code: ErrorCode::Gone,
-                        role: shared.role,
-                        message: format!(
-                            "{} is gone (pruned or compacted); re-list the manifest",
-                            file.file_name()
-                        ),
-                    },
-                ),
+                Ok(None) => {
+                    refused("gone").inc();
+                    push_response(
+                        conn,
+                        &Response::Error {
+                            code: ErrorCode::Gone,
+                            role: shared.role,
+                            message: format!(
+                                "{} is gone (pruned or compacted); re-list the manifest",
+                                file.file_name()
+                            ),
+                        },
+                    );
+                }
                 Err(e) => push_response(
                     conn,
                     &Response::Error {
@@ -1201,5 +1321,7 @@ fn status_of(shared: &Shared) -> ServerStatus {
             .iter()
             .map(|(&id, &n)| (id, n))
             .collect(),
+        uptime_chronons: shared.started.elapsed().as_secs(),
+        snapshot_format_version: ltam_store::SNAPSHOT_VERSION,
     }
 }

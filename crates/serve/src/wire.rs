@@ -57,6 +57,7 @@ const KIND_QUERY: u8 = 0x03;
 const KIND_RESPONSE: u8 = 0x04;
 const KIND_REPL: u8 = 0x05;
 const KIND_REPL_CHUNK: u8 = 0x06;
+const KIND_METRICS: u8 = 0x07;
 
 /// Why a frame or payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +157,11 @@ pub enum Request {
     /// a follower refuses with [`ErrorCode::BadRequest`] so replication
     /// chains never form by accident).
     Repl(ReplRequest),
+    /// Scrape the server's metric registry (tag `0x07`, empty body).
+    /// Answered with [`Response::Metrics`]: the full Prometheus-style
+    /// text exposition, including every `ltam-obs` series the process
+    /// has registered.
+    Metrics,
 }
 
 /// What a follower asks its primary for (JSON-bodied, tag `0x05`).
@@ -378,6 +384,12 @@ pub enum Response {
         /// The primary's shippable-file inventory.
         manifest: ReplManifest,
     },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The Prometheus-style text exposition of every registered
+        /// series (see `ltam_obs::encode_text`).
+        text: String,
+    },
     /// The request could not be served.
     Error {
         /// Machine-readable class.
@@ -440,6 +452,14 @@ pub struct ServerStatus {
     pub state_digest: u64,
     /// Replication health — `Some` only on a follower.
     pub replica: Option<ReplicaStatus>,
+    /// Whole seconds since this server process started serving (the
+    /// serving tier's chronon is one second).
+    pub uptime_chronons: u64,
+    /// The snapshot format version this store writes
+    /// (`ltam_store::SNAPSHOT_VERSION`) — operators check it before a
+    /// rolling upgrade, since a follower cannot bootstrap from a
+    /// snapshot format newer than its own binary understands.
+    pub snapshot_format_version: u16,
 }
 
 /// A follower's replication position and health (inside
@@ -658,6 +678,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                     .as_bytes(),
             );
         }
+        Request::Metrics => out.push(KIND_METRICS),
     }
     out
 }
@@ -706,6 +727,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
             let repl = serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
             Ok(Request::Repl(repl))
+        }
+        KIND_METRICS => {
+            if !body.is_empty() {
+                return Err(WireError::TrailingBytes);
+            }
+            Ok(Request::Metrics)
         }
         other => Err(WireError::BadKind(other)),
     }
@@ -815,6 +842,7 @@ mod tests {
                 offset: 16,
                 len: 4096,
             }),
+            Request::Metrics,
         ]
     }
 
@@ -846,6 +874,9 @@ mod tests {
             },
             Response::Access { granted: true },
             Response::Whereabouts { location: None },
+            Response::Metrics {
+                text: "# TYPE store_wal_fsyncs_total counter\nstore_wal_fsyncs_total 7\n".into(),
+            },
             Response::Present {
                 rows: vec![(SubjectId(1), Interval::lit(3, 9))],
             },
@@ -1032,6 +1063,17 @@ mod tests {
             decode_repl_reply(&bogus),
             Err(WireError::BadJson(_)) | Err(WireError::Codec(_))
         ));
+    }
+
+    #[test]
+    fn metrics_request_refuses_a_body() {
+        // A metrics request is its kind byte alone; any trailing bytes
+        // are a protocol violation, not silently ignored.
+        assert_eq!(decode_request(&[KIND_METRICS]), Ok(Request::Metrics));
+        assert_eq!(
+            decode_request(&[KIND_METRICS, 0x00]),
+            Err(WireError::TrailingBytes)
+        );
     }
 
     #[test]

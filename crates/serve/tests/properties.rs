@@ -71,6 +71,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
         })),
         arb_window().prop_map(|w| Request::Query(HistoryQuery::ViolationsIn { window: w })),
         Just(Request::Query(HistoryQuery::Status)),
+        // The metrics scrape frame rides every damage property below:
+        // round-trip, truncation totality, bit-flip rejection, and
+        // chunking invariance, same as every other kind.
+        Just(Request::Metrics),
     ]
 }
 

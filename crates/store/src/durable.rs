@@ -527,6 +527,10 @@ impl DurableEngine {
             archive_error,
         };
         if !replay.is_empty() {
+            let _span = ltam_obs::timed!(
+                "store_recovery_replay_seconds",
+                "WAL-tail replay time during open (one sample per recovery)"
+            );
             report.replayed_violations = engine.ingest(&replay).violations.len();
         }
         report.retention_watermark = engine.retention_watermark().get();
@@ -950,10 +954,19 @@ impl DurableEngine {
                 archive_to: chain_end,
             });
         }
+        let _span = ltam_obs::timed!(
+            "store_retention_run_seconds",
+            "One retention maintenance pass: collect + archive + prune"
+        );
         let prunable = self.engine.collect_prunable(policy, horizon);
+        let archive_span = ltam_obs::timed!(
+            "store_archive_run_seconds",
+            "The archive-append phase of a retention pass"
+        );
         let run = self
             .archive
             .append_run(live_from.get(), horizon.get(), &prunable)?;
+        drop(archive_span);
         self.engine.apply_retention(policy, horizon);
         // A new segment exists (and may have replaced a stranded one):
         // the next query rescans the chain and reloads lazily.
@@ -1275,6 +1288,11 @@ impl ReadView {
         subject: SubjectId,
         t: Time,
     ) -> Result<Option<LocationId>, HistoryError> {
+        let _span = ltam_obs::timed!(
+            "store_view_query_seconds",
+            "ReadView historical query latency, by kind",
+            "kind" => "whereabouts"
+        );
         tiered_whereabouts(&self.engine, &self.archive, &self.archive_cache, subject, t)
     }
 
@@ -1285,6 +1303,11 @@ impl ReadView {
         location: LocationId,
         window: Interval,
     ) -> Result<Vec<(SubjectId, Interval)>, HistoryError> {
+        let _span = ltam_obs::timed!(
+            "store_view_query_seconds",
+            "ReadView historical query latency, by kind",
+            "kind" => "present_during"
+        );
         tiered_present_during(
             &self.engine,
             &self.archive,
@@ -1300,6 +1323,11 @@ impl ReadView {
         subject: SubjectId,
         window: Interval,
     ) -> Result<Vec<Contact>, HistoryError> {
+        let _span = ltam_obs::timed!(
+            "store_view_query_seconds",
+            "ReadView historical query latency, by kind",
+            "kind" => "contacts"
+        );
         tiered_contacts(
             &self.engine,
             &self.archive,
@@ -1312,6 +1340,11 @@ impl ReadView {
     /// Tier-aware violation report (see
     /// [`DurableEngine::violations_in`]).
     pub fn violations_in(&self, window: Interval) -> Result<Vec<Violation>, HistoryError> {
+        let _span = ltam_obs::timed!(
+            "store_view_query_seconds",
+            "ReadView historical query latency, by kind",
+            "kind" => "violations_in"
+        );
         tiered_violations_in(&self.engine, &self.archive, &self.archive_cache, window)
     }
 }

@@ -59,6 +59,9 @@ impl Default for GroupCommitConfig {
 struct Job {
     events: Vec<Event>,
     done: Box<dyn FnOnce(io::Result<BatchOutcome>) + Send>,
+    /// When the batch entered the queue — the start of its
+    /// `store_group_queue_wait_seconds` span.
+    queued_at: std::time::Instant,
 }
 
 /// A cloneable submission handle onto a [`GroupCommit`] thread. Every
@@ -92,6 +95,7 @@ impl CommitHandle {
             .send(Job {
                 events,
                 done: Box::new(done),
+                queued_at: std::time::Instant::now(),
             })
             .map_err(|e| e.0.events)
     }
@@ -174,6 +178,36 @@ fn commit_loop(
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
+        // The group is formed: its shape and each member's time-in-queue
+        // are the observables PR 6's p99 hunt wanted and lacked.
+        if !ltam_obs::disabled() {
+            let now = std::time::Instant::now();
+            let wait = ltam_obs::histogram!(
+                "store_group_queue_wait_seconds",
+                "Time an ingest batch waited in the group-commit queue before its group formed",
+                SecondsFromMicros
+            );
+            for job in &jobs {
+                wait.observe(now.duration_since(job.queued_at).as_micros() as u64);
+            }
+        }
+        ltam_obs::counter!(
+            "store_group_commits_total",
+            "Commit groups flushed (one WAL write + one fsync each)"
+        )
+        .inc();
+        ltam_obs::histogram!(
+            "store_group_events",
+            "Events coalesced into one commit group",
+            None
+        )
+        .observe(total as u64);
+        ltam_obs::histogram!(
+            "store_group_batches",
+            "Ingest batches coalesced into one commit group",
+            None
+        )
+        .observe(jobs.len() as u64);
         let batches: Vec<&[Event]> = jobs.iter().map(|j| j.events.as_slice()).collect();
         match engine.commit_group(&batches) {
             Ok(outcomes) => {

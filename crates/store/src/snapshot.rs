@@ -150,7 +150,12 @@ impl SnapshotStore {
     /// snapshot under the final name.
     pub fn write(&self, snapshot: &StoreSnapshot) -> io::Result<PathBuf> {
         fs::create_dir_all(&self.dir)?;
+        let encode_span = ltam_obs::timed!(
+            "store_snapshot_encode_seconds",
+            "Snapshot phase: encoding the engine image to bytes"
+        );
         let payload = crate::binval::encode(snapshot);
+        drop(encode_span);
         let payload = &payload[..];
         let mut bytes = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
         bytes.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -165,6 +170,10 @@ impl SnapshotStore {
             "snap-{:020}-{:010}.tmp",
             snapshot.seq, snapshot.policy_epoch
         ));
+        let write_span = ltam_obs::timed!(
+            "store_snapshot_write_seconds",
+            "Snapshot phase: paced chunked write of the image file"
+        );
         {
             let mut f = OpenOptions::new()
                 .create(true)
@@ -197,7 +206,12 @@ impl SnapshotStore {
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
             }
+            drop(write_span);
             if self.fsync {
+                let _span = ltam_obs::timed!(
+                    "store_snapshot_fsync_seconds",
+                    "Snapshot phase: final data sync of the image file"
+                );
                 f.sync_data()?;
             }
         }
@@ -211,6 +225,13 @@ impl SnapshotStore {
                 d.sync_all()?;
             }
         }
+        ltam_obs::histogram!(
+            "store_snapshot_bytes",
+            "Size of a written snapshot image in bytes",
+            None
+        )
+        .observe(bytes.len() as u64);
+        ltam_obs::counter!("store_snapshots_total", "Snapshots written").inc();
         self.prune()?;
         Ok(path)
     }

@@ -386,6 +386,20 @@ impl Wal {
         self.fsyncs
     }
 
+    /// Count `n` fsyncs against this log **and** the process-wide
+    /// `store_wal_fsyncs_total` series. Every `self.fsyncs` increment
+    /// funnels through here so the scraped counter matches
+    /// [`Wal::fsyncs`] exactly (the serve drill asserts the equality
+    /// over the wire).
+    fn note_fsyncs(&mut self, n: u64) {
+        self.fsyncs += n;
+        ltam_obs::counter!(
+            "store_wal_fsyncs_total",
+            "fsync calls issued by the write-ahead log (appends, rotations, directory syncs)"
+        )
+        .inc_by(n);
+    }
+
     /// List `dir`'s WAL segment files by name, sorted by first sequence,
     /// without opening (or repairing) the log — for fixtures, corruption
     /// drills, and tooling that needs to damage or inspect segments.
@@ -454,8 +468,11 @@ impl Wal {
         }
         let written = self.file.write_all(&buf).and_then(|()| {
             if self.config.fsync {
-                self.fsyncs += 1;
-                self.file.sync_data()
+                let span = ltam_obs::timed!("store_fsync_seconds", "WAL append fsync latency");
+                let result = self.file.sync_data();
+                drop(span);
+                self.note_fsyncs(1);
+                result
             } else {
                 Ok(())
             }
@@ -466,6 +483,16 @@ impl Wal {
             }
             return Err(e);
         }
+        ltam_obs::counter!(
+            "store_wal_appended_bytes_total",
+            "Bytes appended to the write-ahead log"
+        )
+        .inc_by(buf.len() as u64);
+        ltam_obs::counter!(
+            "store_wal_records_total",
+            "Events appended to the write-ahead log"
+        )
+        .inc_by(total);
         self.active.len += buf.len() as u64;
         self.active.records += total;
         self.next_seq += total;
@@ -478,11 +505,11 @@ impl Wal {
         if self.active.records == 0 {
             return Ok(());
         }
-        self.fsyncs += 1;
+        self.note_fsyncs(1);
         self.file.sync_data()?;
         let created = create_segment(&self.dir, self.next_seq, self.config.fsync)?;
         if self.config.fsync {
-            self.fsyncs += 2; // segment data + directory entry
+            self.note_fsyncs(2); // segment data + directory entry
         }
         let (next, file) = created;
         self.sealed.push(std::mem::replace(&mut self.active, next));
@@ -517,7 +544,7 @@ impl Wal {
         fs::remove_file(&self.active.path)?;
         let (active, file) = create_segment(&self.dir, seq, self.config.fsync)?;
         if self.config.fsync {
-            self.fsyncs += 2;
+            self.note_fsyncs(2);
         }
         self.active = active;
         self.file = file;

@@ -3,6 +3,7 @@ pub use ltam_core as core;
 pub use ltam_engine as engine;
 pub use ltam_geo as geo;
 pub use ltam_graph as graph;
+pub use ltam_obs as obs;
 pub use ltam_serve as serve;
 pub use ltam_sim as sim;
 pub use ltam_store as store;

@@ -1,0 +1,84 @@
+//! THE observability acceptance test: the fsync count scraped over the
+//! wire (KIND_METRICS) must equal the engine's own `wal_fsyncs` figure
+//! EXACTLY — proof that the metrics layer sits on the real fsync path,
+//! not on a lookalike that could drift from the truth it claims to
+//! report.
+//!
+//! The metric registry is process-global, so this file deliberately
+//! holds a SINGLE test: a sibling test creating its own store in the
+//! same process would contaminate the counter and force a weaker
+//! `>=` assertion. (The drill in `repro serve` handles multi-store
+//! processes with a baseline delta; here one store means the raw
+//! counter is the whole truth.)
+
+use ltam::serve::{LtamClient, Server, ServerConfig};
+use ltam::store::{DurableEngine, ScratchDir, StoreConfig, SNAPSHOT_VERSION};
+use ltam_bench::serve_workload;
+use ltam_sim::multi_shard_trace;
+
+#[test]
+fn wire_scraped_fsync_count_matches_the_engine_exactly() {
+    let trace = multi_shard_trace(&serve_workload(32, 2_400));
+    let n = trace.events.len();
+
+    // Defensive even in a one-test file: the delta-vs-baseline form is
+    // the one that stays correct if this process ever grows stores.
+    let baseline =
+        ltam::obs::counter_value(ltam::obs::registry(), "store_wal_fsyncs_total", &[]).unwrap_or(0);
+
+    let dir = ScratchDir::new("metrics-exactness");
+    let store = StoreConfig {
+        segment_bytes: 1024 * 1024,
+        snapshot_every: 0,
+        fsync: true, // the whole point: real fsyncs, really counted
+        retention: None,
+    };
+    let (engine, _alerts) =
+        DurableEngine::create(dir.path(), trace.build_policy_core(), 2, store).unwrap();
+    let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = LtamClient::connect(&server.local_addr().to_string()).unwrap();
+
+    for chunk in trace.events.chunks(64) {
+        client.ingest(chunk).unwrap();
+    }
+    let status = client.status().unwrap();
+    assert_eq!(status.events_ingested, n as u64, "drill fully ingested");
+    assert!(status.wal_fsyncs > 0, "fsync:true must actually fsync");
+
+    // Scrape over the wire while no writers remain, and validate the
+    // exposition against the full text grammar (duplicates rejected).
+    let text = client.metrics().unwrap();
+    let expo = ltam::obs::validate(&text).expect("scraped exposition is grammatical");
+
+    let scraped = expo
+        .value("store_wal_fsyncs_total", &[])
+        .expect("fsync counter is exported") as u64;
+    assert_eq!(
+        scraped - baseline,
+        status.wal_fsyncs,
+        "scraped fsync count must match the engine's own figure exactly"
+    );
+
+    // Core series across every tier left tracks for this workload.
+    for name in [
+        "store_wal_records_total",
+        "store_group_commits_total",
+        "engine_decisions_total",
+        "serve_connections_total",
+    ] {
+        assert!(expo.family_sum(name) > 0.0, "{name} is silent");
+    }
+    for hist in ["store_fsync_seconds", "serve_request_seconds"] {
+        assert!(
+            expo.family_sum(&format!("{hist}_count")) > 0.0,
+            "{hist} recorded no samples"
+        );
+    }
+
+    // The status satellite fields travel too: a live format version and
+    // a sane uptime (this test runs in well under an hour).
+    assert_eq!(status.snapshot_format_version, SNAPSHOT_VERSION);
+    assert!(status.uptime_chronons < 3_600);
+
+    drop(server.abort().unwrap());
+}

@@ -1,0 +1,82 @@
+//! The replication-lag gauge tells the truth about convergence: after
+//! a follower has drained the primary's WAL, its wire-scraped
+//! `repl_lag_events` gauge reads EXACTLY 0 — not "small", zero. The
+//! gauge is refreshed from monotone atomics at every watermark
+//! publish, so a drained stream is deterministically lag-free and the
+//! assertion needs no tolerance.
+//!
+//! Single test on purpose: the registry is process-global, and a
+//! sibling test running its own follower here would share (and fight
+//! over) the same gauge series.
+
+use std::time::Duration;
+
+use ltam::serve::{bootstrap_follower, LtamClient, ReplicaConfig, Server, ServerConfig};
+use ltam::store::{DurableEngine, ScratchDir, StoreConfig};
+use ltam_bench::serve_workload;
+use ltam_sim::multi_shard_trace;
+
+#[test]
+fn follower_lag_gauge_reads_zero_after_catch_up() {
+    let trace = multi_shard_trace(&serve_workload(32, 2_400));
+    let n = trace.events.len() as u64;
+
+    let p_dir = ScratchDir::new("lag-gauge-primary");
+    let p_store = StoreConfig {
+        segment_bytes: 64 * 1024,
+        snapshot_every: 0,
+        fsync: false,
+        retention: None,
+    };
+    let (engine, _alerts) =
+        DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, p_store).unwrap();
+    let primary = Server::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let p_addr = primary.local_addr().to_string();
+
+    // Preload half the trace so the bootstrap transfers real state and
+    // the follower starts life with genuine lag to burn down.
+    let mut loader = LtamClient::connect(&p_addr).unwrap();
+    let half = trace.events.len() / 2;
+    for chunk in trace.events[..half].chunks(64) {
+        loader.ingest(chunk).unwrap();
+    }
+
+    let f_dir = ScratchDir::new("lag-gauge-follower");
+    let f_store = StoreConfig {
+        segment_bytes: 64 * 1024,
+        snapshot_every: 0,
+        fsync: false,
+        retention: None,
+    };
+    let f_engine = bootstrap_follower(f_dir.path(), &p_addr, f_store).unwrap();
+    let mut replica = ReplicaConfig::new(&p_addr);
+    replica.poll_interval = Duration::from_millis(2);
+    let follower =
+        Server::start_follower(f_engine, "127.0.0.1:0", ServerConfig::default(), replica).unwrap();
+    let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+
+    // Stream the rest while the follower tails, then wait it out.
+    for chunk in trace.events[half..].chunks(64) {
+        loader.ingest(chunk).unwrap();
+    }
+    probe
+        .wait_for_watermark(n, Duration::from_secs(30))
+        .expect("follower converges");
+
+    // Scrape the FOLLOWER over the wire: the gauge must read zero, the
+    // bootstrap must have been counted, and the replica must have
+    // logged at least one transition into the streaming state.
+    let text = probe.metrics().unwrap();
+    let expo = ltam::obs::validate(&text).expect("scraped exposition is grammatical");
+    assert_eq!(
+        expo.value("repl_lag_events", &[]),
+        Some(0.0),
+        "drained follower must report exactly zero lag"
+    );
+    assert!(expo.family_sum("repl_bootstraps_total") >= 1.0);
+    assert!(expo.value("repl_state_transitions_total", &[("state", "streaming")]) >= Some(1.0));
+    assert!(expo.family_sum("repl_fetch_seconds_count") > 0.0);
+
+    drop(follower.abort().unwrap());
+    drop(primary.abort().unwrap());
+}
