@@ -51,6 +51,7 @@ fn main() {
         "retention" => retention(&args[1..]),
         "serve" => serve(&args[1..]),
         "replicate" => replicate(&args[1..]),
+        "auth" => auth(&args[1..]),
         "metrics" => metrics(&args[1..]),
         "all" => {
             for f in [
@@ -68,16 +69,19 @@ fn main() {
             serve(&[]);
             println!();
             replicate(&[]);
+            println!();
+            auth(&[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|metrics|all]"
+                "usage: repro [fig1|fig2|fig3|authz|rules|section5|table2|scaling|baseline|planner|throughput|durability|retention|serve|replicate|auth|metrics|all]"
             );
             eprintln!("       repro throughput --help   # enforcement-throughput options");
             eprintln!("       repro durability --help   # crash-recovery drill options");
             eprintln!("       repro retention --help    # bounded-live-state drill options");
             eprintln!("       repro serve --help        # network serving drill options");
+            eprintln!("       repro auth --help         # wire-auth & quarantine drill options");
             eprintln!("       repro replicate --help    # read-replica drill options");
             eprintln!("       repro metrics --help      # one-shot wire metrics scrape");
             std::process::exit(2);
@@ -2063,7 +2067,7 @@ fn replicate(args: &[String]) {
         f_probe.ingest(&[final_tick]),
         Err(ClientError::Server {
             code: ErrorCode::NotPrimary,
-            role: ServerRole::Follower,
+            role: Some(ServerRole::Follower),
             ref message,
         }) if message.contains(&primary_addr)
     );
@@ -2200,6 +2204,468 @@ fn replicate(args: &[String]) {
     }
     if !roles_ok {
         eprintln!("replicate drill FAILED: served roles are wrong");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+const AUTH_HELP: &str = "\
+usage: repro auth [--json] [--events N] [--subjects N] [--shards N] [--batch N]
+
+Extension drill: the policy-governed wire. Locks the server (auth
+required), throws every frame kind at it unauthenticated, feeds the
+trace through a minted ingest-scoped token, quarantines a low-trust
+sensor, revokes the ingest token over the wire (the very next frame on
+the live connection must die PermissionDenied), crashes and recovers
+the store (the revocation must survive), and wire-verifies the served
+history against an in-process reference engine. Exits non-zero if any
+unauthenticated frame is serviced or a quarantined event reaches the
+trusted history.
+
+  --json          emit machine-readable JSON (the BENCH_auth.json schema)
+  --events N      trace length (default 4000)
+  --subjects N    moving subjects (default 64)
+  --shards N      engine shards (default 2)
+  --batch N       ingest batch size (default 64)
+  --help          this text
+";
+
+/// The `repro auth --json` report (the `BENCH_auth.json` schema).
+#[derive(serde::Serialize)]
+struct AuthReport {
+    experiment: &'static str,
+    events: usize,
+    subjects: usize,
+    shards: usize,
+    /// Unauthenticated frames refused (out of the full frame-kind matrix).
+    unauthenticated_refused: usize,
+    /// Unauthenticated frames the locked server actually serviced (MUST be 0).
+    unauthenticated_serviced: usize,
+    /// Every pre-handshake refusal was role-redacted.
+    redaction_ok: bool,
+    /// Events the ingest-scoped token fed into the trusted history.
+    token_ingested: u64,
+    /// Probe events the low-trust sensor submitted.
+    quarantine_submitted: usize,
+    /// Probe events held on the quarantine ledger.
+    quarantine_held: usize,
+    /// The ledger query returned exactly the held probes, tagged with
+    /// their source and trust level.
+    quarantine_query_match: bool,
+    /// Contact tracing flags the quarantined sighting instead of
+    /// mixing it into trusted contacts.
+    quarantine_flagged_in_contacts: bool,
+    /// A quarantined event leaked into trusted query answers (MUST be false).
+    quarantine_leaked: bool,
+    /// The revoked token's very next frame on its live connection died
+    /// PermissionDenied.
+    revocation_immediate: bool,
+    /// The revoked secret stayed dead across crash + recovery.
+    revocation_durable: bool,
+    /// The auth-required switch survived crash + recovery.
+    auth_required_survives: bool,
+    /// Served violations match the in-process reference multiset.
+    violations_match: bool,
+    /// Sampled whereabouts match the in-process reference.
+    whereabouts_match: bool,
+}
+
+/// Exit with a usage error for the auth subcommand.
+fn auth_usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{AUTH_HELP}");
+    std::process::exit(2);
+}
+
+/// Extension: the policy-governed wire — capability tokens, remote
+/// admin RPCs, trust-based quarantine, and durable revocation.
+fn auth(args: &[String]) {
+    use ltam_bench::violation_multiset;
+    use ltam_core::capability::{AdminOp, AdminOutcome, Scope};
+    use ltam_core::subject::SubjectId;
+    use ltam_engine::batch::Event;
+    use ltam_serve::{ClientError, ErrorCode, IngestReply, LtamClient, Server, ServerConfig};
+    use ltam_sim::multi_shard_trace;
+    use ltam_store::{DurableEngine, ScratchDir, StoreConfig};
+    use ltam_time::{Interval, Time};
+
+    let mut json = false;
+    let mut events = 4_000usize;
+    let mut subjects = 64usize;
+    let mut shards = 2usize;
+    let mut batch = 64usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| auth_usage_error(&format!("{name} needs a value")))
+                .clone()
+        };
+        let parsed = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| auth_usage_error(&format!("{name}: bad value {raw:?}")))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--events" => events = parsed("--events", value("--events")) as usize,
+            "--subjects" => subjects = parsed("--subjects", value("--subjects")) as usize,
+            "--shards" => shards = parsed("--shards", value("--shards")) as usize,
+            "--batch" => batch = parsed("--batch", value("--batch")) as usize,
+            "--help" | "-h" => {
+                print!("{AUTH_HELP}");
+                return;
+            }
+            other => auth_usage_error(&format!("unknown auth option {other:?}")),
+        }
+    }
+    if events == 0 || subjects == 0 || shards == 0 || batch == 0 {
+        auth_usage_error("--events, --subjects, --shards and --batch must be >= 1");
+    }
+
+    const ROOT_SECRET: &str = "repro-root-secret";
+    const SENSOR_SECRET: &str = "repro-sensor-secret";
+    const LOW_TRUST_SECRET: &str = "repro-low-trust-secret";
+
+    let trace = multi_shard_trace(&ltam_bench::serve_workload(subjects, events));
+    let n_events = trace.events.len();
+    let span = trace.max_time();
+    let final_tick = Event::Tick {
+        now: Time(span.get() + 1),
+    };
+
+    // The in-process reference: the trusted trace and nothing else —
+    // in particular, none of the quarantined probes.
+    let mut reference = trace.build_engine();
+    for e in trace.events.iter().chain(std::iter::once(&final_tick)) {
+        ltam_engine::batch::apply_to_engine(&mut reference, e);
+    }
+    let expected = violation_multiset(reference.violations().to_vec());
+
+    let dir = ScratchDir::new("repro-auth");
+    let store = StoreConfig {
+        segment_bytes: 256 * 1024,
+        snapshot_every: 0,
+        fsync: true,
+        retention: None,
+    };
+    let (engine, _alerts) =
+        DurableEngine::create(dir.path(), trace.build_policy_core(), shards, store)
+            .expect("create store");
+    let config = ServerConfig {
+        root_token: Some(ROOT_SECRET.to_string()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, "127.0.0.1:0", config.clone()).expect("bind on loopback");
+    let addr = server.local_addr().to_string();
+
+    // Lock the wire over the wire.
+    let mut root = LtamClient::connect(&addr).expect("root client");
+    root.hello(ROOT_SECRET).expect("root handshake");
+    root.admin(AdminOp::SetAuthRequired { required: true })
+        .expect("lock the wire");
+
+    // Phase 1: the unauthenticated matrix. Every frame kind, no
+    // handshake — each must be refused, and each refusal must be
+    // role-redacted.
+    let probe_subject = SubjectId(subjects as u32 + 7);
+    let probe_location = trace
+        .events
+        .iter()
+        .find_map(|e| match e {
+            Event::Enter { location, .. } => Some(*location),
+            _ => None,
+        })
+        .expect("trace contains an Enter event");
+    let mut anon = LtamClient::connect(&addr).expect("anonymous client");
+    let mut unauthenticated_refused = 0usize;
+    let mut unauthenticated_serviced = 0usize;
+    let mut redaction_ok = true;
+    let mut tally = |name: &str, refused: Option<bool>| match refused {
+        Some(redacted) => {
+            unauthenticated_refused += 1;
+            if !redacted {
+                eprintln!("auth drill: unauthenticated {name} refusal leaked the server role");
+                redaction_ok = false;
+            }
+        }
+        None => {
+            eprintln!("auth drill: unauthenticated {name} frame was SERVICED");
+            unauthenticated_serviced += 1;
+        }
+    };
+    // A refusal is only counted when it is the auth refusal; anything
+    // else (including success) counts as serviced.
+    fn auth_refusal<T>(r: Result<T, ClientError>) -> Option<bool> {
+        match r {
+            Err(ClientError::Server {
+                code: ErrorCode::Unauthenticated,
+                role,
+                ..
+            }) => Some(role.is_none()),
+            _ => None,
+        }
+    }
+    tally(
+        "ingest",
+        auth_refusal(anon.ingest(&[Event::Enter {
+            time: Time(1),
+            subject: probe_subject,
+            location: probe_location,
+        }])),
+    );
+    tally(
+        "check",
+        auth_refusal(anon.check_access(Time(1), probe_subject, probe_location)),
+    );
+    tally(
+        "query",
+        auth_refusal(anon.whereabouts(probe_subject, Time(1))),
+    );
+    tally("metrics", auth_refusal(anon.metrics()));
+    tally("repl", auth_refusal(anon.repl_manifest()));
+    tally(
+        "admin",
+        auth_refusal(anon.admin(AdminOp::SetTrustThreshold { threshold: 0 })),
+    );
+    drop(anon);
+
+    // Phase 2: a minted ingest-scoped token feeds the whole trace.
+    let sensor_subject = SubjectId(subjects as u32 + 1);
+    let sensor_id = match root
+        .admin(AdminOp::MintToken {
+            subject: sensor_subject,
+            scopes: vec![Scope::Ingest { locations: None }],
+            validity: Interval::ALL,
+            secret: SENSOR_SECRET.to_string(),
+        })
+        .expect("mint sensor token")
+    {
+        AdminOutcome::TokenMinted { id } => id,
+        other => panic!("unexpected mint outcome {other:?}"),
+    };
+    let mut sensor = LtamClient::connect(&addr).expect("sensor client");
+    sensor.hello(SENSOR_SECRET).expect("sensor handshake");
+    let mut token_ingested = 0u64;
+    for chunk in trace.events.chunks(batch) {
+        token_ingested += sensor
+            .ingest(chunk)
+            .expect("token-authenticated batch")
+            .processed as u64;
+    }
+    token_ingested += sensor.ingest(&[final_tick]).expect("final tick").processed as u64;
+
+    // Phase 3: trust-based quarantine. Raise the threshold, mint a
+    // token for a sensor that sits below it, and watch its events land
+    // on the ledger — and ONLY the ledger.
+    root.admin(AdminOp::SetTrustThreshold { threshold: 1 })
+        .expect("raise the trust threshold");
+    root.admin(AdminOp::MintToken {
+        subject: probe_subject,
+        scopes: vec![Scope::Ingest { locations: None }],
+        validity: Interval::ALL,
+        secret: LOW_TRUST_SECRET.to_string(),
+    })
+    .expect("mint low-trust token");
+    let mut low = LtamClient::connect(&addr).expect("low-trust client");
+    low.hello(LOW_TRUST_SECRET).expect("low-trust handshake");
+    let probe_times = [span.get() + 10, span.get() + 11, span.get() + 12];
+    let probes: Vec<Event> = probe_times
+        .iter()
+        .map(|&t| Event::Enter {
+            time: Time(t),
+            subject: probe_subject,
+            location: probe_location,
+        })
+        .collect();
+    let mut quarantine_held = 0usize;
+    for probe in &probes {
+        match low
+            .ingest_flagged(std::slice::from_ref(probe))
+            .expect("low-trust ingest answers")
+        {
+            IngestReply::Quarantined { held } => quarantine_held += held,
+            IngestReply::Ingested(_) => {
+                eprintln!("auth drill: low-trust event reached the trusted ingest path");
+            }
+        }
+    }
+    let held = root
+        .quarantined(Some(probe_subject), Interval::ALL)
+        .expect("quarantine triage query");
+    let quarantine_query_match = held.len() == probes.len()
+        && held
+            .iter()
+            .zip(&probes)
+            .all(|(q, e)| q.event == *e && q.source == probe_subject && q.level < 1);
+    // The leak check, wire-verified: the probe subject must be nowhere
+    // in the trusted history, at any probed chronon.
+    let mut quarantine_leaked = false;
+    for &t in &probe_times {
+        if root
+            .whereabouts(probe_subject, Time(t))
+            .expect("trusted whereabouts")
+            .is_some()
+        {
+            quarantine_leaked = true;
+        }
+    }
+    // ...while contact tracing *flags* the held sighting.
+    let (_, flagged) = root
+        .contacts_flagged(probe_subject, Interval::ALL)
+        .expect("flagged contact tracing");
+    let quarantine_flagged_in_contacts = flagged.iter().any(|q| q.source == probe_subject);
+
+    // Phase 4: revocation over the wire. The sensor's connection is
+    // live and half-way through its day; the very next frame dies.
+    root.admin(AdminOp::RevokeToken { id: sensor_id })
+        .expect("revoke sensor token");
+    let revocation_immediate = matches!(
+        sensor.ingest(&[final_tick]),
+        Err(ClientError::Server {
+            code: ErrorCode::PermissionDenied,
+            ..
+        })
+    );
+    if !revocation_immediate {
+        eprintln!("auth drill: revoked token's next frame was not refused PermissionDenied");
+    }
+
+    // Wire-verify the served history against the reference before the
+    // crash: the trusted answers must owe nothing to the quarantine.
+    let got = violation_multiset(root.violations_in(Interval::ALL).expect("violation report"));
+    let violations_match = got == expected;
+    let mut whereabouts_match = true;
+    for i in 0..subjects.min(16) {
+        let s = SubjectId(i as u32);
+        for t in [Time(span.get() / 3), Time(span.get() / 2), span] {
+            if root.whereabouts(s, t).expect("served whereabouts")
+                != reference.movements().whereabouts(s, t)
+            {
+                whereabouts_match = false;
+            }
+        }
+    }
+
+    // Phase 5: crash + recovery. No orderly shutdown beyond the WAL's
+    // own durability; the revocation and the lock must both survive.
+    let engine = server.abort().expect("abort server");
+    drop(engine);
+    let (engine, _alerts, _report) =
+        DurableEngine::open_with_shards(dir.path(), store, shards).expect("recover store");
+    let server = Server::start(engine, "127.0.0.1:0", config).expect("rebind after recovery");
+    let addr = server.local_addr().to_string();
+    let mut revived = LtamClient::connect(&addr).expect("post-recovery client");
+    let revocation_durable = matches!(
+        revived.hello(SENSOR_SECRET),
+        Err(ClientError::Server {
+            code: ErrorCode::Unauthenticated,
+            ..
+        })
+    );
+    if !revocation_durable {
+        eprintln!("auth drill: revoked secret authenticated after crash + recovery");
+    }
+    let mut root = LtamClient::connect(&addr).expect("root client after recovery");
+    root.hello(ROOT_SECRET).expect("root recovery handshake");
+    let status = root.status().expect("post-recovery status");
+    let auth_required_survives = status.auth_required;
+    let quarantine_survived = status.quarantined_events == quarantine_held;
+
+    drop(server.abort().expect("stop server"));
+
+    if json {
+        let report = AuthReport {
+            experiment: "auth",
+            events: n_events,
+            subjects,
+            shards,
+            unauthenticated_refused,
+            unauthenticated_serviced,
+            redaction_ok,
+            token_ingested,
+            quarantine_submitted: probes.len(),
+            quarantine_held,
+            quarantine_query_match,
+            quarantine_flagged_in_contacts,
+            quarantine_leaked,
+            revocation_immediate,
+            revocation_durable,
+            auth_required_survives,
+            violations_match,
+            whereabouts_match,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        banner("Extension: policy-governed wire — token, trust & revocation drill");
+        println!(
+            "{n_events} events, {subjects} subjects, {shards} shards; wire locked via root admin RPC"
+        );
+        println!(
+            "unauthenticated frame matrix: {unauthenticated_refused}/6 refused, {unauthenticated_serviced} serviced; redaction {}",
+            if redaction_ok { "OK" } else { "LEAKED" }
+        );
+        println!("ingest-scoped token fed {token_ingested} events into the trusted history");
+        println!(
+            "low-trust sensor: {}/{} probes quarantined; ledger query {}; flagged in contacts: {}; leaked into trusted history: {}",
+            quarantine_held,
+            probes.len(),
+            if quarantine_query_match { "MATCH" } else { "MISMATCH" },
+            if quarantine_flagged_in_contacts { "YES" } else { "NO" },
+            if quarantine_leaked { "YES (BUG)" } else { "no" }
+        );
+        println!(
+            "revocation: next frame on live connection {}; survives crash+recovery: {}; auth lock survives: {}",
+            if revocation_immediate { "refused PermissionDenied" } else { "NOT refused" },
+            if revocation_durable { "YES" } else { "NO" },
+            if auth_required_survives { "YES" } else { "NO" }
+        );
+        println!(
+            "served vs reference: violations {} ({} of them), whereabouts {}",
+            if violations_match {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            },
+            got.len(),
+            if whereabouts_match {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+
+    let mut failed = false;
+    if unauthenticated_serviced != 0 {
+        eprintln!("auth drill FAILED: a locked server serviced an unauthenticated frame");
+        failed = true;
+    }
+    if !redaction_ok {
+        eprintln!("auth drill FAILED: a pre-handshake refusal leaked the server role");
+        failed = true;
+    }
+    if quarantine_leaked || quarantine_held != probes.len() {
+        eprintln!("auth drill FAILED: quarantined events reached (or skipped) the trusted history");
+        failed = true;
+    }
+    if !quarantine_query_match || !quarantine_flagged_in_contacts {
+        eprintln!("auth drill FAILED: the quarantine ledger is not honestly queryable");
+        failed = true;
+    }
+    if !quarantine_survived {
+        eprintln!("auth drill FAILED: the quarantine ledger did not survive recovery");
+        failed = true;
+    }
+    if !revocation_immediate || !revocation_durable || !auth_required_survives {
+        eprintln!("auth drill FAILED: revocation or the auth lock did not hold");
+        failed = true;
+    }
+    if !violations_match || !whereabouts_match {
+        eprintln!("auth drill FAILED: served answers diverge from the in-process reference");
         failed = true;
     }
     if failed {

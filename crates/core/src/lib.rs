@@ -10,6 +10,8 @@
 //! The crate provides, module by module:
 //!
 //! * [`subject`] — subject identifiers and name interning,
+//! * [`capability`] — wire capability tokens and sensor trust levels
+//!   (the serving tier's own authorization policy),
 //! * [`model`] — location authorizations (Definition 3) and
 //!   location-temporal authorizations (Definition 4),
 //! * [`db`] — the authorization database with subject/location and
@@ -61,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capability;
 pub mod conflict;
 pub mod db;
 pub mod decision;
@@ -76,6 +79,10 @@ pub mod rules;
 pub mod subject;
 pub mod tam;
 
+pub use capability::{
+    AdminOp, AdminOutcome, AuthRefusal, Capability, CapabilityToken, Scope, TokenId, TrustPolicy,
+    WireAuth,
+};
 pub use conflict::{detect_conflicts, resolve_conflicts, Conflict, ResolutionStrategy};
 pub use db::{AuthId, AuthorizationDb, Provenance, RuleId};
 pub use decision::{

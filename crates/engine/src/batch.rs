@@ -32,6 +32,7 @@ use crate::retention::{HistoryWatermarks, PrunedHistory};
 use crate::shard::{PolicyView, ShardState, ShardStateImage};
 use crate::violation::{Alert, Violation};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use ltam_core::capability::WireAuth;
 use ltam_core::db::{AuthId, Provenance};
 use ltam_core::decision::Decision;
 use ltam_core::model::Authorization;
@@ -124,6 +125,7 @@ pub struct PolicyCore {
     db: AuthorizationDb,
     prohibitions: ProhibitionDb,
     config: EngineConfig,
+    wire: WireAuth,
 }
 
 impl PolicyCore {
@@ -136,6 +138,7 @@ impl PolicyCore {
             db: AuthorizationDb::new(),
             prohibitions: ProhibitionDb::new(),
             config: EngineConfig::default(),
+            wire: WireAuth::default(),
         }
     }
 
@@ -186,6 +189,20 @@ impl PolicyCore {
         self.db.revoke(id)
     }
 
+    /// The wire-facing auth policy: capability tokens, trust levels,
+    /// and the enforcement switch. Read by the serving tier on every
+    /// frame (through the live epoch, so edits bite immediately).
+    pub fn wire(&self) -> &WireAuth {
+        &self.wire
+    }
+
+    /// Mutable access to the wire auth policy (admin edits route
+    /// through `ShardedEngine::update_policy`, so every change is an
+    /// epoch swap like any other policy edit).
+    pub fn wire_mut(&mut self) -> &mut WireAuth {
+        &mut self.wire
+    }
+
     /// The immutable view shards enforce against.
     pub fn view(&self) -> PolicyView<'_> {
         PolicyView {
@@ -206,6 +223,7 @@ impl PolicyCore {
             next_auth_id: self.db.next_id(),
             prohibitions: self.prohibitions.clone(),
             config: self.config,
+            wire: Some(self.wire.clone()),
         }
     }
 
@@ -226,6 +244,10 @@ impl PolicyCore {
             db,
             prohibitions: image.prohibitions,
             config: image.config,
+            // Snapshots written before wire auth existed carry no
+            // registry: an empty, not-required one preserves their
+            // behavior exactly.
+            wire: image.wire.unwrap_or_default(),
         }
     }
 }
@@ -247,6 +269,24 @@ pub struct PolicyImage {
     pub prohibitions: ProhibitionDb,
     /// Enforcement tunables.
     pub config: EngineConfig,
+    /// Wire auth policy (tokens, trust levels, enforcement switch).
+    /// `None` in snapshots written before the field existed — imported
+    /// as an empty, not-required [`WireAuth`].
+    pub wire: Option<WireAuth>,
+}
+
+/// One event held on the quarantine ledger: accepted from a
+/// below-trust-threshold source, recorded verbatim, **never** applied
+/// to the trusted movement history or the enforcement state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedEvent {
+    /// The authenticated subject that reported the event (the sensor's
+    /// wire identity, not the event's own subject).
+    pub source: SubjectId,
+    /// The source's trust level when the event arrived.
+    pub level: u8,
+    /// The event as reported.
+    pub event: Event,
 }
 
 /// Per-shard slice of a [`BatchOutcome`].
@@ -470,6 +510,11 @@ pub struct ShardedEngine {
     joins: Vec<JoinHandle<()>>,
     alert_tx: Sender<Alert>,
     alert_seq: AtomicU64,
+    /// Events from below-trust-threshold sources, in arrival order.
+    /// Deliberately *outside* the shards: quarantined events must never
+    /// touch per-subject enforcement state, and the ledger is read
+    /// whole (triage, flagged query answers), not by subject hash.
+    quarantine: Mutex<Vec<QuarantinedEvent>>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -527,9 +572,78 @@ impl ShardedEngine {
                 joins,
                 alert_tx,
                 alert_seq: AtomicU64::new(seeded_seq),
+                quarantine: Mutex::new(Vec::new()),
             },
             alert_rx,
         )
+    }
+
+    // --- the quarantine ledger ---------------------------------------------
+
+    /// Append events from a below-threshold source to the quarantine
+    /// ledger. They are recorded verbatim and never applied to the
+    /// trusted movement history — no decisions, no violations, no
+    /// ledger counters.
+    pub fn ingest_quarantined(&self, source: SubjectId, level: u8, events: &[Event]) {
+        let mut ledger = self.quarantine.lock();
+        ledger.extend(events.iter().map(|&event| QuarantinedEvent {
+            source,
+            level,
+            event,
+        }));
+        ltam_obs::counter!(
+            "engine_quarantined_events_total",
+            "Events accepted onto the quarantine ledger instead of the trusted history"
+        )
+        .inc_by(events.len() as u64);
+    }
+
+    /// Restore the quarantine ledger from a snapshot image (recovery;
+    /// pairs with [`ShardedEngine::export_quarantine`]).
+    pub fn load_quarantine(&self, entries: Vec<QuarantinedEvent>) {
+        *self.quarantine.lock() = entries;
+    }
+
+    /// The full quarantine ledger, in arrival order (persistence and
+    /// triage).
+    pub fn export_quarantine(&self) -> Vec<QuarantinedEvent> {
+        self.quarantine.lock().clone()
+    }
+
+    /// Number of quarantined events held.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+
+    /// Quarantined events concerning `subject` (as the event's own
+    /// subject) inside `window` — what a contact-tracing answer flags:
+    /// observations that were reported but *not* trusted.
+    pub fn quarantined_involving(
+        &self,
+        subject: SubjectId,
+        window: ltam_time::Interval,
+    ) -> Vec<QuarantinedEvent> {
+        self.quarantine
+            .lock()
+            .iter()
+            .filter(|q| q.event.subject() == Some(subject) && window.contains(q.event.time()))
+            .copied()
+            .collect()
+    }
+
+    /// Quarantined events inside `window`, optionally restricted to one
+    /// reporting source (the triage query).
+    pub fn quarantined_in(
+        &self,
+        source: Option<SubjectId>,
+        window: ltam_time::Interval,
+    ) -> Vec<QuarantinedEvent> {
+        self.quarantine
+            .lock()
+            .iter()
+            .filter(|q| source.is_none_or(|s| q.source == s) && window.contains(q.event.time()))
+            .copied()
+            .collect()
     }
 
     /// Export every shard's mutable state as serializable images, in

@@ -101,6 +101,31 @@ impl EngineReadView {
         self.engine.total_entries()
     }
 
+    /// Number of events held on the quarantine ledger.
+    pub fn quarantine_len(&self) -> usize {
+        self.engine.quarantine_len()
+    }
+
+    /// Quarantined events concerning `subject` inside `window` (the
+    /// flag a contact-tracing answer carries).
+    pub fn quarantined_involving(
+        &self,
+        subject: SubjectId,
+        window: ltam_time::Interval,
+    ) -> Vec<crate::batch::QuarantinedEvent> {
+        self.engine.quarantined_involving(subject, window)
+    }
+
+    /// Quarantined events inside `window`, optionally by source (the
+    /// triage query).
+    pub fn quarantined_in(
+        &self,
+        source: Option<SubjectId>,
+        window: ltam_time::Interval,
+    ) -> Vec<crate::batch::QuarantinedEvent> {
+        self.engine.quarantined_in(source, window)
+    }
+
     /// A deterministic digest of the engine's observable enforcement
     /// state: shard count, entry/violation totals, retention watermarks
     /// and the full violation list in shard-merge order, folded through
@@ -131,6 +156,13 @@ impl EngineReadView {
             // process-independent serialization for hashing.
             fold(format!("{v:?}").as_bytes());
             fold(&[0xff]);
+        }
+        // The quarantine ledger is observable state too: a follower
+        // that dropped (or double-applied) a quarantine record must not
+        // digest equal to its primary.
+        for q in self.engine.export_quarantine() {
+            fold(format!("{q:?}").as_bytes());
+            fold(&[0xfe]);
         }
         h
     }

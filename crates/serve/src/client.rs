@@ -13,8 +13,9 @@ use crate::wire::{
     self, ErrorCode, FrameError, HistoryQuery, ReplChunk, ReplManifest, ReplReply, ReplRequest,
     Request, Response, ServerRole, ServerStatus, WireError,
 };
+use ltam_core::capability::{AdminOp, AdminOutcome, Scope, TokenId};
 use ltam_core::subject::SubjectId;
-use ltam_engine::batch::Event;
+use ltam_engine::batch::{Event, QuarantinedEvent};
 use ltam_engine::movement::Contact;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
@@ -44,8 +45,10 @@ pub enum ClientError {
         /// no, which a client failing over between a primary and its
         /// replicas cannot afford: `Busy` from a follower means "try
         /// another replica", `NotPrimary` means "writes go to the
-        /// primary named in the message".
-        role: ServerRole,
+        /// primary named in the message". `None` when the server
+        /// redacted it: an auth-required server reveals its role only
+        /// to authenticated connections.
+        role: Option<ServerRole>,
     },
     /// The server answered with a response of the wrong shape for the
     /// request (a server bug; surfaced, never silently coerced).
@@ -61,7 +64,10 @@ impl fmt::Display for ClientError {
                 code,
                 message,
                 role,
-            } => write!(f, "{role:?} server ({code:?}): {message}"),
+            } => match role {
+                Some(role) => write!(f, "{role:?} server ({code:?}): {message}"),
+                None => write!(f, "server ({code:?}): {message}"),
+            },
             ClientError::UnexpectedResponse(r) => write!(f, "unexpected response shape: {r:?}"),
         }
     }
@@ -98,6 +104,20 @@ pub struct IngestSummary {
     pub violations: Vec<Violation>,
 }
 
+/// How the server disposed of an ingest batch (see
+/// [`LtamClient::ingest_flagged`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestReply {
+    /// The batch entered trusted history through enforcement.
+    Ingested(IngestSummary),
+    /// The batch came from a below-trust source and was durably held
+    /// on the quarantine ledger instead.
+    Quarantined {
+        /// Events held.
+        held: usize,
+    },
+}
+
 /// A blocking LTAM protocol client. See the [module docs](self) for
 /// the reconnect contract.
 #[derive(Debug)]
@@ -106,6 +126,12 @@ pub struct LtamClient {
     stream: Option<TcpStream>,
     read_timeout: Option<Duration>,
     max_frame_bytes: u32,
+    /// The capability-token secret presented in a `Hello` on every
+    /// (re)connect, once [`LtamClient::hello`] or
+    /// [`LtamClient::set_token`] has been called. Re-authentication is
+    /// transparent: a reconnect after a transport error replays the
+    /// handshake before the next request frame.
+    token: Option<String>,
 }
 
 impl LtamClient {
@@ -116,6 +142,7 @@ impl LtamClient {
             stream: None,
             read_timeout: Some(Duration::from_secs(30)),
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            token: None,
         };
         client.ensure_connected()?;
         Ok(client)
@@ -135,6 +162,14 @@ impl LtamClient {
         self.stream.is_some()
     }
 
+    /// Set (or clear) the token presented on every (re)connect without
+    /// performing a handshake now. The next connection establishment
+    /// sends the `Hello`; an already-live connection is left as is —
+    /// call [`LtamClient::hello`] to re-authenticate in place.
+    pub fn set_token(&mut self, token: Option<String>) {
+        self.token = token;
+    }
+
     fn ensure_connected(&mut self) -> io::Result<&mut TcpStream> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
@@ -145,13 +180,81 @@ impl LtamClient {
         Ok(self.stream.as_mut().expect("just connected"))
     }
 
+    /// Connect if needed, replaying the `Hello` handshake on a fresh
+    /// connection when a token is configured.
+    fn ensure_ready(&mut self) -> Result<(), ClientError> {
+        let fresh = self.stream.is_none();
+        self.ensure_connected()?;
+        if fresh {
+            if let Some(token) = self.token.clone() {
+                if let Err(e) = self.hello_frame(&token) {
+                    // An unusable identity poisons the connection: drop
+                    // it so the caller's retry re-handshakes (possibly
+                    // after the operator re-minted the secret).
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Send one `Hello` on the live connection and read its answer.
+    fn hello_frame(
+        &mut self,
+        token: &str,
+    ) -> Result<(TokenId, SubjectId, Vec<Scope>), ClientError> {
+        let stream = self.stream.as_mut().expect("caller connected first");
+        wire::write_frame(
+            stream,
+            &wire::encode_request(&Request::Hello {
+                token: token.to_string(),
+            }),
+        )
+        .map_err(ClientError::Io)?;
+        let payload = wire::read_frame(stream, self.max_frame_bytes)?;
+        match wire::decode_response(&payload).map_err(ClientError::Wire)? {
+            Response::Welcome {
+                token,
+                subject,
+                scopes,
+            } => Ok((token, subject, scopes)),
+            Response::Error {
+                code,
+                message,
+                role,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                role,
+            }),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Authenticate this connection (and every future reconnect) with
+    /// `token`'s secret. Returns the identity the server welcomed: the
+    /// token id, the LTAM subject it authenticates as, and its scopes.
+    pub fn hello(&mut self, token: &str) -> Result<(TokenId, SubjectId, Vec<Scope>), ClientError> {
+        self.token = Some(token.to_string());
+        let result = (|| {
+            self.ensure_connected()?;
+            self.hello_frame(token)
+        })();
+        if matches!(result, Err(ClientError::Io(_)) | Err(ClientError::Wire(_))) {
+            self.stream = None; // desynchronized; refusals keep the stream
+        }
+        result
+    }
+
     /// Send one request and block for its response. On a transport or
     /// framing error the connection is dropped (the next call
     /// reconnects) and the error is returned.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let max_frame_bytes = self.max_frame_bytes;
         let result = (|| {
-            let stream = self.ensure_connected()?;
+            self.ensure_ready()?;
+            let stream = self.stream.as_mut().expect("just ensured");
             wire::write_frame(stream, &wire::encode_request(request)).map_err(ClientError::Io)?;
             let payload = wire::read_frame(stream, max_frame_bytes)?;
             wire::decode_response(&payload).map_err(ClientError::Wire)
@@ -224,7 +327,8 @@ impl LtamClient {
     ) -> Result<Vec<IngestSummary>, ClientError> {
         let max_frame_bytes = self.max_frame_bytes;
         let result = (|| {
-            let stream = self.ensure_connected()?;
+            self.ensure_ready()?;
+            let stream = self.stream.as_mut().expect("just ensured");
             let mut frames = Vec::new();
             for batch in batches {
                 wire::write_frame(
@@ -326,7 +430,70 @@ impl LtamClient {
         window: Interval,
     ) -> Result<Vec<Contact>, ClientError> {
         match self.call(&Request::Query(HistoryQuery::Contacts { subject, window }))? {
-            Response::Contacts { contacts } => Ok(contacts),
+            Response::Contacts { contacts, .. } => Ok(contacts),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Contact tracing for `subject` over `window`, with the quarantine
+    /// flag: any below-trust sensor claims involving the subject in the
+    /// window ride along, so an analyst sees what trusted history
+    /// *excludes* as well as what it holds.
+    pub fn contacts_flagged(
+        &mut self,
+        subject: SubjectId,
+        window: Interval,
+    ) -> Result<(Vec<Contact>, Vec<QuarantinedEvent>), ClientError> {
+        match self.call(&Request::Query(HistoryQuery::Contacts { subject, window }))? {
+            Response::Contacts {
+                contacts,
+                quarantined,
+            } => Ok((contacts, quarantined)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// The quarantine ledger: events held from below-trust sensors,
+    /// optionally filtered to one `source`, intersecting `window`.
+    pub fn quarantined(
+        &mut self,
+        source: Option<SubjectId>,
+        window: Interval,
+    ) -> Result<Vec<QuarantinedEvent>, ClientError> {
+        match self.call(&Request::Query(HistoryQuery::Quarantine { source, window }))? {
+            Response::Quarantine { events } => Ok(events),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Send one admin RPC (token mint/revoke, trust edits,
+    /// authorization grants…). The connection must be authenticated
+    /// with an admin-scoped token (or the server's root token).
+    pub fn admin(&mut self, op: AdminOp) -> Result<AdminOutcome, ClientError> {
+        match self.call(&Request::Admin(op))? {
+            Response::Admin { outcome } => Ok(outcome),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Like [`LtamClient::ingest`], but surfacing trust routing: a
+    /// below-trust sensor's batch is durably quarantined rather than
+    /// ingested, and this returns [`IngestReply::Quarantined`] instead
+    /// of treating the response as unexpected.
+    pub fn ingest_flagged(&mut self, events: &[Event]) -> Result<IngestReply, ClientError> {
+        match self.call(&Request::Ingest(events.to_vec()))? {
+            Response::Ingested {
+                processed,
+                granted,
+                denied,
+                violations,
+            } => Ok(IngestReply::Ingested(IngestSummary {
+                processed,
+                granted,
+                denied,
+                violations,
+            })),
+            Response::Quarantined { held } => Ok(IngestReply::Quarantined { held }),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
@@ -415,7 +582,8 @@ impl LtamClient {
         let max_frame_bytes = self.max_frame_bytes;
         let request = Request::Repl(ReplRequest::Fetch { file, offset, len });
         let result = (|| {
-            let stream = self.ensure_connected()?;
+            self.ensure_ready()?;
+            let stream = self.stream.as_mut().expect("just ensured");
             wire::write_frame(stream, &wire::encode_request(&request)).map_err(ClientError::Io)?;
             let payload = wire::read_frame(stream, max_frame_bytes)?;
             wire::decode_repl_reply(&payload).map_err(ClientError::Wire)

@@ -30,8 +30,16 @@
 //!   (resume-from-(segment, offset)), replaying verified batches
 //!   through normal ingest and serving read-only queries at a
 //!   monotone watermark. Writes at a follower are refused with
-//!   [`ErrorCode::NotPrimary`]; a policy-epoch swap parks the
+//!   [`ErrorCode::NotPrimary`]; an enforcement-epoch swap parks the
 //!   follower for re-bootstrap rather than risking divergence.
+//!
+//! Since PR 9 the wire is **policy-governed**: a `Hello` handshake
+//! maps a connection to an LTAM subject via a capability token
+//! ([`ltam_core::capability`]), every frame kind is gated against the
+//! live token registry (revocation and expiry bite on the very next
+//! frame), admin RPCs ([`Request::Admin`]) edit policy durably over
+//! the wire, and events from below-trust sensors are quarantined
+//! rather than enforced. See `docs/OPERATIONS.md` §10.
 
 #![warn(missing_docs)]
 
@@ -41,9 +49,9 @@ pub mod replica;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, IngestSummary, LtamClient};
+pub use client::{ClientError, IngestReply, IngestSummary, LtamClient};
 pub use loadgen::{drive, LoadConfig, LoadReport};
-pub use replica::{bootstrap_follower, ReplicaConfig};
+pub use replica::{bootstrap_follower, bootstrap_follower_as, ReplicaConfig};
 pub use server::{Server, ServerConfig};
 pub use wire::{
     ErrorCode, FrameError, HistoryQuery, ReplChunk, ReplChunkMeta, ReplManifest, ReplReply,

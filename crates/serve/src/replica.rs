@@ -43,7 +43,7 @@
 
 use crate::client::{ClientError, LtamClient};
 use crate::wire::{ErrorCode, ReplManifest, ReplicaState, ReplicaStatus};
-use ltam_store::replica::{ReplFile, ReplFileId, TailScanner};
+use ltam_store::replica::{ReplFile, ReplFileId, TailBatch, TailScanner};
 use ltam_store::{CommitHandle, DurableEngine, ReadView, StoreConfig};
 use parking_lot::Mutex;
 use std::fs;
@@ -69,6 +69,13 @@ pub struct ReplicaConfig {
     /// engine catches up to it, and the published watermark never
     /// drops below it.
     pub watermark_floor: u64,
+    /// The capability-token secret this follower authenticates its
+    /// replication connection with (`None` for an open-wire primary).
+    /// A revocation mid-tail surfaces as the primary refusing fetches:
+    /// the loop parks [`ReplicaState::Disconnected`] — its *position*
+    /// is still good — and resumes monotonically once the operator
+    /// re-mints the secret.
+    pub token: Option<String>,
 }
 
 impl ReplicaConfig {
@@ -80,6 +87,7 @@ impl ReplicaConfig {
             poll_interval: Duration::from_millis(20),
             chunk_bytes: 1 << 20,
             watermark_floor: 0,
+            token: None,
         }
     }
 }
@@ -249,6 +257,20 @@ pub fn bootstrap_follower(
     primary_addr: &str,
     config: StoreConfig,
 ) -> io::Result<DurableEngine> {
+    bootstrap_follower_as(dir, primary_addr, None, config)
+}
+
+/// [`bootstrap_follower`] with a replication capability token: the
+/// fetch connection authenticates with `token`'s secret before asking
+/// for the manifest — required against a primary whose wire demands
+/// auth. The same secret then goes in [`ReplicaConfig::token`] for the
+/// tailing loop.
+pub fn bootstrap_follower_as(
+    dir: &Path,
+    primary_addr: &str,
+    token: Option<&str>,
+    config: StoreConfig,
+) -> io::Result<DurableEngine> {
     fs::create_dir_all(dir)?;
     if ltam_store::replica::newest_snapshot(dir)?.is_some()
         || !ltam_store::replica::wal_segment_ids(dir)?.is_empty()
@@ -259,6 +281,9 @@ pub fn bootstrap_follower(
         )));
     }
     let mut client = LtamClient::connect(primary_addr)?;
+    if let Some(token) = token {
+        client.hello(token).map_err(replication_error)?;
+    }
     let manifest = client.repl_manifest().map_err(replication_error)?;
     let Some(snapshot) = manifest.snapshot else {
         return Err(io::Error::other(
@@ -325,6 +350,20 @@ pub(crate) fn replicate_loop(
                     // A bounded read timeout keeps shutdown prompt even
                     // against a hung primary.
                     c.set_read_timeout(Some(Duration::from_secs(1)));
+                    if let Some(token) = &config.token {
+                        // Authenticate before the first manifest poll.
+                        // A refusal (revoked, expired, not yet minted)
+                        // is a *connection* problem, not a position
+                        // problem: park Disconnected and retry — once
+                        // the operator re-mints the secret, tailing
+                        // resumes from the same monotone cursor.
+                        if let Err(e) = c.hello(token) {
+                            shared
+                                .set_state(STATE_DISCONNECTED, Some(format!("authenticate: {e}")));
+                            sleep_while(&stop, config.poll_interval);
+                            continue;
+                        }
+                    }
                     c
                 }
                 Err(e) => {
@@ -349,17 +388,22 @@ pub(crate) fn replicate_loop(
         shared.publish_lag();
         shared
             .primary_epoch
-            .store(manifest.policy_epoch, Ordering::Release);
-        if manifest.policy_epoch != view.policy_epoch() {
-            // Policy edits are not WAL records: tailing cannot carry an
-            // epoch swap across. Park — apply nothing — until an
-            // operator re-bootstraps from a post-swap snapshot.
+            .store(manifest.enforcement_epoch, Ordering::Release);
+        if manifest.enforcement_epoch != view.enforcement_epoch() {
+            // Enforcement-relevant policy edits are not WAL records:
+            // tailing cannot carry such a swap across. Park — apply
+            // nothing — until an operator re-bootstraps from a
+            // post-swap snapshot. (Wire-auth-only edits — token mints,
+            // trust tweaks — bump the *policy* epoch but not this one:
+            // they do not change how events are judged, so the tail
+            // keeps flowing through them.)
             shared.set_state(
                 STATE_NEEDS_BOOTSTRAP,
                 Some(format!(
-                    "primary is on policy epoch {}, this follower on {}; re-bootstrap required",
-                    manifest.policy_epoch,
-                    view.policy_epoch()
+                    "primary is on enforcement epoch {}, this follower on {}; \
+                     re-bootstrap required",
+                    manifest.enforcement_epoch,
+                    view.enforcement_epoch()
                 )),
             );
             client = Some(c);
@@ -423,14 +467,15 @@ pub(crate) fn replicate_loop(
                     break false; // reconnect via the outer loop
                 }
             };
-            if chunk.meta.policy_epoch != view.policy_epoch() {
-                // The epoch moved while this chunk was in flight; its
-                // bytes may straddle the swap. Apply nothing.
+            if chunk.meta.enforcement_epoch != view.enforcement_epoch() {
+                // The enforcement epoch moved while this chunk was in
+                // flight; its bytes may straddle the swap. Apply
+                // nothing.
                 shared.set_state(
                     STATE_NEEDS_BOOTSTRAP,
                     Some(format!(
-                        "primary moved to policy epoch {} mid-stream; re-bootstrap required",
-                        chunk.meta.policy_epoch
+                        "primary moved to enforcement epoch {} mid-stream; re-bootstrap required",
+                        chunk.meta.enforcement_epoch
                     )),
                 );
                 break true;
@@ -446,10 +491,23 @@ pub(crate) fn replicate_loop(
             );
             let mut commit_failed = false;
             for batch in step.batches {
-                if batch.is_empty() {
+                if batch.events().is_empty() {
                     continue;
                 }
-                if let Err(e) = commit.commit(batch) {
+                // Replay each shipped record as what it *was*: trusted
+                // batches through enforcement, quarantine records onto
+                // the follower's own quarantine ledger — so a
+                // follower's answers flag exactly what the primary's
+                // do.
+                let committed = match batch {
+                    TailBatch::Events(events) => commit.commit(events).map(|_| ()),
+                    TailBatch::Quarantine {
+                        source,
+                        level,
+                        events,
+                    } => commit.commit_quarantine(source, level, events).map(|_| ()),
+                };
+                if let Err(e) = committed {
                     // The *follower's* own store failed — nothing wrong
                     // with the shipped bytes. The scanner cursor is now
                     // ahead of the applied state, so it must be rebuilt.

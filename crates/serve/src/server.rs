@@ -79,7 +79,9 @@ use crate::wire::{
     self, ErrorCode, FrameAssembler, HistoryQuery, ReplChunk, ReplChunkMeta, ReplManifest,
     ReplRequest, Request, Response, ServerRole, ServerStatus,
 };
-use ltam_engine::batch::BatchOutcome;
+use ltam_core::capability::{AdminOutcome, AuthRefusal, Capability, Scope, TokenId, WireAuth};
+use ltam_core::subject::SubjectId;
+use ltam_engine::batch::{BatchOutcome, Event};
 use ltam_store::replica::{
     archive_files, epoch_marker_file, newest_snapshot, read_file_chunk, wal_segment_ids, ReplFileId,
 };
@@ -97,7 +99,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tunables for a [`Server`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Served connections beyond this are refused with
     /// [`ErrorCode::Busy`].
@@ -122,6 +124,13 @@ pub struct ServerConfig {
     /// Group-commit drain cap, in events (see
     /// [`GroupCommitConfig::max_group_events`]).
     pub max_group_events: usize,
+    /// A locally configured secret that authenticates with every
+    /// capability, outside the durable token registry — the lockout
+    /// recovery path: an operator who revoked (or let expire) every
+    /// admin-scoped token restarts the server with a root token and
+    /// mints fresh ones over the wire. `None` (the default) disables
+    /// it; it never appears in snapshots or the WAL.
+    pub root_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +144,7 @@ impl Default for ServerConfig {
             max_pipeline: 128,
             write_buffer_bytes: 1 << 20,
             max_group_events: GroupCommitConfig::default().max_group_events,
+            root_token: None,
         }
     }
 }
@@ -159,13 +169,26 @@ enum WriteKind {
     Check,
 }
 
+/// What a commit-thread job finished as (decides the response shape).
+enum Done {
+    /// An ingest or swipe batch committed through enforcement.
+    Write {
+        kind: WriteKind,
+        result: io::Result<BatchOutcome>,
+    },
+    /// A below-trust sensor's batch, durably held on the quarantine
+    /// ledger instead of entering trusted history.
+    Quarantine(io::Result<usize>),
+    /// An admin RPC applied as a durable policy edit.
+    Admin(io::Result<AdminOutcome>),
+}
+
 /// A commit completion routed back to the poll thread that owns the
 /// connection.
 struct Completion {
     conn: u64,
     slot: u64,
-    kind: WriteKind,
-    result: io::Result<BatchOutcome>,
+    done: Done,
 }
 
 /// Work posted to a poll thread from outside its loop.
@@ -417,11 +440,30 @@ enum SlotState {
     Ready(Vec<u8>),
 }
 
+/// Who a connection has authenticated as. Only the *identity* is held
+/// here — every frame re-resolves the token against the live policy,
+/// so a revocation or expiry bites on the very next frame without the
+/// connection being torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnAuth {
+    /// No `Hello` yet (or the wire is open and none was required).
+    Anonymous,
+    /// Authenticated by a registry token; capabilities are whatever the
+    /// token grants *at each frame's check*, not at handshake time.
+    Token(TokenId),
+    /// Authenticated by the server's configured
+    /// [`ServerConfig::root_token`]: every capability, no expiry, not
+    /// revocable over the wire (it lives in local config, not policy).
+    Root,
+}
+
 /// One nonblocking connection owned by a poll loop.
 struct Conn {
     stream: TcpStream,
     id: u64,
     token: Token,
+    /// The connection's authenticated identity (see [`ConnAuth`]).
+    auth: ConnAuth,
     assembler: FrameAssembler,
     /// Response FIFO: one slot per in-flight request, request order.
     pending: VecDeque<SlotState>,
@@ -643,6 +685,7 @@ fn admit(
         stream,
         id,
         token,
+        auth: ConnAuth::Anonymous,
         assembler: FrameAssembler::new(shared.config.max_frame_bytes),
         pending: VecDeque::new(),
         next_slot: 0,
@@ -740,13 +783,37 @@ fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
     ));
     let response = Response::Error {
         code: ErrorCode::Busy,
-        role: shared.role,
+        // A refused accept never authenticated: on an auth-required
+        // wire the role is redacted like every other pre-handshake
+        // status field.
+        role: anonymous_role(shared),
         message: format!(
             "serving {} connections (the configured limit); retry later",
             shared.config.max_connections
         ),
     };
     let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+}
+
+/// The role field an **unauthenticated** connection may see: the real
+/// role on an open wire, redacted (`None`) when authentication is
+/// required — a pre-handshake error frame must not leak whether it is
+/// talking to a primary or a follower.
+fn anonymous_role(shared: &Shared) -> Option<ServerRole> {
+    if shared.view.engine().policy().wire().required {
+        None
+    } else {
+        Some(shared.role)
+    }
+}
+
+/// The role field `conn` may see in an error frame right now.
+fn visible_role(conn: &Conn, shared: &Shared) -> Option<ServerRole> {
+    if conn.auth == ConnAuth::Anonymous {
+        anonymous_role(shared)
+    } else {
+        Some(shared.role)
+    }
 }
 
 /// The `serve_refused_total{code=...}` counter. Refusals are error
@@ -807,11 +874,12 @@ fn read_input(
                     // then close.
                     shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
                     refused("bad_request").inc();
+                    let role = visible_role(conn, shared);
                     push_response(
                         conn,
                         &Response::Error {
                             code: ErrorCode::BadRequest,
-                            role: shared.role,
+                            role,
                             message: format!("unreadable frame: {e}"),
                         },
                     );
@@ -832,6 +900,187 @@ fn read_input(
 
 /// Decode one frame's request and either answer it inline (queries,
 /// errors) or submit it to the commit thread (writes).
+/// Which capability a request needs ([`Request::Hello`] needs none —
+/// it is how a connection *acquires* one).
+fn needed_capability(request: &Request) -> Option<Capability> {
+    match request {
+        Request::Hello { .. } => None,
+        Request::Ingest(_) | Request::Check(_) => Some(Capability::Ingest),
+        Request::Query(_) | Request::Metrics => Some(Capability::Query),
+        Request::Repl(_) => Some(Capability::Replicate),
+        Request::Admin(_) => Some(Capability::Admin),
+    }
+}
+
+/// Map a capability refusal to its wire error code: a token outside
+/// its validity window means the *identity* is no longer established
+/// ([`ErrorCode::Unauthenticated`] — re-`Hello` with a fresh token);
+/// a live identity lacking the right grant is
+/// [`ErrorCode::PermissionDenied`] (revoked, missing scope, or an
+/// ingest scope not covering a batch's location).
+fn refusal_code(refusal: &AuthRefusal) -> ErrorCode {
+    match refusal {
+        AuthRefusal::Expired { .. } => ErrorCode::Unauthenticated,
+        AuthRefusal::Revoked
+        | AuthRefusal::MissingScope { .. }
+        | AuthRefusal::LocationNotCovered { .. } => ErrorCode::PermissionDenied,
+    }
+}
+
+/// Every location a write batch touches (for ingest-scope coverage).
+fn batch_locations(events: &[Event]) -> Vec<ltam_graph::LocationId> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Request { location, .. }
+            | Event::Enter { location, .. }
+            | Event::Exit { location, .. } => Some(*location),
+            Event::Tick { .. } => None,
+        })
+        .collect()
+}
+
+/// The outcome of the per-frame capability gate.
+enum Gate {
+    /// Frame allowed; `source` names the authenticated sensor subject
+    /// and its trust level when the frame came over a registry token
+    /// (root and anonymous-on-an-open-wire carry no trust routing).
+    Allow { source: Option<(SubjectId, u8)> },
+    /// Frame refused with this error code and message.
+    Refuse { code: ErrorCode, message: String },
+}
+
+/// Gate one decoded request against the **live** wire-auth policy: the
+/// check runs against the policy as of this frame (not handshake
+/// time), at the engine's current monitoring clock — so a revocation,
+/// an expiry crossed by a `Tick`, or a policy-epoch swap all bite on
+/// the next frame of an already-authenticated connection.
+fn gate_request(conn: &Conn, request: &Request, wire_auth: &WireAuth, shared: &Shared) -> Gate {
+    let Some(needed) = needed_capability(request) else {
+        return Gate::Allow { source: None }; // Hello gates itself
+    };
+    // Admin RPCs are always gated; everything else only when the wire
+    // requires auth — but a token *presented* on an open wire is still
+    // held to its scopes (it asked to be identified; identity has
+    // consequences, like trust routing).
+    let must_check =
+        wire_auth.required || needed == Capability::Admin || conn.auth != ConnAuth::Anonymous;
+    if !must_check {
+        return Gate::Allow { source: None };
+    }
+    let token = match conn.auth {
+        ConnAuth::Root => return Gate::Allow { source: None },
+        ConnAuth::Anonymous => {
+            return Gate::Refuse {
+                code: ErrorCode::Unauthenticated,
+                message: "this request requires authentication; send a Hello frame with a \
+                          capability token first"
+                    .into(),
+            };
+        }
+        ConnAuth::Token(id) => match wire_auth.token(id) {
+            Some(token) => token,
+            // Tokens are never removed from the registry, but a
+            // follower re-bootstrap can swap in a policy that predates
+            // this id. Treat the vanished identity as unauthenticated.
+            None => {
+                return Gate::Refuse {
+                    code: ErrorCode::Unauthenticated,
+                    message: "the authenticated token no longer exists in policy; \
+                              re-authenticate"
+                        .into(),
+                };
+            }
+        },
+    };
+    let now = shared.view.clock();
+    if let Err(refusal) = token.permits(needed, now) {
+        return Gate::Refuse {
+            code: refusal_code(&refusal),
+            message: format!("refusing {needed:?} frame: {refusal}"),
+        };
+    }
+    if needed == Capability::Ingest {
+        let locations = match request {
+            Request::Ingest(events) => batch_locations(events),
+            Request::Check(event) => batch_locations(std::slice::from_ref(event)),
+            _ => Vec::new(),
+        };
+        if let Err(refusal) = token.permits_locations(locations.iter()) {
+            return Gate::Refuse {
+                code: refusal_code(&refusal),
+                message: format!("refusing Ingest frame: {refusal}"),
+            };
+        }
+    }
+    Gate::Allow {
+        source: Some((token.subject, wire_auth.trust.level_of(token.subject))),
+    }
+}
+
+/// Answer a `Hello` handshake: resolve the secret, stamp the
+/// connection's identity, and welcome (or refuse without changing the
+/// connection's current identity — a failed re-`Hello` does not
+/// de-authenticate).
+fn answer_hello(conn: &mut Conn, secret: &str, wire_auth: &WireAuth, shared: &Shared) {
+    if !secret.is_empty() && shared.config.root_token.as_deref() == Some(secret) {
+        conn.auth = ConnAuth::Root;
+        push_response(
+            conn,
+            &Response::Welcome {
+                token: TokenId(u64::MAX),
+                subject: SubjectId(u32::MAX),
+                scopes: vec![
+                    Scope::Ingest { locations: None },
+                    Scope::Query,
+                    Scope::Replicate,
+                    Scope::Admin,
+                ],
+            },
+        );
+        return;
+    }
+    match wire_auth.authenticate(secret) {
+        Some(token) => {
+            let now = shared.view.clock();
+            if !token.validity.contains(now) {
+                refused("unauthenticated").inc();
+                let role = visible_role(conn, shared);
+                push_response(
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::Unauthenticated,
+                        role,
+                        message: format!("token not valid at monitoring time {}", now.0),
+                    },
+                );
+                return;
+            }
+            conn.auth = ConnAuth::Token(token.id);
+            push_response(
+                conn,
+                &Response::Welcome {
+                    token: token.id,
+                    subject: token.subject,
+                    scopes: token.scopes.clone(),
+                },
+            );
+        }
+        None => {
+            refused("unauthenticated").inc();
+            let role = visible_role(conn, shared);
+            push_response(
+                conn,
+                &Response::Error {
+                    code: ErrorCode::Unauthenticated,
+                    role,
+                    message: "unknown or revoked token".into(),
+                },
+            );
+        }
+    }
+}
+
 fn dispatch(
     conn: &mut Conn,
     payload: &[u8],
@@ -847,11 +1096,12 @@ fn dispatch(
             shared.stats.protocol_errors.fetch_add(1, Ordering::SeqCst);
             refused("bad_request").inc();
             count_served(conn, shared);
+            let role = visible_role(conn, shared);
             push_response(
                 conn,
                 &Response::Error {
                     code: ErrorCode::BadRequest,
-                    role: shared.role,
+                    role,
                     message: e.to_string(),
                 },
             );
@@ -865,6 +1115,33 @@ fn dispatch(
         None
     )
     .observe(conn.pending.len() as u64);
+    // --- the capability gate, against the live policy ---------------------
+    let policy = shared.view.engine().policy();
+    let wire_auth = policy.wire();
+    if let Request::Hello { token } = &request {
+        answer_hello(conn, token, wire_auth, shared);
+        return;
+    }
+    let source = match gate_request(conn, &request, wire_auth, shared) {
+        Gate::Allow { source } => source,
+        Gate::Refuse { code, message } => {
+            refused(match code {
+                ErrorCode::Unauthenticated => "unauthenticated",
+                _ => "permission_denied",
+            })
+            .inc();
+            let role = visible_role(conn, shared);
+            push_response(
+                conn,
+                &Response::Error {
+                    code,
+                    role,
+                    message,
+                },
+            );
+            return;
+        }
+    };
     let (events, kind) = match request {
         Request::Query(query) => {
             let _span = ltam_obs::timed!(
@@ -901,6 +1178,52 @@ fn dispatch(
             );
             return;
         }
+        Request::Hello { .. } => unreachable!("Hello answered before the gate"),
+        Request::Admin(op) => {
+            if let Some(replica) = &shared.replica {
+                // A follower's policy is a bootstrap-time copy of the
+                // primary's; editing it here would fork the two.
+                refused("not_primary").inc();
+                push_response(
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::NotPrimary,
+                        role: Some(shared.role),
+                        message: format!(
+                            "admin RPCs edit policy on the primary at {}; followers pick the \
+                             edit up at their next bootstrap",
+                            replica.primary_addr()
+                        ),
+                    },
+                );
+                return;
+            }
+            let slot = conn.next_slot;
+            conn.next_slot += 1;
+            conn.pending.push_back(SlotState::Waiting(slot));
+            let done = {
+                let shared = Arc::clone(shared);
+                let conn_id = conn.id;
+                move |result: io::Result<AdminOutcome>| {
+                    let t = &shared.threads[index];
+                    t.inbox.lock().done.push(Completion {
+                        conn: conn_id,
+                        slot,
+                        done: Done::Admin(result),
+                    });
+                    let _ = t.waker.wake();
+                }
+            };
+            if commit.submit_admin(op, done).is_err() {
+                let frame = response_frame(&Response::Error {
+                    code: ErrorCode::Internal,
+                    role: Some(shared.role),
+                    message: "server is shutting down".into(),
+                });
+                *conn.pending.back_mut().expect("slot just pushed") = SlotState::Ready(frame);
+            }
+            return;
+        }
         Request::Ingest(events) => (events, WriteKind::Ingest),
         Request::Check(event) => (vec![event], WriteKind::Check),
     };
@@ -913,7 +1236,7 @@ fn dispatch(
             conn,
             &Response::Error {
                 code: ErrorCode::NotPrimary,
-                role: shared.role,
+                role: Some(shared.role),
                 message: format!(
                     "this server is a read-only follower; send writes to the primary at {}",
                     replica.primary_addr()
@@ -921,6 +1244,41 @@ fn dispatch(
             },
         );
         return;
+    }
+    // Trust routing: an authenticated source below the trust threshold
+    // has its events durably *quarantined* — never entering trusted
+    // history, never advancing the monitoring clock — and is told so.
+    if let Some((subject, level)) = source {
+        if !wire_auth.trust.trusted(subject) {
+            let slot = conn.next_slot;
+            conn.next_slot += 1;
+            conn.pending.push_back(SlotState::Waiting(slot));
+            let done = {
+                let shared = Arc::clone(shared);
+                let conn_id = conn.id;
+                move |result: io::Result<usize>| {
+                    let t = &shared.threads[index];
+                    t.inbox.lock().done.push(Completion {
+                        conn: conn_id,
+                        slot,
+                        done: Done::Quarantine(result),
+                    });
+                    let _ = t.waker.wake();
+                }
+            };
+            if commit
+                .submit_quarantine(subject, level, events, done)
+                .is_err()
+            {
+                let frame = response_frame(&Response::Error {
+                    code: ErrorCode::Internal,
+                    role: Some(shared.role),
+                    message: "server is shutting down".into(),
+                });
+                *conn.pending.back_mut().expect("slot just pushed") = SlotState::Ready(frame);
+            }
+            return;
+        }
     }
     let slot = conn.next_slot;
     conn.next_slot += 1;
@@ -955,8 +1313,7 @@ fn dispatch(
             t.inbox.lock().done.push(Completion {
                 conn: conn_id,
                 slot,
-                kind,
-                result,
+                done: Done::Write { kind, result },
             });
             let _ = t.waker.wake();
         }
@@ -966,34 +1323,61 @@ fn dispatch(
         // in place.
         let frame = response_frame(&Response::Error {
             code: ErrorCode::Internal,
-            role: shared.role,
+            role: Some(shared.role),
             message: "server is shutting down".into(),
         });
         *conn.pending.back_mut().expect("slot just pushed") = SlotState::Ready(frame);
     }
 }
 
-/// Turn a commit completion into its slot's ready response.
+/// Turn a commit completion into its slot's ready response. Every
+/// completion is for a frame that passed the capability gate, so its
+/// error frames carry the unredacted role.
 fn apply_completion(conn: &mut Conn, completion: Completion, role: ServerRole) {
-    let response = match (completion.kind, completion.result) {
-        (WriteKind::Ingest, Ok(outcome)) => Response::Ingested {
+    let role = Some(role);
+    let response = match completion.done {
+        Done::Write {
+            kind: WriteKind::Ingest,
+            result: Ok(outcome),
+        } => Response::Ingested {
             processed: outcome.processed,
             granted: outcome.granted,
             denied: outcome.denied,
             violations: outcome.violations,
         },
-        (WriteKind::Check, Ok(outcome)) => Response::Access {
+        Done::Write {
+            kind: WriteKind::Check,
+            result: Ok(outcome),
+        } => Response::Access {
             granted: outcome.granted == 1,
         },
-        (WriteKind::Ingest, Err(e)) => Response::Error {
+        Done::Write {
+            kind: WriteKind::Ingest,
+            result: Err(e),
+        } => Response::Error {
             code: ErrorCode::Internal,
             role,
             message: format!("batch not durable: {e}"),
         },
-        (WriteKind::Check, Err(e)) => Response::Error {
+        Done::Write {
+            kind: WriteKind::Check,
+            result: Err(e),
+        } => Response::Error {
             code: ErrorCode::Internal,
             role,
             message: format!("swipe not durable: {e}"),
+        },
+        Done::Quarantine(Ok(held)) => Response::Quarantined { held },
+        Done::Quarantine(Err(e)) => Response::Error {
+            code: ErrorCode::Internal,
+            role,
+            message: format!("quarantine batch not durable: {e}"),
+        },
+        Done::Admin(Ok(outcome)) => Response::Admin { outcome },
+        Done::Admin(Err(e)) => Response::Error {
+            code: ErrorCode::Internal,
+            role,
+            message: format!("admin edit not durable: {e}"),
         },
     };
     let frame = response_frame(&response);
@@ -1121,7 +1505,9 @@ fn update_interest(conn: &mut Conn, poll: &Poll, config: &ServerConfig) -> bool 
 /// [`ReadView`] — never touching the commit thread.
 fn answer_query(query: HistoryQuery, shared: &Shared) -> Response {
     let view = &shared.view;
-    let role = shared.role;
+    // Queries reach here only after the capability gate, so the role
+    // is never redacted on this path.
+    let role = Some(shared.role);
     // A freshly (re-)started follower may hold state older than the
     // watermark its predecessor already served reads at. Answering
     // from it would show time running backward; refuse until caught
@@ -1155,12 +1541,21 @@ fn answer_query(query: HistoryQuery, shared: &Shared) -> Response {
             .unwrap_or_else(|e| history_error(e, role)),
         HistoryQuery::Contacts { subject, window } => view
             .contacts(subject, window)
-            .map(|contacts| Response::Contacts { contacts })
+            .map(|contacts| Response::Contacts {
+                contacts,
+                // Contact-tracing answers flag what quarantine holds:
+                // an analyst must see that an untrusted sensor claimed
+                // more contact than trusted history shows.
+                quarantined: view.engine().quarantined_involving(subject, window),
+            })
             .unwrap_or_else(|e| history_error(e, role)),
         HistoryQuery::ViolationsIn { window } => view
             .violations_in(window)
             .map(|violations| Response::Violations { violations })
             .unwrap_or_else(|e| history_error(e, role)),
+        HistoryQuery::Quarantine { source, window } => Response::Quarantine {
+            events: view.engine().quarantined_in(source, window),
+        },
         HistoryQuery::Status => Response::Status {
             status: status_of(shared),
         },
@@ -1177,7 +1572,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
             conn,
             &Response::Error {
                 code: ErrorCode::BadRequest,
-                role: shared.role,
+                role: Some(shared.role),
                 message: "replication is served by the primary, not a follower".into(),
             },
         );
@@ -1202,6 +1597,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
                         // never overstate what the listed files hold.
                         applied: view.applied(),
                         policy_epoch: view.policy_epoch(),
+                        enforcement_epoch: view.enforcement_epoch(),
                         retention_watermark: view.retention_watermark().get(),
                         snapshot,
                         archives,
@@ -1211,7 +1607,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
                 },
                 Err(e) => Response::Error {
                     code: ErrorCode::Internal,
-                    role: shared.role,
+                    role: Some(shared.role),
                     message: format!("listing store files: {e}"),
                 },
             };
@@ -1240,6 +1636,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
                             sealed,
                             applied: view.applied(),
                             policy_epoch: view.policy_epoch(),
+                            enforcement_epoch: view.enforcement_epoch(),
                             retention_watermark: view.retention_watermark().get(),
                         },
                         bytes: read.bytes,
@@ -1255,7 +1652,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
                         conn,
                         &Response::Error {
                             code: ErrorCode::Gone,
-                            role: shared.role,
+                            role: Some(shared.role),
                             message: format!(
                                 "{} is gone (pruned or compacted); re-list the manifest",
                                 file.file_name()
@@ -1267,7 +1664,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
                     conn,
                     &Response::Error {
                         code: ErrorCode::Internal,
-                        role: shared.role,
+                        role: Some(shared.role),
                         message: format!("reading {}: {e}", file.file_name()),
                     },
                 ),
@@ -1276,7 +1673,7 @@ fn answer_repl(conn: &mut Conn, request: ReplRequest, shared: &Shared) {
     }
 }
 
-fn history_error(e: HistoryError, role: ServerRole) -> Response {
+fn history_error(e: HistoryError, role: Option<ServerRole>) -> Response {
     let code = match e {
         HistoryError::Unarchived { .. } => ErrorCode::Unarchived,
         HistoryError::Io(_) => ErrorCode::Internal,
@@ -1303,6 +1700,9 @@ fn status_of(shared: &Shared) -> ServerStatus {
         events_ingested: view.applied(),
         snapshot_seq: view.last_snapshot_seq(),
         policy_epoch: view.policy_epoch(),
+        enforcement_epoch: view.enforcement_epoch(),
+        auth_required: view.engine().policy().wire().required,
+        quarantined_events: view.engine().quarantine_len(),
         retention_watermark: view.retention_watermark().get(),
         archive_covered_to,
         archive_error,

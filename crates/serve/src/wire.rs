@@ -29,8 +29,9 @@
 //! flip in the payload). The workspace's serve property tests assert
 //! all of this the same way the codec's do.
 
+use ltam_core::capability::{AdminOp, AdminOutcome, Scope, TokenId};
 use ltam_core::subject::SubjectId;
-use ltam_engine::batch::{EngineStatus, Event};
+use ltam_engine::batch::{EngineStatus, Event, QuarantinedEvent};
 use ltam_engine::movement::Contact;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
@@ -58,6 +59,8 @@ const KIND_RESPONSE: u8 = 0x04;
 const KIND_REPL: u8 = 0x05;
 const KIND_REPL_CHUNK: u8 = 0x06;
 const KIND_METRICS: u8 = 0x07;
+const KIND_HELLO: u8 = 0x08;
+const KIND_ADMIN: u8 = 0x09;
 
 /// Why a frame or payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +165,21 @@ pub enum Request {
     /// text exposition, including every `ltam-obs` series the process
     /// has registered.
     Metrics,
+    /// The authentication handshake (tag `0x08`): present a capability
+    /// token's secret. Answered with [`Response::Welcome`] (mapping the
+    /// connection to the token's subject and scopes) or an
+    /// [`ErrorCode::Unauthenticated`] refusal. May be re-sent on a live
+    /// connection to switch tokens.
+    Hello {
+        /// The token secret minted by an admin.
+        token: String,
+    },
+    /// A policy/token administration operation (tag `0x09`, JSON body).
+    /// Requires an authenticated connection whose token carries
+    /// [`Scope::Admin`] (or the server's root token), regardless of
+    /// whether auth is otherwise required. Answered with
+    /// [`Response::Admin`].
+    Admin(AdminOp),
 }
 
 /// What a follower asks its primary for (JSON-bodied, tag `0x05`).
@@ -194,6 +212,11 @@ pub struct ReplManifest {
     /// on a different epoch must re-bootstrap — policy edits are not
     /// WAL records, so tailing cannot carry them across.
     pub policy_epoch: u64,
+    /// The primary's enforcement epoch — the epoch followers actually
+    /// compare: wire-auth edits (token mint/revoke, trust changes) bump
+    /// `policy_epoch` without touching this, and must not park a
+    /// follower in `NeedsBootstrap`.
+    pub enforcement_epoch: u64,
     /// The primary's movement-retention watermark (chronons; 0 = never
     /// pruned).
     pub retention_watermark: u64,
@@ -228,6 +251,9 @@ pub struct ReplChunkMeta {
     /// The primary's policy epoch, read after the bytes (same ordering
     /// guarantee).
     pub policy_epoch: u64,
+    /// The primary's enforcement epoch, read after the bytes — the one
+    /// the follower compares (see [`ReplManifest::enforcement_epoch`]).
+    pub enforcement_epoch: u64,
     /// The primary's retention watermark (chronons).
     pub retention_watermark: u64,
 }
@@ -285,6 +311,15 @@ pub enum HistoryQuery {
         /// The report window.
         window: Interval,
     },
+    /// The quarantine triage query: events held off enforcement because
+    /// their sensor's trust level was below the threshold, optionally
+    /// filtered by source sensor.
+    Quarantine {
+        /// Only events from this sensor (`None` = all sources).
+        source: Option<SubjectId>,
+        /// The report window.
+        window: Interval,
+    },
     /// Operational counters (see [`ServerStatus`]).
     Status,
 }
@@ -312,6 +347,14 @@ pub enum ErrorCode {
     /// history query rather than serve an answer older than what it
     /// already acknowledged serving.
     Stale,
+    /// The connection has not presented a valid token (no handshake,
+    /// unknown secret, or the token expired/was revoked) and the server
+    /// requires one. Re-handshake with a live token to continue.
+    Unauthenticated,
+    /// The connection's token is live but does not carry the capability
+    /// this frame needs (wrong scope, or a location outside the token's
+    /// ingest grant).
+    PermissionDenied,
 }
 
 /// Which role a server is running in (stamped on status and on every
@@ -366,13 +409,43 @@ pub enum Response {
     },
     /// Answer to [`HistoryQuery::Contacts`].
     Contacts {
-        /// The contact rows.
+        /// The contact rows (trusted history only).
         contacts: Vec<Contact>,
+        /// Quarantined events involving the subject inside the window —
+        /// kept separate so an answer built on untrusted sensor data is
+        /// *flagged*, never silently merged into `contacts`.
+        quarantined: Vec<QuarantinedEvent>,
     },
     /// Answer to [`HistoryQuery::ViolationsIn`].
     Violations {
         /// The violations inside the window.
         violations: Vec<Violation>,
+    },
+    /// Answer to [`HistoryQuery::Quarantine`].
+    Quarantine {
+        /// The held events, with their source and its trust level.
+        events: Vec<QuarantinedEvent>,
+    },
+    /// Answer to [`Request::Hello`]: the connection is now authenticated.
+    Welcome {
+        /// The token's id (for audit lines; never the secret).
+        token: TokenId,
+        /// The LTAM subject the connection now acts as.
+        subject: SubjectId,
+        /// The scopes the token grants.
+        scopes: Vec<Scope>,
+    },
+    /// Answer to [`Request::Admin`].
+    Admin {
+        /// What the operation did.
+        outcome: AdminOutcome,
+    },
+    /// Outcome of an ingest batch that was **quarantined**: the events
+    /// are durable on the quarantine ledger but were not enforced,
+    /// because the sending sensor's trust level is below the threshold.
+    Quarantined {
+        /// Events held on the ledger.
+        held: usize,
     },
     /// Answer to [`HistoryQuery::Status`].
     Status {
@@ -397,8 +470,12 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
         /// Who refused: primary or follower (so a client holding
-        /// several addresses knows whether to redirect).
-        role: ServerRole,
+        /// several addresses knows whether to redirect). `None` on
+        /// refusals to **unauthenticated** connections: before a valid
+        /// handshake the server discloses nothing about itself, not
+        /// even its role (an unauthenticated scanner must not be able
+        /// to map which box is the primary).
+        role: Option<ServerRole>,
     },
 }
 
@@ -413,6 +490,15 @@ pub struct ServerStatus {
     pub snapshot_seq: u64,
     /// Policy epoch (bumped by every durable policy edit).
     pub policy_epoch: u64,
+    /// Enforcement epoch (bumped only by edits that change what
+    /// enforcement means — the replication barrier; wire-auth edits
+    /// bump `policy_epoch` alone).
+    pub enforcement_epoch: u64,
+    /// Is a valid token required on this server's wire?
+    pub auth_required: bool,
+    /// Events held on the quarantine ledger (from sensors below the
+    /// trust threshold).
+    pub quarantined_events: usize,
     /// Movement-history retention watermark (0 = never pruned).
     pub retention_watermark: u64,
     /// Archive chain coverage end (0 = no archive).
@@ -679,6 +765,18 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             );
         }
         Request::Metrics => out.push(KIND_METRICS),
+        Request::Hello { token } => {
+            out.push(KIND_HELLO);
+            out.extend_from_slice(token.as_bytes());
+        }
+        Request::Admin(op) => {
+            out.push(KIND_ADMIN);
+            out.extend_from_slice(
+                serde_json::to_string(op)
+                    .expect("admin ops serialize")
+                    .as_bytes(),
+            );
+        }
     }
     out
 }
@@ -733,6 +831,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 return Err(WireError::TrailingBytes);
             }
             Ok(Request::Metrics)
+        }
+        KIND_HELLO => {
+            let token = std::str::from_utf8(body)
+                .map_err(|e| WireError::BadJson(e.to_string()))?
+                .to_string();
+            Ok(Request::Hello { token })
+        }
+        KIND_ADMIN => {
+            let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
+            let op = serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
+            Ok(Request::Admin(op))
         }
         other => Err(WireError::BadKind(other)),
     }
@@ -843,6 +952,14 @@ mod tests {
                 len: 4096,
             }),
             Request::Metrics,
+            Request::Hello {
+                token: "tok-1-deadbeef".into(),
+            },
+            Request::Admin(AdminOp::RevokeToken { id: TokenId(7) }),
+            Request::Admin(AdminOp::SetTrust {
+                subject: SubjectId(3),
+                level: 2,
+            }),
         ]
     }
 
@@ -883,17 +1000,29 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "at the connection limit".into(),
-                role: ServerRole::Primary,
+                role: Some(ServerRole::Primary),
             },
             Response::Error {
                 code: ErrorCode::NotPrimary,
                 message: "read-only follower; writes go to 127.0.0.1:7000".into(),
-                role: ServerRole::Follower,
+                role: Some(ServerRole::Follower),
             },
+            Response::Error {
+                code: ErrorCode::Unauthenticated,
+                message: "handshake required".into(),
+                role: None,
+            },
+            Response::Welcome {
+                token: TokenId(3),
+                subject: SubjectId(8),
+                scopes: vec![Scope::Query, Scope::Ingest { locations: None }],
+            },
+            Response::Quarantined { held: 4 },
             Response::ReplManifest {
                 manifest: ReplManifest {
                     applied: 100,
                     policy_epoch: 2,
+                    enforcement_epoch: 1,
                     retention_watermark: 50,
                     snapshot: Some(ReplFile {
                         file: ReplFileId::Snapshot { seq: 90, epoch: 2 },
@@ -1017,6 +1146,7 @@ mod tests {
                 sealed: false,
                 applied: 42,
                 policy_epoch: 1,
+                enforcement_epoch: 1,
                 retention_watermark: 9,
             },
             bytes: (0u8..=255).collect(),
@@ -1030,7 +1160,7 @@ mod tests {
         let err = Response::Error {
             code: ErrorCode::Gone,
             message: "segment compacted".into(),
-            role: ServerRole::Primary,
+            role: Some(ServerRole::Primary),
         };
         match decode_repl_reply(&encode_response(&err)).unwrap() {
             ReplReply::Other(got) => assert_eq!(*got, err),
@@ -1048,6 +1178,7 @@ mod tests {
                 sealed: true,
                 applied: 1,
                 policy_epoch: 0,
+                enforcement_epoch: 0,
                 retention_watermark: 0,
             },
             bytes: vec![1, 2, 3],

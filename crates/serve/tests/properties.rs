@@ -5,6 +5,7 @@
 //! is interpreted, and CRC32 catches every single-bit flip of the
 //! payload).
 
+use ltam_core::capability::{AdminOp, Scope, TokenId};
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::Event;
 use ltam_graph::LocationId;
@@ -42,6 +43,45 @@ fn arb_window() -> impl Strategy<Value = Interval> {
     (0u64..1_000_000, 0u64..1_000_000).prop_map(|(a, b)| Interval::lit(a.min(b), a.max(b)))
 }
 
+fn arb_scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![
+        Just(Scope::Query),
+        Just(Scope::Replicate),
+        Just(Scope::Admin),
+        (
+            any::<bool>(),
+            prop::collection::vec((0u32..=u32::MAX).prop_map(LocationId), 0..4)
+        )
+            .prop_map(|(all, list)| Scope::Ingest {
+                locations: if all { None } else { Some(list) },
+            }),
+    ]
+}
+
+fn arb_admin_op() -> impl Strategy<Value = AdminOp> {
+    prop_oneof![
+        (
+            0u32..=u32::MAX,
+            prop::collection::vec(arb_scope(), 0..4),
+            arb_window(),
+            "[ -~]{0,24}",
+        )
+            .prop_map(|(s, scopes, validity, secret)| AdminOp::MintToken {
+                subject: SubjectId(s),
+                scopes,
+                validity,
+                secret,
+            }),
+        any::<u64>().prop_map(|id| AdminOp::RevokeToken { id: TokenId(id) }),
+        (0u32..=u32::MAX, any::<u8>()).prop_map(|(s, level)| AdminOp::SetTrust {
+            subject: SubjectId(s),
+            level,
+        }),
+        any::<u8>().prop_map(|threshold| AdminOp::SetTrustThreshold { threshold }),
+        any::<bool>().prop_map(|required| AdminOp::SetAuthRequired { required }),
+    ]
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     let swipe = (0u64..=u64::MAX, 0u32..=u32::MAX, 0u32..=u32::MAX).prop_map(|(t, s, l)| {
         Request::Check(Event::Request {
@@ -75,6 +115,19 @@ fn arb_request() -> impl Strategy<Value = Request> {
         // round-trip, truncation totality, bit-flip rejection, and
         // chunking invariance, same as every other kind.
         Just(Request::Metrics),
+        // So do the auth frames: arbitrary token secrets (any UTF-8,
+        // including empty) and every simple admin RPC. A flipped bit
+        // in a Hello or a MintToken must never authenticate as — or
+        // mint — something else; the frame CRC plus these decoders
+        // guarantee refusal instead.
+        "[ -~]{0,32}".prop_map(|token| Request::Hello { token }),
+        arb_admin_op().prop_map(Request::Admin),
+        (any::<bool>(), 0u32..=u32::MAX, arb_window()).prop_map(|(all, s, window)| {
+            Request::Query(HistoryQuery::Quarantine {
+                source: if all { None } else { Some(SubjectId(s)) },
+                window,
+            })
+        }),
     ]
 }
 
@@ -217,7 +270,7 @@ mod replication {
     use ltam_serve::wire::{
         decode_repl_reply, encode_repl_chunk, ReplChunk, ReplChunkMeta, ReplReply, ReplRequest,
     };
-    use ltam_store::replica::{wal_segment_ids, ReplFileId};
+    use ltam_store::replica::{wal_segment_ids, ReplFileId, TailBatch};
     use ltam_store::{ScratchDir, TailScanner, Wal, WalConfig};
     use std::path::Path;
 
@@ -259,12 +312,25 @@ mod replication {
                             sealed,
                             applied,
                             policy_epoch,
+                            enforcement_epoch: policy_epoch / 2,
                             retention_watermark: rw,
                         },
                         bytes,
                     }
                 },
             )
+    }
+
+    /// Unwrap plain-event tail batches (these WALs hold no quarantine
+    /// records; shipping one here would be a scanner bug).
+    fn plain(batches: Vec<TailBatch>) -> Vec<Vec<Event>> {
+        batches
+            .into_iter()
+            .map(|b| match b {
+                TailBatch::Events(events) => events,
+                TailBatch::Quarantine { .. } => panic!("plain WALs hold no quarantine records"),
+            })
+            .collect()
     }
 
     /// Write `batches` into a WAL (one record per batch), rotating
@@ -301,7 +367,7 @@ mod replication {
             let end = (at + chunk.max(1)).min(bytes.len());
             let step = scanner.apply(&bytes[at..end], bytes.len() as u64, sealed);
             assert_eq!(step.fault, None, "intact logs never fault");
-            out.extend(step.batches);
+            out.extend(plain(step.batches));
             if scanner.segment() == seg && scanner.offset() as usize >= bytes.len() && !sealed {
                 return out;
             }
@@ -403,8 +469,9 @@ mod replication {
                 let at = scanner.offset() as usize;
                 let end = (at + chunk).min(bytes.len());
                 let step = scanner.apply(&bytes[at..end], file_len, sealed);
-                got.extend(step.batches);
-                if step.fault.is_some() || scanner.offset() as usize >= bytes.len() {
+                let fault = step.fault;
+                got.extend(plain(step.batches));
+                if fault.is_some() || scanner.offset() as usize >= bytes.len() {
                     break;
                 }
             }

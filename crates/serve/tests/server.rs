@@ -131,7 +131,7 @@ fn over_the_connection_limit_is_refused_busy() {
             r,
             Err(ClientError::Server {
                 code: ErrorCode::Busy,
-                role: ServerRole::Primary,
+                role: Some(ServerRole::Primary),
                 ..
             })
         )

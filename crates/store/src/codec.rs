@@ -23,6 +23,12 @@ const TAG_ENTER: u8 = 1;
 const TAG_EXIT: u8 = 2;
 const TAG_TICK: u8 = 3;
 
+/// Sentinel first byte of a **quarantine** record payload. Deliberately
+/// far outside the event tag range: a pre-quarantine decoder rejects it
+/// as `BadTag` (truncating at the record, never misreading it as
+/// events), and an event can never alias it.
+pub const QUARANTINE_SENTINEL: u8 = 0x51;
+
 /// Why a buffer failed to decode as an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
@@ -198,6 +204,88 @@ pub fn decode_event_exact(buf: &[u8]) -> Result<Event, DecodeError> {
     Ok(event)
 }
 
+/// A decoded WAL record payload: either a plain ingest batch or a
+/// quarantine batch (events from an under-trusted source, logged for
+/// the quarantine ledger but never enforced). Both kinds occupy WAL
+/// sequence numbers — one per event — so replication cursors and the
+/// applied watermark advance uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordPayload {
+    /// One or more concatenated events — the classic record shape.
+    Events(Vec<Event>),
+    /// A quarantined batch: [`QUARANTINE_SENTINEL`], then the source and
+    /// its trust level as varints, then the events.
+    Quarantine {
+        /// The authenticated source whose events were quarantined.
+        source: SubjectId,
+        /// The source's trust level at ingest time.
+        level: u8,
+        /// The quarantined events (non-empty).
+        events: Vec<Event>,
+    },
+}
+
+impl RecordPayload {
+    /// The events the record carries, whichever kind it is.
+    pub fn events(&self) -> &[Event] {
+        match self {
+            RecordPayload::Events(events) | RecordPayload::Quarantine { events, .. } => events,
+        }
+    }
+
+    /// Number of WAL sequence numbers the record consumes.
+    pub fn seq_count(&self) -> u64 {
+        self.events().len() as u64
+    }
+}
+
+/// Append the quarantine-record encoding of `events` from `source` at
+/// trust `level` to `out`.
+pub fn encode_quarantine(source: SubjectId, level: u8, events: &[Event], out: &mut Vec<u8>) {
+    out.push(QUARANTINE_SENTINEL);
+    put_varint(out, source.0 as u64);
+    put_varint(out, level as u64);
+    for event in events {
+        encode_event(event, out);
+    }
+}
+
+/// Decode a whole record payload — quarantine if it opens with the
+/// sentinel, a concatenated event batch otherwise. Total, like every
+/// decoder here: arbitrary bytes yield a payload or a [`DecodeError`],
+/// never a panic; an empty batch (of either kind) is an error, matching
+/// the WAL's one-or-more-events record contract.
+pub fn decode_record_payload(buf: &[u8]) -> Result<RecordPayload, DecodeError> {
+    let decode_events = |buf: &[u8]| -> Result<Vec<Event>, DecodeError> {
+        let mut at = 0usize;
+        let mut events = Vec::new();
+        while at < buf.len() {
+            let (event, used) = decode_event(&buf[at..])?;
+            events.push(event);
+            at += used;
+        }
+        if events.is_empty() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        Ok(events)
+    };
+    match buf.first() {
+        Some(&QUARANTINE_SENTINEL) => {
+            let mut at = 1usize;
+            let source = get_id(buf, &mut at)?;
+            let level = get_varint(buf, &mut at)?;
+            let level = u8::try_from(level).map_err(|_| DecodeError::IdOutOfRange(level))?;
+            let events = decode_events(&buf[at..])?;
+            Ok(RecordPayload::Quarantine {
+                source: SubjectId(source),
+                level,
+                events,
+            })
+        }
+        _ => Ok(RecordPayload::Events(decode_events(buf)?)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +357,58 @@ mod tests {
             decode_event(&buf),
             Err(DecodeError::IdOutOfRange(u64::from(u32::MAX) + 1))
         );
+    }
+
+    #[test]
+    fn quarantine_payloads_round_trip_and_truncation_errors() {
+        let events = samples();
+        let mut buf = Vec::new();
+        encode_quarantine(SubjectId(9), 3, &events, &mut buf);
+        assert_eq!(
+            decode_record_payload(&buf).unwrap(),
+            RecordPayload::Quarantine {
+                source: SubjectId(9),
+                level: 3,
+                events: events.clone(),
+            }
+        );
+        // Truncation mid-event (or mid-header) always errors. A cut on
+        // an event boundary decodes as a valid *shorter* quarantine
+        // batch — the payload encoding is a concatenation; whole-record
+        // integrity is the WAL/frame CRC's job, not the decoder's.
+        let mut header = Vec::new();
+        encode_quarantine(SubjectId(9), 3, &[], &mut header);
+        let mut boundaries = std::collections::HashSet::new();
+        let mut off = header.len();
+        for e in &events[..events.len() - 1] {
+            off += event_bytes(e).len();
+            boundaries.insert(off);
+        }
+        for cut in 0..buf.len() {
+            let decoded = decode_record_payload(&buf[..cut]);
+            if boundaries.contains(&cut) {
+                assert!(
+                    matches!(decoded, Ok(RecordPayload::Quarantine { .. })),
+                    "boundary cut {cut}"
+                );
+            } else {
+                assert!(decoded.is_err(), "cut {cut}");
+            }
+        }
+        // A plain event batch decodes as the Events kind — the sentinel
+        // can never alias an event tag.
+        let mut plain = Vec::new();
+        for e in &events {
+            encode_event(e, &mut plain);
+        }
+        assert_eq!(
+            decode_record_payload(&plain).unwrap(),
+            RecordPayload::Events(events)
+        );
+        // An empty quarantine batch is invalid, like an empty record.
+        let mut empty = Vec::new();
+        encode_quarantine(SubjectId(0), 0, &[], &mut empty);
+        assert!(decode_record_payload(&empty).is_err());
     }
 
     #[test]

@@ -33,7 +33,8 @@ use crate::archive::{ArchiveData, ArchiveStore, LazyArchive};
 use crate::crc::crc32;
 use crate::history::{self, HistoryError};
 use crate::snapshot::{SnapshotStore, StoreSnapshot};
-use crate::wal::{Wal, WalConfig, WalRecovery};
+use crate::wal::{Wal, WalBatch, WalConfig, WalRecovery};
+use ltam_core::capability::{AdminOp, AdminOutcome, WireAuth};
 use ltam_core::db::AuthId;
 use ltam_core::model::Authorization;
 use ltam_core::retention::RetentionPolicy;
@@ -100,6 +101,9 @@ pub struct RecoveryReport {
     pub snapshot_seq: u64,
     /// WAL-tail events replayed through the ingest path.
     pub replayed: usize,
+    /// WAL-tail quarantine events reloaded onto the quarantine ledger
+    /// (they never pass through enforcement).
+    pub replayed_quarantined: usize,
     /// Violations raised during replay (already counted in the snapshot
     /// run's history if the crash lost no state — replay re-detects them).
     pub replayed_violations: usize,
@@ -151,8 +155,16 @@ pub struct DurableEngine {
     applied: u64,
     since_snapshot: u64,
     policy_epoch: u64,
+    /// Enforcement-policy edits acknowledged so far — the replication
+    /// barrier. A strict subset of `policy_epoch`'s bumps: wire-auth
+    /// edits (token mint/revoke, trust changes) are durable policy
+    /// edits but do not change what the WAL's events mean, so a
+    /// follower keeps tailing across them instead of re-bootstrapping.
+    enforcement_epoch: u64,
     /// Highest event time seen — the monitoring clock retention
-    /// maintenance runs against.
+    /// maintenance runs against. Quarantined events deliberately do
+    /// **not** advance it: an untrusted sensor must not be able to
+    /// fast-forward time (expiring tokens and grants) from quarantine.
     clock: Time,
     snapshot_error: Option<io::Error>,
     retention_error: Option<io::Error>,
@@ -168,7 +180,11 @@ struct StatusCells {
     applied: AtomicU64,
     snapshot_seq: AtomicU64,
     policy_epoch: AtomicU64,
+    enforcement_epoch: AtomicU64,
     wal_fsyncs: AtomicU64,
+    /// The monitoring clock (highest trusted event time), as a raw
+    /// chronon — the time the serving tier evaluates token validity at.
+    clock: AtomicU64,
 }
 
 /// A background snapshot write in flight: the engine was imaged and the
@@ -351,7 +367,7 @@ impl DurableEngine {
             ));
         }
         let (wal, recovered) = Wal::open(dir, config.wal())?;
-        if !recovered.events.is_empty() {
+        if !recovered.events.is_empty() || !recovered.quarantined.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
                 format!("{} already holds WAL segments; use open()", dir.display()),
@@ -371,6 +387,7 @@ impl DurableEngine {
             applied: 0,
             since_snapshot: 0,
             policy_epoch: 0,
+            enforcement_epoch: 0,
             clock: Time::ZERO,
             snapshot_error: None,
             retention_error: None,
@@ -456,11 +473,12 @@ impl DurableEngine {
             // range starts *after* the snapshot we are recovering from,
             // events in between are unrecoverable — refuse rather than
             // silently resurrect a state with a hole in its history.
-            let wal_start = recovered
-                .events
-                .first()
-                .map(|&(seq, _)| seq)
-                .unwrap_or_else(|| wal.next_seq());
+            let wal_start = match (recovered.events.first(), recovered.quarantined.first()) {
+                (Some(&(e, _)), Some(&(q, _))) => e.min(q),
+                (Some(&(e, _)), None) => e,
+                (None, Some(&(q, _))) => q,
+                (None, None) => wal.next_seq(),
+            };
             if wal_start > snap.seq {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -492,6 +510,11 @@ impl DurableEngine {
             }
         }
 
+        // Older snapshots predate the epoch split: every policy edit was
+        // an enforcement edit then, so the durability counter is the
+        // right floor.
+        let enforcement_epoch = snap.enforcement_epoch.unwrap_or(snap.policy_epoch);
+        let snapshot_quarantine = snap.quarantine.unwrap_or_default();
         let policy = PolicyCore::from_image(snap.policy);
         let shards = shards_override.unwrap_or(snap.shards);
         let images = if shards == snap.shards {
@@ -516,9 +539,27 @@ impl DurableEngine {
             Ok(covered) => (covered, None),
             Err(e) => (0, Some(e.to_string())),
         };
+        // Rebuild the quarantine ledger: the snapshot's image plus the
+        // WAL tail's quarantine records past the snapshot point
+        // (`load_quarantine` replaces, so build the full list first).
+        let mut quarantine = snapshot_quarantine;
+        let replayed_quarantined = recovered
+            .quarantined
+            .iter()
+            .filter(|&&(seq, _)| seq >= snap.seq)
+            .count();
+        quarantine.extend(
+            recovered
+                .quarantined
+                .iter()
+                .filter(|&&(seq, _)| seq >= snap.seq)
+                .map(|&(_, q)| q),
+        );
+        engine.load_quarantine(quarantine);
         let mut report = RecoveryReport {
             snapshot_seq: snap.seq,
             replayed: replay.len(),
+            replayed_quarantined,
             replayed_violations: 0,
             truncated_bytes: recovered.truncated_bytes,
             dropped_segments: recovered.dropped_segments,
@@ -557,6 +598,7 @@ impl DurableEngine {
             applied,
             since_snapshot: applied - snap.seq,
             policy_epoch: snap.policy_epoch,
+            enforcement_epoch,
             clock,
             snapshot_error: None,
             retention_error: None,
@@ -592,6 +634,19 @@ impl DurableEngine {
     /// The current policy epoch (bumped by every durable policy edit).
     pub fn policy_epoch(&self) -> u64 {
         self.policy_epoch
+    }
+
+    /// The current enforcement epoch (bumped only by edits that change
+    /// what enforcement means — the replication barrier; see the field
+    /// docs).
+    pub fn enforcement_epoch(&self) -> u64 {
+        self.enforcement_epoch
+    }
+
+    /// The monitoring clock: the highest trusted event time seen. Token
+    /// temporal validity is evaluated against this clock.
+    pub fn clock(&self) -> Time {
+        self.clock
     }
 
     /// The store directory.
@@ -729,9 +784,98 @@ impl DurableEngine {
     pub fn update_policy<R>(&mut self, f: impl FnOnce(&mut PolicyCore) -> R) -> io::Result<R> {
         let r = self.engine.update_policy(f);
         self.policy_epoch += 1;
+        self.enforcement_epoch += 1;
         self.snapshot()?;
         write_epoch_marker(&self.dir, self.config.fsync, self.policy_epoch)?;
         Ok(r)
+    }
+
+    /// Apply a wire-auth edit (token mint/revoke, trust change) with the
+    /// same durability protocol as [`DurableEngine::update_policy`] —
+    /// epoch bump, immediate snapshot, acked-epoch marker — but
+    /// **without** advancing the enforcement epoch: the edit changes who
+    /// may talk to this store, not what its event history means, so
+    /// followers keep tailing across it.
+    pub fn update_wire_policy<R>(&mut self, f: impl FnOnce(&mut WireAuth) -> R) -> io::Result<R> {
+        let r = self.engine.update_policy(|p| f(p.wire_mut()));
+        self.policy_epoch += 1;
+        self.snapshot()?;
+        write_epoch_marker(&self.dir, self.config.fsync, self.policy_epoch)?;
+        Ok(r)
+    }
+
+    /// Apply one [`AdminOp`] durably and return its outcome. This is
+    /// the single dispatch point the serving tier's admin RPCs funnel
+    /// through: each arm routes to the durability path with the right
+    /// epoch semantics (wire-auth edits skip the enforcement-epoch
+    /// bump; authorization edits take it).
+    pub fn apply_admin(&mut self, op: AdminOp) -> io::Result<AdminOutcome> {
+        match op {
+            AdminOp::MintToken {
+                subject,
+                scopes,
+                validity,
+                secret,
+            } => self.update_wire_policy(|w| AdminOutcome::TokenMinted {
+                id: w.mint(subject, scopes, validity, secret),
+            }),
+            AdminOp::RevokeToken { id } => {
+                self.update_wire_policy(|w| AdminOutcome::TokenRevoked {
+                    existed: w.revoke(id),
+                })
+            }
+            AdminOp::SetTrust { subject, level } => self.update_wire_policy(|w| {
+                w.trust.set_level(subject, level);
+                AdminOutcome::TrustSet
+            }),
+            AdminOp::SetTrustThreshold { threshold } => self.update_wire_policy(|w| {
+                w.trust.threshold = threshold;
+                AdminOutcome::TrustSet
+            }),
+            AdminOp::SetAuthRequired { required } => self.update_wire_policy(|w| {
+                w.required = required;
+                AdminOutcome::AuthRequiredSet
+            }),
+            AdminOp::AddAuthorization(auth) => {
+                self.update_policy(|p| AdminOutcome::AuthorizationAdded {
+                    id: p.add_authorization(auth),
+                })
+            }
+            AdminOp::RevokeAuthorization { id } => {
+                self.revoke_authorization(id)
+                    .map(|revoked| AdminOutcome::AuthorizationRevoked {
+                        existed: revoked.is_some(),
+                    })
+            }
+        }
+    }
+
+    /// Durably record a batch from a below-trust-threshold sensor on
+    /// the quarantine ledger: WAL-append (own record kind) + `fsync`,
+    /// then onto the in-memory ledger — never through enforcement, and
+    /// never advancing the monitoring clock (see the `clock` field
+    /// docs). Quarantined events consume WAL sequence numbers like any
+    /// other record, so `applied` and replication stay uniform. Returns
+    /// the number of events quarantined.
+    pub fn commit_quarantine(
+        &mut self,
+        source: SubjectId,
+        level: u8,
+        events: &[Event],
+    ) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        self.wal.append_mixed(&[WalBatch::Quarantine {
+            source,
+            level,
+            events,
+        }])?;
+        self.engine.ingest_quarantined(source, level, events);
+        self.applied += events.len() as u64;
+        self.since_snapshot += events.len() as u64;
+        self.publish_cells();
+        Ok(events.len())
     }
 
     /// Durably revoke an authorization: removes it from the policy epoch
@@ -743,6 +887,7 @@ impl DurableEngine {
     pub fn revoke_authorization(&mut self, id: AuthId) -> io::Result<Option<Authorization>> {
         let revoked = self.engine.revoke_authorization(id);
         self.policy_epoch += 1;
+        self.enforcement_epoch += 1;
         self.snapshot()?;
         write_epoch_marker(&self.dir, self.config.fsync, self.policy_epoch)?;
         Ok(revoked)
@@ -825,6 +970,8 @@ impl DurableEngine {
             shards: self.engine.shard_count(),
             policy: self.engine.policy().image(),
             states: self.engine.export_images(),
+            enforcement_epoch: Some(self.enforcement_epoch),
+            quarantine: Some(self.engine.export_quarantine()),
         }
     }
 
@@ -855,8 +1002,12 @@ impl DurableEngine {
             .policy_epoch
             .store(self.policy_epoch, Ordering::Release);
         self.cells
+            .enforcement_epoch
+            .store(self.enforcement_epoch, Ordering::Release);
+        self.cells
             .wal_fsyncs
             .store(self.wal.fsyncs(), Ordering::Release);
+        self.cells.clock.store(self.clock.get(), Ordering::Release);
     }
 
     // --- retention and the archive tier -------------------------------------
@@ -1257,6 +1408,18 @@ impl ReadView {
     /// The current policy epoch.
     pub fn policy_epoch(&self) -> u64 {
         self.cells.policy_epoch.load(Ordering::Acquire)
+    }
+
+    /// The current enforcement epoch (the replication barrier; see
+    /// [`DurableEngine::enforcement_epoch`]).
+    pub fn enforcement_epoch(&self) -> u64 {
+        self.cells.enforcement_epoch.load(Ordering::Acquire)
+    }
+
+    /// The monitoring clock (highest trusted event time) — the time the
+    /// serving tier evaluates token validity at.
+    pub fn clock(&self) -> Time {
+        Time(self.cells.clock.load(Ordering::Acquire))
     }
 
     /// `fsync` calls the WAL has issued — the group-commit

@@ -32,6 +32,8 @@
 
 use crate::durable::DurableEngine;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use ltam_core::capability::{AdminOp, AdminOutcome};
+use ltam_core::subject::SubjectId;
 use ltam_engine::batch::{BatchOutcome, Event};
 use std::io;
 use std::thread::JoinHandle;
@@ -54,14 +56,46 @@ impl Default for GroupCommitConfig {
     }
 }
 
-/// One queued batch: the events and the completion to run after its
-/// fsync (or failure).
-struct Job {
-    events: Vec<Event>,
-    done: Box<dyn FnOnce(io::Result<BatchOutcome>) + Send>,
-    /// When the batch entered the queue — the start of its
-    /// `store_group_queue_wait_seconds` span.
-    queued_at: std::time::Instant,
+/// One queued unit of durable work. Everything that mutates the engine
+/// flows through this queue — ingest batches, quarantine batches from
+/// below-trust sensors, and admin (policy/token) operations — so all
+/// three commit in submission order on the single commit thread, and
+/// admin ops are serialized with the ingest they govern.
+enum Job {
+    /// A trusted ingest batch and the completion to run after its
+    /// fsync (or failure).
+    Ingest {
+        events: Vec<Event>,
+        done: Box<dyn FnOnce(io::Result<BatchOutcome>) + Send>,
+        /// When the batch entered the queue — the start of its
+        /// `store_group_queue_wait_seconds` span.
+        queued_at: std::time::Instant,
+    },
+    /// Events from a below-trust-threshold sensor, bound for the
+    /// quarantine ledger (durable, but never enforced).
+    Quarantine {
+        source: SubjectId,
+        level: u8,
+        events: Vec<Event>,
+        done: Box<dyn FnOnce(io::Result<usize>) + Send>,
+    },
+    /// A policy/token administration operation.
+    Admin {
+        op: AdminOp,
+        done: Box<dyn FnOnce(io::Result<AdminOutcome>) + Send>,
+    },
+}
+
+impl Job {
+    /// Events this job contributes toward the group-size cap.
+    fn event_count(&self) -> usize {
+        match self {
+            Job::Ingest { events, .. } | Job::Quarantine { events, .. } => events.len(),
+            // Admin ops snapshot inline; count them like a small batch
+            // so a flood of them still bounds the group.
+            Job::Admin { .. } => 1,
+        }
+    }
 }
 
 /// A cloneable submission handle onto a [`GroupCommit`] thread. Every
@@ -92,12 +126,15 @@ impl CommitHandle {
         done: impl FnOnce(io::Result<BatchOutcome>) + Send + 'static,
     ) -> Result<(), Vec<Event>> {
         self.tx
-            .send(Job {
+            .send(Job::Ingest {
                 events,
                 done: Box::new(done),
                 queued_at: std::time::Instant::now(),
             })
-            .map_err(|e| e.0.events)
+            .map_err(|e| match e.0 {
+                Job::Ingest { events, .. } => events,
+                _ => unreachable!("send returns the job it was given"),
+            })
     }
 
     /// Queue a batch and block until it is durable — the convenience
@@ -105,6 +142,73 @@ impl CommitHandle {
     pub fn commit(&self, events: Vec<Event>) -> io::Result<BatchOutcome> {
         let (tx, rx) = unbounded();
         self.submit(events, move |result| {
+            let _ = tx.send(result);
+        })
+        .map_err(|_| io::Error::other("commit thread is shut down"))?;
+        rx.recv()
+            .unwrap_or_else(|_| Err(io::Error::other("commit thread died before acking")))
+    }
+
+    /// Queue a quarantine batch (events from a below-trust sensor);
+    /// `done` runs once the batch is durable on the quarantine ledger.
+    pub fn submit_quarantine(
+        &self,
+        source: SubjectId,
+        level: u8,
+        events: Vec<Event>,
+        done: impl FnOnce(io::Result<usize>) + Send + 'static,
+    ) -> Result<(), Vec<Event>> {
+        self.tx
+            .send(Job::Quarantine {
+                source,
+                level,
+                events,
+                done: Box::new(done),
+            })
+            .map_err(|e| match e.0 {
+                Job::Quarantine { events, .. } => events,
+                _ => unreachable!("send returns the job it was given"),
+            })
+    }
+
+    /// Queue a quarantine batch and block until it is durable.
+    pub fn commit_quarantine(
+        &self,
+        source: SubjectId,
+        level: u8,
+        events: Vec<Event>,
+    ) -> io::Result<usize> {
+        let (tx, rx) = unbounded();
+        self.submit_quarantine(source, level, events, move |result| {
+            let _ = tx.send(result);
+        })
+        .map_err(|_| io::Error::other("commit thread is shut down"))?;
+        rx.recv()
+            .unwrap_or_else(|_| Err(io::Error::other("commit thread died before acking")))
+    }
+
+    /// Queue an admin operation; `done` runs once it is applied and
+    /// durable (admin edits snapshot before acking).
+    pub fn submit_admin(
+        &self,
+        op: AdminOp,
+        done: impl FnOnce(io::Result<AdminOutcome>) + Send + 'static,
+    ) -> Result<(), Box<AdminOp>> {
+        self.tx
+            .send(Job::Admin {
+                op,
+                done: Box::new(done),
+            })
+            .map_err(|e| match e.0 {
+                Job::Admin { op, .. } => Box::new(op),
+                _ => unreachable!("send returns the job it was given"),
+            })
+    }
+
+    /// Queue an admin operation and block until it is durable.
+    pub fn admin(&self, op: AdminOp) -> io::Result<AdminOutcome> {
+        let (tx, rx) = unbounded();
+        self.submit_admin(op, move |result| {
             let _ = tx.send(result);
         })
         .map_err(|_| io::Error::other("commit thread is shut down"))?;
@@ -163,7 +267,7 @@ fn commit_loop(
     config: GroupCommitConfig,
 ) -> DurableEngine {
     while let Ok(first) = rx.recv() {
-        let mut total = first.events.len();
+        let mut total = first.event_count();
         let mut jobs = vec![first];
         // Natural batching: drain whatever queued while the previous
         // group's fsync ran. No linger timer — waiting for more work
@@ -172,7 +276,7 @@ fn commit_loop(
         while total < config.max_group_events {
             match rx.try_recv() {
                 Ok(job) => {
-                    total += job.events.len();
+                    total += job.event_count();
                     jobs.push(job);
                 }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
@@ -188,7 +292,9 @@ fn commit_loop(
                 SecondsFromMicros
             );
             for job in &jobs {
-                wait.observe(now.duration_since(job.queued_at).as_micros() as u64);
+                if let Job::Ingest { queued_at, .. } = job {
+                    wait.observe(now.duration_since(*queued_at).as_micros() as u64);
+                }
             }
         }
         ltam_obs::counter!(
@@ -208,22 +314,57 @@ fn commit_loop(
             None
         )
         .observe(jobs.len() as u64);
-        let batches: Vec<&[Event]> = jobs.iter().map(|j| j.events.as_slice()).collect();
-        match engine.commit_group(&batches) {
-            Ok(outcomes) => {
-                debug_assert_eq!(outcomes.len(), jobs.len());
-                for (job, outcome) in jobs.into_iter().zip(outcomes) {
-                    (job.done)(Ok(outcome));
+        // Walk the group in submission order. Consecutive ingest jobs
+        // coalesce into one `commit_group` call (one WAL write + one
+        // fsync); quarantine and admin jobs commit where they stand so
+        // ordering against neighboring ingest is preserved — an admin
+        // revocation submitted before a batch governs that batch.
+        let mut iter = jobs.into_iter().peekable();
+        while let Some(job) = iter.next() {
+            match job {
+                Job::Ingest { .. } => {
+                    let mut run = vec![job];
+                    while iter.peek().is_some_and(|j| matches!(j, Job::Ingest { .. })) {
+                        run.push(iter.next().expect("peeked"));
+                    }
+                    let batches: Vec<&[Event]> = run
+                        .iter()
+                        .map(|j| match j {
+                            Job::Ingest { events, .. } => events.as_slice(),
+                            _ => unreachable!("run holds only ingest jobs"),
+                        })
+                        .collect();
+                    let result = engine.commit_group(&batches);
+                    match result {
+                        Ok(outcomes) => {
+                            debug_assert_eq!(outcomes.len(), run.len());
+                            for (job, outcome) in run.into_iter().zip(outcomes) {
+                                if let Job::Ingest { done, .. } = job {
+                                    done(Ok(outcome));
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // The run never reached the WAL: every
+                            // submitter gets the same verdict and may
+                            // retry.
+                            let kind = e.kind();
+                            let message = e.to_string();
+                            for job in run {
+                                if let Job::Ingest { done, .. } = job {
+                                    done(Err(io::Error::new(kind, message.clone())));
+                                }
+                            }
+                        }
+                    }
                 }
-            }
-            Err(e) => {
-                // The group never reached the WAL: every submitter gets
-                // the same verdict and may retry.
-                let kind = e.kind();
-                let message = e.to_string();
-                for job in jobs {
-                    (job.done)(Err(io::Error::new(kind, message.clone())));
-                }
+                Job::Quarantine {
+                    source,
+                    level,
+                    events,
+                    done,
+                } => done(engine.commit_quarantine(source, level, &events)),
+                Job::Admin { op, done } => done(engine.apply_admin(op)),
             }
         }
         // Acks are out; now the cadence work (snapshot imaging is

@@ -28,9 +28,10 @@
 //! `failure_injection.rs`, and the serve property tests) proves the
 //! never-diverge contract under truncation, bit flips and crashes.
 
-use crate::codec::decode_event;
+use crate::codec::{decode_record_payload, RecordPayload};
 use crate::crc::crc32;
 use crate::wal::{RECORD_HEADER_LEN, SEGMENT_HEADER_LEN, WAL_MAGIC, WAL_VERSION};
+use ltam_core::subject::SubjectId;
 use ltam_engine::batch::Event;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -272,6 +273,34 @@ impl std::fmt::Display for TailFault {
     }
 }
 
+/// One verified WAL record yielded by the scanner, preserving the
+/// primary's record *kind*: a plain ingest batch replays through
+/// enforcement, a quarantine batch goes back onto the follower's
+/// quarantine ledger — never through enforcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailBatch {
+    /// A trusted ingest batch (one WAL record).
+    Events(Vec<Event>),
+    /// A quarantine record: events from a below-trust sensor.
+    Quarantine {
+        /// The sensor the events came from.
+        source: SubjectId,
+        /// Its trust level when the primary quarantined the batch.
+        level: u8,
+        /// The quarantined events.
+        events: Vec<Event>,
+    },
+}
+
+impl TailBatch {
+    /// The record's events, whatever its kind.
+    pub fn events(&self) -> &[Event] {
+        match self {
+            TailBatch::Events(events) | TailBatch::Quarantine { events, .. } => events,
+        }
+    }
+}
+
 /// What one [`TailScanner::apply`] call produced: every batch that
 /// verified (in order, record boundaries preserved), and optionally the
 /// fault that stopped the scan. `fault: None` with no batches simply
@@ -279,8 +308,8 @@ impl std::fmt::Display for TailFault {
 /// tail is normal, not damage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TailStep {
-    /// Verified event batches, one per WAL record.
-    pub batches: Vec<Vec<Event>>,
+    /// Verified batches, one per WAL record.
+    pub batches: Vec<TailBatch>,
     /// The verification failure that stopped the scan, if any.
     pub fault: Option<TailFault>,
 }
@@ -349,13 +378,7 @@ impl TailScanner {
     /// this pass: a `hard` stop discards the unverified remainder and
     /// reports a fault at the commit point (the retry cursor); a soft
     /// one keeps it for the next chunk to complete.
-    fn pause(
-        &mut self,
-        pos: usize,
-        batches: Vec<Vec<Event>>,
-        hard: bool,
-        reason: &str,
-    ) -> TailStep {
+    fn pause(&mut self, pos: usize, batches: Vec<TailBatch>, hard: bool, reason: &str) -> TailStep {
         self.committed += pos as u64;
         self.buf.drain(..pos);
         let fault = if hard {
@@ -424,35 +447,32 @@ impl TailScanner {
             if crc32(payload) != crc {
                 return self.pause(pos, batches, true, "record CRC mismatch");
             }
-            // The payload must decode *exactly* into one or more events
-            // — same totality bar as crash recovery's scan.
-            let mut at = 0usize;
-            let mut decoded = Vec::new();
-            let mut bad = false;
-            while at < payload.len() {
-                match decode_event(&payload[at..]) {
-                    Ok((event, used)) => {
-                        decoded.push(event);
-                        at += used;
-                    }
-                    Err(_) => {
-                        bad = true;
-                        break;
-                    }
-                }
-            }
-            if bad || decoded.is_empty() {
+            // The payload must decode *exactly* into one record (plain
+            // or quarantine) — same totality bar as crash recovery's
+            // scan.
+            let Ok(record) = decode_record_payload(payload) else {
                 return self.pause(
                     pos,
                     batches,
                     true,
                     "record payload is not a clean event batch",
                 );
-            }
-            let count = decoded.len() as u64;
+            };
+            let count = record.seq_count();
             if self.next_seq + count > self.skip_below {
                 let skip = self.skip_below.saturating_sub(self.next_seq) as usize;
-                batches.push(decoded.split_off(skip));
+                batches.push(match record {
+                    RecordPayload::Events(mut events) => TailBatch::Events(events.split_off(skip)),
+                    RecordPayload::Quarantine {
+                        source,
+                        level,
+                        mut events,
+                    } => TailBatch::Quarantine {
+                        source,
+                        level,
+                        events: events.split_off(skip),
+                    },
+                });
             }
             self.next_seq += count;
             pos += start + len;
@@ -513,7 +533,18 @@ mod tests {
         wal_segment_ids(dir).unwrap()
     }
 
-    fn drive_scanner(dir: &Path, scanner: &mut TailScanner, chunk_bytes: u32) -> Vec<Vec<Event>> {
+    /// Unwrap plain batches (the pre-quarantine shape most tests build).
+    fn plain(batches: Vec<TailBatch>) -> Vec<Vec<Event>> {
+        batches
+            .into_iter()
+            .map(|b| match b {
+                TailBatch::Events(events) => events,
+                TailBatch::Quarantine { .. } => panic!("expected a plain batch"),
+            })
+            .collect()
+    }
+
+    fn drive_scanner(dir: &Path, scanner: &mut TailScanner, chunk_bytes: u32) -> Vec<TailBatch> {
         let mut out = Vec::new();
         loop {
             let segs = wal_segment_ids(dir).unwrap();
@@ -547,7 +578,7 @@ mod tests {
         build_wal(dir.path(), &batches, 3);
         for chunk_bytes in [7u32, 64, 1 << 20] {
             let mut scanner = TailScanner::start(0, &wal_segment_ids(dir.path()).unwrap()).unwrap();
-            let got = drive_scanner(dir.path(), &mut scanner, chunk_bytes);
+            let got = plain(drive_scanner(dir.path(), &mut scanner, chunk_bytes));
             assert_eq!(got, batches, "chunk size {chunk_bytes}");
             assert_eq!(scanner.next_seq(), 30);
         }
@@ -563,7 +594,7 @@ mod tests {
         // Floor mid-batch: the covering record is re-fetched, the
         // already-applied prefix trimmed.
         let mut scanner = TailScanner::start(10, &segs).unwrap();
-        let got = drive_scanner(dir.path(), &mut scanner, 1 << 20);
+        let got = plain(drive_scanner(dir.path(), &mut scanner, 1 << 20));
         let flat: Vec<Event> = got.into_iter().flatten().collect();
         let expected: Vec<Event> = (10..24u64).map(event).collect();
         assert_eq!(flat, expected);
@@ -587,10 +618,10 @@ mod tests {
             let mut scanner = TailScanner::start(0, &[0]).unwrap();
             let step = scanner.apply(&full[..cut], cut as u64, false);
             assert_eq!(step.fault, None, "cut at {cut} is a wait, not a fault");
-            let yielded: usize = step.batches.iter().map(Vec::len).sum();
+            let yielded: usize = step.batches.iter().map(|b| b.events().len()).sum();
             assert!(yielded <= 3);
             // Whatever was yielded is an exact prefix of the real events.
-            let flat: Vec<Event> = step.batches.into_iter().flatten().collect();
+            let flat: Vec<Event> = plain(step.batches).into_iter().flatten().collect();
             let expected: Vec<Event> = (0..yielded as u64).map(event).collect();
             assert_eq!(flat, expected);
         }
@@ -606,11 +637,12 @@ mod tests {
         for cut in 0..full.len() - 1 {
             let mut scanner = TailScanner::start(0, &[0]).unwrap();
             let step = scanner.apply(&full[..cut], cut as u64, true);
-            let flat: Vec<Event> = step.batches.into_iter().flatten().collect();
+            let fault = step.fault.clone();
+            let flat: Vec<Event> = plain(step.batches).into_iter().flatten().collect();
             let expected: Vec<Event> = (0..flat.len() as u64).map(event).collect();
             assert_eq!(flat, expected, "prefix property at cut {cut}");
             assert!(
-                step.fault.is_some() || scanner.offset() < full.len() as u64,
+                fault.is_some() || scanner.offset() < full.len() as u64,
                 "a truncated sealed segment must fault or stop short (cut {cut})"
             );
         }
@@ -628,13 +660,66 @@ mod tests {
             damaged[byte] ^= 0x10;
             let mut scanner = TailScanner::start(0, &[0]).unwrap();
             let step = scanner.apply(&damaged, damaged.len() as u64, true);
-            let flat: Vec<Event> = step.batches.into_iter().flatten().collect();
+            let flat: Vec<Event> = plain(step.batches).into_iter().flatten().collect();
             let expected: Vec<Event> = (0..flat.len() as u64).map(event).collect();
             assert_eq!(
                 flat, expected,
                 "flip at byte {byte} yielded a wrong-but-valid record"
             );
         }
+    }
+
+    #[test]
+    fn quarantine_records_ship_with_their_kind_and_consume_sequences() {
+        use crate::wal::WalBatch;
+        let dir = ScratchDir::new("replica-quarantine");
+        let (mut wal, _) = Wal::open(
+            dir.path(),
+            WalConfig {
+                fsync: false,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let trusted: Vec<Event> = (0..3u64).map(event).collect();
+        let held: Vec<Event> = (3..5u64).map(event).collect();
+        let tail: Vec<Event> = (5..6u64).map(event).collect();
+        wal.append_batch(&trusted).unwrap();
+        wal.append_mixed(&[WalBatch::Quarantine {
+            source: SubjectId(9),
+            level: 1,
+            events: &held,
+        }])
+        .unwrap();
+        wal.append_batch(&tail).unwrap();
+        let segs = wal_segment_ids(dir.path()).unwrap();
+        let mut scanner = TailScanner::start(0, &segs).unwrap();
+        let got = drive_scanner(dir.path(), &mut scanner, 1 << 20);
+        assert_eq!(
+            got,
+            vec![
+                TailBatch::Events(trusted),
+                TailBatch::Quarantine {
+                    source: SubjectId(9),
+                    level: 1,
+                    events: held.clone(),
+                },
+                TailBatch::Events(tail),
+            ]
+        );
+        assert_eq!(scanner.next_seq(), 6, "quarantine records consume seqs");
+        // A floor inside the quarantine record trims its prefix but
+        // keeps the kind.
+        let mut scanner = TailScanner::start(4, &segs).unwrap();
+        let got = drive_scanner(dir.path(), &mut scanner, 1 << 20);
+        assert_eq!(
+            got[0],
+            TailBatch::Quarantine {
+                source: SubjectId(9),
+                level: 1,
+                events: held[1..].to_vec(),
+            }
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! falls back to the older one.
 
 use crate::crc::crc32;
-use ltam_engine::batch::PolicyImage;
+use ltam_engine::batch::{PolicyImage, QuarantinedEvent};
 use ltam_engine::shard::ShardStateImage;
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File, OpenOptions};
@@ -65,6 +65,17 @@ pub struct StoreSnapshot {
     pub policy: PolicyImage,
     /// Per-shard mutable state, in shard order (`states.len() == shards`).
     pub states: Vec<ShardStateImage>,
+    /// Enforcement-policy edits acknowledged up to this state — the
+    /// replication barrier. Wire-auth edits (token mint/revoke, trust
+    /// tweaks) bump `policy_epoch` for durability but not this counter,
+    /// so a follower need not re-bootstrap over them. Absent in
+    /// snapshots written before the split; recovery then falls back to
+    /// `policy_epoch` (every edit was an enforcement edit back then).
+    pub enforcement_epoch: Option<u64>,
+    /// The quarantine ledger: events from below-trust-threshold sensors
+    /// held out of enforcement state. Absent in older snapshots (the
+    /// ledger was necessarily empty before trust existed).
+    pub quarantine: Option<Vec<QuarantinedEvent>>,
 }
 
 /// Reads and writes [`StoreSnapshot`]s in a store directory.
@@ -348,6 +359,8 @@ mod tests {
             shards: 2,
             policy: core.image(),
             states: vec![ShardState::new().image(), ShardState::new().image()],
+            enforcement_epoch: Some(0),
+            quarantine: Some(Vec::new()),
         }
     }
 

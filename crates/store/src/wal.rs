@@ -45,9 +45,10 @@
 //! Compaction ([`Wal::compact`]) removes sealed segments all of whose
 //! records are at sequence numbers below a snapshot's cover point.
 
-use crate::codec::{decode_event, encode_event};
+use crate::codec::{decode_record_payload, encode_event, encode_quarantine, RecordPayload};
 use crate::crc::crc32;
-use ltam_engine::batch::Event;
+use ltam_core::subject::SubjectId;
+use ltam_engine::batch::{Event, QuarantinedEvent};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -85,14 +86,47 @@ impl Default for WalConfig {
 /// What [`Wal::open`] found (and repaired) on disk.
 #[derive(Debug, Clone, Default)]
 pub struct WalRecovery {
-    /// Every intact record, in sequence order.
+    /// Every intact plain-record event, in sequence order.
     pub events: Vec<(u64, Event)>,
+    /// Every intact quarantine-record event, in sequence order (these
+    /// occupy sequence numbers interleaved with `events`; they replay
+    /// onto the quarantine ledger, never through enforcement).
+    pub quarantined: Vec<(u64, QuarantinedEvent)>,
     /// Bytes cut off the damaged segment (0 for a clean log).
     pub truncated_bytes: u64,
     /// Whole segments disregarded because they followed (or were) a
     /// corrupt region — renamed to `*.quarantine` in the directory, never
     /// deleted, so acked records they may hold stay recoverable by hand.
     pub dropped_segments: usize,
+}
+
+/// One batch in a mixed append group: either a trusted ingest batch or
+/// a quarantine batch (events from a below-trust sensor, recorded under
+/// their own WAL record kind). Both consume sequence numbers uniformly
+/// — one per event — so replication and the applied watermark never
+/// care which kind a record was.
+#[derive(Debug, Clone, Copy)]
+pub enum WalBatch<'a> {
+    /// A plain ingest batch (one record, concatenated events).
+    Events(&'a [Event]),
+    /// A quarantine batch (one record, sentinel-tagged payload).
+    Quarantine {
+        /// The sensor the events came from.
+        source: SubjectId,
+        /// Its trust level at quarantine time.
+        level: u8,
+        /// The quarantined events.
+        events: &'a [Event],
+    },
+}
+
+impl WalBatch<'_> {
+    /// The batch's events, whatever its kind.
+    pub fn events(&self) -> &[Event] {
+        match self {
+            WalBatch::Events(events) | WalBatch::Quarantine { events, .. } => events,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -167,7 +201,7 @@ fn create_segment(dir: &Path, first_seq: u64, fsync: bool) -> io::Result<(Segmen
 /// Parse one segment's bytes. Returns the records that scanned cleanly
 /// and, if the segment is damaged, the byte offset of the first invalid
 /// byte.
-fn scan_segment(bytes: &[u8], expected_first_seq: u64) -> (Vec<Event>, u64, Option<u64>) {
+fn scan_segment(bytes: &[u8], expected_first_seq: u64) -> (Vec<RecordPayload>, u64, Option<u64>) {
     let header_ok = bytes.len() >= SEGMENT_HEADER_LEN as usize
         && bytes[0..4] == WAL_MAGIC
         && u16::from_le_bytes([bytes[4], bytes[5]]) == WAL_VERSION
@@ -175,42 +209,31 @@ fn scan_segment(bytes: &[u8], expected_first_seq: u64) -> (Vec<Event>, u64, Opti
     if !header_ok {
         return (Vec::new(), 0, Some(0));
     }
-    let mut events = Vec::new();
+    let mut records = Vec::new();
     let mut at = SEGMENT_HEADER_LEN as usize;
     loop {
         if at == bytes.len() {
-            return (events, at as u64, None);
+            return (records, at as u64, None);
         }
         let Some(header) = bytes.get(at..at + RECORD_HEADER_LEN as usize) else {
-            return (events, at as u64, Some(at as u64));
+            return (records, at as u64, Some(at as u64));
         };
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         let start = at + RECORD_HEADER_LEN as usize;
         let Some(payload) = start.checked_add(len).and_then(|end| bytes.get(start..end)) else {
-            return (events, at as u64, Some(at as u64));
+            return (records, at as u64, Some(at as u64));
         };
         if crc32(payload) != crc {
-            return (events, at as u64, Some(at as u64));
+            return (records, at as u64, Some(at as u64));
         }
-        // A record holds one or more concatenated events; anything that
-        // does not decode exactly — including an empty payload — marks
-        // the record (and everything after it) invalid.
-        let mut offset = 0usize;
-        let mut decoded = Vec::new();
-        while offset < payload.len() {
-            match decode_event(&payload[offset..]) {
-                Ok((event, consumed)) => {
-                    decoded.push(event);
-                    offset += consumed;
-                }
-                Err(_) => return (events, at as u64, Some(at as u64)),
-            }
-        }
-        if decoded.is_empty() {
-            return (events, at as u64, Some(at as u64));
-        }
-        events.extend(decoded);
+        // A record payload must decode exactly — one or more events, or
+        // a quarantine batch; anything else (including an empty payload)
+        // marks the record, and everything after it, invalid.
+        let Ok(record) = decode_record_payload(payload) else {
+            return (records, at as u64, Some(at as u64));
+        };
+        records.push(record);
         at = start + len;
     }
 }
@@ -292,10 +315,34 @@ impl Wal {
                 break;
             }
             let bytes = fs::read(path)?;
-            let (events, valid_len, bad_at) = scan_segment(&bytes, *first_seq);
-            let records = events.len() as u64;
-            for (k, event) in events.into_iter().enumerate() {
-                recovery.events.push((first_seq + k as u64, event));
+            let (scanned, valid_len, bad_at) = scan_segment(&bytes, *first_seq);
+            let mut records = 0u64;
+            for record in scanned {
+                match record {
+                    RecordPayload::Events(events) => {
+                        for event in events {
+                            recovery.events.push((first_seq + records, event));
+                            records += 1;
+                        }
+                    }
+                    RecordPayload::Quarantine {
+                        source,
+                        level,
+                        events,
+                    } => {
+                        for event in events {
+                            recovery.quarantined.push((
+                                first_seq + records,
+                                QuarantinedEvent {
+                                    source,
+                                    level,
+                                    event,
+                                },
+                            ));
+                            records += 1;
+                        }
+                    }
+                }
             }
             segments.push(Segment {
                 first_seq: *first_seq,
@@ -439,13 +486,22 @@ impl Wal {
     /// crash, recovery keeps a prefix of whole records, so each batch is
     /// individually all-or-nothing.
     pub fn append_batches(&mut self, batches: &[&[Event]]) -> io::Result<u64> {
+        let mixed: Vec<WalBatch<'_>> = batches.iter().map(|b| WalBatch::Events(b)).collect();
+        self.append_mixed(&mixed)
+    }
+
+    /// Append a group that may mix plain and quarantine batches — the
+    /// full group-commit primitive. Same contract as
+    /// [`Wal::append_batches`]: one record per batch, one write, one
+    /// `fsync`, all-or-nothing rollback on failure.
+    pub fn append_mixed(&mut self, batches: &[WalBatch<'_>]) -> io::Result<u64> {
         if self.poisoned {
             return Err(io::Error::other(
                 "WAL poisoned: a failed append could not be rolled back; reopen to repair",
             ));
         }
         let first = self.next_seq;
-        let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        let total: u64 = batches.iter().map(|b| b.events().len() as u64).sum();
         if total == 0 {
             return Ok(first);
         }
@@ -455,12 +511,21 @@ impl Wal {
         let mut buf = Vec::with_capacity(total as usize * 16);
         let mut payload = Vec::with_capacity(256);
         for batch in batches {
-            if batch.is_empty() {
+            if batch.events().is_empty() {
                 continue;
             }
             payload.clear();
-            for event in *batch {
-                encode_event(event, &mut payload);
+            match batch {
+                WalBatch::Events(events) => {
+                    for event in *events {
+                        encode_event(event, &mut payload);
+                    }
+                }
+                WalBatch::Quarantine {
+                    source,
+                    level,
+                    events,
+                } => encode_quarantine(*source, *level, events, &mut payload),
             }
             buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(&crc32(&payload).to_le_bytes());

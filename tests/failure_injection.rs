@@ -249,6 +249,7 @@ mod follower_faults {
             let manifest = ReplManifest {
                 applied: 64,
                 policy_epoch: 0,
+                enforcement_epoch: 0,
                 retention_watermark: 0,
                 snapshot: Some(ReplFile {
                     file: snapshot,
@@ -279,6 +280,7 @@ mod follower_faults {
                     sealed: true,
                     applied: 64,
                     policy_epoch: 0,
+                    enforcement_epoch: 0,
                     retention_watermark: 0,
                 },
                 bytes: vec![0xAB; (len as usize).min(4096)],
@@ -494,5 +496,146 @@ mod follower_faults {
         drop(follower.abort().unwrap());
         drop(primary.abort().unwrap());
         relay.stop();
+    }
+}
+
+/// Auth-flavored follower faults: the wrong *kind* of credential. A
+/// follower whose token authenticates but lacks the replicate scope
+/// must park `Disconnected` (a credential problem, fixable by the
+/// operator) and never `NeedsBootstrap` (a store problem, fixable
+/// only by re-seeding) — the two recovery stories must not blur.
+mod auth_faults {
+    use std::time::{Duration, Instant};
+
+    use ltam::core::capability::{AdminOp, AdminOutcome, Scope};
+    use ltam::core::subject::SubjectId;
+    use ltam::serve::wire::ReplicaState;
+    use ltam::serve::{bootstrap_follower_as, LtamClient, ReplicaConfig, Server, ServerConfig};
+    use ltam::store::{DurableEngine, ScratchDir, StoreConfig};
+    use ltam::time::Interval;
+    use ltam_bench::serve_workload;
+    use ltam_sim::multi_shard_trace;
+
+    const ROOT: &str = "root-secret";
+
+    fn store(fsync: bool) -> StoreConfig {
+        StoreConfig {
+            segment_bytes: 16 * 1024,
+            snapshot_every: 0,
+            fsync,
+            retention: None,
+        }
+    }
+
+    fn mint(root: &mut LtamClient, scopes: Vec<Scope>, secret: &str) {
+        let outcome = root
+            .admin(AdminOp::MintToken {
+                subject: SubjectId(901),
+                scopes,
+                validity: Interval::ALL,
+                secret: secret.to_string(),
+            })
+            .unwrap();
+        assert!(matches!(outcome, AdminOutcome::TokenMinted { .. }));
+    }
+
+    #[test]
+    fn wrong_scope_token_parks_disconnected_never_needs_bootstrap() {
+        let trace = multi_shard_trace(&serve_workload(8, 600));
+
+        let p_dir = ScratchDir::new("authfault-primary");
+        let (engine, _alerts) =
+            DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, store(true)).unwrap();
+        let config = ServerConfig {
+            root_token: Some(ROOT.to_string()),
+            ..ServerConfig::default()
+        };
+        let primary = Server::start(engine, "127.0.0.1:0", config.clone()).unwrap();
+        let p_addr = primary.local_addr().to_string();
+        let mut root = LtamClient::connect(&p_addr).unwrap();
+        root.hello(ROOT).unwrap();
+        root.admin(AdminOp::SetAuthRequired { required: true })
+            .unwrap();
+        mint(&mut root, vec![Scope::Replicate], "repl-secret");
+
+        // Seed some history, then bootstrap legitimately. The final
+        // mint doubles as a durable snapshot point, so the bootstrap
+        // ships the seeded history too.
+        let half = trace.events.len() / 2;
+        for chunk in trace.events[..half].chunks(64) {
+            root.ingest(chunk).unwrap();
+        }
+        mint(&mut root, vec![Scope::Query], "query-only-secret");
+        let f_dir = ScratchDir::new("authfault-follower");
+        let f_engine =
+            bootstrap_follower_as(f_dir.path(), &p_addr, Some("repl-secret"), store(false))
+                .unwrap();
+
+        // ...but tail with a token that can only *query*. The identity
+        // is real, the scope is wrong: every manifest probe dies
+        // PermissionDenied and the loop parks Disconnected.
+        let mut replica_config = ReplicaConfig::new(&p_addr);
+        replica_config.poll_interval = Duration::from_millis(2);
+        replica_config.token = Some("query-only-secret".to_string());
+        let follower =
+            Server::start_follower(f_engine, "127.0.0.1:0", config, replica_config).unwrap();
+        let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+        probe.hello(ROOT).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let replica = probe.status().unwrap().replica.unwrap();
+            assert_ne!(
+                replica.state,
+                ReplicaState::NeedsBootstrap,
+                "a scope refusal must not demand a re-seed"
+            );
+            if replica.state == ReplicaState::Disconnected {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follower never parked: {replica:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The parked follower still serves authenticated reads from
+        // its intact bootstrap-time store.
+        assert_eq!(probe.status().unwrap().events_ingested, half as u64);
+
+        // Swapping in the replicate-scoped secret — a pure credential
+        // fix, no re-bootstrap — lets the same store resume the tail.
+        drop(follower.abort().unwrap()); // release the store; restart with the right secret
+        let (f_engine, _alerts, _report) =
+            DurableEngine::open_with_shards(f_dir.path(), store(false), 2).unwrap();
+        let mut replica_config = ReplicaConfig::new(&p_addr);
+        replica_config.poll_interval = Duration::from_millis(2);
+        replica_config.token = Some("repl-secret".to_string());
+        let follower = Server::start_follower(
+            f_engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                root_token: Some(ROOT.to_string()),
+                ..ServerConfig::default()
+            },
+            replica_config,
+        )
+        .unwrap();
+        let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+        probe.hello(ROOT).unwrap();
+        for chunk in trace.events[half..].chunks(64) {
+            root.ingest(chunk).unwrap();
+        }
+        probe
+            .wait_for_watermark(trace.events.len() as u64, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(
+            probe.status().unwrap().state_digest,
+            root.status().unwrap().state_digest
+        );
+
+        drop(follower.abort().unwrap());
+        drop(primary.abort().unwrap());
     }
 }

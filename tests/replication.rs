@@ -6,12 +6,15 @@
 
 use std::time::{Duration, Instant};
 
+use ltam::core::capability::{AdminOp, AdminOutcome, Scope, TokenId};
+use ltam::core::subject::SubjectId;
 use ltam::engine::batch::{apply_to_engine, Event};
 use ltam::serve::{
-    bootstrap_follower, LtamClient, ReplicaConfig, ReplicaState, Server, ServerConfig,
+    bootstrap_follower, bootstrap_follower_as, LtamClient, ReplicaConfig, ReplicaState, Server,
+    ServerConfig,
 };
 use ltam::store::{DurableEngine, ScratchDir, StoreConfig};
-use ltam::time::Time;
+use ltam::time::{Interval, Time};
 use ltam_bench::relay::TcpRelay;
 use ltam_bench::serve_workload;
 use ltam_sim::multi_shard_trace;
@@ -276,4 +279,154 @@ fn watermark_is_monotone_across_a_policy_epoch_swap() {
     drop(follower2.abort().unwrap());
     drop(primary.abort().unwrap());
     relay.stop();
+}
+
+/// Mint a replicate-scoped token over the wire and return its id.
+fn mint_repl_token(root: &mut LtamClient, secret: &str) -> TokenId {
+    match root
+        .admin(AdminOp::MintToken {
+            subject: SubjectId(900),
+            scopes: vec![Scope::Replicate],
+            validity: Interval::ALL,
+            secret: secret.to_string(),
+        })
+        .unwrap()
+    {
+        AdminOutcome::TokenMinted { id } => id,
+        other => panic!("unexpected mint outcome {other:?}"),
+    }
+}
+
+/// Replication against a locked wire: an anonymous bootstrap is
+/// refused outright; a replicate-scoped token bootstraps and tails
+/// (straight through wire-auth-only policy-epoch bumps); revoking the
+/// token mid-tail parks the follower `Disconnected` — *not*
+/// `NeedsBootstrap`, its store is not suspect, only its credential —
+/// and re-minting the same secret resumes the tail with a monotone
+/// watermark and a matching digest.
+#[test]
+fn replication_under_auth_revocation_parks_disconnected_and_remint_resumes() {
+    const ROOT: &str = "root-secret";
+    const REPL: &str = "repl-secret";
+    let trace = multi_shard_trace(&serve_workload(16, 1_200));
+    let n = trace.events.len();
+
+    let p_dir = ScratchDir::new("auth-repl-primary");
+    let (engine, _alerts) =
+        DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store()).unwrap();
+    let config = ServerConfig {
+        root_token: Some(ROOT.to_string()),
+        ..ServerConfig::default()
+    };
+    let primary = Server::start(engine, "127.0.0.1:0", config.clone()).unwrap();
+    let p_addr = primary.local_addr().to_string();
+
+    let mut root = LtamClient::connect(&p_addr).unwrap();
+    root.hello(ROOT).unwrap();
+    root.admin(AdminOp::SetAuthRequired { required: true })
+        .unwrap();
+    let token_id = mint_repl_token(&mut root, REPL);
+
+    // An anonymous bootstrap cannot even read the manifest.
+    let anon_dir = ScratchDir::new("auth-repl-anon");
+    assert!(
+        bootstrap_follower(anon_dir.path(), &p_addr, follower_store()).is_err(),
+        "anonymous bootstrap must be refused by a locked primary"
+    );
+
+    // A replicate-scoped bootstrap succeeds, and the tail authenticates.
+    let f_dir = ScratchDir::new("auth-repl-follower");
+    let f_engine =
+        bootstrap_follower_as(f_dir.path(), &p_addr, Some(REPL), follower_store()).unwrap();
+    let mut replica_config = fast_replica(&p_addr, 0);
+    replica_config.token = Some(REPL.to_string());
+    let follower =
+        Server::start_follower(f_engine, "127.0.0.1:0", config.clone(), replica_config).unwrap();
+    let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+    probe.hello(ROOT).unwrap();
+
+    let half = n / 2;
+    for chunk in trace.events[..half].chunks(64) {
+        root.ingest(chunk).unwrap();
+    }
+    probe
+        .wait_for_watermark(half as u64, Duration::from_secs(20))
+        .unwrap();
+
+    // A wire-auth-only edit (another mint) bumps the policy epoch but
+    // not the enforcement epoch: the follower tails straight through
+    // it instead of parking for re-bootstrap.
+    mint_repl_token(&mut root, "bystander-secret");
+    let three_quarters = half + (n - half) / 2;
+    for chunk in trace.events[half..three_quarters].chunks(64) {
+        root.ingest(chunk).unwrap();
+    }
+    probe
+        .wait_for_watermark(three_quarters as u64, Duration::from_secs(20))
+        .unwrap();
+
+    // Revocation mid-tail: the follower's next fetch is refused and it
+    // parks Disconnected. Its store is intact, so it must NOT demand a
+    // re-bootstrap.
+    root.admin(AdminOp::RevokeToken { id: token_id }).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let frozen = loop {
+        let replica = probe.status().unwrap().replica.unwrap();
+        assert_ne!(
+            replica.state,
+            ReplicaState::NeedsBootstrap,
+            "a credential refusal must not be mistaken for store divergence"
+        );
+        if replica.state == ReplicaState::Disconnected {
+            break replica.watermark;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never parked on revocation: {replica:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    // While parked, new primary traffic does not leak across: the
+    // watermark holds and the state stays Disconnected.
+    for chunk in trace.events[three_quarters..].chunks(64) {
+        root.ingest(chunk).unwrap();
+    }
+    for _ in 0..20 {
+        let replica = probe.status().unwrap().replica.unwrap();
+        assert_ne!(replica.state, ReplicaState::NeedsBootstrap);
+        assert_eq!(
+            replica.watermark, frozen,
+            "a revoked follower must not keep applying the tail"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Re-minting the *same secret* under a fresh token id is the
+    // operator's rotation story: the follower's retry loop
+    // re-authenticates and the tail resumes, monotone, to convergence.
+    let new_id = mint_repl_token(&mut root, REPL);
+    assert_ne!(new_id, token_id);
+    let mut last = frozen;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        last = assert_monotone(&mut probe, last, "while resuming after re-mint");
+        if last >= n as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never converged after re-mint (watermark {last}/{n})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // No divergence: digests match across primary and follower.
+    let p_digest = root.status().unwrap().state_digest;
+    let f_status = probe.status().unwrap();
+    assert_eq!(f_status.state_digest, p_digest);
+    assert_eq!(f_status.replica.unwrap().state, ReplicaState::Streaming);
+
+    drop(follower.abort().unwrap());
+    drop(primary.abort().unwrap());
 }
