@@ -40,6 +40,14 @@ pub enum DenyReason {
     /// A prohibition blocks the subject from the location at this time,
     /// overriding any grant.
     Prohibited,
+    /// A declared lockdown default-denies: the request would have been
+    /// granted, but its authorization is not pinned (see the
+    /// `ltam-situate` situation overlay).
+    Lockdown,
+    /// A temporal workflow constraint (separation-of-duty,
+    /// binding-of-duty, ordered steps) refused the entry against the
+    /// subject's own movement history (see `ltam-situate`).
+    WorkflowConstraint,
 }
 
 impl fmt::Display for DenyReason {
@@ -49,6 +57,8 @@ impl fmt::Display for DenyReason {
             DenyReason::OutsideEntryWindow => write!(f, "outside entry duration"),
             DenyReason::EntriesExhausted => write!(f, "entry count exhausted"),
             DenyReason::Prohibited => write!(f, "prohibited"),
+            DenyReason::Lockdown => write!(f, "lockdown in force"),
+            DenyReason::WorkflowConstraint => write!(f, "workflow constraint"),
         }
     }
 }
@@ -62,6 +72,15 @@ pub enum Decision {
         /// for determinism).
         auth: AuthId,
     },
+    /// No authorization satisfied Definition 7, but a declared
+    /// emergency overrode the denial for a registered responder (the
+    /// `ltam-situate` overlay). The id of the authorizing incident
+    /// ticket rides into the audit trail with the decision, so every
+    /// bypass is attributable to the declaration that allowed it.
+    GrantedOverride {
+        /// The incident ticket the active emergency was declared under.
+        incident: u64,
+    },
     /// No authorization satisfied Definition 7.
     Denied {
         /// The most specific failure among the candidates.
@@ -70,9 +89,17 @@ pub enum Decision {
 }
 
 impl Decision {
-    /// True for grants.
+    /// True for grants (including emergency overrides).
     pub fn is_granted(&self) -> bool {
-        matches!(self, Decision::Granted { .. })
+        matches!(
+            self,
+            Decision::Granted { .. } | Decision::GrantedOverride { .. }
+        )
+    }
+
+    /// True only for emergency-override grants.
+    pub fn is_override(&self) -> bool {
+        matches!(self, Decision::GrantedOverride { .. })
     }
 }
 
@@ -80,6 +107,9 @@ impl fmt::Display for Decision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Decision::Granted { auth } => write!(f, "granted by {auth}"),
+            Decision::GrantedOverride { incident } => {
+                write!(f, "granted by emergency override (incident I{incident})")
+            }
             Decision::Denied { reason } => write!(f, "denied: {reason}"),
         }
     }

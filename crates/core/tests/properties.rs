@@ -268,6 +268,11 @@ proptest! {
                     prop_assert_eq!(a.location(), *l);
                 }
                 Decision::Denied { .. } => prop_assert!(!any_window || v.is_empty()),
+                // `check_access` judges the base model alone; overrides
+                // exist only under a declared situation (ltam-situate).
+                Decision::GrantedOverride { .. } => {
+                    prop_assert!(false, "base check_access issued an override grant")
+                }
             }
         }
     }

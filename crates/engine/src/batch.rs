@@ -40,6 +40,7 @@ use ltam_core::prohibition::{Prohibition, ProhibitionDb};
 use ltam_core::subject::SubjectId;
 use ltam_core::AuthorizationDb;
 use ltam_graph::{EffectiveGraph, LocationId, LocationModel};
+use ltam_situate::{SituationOp, SituationOutcome, SituationPolicy};
 use ltam_time::Time;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -126,6 +127,7 @@ pub struct PolicyCore {
     prohibitions: ProhibitionDb,
     config: EngineConfig,
     wire: WireAuth,
+    situation: SituationPolicy,
 }
 
 impl PolicyCore {
@@ -139,6 +141,7 @@ impl PolicyCore {
             prohibitions: ProhibitionDb::new(),
             config: EngineConfig::default(),
             wire: WireAuth::default(),
+            situation: SituationPolicy::default(),
         }
     }
 
@@ -203,12 +206,27 @@ impl PolicyCore {
         &mut self.wire
     }
 
+    /// The situation overlay: declared mode, responders, pins, and
+    /// workflow constraints (see `ltam-situate`). Read by every shard
+    /// on the decision path through the live epoch.
+    pub fn situation(&self) -> &SituationPolicy {
+        &self.situation
+    }
+
+    /// Apply a durable situation edit (declarations route through
+    /// `ShardedEngine::update_policy`, so every change is an epoch
+    /// swap — a batch in flight evaluates entirely under one mode).
+    pub fn apply_situation(&mut self, op: &SituationOp) -> SituationOutcome {
+        self.situation.apply(op)
+    }
+
     /// The immutable view shards enforce against.
     pub fn view(&self) -> PolicyView<'_> {
         PolicyView {
             db: &self.db,
             prohibitions: &self.prohibitions,
             config: self.config,
+            situation: &self.situation,
         }
     }
 
@@ -224,6 +242,7 @@ impl PolicyCore {
             prohibitions: self.prohibitions.clone(),
             config: self.config,
             wire: Some(self.wire.clone()),
+            situation: Some(self.situation.clone()),
         }
     }
 
@@ -248,6 +267,9 @@ impl PolicyCore {
             // registry: an empty, not-required one preserves their
             // behavior exactly.
             wire: image.wire.unwrap_or_default(),
+            // Likewise: pre-situation snapshots behave as mode Normal
+            // with no constraints.
+            situation: image.situation.unwrap_or_default(),
         }
     }
 }
@@ -273,6 +295,10 @@ pub struct PolicyImage {
     /// `None` in snapshots written before the field existed — imported
     /// as an empty, not-required [`WireAuth`].
     pub wire: Option<WireAuth>,
+    /// Situation overlay (mode, responders, pins, workflow
+    /// constraints). `None` in pre-situation snapshots — imported as
+    /// mode Normal with nothing registered.
+    pub situation: Option<SituationPolicy>,
 }
 
 /// One event held on the quarantine ledger: accepted from a
@@ -385,7 +411,7 @@ fn apply_event(
             subject,
             location,
         } => match state.request_enter(policy, time, subject, location) {
-            Decision::Granted { .. } => out.granted += 1,
+            Decision::Granted { .. } | Decision::GrantedOverride { .. } => out.granted += 1,
             Decision::Denied { .. } => out.denied += 1,
         },
         Event::Enter {
@@ -818,7 +844,7 @@ impl ShardedEngine {
             state.request_enter(&epoch.view(), t, subject, location)
         };
         let outcome_counter = match decision {
-            Decision::Granted { .. } => ltam_obs::counter!(
+            Decision::Granted { .. } | Decision::GrantedOverride { .. } => ltam_obs::counter!(
                 "engine_decisions_total",
                 "Access-request decisions, by outcome",
                 "outcome" => "granted"

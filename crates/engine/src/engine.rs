@@ -90,6 +90,7 @@ pub struct AccessControlEngine {
     profiles: UserProfileDb,
     rules: RuleEngine,
     config: EngineConfig,
+    situation: ltam_situate::SituationPolicy,
     state: ShardState,
     alert_seq: u64,
     alert_tx: Option<Sender<Alert>>,
@@ -107,6 +108,7 @@ impl AccessControlEngine {
             profiles: UserProfileDb::new(),
             rules: RuleEngine::new(),
             config: EngineConfig::default(),
+            situation: ltam_situate::SituationPolicy::default(),
             state: ShardState::new(),
             alert_seq: 0,
             alert_tx: None,
@@ -214,6 +216,22 @@ impl AccessControlEngine {
         // lapse with it.
         self.state.invalidate_auth(id);
         self.db.revoke(id)
+    }
+
+    /// The situation overlay governing this engine's decisions.
+    pub fn situation(&self) -> &ltam_situate::SituationPolicy {
+        &self.situation
+    }
+
+    /// Apply a situation edit (declare a mode, register responders,
+    /// pin authorizations, install workflow constraints) — the
+    /// single-threaded counterpart of the sharded engine's
+    /// epoch-swapped situation updates.
+    pub fn apply_situation(
+        &mut self,
+        op: &ltam_situate::SituationOp,
+    ) -> ltam_situate::SituationOutcome {
+        self.situation.apply(op)
     }
 
     /// Register an authorization rule (§4).
@@ -333,6 +351,7 @@ impl AccessControlEngine {
             db: &self.db,
             prohibitions: &self.prohibitions,
             config: self.config,
+            situation: &self.situation,
         };
         self.state.request_enter(&policy, t, subject, location)
     }
@@ -362,6 +381,7 @@ impl AccessControlEngine {
             db: &self.db,
             prohibitions: &self.prohibitions,
             config: self.config,
+            situation: &self.situation,
         };
         let raised = self.state.observe_enter(&policy, t, subject, location);
         if let Some(v) = raised {
@@ -381,6 +401,7 @@ impl AccessControlEngine {
             db: &self.db,
             prohibitions: &self.prohibitions,
             config: self.config,
+            situation: &self.situation,
         };
         let raised = self.state.observe_exit(&policy, t, subject, location);
         if let Some(v) = raised {
@@ -396,6 +417,7 @@ impl AccessControlEngine {
             db: &self.db,
             prohibitions: &self.prohibitions,
             config: self.config,
+            situation: &self.situation,
         };
         let raised = self.state.tick(&policy, now);
         for &v in &raised {

@@ -49,7 +49,7 @@ pub fn security_report(engine: &AccessControlEngine) -> SecurityReport {
     let mut denials = 0;
     for rec in engine.audit() {
         match rec.decision {
-            Decision::Granted { .. } => grants += 1,
+            Decision::Granted { .. } | Decision::GrantedOverride { .. } => grants += 1,
             Decision::Denied { .. } => denials += 1,
         }
     }

@@ -34,6 +34,7 @@ use ltam_core::prohibition::ProhibitionDb;
 use ltam_core::retention::RetentionPolicy;
 use ltam_core::subject::SubjectId;
 use ltam_graph::LocationId;
+use ltam_situate::{judge, IncidentId, SituationEffect, SituationPolicy};
 use ltam_time::{Bound, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -52,6 +53,9 @@ pub struct PolicyView<'a> {
     pub prohibitions: &'a ProhibitionDb,
     /// Enforcement tunables (grant TTL).
     pub config: EngineConfig,
+    /// The situation overlay (mode, responders, pins, workflow
+    /// constraints) the decision path judges under.
+    pub situation: &'a SituationPolicy,
 }
 
 impl<'a> PolicyView<'a> {
@@ -64,11 +68,22 @@ impl<'a> PolicyView<'a> {
     }
 }
 
+/// What authorized a pending grant: a database authorization, or an
+/// emergency override attributable to an incident declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GrantKind {
+    /// Granted by this database authorization (Definition 7).
+    Auth(AuthId),
+    /// Granted by the emergency declared under this incident; valid at
+    /// the door only while that emergency is still live.
+    Override(IncidentId),
+}
+
 /// A granted access request waiting for the physical entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct PendingGrant {
     pub(crate) location: LocationId,
-    pub(crate) auth: AuthId,
+    pub(crate) grant: GrantKind,
     pub(crate) granted_at: Time,
 }
 
@@ -218,8 +233,9 @@ impl ShardState {
 
     // --- enforcement ------------------------------------------------------
 
-    /// Process an access request (Definition 6). A grant is remembered so
-    /// the subsequent physical entry is recognized as authorized.
+    /// Process an access request (Definition 6), judged under the
+    /// situation overlay. A grant is remembered so the subsequent
+    /// physical entry is recognized as authorized.
     pub fn request_enter(
         &mut self,
         policy: &PolicyView<'_>,
@@ -232,16 +248,45 @@ impl ShardState {
             subject,
             location,
         };
-        let decision = policy.decision_context().decide(&self.ledger, &request);
-        if let Decision::Granted { auth } = decision {
-            self.pending.insert(
-                subject,
-                PendingGrant {
-                    location,
-                    auth,
-                    granted_at: t,
-                },
-            );
+        let base = policy.decision_context().decide(&self.ledger, &request);
+        let decision = if policy.situation.is_inert() {
+            base
+        } else {
+            // "Entered `l` at or after `since`" against this subject's
+            // own timeline — all the history a workflow constraint may
+            // consult, and all of it lives on this shard.
+            let entered = |l: LocationId, since: Time| {
+                self.movements
+                    .timeline(subject)
+                    .iter()
+                    .any(|s| s.location == l && s.enter >= since && s.enter <= t)
+            };
+            let (decision, effect) = judge(policy.situation, subject, location, t, base, &entered);
+            count_effect(effect);
+            decision
+        };
+        match decision {
+            Decision::Granted { auth } => {
+                self.pending.insert(
+                    subject,
+                    PendingGrant {
+                        location,
+                        grant: GrantKind::Auth(auth),
+                        granted_at: t,
+                    },
+                );
+            }
+            Decision::GrantedOverride { incident } => {
+                self.pending.insert(
+                    subject,
+                    PendingGrant {
+                        location,
+                        grant: GrantKind::Override(IncidentId(incident)),
+                        granted_at: t,
+                    },
+                );
+            }
+            Decision::Denied { .. } => {}
         }
         self.audit.push(AuditRecord { request, decision });
         decision
@@ -258,7 +303,7 @@ impl ShardState {
         subject: SubjectId,
         location: LocationId,
         t: Time,
-    ) -> Option<AuthId> {
+    ) -> Option<GrantKind> {
         let g = self.pending.get(&subject)?;
         if g.location != location {
             return None;
@@ -266,16 +311,32 @@ impl ShardState {
         if t < g.granted_at || t.get() - g.granted_at.get() > policy.config.grant_ttl {
             return None;
         }
-        let auth = policy.db.get(g.auth)?;
-        if !auth.admits_entry_at(t) {
-            return None;
+        match g.grant {
+            GrantKind::Auth(auth_id) => {
+                let auth = policy.db.get(auth_id)?;
+                if !auth.admits_entry_at(t) {
+                    return None;
+                }
+                // A prohibition issued between the grant and the physical
+                // entry voids the grant.
+                if policy.decision_context().blocked(subject, location, t) {
+                    return None;
+                }
+                // A lockdown declared between the grant and the entry
+                // voids unpinned grants at the door.
+                if !policy.situation.admits_entry_under(auth_id, t) {
+                    return None;
+                }
+                Some(g.grant)
+            }
+            // An override grant dies with its emergency: if the
+            // declaration expired (or was replaced) before the subject
+            // reached the door, the entry is unauthorized again.
+            GrantKind::Override(incident) => policy
+                .situation
+                .override_live(incident, t)
+                .then_some(g.grant),
         }
-        // A prohibition issued between the grant and the physical entry
-        // voids the grant.
-        if policy.decision_context().blocked(subject, location, t) {
-            return None;
-        }
-        Some(g.auth)
     }
 
     /// Process an observed entry (from the tracking infrastructure).
@@ -298,11 +359,20 @@ impl ShardState {
             }));
         }
         match self.valid_pending(policy, subject, location, t) {
-            Some(auth) => {
+            Some(GrantKind::Auth(auth)) => {
                 // Definition 7's count: the subject "has entered l" once more.
                 self.ledger.record_entry(auth);
                 self.pending.remove(&subject);
                 self.active_auth.insert(subject, (location, auth));
+                self.overstay_alerted.remove(&subject);
+                None
+            }
+            Some(GrantKind::Override(_)) => {
+                // An override entry consumes no authorization budget and
+                // has no exit window to monitor: the stay is recorded in
+                // the movement history (above) but not tracked as an
+                // authorized stay.
+                self.pending.remove(&subject);
                 self.overstay_alerted.remove(&subject);
                 None
             }
@@ -388,7 +458,7 @@ impl ShardState {
     /// reuse of the id would make it resolve to the wrong authorization.)
     pub fn invalidate_auth(&mut self, id: AuthId) {
         self.ledger.clear(id);
-        self.pending.retain(|_, g| g.auth != id);
+        self.pending.retain(|_, g| g.grant != GrantKind::Auth(id));
         self.active_auth.retain(|_, &mut (_, a)| a != id);
     }
 
@@ -406,11 +476,21 @@ impl ShardState {
         let mut pending: Vec<PendingImage> = self
             .pending
             .iter()
-            .map(|(&subject, g)| PendingImage {
-                subject,
-                location: g.location,
-                auth: g.auth,
-                granted_at: g.granted_at,
+            .map(|(&subject, g)| {
+                let (auth, incident) = match g.grant {
+                    GrantKind::Auth(a) => (a, None),
+                    // Override grants have no authorization; the auth
+                    // field is a placeholder old readers would dangle
+                    // on harmlessly (no live id is ever u64::MAX).
+                    GrantKind::Override(i) => (AuthId(u64::MAX), Some(i.0)),
+                };
+                PendingImage {
+                    subject,
+                    location: g.location,
+                    auth,
+                    incident,
+                    granted_at: g.granted_at,
+                }
             })
             .collect();
         pending.sort_by_key(|p| p.subject);
@@ -447,11 +527,15 @@ impl ShardState {
                 .pending
                 .into_iter()
                 .map(|p| {
+                    let grant = match p.incident {
+                        Some(i) => GrantKind::Override(IncidentId(i)),
+                        None => GrantKind::Auth(p.auth),
+                    };
                     (
                         p.subject,
                         PendingGrant {
                             location: p.location,
-                            auth: p.auth,
+                            grant,
                             granted_at: p.granted_at,
                         },
                     )
@@ -473,6 +557,35 @@ impl ShardState {
     }
 }
 
+/// Count what the situation overlay did to a decision (the audit trail
+/// carries the rewritten decision itself; these series make the rates
+/// scrapeable).
+fn count_effect(effect: SituationEffect) {
+    match effect {
+        SituationEffect::None => {}
+        SituationEffect::Overridden(_) => ltam_obs::counter!(
+            "situate_overrides_total",
+            "Denials rewritten into emergency override grants"
+        )
+        .inc(),
+        SituationEffect::OverrideExpired => ltam_obs::counter!(
+            "situate_override_expired_total",
+            "Responder denials that stood because the declared emergency had auto-expired"
+        )
+        .inc(),
+        SituationEffect::LockdownRefused => ltam_obs::counter!(
+            "situate_lockdown_refusals_total",
+            "Grants refused by lockdown default-deny (authorization not pinned)"
+        )
+        .inc(),
+        SituationEffect::ConstraintRefused(_) => ltam_obs::counter!(
+            "situate_constraint_refusals_total",
+            "Entries refused by a workflow constraint (SoD, BoD, ordered steps)"
+        )
+        .inc(),
+    }
+}
+
 /// A pending grant, flattened for serialization (see
 /// [`ShardStateImage::pending`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -481,8 +594,13 @@ pub struct PendingImage {
     pub subject: SubjectId,
     /// The location the grant admits them to.
     pub location: LocationId,
-    /// The authorization the grant was issued under.
+    /// The authorization the grant was issued under (a placeholder
+    /// `u64::MAX` id for emergency-override grants — see `incident`).
     pub auth: AuthId,
+    /// `Some(incident)` for an emergency-override grant: the grant was
+    /// issued under this incident's declaration, not an authorization.
+    /// `None` in pre-situation images and for ordinary grants.
+    pub incident: Option<u64>,
     /// When the request was granted (the grant lapses `grant_ttl`
     /// chronons later).
     pub granted_at: Time,
@@ -550,10 +668,12 @@ mod tests {
     #[test]
     fn shard_state_runs_the_full_cycle() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         assert!(s.request_enter(&policy, Time(10), ALICE, CAIS).is_granted());
@@ -569,10 +689,12 @@ mod tests {
     #[test]
     fn shard_state_raises_the_taxonomy() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         // Tailgate: enter without a grant.
@@ -594,10 +716,12 @@ mod tests {
     #[test]
     fn image_round_trip_preserves_every_field() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         // Exercise every piece of state: a used grant, an open stay, a
@@ -625,10 +749,12 @@ mod tests {
     #[test]
     fn image_serde_round_trips_through_json() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         assert!(s.request_enter(&policy, Time(10), ALICE, CAIS).is_granted());
@@ -643,10 +769,12 @@ mod tests {
     #[test]
     fn retention_prunes_history_but_not_enforcement_state() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         // A full early cycle (audit + movements + ledger) and a tailgate
@@ -682,10 +810,12 @@ mod tests {
     #[test]
     fn per_class_knobs_prune_independently() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         s.observe_enter(&policy, Time(5), SubjectId(7), CAIS); // tailgate
@@ -705,10 +835,12 @@ mod tests {
     #[test]
     fn invalidate_auth_lapses_pending_and_counters() {
         let (db, prohibitions) = policy_db();
+        let situation = SituationPolicy::new();
         let policy = PolicyView {
             db: &db,
             prohibitions: &prohibitions,
             config: EngineConfig::default(),
+            situation: &situation,
         };
         let mut s = ShardState::new();
         let Decision::Granted { auth } = s.request_enter(&policy, Time(10), ALICE, CAIS) else {

@@ -19,6 +19,7 @@ use ltam_engine::batch::{Event, QuarantinedEvent};
 use ltam_engine::movement::Contact;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
+use ltam_situate::{SituationOp, SituationOutcome};
 use ltam_store::replica::ReplFileId;
 use ltam_time::{Interval, Time};
 use std::fmt;
@@ -472,6 +473,18 @@ impl LtamClient {
     pub fn admin(&mut self, op: AdminOp) -> Result<AdminOutcome, ClientError> {
         match self.call(&Request::Admin(op))? {
             Response::Admin { outcome } => Ok(outcome),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Send one situation RPC (declare/clear an emergency or lockdown,
+    /// register responders, pin authorizations, edit workflow
+    /// constraints). Admin-gated like [`LtamClient::admin`]; only a
+    /// primary accepts it — followers pick the op up from the
+    /// replicated WAL.
+    pub fn situation(&mut self, op: SituationOp) -> Result<SituationOutcome, ClientError> {
+        match self.call(&Request::Situation(op))? {
+            Response::Situation { outcome } => Ok(outcome),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

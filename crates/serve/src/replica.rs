@@ -491,12 +491,15 @@ pub(crate) fn replicate_loop(
             );
             let mut commit_failed = false;
             for batch in step.batches {
-                if batch.events().is_empty() {
+                if batch.events().is_empty() && !matches!(batch, TailBatch::Situation(_)) {
                     continue;
                 }
                 // Replay each shipped record as what it *was*: trusted
                 // batches through enforcement, quarantine records onto
-                // the follower's own quarantine ledger — so a
+                // the follower's own quarantine ledger, situation ops
+                // through the follower's own durable situation path (so
+                // it judges every later record exactly as the primary
+                // did, with its own WAL record and snapshot) — so a
                 // follower's answers flag exactly what the primary's
                 // do.
                 let committed = match batch {
@@ -506,6 +509,7 @@ pub(crate) fn replicate_loop(
                         level,
                         events,
                     } => commit.commit_quarantine(source, level, events).map(|_| ()),
+                    TailBatch::Situation(op) => commit.situation(op).map(|_| ()),
                 };
                 if let Err(e) = committed {
                     // The *follower's* own store failed — nothing wrong

@@ -82,6 +82,7 @@ use crate::wire::{
 use ltam_core::capability::{AdminOutcome, AuthRefusal, Capability, Scope, TokenId, WireAuth};
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::{BatchOutcome, Event};
+use ltam_situate::SituationOutcome;
 use ltam_store::replica::{
     archive_files, epoch_marker_file, newest_snapshot, read_file_chunk, wal_segment_ids, ReplFileId,
 };
@@ -181,6 +182,8 @@ enum Done {
     Quarantine(io::Result<usize>),
     /// An admin RPC applied as a durable policy edit.
     Admin(io::Result<AdminOutcome>),
+    /// A situation RPC applied as a durable, WAL-logged policy edit.
+    Situation(io::Result<SituationOutcome>),
 }
 
 /// A commit completion routed back to the poll thread that owns the
@@ -908,7 +911,7 @@ fn needed_capability(request: &Request) -> Option<Capability> {
         Request::Ingest(_) | Request::Check(_) => Some(Capability::Ingest),
         Request::Query(_) | Request::Metrics => Some(Capability::Query),
         Request::Repl(_) => Some(Capability::Replicate),
-        Request::Admin(_) => Some(Capability::Admin),
+        Request::Admin(_) | Request::Situation(_) => Some(Capability::Admin),
     }
 }
 
@@ -1224,6 +1227,53 @@ fn dispatch(
             }
             return;
         }
+        Request::Situation(op) => {
+            if let Some(replica) = &shared.replica {
+                // Followers receive situation ops through the replicated
+                // WAL — at the exact stream position the primary applied
+                // them — so a direct declaration here would double-apply
+                // or, worse, fork the judging order.
+                refused("not_primary").inc();
+                push_response(
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::NotPrimary,
+                        role: Some(shared.role),
+                        message: format!(
+                            "situations are declared on the primary at {}; followers replay \
+                             them from the replicated WAL",
+                            replica.primary_addr()
+                        ),
+                    },
+                );
+                return;
+            }
+            let slot = conn.next_slot;
+            conn.next_slot += 1;
+            conn.pending.push_back(SlotState::Waiting(slot));
+            let done = {
+                let shared = Arc::clone(shared);
+                let conn_id = conn.id;
+                move |result: io::Result<SituationOutcome>| {
+                    let t = &shared.threads[index];
+                    t.inbox.lock().done.push(Completion {
+                        conn: conn_id,
+                        slot,
+                        done: Done::Situation(result),
+                    });
+                    let _ = t.waker.wake();
+                }
+            };
+            if commit.submit_situation(op, done).is_err() {
+                let frame = response_frame(&Response::Error {
+                    code: ErrorCode::Internal,
+                    role: Some(shared.role),
+                    message: "server is shutting down".into(),
+                });
+                *conn.pending.back_mut().expect("slot just pushed") = SlotState::Ready(frame);
+            }
+            return;
+        }
         Request::Ingest(events) => (events, WriteKind::Ingest),
         Request::Check(event) => (vec![event], WriteKind::Check),
     };
@@ -1378,6 +1428,12 @@ fn apply_completion(conn: &mut Conn, completion: Completion, role: ServerRole) {
             code: ErrorCode::Internal,
             role,
             message: format!("admin edit not durable: {e}"),
+        },
+        Done::Situation(Ok(outcome)) => Response::Situation { outcome },
+        Done::Situation(Err(e)) => Response::Error {
+            code: ErrorCode::Internal,
+            role,
+            message: format!("situation edit not durable: {e}"),
         },
     };
     let frame = response_frame(&response);

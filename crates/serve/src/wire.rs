@@ -35,6 +35,7 @@ use ltam_engine::batch::{EngineStatus, Event, QuarantinedEvent};
 use ltam_engine::movement::Contact;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
+use ltam_situate::{SituationOp, SituationOutcome};
 use ltam_store::codec::{decode_event, encode_event, get_varint, put_varint, DecodeError};
 use ltam_store::crc32;
 use ltam_store::replica::{ReplFile, ReplFileId};
@@ -61,6 +62,7 @@ const KIND_REPL_CHUNK: u8 = 0x06;
 const KIND_METRICS: u8 = 0x07;
 const KIND_HELLO: u8 = 0x08;
 const KIND_ADMIN: u8 = 0x09;
+const KIND_SITUATION: u8 = 0x0A;
 
 /// Why a frame or payload failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,6 +182,12 @@ pub enum Request {
     /// whether auth is otherwise required. Answered with
     /// [`Response::Admin`].
     Admin(AdminOp),
+    /// A situation operation — declare/clear an emergency or lockdown,
+    /// edit responders/pins, or install a workflow constraint (tag
+    /// `0x0A`, JSON body). Admin-gated like [`Request::Admin`]; only a
+    /// primary accepts it (followers receive the op through the
+    /// replicated WAL instead). Answered with [`Response::Situation`].
+    Situation(SituationOp),
 }
 
 /// What a follower asks its primary for (JSON-bodied, tag `0x05`).
@@ -439,6 +447,11 @@ pub enum Response {
     Admin {
         /// What the operation did.
         outcome: AdminOutcome,
+    },
+    /// Answer to [`Request::Situation`].
+    Situation {
+        /// What the operation did.
+        outcome: SituationOutcome,
     },
     /// Outcome of an ingest batch that was **quarantined**: the events
     /// are durable on the quarantine ledger but were not enforced,
@@ -777,6 +790,14 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                     .as_bytes(),
             );
         }
+        Request::Situation(op) => {
+            out.push(KIND_SITUATION);
+            out.extend_from_slice(
+                serde_json::to_string(op)
+                    .expect("situation ops serialize")
+                    .as_bytes(),
+            );
+        }
     }
     out
 }
@@ -842,6 +863,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
             let op = serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
             Ok(Request::Admin(op))
+        }
+        KIND_SITUATION => {
+            let text = std::str::from_utf8(body).map_err(|e| WireError::BadJson(e.to_string()))?;
+            let op = serde_json::from_str(text).map_err(|e| WireError::BadJson(e.to_string()))?;
+            Ok(Request::Situation(op))
         }
         other => Err(WireError::BadKind(other)),
     }

@@ -328,7 +328,9 @@ mod replication {
             .into_iter()
             .map(|b| match b {
                 TailBatch::Events(events) => events,
-                TailBatch::Quarantine { .. } => panic!("plain WALs hold no quarantine records"),
+                TailBatch::Quarantine { .. } | TailBatch::Situation(_) => {
+                    panic!("plain WALs hold no quarantine or situation records")
+                }
             })
             .collect()
     }

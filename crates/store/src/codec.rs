@@ -14,6 +14,7 @@
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::Event;
 use ltam_graph::LocationId;
+use ltam_situate::SituationOp;
 use ltam_time::Time;
 use std::fmt;
 
@@ -28,6 +29,14 @@ const TAG_TICK: u8 = 3;
 /// as `BadTag` (truncating at the record, never misreading it as
 /// events), and an event can never alias it.
 pub const QUARANTINE_SENTINEL: u8 = 0x51;
+
+/// Sentinel first byte of a **situation** record payload (a durable
+/// [`SituationOp`]: mode declaration, responder/pin registration, or a
+/// workflow-constraint edit). Same rationale as [`QUARANTINE_SENTINEL`]:
+/// outside the event tag range, so older decoders truncate at the record
+/// instead of misreading it. The body is the op's JSON — situation ops
+/// are rare control records, so self-describing beats compact.
+pub const SITUATION_SENTINEL: u8 = 0x52;
 
 /// Why a buffer failed to decode as an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +57,8 @@ pub enum DecodeError {
         /// Total bytes in the payload.
         len: usize,
     },
+    /// A situation record's JSON body did not parse as a [`SituationOp`].
+    BadSituation,
 }
 
 impl fmt::Display for DecodeError {
@@ -59,6 +70,9 @@ impl fmt::Display for DecodeError {
             DecodeError::IdOutOfRange(v) => write!(f, "id {v} exceeds the 32-bit id domain"),
             DecodeError::TrailingBytes { consumed, len } => {
                 write!(f, "{} trailing bytes after the event", len - consumed)
+            }
+            DecodeError::BadSituation => {
+                write!(f, "situation record body is not a valid situation op")
             }
         }
     }
@@ -223,6 +237,10 @@ pub enum RecordPayload {
         /// The quarantined events (non-empty).
         events: Vec<Event>,
     },
+    /// A durable situation op: [`SITUATION_SENTINEL`], then the op as
+    /// JSON. Carries no events but still consumes one sequence number so
+    /// followers replay it at the same position in the stream.
+    Situation(SituationOp),
 }
 
 impl RecordPayload {
@@ -230,12 +248,18 @@ impl RecordPayload {
     pub fn events(&self) -> &[Event] {
         match self {
             RecordPayload::Events(events) | RecordPayload::Quarantine { events, .. } => events,
+            RecordPayload::Situation(_) => &[],
         }
     }
 
-    /// Number of WAL sequence numbers the record consumes.
+    /// Number of WAL sequence numbers the record consumes. Situation
+    /// records carry no events but still take one slot: replication
+    /// cursors must pass through them at a well-defined position.
     pub fn seq_count(&self) -> u64 {
-        self.events().len() as u64
+        match self {
+            RecordPayload::Situation(_) => 1,
+            _ => self.events().len() as u64,
+        }
     }
 }
 
@@ -250,11 +274,19 @@ pub fn encode_quarantine(source: SubjectId, level: u8, events: &[Event], out: &m
     }
 }
 
-/// Decode a whole record payload — quarantine if it opens with the
-/// sentinel, a concatenated event batch otherwise. Total, like every
-/// decoder here: arbitrary bytes yield a payload or a [`DecodeError`],
-/// never a panic; an empty batch (of either kind) is an error, matching
-/// the WAL's one-or-more-events record contract.
+/// Append the situation-record encoding of `op` to `out`: the sentinel
+/// followed by the op's JSON.
+pub fn encode_situation(op: &SituationOp, out: &mut Vec<u8>) {
+    out.push(SITUATION_SENTINEL);
+    let json = serde_json::to_string(op).expect("situation ops always serialize");
+    out.extend_from_slice(json.as_bytes());
+}
+
+/// Decode a whole record payload — quarantine or situation if it opens
+/// with the matching sentinel, a concatenated event batch otherwise.
+/// Total, like every decoder here: arbitrary bytes yield a payload or a
+/// [`DecodeError`], never a panic; an empty batch (of either kind) is an
+/// error, matching the WAL's one-or-more-events record contract.
 pub fn decode_record_payload(buf: &[u8]) -> Result<RecordPayload, DecodeError> {
     let decode_events = |buf: &[u8]| -> Result<Vec<Event>, DecodeError> {
         let mut at = 0usize;
@@ -281,6 +313,13 @@ pub fn decode_record_payload(buf: &[u8]) -> Result<RecordPayload, DecodeError> {
                 level,
                 events,
             })
+        }
+        Some(&SITUATION_SENTINEL) => {
+            let op = std::str::from_utf8(&buf[1..])
+                .ok()
+                .and_then(|json| serde_json::from_str(json).ok())
+                .ok_or(DecodeError::BadSituation)?;
+            Ok(RecordPayload::Situation(op))
         }
         _ => Ok(RecordPayload::Events(decode_events(buf)?)),
     }
@@ -409,6 +448,35 @@ mod tests {
         let mut empty = Vec::new();
         encode_quarantine(SubjectId(0), 0, &[], &mut empty);
         assert!(decode_record_payload(&empty).is_err());
+    }
+
+    #[test]
+    fn situation_payloads_round_trip_and_bad_json_errors() {
+        use ltam_situate::{IncidentId, SituationMode};
+        let op = SituationOp::Declare(SituationMode::Emergency {
+            incident: IncidentId(7),
+            until: Time(500),
+        });
+        let mut buf = Vec::new();
+        encode_situation(&op, &mut buf);
+        assert_eq!(buf[0], SITUATION_SENTINEL);
+        assert_eq!(
+            decode_record_payload(&buf).unwrap(),
+            RecordPayload::Situation(op.clone())
+        );
+        assert_eq!(RecordPayload::Situation(op).seq_count(), 1);
+        // Any truncation breaks the JSON and is an error, never a panic.
+        for cut in 0..buf.len() {
+            assert!(decode_record_payload(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // Garbage after the sentinel is rejected, not misread.
+        assert_eq!(
+            decode_record_payload(&[SITUATION_SENTINEL, b'{', b'x']),
+            Err(DecodeError::BadSituation)
+        );
+        // The two sentinels never alias each other or any event tag.
+        assert_ne!(SITUATION_SENTINEL, QUARANTINE_SENTINEL);
+        const { assert!(SITUATION_SENTINEL > TAG_TICK) };
     }
 
     #[test]

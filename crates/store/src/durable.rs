@@ -47,6 +47,7 @@ use ltam_engine::violation::Alert;
 use ltam_engine::EngineReadView;
 use ltam_engine::Violation;
 use ltam_graph::LocationId;
+use ltam_situate::{SituationOp, SituationOutcome};
 use ltam_time::{Interval, Time};
 use std::io;
 use std::io::Write;
@@ -104,6 +105,10 @@ pub struct RecoveryReport {
     /// WAL-tail quarantine events reloaded onto the quarantine ledger
     /// (they never pass through enforcement).
     pub replayed_quarantined: usize,
+    /// WAL-tail situation ops re-applied during replay, each at its own
+    /// sequence position (a mode declaration changes how every later
+    /// replayed event is judged).
+    pub replayed_situations: usize,
     /// Violations raised during replay (already counted in the snapshot
     /// run's history if the crash lost no state — replay re-detects them).
     pub replayed_violations: usize,
@@ -367,7 +372,10 @@ impl DurableEngine {
             ));
         }
         let (wal, recovered) = Wal::open(dir, config.wal())?;
-        if !recovered.events.is_empty() || !recovered.quarantined.is_empty() {
+        if !recovered.events.is_empty()
+            || !recovered.quarantined.is_empty()
+            || !recovered.situations.is_empty()
+        {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
                 format!("{} already holds WAL segments; use open()", dir.display()),
@@ -473,12 +481,15 @@ impl DurableEngine {
             // range starts *after* the snapshot we are recovering from,
             // events in between are unrecoverable — refuse rather than
             // silently resurrect a state with a hole in its history.
-            let wal_start = match (recovered.events.first(), recovered.quarantined.first()) {
-                (Some(&(e, _)), Some(&(q, _))) => e.min(q),
-                (Some(&(e, _)), None) => e,
-                (None, Some(&(q, _))) => q,
-                (None, None) => wal.next_seq(),
-            };
+            let wal_start = [
+                recovered.events.first().map(|&(s, _)| s),
+                recovered.quarantined.first().map(|&(s, _)| s),
+                recovered.situations.first().map(|&(s, _)| s),
+            ]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(wal.next_seq());
             if wal_start > snap.seq {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -525,11 +536,17 @@ impl DurableEngine {
         let states: Vec<ShardState> = images.into_iter().map(ShardState::from_image).collect();
         let (engine, alerts) = ShardedEngine::with_states(policy, states);
 
-        let replay: Vec<Event> = recovered
+        let replay: Vec<(u64, Event)> = recovered
             .events
             .iter()
             .filter(|&&(seq, _)| seq >= snap.seq)
-            .map(|&(_, event)| event)
+            .copied()
+            .collect();
+        let replay_situations: Vec<(u64, SituationOp)> = recovered
+            .situations
+            .iter()
+            .filter(|&&(seq, _)| seq >= snap.seq)
+            .cloned()
             .collect();
         let archive = ArchiveStore::with_fsync(dir, config.fsync);
         // A broken archive chain must not hide behind a healthy-looking
@@ -560,6 +577,7 @@ impl DurableEngine {
             snapshot_seq: snap.seq,
             replayed: replay.len(),
             replayed_quarantined,
+            replayed_situations: replay_situations.len(),
             replayed_violations: 0,
             truncated_bytes: recovered.truncated_bytes,
             dropped_segments: recovered.dropped_segments,
@@ -567,12 +585,38 @@ impl DurableEngine {
             archive_covered_to,
             archive_error,
         };
-        if !replay.is_empty() {
+        // Replay events and situation ops merged by sequence: a mode
+        // declaration (or constraint edit) in the tail changes how every
+        // later event is judged, so it must be re-applied at exactly the
+        // position it held on the uninterrupted run. Each op bumps the
+        // in-memory policy epoch like the live path did; the snapshot
+        // that normally follows an op never landed (that is why it is
+        // still in the tail), so the cadence will take one later.
+        let mut policy_epoch = snap.policy_epoch;
+        if !replay.is_empty() || !replay_situations.is_empty() {
             let _span = ltam_obs::timed!(
                 "store_recovery_replay_seconds",
                 "WAL-tail replay time during open (one sample per recovery)"
             );
-            report.replayed_violations = engine.ingest(&replay).violations.len();
+            let mut at = 0usize;
+            let mut chunk: Vec<Event> = Vec::new();
+            let mut ingest_upto = |engine: &ShardedEngine, end: usize, at: &mut usize| {
+                if end > *at {
+                    chunk.clear();
+                    chunk.extend(replay[*at..end].iter().map(|&(_, e)| e));
+                    report.replayed_violations += engine.ingest(&chunk).violations.len();
+                    *at = end;
+                }
+            };
+            for (op_seq, op) in &replay_situations {
+                let end = at + replay[at..].partition_point(|&(s, _)| s < *op_seq);
+                ingest_upto(&engine, end, &mut at);
+                engine.update_policy(|p| {
+                    p.apply_situation(op);
+                });
+                policy_epoch += 1;
+            }
+            ingest_upto(&engine, replay.len(), &mut at);
         }
         report.retention_watermark = engine.retention_watermark().get();
         // Re-seed the monitoring clock from the replayed tail so
@@ -580,7 +624,7 @@ impl DurableEngine {
         // clock only delays the next run, never prunes early).
         let clock = replay
             .iter()
-            .map(Event::time)
+            .map(|(_, e)| e.time())
             .max()
             .unwrap_or(Time::ZERO)
             .max(engine.retention_watermark());
@@ -597,7 +641,7 @@ impl DurableEngine {
             pending_snapshot: None,
             applied,
             since_snapshot: applied - snap.seq,
-            policy_epoch: snap.policy_epoch,
+            policy_epoch,
             enforcement_epoch,
             clock,
             snapshot_error: None,
@@ -799,7 +843,7 @@ impl DurableEngine {
     pub fn update_wire_policy<R>(&mut self, f: impl FnOnce(&mut WireAuth) -> R) -> io::Result<R> {
         let r = self.engine.update_policy(|p| f(p.wire_mut()));
         self.policy_epoch += 1;
-        self.snapshot()?;
+        self.snapshot_keep_wal()?;
         write_epoch_marker(&self.dir, self.config.fsync, self.policy_epoch)?;
         Ok(r)
     }
@@ -848,6 +892,37 @@ impl DurableEngine {
                     })
             }
         }
+    }
+
+    /// Durably apply one [`SituationOp`] — a mode declaration, a
+    /// responder/pin edit, or a workflow-constraint change.
+    ///
+    /// Unlike admin edits, situation ops change what the event stream
+    /// *means*, so they are **WAL-logged** (own record kind, one
+    /// sequence number) before the epoch swap: a follower tailing the
+    /// log re-applies the op at the same stream position and judges
+    /// every later event identically — no re-bootstrap, because only
+    /// the policy epoch bumps, never the enforcement epoch. The
+    /// immediate snapshot then covers the op's sequence, and the acked
+    /// epoch marker protects it from snapshot fallback, exactly like
+    /// [`DurableEngine::update_wire_policy`]. A crash between the WAL
+    /// append and the snapshot replays the op at its recorded position
+    /// on recovery.
+    pub fn apply_situation(&mut self, op: &SituationOp) -> io::Result<SituationOutcome> {
+        self.wal.append_mixed(&[WalBatch::Situation(op)])?;
+        let outcome = self.engine.update_policy(|p| p.apply_situation(op));
+        self.policy_epoch += 1;
+        self.applied += 1;
+        self.since_snapshot += 1;
+        self.snapshot_keep_wal()?;
+        write_epoch_marker(&self.dir, self.config.fsync, self.policy_epoch)?;
+        ltam_obs::gauge!(
+            "situate_mode",
+            "Declared situation mode (0 = normal, 1 = emergency, 2 = lockdown)"
+        )
+        .set(self.engine.policy().situation().mode_gauge());
+        self.publish_cells();
+        Ok(outcome)
     }
 
     /// Durably record a batch from a below-trust-threshold sensor on
@@ -963,6 +1038,24 @@ impl DurableEngine {
         }
     }
 
+    /// Write a snapshot but leave the WAL alone: no rotation, no
+    /// compaction. This is the snapshot the **tail-transparent** policy
+    /// edits take (wire-auth edits, situation ops — the ones followers
+    /// keep tailing across): a storm of such edits through
+    /// [`DurableEngine::snapshot`] would rotate and compact the log
+    /// under a briefly-lagging follower's cursor, parking it
+    /// `NeedsBootstrap` for no semantic reason. The snapshot file alone
+    /// carries the edit's durability (the epoch marker is written after
+    /// it lands); compaction waits for the event-cadence snapshots.
+    fn snapshot_keep_wal(&mut self) -> io::Result<u64> {
+        self.snapshot_finish()?;
+        let snapshot = self.image();
+        self.snapshots.write(&snapshot)?;
+        self.since_snapshot = 0;
+        self.publish_cells();
+        Ok(self.applied)
+    }
+
     fn image(&self) -> StoreSnapshot {
         StoreSnapshot {
             seq: self.applied,
@@ -1008,6 +1101,24 @@ impl DurableEngine {
             .wal_fsyncs
             .store(self.wal.fsyncs(), Ordering::Release);
         self.cells.clock.store(self.clock.get(), Ordering::Release);
+        if !ltam_obs::disabled() {
+            // Scrape-visible epoch gauges: `store_policy_epoch` moves on
+            // every durable policy edit; `store_enforcement_epoch` only
+            // on edits that change what enforcement means. An
+            // enforcement bump outside a change window is an operator
+            // alert (every follower re-bootstraps behind it).
+            ltam_obs::gauge!(
+                "store_policy_epoch",
+                "Durable policy epoch (bumped by every acknowledged policy edit)"
+            )
+            .set(self.policy_epoch as i64);
+            ltam_obs::gauge!(
+                "store_enforcement_epoch",
+                "Enforcement epoch (bumped only by edits that change enforcement semantics; \
+                 followers re-bootstrap when it moves)"
+            )
+            .set(self.enforcement_epoch as i64);
+        }
     }
 
     // --- retention and the archive tier -------------------------------------

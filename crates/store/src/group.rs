@@ -35,6 +35,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use ltam_core::capability::{AdminOp, AdminOutcome};
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::{BatchOutcome, Event};
+use ltam_situate::{SituationOp, SituationOutcome};
 use std::io;
 use std::thread::JoinHandle;
 
@@ -84,6 +85,12 @@ enum Job {
         op: AdminOp,
         done: Box<dyn FnOnce(io::Result<AdminOutcome>) + Send>,
     },
+    /// A situation operation (mode declaration, responder/pin edit, or
+    /// a workflow-constraint change).
+    Situation {
+        op: SituationOp,
+        done: Box<dyn FnOnce(io::Result<SituationOutcome>) + Send>,
+    },
 }
 
 impl Job {
@@ -91,9 +98,9 @@ impl Job {
     fn event_count(&self) -> usize {
         match self {
             Job::Ingest { events, .. } | Job::Quarantine { events, .. } => events.len(),
-            // Admin ops snapshot inline; count them like a small batch
-            // so a flood of them still bounds the group.
-            Job::Admin { .. } => 1,
+            // Admin and situation ops snapshot inline; count them like a
+            // small batch so a flood of them still bounds the group.
+            Job::Admin { .. } | Job::Situation { .. } => 1,
         }
     }
 }
@@ -209,6 +216,36 @@ impl CommitHandle {
     pub fn admin(&self, op: AdminOp) -> io::Result<AdminOutcome> {
         let (tx, rx) = unbounded();
         self.submit_admin(op, move |result| {
+            let _ = tx.send(result);
+        })
+        .map_err(|_| io::Error::other("commit thread is shut down"))?;
+        rx.recv()
+            .unwrap_or_else(|_| Err(io::Error::other("commit thread died before acking")))
+    }
+
+    /// Queue a situation operation; `done` runs once it is applied,
+    /// WAL-logged, and snapshotted. It commits in queue position, so a
+    /// mode declared before a batch governs that batch.
+    pub fn submit_situation(
+        &self,
+        op: SituationOp,
+        done: impl FnOnce(io::Result<SituationOutcome>) + Send + 'static,
+    ) -> Result<(), Box<SituationOp>> {
+        self.tx
+            .send(Job::Situation {
+                op,
+                done: Box::new(done),
+            })
+            .map_err(|e| match e.0 {
+                Job::Situation { op, .. } => Box::new(op),
+                _ => unreachable!("send returns the job it was given"),
+            })
+    }
+
+    /// Queue a situation operation and block until it is durable.
+    pub fn situation(&self, op: SituationOp) -> io::Result<SituationOutcome> {
+        let (tx, rx) = unbounded();
+        self.submit_situation(op, move |result| {
             let _ = tx.send(result);
         })
         .map_err(|_| io::Error::other("commit thread is shut down"))?;
@@ -365,6 +402,7 @@ fn commit_loop(
                     done,
                 } => done(engine.commit_quarantine(source, level, &events)),
                 Job::Admin { op, done } => done(engine.apply_admin(op)),
+                Job::Situation { op, done } => done(engine.apply_situation(&op)),
             }
         }
         // Acks are out; now the cadence work (snapshot imaging is

@@ -33,6 +33,7 @@ use crate::crc::crc32;
 use crate::wal::{RECORD_HEADER_LEN, SEGMENT_HEADER_LEN, WAL_MAGIC, WAL_VERSION};
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::Event;
+use ltam_situate::SituationOp;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom};
@@ -290,6 +291,10 @@ pub enum TailBatch {
         /// The quarantined events.
         events: Vec<Event>,
     },
+    /// A situation record: the follower re-applies the op to its own
+    /// policy at the same stream position the primary did, keeping the
+    /// two judging identically from that sequence on.
+    Situation(SituationOp),
 }
 
 impl TailBatch {
@@ -297,6 +302,7 @@ impl TailBatch {
     pub fn events(&self) -> &[Event] {
         match self {
             TailBatch::Events(events) | TailBatch::Quarantine { events, .. } => events,
+            TailBatch::Situation(_) => &[],
         }
     }
 }
@@ -472,6 +478,9 @@ impl TailScanner {
                         level,
                         events: events.split_off(skip),
                     },
+                    // A situation record is one seq; reaching this arm
+                    // means it is wholly above `skip_below` (skip == 0).
+                    RecordPayload::Situation(op) => TailBatch::Situation(op),
                 });
             }
             self.next_seq += count;
@@ -539,7 +548,9 @@ mod tests {
             .into_iter()
             .map(|b| match b {
                 TailBatch::Events(events) => events,
-                TailBatch::Quarantine { .. } => panic!("expected a plain batch"),
+                TailBatch::Quarantine { .. } | TailBatch::Situation(_) => {
+                    panic!("expected a plain batch")
+                }
             })
             .collect()
     }

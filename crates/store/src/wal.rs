@@ -45,10 +45,13 @@
 //! Compaction ([`Wal::compact`]) removes sealed segments all of whose
 //! records are at sequence numbers below a snapshot's cover point.
 
-use crate::codec::{decode_record_payload, encode_event, encode_quarantine, RecordPayload};
+use crate::codec::{
+    decode_record_payload, encode_event, encode_quarantine, encode_situation, RecordPayload,
+};
 use crate::crc::crc32;
 use ltam_core::subject::SubjectId;
 use ltam_engine::batch::{Event, QuarantinedEvent};
+use ltam_situate::SituationOp;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -92,6 +95,11 @@ pub struct WalRecovery {
     /// occupy sequence numbers interleaved with `events`; they replay
     /// onto the quarantine ledger, never through enforcement).
     pub quarantined: Vec<(u64, QuarantinedEvent)>,
+    /// Every intact situation record, in sequence order. These interleave
+    /// with `events` and must be re-applied **at their sequence position**
+    /// during replay — a mode declaration changes how every later event
+    /// is judged.
+    pub situations: Vec<(u64, SituationOp)>,
     /// Bytes cut off the damaged segment (0 for a clean log).
     pub truncated_bytes: u64,
     /// Whole segments disregarded because they followed (or were) a
@@ -118,6 +126,8 @@ pub enum WalBatch<'a> {
         /// The quarantined events.
         events: &'a [Event],
     },
+    /// A situation op (one record, one sequence number, no events).
+    Situation(&'a SituationOp),
 }
 
 impl WalBatch<'_> {
@@ -125,6 +135,16 @@ impl WalBatch<'_> {
     pub fn events(&self) -> &[Event] {
         match self {
             WalBatch::Events(events) | WalBatch::Quarantine { events, .. } => events,
+            WalBatch::Situation(_) => &[],
+        }
+    }
+
+    /// Sequence numbers the batch consumes (events, or one for a
+    /// situation op).
+    pub fn seq_count(&self) -> u64 {
+        match self {
+            WalBatch::Situation(_) => 1,
+            _ => self.events().len() as u64,
         }
     }
 }
@@ -342,6 +362,10 @@ impl Wal {
                             records += 1;
                         }
                     }
+                    RecordPayload::Situation(op) => {
+                        recovery.situations.push((first_seq + records, op));
+                        records += 1;
+                    }
                 }
             }
             segments.push(Segment {
@@ -501,7 +525,7 @@ impl Wal {
             ));
         }
         let first = self.next_seq;
-        let total: u64 = batches.iter().map(|b| b.events().len() as u64).sum();
+        let total: u64 = batches.iter().map(|b| b.seq_count()).sum();
         if total == 0 {
             return Ok(first);
         }
@@ -511,7 +535,7 @@ impl Wal {
         let mut buf = Vec::with_capacity(total as usize * 16);
         let mut payload = Vec::with_capacity(256);
         for batch in batches {
-            if batch.events().is_empty() {
+            if batch.seq_count() == 0 {
                 continue;
             }
             payload.clear();
@@ -526,6 +550,7 @@ impl Wal {
                     level,
                     events,
                 } => encode_quarantine(*source, *level, events, &mut payload),
+                WalBatch::Situation(op) => encode_situation(op, &mut payload),
             }
             buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -810,6 +835,33 @@ mod tests {
         assert_eq!(got, all);
         let seqs: Vec<u64> = rec.events.iter().map(|&(s, _)| s).collect();
         assert_eq!(seqs, (0..63).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn situation_records_take_one_seq_and_recover_in_position() {
+        let dir = ScratchDir::new("wal-situation");
+        let config = WalConfig {
+            segment_bytes: 1 << 20,
+            fsync: false,
+        };
+        let lockdown = SituationOp::Declare(ltam_situate::SituationMode::Lockdown);
+        let responder = SituationOp::AddResponder(SubjectId(7));
+        {
+            let (mut wal, _) = Wal::open(dir.path(), config).unwrap();
+            wal.append_batch(&events(5)).unwrap(); // seqs 0..5
+            let first = wal.append_mixed(&[WalBatch::Situation(&lockdown)]).unwrap();
+            assert_eq!(first, 5);
+            assert_eq!(wal.next_seq(), 6);
+            let mid = events(3);
+            wal.append_mixed(&[WalBatch::Events(&mid), WalBatch::Situation(&responder)])
+                .unwrap(); // seqs 6..9 then 9
+            assert_eq!(wal.next_seq(), 10);
+        }
+        let (wal, rec) = Wal::open(dir.path(), config).unwrap();
+        assert_eq!(wal.next_seq(), 10);
+        let seqs: Vec<u64> = rec.events.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 6, 7, 8]);
+        assert_eq!(rec.situations, vec![(5, lockdown), (9, responder)]);
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! Campus security on the paper's NTU layout (Figures 1–2): authorization
-//! rules, derivation on profile changes, conflict resolution, and live
-//! enforcement with tailgating detection.
+//! rules, derivation on profile changes, conflict resolution, live
+//! enforcement with tailgating detection — and a campus-wide situation
+//! lockdown with a pinned exception for the security desk.
+//!
+//! This walkthrough is a drill: every step asserts the outcome it
+//! narrates.
 //!
 //! ```sh
 //! cargo run --example campus_security
 //! ```
 
 use ltam::core::conflict::ResolutionStrategy;
+use ltam::core::decision::{Decision, DenyReason};
 use ltam::core::model::{Authorization, EntryLimit};
 use ltam::core::rules::{CountExpr, LocationOp, OpTuple, Rule, SubjectOp};
 use ltam::engine::engine::AccessControlEngine;
 use ltam::graph::examples::ntu_campus;
+use ltam::situate::{SituationMode, SituationOp};
 use ltam::time::{Interval, Time};
 
 fn main() {
@@ -60,6 +66,11 @@ fn main() {
         "rule derivation: +{} authorizations (supervisor mirror + route coverage)",
         report.created.len()
     );
+    assert!(
+        report.created.len() >= 2,
+        "the mirror and at least one route grant must derive: {report:?}"
+    );
+    assert!(report.revoked.is_empty(), "nothing to revoke yet");
 
     // Alice's supervisor changes: Bob's derived grant is revoked, Carol's
     // appears — no administrator action needed.
@@ -69,6 +80,11 @@ fn main() {
         "supervisor change: +{} derived, -{} revoked",
         report.created.len(),
         report.revoked.len()
+    );
+    assert_eq!(
+        (report.created.len(), report.revoked.len()),
+        (1, 1),
+        "exactly the supervisor mirror moves from Bob to Carol"
     );
 
     // --- conflicts -------------------------------------------------------------
@@ -85,42 +101,126 @@ fn main() {
     );
     let conflicts = engine.conflicts();
     println!("conflicts detected: {}", conflicts.len());
+    assert!(
+        !conflicts.is_empty(),
+        "the overlapping manual grant must surface as a conflict"
+    );
     let resolution = engine.resolve_conflicts(ResolutionStrategy::Merge);
     println!(
         "merged into {} combined authorization(s)",
         resolution.merged_into.len()
     );
+    assert!(
+        engine.conflicts().is_empty(),
+        "merge resolution reaches quiescence"
+    );
 
     // --- enforcement ------------------------------------------------------------
     let d = engine.request_enter(Time(10), alice, cais);
     println!("t=10 Alice requests CAIS: {d}");
-    engine.observe_enter(Time(10), alice, cais);
+    assert!(d.is_granted(), "a1 admits Alice at t=10");
+    let v = engine.observe_enter(Time(10), alice, cais);
+    assert!(v.is_none(), "a granted entry raises no violation: {v:?}");
     // Mallory slips in behind her.
     let mallory = engine.profiles_mut().add_user("Mallory", "visitor");
-    engine.observe_enter(Time(10), mallory, cais);
+    let v = engine.observe_enter(Time(10), mallory, cais);
+    assert!(v.is_some(), "tailgating must raise a violation");
     println!("query> VIOLATIONS");
-    print!("{}", engine.query("VIOLATIONS").unwrap());
+    let violations = engine.query("VIOLATIONS").unwrap().to_string();
+    print!("{violations}");
+    assert!(
+        violations.contains("Mallory"),
+        "the violation names the tailgater: {violations:?}"
+    );
 
     println!("query> ACCESSIBLE FOR Alice");
-    print!("{}", engine.query("ACCESSIBLE FOR Alice").unwrap());
+    let accessible = engine.query("ACCESSIBLE FOR Alice").unwrap().to_string();
+    print!("{accessible}");
+    assert!(
+        accessible.contains("CAIS"),
+        "CAIS is reachable via the derived route grants: {accessible:?}"
+    );
 
-    // --- planning & lockdown -----------------------------------------------
+    // --- situation: campus-wide lockdown --------------------------------------
+    // An active incident locks the campus down. Every grant is refused
+    // except the security desk's pinned authorization; clearing the
+    // declaration restores the base decisions untouched.
+    let guard = engine.profiles_mut().add_user("Guard", "security");
+    let guard_auth = engine.add_authorization(
+        Authorization::new(
+            Interval::ALL,
+            Interval::ALL,
+            guard,
+            sce_go,
+            EntryLimit::Unbounded,
+        )
+        .unwrap(),
+    );
+    engine.apply_situation(&SituationOp::Pin(guard_auth));
+    engine.apply_situation(&SituationOp::Declare(SituationMode::Lockdown));
+    let d = engine.request_enter(Time(12), alice, cais);
+    println!("situation lockdown: Alice requests CAIS at t=12: {d}");
+    assert_eq!(
+        d,
+        Decision::Denied {
+            reason: DenyReason::Lockdown
+        },
+        "lockdown voids Alice's unpinned authorization"
+    );
+    let d = engine.request_enter(Time(12), guard, sce_go);
+    println!("situation lockdown: Guard requests SCE.GO at t=12: {d}");
+    assert!(d.is_granted(), "the pinned security-desk grant survives");
+    engine.apply_situation(&SituationOp::Declare(SituationMode::Normal));
+    assert!(
+        engine.request_enter(Time(13), alice, cais).is_granted(),
+        "clearing the declaration restores the base decision"
+    );
+    println!("declaration cleared: Alice's access is restored");
+
+    // --- planning & prohibition ------------------------------------------------
     println!("query> EARLIEST Alice TO CAIS FROM 0");
-    print!("{}", engine.query("EARLIEST Alice TO CAIS FROM 0").unwrap());
+    let earliest = engine
+        .query("EARLIEST Alice TO CAIS FROM 0")
+        .unwrap()
+        .to_string();
+    print!("{earliest}");
+    assert!(
+        earliest.contains("enter CAIS"),
+        "a route into CAIS exists before the prohibition: {earliest:?}"
+    );
 
-    // An incident closes CAIS for everyone but security until t=200.
+    // An incident closes CAIS for Alice until t=200.
     engine.add_prohibition(ltam::core::Prohibition {
         subject: alice,
         location: cais,
         window: Interval::lit(0, 200),
     });
-    println!("lockdown: CAIS prohibited for Alice during [0, 200]");
+    println!("prohibition: CAIS closed to Alice during [0, 200]");
     println!("query> CAN Alice ENTER CAIS AT 50");
-    print!("{}", engine.query("CAN Alice ENTER CAIS AT 50").unwrap());
+    let can = engine
+        .query("CAN Alice ENTER CAIS AT 50")
+        .unwrap()
+        .to_string();
+    print!("{can}");
+    assert!(can.starts_with("NO"), "denial takes precedence: {can:?}");
     println!("query> EARLIEST Alice TO CAIS FROM 0");
-    print!("{}", engine.query("EARLIEST Alice TO CAIS FROM 0").unwrap());
+    let earliest = engine
+        .query("EARLIEST Alice TO CAIS FROM 0")
+        .unwrap()
+        .to_string();
+    print!("{earliest}");
+    assert!(
+        earliest.contains("unreachable"),
+        "the planner respects the prohibition: {earliest:?}"
+    );
 
     // --- end-of-shift report --------------------------------------------------
     println!();
-    print!("{}", ltam::engine::security_report(&engine));
+    let report = ltam::engine::security_report(&engine).to_string();
+    print!("{report}");
+    assert!(
+        report.contains("Mallory"),
+        "the report names the top violator: {report:?}"
+    );
+    println!("\ncampus drill: all assertions hold");
 }

@@ -6,5 +6,6 @@ pub use ltam_graph as graph;
 pub use ltam_obs as obs;
 pub use ltam_serve as serve;
 pub use ltam_sim as sim;
+pub use ltam_situate as situate;
 pub use ltam_store as store;
 pub use ltam_time as time;

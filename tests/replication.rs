@@ -297,6 +297,119 @@ fn mint_repl_token(root: &mut LtamClient, secret: &str) -> TokenId {
     }
 }
 
+/// An admin-op and situation-op storm concurrent with a tailing
+/// follower: wire-auth edits (mint/revoke/trust) and situation ops
+/// (responders, declarations, pins, constraints) all bump the policy
+/// epoch without touching the enforcement epoch, and their snapshots
+/// leave the WAL uncompacted — so a briefly-lagging follower keeps
+/// tailing straight through the storm. It must never park
+/// `NeedsBootstrap`, and it converges to the same state digest.
+#[test]
+fn admin_and_situation_storm_never_parks_a_tailing_follower() {
+    use ltam::situate::{IncidentId, SituationMode, SituationOp, WorkflowConstraint};
+
+    const ROOT: &str = "storm-root";
+    let trace = multi_shard_trace(&serve_workload(16, 1_200));
+    let n = trace.events.len();
+
+    let p_dir = ScratchDir::new("storm-primary");
+    let (engine, _alerts) =
+        DurableEngine::create(p_dir.path(), trace.build_policy_core(), 2, primary_store()).unwrap();
+    let config = ServerConfig {
+        root_token: Some(ROOT.to_string()),
+        ..ServerConfig::default()
+    };
+    let primary = Server::start(engine, "127.0.0.1:0", config.clone()).unwrap();
+    let p_addr = primary.local_addr().to_string();
+    let mut root = LtamClient::connect(&p_addr).unwrap();
+    root.hello(ROOT).unwrap();
+
+    let f_dir = ScratchDir::new("storm-follower");
+    let f_engine = bootstrap_follower(f_dir.path(), &p_addr, follower_store()).unwrap();
+    let follower =
+        Server::start_follower(f_engine, "127.0.0.1:0", config, fast_replica(&p_addr, 0)).unwrap();
+    let mut probe = LtamClient::connect(&follower.local_addr().to_string()).unwrap();
+    probe.hello(ROOT).unwrap();
+
+    // Interleave the event stream with the storm: every chunk of 64
+    // events is followed by one wire-auth edit and one situation op.
+    // The 16 KiB segments mean the WAL rotates often — if any of these
+    // edits compacted the log behind the follower's cursor, it would
+    // park NeedsBootstrap within a few chunks.
+    let mut last = 0u64;
+    let mut situation_ops = 0u64;
+    for (i, chunk) in trace.events.chunks(64).enumerate() {
+        root.ingest(chunk).unwrap();
+        match i % 3 {
+            0 => {
+                root.admin(AdminOp::MintToken {
+                    subject: SubjectId(5_000 + i as u32),
+                    scopes: vec![Scope::Ingest { locations: None }],
+                    validity: Interval::ALL,
+                    secret: format!("storm-{i}"),
+                })
+                .unwrap();
+            }
+            1 => {
+                root.admin(AdminOp::SetTrust {
+                    subject: SubjectId(5_000 + i as u32),
+                    level: 3,
+                })
+                .unwrap();
+            }
+            _ => {}
+        }
+        let op = match i % 4 {
+            0 => SituationOp::AddResponder(SubjectId(6_000 + i as u32)),
+            1 => SituationOp::Declare(SituationMode::Emergency {
+                incident: IncidentId(i as u64),
+                until: Time(u64::MAX),
+            }),
+            2 => SituationOp::AddConstraint(WorkflowConstraint::SeparationOfDuty {
+                first: ltam::graph::LocationId(1),
+                second: ltam::graph::LocationId(2),
+                window: 10,
+            }),
+            _ => SituationOp::Declare(SituationMode::Normal),
+        };
+        root.situation(op).unwrap();
+        situation_ops += 1;
+
+        let replica = probe.status().unwrap().replica.unwrap();
+        assert_ne!(
+            replica.state,
+            ReplicaState::NeedsBootstrap,
+            "a tail-transparent edit storm must never park the follower (chunk {i})"
+        );
+        last = assert_monotone(&mut probe, last, "during the storm");
+    }
+
+    // Situation ops consume WAL sequence numbers like events, so the
+    // convergence target is the primary's own applied count.
+    let p_status = root.status().unwrap();
+    assert!(p_status.events_ingested >= n as u64 + situation_ops);
+    probe
+        .wait_for_watermark(p_status.events_ingested, Duration::from_secs(30))
+        .expect("the follower tails through the whole storm");
+
+    let f_status = probe.status().unwrap();
+    assert_eq!(f_status.state_digest, p_status.state_digest);
+    // Every situation op replayed in-stream bumps the follower's policy
+    // epoch (wire-auth edits are primary-local, so the primary's count
+    // runs ahead of it); the enforcement epoch never moved on either.
+    assert!(
+        f_status.policy_epoch >= situation_ops,
+        "follower replayed {} policy bumps for {situation_ops} situation ops",
+        f_status.policy_epoch
+    );
+    assert_eq!(f_status.enforcement_epoch, p_status.enforcement_epoch);
+    let replica = f_status.replica.unwrap();
+    assert_ne!(replica.state, ReplicaState::NeedsBootstrap);
+
+    drop(follower.abort().unwrap());
+    drop(primary.abort().unwrap());
+}
+
 /// Replication against a locked wire: an anonymous bootstrap is
 /// refused outright; a replicate-scoped token bootstraps and tails
 /// (straight through wire-auth-only policy-epoch bumps); revoking the
